@@ -1,0 +1,55 @@
+//! §IV-A: Z-order vs Hilbert vs row-major — encode cost and clustering
+//! (range-decomposition) cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scihadoop_grid::{BoundingBox, Coord, Shape};
+use scihadoop_sfc::{box_runs, Curve, HilbertCurve, RowMajorCurve, ZOrderCurve};
+
+fn bench_curves(c: &mut Criterion) {
+    let curves: Vec<Box<dyn Curve>> = vec![
+        Box::new(ZOrderCurve::with_bits(3, 10)),
+        Box::new(HilbertCurve::with_bits(3, 10)),
+        Box::new(RowMajorCurve::with_bits(3, 10)),
+    ];
+
+    let mut group = c.benchmark_group("curve_encode");
+    group.throughput(Throughput::Elements(10_000));
+    for curve in &curves {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(curve.name()),
+            curve,
+            |b, curve| {
+                b.iter(|| {
+                    let mut acc = 0u128;
+                    for i in 0..10_000u32 {
+                        acc ^= curve
+                            .index_of(&[i % 1024, (i * 7) % 1024, (i * 13) % 1024])
+                            .unwrap();
+                    }
+                    acc
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let bbox = BoundingBox::new(Coord::new(vec![5, 9]), Shape::new(vec![20, 20])).unwrap();
+    let curves_2d: Vec<Box<dyn Curve>> = vec![
+        Box::new(ZOrderCurve::with_bits(2, 8)),
+        Box::new(HilbertCurve::with_bits(2, 8)),
+        Box::new(RowMajorCurve::with_bits(2, 8)),
+    ];
+    let mut group = c.benchmark_group("curve_box_decomposition");
+    group.throughput(Throughput::Elements(bbox.num_cells()));
+    for curve in &curves_2d {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(curve.name()),
+            curve,
+            |b, curve| b.iter(|| box_runs(curve.as_ref(), &bbox).unwrap().len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_curves);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Engine micro-benchmarks: the per-record pipeline stages whose cost the
+//! cluster model charges (spill sort/serialize, merge, combiner).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scihadoop_compress::IdentityCodec;
+use scihadoop_mapreduce::{
+    Counter, Emit, FnMapper, FnReducer, Framing, IFileReader, IFileWriter, InputSplit,
+    Job, JobConfig, KvPair,
+};
+use std::sync::Arc;
+
+fn grid_pairs(n: u32) -> Vec<KvPair> {
+    (0..n)
+        .flat_map(|x| (0..n).map(move |y| (x, y)))
+        .map(|(x, y)| {
+            let key: Vec<u8> = [x.to_be_bytes(), y.to_be_bytes()].concat();
+            KvPair::new(key, 7u32.to_be_bytes().to_vec())
+        })
+        .collect()
+}
+
+fn bench_ifile(c: &mut Criterion) {
+    let pairs = grid_pairs(100); // 10,000 records
+    let mut group = c.benchmark_group("ifile");
+    group.throughput(Throughput::Elements(pairs.len() as u64));
+    for framing in [Framing::SequenceFile, Framing::IFile] {
+        group.bench_with_input(
+            BenchmarkId::new("write", format!("{framing:?}")),
+            &framing,
+            |b, &framing| {
+                b.iter(|| {
+                    let mut w = IFileWriter::new(framing, Arc::new(IdentityCodec));
+                    for p in &pairs {
+                        w.append_pair(p);
+                    }
+                    w.close().raw_bytes
+                })
+            },
+        );
+    }
+    let mut w = IFileWriter::new(Framing::IFile, Arc::new(IdentityCodec));
+    for p in &pairs {
+        w.append_pair(p);
+    }
+    let seg = w.close();
+    group.bench_function("read", |b| {
+        b.iter(|| {
+            IFileReader::open(&seg.data, &IdentityCodec)
+                .unwrap()
+                .into_records()
+                .len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_job(c: &mut Criterion) {
+    let pairs = grid_pairs(64); // 4096 records
+    let splits: Vec<InputSplit> = pairs
+        .chunks(512)
+        .map(|c| InputSplit::new(c.to_vec()))
+        .collect();
+    let mut group = c.benchmark_group("engine_job");
+    group.throughput(Throughput::Elements(pairs.len() as u64));
+    group.sample_size(20);
+    for (name, combiner) in [("no_combiner", false), ("with_combiner", true)] {
+        let splits = splits.clone();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mapper = Arc::new(FnMapper(|k: &[u8], v: &[u8], out: &mut dyn Emit| {
+                    // Fan out 2x to give the sorter work.
+                    out.emit(k, v);
+                    out.emit(k, v);
+                }));
+                let reducer = Arc::new(FnReducer(
+                    |k: &[u8], values: &[&[u8]], out: &mut dyn Emit| {
+                        out.emit(k, &(values.len() as u32).to_be_bytes());
+                    },
+                ));
+                let mut config = JobConfig::default().with_reducers(4).with_slots(4, 2);
+                if combiner {
+                    config = config.with_combiner(Arc::new(FnReducer(
+                        |k: &[u8], values: &[&[u8]], out: &mut dyn Emit| {
+                            out.emit(k, values[0]);
+                        },
+                    )));
+                }
+                let result = Job::new(config)
+                    .run(splits.clone(), mapper, reducer)
+                    .unwrap();
+                result.counters.get(Counter::ReduceInputGroups)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ifile, bench_job);
+criterion_main!(benches);

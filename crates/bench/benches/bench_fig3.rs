@@ -1,0 +1,53 @@
+//! Fig. 3: compression method throughput on the grid-walk key stream.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scihadoop_bench::workloads;
+use scihadoop_compress::{BzipCodec, Codec, DeflateCodec};
+use scihadoop_core::transform::{TransformCodec, TransformConfig};
+use std::sync::Arc;
+
+fn bench_fig3(c: &mut Criterion) {
+    let stream = workloads::grid_key_stream(32); // 393 kB
+    let methods: Vec<(&str, Arc<dyn Codec>)> = vec![
+        ("deflate", Arc::new(DeflateCodec::new())),
+        (
+            "transform+deflate",
+            Arc::new(TransformCodec::new(
+                TransformConfig::adaptive(100),
+                Arc::new(DeflateCodec::new()),
+            )),
+        ),
+        ("bzip", Arc::new(BzipCodec::with_level(1))),
+        (
+            "transform+bzip",
+            Arc::new(TransformCodec::new(
+                TransformConfig::adaptive(100),
+                Arc::new(BzipCodec::with_level(1)),
+            )),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("fig3_compress");
+    group.throughput(Throughput::Bytes(stream.len() as u64));
+    group.sample_size(10);
+    for (name, codec) in &methods {
+        group.bench_with_input(BenchmarkId::from_parameter(name), codec, |b, codec| {
+            b.iter(|| codec.compress(&stream).len())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig3_decompress");
+    group.throughput(Throughput::Bytes(stream.len() as u64));
+    group.sample_size(10);
+    for (name, codec) in &methods {
+        let z = codec.compress(&stream);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &z, |b, z| {
+            b.iter(|| codec.decompress(z).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

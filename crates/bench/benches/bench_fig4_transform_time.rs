@@ -1,0 +1,46 @@
+//! Fig. 4: transform time vs input size — Criterion's per-size samples
+//! show the linearity directly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scihadoop_bench::workloads;
+use scihadoop_core::transform::{StridePredictor, TransformConfig};
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_transform_time");
+    group.sample_size(10);
+    for n in [16u32, 24, 32, 40] {
+        let stream = workloads::grid_key_stream(n);
+        group.throughput(Throughput::Bytes(stream.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}^3")),
+            &stream,
+            |b, stream| {
+                b.iter(|| {
+                    StridePredictor::new(TransformConfig::default())
+                        .forward(stream)
+                        .len()
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // The inverse path must track the forward path (same state machine).
+    let stream = workloads::grid_key_stream(24);
+    let transformed =
+        StridePredictor::new(TransformConfig::default()).forward(&stream);
+    let mut group = c.benchmark_group("fig4_inverse_transform");
+    group.throughput(Throughput::Bytes(stream.len() as u64));
+    group.sample_size(10);
+    group.bench_function("24^3", |b| {
+        b.iter(|| {
+            StridePredictor::new(TransformConfig::default())
+                .inverse(&transformed)
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Fig. 8: per-cell cost of simple-key materialization vs the aggregation
+//! library.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use scihadoop_bench::workloads;
+use scihadoop_compress::IdentityCodec;
+use scihadoop_core::aggregate::Aggregator;
+use scihadoop_mapreduce::{Framing, IFileWriter};
+use scihadoop_sfc::ZOrderCurve;
+use std::sync::Arc;
+
+fn bench_fig8(c: &mut Criterion) {
+    let n = 32u32;
+    let var = workloads::int_cube(n, 13);
+    let cells: Vec<_> = var.bounds().cells().collect();
+    let mut group = c.benchmark_group("fig8_aggregation");
+    group.throughput(Throughput::Elements(cells.len() as u64));
+    group.sample_size(10);
+
+    group.bench_function("simple_keys", |b| {
+        b.iter(|| {
+            let mut w = IFileWriter::new(Framing::IFile, Arc::new(IdentityCodec));
+            let mut vbytes = Vec::with_capacity(4);
+            for cell in &cells {
+                let key: Vec<u8> = cell
+                    .components()
+                    .iter()
+                    .flat_map(|c| c.to_be_bytes())
+                    .collect();
+                vbytes.clear();
+                var.get(cell).unwrap().write_be(&mut vbytes);
+                w.append(&key, &vbytes);
+            }
+            w.close().raw_bytes
+        })
+    });
+
+    let bits = (32 - n.leading_zeros()).max(1);
+    group.bench_function("aggregated", |b| {
+        b.iter(|| {
+            let mut agg =
+                Aggregator::new(ZOrderCurve::with_bits(3, bits), usize::MAX >> 1);
+            let mut vbytes = Vec::with_capacity(4);
+            for cell in &cells {
+                vbytes.clear();
+                var.get(cell).unwrap().write_be(&mut vbytes);
+                agg.push(cell, &vbytes).unwrap();
+            }
+            let mut w = IFileWriter::new(Framing::IFile, Arc::new(IdentityCodec));
+            for rec in agg.flush() {
+                w.append(&rec.key.to_bytes(), &rec.values);
+            }
+            w.close().raw_bytes
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! §I intro numbers: cost of materializing per-cell keys under both key
+//! layouts (the 26- vs 33-byte records).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scihadoop_bench::workloads;
+use scihadoop_compress::IdentityCodec;
+use scihadoop_mapreduce::{Framing, IFileWriter};
+use scihadoop_queries::KeyLayout;
+use std::sync::Arc;
+
+fn bench_intro(c: &mut Criterion) {
+    let n = 40u32;
+    let var = workloads::windspeed_cube(n, 7);
+    let cells: Vec<_> = var.bounds().cells().collect();
+    let mut group = c.benchmark_group("intro_overhead");
+    group.throughput(Throughput::Elements(cells.len() as u64));
+    for (label, layout) in [
+        ("indexed", KeyLayout::Indexed { index: 0, ndims: 3 }),
+        (
+            "named_windspeed1",
+            KeyLayout::Named {
+                name: "windspeed1".into(),
+                ndims: 3,
+            },
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &layout, |b, layout| {
+            b.iter(|| {
+                let mut w = IFileWriter::new(Framing::SequenceFile, Arc::new(IdentityCodec));
+                let mut vbytes = Vec::with_capacity(4);
+                for cell in &cells {
+                    vbytes.clear();
+                    var.get(cell).unwrap().write_be(&mut vbytes);
+                    w.append(&layout.encode(cell), &vbytes);
+                }
+                w.close().raw_bytes
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_intro);
+criterion_main!(benches);

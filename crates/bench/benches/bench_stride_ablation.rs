@@ -1,0 +1,28 @@
+//! §III-A: fixed vs adaptive vs brute-force stride detection cost (the
+//! paper's 4×/17× slowdown comparison).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scihadoop_bench::workloads;
+use scihadoop_core::transform::{StridePredictor, TransformConfig};
+
+fn bench_strides(c: &mut Criterion) {
+    let stream = workloads::grid_key_stream(20); // 96 kB
+    let mut group = c.benchmark_group("stride_ablation");
+    group.throughput(Throughput::Bytes(stream.len() as u64));
+    group.sample_size(10);
+    for (name, config) in [
+        ("fixed_12", TransformConfig::fixed(vec![12])),
+        ("adaptive_100", TransformConfig::adaptive(100)),
+        ("brute_100", TransformConfig::brute_force(100)),
+        ("adaptive_1000", TransformConfig::adaptive(1000)),
+        ("brute_1000", TransformConfig::brute_force(1000)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| StridePredictor::new(config.clone()).forward(&stream).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strides);
+criterion_main!(benches);

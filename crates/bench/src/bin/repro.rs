@@ -1,0 +1,160 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [EXPERIMENT] [--small]
+//!
+//! EXPERIMENT:
+//!   intro      §I intermediate-file overhead numbers
+//!   fig3       byte-level compression table
+//!   strides    §III-A stride ablation (sizes + brute-force slowdown)
+//!   fig4       transform time vs file size
+//!   fig8       key aggregation data-size breakdown
+//!   cluster    §III-E / §IV-D simulated cluster runs
+//!   curves     §IV-A curve ablation
+//!   flush      §IV-A flush-threshold ablation
+//!   align      §IV-C alignment ablation
+//!   splits     §IV-B key-splitting inflation
+//!   coalesce   §IV-B future work: reducer-side re-aggregation
+//!   tuning     §III-A detector tuning
+//!   scaling    per-cell byte-scaling sanity check
+//!   all        everything above (default)
+//!
+//! --small runs reduced problem sizes (CI-friendly).
+//! ```
+
+use scihadoop_bench as bench;
+
+struct Sizes {
+    intro_n: u32,
+    fig3_n: u32,
+    stride_n: u32,
+    stride_timing_n: u32,
+    fig4: Vec<u32>,
+    fig8_n: u32,
+    cluster_n: u32,
+    cluster_splits: usize,
+    flush_n: u32,
+    splits_n: u32,
+    tuning_n: u32,
+    scaling: Vec<u32>,
+}
+
+impl Sizes {
+    fn full() -> Self {
+        Sizes {
+            intro_n: 100,
+            fig3_n: 100,
+            stride_n: 100,
+            stride_timing_n: 50,
+            fig4: vec![20, 40, 60, 80, 100],
+            fig8_n: 100,
+            cluster_n: 192,
+            cluster_splits: 20,
+            flush_n: 64,
+            splits_n: 64,
+            tuning_n: 50,
+            scaling: vec![32, 64, 128],
+        }
+    }
+
+    fn small() -> Self {
+        Sizes {
+            intro_n: 20,
+            fig3_n: 24,
+            stride_n: 24,
+            stride_timing_n: 16,
+            fig4: vec![12, 20, 28],
+            fig8_n: 24,
+            cluster_n: 48,
+            cluster_splits: 8,
+            flush_n: 24,
+            splits_n: 24,
+            tuning_n: 16,
+            scaling: vec![16, 32],
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let small = args.iter().any(|a| a == "--small");
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+    let s = if small { Sizes::small() } else { Sizes::full() };
+
+    let run = |name: &str| which == "all" || which == name;
+    let mut ran = false;
+
+    if run("intro") {
+        println!("{}", bench::intro_overhead(s.intro_n).render());
+        ran = true;
+    }
+    if run("fig3") {
+        println!("{}", bench::fig3(s.fig3_n, 100).0.render());
+        ran = true;
+    }
+    if run("strides") {
+        println!(
+            "{}",
+            bench::stride_ablation(s.stride_n, s.stride_timing_n).render()
+        );
+        ran = true;
+    }
+    if run("fig4") {
+        println!("{}", bench::fig4(&s.fig4).0.render());
+        ran = true;
+    }
+    if run("fig8") {
+        println!("{}", bench::fig8(s.fig8_n, &[1, 10, 100]).0.render());
+        ran = true;
+    }
+    if run("cluster") {
+        println!(
+            "{}",
+            bench::cluster_experiment(s.cluster_n, s.cluster_splits).0.render()
+        );
+        ran = true;
+    }
+    if run("curves") {
+        println!("{}", bench::curve_ablation(6, 6).render());
+        ran = true;
+    }
+    if run("flush") {
+        println!(
+            "{}",
+            bench::flush_threshold(s.flush_n, &[1 << 10, 1 << 14, 1 << 20, 1 << 26]).render()
+        );
+        ran = true;
+    }
+    if run("align") {
+        println!("{}", bench::alignment_ablation(&[8, 16, 64, 256]).render());
+        ran = true;
+    }
+    if run("coalesce") {
+        println!("{}", bench::coalesce_recovery(s.splits_n, &[1, 2, 5, 10, 20]).render());
+        ran = true;
+    }
+    if run("splits") {
+        println!("{}", bench::split_counts(s.splits_n, &[1, 2, 5, 10, 20]).render());
+        ran = true;
+    }
+    if run("tuning") {
+        println!("{}", bench::transform_tuning(s.tuning_n).render());
+        ran = true;
+    }
+    if run("scaling") {
+        println!(
+            "{}",
+            bench::scaling_check(&s.scaling).expect("scaling check").render()
+        );
+        ran = true;
+    }
+
+    if !ran {
+        eprintln!("unknown experiment '{which}'; see `repro --help` in the source header");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,12 @@
+//! Experiment harness: one function per table/figure of the paper.
+//!
+//! Each function returns a structured report that the `repro` binary
+//! prints next to the paper's reference numbers and the Criterion
+//! benches time. All workloads are deterministic (seeded).
+
+pub mod experiments;
+pub mod report;
+pub mod workloads;
+
+pub use experiments::*;
+pub use report::Table;

@@ -1,0 +1,133 @@
+//! Plain-text table rendering for experiment reports.
+
+/// A simple aligned text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Append a footnote.
+    pub fn note(&mut self, note: &str) {
+        self.notes.push(note.to_string());
+    }
+
+    /// Table rows (for tests and EXPERIMENTS.md generation).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("  note: {note}\n"));
+        }
+        out
+    }
+}
+
+/// Human-friendly byte counts.
+pub fn fmt_bytes(b: u64) -> String {
+    if b >= 10_000_000_000 {
+        format!("{:.1} GB", b as f64 / 1e9)
+    } else if b >= 10_000_000 {
+        format!("{:.2} MB", b as f64 / 1e6)
+    } else if b >= 10_000 {
+        format!("{:.2} kB", b as f64 / 1e3)
+    } else {
+        format!("{b} B")
+    }
+}
+
+/// Seconds with sensible precision.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0} s")
+    } else if s >= 1.0 {
+        format!("{s:.2} s")
+    } else {
+        format!("{:.1} ms", s * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["method", "size"]);
+        t.row(&["gzip".into(), "1,630,000".into()]);
+        t.row(&["transform+gzip".into(), "33,000".into()]);
+        t.note("smaller is better");
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("transform+gzip"));
+        assert!(s.contains("note: smaller is better"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn wrong_arity_panics() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(&["only one".into()]);
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(33_000), "33.00 kB");
+        assert_eq!(fmt_bytes(12_000_000), "12.00 MB");
+        assert_eq!(fmt_bytes(55_500_000_000), "55.5 GB");
+    }
+
+    #[test]
+    fn secs_formatting() {
+        assert_eq!(fmt_secs(0.0123), "12.3 ms");
+        assert_eq!(fmt_secs(3.456), "3.46 s");
+        assert_eq!(fmt_secs(377.0 * 60.0), "22620 s");
+    }
+}

@@ -1,0 +1,286 @@
+//! The analytic cost model of the Fig. 1 pipeline.
+
+use scihadoop_mapreduce::JobStats;
+
+/// Hardware description of the simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterSpec {
+    /// Number of worker nodes.
+    pub nodes: usize,
+    /// Total concurrent map tasks (the paper: 10).
+    pub map_slots: usize,
+    /// Number of reduce tasks, all concurrent (the paper: 5).
+    pub reducers: usize,
+    /// Per-node disk streaming bandwidth, MB/s.
+    pub disk_mbps: f64,
+    /// Per-node network bandwidth, MB/s.
+    pub net_mbps: f64,
+    /// Multiplier applied to measured *engine + user-function* CPU
+    /// (map/reduce functions, spill sort/serialize, reduce merge). Maps
+    /// this process's Rust pipeline onto the 2012 Java Hadoop pipeline,
+    /// whose per-record path is over an order of magnitude heavier.
+    pub engine_cpu_scale: f64,
+    /// Multiplier applied to measured *codec* CPU. Our codecs are the
+    /// same algorithm families at similar per-byte cost, so this is a
+    /// small hardware-generation factor.
+    pub codec_cpu_scale: f64,
+}
+
+impl ClusterSpec {
+    /// The paper's evaluation cluster: 5 nodes, 10 map slots, 5 reducers,
+    /// with plausible 2012 commodity hardware (single SATA disk ≈80 MB/s
+    /// streaming, GigE ≈110 MB/s). `engine_cpu_scale` is calibrated so
+    /// the measured *baseline* sliding-median run lands near the paper's
+    /// 183 minutes; `codec_cpu_scale` is a hardware-generation factor
+    /// (2012 Xeon vs a modern core) — our codec throughput per byte is
+    /// already comparable to the paper's (≈0.5 MB/s for the transform).
+    pub fn paper_cluster() -> Self {
+        ClusterSpec {
+            nodes: 5,
+            map_slots: 10,
+            reducers: 5,
+            disk_mbps: 80.0,
+            net_mbps: 110.0,
+            engine_cpu_scale: 45.0,
+            codec_cpu_scale: 2.0,
+        }
+    }
+
+    /// Builder-style override for both CPU scales at once.
+    pub fn with_cpu_scale(mut self, s: f64) -> Self {
+        self.engine_cpu_scale = s;
+        self.codec_cpu_scale = s;
+        self
+    }
+}
+
+/// Seconds attributed to each pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PhaseTimes {
+    /// Mappers reading input from distributed storage.
+    pub map_read_s: f64,
+    /// User map-function CPU.
+    pub map_cpu_s: f64,
+    /// Codec CPU compressing intermediate data (map side).
+    pub map_codec_s: f64,
+    /// Writing materialized map output to local disk.
+    pub map_write_s: f64,
+    /// Network transfer of materialized bytes to reducers.
+    pub shuffle_s: f64,
+    /// Reducer-side disk: write fetched data, read it back for the merge
+    /// (Fig. 1 steps 4–5).
+    pub reduce_disk_s: f64,
+    /// Codec CPU decompressing intermediate data (reduce side).
+    pub reduce_codec_s: f64,
+    /// User reduce-function CPU.
+    pub reduce_cpu_s: f64,
+    /// Writing final output back to distributed storage.
+    pub output_write_s: f64,
+}
+
+/// Simulation result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimReport {
+    /// Per-stage seconds (work, before slot scheduling).
+    pub phases: PhaseTimes,
+    /// Map-phase makespan after scheduling tasks onto map slots.
+    pub map_makespan_s: f64,
+    /// Shuffle + reduce makespan.
+    pub reduce_makespan_s: f64,
+    /// End-to-end seconds.
+    pub total_s: f64,
+}
+
+impl SimReport {
+    /// Total in minutes (the paper reports minutes).
+    pub fn total_minutes(&self) -> f64 {
+        self.total_s / 60.0
+    }
+}
+
+/// The cost model itself.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    spec: ClusterSpec,
+}
+
+impl CostModel {
+    /// A model over the given hardware.
+    pub fn new(spec: ClusterSpec) -> Self {
+        CostModel { spec }
+    }
+
+    /// The hardware description.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Replay a job's byte/CPU accounting through the pipeline.
+    pub fn simulate(&self, stats: &JobStats) -> SimReport {
+        let s = &self.spec;
+        let mb = |bytes: u64| bytes as f64 / 1e6;
+        let engine_cpu = |nanos: u64| nanos as f64 / 1e9 * s.engine_cpu_scale;
+        let codec_cpu = |nanos: u64| nanos as f64 / 1e9 * s.codec_cpu_scale;
+
+        // Aggregate bandwidths: map tasks spread across all nodes' disks;
+        // reducers across min(reducers, nodes) nodes.
+        let map_disk = s.disk_mbps * s.nodes as f64;
+        let reduce_nodes = s.reducers.min(s.nodes).max(1) as f64;
+        let reduce_disk = s.disk_mbps * reduce_nodes;
+        let net = s.net_mbps * reduce_nodes;
+
+        let phases = PhaseTimes {
+            map_read_s: mb(stats.input_bytes) / map_disk,
+            map_cpu_s: engine_cpu(stats.map_fn_nanos + stats.spill_nanos),
+            map_codec_s: codec_cpu(stats.compress_nanos),
+            map_write_s: mb(stats.map_output_materialized_bytes) / map_disk,
+            shuffle_s: mb(stats.map_output_materialized_bytes) / net,
+            // Written once and read back at least once on the reducer.
+            reduce_disk_s: 2.0 * mb(stats.map_output_materialized_bytes) / reduce_disk,
+            reduce_codec_s: codec_cpu(stats.decompress_nanos),
+            reduce_cpu_s: engine_cpu(stats.reduce_fn_nanos + stats.merge_nanos),
+            output_write_s: mb(stats.output_bytes) / reduce_disk,
+        };
+
+        // Map-side CPU runs as uniform tasks scheduled in waves over the
+        // map slots; disk terms already use aggregate bandwidth.
+        let map_cpu_parallel = cpu_makespan(
+            phases.map_cpu_s + phases.map_codec_s,
+            stats.num_maps,
+            s.map_slots,
+        );
+        let map_makespan_s = phases.map_read_s + phases.map_write_s + map_cpu_parallel;
+
+        let reduce_cpu_parallel =
+            (phases.reduce_codec_s + phases.reduce_cpu_s) / reduce_nodes;
+        let reduce_makespan_s = phases.shuffle_s
+            + phases.reduce_disk_s
+            + reduce_cpu_parallel
+            + phases.output_write_s;
+
+        SimReport {
+            phases,
+            map_makespan_s,
+            reduce_makespan_s,
+            total_s: map_makespan_s + reduce_makespan_s,
+        }
+    }
+}
+
+/// Makespan of `total_s` seconds of CPU split into `tasks` uniform tasks
+/// scheduled in waves over `slots` executors.
+fn cpu_makespan(total_s: f64, tasks: usize, slots: usize) -> f64 {
+    if tasks == 0 {
+        return 0.0;
+    }
+    let per_task = total_s / tasks as f64;
+    per_task * (tasks as f64 / slots.max(1) as f64).ceil()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(materialized: u64, compress_nanos: u64) -> JobStats {
+        JobStats {
+            num_maps: 100,
+            num_reducers: 5,
+            input_bytes: 256_000_000,
+            map_output_bytes: materialized * 2,
+            map_output_materialized_bytes: materialized,
+            output_bytes: 10_000_000,
+            compress_nanos,
+            decompress_nanos: compress_nanos / 3,
+            map_fn_nanos: 50_000_000_000,
+            reduce_fn_nanos: 20_000_000_000,
+            spill_nanos: 10_000_000_000,
+            merge_nanos: 5_000_000_000,
+            map_wall_nanos: 0,
+            reduce_wall_nanos: 0,
+        }
+    }
+
+    #[test]
+    fn more_intermediate_bytes_cost_more_time() {
+        let m = CostModel::new(ClusterSpec::paper_cluster());
+        let small = m.simulate(&stats(1_000_000_000, 0));
+        let large = m.simulate(&stats(50_000_000_000, 0));
+        assert!(large.total_s > small.total_s);
+        assert!(large.phases.shuffle_s > small.phases.shuffle_s);
+    }
+
+    #[test]
+    fn expensive_codec_can_lose_despite_byte_savings() {
+        // The §III-E result in miniature: 4.5x fewer bytes, but codec CPU
+        // large enough that total time worsens.
+        let m = CostModel::new(ClusterSpec::paper_cluster());
+        let baseline = m.simulate(&stats(55_500_000_000, 0));
+        let compressed = m.simulate(&stats(12_300_000_000, 2_000_000_000_000));
+        assert!(
+            compressed.total_s > baseline.total_s,
+            "codec CPU should dominate: {} vs {}",
+            compressed.total_s,
+            baseline.total_s
+        );
+    }
+
+    #[test]
+    fn cheap_byte_reduction_wins() {
+        // The §IV-D result in miniature: fewer bytes, negligible CPU.
+        let m = CostModel::new(ClusterSpec::paper_cluster());
+        let baseline = m.simulate(&stats(55_500_000_000, 0));
+        let aggregated = m.simulate(&stats(21_800_000_000, 0));
+        assert!(aggregated.total_s < baseline.total_s);
+    }
+
+    #[test]
+    fn more_map_slots_speed_up_cpu_bound_jobs() {
+        let mut spec = ClusterSpec::paper_cluster();
+        let st = stats(1_000_000_000, 500_000_000_000);
+        let slow = CostModel::new(spec).simulate(&st);
+        spec.map_slots = 40;
+        let fast = CostModel::new(spec).simulate(&st);
+        assert!(fast.map_makespan_s < slow.map_makespan_s);
+    }
+
+    #[test]
+    fn cpu_scale_amplifies_codec_cost_only() {
+        let st = stats(10_000_000_000, 100_000_000_000);
+        let base = CostModel::new(ClusterSpec::paper_cluster().with_cpu_scale(1.0)).simulate(&st);
+        let scaled =
+            CostModel::new(ClusterSpec::paper_cluster().with_cpu_scale(10.0)).simulate(&st);
+        assert!((scaled.phases.map_codec_s / base.phases.map_codec_s - 10.0).abs() < 1e-9);
+        assert!((scaled.phases.shuffle_s - base.phases.shuffle_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phases_sum_to_total() {
+        let m = CostModel::new(ClusterSpec::paper_cluster());
+        let r = m.simulate(&stats(5_000_000_000, 1_000_000_000));
+        assert!((r.map_makespan_s + r.reduce_makespan_s - r.total_s).abs() < 1e-9);
+        assert!(r.total_minutes() > 0.0);
+    }
+
+    #[test]
+    fn zero_stats_simulate_to_zero() {
+        let m = CostModel::new(ClusterSpec::paper_cluster());
+        let z = JobStats {
+            num_maps: 0,
+            num_reducers: 0,
+            input_bytes: 0,
+            map_output_bytes: 0,
+            map_output_materialized_bytes: 0,
+            output_bytes: 0,
+            compress_nanos: 0,
+            decompress_nanos: 0,
+            map_fn_nanos: 0,
+            reduce_fn_nanos: 0,
+            spill_nanos: 0,
+            merge_nanos: 0,
+            map_wall_nanos: 0,
+            reduce_wall_nanos: 0,
+        };
+        let r = m.simulate(&z);
+        assert_eq!(r.total_s, 0.0);
+    }
+}

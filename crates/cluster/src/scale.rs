@@ -1,0 +1,88 @@
+//! Scaling measured job statistics to the paper's problem size.
+//!
+//! §IV-D: "the aggregation and sort/merge/split code is all based on
+//! streaming algorithms, so adding more data per node should not be
+//! detrimental" — per-cell costs are constant, so bytes and CPU scale
+//! linearly in the cell count. `bench_scaling` verifies this empirically
+//! before the cluster benches rely on it.
+
+use scihadoop_mapreduce::JobStats;
+
+/// Scale a job's byte counts and CPU times by `factor` (e.g. running a
+/// 1024² grid locally and scaling to the paper's 8000²:
+/// `factor = 8000² / 1024²`). Task counts scale too, so slot scheduling
+/// stays realistic; wall-clock fields are zeroed because they do not
+/// scale linearly (they belong to the measuring machine).
+pub fn scale_stats(stats: &JobStats, factor: f64) -> JobStats {
+    assert!(factor > 0.0, "scale factor must be positive");
+    let b = |v: u64| (v as f64 * factor).round() as u64;
+    JobStats {
+        num_maps: ((stats.num_maps as f64 * factor).round() as usize).max(1),
+        num_reducers: stats.num_reducers,
+        input_bytes: b(stats.input_bytes),
+        map_output_bytes: b(stats.map_output_bytes),
+        map_output_materialized_bytes: b(stats.map_output_materialized_bytes),
+        output_bytes: b(stats.output_bytes),
+        compress_nanos: b(stats.compress_nanos),
+        decompress_nanos: b(stats.decompress_nanos),
+        map_fn_nanos: b(stats.map_fn_nanos),
+        reduce_fn_nanos: b(stats.reduce_fn_nanos),
+        spill_nanos: b(stats.spill_nanos),
+        merge_nanos: b(stats.merge_nanos),
+        map_wall_nanos: 0,
+        reduce_wall_nanos: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> JobStats {
+        JobStats {
+            num_maps: 4,
+            num_reducers: 5,
+            input_bytes: 1000,
+            map_output_bytes: 5000,
+            map_output_materialized_bytes: 2000,
+            output_bytes: 100,
+            compress_nanos: 1_000_000,
+            decompress_nanos: 300_000,
+            map_fn_nanos: 2_000_000,
+            reduce_fn_nanos: 900_000,
+            spill_nanos: 400_000,
+            merge_nanos: 500_000,
+            map_wall_nanos: 123,
+            reduce_wall_nanos: 456,
+        }
+    }
+
+    #[test]
+    fn linear_scaling_of_bytes_and_cpu() {
+        let s = scale_stats(&stats(), 10.0);
+        assert_eq!(s.input_bytes, 10_000);
+        assert_eq!(s.map_output_materialized_bytes, 20_000);
+        assert_eq!(s.compress_nanos, 10_000_000);
+        assert_eq!(s.num_maps, 40);
+        assert_eq!(s.num_reducers, 5, "reducer count is a config, not load");
+    }
+
+    #[test]
+    fn wall_clock_is_dropped() {
+        let s = scale_stats(&stats(), 2.0);
+        assert_eq!(s.map_wall_nanos, 0);
+        assert_eq!(s.reduce_wall_nanos, 0);
+    }
+
+    #[test]
+    fn tiny_factors_keep_at_least_one_map() {
+        let s = scale_stats(&stats(), 0.01);
+        assert_eq!(s.num_maps, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_factor_panics() {
+        let _ = scale_stats(&stats(), 0.0);
+    }
+}

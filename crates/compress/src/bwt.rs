@@ -1,0 +1,181 @@
+//! Burrows–Wheeler transform over cyclic rotations.
+//!
+//! Forward: sort all rotations of the block (prefix-doubling, O(n log² n))
+//! and emit the last column plus the index of the original rotation.
+//! Inverse: the classic LF-mapping walk.
+
+use crate::error::CompressError;
+
+/// Forward BWT. Returns the last column and the primary index (the sorted
+/// position of the original rotation).
+pub fn bwt_encode(data: &[u8]) -> (Vec<u8>, u32) {
+    let n = data.len();
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    if n == 1 {
+        return (data.to_vec(), 0);
+    }
+
+    // Prefix doubling over cyclic rotations.
+    let mut sa: Vec<u32> = (0..n as u32).collect();
+    let mut rank: Vec<u32> = data.iter().map(|&b| b as u32).collect();
+    let mut tmp = vec![0u32; n];
+    let mut k = 1usize;
+    loop {
+        let key = |i: u32| -> (u32, u32) {
+            let i = i as usize;
+            (rank[i], rank[(i + k) % n])
+        };
+        sa.sort_unstable_by_key(|&i| key(i));
+        tmp[sa[0] as usize] = 0;
+        let mut distinct = 1u32;
+        for w in 1..n {
+            let prev = sa[w - 1];
+            let cur = sa[w];
+            if key(cur) != key(prev) {
+                distinct += 1;
+            }
+            tmp[cur as usize] = distinct - 1;
+        }
+        std::mem::swap(&mut rank, &mut tmp);
+        if distinct as usize == n {
+            break;
+        }
+        k *= 2;
+        if k >= n {
+            // Ranks of (i, i+k) pairs with k >= n wrap fully; one more
+            // pass always separates remaining ties for non-periodic data,
+            // but periodic blocks (e.g. "abab") never become distinct.
+            // Break ties deterministically by index.
+            sa.sort_unstable_by_key(|&i| (rank[i as usize], i));
+            break;
+        }
+    }
+
+    let last: Vec<u8> = sa.iter().map(|&i| data[(i as usize + n - 1) % n]).collect();
+    let primary = sa
+        .iter()
+        .position(|&i| i == 0)
+        .expect("original rotation present") as u32;
+    (last, primary)
+}
+
+/// Inverse BWT.
+pub fn bwt_decode(last: &[u8], primary: u32) -> Result<Vec<u8>, CompressError> {
+    let n = last.len();
+    if n == 0 {
+        return if primary == 0 {
+            Ok(Vec::new())
+        } else {
+            Err(CompressError::Corrupt("primary index in empty block".into()))
+        };
+    }
+    if primary as usize >= n {
+        return Err(CompressError::Corrupt(format!(
+            "primary index {primary} out of range {n}"
+        )));
+    }
+
+    // First-column start offset of each byte value.
+    let mut count = [0usize; 256];
+    for &b in last {
+        count[b as usize] += 1;
+    }
+    let mut starts = [0usize; 256];
+    let mut acc = 0usize;
+    for b in 0..256 {
+        starts[b] = acc;
+        acc += count[b];
+    }
+
+    // LF mapping: row i in the last column corresponds to row lf[i] of the
+    // first column.
+    let mut lf = vec![0u32; n];
+    let mut seen = [0usize; 256];
+    for (i, &b) in last.iter().enumerate() {
+        lf[i] = (starts[b as usize] + seen[b as usize]) as u32;
+        seen[b as usize] += 1;
+    }
+
+    let mut out = vec![0u8; n];
+    let mut row = primary as usize;
+    for slot in out.iter_mut().rev() {
+        *slot = last[row];
+        row = lf[row] as usize;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let (last, primary) = bwt_encode(data);
+        assert_eq!(last.len(), data.len());
+        assert_eq!(bwt_decode(&last, primary).unwrap(), data);
+    }
+
+    #[test]
+    fn banana() {
+        let (last, primary) = bwt_encode(b"banana");
+        // Sorted rotations of "banana": abanan, anaban, ananab, banana,
+        // nabana, nanaba → last column "nnbaaa", original at row 3.
+        assert_eq!(&last, b"nnbaaa");
+        assert_eq!(primary, 3);
+        roundtrip(b"banana");
+    }
+
+    #[test]
+    fn trivial_inputs() {
+        roundtrip(b"");
+        roundtrip(b"z");
+        roundtrip(b"zz");
+        roundtrip(b"ab");
+    }
+
+    #[test]
+    fn periodic_inputs() {
+        // Fully periodic blocks exercise the tie-break path.
+        roundtrip(b"abababab");
+        roundtrip(&[0u8; 64]);
+        roundtrip(b"xyxyxyxyxyxyxy");
+    }
+
+    #[test]
+    fn random_inputs() {
+        let mut state = 99u64;
+        for len in [10usize, 100, 1000, 4096] {
+            let data: Vec<u8> = (0..len)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (state >> 33) as u8
+                })
+                .collect();
+            roundtrip(&data);
+        }
+    }
+
+    #[test]
+    fn text_groups_similar_context() {
+        // BWT of English-like text clusters equal characters.
+        let data = b"she sells sea shells by the sea shore ".repeat(10);
+        let (last, _) = bwt_encode(&data);
+        // Count adjacent equal pairs; BWT output should have many.
+        let pairs = last.windows(2).filter(|w| w[0] == w[1]).count();
+        assert!(
+            pairs * 2 > last.len() / 2,
+            "BWT should create runs: {pairs} pairs in {}",
+            last.len()
+        );
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn decode_rejects_bad_primary() {
+        let (last, _) = bwt_encode(b"hello");
+        assert!(bwt_decode(&last, 5).is_err());
+        assert!(bwt_decode(&[], 1).is_err());
+    }
+}

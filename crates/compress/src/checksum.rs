@@ -1,0 +1,95 @@
+//! CRC-32 (IEEE 802.3 polynomial), table-driven.
+//!
+//! Both container formats store a CRC of the original data so that a
+//! corrupted intermediate file fails loudly at the reducer instead of
+//! silently producing wrong query answers.
+
+/// IEEE CRC-32 with the standard reflected polynomial 0xEDB88320.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(data);
+    c.finish()
+}
+
+/// Incremental CRC-32 state.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+static TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+impl Crc32 {
+    /// Fresh state.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feed bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut s = self.state;
+        for &b in data {
+            s = TABLE[((s ^ b as u32) & 0xFF) as usize] ^ (s >> 8);
+        }
+        self.state = s;
+    }
+
+    /// Final CRC value.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard test vectors for IEEE CRC-32.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data = b"hello, scihadoop world";
+        let mut c = Crc32::new();
+        c.update(&data[..7]);
+        c.update(&data[7..]);
+        assert_eq!(c.finish(), crc32(data));
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+        assert_ne!(crc32(&[0]), crc32(&[0, 0]));
+    }
+}

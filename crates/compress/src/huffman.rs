@@ -1,0 +1,349 @@
+//! Canonical Huffman coding with length-limited codes.
+//!
+//! Shared by the Deflate- and Bzip-style codecs. Codes are canonical
+//! (assigned in (length, symbol) order) so only the code *lengths* need to
+//! be transmitted.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::error::CompressError;
+
+/// Maximum code length either codec ever uses.
+pub const MAX_CODE_LEN: u32 = 15;
+
+/// Compute length-limited Huffman code lengths for the given symbol
+/// frequencies. Symbols with zero frequency get length 0 (no code).
+///
+/// Lengths are limited to `max_len` bits; if the optimal tree is deeper,
+/// codes are demoted until the Kraft inequality holds again (slightly
+/// suboptimal, always valid).
+pub fn build_lengths(freqs: &[u64], max_len: u32) -> Vec<u32> {
+    assert!((1..=MAX_CODE_LEN).contains(&max_len));
+    let n = freqs.len();
+    let live: Vec<usize> = (0..n).filter(|&i| freqs[i] > 0).collect();
+    let mut lengths = vec![0u32; n];
+    match live.len() {
+        0 => return lengths,
+        1 => {
+            lengths[live[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+
+    // Heap-based Huffman over (freq, node). Internal nodes get indices
+    // >= n. parent[] lets us read off depths afterwards.
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>> =
+        live.iter().map(|&i| std::cmp::Reverse((freqs[i], i))).collect();
+    let mut parent = vec![usize::MAX; n + live.len()];
+    let mut next = n;
+    while heap.len() > 1 {
+        let std::cmp::Reverse((fa, a)) = heap.pop().expect("len > 1");
+        let std::cmp::Reverse((fb, b)) = heap.pop().expect("len > 1");
+        parent[a] = next;
+        parent[b] = next;
+        heap.push(std::cmp::Reverse((fa + fb, next)));
+        next += 1;
+    }
+    let root = heap.pop().expect("one root").0 .1;
+    for &i in &live {
+        let mut d = 0u32;
+        let mut node = i;
+        while node != root {
+            node = parent[node];
+            d += 1;
+        }
+        lengths[i] = d.max(1);
+    }
+
+    limit_lengths(freqs, &mut lengths, max_len);
+    lengths
+}
+
+/// Enforce `max_len` on a set of code lengths, preserving validity of the
+/// Kraft inequality.
+fn limit_lengths(freqs: &[u64], lengths: &mut [u32], max_len: u32) {
+    let mut over = false;
+    for l in lengths.iter_mut() {
+        if *l > max_len {
+            *l = max_len;
+            over = true;
+        }
+    }
+    if !over {
+        return;
+    }
+    // Kraft sum in units of 2^-max_len.
+    let one: u64 = 1 << max_len;
+    let kraft = |lengths: &[u32]| -> u64 {
+        lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 1u64 << (max_len - l))
+            .sum()
+    };
+    let mut k = kraft(lengths);
+    while k > one {
+        // Demote the least-frequent symbol that still has room to grow.
+        let victim = (0..lengths.len())
+            .filter(|&i| lengths[i] > 0 && lengths[i] < max_len)
+            .min_by_key(|&i| (freqs[i], std::cmp::Reverse(lengths[i])))
+            .expect("kraft > 1 implies a demotable symbol exists");
+        k -= 1 << (max_len - lengths[victim] - 1);
+        lengths[victim] += 1;
+    }
+}
+
+/// Assign canonical codes (MSB-first) for the given lengths.
+pub fn canonical_codes(lengths: &[u32]) -> Vec<u32> {
+    let max = lengths.iter().copied().max().unwrap_or(0);
+    let mut bl_count = vec![0u32; (max + 1) as usize];
+    for &l in lengths {
+        if l > 0 {
+            bl_count[l as usize] += 1;
+        }
+    }
+    let mut next_code = vec![0u32; (max + 2) as usize];
+    let mut code = 0u32;
+    for bits in 1..=max {
+        code = (code + bl_count[(bits - 1) as usize]) << 1;
+        next_code[bits as usize] = code;
+    }
+    lengths
+        .iter()
+        .map(|&l| {
+            if l == 0 {
+                0
+            } else {
+                let c = next_code[l as usize];
+                next_code[l as usize] += 1;
+                c
+            }
+        })
+        .collect()
+}
+
+/// An encoder: symbol → (code, length).
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    codes: Vec<u32>,
+    lengths: Vec<u32>,
+}
+
+impl Encoder {
+    /// Build an encoder from code lengths.
+    pub fn from_lengths(lengths: &[u32]) -> Self {
+        Encoder {
+            codes: canonical_codes(lengths),
+            lengths: lengths.to_vec(),
+        }
+    }
+
+    /// Emit the code for `symbol`.
+    pub fn encode(&self, w: &mut BitWriter, symbol: usize) {
+        let len = self.lengths[symbol];
+        debug_assert!(len > 0, "symbol {symbol} has no code");
+        w.write_code_msb(self.codes[symbol], len);
+    }
+
+    /// Code length of `symbol` (0 = absent).
+    pub fn length(&self, symbol: usize) -> u32 {
+        self.lengths[symbol]
+    }
+}
+
+/// A table-driven decoder for canonical codes.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    /// Flat lookup indexed by the next `table_bits` LSB-first bits:
+    /// (symbol, code length).
+    table: Vec<(u16, u8)>,
+    table_bits: u32,
+}
+
+impl Decoder {
+    /// Build a decoder from code lengths.
+    pub fn from_lengths(lengths: &[u32]) -> Result<Self, CompressError> {
+        let max = lengths.iter().copied().max().unwrap_or(0);
+        if max == 0 {
+            return Err(CompressError::BadHuffmanTable("no symbols".into()));
+        }
+        if max > MAX_CODE_LEN {
+            return Err(CompressError::BadHuffmanTable(format!(
+                "length {max} exceeds {MAX_CODE_LEN}"
+            )));
+        }
+        if lengths.len() > u16::MAX as usize {
+            return Err(CompressError::BadHuffmanTable("alphabet too large".into()));
+        }
+        // Validate Kraft (over-subscribed tables are corrupt; incomplete
+        // tables are accepted — single-symbol streams produce them).
+        let kraft: u64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 1u64 << (max - l))
+            .sum();
+        if kraft > 1u64 << max {
+            return Err(CompressError::BadHuffmanTable("over-subscribed".into()));
+        }
+        let codes = canonical_codes(lengths);
+        let mut table = vec![(u16::MAX, 0u8); 1usize << max];
+        for (sym, (&len, &code)) in lengths.iter().zip(&codes).enumerate() {
+            if len == 0 {
+                continue;
+            }
+            // The writer streams codes MSB-first via bit reversal, so the
+            // reader sees the reversed code in its low bits.
+            let rev = (code.reverse_bits()) >> (32 - len);
+            let step = 1usize << len;
+            let mut idx = rev as usize;
+            while idx < table.len() {
+                table[idx] = (sym as u16, len as u8);
+                idx += step;
+            }
+        }
+        Ok(Decoder {
+            table,
+            table_bits: max,
+        })
+    }
+
+    /// Decode one symbol, consuming exactly its code length in bits.
+    ///
+    /// Codes are prefix-free, so at any full-width table index exactly one
+    /// code matches; accumulating bits LSB-first and checking the table
+    /// entry's length after each bit finds it without over-reading.
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Result<usize, CompressError> {
+        let mut acc: usize = 0;
+        for bit_no in 0..self.table_bits {
+            acc |= (r.read_bit()? as usize) << bit_no;
+            let (sym, len) = self.table[acc];
+            if sym != u16::MAX && len as u32 == bit_no + 1 {
+                return Ok(sym as usize);
+            }
+        }
+        Err(CompressError::Corrupt("invalid huffman code".into()))
+    }
+}
+
+/// Serialize code lengths as 4-bit nibbles, preceded by a u16 symbol
+/// count.
+pub fn write_lengths(w: &mut BitWriter, lengths: &[u32]) {
+    w.write_bits(lengths.len() as u64, 16);
+    for &l in lengths {
+        debug_assert!(l <= MAX_CODE_LEN);
+        w.write_bits(l as u64, 4);
+    }
+}
+
+/// Inverse of [`write_lengths`].
+pub fn read_lengths(r: &mut BitReader<'_>) -> Result<Vec<u32>, CompressError> {
+    let n = r.read_bits(16)? as usize;
+    let mut lengths = Vec::with_capacity(n);
+    for _ in 0..n {
+        lengths.push(r.read_bits(4)? as u32);
+    }
+    Ok(lengths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_symbols(freqs: &[u64], stream: &[usize]) {
+        let lengths = build_lengths(freqs, MAX_CODE_LEN);
+        let enc = Encoder::from_lengths(&lengths);
+        let mut w = BitWriter::new();
+        for &s in stream {
+            enc.encode(&mut w, s);
+        }
+        let bytes = w.finish();
+        let dec = Decoder::from_lengths(&lengths).unwrap();
+        let mut r = BitReader::new(&bytes);
+        for &s in stream {
+            assert_eq!(dec.decode(&mut r).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn two_symbol_alphabet() {
+        roundtrip_symbols(&[5, 3], &[0, 1, 0, 0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn single_symbol_alphabet_gets_one_bit() {
+        let lengths = build_lengths(&[0, 42, 0], MAX_CODE_LEN);
+        assert_eq!(lengths, vec![0, 1, 0]);
+        roundtrip_symbols(&[0, 42, 0], &[1, 1, 1]);
+    }
+
+    #[test]
+    fn skewed_frequencies_give_short_codes_to_common_symbols() {
+        let freqs = [1000, 10, 10, 1];
+        let lengths = build_lengths(&freqs, MAX_CODE_LEN);
+        assert!(lengths[0] <= lengths[1]);
+        assert!(lengths[1] <= lengths[3]);
+        roundtrip_symbols(&freqs, &[0, 0, 1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn kraft_inequality_holds_after_limiting() {
+        // Fibonacci-ish frequencies force deep trees; limit to 6 bits.
+        let freqs: Vec<u64> = (0..30).map(|i| 1u64 << (i / 2)).collect();
+        let lengths = build_lengths(&freqs, 6);
+        assert!(lengths.iter().all(|&l| (1..=6).contains(&l)));
+        let kraft: f64 = lengths.iter().map(|&l| (2f64).powi(-(l as i32))).sum();
+        assert!(kraft <= 1.0 + 1e-9, "kraft = {kraft}");
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let lengths = build_lengths(&[7, 7, 7, 7, 2, 2, 1], MAX_CODE_LEN);
+        let codes = canonical_codes(&lengths);
+        for i in 0..lengths.len() {
+            for j in 0..lengths.len() {
+                if i == j || lengths[i] == 0 || lengths[j] == 0 {
+                    continue;
+                }
+                if lengths[i] <= lengths[j] {
+                    let shift = lengths[j] - lengths[i];
+                    assert!(
+                        codes[i] != codes[j] >> shift,
+                        "code {i} is a prefix of {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decoder_rejects_oversubscribed_table() {
+        // Three codes of length 1 is over-subscribed.
+        assert!(Decoder::from_lengths(&[1, 1, 1]).is_err());
+        assert!(Decoder::from_lengths(&[0, 0]).is_err());
+    }
+
+    #[test]
+    fn lengths_serialization_roundtrip() {
+        let lengths = vec![0u32, 3, 5, 15, 1, 0, 7];
+        let mut w = BitWriter::new();
+        write_lengths(&mut w, &lengths);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(read_lengths(&mut r).unwrap(), lengths);
+    }
+
+    #[test]
+    fn large_alphabet_roundtrip() {
+        // Deflate-sized alphabet with uneven use.
+        let mut freqs = vec![0u64; 286];
+        for (i, f) in freqs.iter_mut().enumerate() {
+            *f = ((i * 37) % 97) as u64;
+        }
+        freqs[256] = 1; // EOB always present
+        let stream: Vec<usize> = (0..2000)
+            .map(|i| (i * 31) % 286)
+            .filter(|&s| freqs[s] > 0)
+            .collect();
+        roundtrip_symbols(&freqs, &stream);
+    }
+}

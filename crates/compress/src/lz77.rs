@@ -1,0 +1,262 @@
+//! LZ77 match finding with hash chains (the zlib approach).
+
+/// Sliding-window size. DEFLATE-compatible 32 KiB.
+pub const WINDOW_SIZE: usize = 1 << 15;
+/// Minimum match length worth encoding.
+pub const MIN_MATCH: usize = 3;
+/// Maximum match length (DEFLATE's 258).
+pub const MAX_MATCH: usize = 258;
+
+/// One LZ77 token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    /// A literal byte.
+    Literal(u8),
+    /// A back-reference: copy `len` bytes from `dist` bytes behind.
+    Match {
+        /// Match length in `MIN_MATCH..=MAX_MATCH`.
+        len: u16,
+        /// Distance in `1..=WINDOW_SIZE`.
+        dist: u16,
+    },
+}
+
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+
+#[inline]
+fn hash3(data: &[u8], i: usize) -> usize {
+    let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], 0]);
+    ((v.wrapping_mul(0x9E37_79B1)) >> (32 - HASH_BITS)) as usize
+}
+
+/// Tokenize `data` greedily with lazy matching (one-step lookahead, like
+/// zlib's default strategy).
+pub fn tokenize(data: &[u8], max_chain: usize) -> Vec<Token> {
+    let n = data.len();
+    let mut tokens = Vec::with_capacity(n / 2 + 16);
+    if n < MIN_MATCH {
+        tokens.extend(data.iter().map(|&b| Token::Literal(b)));
+        return tokens;
+    }
+
+    // head[h] = most recent position with hash h; prev[i & mask] = previous
+    // position in the chain.
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; WINDOW_SIZE];
+    let insert = |head: &mut [usize], prev: &mut [usize], data: &[u8], i: usize| {
+        if i + MIN_MATCH <= data.len() {
+            let h = hash3(data, i);
+            prev[i % WINDOW_SIZE] = head[h];
+            head[h] = i;
+        }
+    };
+    let find = |head: &[usize], prev: &[usize], data: &[u8], i: usize| -> Option<(usize, usize)> {
+        if i + MIN_MATCH > data.len() {
+            return None;
+        }
+        let max_len = MAX_MATCH.min(data.len() - i);
+        let h = hash3(data, i);
+        let mut cand = head[h];
+        let mut best_len = MIN_MATCH - 1;
+        let mut best_dist = 0usize;
+        let mut chains = max_chain;
+        while cand != usize::MAX && chains > 0 {
+            let dist = i - cand;
+            if dist > WINDOW_SIZE {
+                break;
+            }
+            // Quick reject on the byte past the current best.
+            if cand + best_len < data.len()
+                && i + best_len < data.len()
+                && data[cand + best_len] == data[i + best_len]
+            {
+                let mut l = 0usize;
+                while l < max_len && data[cand + l] == data[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = dist;
+                    if l >= max_len {
+                        break;
+                    }
+                }
+            }
+            cand = prev[cand % WINDOW_SIZE];
+            chains -= 1;
+        }
+        if best_len >= MIN_MATCH {
+            Some((best_len, best_dist))
+        } else {
+            None
+        }
+    };
+
+    let mut i = 0usize;
+    let mut pending: Option<(usize, usize)> = None; // match found at i-1
+    while i < n {
+        let here = find(&head, &prev, data, i);
+        match (pending.take(), here) {
+            (Some((plen, _pdist)), Some((len, _))) if len > plen => {
+                // Lazy: the match starting here is better; emit the
+                // previous position as a literal and reconsider.
+                tokens.push(Token::Literal(data[i - 1]));
+                pending = here;
+                insert(&mut head, &mut prev, data, i);
+                i += 1;
+            }
+            (Some((plen, pdist)), _) => {
+                // Previous match wins; it started at i-1.
+                tokens.push(Token::Match {
+                    len: plen as u16,
+                    dist: pdist as u16,
+                });
+                // Insert hash entries for the matched region (from i,
+                // position i-1 was already inserted).
+                let end = (i - 1 + plen).min(n);
+                while i < end {
+                    insert(&mut head, &mut prev, data, i);
+                    i += 1;
+                }
+            }
+            (None, Some((len, dist))) => {
+                if len <= 4 && i + 1 < n {
+                    // Defer: maybe a longer match starts at i+1.
+                    pending = Some((len, dist));
+                    insert(&mut head, &mut prev, data, i);
+                    i += 1;
+                } else {
+                    tokens.push(Token::Match {
+                        len: len as u16,
+                        dist: dist as u16,
+                    });
+                    let end = (i + len).min(n);
+                    while i < end {
+                        insert(&mut head, &mut prev, data, i);
+                        i += 1;
+                    }
+                }
+            }
+            (None, None) => {
+                tokens.push(Token::Literal(data[i]));
+                insert(&mut head, &mut prev, data, i);
+                i += 1;
+            }
+        }
+    }
+    if let Some((plen, pdist)) = pending {
+        tokens.push(Token::Match {
+            len: plen as u16,
+            dist: pdist as u16,
+        });
+    }
+    tokens
+}
+
+/// Expand tokens back into bytes. Used by tests and the decompressor's
+/// reference implementation.
+pub fn detokenize(tokens: &[Token]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { len, dist } => {
+                let start = out.len() - dist as usize;
+                for k in 0..len as usize {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let tokens = tokenize(data, 64);
+        assert_eq!(detokenize(&tokens), data);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"ab");
+        roundtrip(b"abc");
+    }
+
+    #[test]
+    fn repeated_data_produces_matches() {
+        let data = b"abcabcabcabcabcabc";
+        let tokens = tokenize(data, 64);
+        assert!(
+            tokens.iter().any(|t| matches!(t, Token::Match { .. })),
+            "expected at least one match in {tokens:?}"
+        );
+        assert_eq!(detokenize(&tokens), data);
+    }
+
+    #[test]
+    fn overlapping_match_is_handled() {
+        // "aaaa..." compresses as literal 'a' + overlapping match dist=1.
+        let data = vec![b'a'; 300];
+        let tokens = tokenize(&data, 64);
+        assert_eq!(detokenize(&tokens), data);
+        assert!(tokens.len() < 10, "run should compress: {}", tokens.len());
+    }
+
+    #[test]
+    fn random_data_roundtrips() {
+        let mut state = 0x12345678u64;
+        let data: Vec<u8> = (0..10_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) as u8
+            })
+            .collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn grid_key_stream_compresses_well() {
+        // The paper's workload: walking a grid yields near-identical
+        // 12-byte records; LZ77 should find long matches.
+        let mut data = Vec::new();
+        for x in 0..20i32 {
+            for y in 0..20i32 {
+                for z in 0..20i32 {
+                    data.extend_from_slice(&x.to_be_bytes());
+                    data.extend_from_slice(&y.to_be_bytes());
+                    data.extend_from_slice(&z.to_be_bytes());
+                }
+            }
+        }
+        let tokens = tokenize(&data, 64);
+        assert_eq!(detokenize(&tokens), data);
+        assert!(
+            tokens.len() < data.len() / 4,
+            "grid stream should tokenize to <25%: {} tokens for {} bytes",
+            tokens.len(),
+            data.len()
+        );
+    }
+
+    #[test]
+    fn match_lengths_and_distances_stay_in_bounds() {
+        let mut data = Vec::new();
+        for i in 0..50_000u32 {
+            data.extend_from_slice(&(i % 977).to_be_bytes());
+        }
+        for t in tokenize(&data, 32) {
+            if let Token::Match { len, dist } = t {
+                assert!((MIN_MATCH..=MAX_MATCH).contains(&(len as usize)));
+                assert!(dist as usize >= 1 && dist as usize <= WINDOW_SIZE);
+            }
+        }
+    }
+}

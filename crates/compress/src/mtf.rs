@@ -1,0 +1,61 @@
+//! Move-to-front transform (the bzip2 stage between BWT and entropy
+//! coding).
+
+/// Forward move-to-front: each byte is replaced by its current position in
+/// a recency list, then moved to the front.
+pub fn mtf_encode(data: &[u8]) -> Vec<u8> {
+    let mut table: Vec<u8> = (0..=255).collect();
+    data.iter()
+        .map(|&b| {
+            let pos = table.iter().position(|&t| t == b).expect("byte in table");
+            table[..=pos].rotate_right(1);
+            pos as u8
+        })
+        .collect()
+}
+
+/// Inverse move-to-front.
+pub fn mtf_decode(data: &[u8]) -> Vec<u8> {
+    let mut table: Vec<u8> = (0..=255).collect();
+    data.iter()
+        .map(|&pos| {
+            let b = table[pos as usize];
+            table[..=pos as usize].rotate_right(1);
+            b
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for data in [
+            b"".to_vec(),
+            b"banana".to_vec(),
+            (0u8..=255).collect::<Vec<_>>(),
+            vec![42u8; 500],
+        ] {
+            assert_eq!(mtf_decode(&mtf_encode(&data)), data);
+        }
+    }
+
+    #[test]
+    fn runs_become_zeros() {
+        // BWT output is full of runs; MTF turns them into zeros, which the
+        // RUNA/RUNB stage then squeezes.
+        let out = mtf_encode(b"aaaaabbbbb");
+        assert_eq!(&out[1..5], &[0, 0, 0, 0]);
+        assert_eq!(&out[6..10], &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn first_occurrence_is_initial_position() {
+        let out = mtf_encode(&[5, 5, 0]);
+        assert_eq!(out[0], 5); // byte 5 initially at position 5
+        assert_eq!(out[1], 0); // now at front
+        assert_eq!(out[2], 1); // byte 0 pushed to position 1
+    }
+}

@@ -1,0 +1,180 @@
+//! Avoiding key overlap by alignment (§IV-C).
+//!
+//! "If keys are allowed to contain empty space, overlap may be reduced by
+//! actually expanding the key to a predetermined alignment. If the
+//! alignment is large enough, this will increase the probability that
+//! overlapping keys will actually be equal. This also adds complexity,
+//! storage overhead per aggregate value, and false sharing, so it may not
+//! be worthwhile."
+//!
+//! We implement the expansion plus the metrics (`overlapping_pairs`,
+//! padding overhead) that let the alignment ablation bench quantify that
+//! trade-off.
+
+use super::key::{AggregateKey, AggregateRecord};
+use scihadoop_sfc::{CurveIndex, CurveRun};
+
+/// Expand a run outward to `alignment`-sized boundaries.
+pub fn align_run(run: CurveRun, alignment: CurveIndex) -> CurveRun {
+    assert!(alignment >= 1, "alignment must be positive");
+    let start = (run.start / alignment) * alignment;
+    let end_block = run.end / alignment;
+    let end = end_block
+        .checked_add(1)
+        .and_then(|b| b.checked_mul(alignment))
+        .map(|e| e - 1)
+        .unwrap_or(u128::MAX);
+    CurveRun { start, end }
+}
+
+/// Expand a record to alignment boundaries, padding new cells with
+/// `fill` (one value's worth of bytes). The padding is the "storage
+/// overhead per aggregate value" §IV-C warns about.
+pub fn expand_record(
+    record: &AggregateRecord,
+    alignment: CurveIndex,
+    value_width: usize,
+    fill: &[u8],
+) -> AggregateRecord {
+    assert_eq!(fill.len(), value_width, "fill must be one value wide");
+    let target = align_run(record.key.run, alignment);
+    let lead = (record.key.run.start - target.start) as usize;
+    let trail = (target.end - record.key.run.end) as usize;
+    let mut values = Vec::with_capacity((lead + trail) * value_width + record.values.len());
+    for _ in 0..lead {
+        values.extend_from_slice(fill);
+    }
+    values.extend_from_slice(&record.values);
+    for _ in 0..trail {
+        values.extend_from_slice(fill);
+    }
+    AggregateRecord {
+        key: AggregateKey::new(record.key.variable, target),
+        values,
+    }
+}
+
+/// Count pairs of records (same variable) whose ranges overlap but are
+/// not equal — exactly the pairs the sort phase would have to split.
+pub fn overlapping_pairs(records: &[AggregateRecord]) -> usize {
+    let mut count = 0;
+    for i in 0..records.len() {
+        for j in i + 1..records.len() {
+            let (a, b) = (&records[i].key, &records[j].key);
+            if a.variable == b.variable && a.run.overlaps(&b.run) && a.run != b.run {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Padding overhead in bytes introduced by aligning `records`.
+pub fn padding_overhead(
+    records: &[AggregateRecord],
+    alignment: CurveIndex,
+    value_width: usize,
+) -> u128 {
+    records
+        .iter()
+        .map(|r| {
+            let aligned = align_run(r.key.run, alignment);
+            (aligned.len() - r.key.run.len()) * value_width as u128
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(start: CurveIndex, end: CurveIndex) -> AggregateRecord {
+        let n = (end - start + 1) as usize;
+        AggregateRecord::new(
+            AggregateKey::new(0, CurveRun { start, end }),
+            vec![1u8; n],
+            1,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn align_run_expands_to_boundaries() {
+        assert_eq!(
+            align_run(CurveRun { start: 5, end: 11 }, 8),
+            CurveRun { start: 0, end: 15 }
+        );
+        assert_eq!(
+            align_run(CurveRun { start: 8, end: 15 }, 8),
+            CurveRun { start: 8, end: 15 }
+        );
+        assert_eq!(
+            align_run(CurveRun { start: 0, end: 0 }, 1),
+            CurveRun { start: 0, end: 0 }
+        );
+    }
+
+    #[test]
+    fn expand_record_pads_with_fill() {
+        let r = rec(5, 6);
+        let e = expand_record(&r, 4, 1, &[0xFF]);
+        assert_eq!(e.key.run, CurveRun { start: 4, end: 7 });
+        assert_eq!(e.values, vec![0xFF, 1, 1, 0xFF]);
+    }
+
+    #[test]
+    fn aligned_overlapping_keys_become_equal() {
+        // The §IV-C scenario: two records overlapping inside one aligned
+        // block become equal after expansion.
+        let a = rec(3, 9);
+        let b = rec(5, 12);
+        assert_eq!(overlapping_pairs(&[a.clone(), b.clone()]), 1);
+        let ea = expand_record(&a, 16, 1, &[0]);
+        let eb = expand_record(&b, 16, 1, &[0]);
+        assert_eq!(ea.key, eb.key);
+        assert_eq!(overlapping_pairs(&[ea, eb]), 0);
+    }
+
+    #[test]
+    fn straddling_records_still_overlap() {
+        // §IV-C: "no alignment is large enough to completely eliminate
+        // overlap, because there are always rectangles that straddle the
+        // alignment boundary."
+        let a = rec(6, 9); // straddles the 8-boundary
+        let b = rec(8, 12);
+        let ea = expand_record(&a, 8, 1, &[0]);
+        let eb = expand_record(&b, 8, 1, &[0]);
+        assert_eq!(ea.key.run, CurveRun { start: 0, end: 15 });
+        assert_eq!(eb.key.run, CurveRun { start: 8, end: 15 });
+        assert_eq!(overlapping_pairs(&[ea, eb]), 1);
+    }
+
+    #[test]
+    fn padding_overhead_counts_added_cells() {
+        let records = vec![rec(5, 6)];
+        // Aligned to 8: [0,7] = 8 cells, 2 real → 6 bytes padding.
+        assert_eq!(padding_overhead(&records, 8, 1), 6);
+        assert_eq!(padding_overhead(&records, 1, 1), 0);
+    }
+
+    #[test]
+    fn larger_alignment_reduces_overlap_but_costs_more() {
+        // A sliding-window-like workload: shifted ranges.
+        let records: Vec<AggregateRecord> =
+            (0..8).map(|i| rec(i * 6, i * 6 + 9)).collect();
+        let base = overlapping_pairs(&records);
+        let mut prev_overlap = base;
+        let mut prev_cost = 0u128;
+        for align in [4u128, 16, 64] {
+            let expanded: Vec<AggregateRecord> = records
+                .iter()
+                .map(|r| expand_record(r, align, 1, &[0]))
+                .collect();
+            let overlap = overlapping_pairs(&expanded);
+            let cost = padding_overhead(&records, align, 1);
+            assert!(overlap <= prev_overlap || cost >= prev_cost);
+            prev_overlap = overlap;
+            prev_cost = cost;
+        }
+    }
+}

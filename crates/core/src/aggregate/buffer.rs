@@ -1,0 +1,289 @@
+//! The aggregation buffer (§IV-A): the user-facing library mappers push
+//! `(coordinate, value)` pairs into.
+//!
+//! "Aggregation is performed on subsets of the intermediate data due to
+//! memory limitations. Whenever the size of the aggregation buffer
+//! reaches a set threshold, the results are written out and the buffer is
+//! cleared."
+
+use super::key::{AggregateKey, AggregateRecord};
+use scihadoop_grid::{Coord, GridError};
+use scihadoop_sfc::{collapse_sorted, Curve, CurveIndex};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Buffers `(variable, coordinate, value)` triples, collapses contiguous
+/// curve indices into [`AggregateRecord`]s, and flushes when a byte
+/// threshold is reached.
+pub struct Aggregator {
+    curve: Arc<dyn Curve>,
+    threshold_bytes: usize,
+    /// Sorted staging area: (variable, curve index) → value bytes.
+    buf: BTreeMap<(u32, CurveIndex), Vec<u8>>,
+    buffered_bytes: usize,
+    /// Value width per variable, fixed at first push.
+    widths: BTreeMap<u32, usize>,
+    /// Total simple pairs pushed (statistics for the evaluation).
+    pairs_in: u64,
+    /// Total aggregate records flushed.
+    records_out: u64,
+}
+
+impl Aggregator {
+    /// A buffer over `curve`, flushing automatically once roughly
+    /// `threshold_bytes` of values are staged.
+    pub fn new(curve: impl Curve + 'static, threshold_bytes: usize) -> Self {
+        Self::with_curve(Arc::new(curve), threshold_bytes)
+    }
+
+    /// Like [`Aggregator::new`] with a shared curve handle.
+    pub fn with_curve(curve: Arc<dyn Curve>, threshold_bytes: usize) -> Self {
+        assert!(threshold_bytes > 0, "threshold must be positive");
+        Aggregator {
+            curve,
+            threshold_bytes,
+            buf: BTreeMap::new(),
+            buffered_bytes: 0,
+            widths: BTreeMap::new(),
+            pairs_in: 0,
+            records_out: 0,
+        }
+    }
+
+    /// Push a pair for variable 0. Returns flushed records if the push
+    /// crossed the buffer threshold.
+    pub fn push(
+        &mut self,
+        coord: &Coord,
+        value: &[u8],
+    ) -> Result<Option<Vec<AggregateRecord>>, GridError> {
+        self.push_var(0, coord, value)
+    }
+
+    /// Push a pair for an explicit variable.
+    pub fn push_var(
+        &mut self,
+        variable: u32,
+        coord: &Coord,
+        value: &[u8],
+    ) -> Result<Option<Vec<AggregateRecord>>, GridError> {
+        let width = *self.widths.entry(variable).or_insert(value.len());
+        if value.len() != width {
+            return Err(GridError::Deserialize(format!(
+                "variable {variable} has {width}-byte values, got {}",
+                value.len()
+            )));
+        }
+        if width == 0 {
+            return Err(GridError::Deserialize("zero-width values".into()));
+        }
+        let index = self.curve.index_of_coord(coord)?;
+        let prev = self.buf.insert((variable, index), value.to_vec());
+        if prev.is_none() {
+            self.buffered_bytes += width;
+        }
+        self.pairs_in += 1;
+        if self.buffered_bytes >= self.threshold_bytes {
+            Ok(Some(self.flush()))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Drain the buffer into aggregate records, one per maximal
+    /// contiguous index run per variable.
+    pub fn flush(&mut self) -> Vec<AggregateRecord> {
+        let mut out = Vec::new();
+        let buf = std::mem::take(&mut self.buf);
+        self.buffered_bytes = 0;
+
+        let mut current_var: Option<u32> = None;
+        let mut indices: Vec<CurveIndex> = Vec::new();
+        let mut values: BTreeMap<CurveIndex, Vec<u8>> = BTreeMap::new();
+        let emit = |var: u32,
+                        indices: &mut Vec<CurveIndex>,
+                        values: &mut BTreeMap<CurveIndex, Vec<u8>>,
+                        out: &mut Vec<AggregateRecord>| {
+            for run in collapse_sorted(indices) {
+                let mut payload = Vec::new();
+                for i in run.start..=run.end {
+                    payload.extend_from_slice(&values[&i]);
+                }
+                out.push(AggregateRecord {
+                    key: AggregateKey::new(var, run),
+                    values: payload,
+                });
+            }
+            indices.clear();
+            values.clear();
+        };
+
+        for ((var, index), value) in buf {
+            if current_var != Some(var) {
+                if let Some(v) = current_var {
+                    emit(v, &mut indices, &mut values, &mut out);
+                }
+                current_var = Some(var);
+            }
+            indices.push(index);
+            values.insert(index, value);
+        }
+        if let Some(v) = current_var {
+            emit(v, &mut indices, &mut values, &mut out);
+        }
+        self.records_out += out.len() as u64;
+        out
+    }
+
+    /// The curve indices are computed by this curve.
+    pub fn curve(&self) -> &Arc<dyn Curve> {
+        &self.curve
+    }
+
+    /// Value width of a variable, if any pair has been pushed for it.
+    pub fn value_width(&self, variable: u32) -> Option<usize> {
+        self.widths.get(&variable).copied()
+    }
+
+    /// Simple pairs pushed so far.
+    pub fn pairs_in(&self) -> u64 {
+        self.pairs_in
+    }
+
+    /// Aggregate records flushed so far.
+    pub fn records_out(&self) -> u64 {
+        self.records_out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scihadoop_sfc::{CurveRun, RowMajorCurve, ZOrderCurve};
+
+    #[test]
+    fn full_aligned_tile_collapses_to_one_record() {
+        let mut agg = Aggregator::new(ZOrderCurve::with_bits(2, 4), 1 << 20);
+        for x in 0..4 {
+            for y in 0..4 {
+                agg.push(&Coord::new(vec![x, y]), &[x as u8, y as u8])
+                    .unwrap();
+            }
+        }
+        let recs = agg.flush();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].key.cell_count(), 16);
+        assert_eq!(recs[0].values.len(), 32);
+    }
+
+    #[test]
+    fn values_are_stored_in_curve_order() {
+        let curve = ZOrderCurve::with_bits(2, 4);
+        let mut agg = Aggregator::new(curve.clone(), 1 << 20);
+        // Push in row-major order; values must come out in Z order.
+        for x in 0..2 {
+            for y in 0..2 {
+                agg.push(&Coord::new(vec![x, y]), &[(10 * x + y) as u8])
+                    .unwrap();
+            }
+        }
+        let recs = agg.flush();
+        assert_eq!(recs.len(), 1);
+        // Z order on the unit square: (0,0) (0,1) (1,0) (1,1).
+        assert_eq!(recs[0].values, vec![0, 1, 10, 11]);
+    }
+
+    #[test]
+    fn disjoint_regions_produce_multiple_records() {
+        let mut agg = Aggregator::new(ZOrderCurve::with_bits(2, 4), 1 << 20);
+        agg.push(&Coord::new(vec![0, 0]), &[1]).unwrap();
+        agg.push(&Coord::new(vec![7, 7]), &[2]).unwrap();
+        let recs = agg.flush();
+        assert_eq!(recs.len(), 2);
+        assert!(recs.iter().all(|r| r.key.cell_count() == 1));
+    }
+
+    #[test]
+    fn threshold_triggers_auto_flush() {
+        // 8-byte threshold, 4-byte values: third push flushes.
+        let mut agg = Aggregator::new(RowMajorCurve::with_bits(1, 8), 8);
+        assert!(agg
+            .push(&Coord::new(vec![0]), &[0; 4])
+            .unwrap()
+            .is_none());
+        let flushed = agg.push(&Coord::new(vec![1]), &[0; 4]).unwrap();
+        let recs = flushed.expect("crossing threshold flushes");
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].key.run, CurveRun { start: 0, end: 1 });
+        // Buffer is empty again.
+        assert!(agg
+            .push(&Coord::new(vec![5]), &[0; 4])
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn flush_boundary_reduces_aggregation() {
+        // §IV-A: "keys generated after a flush cannot be aggregated with
+        // keys generated before a flush."
+        let mut big = Aggregator::new(RowMajorCurve::with_bits(1, 8), 1 << 20);
+        let mut small = Aggregator::new(RowMajorCurve::with_bits(1, 8), 4);
+        let mut small_records = 0;
+        for i in 0..16 {
+            big.push(&Coord::new(vec![i]), &[i as u8]).unwrap();
+            if let Some(recs) = small.push(&Coord::new(vec![i]), &[i as u8]).unwrap() {
+                small_records += recs.len();
+            }
+        }
+        let big_records = big.flush().len();
+        small_records += small.flush().len();
+        assert_eq!(big_records, 1);
+        assert!(small_records > 1);
+    }
+
+    #[test]
+    fn variables_do_not_aggregate_together() {
+        let mut agg = Aggregator::new(RowMajorCurve::with_bits(1, 8), 1 << 20);
+        agg.push_var(0, &Coord::new(vec![0]), &[1]).unwrap();
+        agg.push_var(1, &Coord::new(vec![1]), &[2]).unwrap();
+        let recs = agg.flush();
+        assert_eq!(recs.len(), 2);
+        assert_ne!(recs[0].key.variable, recs[1].key.variable);
+    }
+
+    #[test]
+    fn duplicate_coordinate_keeps_latest_value() {
+        let mut agg = Aggregator::new(RowMajorCurve::with_bits(1, 8), 1 << 20);
+        agg.push(&Coord::new(vec![3]), &[1]).unwrap();
+        agg.push(&Coord::new(vec![3]), &[9]).unwrap();
+        let recs = agg.flush();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].values, vec![9]);
+    }
+
+    #[test]
+    fn mixed_value_width_is_rejected() {
+        let mut agg = Aggregator::new(RowMajorCurve::with_bits(1, 8), 1 << 20);
+        agg.push(&Coord::new(vec![0]), &[0; 4]).unwrap();
+        assert!(agg.push(&Coord::new(vec![1]), &[0; 2]).is_err());
+        // Different variables may differ in width.
+        assert!(agg.push_var(1, &Coord::new(vec![1]), &[0; 2]).is_ok());
+    }
+
+    #[test]
+    fn negative_coordinates_are_rejected_by_curve() {
+        let mut agg = Aggregator::new(ZOrderCurve::with_bits(2, 4), 1 << 20);
+        assert!(agg.push(&Coord::new(vec![-1, 0]), &[0]).is_err());
+    }
+
+    #[test]
+    fn statistics_count_pairs_and_records() {
+        let mut agg = Aggregator::new(RowMajorCurve::with_bits(1, 8), 1 << 20);
+        for i in 0..10 {
+            agg.push(&Coord::new(vec![i]), &[0]).unwrap();
+        }
+        let recs = agg.flush();
+        assert_eq!(agg.pairs_in(), 10);
+        assert_eq!(agg.records_out(), recs.len() as u64);
+    }
+}

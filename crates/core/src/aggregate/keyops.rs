@@ -1,0 +1,181 @@
+//! The engine integration: aggregate-key semantics for the MapReduce
+//! engine's [`KeySemantics`] hook.
+//!
+//! This is the paper's "one set of changes inside Hadoop (detailed in
+//! section IV-B), which allows aggregate keys to be split during the
+//! routing and sorting phases", expressed against the engine's pluggable
+//! hook instead of a Hadoop patch.
+
+use super::key::{AggregateKey, AggregateRecord};
+use super::split::{overlap_split, route_split, RangePartitioner};
+use scihadoop_mapreduce::{KeySemantics, KvPair};
+use std::cmp::Ordering;
+
+/// Key semantics for serialized [`AggregateKey`]s.
+///
+/// * `compare` — bytewise, which equals (variable, start, length) order
+///   thanks to the big-endian layout;
+/// * `route` — splits a record at partition boundaries and routes each
+///   piece to the reducer owning its curve range (§IV-B case 1);
+/// * `sort_split` — splits overlapping keys along overlap boundaries
+///   (§IV-B case 2, Fig. 7);
+/// * `group_eq` — exact key equality (after `sort_split`, equal-or-
+///   disjoint holds, so equality groups precisely the data that must be
+///   reduced together).
+#[derive(Debug, Clone)]
+pub struct AggregateKeyOps {
+    partitioner: RangePartitioner,
+    value_width: usize,
+}
+
+impl AggregateKeyOps {
+    /// Semantics for values `value_width` bytes wide, routed by
+    /// `partitioner`.
+    pub fn new(partitioner: RangePartitioner, value_width: usize) -> Self {
+        assert!(value_width > 0, "value width must be positive");
+        AggregateKeyOps {
+            partitioner,
+            value_width,
+        }
+    }
+
+    /// The partitioner in use.
+    pub fn partitioner(&self) -> &RangePartitioner {
+        &self.partitioner
+    }
+
+    fn parse(&self, pair: &KvPair) -> Option<AggregateRecord> {
+        let key = AggregateKey::from_bytes(&pair.key).ok()?;
+        AggregateRecord::new(key, pair.value.clone(), self.value_width).ok()
+    }
+}
+
+impl KeySemantics for AggregateKeyOps {
+    fn compare(&self, a: &[u8], b: &[u8]) -> Ordering {
+        a.cmp(b)
+    }
+
+    fn partition(&self, key: &[u8], parts: usize) -> usize {
+        match AggregateKey::from_bytes(key) {
+            Ok(k) => self.partitioner.partition_of(k.run.start).min(parts - 1),
+            Err(_) => 0,
+        }
+    }
+
+    fn route(&self, pair: KvPair, parts: usize) -> Vec<(usize, KvPair)> {
+        match self.parse(&pair) {
+            Some(record) => route_split(&record, &self.partitioner, self.value_width)
+                .into_iter()
+                .map(|(p, rec)| {
+                    (
+                        p.min(parts - 1),
+                        KvPair::new(rec.key.to_bytes(), rec.values),
+                    )
+                })
+                .collect(),
+            // Unparseable keys fall back to partition 0 rather than being
+            // dropped; the engine's counters will still account them.
+            None => vec![(0, pair)],
+        }
+    }
+
+    fn sort_split(&self, records: Vec<KvPair>) -> Vec<KvPair> {
+        let mut parsed = Vec::with_capacity(records.len());
+        let mut passthrough = Vec::new();
+        for pair in records {
+            match self.parse(&pair) {
+                Some(rec) => parsed.push(rec),
+                None => passthrough.push(pair),
+            }
+        }
+        let mut out: Vec<KvPair> = overlap_split(parsed, self.value_width)
+            .into_iter()
+            .map(|rec| KvPair::new(rec.key.to_bytes(), rec.values))
+            .collect();
+        out.extend(passthrough);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scihadoop_sfc::CurveRun;
+
+    fn pair(start: u128, end: u128, width: usize) -> KvPair {
+        let n = (end - start + 1) as usize;
+        let rec = AggregateRecord::new(
+            AggregateKey::new(0, CurveRun { start, end }),
+            (0..n).flat_map(|i| vec![(start as usize + i) as u8; width]).collect(),
+            width,
+        )
+        .unwrap();
+        KvPair::new(rec.key.to_bytes(), rec.values)
+    }
+
+    fn ops(parts: usize, span: u128, width: usize) -> AggregateKeyOps {
+        AggregateKeyOps::new(RangePartitioner::uniform(parts, span), width)
+    }
+
+    #[test]
+    fn route_splits_across_partition_boundaries() {
+        let ops = ops(4, 100, 1);
+        let routed = ops.route(pair(20, 60, 1), 4);
+        assert_eq!(routed.len(), 3);
+        let parts: Vec<usize> = routed.iter().map(|(p, _)| *p).collect();
+        assert_eq!(parts, vec![0, 1, 2]);
+        // Piece payloads cover all 41 cells.
+        let total: usize = routed.iter().map(|(_, p)| p.value.len()).sum();
+        assert_eq!(total, 41);
+    }
+
+    #[test]
+    fn route_within_one_partition_is_unsplit() {
+        let ops = ops(4, 100, 2);
+        let p = pair(30, 40, 2);
+        let routed = ops.route(p.clone(), 4);
+        assert_eq!(routed.len(), 1);
+        assert_eq!(routed[0], (1, p));
+    }
+
+    #[test]
+    fn sort_split_resolves_overlap() {
+        let ops = ops(1, 100, 1);
+        let out = ops.sort_split(vec![pair(0, 10, 1), pair(5, 15, 1)]);
+        let keys: Vec<AggregateKey> = out
+            .iter()
+            .map(|p| AggregateKey::from_bytes(&p.key).unwrap())
+            .collect();
+        let runs: Vec<(u128, u128)> = keys.iter().map(|k| (k.run.start, k.run.end)).collect();
+        assert_eq!(runs, vec![(0, 4), (5, 10), (5, 10), (11, 15)]);
+    }
+
+    #[test]
+    fn partition_uses_range_start() {
+        let ops = ops(4, 100, 1);
+        assert_eq!(ops.partition(&pair(0, 5, 1).key, 4), 0);
+        assert_eq!(ops.partition(&pair(80, 90, 1).key, 4), 3);
+        // Garbage keys fall back to partition 0.
+        assert_eq!(ops.partition(b"garbage", 4), 0);
+    }
+
+    #[test]
+    fn unparseable_pairs_pass_through() {
+        let ops = ops(2, 100, 1);
+        let junk = KvPair::new(b"junk".to_vec(), b"v".to_vec());
+        let routed = ops.route(junk.clone(), 2);
+        assert_eq!(routed, vec![(0, junk.clone())]);
+        let out = ops.sort_split(vec![junk.clone()]);
+        assert_eq!(out, vec![junk]);
+    }
+
+    #[test]
+    fn serialized_sort_order_equals_semantic_order() {
+        let ops = ops(1, 100, 1);
+        let a = pair(5, 9, 1);
+        let b = pair(5, 12, 1);
+        let c = pair(6, 7, 1);
+        assert_eq!(ops.compare(&a.key, &b.key), Ordering::Less); // shorter first
+        assert_eq!(ops.compare(&b.key, &c.key), Ordering::Less); // start order
+    }
+}

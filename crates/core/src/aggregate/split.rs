@@ -1,0 +1,316 @@
+//! Key splitting (§IV-B) — the "one set of changes inside Hadoop" the
+//! paper made, reproduced here as pure functions the engine's key-
+//! semantics hook calls.
+//!
+//! Two cases:
+//! 1. *Routing*: "A mapper may generate an aggregate key whose simple
+//!    keys do not all route to the same reducer" — split at partition
+//!    boundaries.
+//! 2. *Sorting*: "When sorting keys at a reducer, overlapping keys are
+//!    split along the overlap boundaries (Fig. 7). This is necessary
+//!    because unequal overlapping keys contain data that map to the same
+//!    simple keys, but since the aggregate keys are unequal, the data
+//!    would not be reduced together."
+
+use super::key::{AggregateKey, AggregateRecord};
+use scihadoop_sfc::{CurveIndex, CurveRun};
+use std::collections::BTreeSet;
+
+/// Routes curve indices to reducers by contiguous index ranges — the
+/// routing SciHadoop uses so each reducer owns a region of the space.
+#[derive(Debug, Clone)]
+pub struct RangePartitioner {
+    /// `boundaries[p]` is the first index owned by partition `p`;
+    /// partition `p` owns `boundaries[p] .. boundaries[p+1]` (the last
+    /// partition is unbounded above).
+    boundaries: Vec<CurveIndex>,
+}
+
+impl RangePartitioner {
+    /// Partition `[0, span)` into `parts` equal contiguous ranges.
+    pub fn uniform(parts: usize, span: CurveIndex) -> Self {
+        assert!(parts >= 1, "need at least one partition");
+        assert!(span >= parts as CurveIndex, "span smaller than parts");
+        let step = span / parts as CurveIndex;
+        RangePartitioner {
+            boundaries: (0..parts).map(|p| p as CurveIndex * step).collect(),
+        }
+    }
+
+    /// Explicit boundaries; `boundaries[0]` must be 0 and the list strictly
+    /// increasing.
+    pub fn from_boundaries(boundaries: Vec<CurveIndex>) -> Self {
+        assert!(!boundaries.is_empty(), "need at least one partition");
+        assert_eq!(boundaries[0], 0, "partition 0 must start at index 0");
+        assert!(
+            boundaries.windows(2).all(|w| w[0] < w[1]),
+            "boundaries must increase strictly"
+        );
+        RangePartitioner { boundaries }
+    }
+
+    /// Number of partitions.
+    pub fn parts(&self) -> usize {
+        self.boundaries.len()
+    }
+
+    /// Partition owning `index`.
+    pub fn partition_of(&self, index: CurveIndex) -> usize {
+        match self.boundaries.binary_search(&index) {
+            Ok(p) => p,
+            Err(ins) => ins - 1,
+        }
+    }
+
+    /// First index of partition `p`, or `None` past the end.
+    pub fn lower_bound(&self, p: usize) -> Option<CurveIndex> {
+        self.boundaries.get(p).copied()
+    }
+}
+
+/// Split an aggregate record at partition boundaries and route each piece
+/// (§IV-B case 1). Pieces stay contiguous, so the output is at most
+/// `1 + number of boundaries crossed` records.
+pub fn route_split(
+    record: &AggregateRecord,
+    partitioner: &RangePartitioner,
+    value_width: usize,
+) -> Vec<(usize, AggregateRecord)> {
+    let mut out = Vec::new();
+    let mut start = record.key.run.start;
+    let end = record.key.run.end;
+    while start <= end {
+        let p = partitioner.partition_of(start);
+        let piece_end = match partitioner.lower_bound(p + 1) {
+            Some(next) if next <= end => next - 1,
+            _ => end,
+        };
+        let run = CurveRun {
+            start,
+            end: piece_end,
+        };
+        out.push((p, record.slice(run, value_width)));
+        if piece_end == end {
+            break;
+        }
+        start = piece_end + 1;
+    }
+    out
+}
+
+/// Split overlapping aggregate records along overlap boundaries
+/// (§IV-B case 2, Fig. 7): afterwards any two records are either equal in
+/// range or disjoint, so grouping by key reunites data for the same
+/// simple keys.
+pub fn overlap_split(
+    records: Vec<AggregateRecord>,
+    value_width: usize,
+) -> Vec<AggregateRecord> {
+    // Collect cut points per variable: every range start and every
+    // range end+1 is a potential boundary.
+    let mut cuts: BTreeSet<(u32, CurveIndex)> = BTreeSet::new();
+    for r in &records {
+        cuts.insert((r.key.variable, r.key.run.start));
+        if let Some(after) = r.key.run.end.checked_add(1) {
+            cuts.insert((r.key.variable, after));
+        }
+    }
+    let mut out = Vec::with_capacity(records.len());
+    for r in records {
+        let var = r.key.variable;
+        let mut start = r.key.run.start;
+        let end = r.key.run.end;
+        while start <= end {
+            // Next cut strictly after `start`, within this record.
+            let next_cut = cuts
+                .range((
+                    std::ops::Bound::Excluded((var, start)),
+                    std::ops::Bound::Included((var, end)),
+                ))
+                .next()
+                .map(|&(_, c)| c);
+            let piece_end = match next_cut {
+                Some(c) => c - 1,
+                None => end,
+            };
+            out.push(r.slice(
+                CurveRun {
+                    start,
+                    end: piece_end,
+                },
+                value_width,
+            ));
+            if piece_end == end {
+                break;
+            }
+            start = piece_end + 1;
+        }
+    }
+    out.sort_by(|a, b| a.key.cmp(&b.key));
+    out
+}
+
+/// Group records with identical keys (after [`overlap_split`] keys are
+/// equal or disjoint): each group is one reduce call's input.
+pub fn group_equal(
+    mut records: Vec<AggregateRecord>,
+) -> Vec<(AggregateKey, Vec<Vec<u8>>)> {
+    records.sort_by(|a, b| a.key.cmp(&b.key));
+    let mut out: Vec<(AggregateKey, Vec<Vec<u8>>)> = Vec::new();
+    for r in records {
+        match out.last_mut() {
+            Some((k, vals)) if *k == r.key => vals.push(r.values),
+            _ => out.push((r.key, vec![r.values])),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(var: u32, start: CurveIndex, end: CurveIndex, width: usize) -> AggregateRecord {
+        let n = (end - start + 1) as usize;
+        let values: Vec<u8> = (0..n)
+            .flat_map(|i| vec![((start as usize + i) % 251) as u8; width])
+            .collect();
+        AggregateRecord::new(AggregateKey::new(var, CurveRun { start, end }), values, width)
+            .unwrap()
+    }
+
+    #[test]
+    fn uniform_partitioner_owns_contiguous_ranges() {
+        let p = RangePartitioner::uniform(4, 100);
+        assert_eq!(p.partition_of(0), 0);
+        assert_eq!(p.partition_of(24), 0);
+        assert_eq!(p.partition_of(25), 1);
+        assert_eq!(p.partition_of(99), 3);
+        assert_eq!(p.partition_of(1000), 3); // unbounded last partition
+        assert_eq!(p.parts(), 4);
+    }
+
+    #[test]
+    fn route_split_preserves_all_cells() {
+        let p = RangePartitioner::uniform(4, 100);
+        let r = rec(0, 20, 60, 4);
+        let pieces = route_split(&r, &p, 4);
+        // Crosses boundaries at 25 and 50: three pieces.
+        assert_eq!(pieces.len(), 3);
+        assert_eq!(pieces[0].0, 0);
+        assert_eq!(pieces[1].0, 1);
+        assert_eq!(pieces[2].0, 2);
+        let total: u128 = pieces.iter().map(|(_, r)| r.key.cell_count()).sum();
+        assert_eq!(total, 41);
+        // Cell values survive the split.
+        for (_, piece) in &pieces {
+            for i in piece.key.run.start..=piece.key.run.end {
+                assert_eq!(
+                    piece.value_at(i, 4).unwrap(),
+                    r.value_at(i, 4).unwrap(),
+                    "cell {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn route_split_single_partition_is_identity() {
+        let p = RangePartitioner::uniform(4, 100);
+        let r = rec(0, 30, 40, 2);
+        let pieces = route_split(&r, &p, 2);
+        assert_eq!(pieces.len(), 1);
+        assert_eq!(pieces[0].0, 1);
+        assert_eq!(pieces[0].1, r);
+    }
+
+    #[test]
+    fn overlap_split_fig7() {
+        // Fig. 7: two overlapping ranges are split on the overlap
+        // boundaries. [0,10] and [5,15] → [0,4],[5,10] and [5,10],[11,15].
+        let a = rec(0, 0, 10, 1);
+        let b = rec(0, 5, 15, 1);
+        let pieces = overlap_split(vec![a, b], 1);
+        let runs: Vec<(CurveIndex, CurveIndex)> =
+            pieces.iter().map(|r| (r.key.run.start, r.key.run.end)).collect();
+        assert_eq!(runs, vec![(0, 4), (5, 10), (5, 10), (11, 15)]);
+    }
+
+    #[test]
+    fn overlap_split_nested_ranges() {
+        // [0,20] containing [5,10].
+        let pieces = overlap_split(vec![rec(0, 0, 20, 1), rec(0, 5, 10, 1)], 1);
+        let runs: Vec<(CurveIndex, CurveIndex)> =
+            pieces.iter().map(|r| (r.key.run.start, r.key.run.end)).collect();
+        assert_eq!(runs, vec![(0, 4), (5, 10), (5, 10), (11, 20)]);
+    }
+
+    #[test]
+    fn overlap_split_disjoint_is_identity() {
+        let a = rec(0, 0, 4, 2);
+        let b = rec(0, 10, 14, 2);
+        let pieces = overlap_split(vec![b.clone(), a.clone()], 2);
+        assert_eq!(pieces, vec![a, b]);
+    }
+
+    #[test]
+    fn overlap_split_ignores_other_variables() {
+        // Same ranges, different variables: no split.
+        let a = rec(0, 0, 10, 1);
+        let b = rec(1, 5, 15, 1);
+        let pieces = overlap_split(vec![a.clone(), b.clone()], 1);
+        assert_eq!(pieces, vec![a, b]);
+    }
+
+    #[test]
+    fn overlap_split_preserves_cell_values() {
+        let a = rec(0, 0, 10, 4);
+        let b = rec(0, 5, 15, 4);
+        let pieces = overlap_split(vec![a.clone(), b.clone()], 4);
+        for piece in &pieces {
+            for i in piece.key.run.start..=piece.key.run.end {
+                let original = if piece.value_at(i, 4) == a.value_at(i, 4) {
+                    &a
+                } else {
+                    &b
+                };
+                assert_eq!(piece.value_at(i, 4), original.value_at(i, 4));
+            }
+        }
+        // Total cells double-counted in the overlap region.
+        let total: u128 = pieces.iter().map(|r| r.key.cell_count()).sum();
+        assert_eq!(total, 22);
+    }
+
+    #[test]
+    fn group_equal_groups_identical_ranges() {
+        let pieces = overlap_split(vec![rec(0, 0, 10, 1), rec(0, 5, 15, 1)], 1);
+        let groups = group_equal(pieces);
+        assert_eq!(groups.len(), 3);
+        let sizes: Vec<usize> = groups.iter().map(|(_, v)| v.len()).collect();
+        assert_eq!(sizes, vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn split_counts_measure_key_inflation() {
+        // §IV-B's open question: "We have not yet determined how much the
+        // key count is increased by key splitting." Quantify on a case.
+        let p = RangePartitioner::uniform(8, 80);
+        let r = rec(0, 0, 79, 1);
+        let pieces = route_split(&r, &p, 1);
+        assert_eq!(pieces.len(), 8, "one record became {} pieces", pieces.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "span smaller than parts")]
+    fn uniform_rejects_tiny_span() {
+        let _ = RangePartitioner::uniform(10, 5);
+    }
+
+    #[test]
+    fn from_boundaries_validation() {
+        let p = RangePartitioner::from_boundaries(vec![0, 10, 20]);
+        assert_eq!(p.partition_of(9), 0);
+        assert_eq!(p.partition_of(10), 1);
+    }
+}

@@ -1,0 +1,22 @@
+//! The paper's primary contribution: lossless compression of intermediate
+//! keys between mappers and reducers.
+//!
+//! Two independent, complementary approaches, exactly as in the paper:
+//!
+//! * [`transform`] — §III *semantically-informed byte-level compression*:
+//!   a streaming transform that detects linear byte sequences
+//!   (`x[φ+ks] = x[φ+(k−1)s] + δ`) in the serialized key stream and
+//!   replaces predictable bytes with deltas from the prediction, making
+//!   the stream dramatically more compressible by a generic codec
+//!   (predictive coding, Elias 1955). Plugs into the engine as a codec.
+//! * [`aggregate`] — §IV *key aggregation*: map n-D grid keys onto a
+//!   space-filling curve, collapse contiguous curve indices into
+//!   `(start, length)` aggregate keys whose values are stored in curve
+//!   order, and split aggregate keys during routing and sorting so the
+//!   semantics of simple keys are preserved.
+
+pub mod aggregate;
+pub mod transform;
+
+pub use aggregate::{AggregateKey, AggregateRecord, Aggregator};
+pub use transform::{StridePredictor, TransformCodec, TransformConfig};

@@ -1,0 +1,103 @@
+//! Offline sequence detection for inspection (the Fig. 2 illustration:
+//! "Highlighted sequence has δ=0xa, s=47, φ=34").
+
+use std::collections::HashMap;
+
+/// One detected linear sequence in a byte stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SequenceReport {
+    /// Stride `s` of equation (1).
+    pub stride: usize,
+    /// Phase `φ` (byte offset modulo stride).
+    pub phase: usize,
+    /// Difference `δ`.
+    pub delta: u8,
+    /// How many consecutive times the relation held.
+    pub support: usize,
+}
+
+/// Exhaustively detect the strongest linear sequences
+/// `x[φ+ks] = x[φ+(k−1)s] + δ` in `data`, for strides up to `max_stride`.
+///
+/// Returns sequences sorted by support (descending), strongest first.
+/// This is the analysis view of the detector — O(n·max_stride), intended
+/// for inspection and tests, not the streaming path.
+pub fn detect_sequences(data: &[u8], max_stride: usize, top: usize) -> Vec<SequenceReport> {
+    let mut best: HashMap<(usize, usize, u8), usize> = HashMap::new();
+    for s in 1..=max_stride.min(data.len().saturating_sub(1)) {
+        // Track current run per phase.
+        let mut runs = vec![(0u8, 0usize); s]; // (delta, run)
+        for i in s..data.len() {
+            let phase = i % s;
+            let delta = data[i].wrapping_sub(data[i - s]);
+            let (d, r) = runs[phase];
+            let run = if delta == d { r + 1 } else { 1 };
+            runs[phase] = (delta, run);
+            let key = (s, phase, delta);
+            let entry = best.entry(key).or_insert(0);
+            if run > *entry {
+                *entry = run;
+            }
+        }
+    }
+    let mut reports: Vec<SequenceReport> = best
+        .into_iter()
+        .map(|((stride, phase, delta), support)| SequenceReport {
+            stride,
+            phase,
+            delta,
+            support,
+        })
+        .collect();
+    reports.sort_by(|a, b| b.support.cmp(&a.support).then(a.stride.cmp(&b.stride)));
+    reports.truncate(top);
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_a_planted_sequence() {
+        // Plant x[10 + 16k] = 3k: stride 16, phase 10, delta 3.
+        let mut data = vec![0xEEu8; 400];
+        for k in 0..24 {
+            data[10 + 16 * k] = (3 * k) as u8;
+        }
+        let reports = detect_sequences(&data, 20, 2000);
+        assert!(
+            reports.iter().any(|r| r.stride == 16 && r.phase == 10 && r.delta == 3 && r.support >= 20),
+            "planted sequence not found"
+        );
+    }
+
+    #[test]
+    fn constant_stream_reports_delta_zero() {
+        let data = vec![7u8; 100];
+        let reports = detect_sequences(&data, 4, 4);
+        assert!(reports.iter().all(|r| r.delta == 0));
+        assert!(reports[0].support > 90);
+    }
+
+    #[test]
+    fn counter_stream_detects_stride_of_record() {
+        // BE u32 counter: low byte advances by 1 at stride 4, phase 3 —
+        // the Fig. 2 pattern (there δ=0x0a, s=47, φ=34).
+        let data: Vec<u8> = (0..200u32).flat_map(|i| i.to_be_bytes()).collect();
+        let reports = detect_sequences(&data, 8, 2000);
+        assert!(
+            reports
+                .iter()
+                .any(|r| r.stride == 4 && r.phase == 3 && r.delta == 1 && r.support > 150),
+            "counter sequence (s=4, φ=3, δ=1) not detected"
+        );
+    }
+
+    #[test]
+    fn respects_top_limit_and_empty_input() {
+        assert!(detect_sequences(&[], 10, 5).is_empty());
+        let data: Vec<u8> = (0..100u8).collect();
+        assert!(detect_sequences(&data, 10, 3).len() <= 3);
+    }
+}

@@ -1,0 +1,631 @@
+//! The stride-predictor state machine shared by the forward and inverse
+//! transforms (§III-A, §III-B, §III-C).
+
+/// Tuning knobs of the detector. Defaults are the paper's values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransformConfig {
+    /// The full set is every stride in `1..=max_stride` (paper: 100,
+    /// with 1000 in the brute-force comparison).
+    pub max_stride: usize,
+    /// If set, the full set is exactly these strides instead (the
+    /// "user specifies lengths" alternative of §III, used by the stride
+    /// ablation experiment with a single stride of 12).
+    pub explicit_strides: Option<Vec<usize>>,
+    /// If false, every stride stays active forever — the brute-force
+    /// detector §III-A compares against (4× slower at max stride 100,
+    /// 17× at 1000).
+    pub adaptive: bool,
+    /// Bytes per selection cycle (paper: 256 — "large enough to reduce
+    /// CPU overhead and small enough to quickly react to input changes").
+    pub selection_cycle: usize,
+    /// Hit-rate eviction threshold, as a fraction (paper: 5/6).
+    pub hit_rate_num: u32,
+    /// Denominator of the eviction threshold.
+    pub hit_rate_den: u32,
+    /// A prediction is emitted only when the best run length exceeds this
+    /// (paper: 2).
+    pub run_threshold: u32,
+}
+
+impl Default for TransformConfig {
+    fn default() -> Self {
+        TransformConfig {
+            max_stride: 100,
+            explicit_strides: None,
+            adaptive: true,
+            selection_cycle: 256,
+            hit_rate_num: 5,
+            hit_rate_den: 6,
+            run_threshold: 2,
+        }
+    }
+}
+
+impl TransformConfig {
+    /// The paper's adaptive detector with the given maximum stride.
+    pub fn adaptive(max_stride: usize) -> Self {
+        TransformConfig {
+            max_stride,
+            ..Default::default()
+        }
+    }
+
+    /// The brute-force baseline: every stride considered at every byte.
+    pub fn brute_force(max_stride: usize) -> Self {
+        TransformConfig {
+            max_stride,
+            adaptive: false,
+            ..Default::default()
+        }
+    }
+
+    /// A fixed set of user-specified strides (no adaptation needed —
+    /// nothing to evict when the user already chose).
+    pub fn fixed(strides: Vec<usize>) -> Self {
+        assert!(!strides.is_empty(), "need at least one stride");
+        let max = *strides.iter().max().expect("non-empty");
+        TransformConfig {
+            max_stride: max,
+            explicit_strides: Some(strides),
+            adaptive: false,
+            ..Default::default()
+        }
+    }
+
+    fn strides(&self) -> Vec<usize> {
+        let strides = match &self.explicit_strides {
+            Some(v) => v.clone(),
+            None => (1..=self.max_stride).collect(),
+        };
+        assert!(
+            strides.iter().all(|&s| s >= 1 && s <= self.max_stride),
+            "strides must lie in 1..=max_stride"
+        );
+        strides
+    }
+}
+
+/// Per-stride diagnostic snapshot (see
+/// [`StridePredictor::stride_reports`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StrideReport {
+    /// The stride length.
+    pub stride: usize,
+    /// Whether it is currently in the active set.
+    pub active: bool,
+    /// Correct predictions since (re)activation.
+    pub hits: u64,
+    /// Counted observations since (re)activation.
+    pub observations: u64,
+    /// Longest current run among this stride's phases.
+    pub best_run: u32,
+}
+
+impl StrideReport {
+    /// Hit rate in [0, 1]; 0 when nothing was observed.
+    pub fn hit_rate(&self) -> f64 {
+        if self.observations == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.observations as f64
+        }
+    }
+}
+
+/// One tracked sequence: a (stride, phase) cell of the sequence table.
+#[derive(Debug, Clone, Copy, Default)]
+struct Sequence {
+    /// The difference δ of equation (1).
+    delta: u8,
+    /// "the number of times in a row that the sequence has predicted the
+    /// correct value"
+    run: u32,
+}
+
+/// Per-stride bookkeeping for the active-set policy.
+#[derive(Debug, Clone)]
+struct StrideState {
+    stride: usize,
+    /// Index into the flat sequence table where this stride's `stride`
+    /// phases begin.
+    table_offset: usize,
+    active: bool,
+    /// Correct predictions since (re)activation.
+    hits: u64,
+    /// Total predictions since (re)activation.
+    total: u64,
+    /// Byte offset at which the stride was last activated.
+    activated_at: u64,
+    /// Observations still inside the post-activation warm-up window (one
+    /// per phase): they update deltas and runs but do not count toward
+    /// the hit rate, giving it "a chance to settle" (§III-A).
+    warmup: u64,
+    /// Selection cycle in which the stride was evicted (valid when
+    /// inactive).
+    removed_at_cycle: u64,
+    /// Selection cycle in which the stride was last re-admitted.
+    last_selected_cycle: u64,
+}
+
+/// The predictor: feed it bytes via [`StridePredictor::forward`] /
+/// [`StridePredictor::inverse`]; both directions evolve identical state,
+/// which is what makes the transform invertible without side information.
+#[derive(Debug, Clone)]
+pub struct StridePredictor {
+    config: TransformConfig,
+    strides: Vec<StrideState>,
+    /// Flat sequence table; stride `s` with phase `φ` lives at
+    /// `table_offset(s) + φ`.
+    table: Vec<Sequence>,
+    /// Ring buffer of the last `max_stride` original (reconstructed)
+    /// bytes.
+    history: Vec<u8>,
+    /// Total bytes processed.
+    pos: u64,
+    /// Current selection cycle number.
+    cycle: u64,
+}
+
+impl StridePredictor {
+    /// Fresh predictor state.
+    pub fn new(config: TransformConfig) -> Self {
+        let stride_list = config.strides();
+        let mut table_len = 0usize;
+        let strides = stride_list
+            .iter()
+            .map(|&s| {
+                let st = StrideState {
+                    stride: s,
+                    table_offset: table_len,
+                    active: true,
+                    hits: 0,
+                    total: 0,
+                    activated_at: 0,
+                    warmup: s as u64,
+                    removed_at_cycle: 0,
+                    last_selected_cycle: 0,
+                };
+                table_len += s;
+                st
+            })
+            .collect();
+        StridePredictor {
+            history: vec![0u8; config.max_stride.max(1)],
+            config,
+            strides,
+            table: vec![Sequence::default(); table_len],
+            pos: 0,
+            cycle: 0,
+        }
+    }
+
+    /// The configuration this predictor runs.
+    pub fn config(&self) -> &TransformConfig {
+        &self.config
+    }
+
+    #[inline]
+    fn hist(&self, back: usize) -> u8 {
+        debug_assert!(back >= 1 && back as u64 <= self.pos);
+        debug_assert!(back <= self.history.len());
+        let idx = (self.pos as usize - back) % self.history.len();
+        self.history[idx]
+    }
+
+    /// §III-B: the prediction for the next byte, if any sequence's run
+    /// length exceeds the threshold.
+    #[inline]
+    fn predict(&self) -> Option<u8> {
+        let mut best_run = self.config.run_threshold;
+        let mut best: Option<u8> = None;
+        for st in &self.strides {
+            if !st.active || (st.stride as u64) > self.pos {
+                continue;
+            }
+            let phase = (self.pos % st.stride as u64) as usize;
+            let seq = &self.table[st.table_offset + phase];
+            if seq.run > best_run {
+                best_run = seq.run;
+                best = Some(self.hist(st.stride).wrapping_add(seq.delta));
+            }
+        }
+        best
+    }
+
+    /// Feed the actual byte `x` (original on the forward path,
+    /// reconstructed on the inverse path) and evolve all state.
+    fn advance(&mut self, x: u8) {
+        // Update every active sequence against the observation.
+        for st in &mut self.strides {
+            let s = st.stride;
+            if !st.active || (s as u64) > self.pos {
+                continue;
+            }
+            let idx = (self.pos as usize - s) % self.history.len();
+            let prev = self.history[idx];
+            let phase = (self.pos % s as u64) as usize;
+            let seq = &mut self.table[st.table_offset + phase];
+            let counted = if st.warmup > 0 {
+                st.warmup -= 1;
+                false
+            } else {
+                st.total += 1;
+                true
+            };
+            if prev.wrapping_add(seq.delta) == x {
+                seq.run += 1;
+                if counted {
+                    st.hits += 1;
+                }
+            } else {
+                seq.delta = x.wrapping_sub(prev);
+                seq.run = 0;
+            }
+        }
+
+        // Record the byte.
+        let idx = (self.pos as usize) % self.history.len();
+        self.history[idx] = x;
+        self.pos += 1;
+
+        if !self.config.adaptive {
+            return;
+        }
+
+        // Eviction: active ≥ 2s bytes and hit rate below threshold.
+        let cycle = self.cycle;
+        let pos = self.pos;
+        let (num, den) = (self.config.hit_rate_num as u64, self.config.hit_rate_den as u64);
+        for st in &mut self.strides {
+            if st.active
+                && pos - st.activated_at >= 2 * st.stride as u64
+                && st.total > 0
+                && st.hits * den < st.total * num
+            {
+                st.active = false;
+                st.removed_at_cycle = cycle;
+            }
+        }
+
+        // Selection: once per cycle, re-admit the eligible stride that has
+        // been out of the active set the longest.
+        if self.pos.is_multiple_of(self.config.selection_cycle as u64) {
+            self.cycle += 1;
+            let cycle = self.cycle;
+            if let Some(st) = self
+                .strides
+                .iter_mut()
+                .filter(|st| {
+                    !st.active && cycle - st.last_selected_cycle >= st.stride as u64
+                })
+                .max_by_key(|st| cycle - st.removed_at_cycle)
+            {
+                st.active = true;
+                st.hits = 0;
+                st.total = 0;
+                st.activated_at = pos;
+                st.warmup = st.stride as u64;
+                st.last_selected_cycle = cycle;
+            }
+        }
+    }
+
+    /// Forward transform (§III-B): returns the delta stream `y`.
+    pub fn forward(&mut self, input: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(input.len());
+        for &x in input {
+            let y = match self.predict() {
+                Some(p) => x.wrapping_sub(p),
+                None => x,
+            };
+            out.push(y);
+            self.advance(x);
+        }
+        out
+    }
+
+    /// Inverse transform (§III-C): reconstructs `x` from the delta stream.
+    pub fn inverse(&mut self, input: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(input.len());
+        for &y in input {
+            let x = match self.predict() {
+                Some(p) => y.wrapping_add(p),
+                None => y,
+            };
+            out.push(x);
+            self.advance(x);
+        }
+        out
+    }
+
+    /// Number of currently active strides (observability for tests and
+    /// the tuning bench).
+    pub fn active_strides(&self) -> usize {
+        self.strides.iter().filter(|s| s.active).count()
+    }
+
+    /// Per-stride diagnostics, most-effective strides first (by hit rate
+    /// among active strides, then by stride). Lets tooling answer the
+    /// §III-A question "which strides matter for this input" — typically
+    /// "one or two linear sequences are enough".
+    pub fn stride_reports(&self) -> Vec<StrideReport> {
+        let mut out: Vec<StrideReport> = self
+            .strides
+            .iter()
+            .map(|st| StrideReport {
+                stride: st.stride,
+                active: st.active,
+                hits: st.hits,
+                observations: st.total,
+                best_run: (0..st.stride)
+                    .map(|phi| self.table[st.table_offset + phi].run)
+                    .max()
+                    .unwrap_or(0),
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.active
+                .cmp(&a.active)
+                .then(b.hit_rate().total_cmp(&a.hit_rate()))
+                .then(a.stride.cmp(&b.stride))
+        });
+        out
+    }
+
+    /// Fraction of input bytes that were emitted as zero deltas would be
+    /// ideal; this instead reports the overall hit rate of currently
+    /// active strides (diagnostic).
+    pub fn mean_active_hit_rate(&self) -> f64 {
+        let (hits, total) = self
+            .strides
+            .iter()
+            .filter(|s| s.active)
+            .fold((0u64, 0u64), |(h, t), s| (h + s.hits, t + s.total));
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_stream(n: i32) -> Vec<u8> {
+        let mut data = Vec::new();
+        for x in 0..n {
+            for y in 0..n {
+                for z in 0..n {
+                    data.extend_from_slice(&x.to_be_bytes());
+                    data.extend_from_slice(&y.to_be_bytes());
+                    data.extend_from_slice(&z.to_be_bytes());
+                }
+            }
+        }
+        data
+    }
+
+    fn roundtrip(config: &TransformConfig, data: &[u8]) -> Vec<u8> {
+        let t = StridePredictor::new(config.clone()).forward(data);
+        let back = StridePredictor::new(config.clone()).inverse(&t);
+        assert_eq!(back, data, "inverse(forward(x)) != x");
+        t
+    }
+
+    #[test]
+    fn roundtrip_empty_and_tiny() {
+        let c = TransformConfig::default();
+        roundtrip(&c, b"");
+        roundtrip(&c, b"a");
+        roundtrip(&c, b"ab");
+        roundtrip(&c, &[0u8; 10]);
+    }
+
+    #[test]
+    fn roundtrip_grid_stream() {
+        let c = TransformConfig::default();
+        roundtrip(&c, &grid_stream(12));
+    }
+
+    #[test]
+    fn roundtrip_random_data() {
+        let mut state = 5u64;
+        let data: Vec<u8> = (0..30_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) as u8
+            })
+            .collect();
+        roundtrip(&TransformConfig::default(), &data);
+        roundtrip(&TransformConfig::brute_force(20), &data);
+        roundtrip(&TransformConfig::fixed(vec![12]), &data);
+    }
+
+    #[test]
+    fn grid_stream_becomes_mostly_zero() {
+        // The whole point of the transform: on a regular grid walk, almost
+        // every byte is predicted and the delta stream is almost all 0.
+        let c = TransformConfig::default();
+        let data = grid_stream(16); // records of 12 bytes
+        let t = roundtrip(&c, &data);
+        let zeros = t.iter().filter(|&&b| b == 0).count();
+        // Wrap rows (the z coordinate resets every 16 records, a stride of
+        // 192 > max_stride) stay unpredictable; everything else zeroes.
+        assert!(
+            zeros as f64 > 0.92 * t.len() as f64,
+            "only {zeros}/{} zero bytes after transform",
+            t.len()
+        );
+    }
+
+    #[test]
+    fn fixed_stride_matches_record_size_predicts_well() {
+        let data = grid_stream(16);
+        let c = TransformConfig::fixed(vec![12]);
+        let t = roundtrip(&c, &data);
+        let zeros = t.iter().filter(|&&b| b == 0).count();
+        assert!(
+            zeros as f64 > 0.9 * t.len() as f64,
+            "stride-12 should predict a 12-byte-record stream: {zeros}/{}",
+            t.len()
+        );
+    }
+
+    #[test]
+    fn wrong_fixed_stride_predicts_poorly() {
+        let data = grid_stream(16);
+        let good = TransformConfig::fixed(vec![12]);
+        let bad = TransformConfig::fixed(vec![7]);
+        let tg = roundtrip(&good, &data);
+        let tb = roundtrip(&bad, &data);
+        let zg = tg.iter().filter(|&&b| b == 0).count();
+        let zb = tb.iter().filter(|&&b| b == 0).count();
+        assert!(
+            zg > zb,
+            "stride 12 ({zg} zeros) must beat stride 7 ({zb} zeros)"
+        );
+    }
+
+    #[test]
+    fn adaptive_evicts_useless_strides() {
+        let c = TransformConfig::adaptive(50);
+        let mut p = StridePredictor::new(c);
+        let data = grid_stream(12);
+        let _ = p.forward(&data);
+        // On a perfectly regular stream most strides mispredict (only
+        // multiples of 12 survive); the active set must have shrunk.
+        assert!(
+            p.active_strides() < 50,
+            "active set did not shrink: {}",
+            p.active_strides()
+        );
+    }
+
+    #[test]
+    fn brute_force_never_evicts() {
+        let c = TransformConfig::brute_force(50);
+        let mut p = StridePredictor::new(c);
+        let _ = p.forward(&grid_stream(10));
+        assert_eq!(p.active_strides(), 50);
+    }
+
+    #[test]
+    fn streaming_chunks_equal_one_shot() {
+        // Feeding the data in chunks must produce the identical stream
+        // (constant-size state, no lookahead — §III-D).
+        let data = grid_stream(10);
+        let c = TransformConfig::default();
+        let one = StridePredictor::new(c.clone()).forward(&data);
+        let mut p = StridePredictor::new(c);
+        let mut chunked = Vec::new();
+        for chunk in data.chunks(997) {
+            chunked.extend_from_slice(&p.forward(chunk));
+        }
+        assert_eq!(one, chunked);
+    }
+
+    #[test]
+    fn linear_counter_stream_is_predicted() {
+        // A pure 32-bit counter: low byte advances by 1 with stride 4
+        // (the Fig. 2 pattern with δ=1).
+        let data: Vec<u8> = (0..4000u32).flat_map(|i| i.to_be_bytes()).collect();
+        let c = TransformConfig::adaptive(16);
+        let t = roundtrip(&c, &data);
+        let zeros = t.iter().filter(|&&b| b == 0).count();
+        assert!(
+            zeros as f64 > 0.95 * t.len() as f64,
+            "counter stream should be almost fully predicted: {zeros}/{}",
+            t.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one stride")]
+    fn fixed_requires_strides() {
+        let _ = TransformConfig::fixed(vec![]);
+    }
+
+    #[test]
+    fn stride_reports_identify_the_record_size() {
+        // §III-A: "one or two linear sequences are enough to achieve most
+        // of the compression ... typically equal to, or a small multiple
+        // of, the size of the serialized key/value pair." The top report
+        // on a 12-byte-record stream must be a multiple of 12.
+        let mut p = StridePredictor::new(TransformConfig::adaptive(50));
+        let _ = p.forward(&grid_stream(12));
+        let reports = p.stride_reports();
+        let top = &reports[0];
+        assert!(top.active);
+        assert_eq!(top.stride % 12, 0, "top stride {}", top.stride);
+        assert!(top.hit_rate() > 0.9, "hit rate {}", top.hit_rate());
+        assert!(top.best_run > 100);
+        // Reports cover the full stride universe.
+        assert_eq!(reports.len(), 50);
+    }
+
+    #[test]
+    fn adapts_across_multi_variable_streams() {
+        // §III: "If multiple variables are output ... they may have
+        // different stride lengths due to different shapes." A stream that
+        // switches from 12-byte records (3-D keys) to 8-byte records
+        // (2-D keys) defeats any single fixed stride, but the adaptive
+        // detector re-tunes after the switch.
+        let mut data = Vec::new();
+        for x in 0..20i32 {
+            for y in 0..20i32 {
+                for z in 0..20i32 {
+                    data.extend_from_slice(&x.to_be_bytes());
+                    data.extend_from_slice(&y.to_be_bytes());
+                    data.extend_from_slice(&z.to_be_bytes());
+                }
+            }
+        }
+        let switch = data.len();
+        for x in 0..90i32 {
+            for y in 0..90i32 {
+                data.extend_from_slice(&x.to_be_bytes());
+                data.extend_from_slice(&y.to_be_bytes());
+            }
+        }
+        let adaptive = TransformConfig::default();
+        let t = roundtrip(&adaptive, &data);
+        // Both halves should end up mostly predicted (skip a re-learning
+        // window after the switch).
+        let head_zeros = t[..switch].iter().filter(|&&b| b == 0).count();
+        let tail = &t[switch + 8192..];
+        let tail_zeros = tail.iter().filter(|&&b| b == 0).count();
+        assert!(
+            head_zeros as f64 > 0.9 * switch as f64,
+            "head {head_zeros}/{switch}"
+        );
+        assert!(
+            tail_zeros as f64 > 0.9 * tail.len() as f64,
+            "tail {tail_zeros}/{}",
+            tail.len()
+        );
+        // A fixed stride tuned to the first variable does much worse on
+        // the second half.
+        let fixed = TransformConfig::fixed(vec![12]);
+        let tf = roundtrip(&fixed, &data);
+        let fixed_tail_zeros =
+            tf[switch + 8192..].iter().filter(|&&b| b == 0).count();
+        assert!(
+            tail_zeros > fixed_tail_zeros,
+            "adaptive tail {tail_zeros} must beat fixed-12 tail {fixed_tail_zeros}"
+        );
+    }
+
+    #[test]
+    fn delta_zero_counts_as_valid_prediction() {
+        // §III-A: "a value of 0 for δ is still valid" — constant bytes
+        // must be predicted too. All-constant stream → all zeros out
+        // (after warm-up).
+        let data = vec![0xABu8; 2000];
+        let c = TransformConfig::adaptive(8);
+        let t = roundtrip(&c, &data);
+        let tail = &t[64..];
+        assert!(tail.iter().all(|&b| b == 0), "constant stream not predicted");
+    }
+}

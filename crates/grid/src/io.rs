@@ -1,0 +1,237 @@
+//! Binary dataset serialization — the persistent stand-in for the
+//! paper's NetCDF inputs.
+//!
+//! Format (`SGD1`, all integers big-endian like the Writable layer):
+//!
+//! ```text
+//! magic "SGD1" | u16 variable count
+//! per variable:
+//!   vint name length | name UTF-8 | u8 dtype tag | u8 ndims
+//!   u32 extent per dimension | raw row-major cell bytes
+//! trailer: u32 CRC-32 of everything before it
+//! ```
+
+use crate::dataset::{Dataset, Variable};
+use crate::error::GridError;
+use crate::shape::Shape;
+use crate::value::DataType;
+use crate::writable::{read_vint, write_vint};
+
+const MAGIC: &[u8; 4] = b"SGD1";
+
+fn dtype_tag(dt: DataType) -> u8 {
+    match dt {
+        DataType::U8 => 0,
+        DataType::I16 => 1,
+        DataType::I32 => 2,
+        DataType::I64 => 3,
+        DataType::F32 => 4,
+        DataType::F64 => 5,
+    }
+}
+
+fn dtype_from_tag(tag: u8) -> Result<DataType, GridError> {
+    Ok(match tag {
+        0 => DataType::U8,
+        1 => DataType::I16,
+        2 => DataType::I32,
+        3 => DataType::I64,
+        4 => DataType::F32,
+        5 => DataType::F64,
+        t => return Err(GridError::Deserialize(format!("unknown dtype tag {t}"))),
+    })
+}
+
+/// Simple CRC-32 (IEEE) used only by this container; duplicated from the
+/// compress crate so `grid` stays dependency-free.
+fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+        }
+    }
+    !crc
+}
+
+/// Serialize a dataset to bytes.
+pub fn write_dataset(ds: &Dataset) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(ds.variables().len() as u16).to_be_bytes());
+    for var in ds.variables() {
+        write_vint(&mut out, var.name().len() as i64);
+        out.extend_from_slice(var.name().as_bytes());
+        out.push(dtype_tag(var.dtype()));
+        out.push(var.shape().ndims() as u8);
+        for &e in var.shape().extents() {
+            out.extend_from_slice(&e.to_be_bytes());
+        }
+        out.extend_from_slice(var.raw_data());
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_be_bytes());
+    out
+}
+
+/// Parse a dataset from bytes.
+pub fn read_dataset(buf: &[u8]) -> Result<Dataset, GridError> {
+    if buf.len() < 10 || &buf[..4] != MAGIC {
+        return Err(GridError::Deserialize("bad dataset magic".into()));
+    }
+    let (body, trailer) = buf.split_at(buf.len() - 4);
+    let stored = u32::from_be_bytes(trailer.try_into().expect("4 bytes"));
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(GridError::Deserialize(format!(
+            "dataset checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+        )));
+    }
+
+    let nvars = u16::from_be_bytes([body[4], body[5]]) as usize;
+    let mut pos = 6;
+    let mut ds = Dataset::new();
+    for _ in 0..nvars {
+        let (name_len, used) = read_vint(&body[pos..])?;
+        pos += used;
+        let name_len = usize::try_from(name_len)
+            .map_err(|_| GridError::Deserialize("negative name length".into()))?;
+        if body.len() < pos + name_len + 2 {
+            return Err(GridError::Deserialize("short variable header".into()));
+        }
+        let name = std::str::from_utf8(&body[pos..pos + name_len])
+            .map_err(|_| GridError::Deserialize("variable name not UTF-8".into()))?
+            .to_string();
+        pos += name_len;
+        let dtype = dtype_from_tag(body[pos])?;
+        let ndims = body[pos + 1] as usize;
+        pos += 2;
+        if body.len() < pos + 4 * ndims {
+            return Err(GridError::Deserialize("short extents".into()));
+        }
+        let extents: Vec<u32> = (0..ndims)
+            .map(|d| {
+                let o = pos + 4 * d;
+                u32::from_be_bytes([body[o], body[o + 1], body[o + 2], body[o + 3]])
+            })
+            .collect();
+        pos += 4 * ndims;
+        let shape = Shape::new(extents);
+        let data_len = shape
+            .num_cells()
+            .checked_mul(dtype.size_bytes() as u64)
+            .filter(|&l| l <= (body.len() - pos) as u64)
+            .ok_or_else(|| GridError::Deserialize("short or oversized cell data".into()))?
+            as usize;
+        let mut var = Variable::zeros(&name, dtype, shape)?;
+        var.raw_data_mut().copy_from_slice(&body[pos..pos + data_len]);
+        pos += data_len;
+        ds.add(var);
+    }
+    if pos != body.len() {
+        return Err(GridError::Deserialize(format!(
+            "{} trailing bytes after last variable",
+            body.len() - pos
+        )));
+    }
+    Ok(ds)
+}
+
+/// Save a dataset to a file.
+pub fn save_dataset(ds: &Dataset, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, write_dataset(ds))
+}
+
+/// Load a dataset from a file.
+pub fn load_dataset(path: &std::path::Path) -> Result<Dataset, GridError> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| GridError::Deserialize(format!("read {path:?}: {e}")))?;
+    read_dataset(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use crate::Coord;
+
+    fn sample() -> Dataset {
+        let mut ds = Dataset::new();
+        ds.add(Variable::random_i32("temps", Shape::new(vec![4, 6]), 100, 1).unwrap());
+        ds.add(Variable::smooth_f32("windspeed1", Shape::cube(3, 3), 2).unwrap());
+        ds
+    }
+
+    #[test]
+    fn roundtrip() {
+        let ds = sample();
+        let bytes = write_dataset(&ds);
+        let back = read_dataset(&bytes).unwrap();
+        assert_eq!(back.variables().len(), 2);
+        for (a, b) in ds.variables().iter().zip(back.variables()) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.dtype(), b.dtype());
+            assert_eq!(a.shape(), b.shape());
+            assert_eq!(a.raw_data(), b.raw_data());
+        }
+    }
+
+    #[test]
+    fn empty_dataset_roundtrips() {
+        let bytes = write_dataset(&Dataset::new());
+        assert!(read_dataset(&bytes).unwrap().variables().is_empty());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut bytes = write_dataset(&sample());
+        // Payload flip.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        assert!(read_dataset(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = write_dataset(&sample());
+        assert!(read_dataset(&bytes[..bytes.len() - 5]).is_err());
+        assert!(read_dataset(&bytes[..3]).is_err());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = write_dataset(&sample());
+        bytes[0] = b'X';
+        assert!(read_dataset(&bytes).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("scihadoop-grid-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.sgd");
+        let ds = sample();
+        save_dataset(&ds, &path).unwrap();
+        let back = load_dataset(&path).unwrap();
+        assert_eq!(
+            back.by_name("temps").unwrap().get(&Coord::new(vec![1, 2])).unwrap(),
+            ds.by_name("temps").unwrap().get(&Coord::new(vec![1, 2])).unwrap()
+        );
+        if let Value::F32(v) = back
+            .by_name("windspeed1")
+            .unwrap()
+            .get(&Coord::new(vec![0, 0, 0]))
+            .unwrap()
+        {
+            assert!(v.is_finite());
+        } else {
+            panic!("wrong dtype");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

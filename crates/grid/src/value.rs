@@ -1,0 +1,181 @@
+//! Typed grid cell values.
+//!
+//! The paper's overhead numbers depend on the value payload size (4-byte
+//! floats/ints in the evaluation; Fig. 8's "depending on data types"
+//! caveat). We model the small set of types NetCDF-style scientific data
+//! actually uses.
+
+use crate::error::GridError;
+
+/// Element type of a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 32-bit signed integer.
+    I32,
+    /// 64-bit signed integer.
+    I64,
+    /// 32-bit IEEE float.
+    F32,
+    /// 64-bit IEEE float.
+    F64,
+    /// 16-bit signed integer (the "other data types" of Fig. 8).
+    I16,
+    /// Single byte.
+    U8,
+}
+
+impl DataType {
+    /// Serialized size of one value, in bytes.
+    pub fn size_bytes(self) -> usize {
+        match self {
+            DataType::U8 => 1,
+            DataType::I16 => 2,
+            DataType::I32 | DataType::F32 => 4,
+            DataType::I64 | DataType::F64 => 8,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::U8 => "u8",
+            DataType::I16 => "i16",
+            DataType::I32 => "i32",
+            DataType::I64 => "i64",
+            DataType::F32 => "f32",
+            DataType::F64 => "f64",
+        }
+    }
+}
+
+/// A single dynamically-typed cell value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    U8(u8),
+    I16(i16),
+    I32(i32),
+    I64(i64),
+    F32(f32),
+    F64(f64),
+}
+
+impl Value {
+    /// The value's type tag.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::U8(_) => DataType::U8,
+            Value::I16(_) => DataType::I16,
+            Value::I32(_) => DataType::I32,
+            Value::I64(_) => DataType::I64,
+            Value::F32(_) => DataType::F32,
+            Value::F64(_) => DataType::F64,
+        }
+    }
+
+    /// Serialize in big-endian (Hadoop Writable convention).
+    pub fn write_be(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::U8(v) => out.push(*v),
+            Value::I16(v) => out.extend_from_slice(&v.to_be_bytes()),
+            Value::I32(v) => out.extend_from_slice(&v.to_be_bytes()),
+            Value::I64(v) => out.extend_from_slice(&v.to_be_bytes()),
+            Value::F32(v) => out.extend_from_slice(&v.to_be_bytes()),
+            Value::F64(v) => out.extend_from_slice(&v.to_be_bytes()),
+        }
+    }
+
+    /// Deserialize a value of type `dt` from the front of `buf`, returning
+    /// the value and the number of bytes consumed.
+    pub fn read_be(dt: DataType, buf: &[u8]) -> Result<(Value, usize), GridError> {
+        let n = dt.size_bytes();
+        if buf.len() < n {
+            return Err(GridError::Deserialize(format!(
+                "need {n} bytes for {}, have {}",
+                dt.name(),
+                buf.len()
+            )));
+        }
+        let v = match dt {
+            DataType::U8 => Value::U8(buf[0]),
+            DataType::I16 => Value::I16(i16::from_be_bytes([buf[0], buf[1]])),
+            DataType::I32 => Value::I32(i32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]])),
+            DataType::F32 => Value::F32(f32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]])),
+            DataType::I64 => {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&buf[..8]);
+                Value::I64(i64::from_be_bytes(b))
+            }
+            DataType::F64 => {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&buf[..8]);
+                Value::F64(f64::from_be_bytes(b))
+            }
+        };
+        Ok((v, n))
+    }
+
+    /// Lossy conversion to f64 for numeric queries.
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Value::U8(v) => *v as f64,
+            Value::I16(v) => *v as f64,
+            Value::I32(v) => *v as f64,
+            Value::I64(v) => *v as f64,
+            Value::F32(v) => *v as f64,
+            Value::F64(v) => *v,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_serialized_length() {
+        for (v, n) in [
+            (Value::U8(7), 1),
+            (Value::I16(-2), 2),
+            (Value::I32(123), 4),
+            (Value::F32(1.5), 4),
+            (Value::I64(-9), 8),
+            (Value::F64(2.5), 8),
+        ] {
+            let mut buf = Vec::new();
+            v.write_be(&mut buf);
+            assert_eq!(buf.len(), n);
+            assert_eq!(v.data_type().size_bytes(), n);
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_types() {
+        for v in [
+            Value::U8(255),
+            Value::I16(-32768),
+            Value::I32(i32::MIN),
+            Value::F32(-0.125),
+            Value::I64(i64::MAX),
+            Value::F64(std::f64::consts::PI),
+        ] {
+            let mut buf = Vec::new();
+            v.write_be(&mut buf);
+            let (back, used) = Value::read_be(v.data_type(), &buf).unwrap();
+            assert_eq!(back, v);
+            assert_eq!(used, buf.len());
+        }
+    }
+
+    #[test]
+    fn read_rejects_short_buffers() {
+        assert!(Value::read_be(DataType::I32, &[1, 2, 3]).is_err());
+        assert!(Value::read_be(DataType::F64, &[0; 7]).is_err());
+    }
+
+    #[test]
+    fn as_f64_conversions() {
+        assert_eq!(Value::I32(42).as_f64(), 42.0);
+        assert_eq!(Value::F32(1.5).as_f64(), 1.5);
+        assert_eq!(Value::U8(9).as_f64(), 9.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for the grid substrate.
+
+use proptest::prelude::*;
+use scihadoop_grid::{
+    read_dataset, write_dataset, BoundingBox, Coord, Dataset, GridKey, Shape, Variable,
+    VariableId,
+};
+use scihadoop_grid::writable::{read_vint, write_vint};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn vint_roundtrips_all_i64(v in any::<i64>()) {
+        let mut buf = Vec::new();
+        write_vint(&mut buf, v);
+        prop_assert_eq!(read_vint(&buf).unwrap(), (v, buf.len()));
+    }
+
+    #[test]
+    fn linearize_is_bijective(
+        extents in proptest::collection::vec(1u32..20, 1..4),
+        idx_frac in 0.0f64..1.0,
+    ) {
+        let shape = Shape::new(extents);
+        let cells = shape.num_cells();
+        let idx = ((cells as f64 - 1.0) * idx_frac) as u64;
+        let coord = shape.delinearize(idx).unwrap();
+        prop_assert_eq!(shape.linearize(&coord).unwrap(), idx);
+    }
+
+    #[test]
+    fn grid_keys_roundtrip(
+        coords in proptest::collection::vec(any::<i32>(), 1..5),
+        name in "[a-z][a-z0-9_]{0,20}",
+        index in any::<i32>(),
+    ) {
+        let ndims = coords.len();
+        let named = GridKey::new(VariableId::Name(name), Coord::new(coords.clone()));
+        let bytes = named.to_bytes();
+        prop_assert_eq!(bytes.len(), named.serialized_len());
+        let (back, used) = GridKey::read_named(&bytes, ndims).unwrap();
+        prop_assert_eq!(back, named);
+        prop_assert_eq!(used, bytes.len());
+
+        let indexed = GridKey::new(VariableId::Index(index), Coord::new(coords));
+        let bytes = indexed.to_bytes();
+        let (back, _) = GridKey::read_indexed(&bytes, ndims).unwrap();
+        prop_assert_eq!(back, indexed);
+    }
+
+    #[test]
+    fn bbox_intersection_is_commutative_and_tight(
+        a_corner in proptest::collection::vec(-10i32..10, 2),
+        a_shape in proptest::collection::vec(1u32..8, 2),
+        b_corner in proptest::collection::vec(-10i32..10, 2),
+        b_shape in proptest::collection::vec(1u32..8, 2),
+    ) {
+        let a = BoundingBox::new(Coord::new(a_corner), Shape::new(a_shape)).unwrap();
+        let b = BoundingBox::new(Coord::new(b_corner), Shape::new(b_shape)).unwrap();
+        let ab = a.intersect(&b);
+        let ba = b.intersect(&a);
+        prop_assert_eq!(&ab, &ba);
+        match ab {
+            Some(i) => {
+                for cell in i.cells() {
+                    prop_assert!(a.contains(&cell) && b.contains(&cell));
+                }
+            }
+            None => {
+                for cell in a.cells() {
+                    prop_assert!(!b.contains(&cell));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_longest_partitions_exactly(
+        extents in proptest::collection::vec(1u32..12, 1..4),
+        parts in 1usize..8,
+    ) {
+        let b = BoundingBox::at_origin(Shape::new(extents));
+        let pieces = b.split_longest(parts);
+        let total: u64 = pieces.iter().map(|p| p.num_cells()).sum();
+        prop_assert_eq!(total, b.num_cells());
+        for cell in b.cells() {
+            let n = pieces.iter().filter(|p| p.contains(&cell)).count();
+            prop_assert_eq!(n, 1);
+        }
+    }
+
+    #[test]
+    fn dataset_io_roundtrips(
+        w in 1u32..8, h in 1u32..8, seed in any::<u64>(),
+        name in "[a-z][a-z0-9_]{0,12}",
+    ) {
+        let mut ds = Dataset::new();
+        ds.add(Variable::random_i32(&name, Shape::new(vec![w, h]), 1000, seed).unwrap());
+        let bytes = write_dataset(&ds);
+        let back = read_dataset(&bytes).unwrap();
+        prop_assert_eq!(back.variables().len(), 1);
+        prop_assert_eq!(back.variables()[0].raw_data(), ds.variables()[0].raw_data());
+        prop_assert_eq!(back.variables()[0].name(), name.as_str());
+    }
+}

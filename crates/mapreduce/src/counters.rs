@@ -1,0 +1,171 @@
+//! Job counters — the engine's analogue of Hadoop's counter framework.
+//!
+//! The paper reads its headline metric straight off a Hadoop counter
+//! ("Map output materialized bytes"); [`Counter::MapOutputMaterializedBytes`]
+//! is that counter here.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// All counters the engine maintains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Records read by mappers.
+    MapInputRecords,
+    /// Key/value pairs emitted by mappers (after any user-level
+    /// aggregation — what actually enters the pipeline).
+    MapOutputRecords,
+    /// Raw serialized bytes of map output (keys + values + record
+    /// framing), before compression.
+    MapOutputBytes,
+    /// Bytes of map output actually materialized to "disk" after the
+    /// codec ran — the paper's "Map output materialized bytes".
+    MapOutputMaterializedBytes,
+    /// Key bytes within map output (diagnostic split of MapOutputBytes).
+    MapOutputKeyBytes,
+    /// Value bytes within map output.
+    MapOutputValueBytes,
+    /// Record-framing overhead bytes within map output.
+    MapOutputFramingBytes,
+    /// Records entering combiners.
+    CombineInputRecords,
+    /// Records leaving combiners.
+    CombineOutputRecords,
+    /// Spill events.
+    Spills,
+    /// Bytes fetched across the (simulated) network by reducers.
+    ShuffleBytes,
+    /// Records entering reducers after merge/group.
+    ReduceInputRecords,
+    /// Distinct keys reduced.
+    ReduceInputGroups,
+    /// Records emitted by reducers.
+    ReduceOutputRecords,
+    /// Bytes emitted by reducers.
+    ReduceOutputBytes,
+    /// Keys split by the routing path (§IV-B case 1): extra records
+    /// created.
+    RouteSplitRecords,
+    /// Keys split by the sort path (§IV-B case 2): extra records created.
+    SortSplitRecords,
+    /// Nanoseconds spent inside `Codec::compress`.
+    CompressNanos,
+    /// Nanoseconds spent inside `Codec::decompress`.
+    DecompressNanos,
+    /// Nanoseconds spent in user map functions.
+    MapFnNanos,
+    /// Nanoseconds spent in user reduce functions.
+    ReduceFnNanos,
+    /// Nanoseconds spent sorting, combining and serializing spills
+    /// (map-side per-record pipeline cost).
+    SpillNanos,
+    /// Nanoseconds spent merging, splitting and grouping at reducers
+    /// (reduce-side per-record pipeline cost).
+    MergeNanos,
+}
+
+/// Number of counter slots.
+pub const NUM_COUNTERS: usize = Counter::MergeNanos as usize + 1;
+
+/// Lock-free counter bank, shared across tasks.
+#[derive(Debug, Default)]
+pub struct Counters {
+    slots: [AtomicU64; NUM_COUNTERS],
+}
+
+impl Counters {
+    /// All-zero counters.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Add `delta` to a counter.
+    pub fn add(&self, c: Counter, delta: u64) {
+        self.slots[c as usize].fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Read a counter.
+    pub fn get(&self, c: Counter) -> u64 {
+        self.slots[c as usize].load(Ordering::Relaxed)
+    }
+
+    /// Snapshot every counter (for reports).
+    pub fn snapshot(&self) -> CounterSnapshot {
+        let mut values = [0u64; NUM_COUNTERS];
+        for (i, slot) in self.slots.iter().enumerate() {
+            values[i] = slot.load(Ordering::Relaxed);
+        }
+        CounterSnapshot { values }
+    }
+}
+
+/// An immutable copy of all counters at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    values: [u64; NUM_COUNTERS],
+}
+
+impl CounterSnapshot {
+    /// Read a counter from the snapshot.
+    pub fn get(&self, c: Counter) -> u64 {
+        self.values[c as usize]
+    }
+
+    /// Compression ratio achieved on map output (1.0 = incompressible).
+    pub fn materialized_ratio(&self) -> f64 {
+        let raw = self.get(Counter::MapOutputBytes);
+        if raw == 0 {
+            return 1.0;
+        }
+        self.get(Counter::MapOutputMaterializedBytes) as f64 / raw as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let c = Counters::new();
+        c.add(Counter::MapOutputBytes, 100);
+        c.add(Counter::MapOutputBytes, 23);
+        assert_eq!(c.get(Counter::MapOutputBytes), 123);
+        assert_eq!(c.get(Counter::ShuffleBytes), 0);
+    }
+
+    #[test]
+    fn snapshot_is_stable() {
+        let c = Counters::new();
+        c.add(Counter::Spills, 2);
+        let snap = c.snapshot();
+        c.add(Counter::Spills, 5);
+        assert_eq!(snap.get(Counter::Spills), 2);
+        assert_eq!(c.get(Counter::Spills), 7);
+    }
+
+    #[test]
+    fn materialized_ratio() {
+        let c = Counters::new();
+        c.add(Counter::MapOutputBytes, 1000);
+        c.add(Counter::MapOutputMaterializedBytes, 250);
+        assert_eq!(c.snapshot().materialized_ratio(), 0.25);
+        assert_eq!(Counters::new().snapshot().materialized_ratio(), 1.0);
+    }
+
+    #[test]
+    fn counters_are_shareable_across_threads() {
+        let c = std::sync::Arc::new(Counters::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.add(Counter::MapInputRecords, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(Counter::MapInputRecords), 4000);
+    }
+}

@@ -1,0 +1,50 @@
+//! Engine error type.
+
+use scihadoop_compress::CompressError;
+use std::fmt;
+
+/// Errors surfaced by the MapReduce engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MrError {
+    /// Intermediate data failed to decompress or parse.
+    Intermediate(String),
+    /// A codec reported corruption.
+    Codec(CompressError),
+    /// Invalid job configuration.
+    Config(String),
+    /// A task panicked.
+    TaskFailed(String),
+}
+
+impl fmt::Display for MrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MrError::Intermediate(msg) => write!(f, "intermediate data error: {msg}"),
+            MrError::Codec(e) => write!(f, "codec error: {e}"),
+            MrError::Config(msg) => write!(f, "bad job config: {msg}"),
+            MrError::TaskFailed(msg) => write!(f, "task failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MrError {}
+
+impl From<CompressError> for MrError {
+    fn from(e: CompressError) -> Self {
+        MrError::Codec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_converts() {
+        let e: MrError = CompressError::Truncated("x".into()).into();
+        assert!(e.to_string().contains("codec error"));
+        assert!(MrError::Config("zero reducers".into())
+            .to_string()
+            .contains("zero reducers"));
+    }
+}

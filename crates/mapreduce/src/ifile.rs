@@ -1,0 +1,403 @@
+//! The IFile-style intermediate record format.
+//!
+//! Hadoop materializes map output as framed `(key, value)` records;
+//! "the file format used by Hadoop adds a non-zero overhead per key/value
+//! pair" (§IV-D) — overhead the paper's Fig. 8 shows aggregation
+//! mitigating. Two framings are supported, matching the two overheads
+//! visible in the paper:
+//!
+//! * [`Framing::SequenceFile`] — 4-byte record length + key/value vints:
+//!   6 bytes/record for small records. With a 6-byte file header this
+//!   reproduces the §I arithmetic exactly: a 100³ float grid with
+//!   4-int keys gives 26,000,006 bytes; with `windspeed1` keys,
+//!   33,000,006 bytes.
+//! * [`Framing::IFile`] — key/value vints only: 2 bytes/record, the
+//!   1.91 MB "file overhead" bar of Fig. 8 (10⁶ records × 2 B).
+//!
+//! A writer wraps a [`Codec`]: `close()` compresses everything written
+//! and reports both raw and materialized sizes.
+
+use crate::error::MrError;
+use crate::record::KvPair;
+use scihadoop_compress::Codec;
+use std::sync::Arc;
+
+/// File magic ("SciHadoop InterFile") + version + framing byte = 6-byte
+/// header.
+const HEADER_LEN: usize = 6;
+const MAGIC: &[u8; 4] = b"SHIF";
+
+/// Record framing variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Framing {
+    /// 4-byte big-endian record length, then key/value vints.
+    SequenceFile,
+    /// Key/value vints only (Hadoop's actual IFile framing).
+    IFile,
+}
+
+impl Framing {
+    fn tag(self) -> u8 {
+        match self {
+            Framing::SequenceFile => 0,
+            Framing::IFile => 1,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, MrError> {
+        match tag {
+            0 => Ok(Framing::SequenceFile),
+            1 => Ok(Framing::IFile),
+            t => Err(MrError::Intermediate(format!("unknown framing {t}"))),
+        }
+    }
+
+    /// Framing bytes for a record with the given key/value sizes.
+    pub fn overhead(self, key_len: usize, value_len: usize) -> usize {
+        let vints = vint_len(key_len as i64) + vint_len(value_len as i64);
+        match self {
+            Framing::SequenceFile => 4 + vints,
+            Framing::IFile => vints,
+        }
+    }
+
+    /// Constant per-file overhead.
+    pub fn file_overhead(self) -> usize {
+        HEADER_LEN
+    }
+}
+
+/// Hadoop-compatible vint length (see `scihadoop-grid::writable` for the
+/// wire format; duplicated here so the engine stays substrate-free).
+pub fn vint_len(v: i64) -> usize {
+    if (-112..=127).contains(&v) {
+        1
+    } else {
+        let m = if v < 0 { !v } else { v };
+        1 + (8 - (m.leading_zeros() as usize) / 8)
+    }
+}
+
+fn write_vint(out: &mut Vec<u8>, v: i64) {
+    if (-112..=127).contains(&v) {
+        out.push(v as u8);
+        return;
+    }
+    let (mut tag, mag) = if v < 0 { (-120i64, !v) } else { (-112i64, v) };
+    let data_bytes = (8 - (mag.leading_zeros() as usize) / 8).max(1);
+    tag -= data_bytes as i64;
+    out.push(tag as u8);
+    for i in (0..data_bytes).rev() {
+        out.push((mag >> (8 * i)) as u8);
+    }
+}
+
+fn read_vint(buf: &[u8]) -> Result<(i64, usize), MrError> {
+    let first = *buf
+        .first()
+        .ok_or_else(|| MrError::Intermediate("empty vint".into()))? as i8;
+    if first >= -112 {
+        return Ok((first as i64, 1));
+    }
+    let (negative, data_bytes) = if first >= -120 {
+        (false, (-113 - first as i64) as usize + 1)
+    } else {
+        (true, (-121 - first as i64) as usize + 1)
+    };
+    if buf.len() < 1 + data_bytes {
+        return Err(MrError::Intermediate("short vint".into()));
+    }
+    let mut mag = 0i64;
+    for &b in &buf[1..1 + data_bytes] {
+        mag = (mag << 8) | b as i64;
+    }
+    Ok((if negative { !mag } else { mag }, 1 + data_bytes))
+}
+
+/// Writes framed records into an in-memory segment, compressing on close.
+pub struct IFileWriter {
+    framing: Framing,
+    codec: Arc<dyn Codec>,
+    buf: Vec<u8>,
+    records: u64,
+    key_bytes: u64,
+    value_bytes: u64,
+}
+
+/// A closed intermediate segment plus its size accounting.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// Compressed (materialized) bytes — what would hit disk and network.
+    pub data: Vec<u8>,
+    /// Raw framed size before compression.
+    pub raw_bytes: u64,
+    /// Records contained.
+    pub records: u64,
+    /// Raw key bytes (excluding framing).
+    pub key_bytes: u64,
+    /// Raw value bytes.
+    pub value_bytes: u64,
+    /// Nanoseconds spent compressing.
+    pub compress_nanos: u64,
+}
+
+impl Segment {
+    /// Materialized size in bytes.
+    pub fn materialized_bytes(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// Per-record framing overhead bytes (raw minus keys, values, and the
+    /// constant file header).
+    pub fn framing_bytes(&self) -> u64 {
+        self.raw_bytes - self.key_bytes - self.value_bytes - HEADER_LEN as u64
+    }
+}
+
+impl IFileWriter {
+    /// Open a writer with the given framing and codec.
+    pub fn new(framing: Framing, codec: Arc<dyn Codec>) -> Self {
+        let mut buf = Vec::with_capacity(4096);
+        buf.extend_from_slice(MAGIC);
+        buf.push(1); // version
+        buf.push(framing.tag());
+        debug_assert_eq!(buf.len(), HEADER_LEN);
+        IFileWriter {
+            framing,
+            codec,
+            buf,
+            records: 0,
+            key_bytes: 0,
+            value_bytes: 0,
+        }
+    }
+
+    /// Append one record.
+    pub fn append(&mut self, key: &[u8], value: &[u8]) {
+        match self.framing {
+            Framing::SequenceFile => {
+                let body = vint_len(key.len() as i64)
+                    + vint_len(value.len() as i64)
+                    + key.len()
+                    + value.len();
+                self.buf.extend_from_slice(&(body as u32).to_be_bytes());
+            }
+            Framing::IFile => {}
+        }
+        write_vint(&mut self.buf, key.len() as i64);
+        write_vint(&mut self.buf, value.len() as i64);
+        self.buf.extend_from_slice(key);
+        self.buf.extend_from_slice(value);
+        self.records += 1;
+        self.key_bytes += key.len() as u64;
+        self.value_bytes += value.len() as u64;
+    }
+
+    /// Append a pair.
+    pub fn append_pair(&mut self, pair: &KvPair) {
+        self.append(&pair.key, &pair.value);
+    }
+
+    /// Raw bytes buffered so far (including header).
+    pub fn raw_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Records appended so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Compress and seal the segment.
+    pub fn close(self) -> Segment {
+        let raw_bytes = self.buf.len() as u64;
+        let t0 = std::time::Instant::now();
+        let data = self.codec.compress(&self.buf);
+        let compress_nanos = t0.elapsed().as_nanos() as u64;
+        Segment {
+            data,
+            raw_bytes,
+            records: self.records,
+            key_bytes: self.key_bytes,
+            value_bytes: self.value_bytes,
+            compress_nanos,
+        }
+    }
+}
+
+/// Reads a segment back into records.
+pub struct IFileReader {
+    records: Vec<KvPair>,
+    /// Nanoseconds spent decompressing.
+    pub decompress_nanos: u64,
+}
+
+impl IFileReader {
+    /// Decompress and parse a segment.
+    pub fn open(segment: &[u8], codec: &dyn Codec) -> Result<Self, MrError> {
+        let t0 = std::time::Instant::now();
+        let raw = codec.decompress(segment)?;
+        let decompress_nanos = t0.elapsed().as_nanos() as u64;
+        if raw.len() < HEADER_LEN || &raw[..4] != MAGIC {
+            return Err(MrError::Intermediate("bad segment header".into()));
+        }
+        if raw[4] != 1 {
+            return Err(MrError::Intermediate(format!("bad version {}", raw[4])));
+        }
+        let framing = Framing::from_tag(raw[5])?;
+        let mut records = Vec::new();
+        let mut pos = HEADER_LEN;
+        while pos < raw.len() {
+            if framing == Framing::SequenceFile {
+                if raw.len() < pos + 4 {
+                    return Err(MrError::Intermediate("short record length".into()));
+                }
+                pos += 4; // record length is redundant for in-memory reads
+            }
+            let (klen, used) = read_vint(&raw[pos..])?;
+            pos += used;
+            let (vlen, used) = read_vint(&raw[pos..])?;
+            pos += used;
+            let (klen, vlen) = (
+                usize::try_from(klen)
+                    .map_err(|_| MrError::Intermediate("negative key length".into()))?,
+                usize::try_from(vlen)
+                    .map_err(|_| MrError::Intermediate("negative value length".into()))?,
+            );
+            if raw.len() < pos + klen + vlen {
+                return Err(MrError::Intermediate("short record body".into()));
+            }
+            let key = raw[pos..pos + klen].to_vec();
+            pos += klen;
+            let value = raw[pos..pos + vlen].to_vec();
+            pos += vlen;
+            records.push(KvPair { key, value });
+        }
+        Ok(IFileReader {
+            records,
+            decompress_nanos,
+        })
+    }
+
+    /// The records, in file order.
+    pub fn into_records(self) -> Vec<KvPair> {
+        self.records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scihadoop_compress::{DeflateCodec, IdentityCodec};
+
+    fn roundtrip(framing: Framing, pairs: &[KvPair]) -> Segment {
+        let codec: Arc<dyn Codec> = Arc::new(IdentityCodec);
+        let mut w = IFileWriter::new(framing, codec.clone());
+        for p in pairs {
+            w.append_pair(p);
+        }
+        let seg = w.close();
+        let r = IFileReader::open(&seg.data, codec.as_ref()).unwrap();
+        assert_eq!(r.into_records(), pairs);
+        seg
+    }
+
+    #[test]
+    fn empty_segment() {
+        let seg = roundtrip(Framing::IFile, &[]);
+        assert_eq!(seg.records, 0);
+        assert_eq!(seg.raw_bytes, HEADER_LEN as u64);
+    }
+
+    #[test]
+    fn sequencefile_framing_matches_intro_arithmetic() {
+        // One record, 16-byte key + 4-byte value: 6 bytes framing → 26
+        // bytes/record, the paper's §I number.
+        let pair = KvPair::new(vec![1u8; 16], vec![2u8; 4]);
+        let seg = roundtrip(Framing::SequenceFile, std::slice::from_ref(&pair));
+        assert_eq!(
+            seg.raw_bytes,
+            (HEADER_LEN + 26) as u64,
+            "16B key + 4B value must cost 26 bytes + header"
+        );
+        // 23-byte key (windspeed1 layout) → 33 bytes/record.
+        let pair = KvPair::new(vec![1u8; 23], vec![2u8; 4]);
+        let seg = roundtrip(Framing::SequenceFile, &[pair]);
+        assert_eq!(seg.raw_bytes, (HEADER_LEN + 33) as u64);
+    }
+
+    #[test]
+    fn ifile_framing_is_two_bytes_for_small_records() {
+        let pair = KvPair::new(vec![1u8; 12], vec![2u8; 4]);
+        let seg = roundtrip(Framing::IFile, &[pair]);
+        assert_eq!(seg.raw_bytes, (HEADER_LEN + 18) as u64);
+        assert_eq!(seg.framing_bytes(), 2);
+    }
+
+    #[test]
+    fn overhead_fn_matches_writer() {
+        for framing in [Framing::SequenceFile, Framing::IFile] {
+            for (k, v) in [(0usize, 0usize), (16, 4), (200, 1), (23, 4)] {
+                let pair = KvPair::new(vec![0u8; k], vec![0u8; v]);
+                let codec: Arc<dyn Codec> = Arc::new(IdentityCodec);
+                let mut w = IFileWriter::new(framing, codec);
+                let before = w.raw_len();
+                w.append_pair(&pair);
+                let actual = w.raw_len() - before - k - v;
+                assert_eq!(actual, framing.overhead(k, v), "framing {framing:?} k={k} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn accounting_separates_keys_values_framing() {
+        let pairs: Vec<KvPair> = (0..100u32)
+            .map(|i| KvPair::new(i.to_be_bytes().to_vec(), vec![7u8; 8]))
+            .collect();
+        let seg = roundtrip(Framing::IFile, &pairs);
+        assert_eq!(seg.key_bytes, 400);
+        assert_eq!(seg.value_bytes, 800);
+        assert_eq!(seg.framing_bytes(), 200);
+        assert_eq!(seg.records, 100);
+    }
+
+    #[test]
+    fn compressing_codec_shrinks_materialized_bytes() {
+        let codec: Arc<dyn Codec> = Arc::new(DeflateCodec::new());
+        let mut w = IFileWriter::new(Framing::IFile, codec.clone());
+        for i in 0..2000u32 {
+            w.append(&i.to_be_bytes(), &[0u8; 4]);
+        }
+        let seg = w.close();
+        assert!(seg.materialized_bytes() < seg.raw_bytes / 2);
+        let r = IFileReader::open(&seg.data, codec.as_ref()).unwrap();
+        assert_eq!(r.into_records().len(), 2000);
+    }
+
+    #[test]
+    fn reader_rejects_garbage() {
+        let codec = IdentityCodec;
+        assert!(IFileReader::open(b"tiny", &codec).is_err());
+        let mut w = IFileWriter::new(Framing::IFile, Arc::new(IdentityCodec));
+        w.append(b"key", b"value");
+        let seg = w.close();
+        // Truncated body.
+        assert!(IFileReader::open(&seg.data[..seg.data.len() - 2], &codec).is_err());
+        // Bad magic.
+        let mut bad = seg.data.clone();
+        bad[0] = b'X';
+        assert!(IFileReader::open(&bad, &codec).is_err());
+        // Bad framing tag.
+        let mut bad = seg.data.clone();
+        bad[5] = 9;
+        assert!(IFileReader::open(&bad, &codec).is_err());
+    }
+
+    #[test]
+    fn large_keys_use_multibyte_vints() {
+        let pair = KvPair::new(vec![1u8; 1000], vec![2u8; 4]);
+        let seg = roundtrip(Framing::IFile, &[pair]);
+        // vint(1000) = 3 bytes, vint(4) = 1 byte.
+        assert_eq!(seg.framing_bytes(), 4);
+    }
+}

@@ -1,0 +1,119 @@
+//! Key semantics — the engine hook behind the paper's §IV-B change.
+//!
+//! Stock Hadoop assumes keys are atomic and independent (§II-B). The
+//! paper's "one set of changes inside Hadoop ... allows aggregate keys to
+//! be split during the routing and sorting phases". This trait is that
+//! change, made pluggable: the engine calls [`KeySemantics::route`] when
+//! partitioning map output and [`KeySemantics::sort_split`] before
+//! grouping at the reducer. The default implementation reproduces stock
+//! Hadoop (hash partitioning, no splitting); `scihadoop-core` provides
+//! the aggregate-key implementation.
+
+use crate::record::KvPair;
+use std::cmp::Ordering;
+
+/// Pluggable key behaviour for routing, sorting, splitting and grouping.
+pub trait KeySemantics: Send + Sync {
+    /// Sort order of serialized keys (Hadoop: bytewise).
+    fn compare(&self, a: &[u8], b: &[u8]) -> Ordering {
+        a.cmp(b)
+    }
+
+    /// Which reducer a key routes to (Hadoop's `Partitioner`).
+    fn partition(&self, key: &[u8], parts: usize) -> usize;
+
+    /// Route a pair, possibly splitting it across reducers (§IV-B case
+    /// 1). The default routes whole pairs, like stock Hadoop.
+    fn route(&self, pair: KvPair, parts: usize) -> Vec<(usize, KvPair)> {
+        let p = self.partition(&pair.key, parts);
+        vec![(p, pair)]
+    }
+
+    /// Rewrite a reducer's sorted run before grouping, e.g. splitting
+    /// overlapping aggregate keys (§IV-B case 2). Must return records
+    /// whose keys are equal or never group together; the engine re-sorts
+    /// afterwards. The default is the identity (stock Hadoop).
+    fn sort_split(&self, records: Vec<KvPair>) -> Vec<KvPair> {
+        records
+    }
+
+    /// Whether two keys belong to the same reduce group (Hadoop's
+    /// grouping comparator).
+    fn group_eq(&self, a: &[u8], b: &[u8]) -> bool {
+        a == b
+    }
+}
+
+/// Stock-Hadoop behaviour: FNV-1a hash partitioning, bytewise sort,
+/// atomic keys.
+#[derive(Debug, Clone, Default)]
+pub struct DefaultKeySemantics;
+
+impl KeySemantics for DefaultKeySemantics {
+    fn partition(&self, key: &[u8], parts: usize) -> usize {
+        (fnv1a(key) % parts as u64) as usize
+    }
+}
+
+/// FNV-1a, the engine's stand-in for `key.hashCode() % numReducers`.
+pub fn fnv1a(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_partition_is_stable_and_in_range() {
+        let ks = DefaultKeySemantics;
+        for key in [b"a".as_slice(), b"windspeed1", b"", &[0xFF; 40]] {
+            let p = ks.partition(key, 5);
+            assert!(p < 5);
+            assert_eq!(p, ks.partition(key, 5), "deterministic");
+        }
+    }
+
+    #[test]
+    fn default_route_is_whole_pair() {
+        let ks = DefaultKeySemantics;
+        let pair = KvPair::new(b"k".to_vec(), b"v".to_vec());
+        let routed = ks.route(pair.clone(), 3);
+        assert_eq!(routed.len(), 1);
+        assert_eq!(routed[0].1, pair);
+        assert_eq!(routed[0].0, ks.partition(b"k", 3));
+    }
+
+    #[test]
+    fn default_compare_is_bytewise() {
+        let ks = DefaultKeySemantics;
+        assert_eq!(ks.compare(b"a", b"b"), Ordering::Less);
+        assert_eq!(ks.compare(b"ab", b"a"), Ordering::Greater);
+        assert!(ks.group_eq(b"x", b"x"));
+        assert!(!ks.group_eq(b"x", b"y"));
+    }
+
+    #[test]
+    fn sort_split_default_is_identity() {
+        let ks = DefaultKeySemantics;
+        let records = vec![KvPair::new(b"a".to_vec(), b"1".to_vec())];
+        assert_eq!(ks.sort_split(records.clone()), records);
+    }
+
+    #[test]
+    fn fnv_distributes() {
+        // Coarse check: 1000 numeric keys spread over 10 buckets with no
+        // bucket starved.
+        let mut buckets = [0usize; 10];
+        for i in 0..1000u32 {
+            let ks = DefaultKeySemantics;
+            buckets[ks.partition(&i.to_be_bytes(), 10)] += 1;
+        }
+        assert!(buckets.iter().all(|&b| b > 50), "skewed: {buckets:?}");
+    }
+}

@@ -1,0 +1,540 @@
+//! Job execution: map slots, spills, shuffle, and reduce slots.
+
+use crate::counters::{Counter, Counters};
+use crate::error::MrError;
+use crate::ifile::{IFileReader, IFileWriter, Segment};
+use crate::job::{JobConfig, JobResult};
+use crate::record::{InputSplit, KvPair, Mapper, Reducer};
+use crate::sort::{for_each_group, merge_sorted_runs};
+use crate::stats::JobStats;
+use crossbeam::channel;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Execute a job. Called by [`crate::job::Job::run`].
+pub fn run_job(
+    config: &JobConfig,
+    splits: Vec<InputSplit>,
+    mapper: Arc<dyn Mapper>,
+    reducer: Arc<dyn Reducer>,
+) -> Result<JobResult, MrError> {
+    let counters = Arc::new(Counters::new());
+    let num_maps = splits.len();
+    let input_bytes: u64 = splits.iter().map(|s| s.bytes()).sum();
+
+    // ---- Map phase -----------------------------------------------------
+    let map_t0 = Instant::now();
+    // map_outputs[r] = compressed segments destined for reducer r.
+    let map_outputs: Vec<Mutex<Vec<Vec<u8>>>> =
+        (0..config.num_reducers).map(|_| Mutex::new(Vec::new())).collect();
+    let errors: Mutex<Vec<MrError>> = Mutex::new(Vec::new());
+
+    {
+        let (tx, rx) = channel::unbounded::<InputSplit>();
+        for split in splits {
+            tx.send(split).expect("queue open");
+        }
+        drop(tx);
+
+        std::thread::scope(|scope| {
+            for _ in 0..config.map_slots {
+                let rx = rx.clone();
+                let mapper = mapper.clone();
+                let counters = counters.clone();
+                let map_outputs = &map_outputs;
+                let errors = &errors;
+                let config = config.clone();
+                scope.spawn(move || {
+                    while let Ok(split) = rx.recv() {
+                        match run_map_task(&config, &split, mapper.as_ref(), &counters) {
+                            Ok(segments) => {
+                                for (partition, seg) in segments {
+                                    map_outputs[partition].lock().push(seg.data);
+                                }
+                            }
+                            Err(e) => errors.lock().push(e),
+                        }
+                    }
+                });
+            }
+        });
+    }
+    if let Some(e) = errors.lock().pop() {
+        return Err(e);
+    }
+    let map_wall_nanos = map_t0.elapsed().as_nanos() as u64;
+
+    // ---- Shuffle (in-process: account the transfer) ---------------------
+    for per_reducer in &map_outputs {
+        let bytes: u64 = per_reducer.lock().iter().map(|s| s.len() as u64).sum();
+        counters.add(Counter::ShuffleBytes, bytes);
+    }
+
+    // ---- Reduce phase ----------------------------------------------------
+    let reduce_t0 = Instant::now();
+    let outputs: Vec<Mutex<Vec<KvPair>>> =
+        (0..config.num_reducers).map(|_| Mutex::new(Vec::new())).collect();
+    {
+        let (tx, rx) = channel::unbounded::<usize>();
+        for r in 0..config.num_reducers {
+            tx.send(r).expect("queue open");
+        }
+        drop(tx);
+
+        std::thread::scope(|scope| {
+            for _ in 0..config.reduce_slots {
+                let rx = rx.clone();
+                let reducer = reducer.clone();
+                let counters = counters.clone();
+                let map_outputs = &map_outputs;
+                let outputs = &outputs;
+                let errors = &errors;
+                let config = config.clone();
+                scope.spawn(move || {
+                    while let Ok(r) = rx.recv() {
+                        let segments = std::mem::take(&mut *map_outputs[r].lock());
+                        match run_reduce_task(&config, segments, reducer.as_ref(), &counters)
+                        {
+                            Ok(out) => *outputs[r].lock() = out,
+                            Err(e) => errors.lock().push(e),
+                        }
+                    }
+                });
+            }
+        });
+    }
+    if let Some(e) = errors.lock().pop() {
+        return Err(e);
+    }
+    let reduce_wall_nanos = reduce_t0.elapsed().as_nanos() as u64;
+
+    let outputs: Vec<Vec<KvPair>> = outputs.into_iter().map(|m| m.into_inner()).collect();
+    let snapshot = counters.snapshot();
+    let stats = JobStats::from_counters(
+        &snapshot,
+        num_maps,
+        config.num_reducers,
+        input_bytes,
+        map_wall_nanos,
+        reduce_wall_nanos,
+    );
+    Ok(JobResult {
+        outputs,
+        counters: snapshot,
+        stats,
+    })
+}
+
+/// One map task: run the user function over a split, routing, sorting,
+/// combining and materializing spills.
+fn run_map_task(
+    config: &JobConfig,
+    split: &InputSplit,
+    mapper: &dyn Mapper,
+    counters: &Counters,
+) -> Result<Vec<(usize, Segment)>, MrError> {
+    let ks = &config.key_semantics;
+    let parts = config.num_reducers;
+    // Per-partition staging; spilled (sorted, combined, compressed) when
+    // the total staged payload crosses the spill threshold.
+    let mut staged: Vec<Vec<KvPair>> = (0..parts).map(|_| Vec::new()).collect();
+    let mut staged_bytes = 0usize;
+    let mut segments = Vec::new();
+
+    let spill = |staged: &mut Vec<Vec<KvPair>>,
+                     staged_bytes: &mut usize,
+                     segments: &mut Vec<(usize, Segment)>|
+     -> Result<(), MrError> {
+        if *staged_bytes == 0 {
+            return Ok(());
+        }
+        counters.add(Counter::Spills, 1);
+        let spill_t0 = Instant::now();
+        let first_new = segments.len();
+        for (partition, pairs) in staged.iter_mut().enumerate() {
+            if pairs.is_empty() {
+                continue;
+            }
+            let mut run = std::mem::take(pairs);
+            run.sort_by(|a, b| ks.compare(&a.key, &b.key));
+            if let Some(combiner) = &config.combiner {
+                counters.add(Counter::CombineInputRecords, run.len() as u64);
+                let mut combined: Vec<KvPair> = Vec::with_capacity(run.len());
+                for_each_group(&run, ks.as_ref(), |key, values| {
+                    combiner.reduce(key, values, &mut |k: &[u8], v: &[u8]| {
+                        combined.push(KvPair::new(k.to_vec(), v.to_vec()));
+                    });
+                });
+                combined.sort_by(|a, b| ks.compare(&a.key, &b.key));
+                counters.add(Counter::CombineOutputRecords, combined.len() as u64);
+                run = combined;
+            }
+            let mut writer = IFileWriter::new(config.framing, config.codec.clone());
+            for pair in &run {
+                writer.append_pair(pair);
+            }
+            let seg = writer.close();
+            counters.add(Counter::CompressNanos, seg.compress_nanos);
+            segments.push((partition, seg));
+        }
+        // Codec time is counted separately; charge the rest of the spill
+        // (sort + combine + serialization) as per-record pipeline cost.
+        let spill_nanos = (Instant::now() - spill_t0).as_nanos() as u64;
+        let codec_nanos: u64 = segments[first_new..]
+            .iter()
+            .map(|(_, s)| s.compress_nanos)
+            .sum();
+        counters.add(
+            Counter::SpillNanos,
+            spill_nanos.saturating_sub(codec_nanos),
+        );
+        *staged_bytes = 0;
+        Ok(())
+    };
+
+    // Shared routing logic; a fresh short-lived emit closure per record
+    // lets the spill check run between records without borrow conflicts.
+    fn stage(
+        ks: &Arc<dyn crate::keysem::KeySemantics>,
+        parts: usize,
+        counters: &Counters,
+        staged: &mut [Vec<KvPair>],
+        staged_bytes: &mut usize,
+        key: &[u8],
+        value: &[u8],
+    ) {
+        let pair = KvPair::new(key.to_vec(), value.to_vec());
+        let routed = ks.route(pair, parts);
+        if routed.len() > 1 {
+            counters.add(Counter::RouteSplitRecords, routed.len() as u64 - 1);
+        }
+        for (partition, piece) in routed {
+            debug_assert!(partition < parts, "partition out of range");
+            counters.add(Counter::MapOutputRecords, 1);
+            *staged_bytes += piece.payload_len();
+            staged[partition].push(piece);
+        }
+    }
+
+    let fn_t0 = Instant::now();
+    for record in &split.records {
+        counters.add(Counter::MapInputRecords, 1);
+        {
+            let staged = &mut staged;
+            let staged_bytes = &mut staged_bytes;
+            let mut emit = |k: &[u8], v: &[u8]| {
+                stage(ks, parts, counters, staged, staged_bytes, k, v)
+            };
+            mapper.map(&record.key, &record.value, &mut emit);
+        }
+        if staged_bytes >= config.spill_buffer_bytes {
+            spill(&mut staged, &mut staged_bytes, &mut segments)?;
+        }
+    }
+    {
+        let staged = &mut staged;
+        let staged_bytes = &mut staged_bytes;
+        let mut emit =
+            |k: &[u8], v: &[u8]| stage(ks, parts, counters, staged, staged_bytes, k, v);
+        mapper.finish(&mut emit);
+    }
+    counters.add(Counter::MapFnNanos, fn_t0.elapsed().as_nanos() as u64);
+    spill(&mut staged, &mut staged_bytes, &mut segments)?;
+
+    // Final merge: if a partition spilled several times, merge its runs
+    // into one segment (Hadoop's map-output merge, Fig. 1 step 3).
+    let segments = merge_spills(config, segments, counters)?;
+
+    // Byte accounting happens on the *final* materialized output only.
+    for (_, seg) in &segments {
+        counters.add(Counter::MapOutputBytes, seg.raw_bytes);
+        counters.add(Counter::MapOutputKeyBytes, seg.key_bytes);
+        counters.add(Counter::MapOutputValueBytes, seg.value_bytes);
+        counters.add(Counter::MapOutputFramingBytes, seg.framing_bytes());
+        counters.add(Counter::MapOutputMaterializedBytes, seg.materialized_bytes());
+    }
+    Ok(segments)
+}
+
+/// Merge multi-spill partitions into one sorted segment each. Single-spill
+/// partitions pass through untouched (no decompress/recompress cost).
+fn merge_spills(
+    config: &JobConfig,
+    segments: Vec<(usize, Segment)>,
+    counters: &Counters,
+) -> Result<Vec<(usize, Segment)>, MrError> {
+    let multi = {
+        let mut counts = vec![0usize; config.num_reducers];
+        for (p, _) in &segments {
+            counts[*p] += 1;
+        }
+        counts.iter().any(|&c| c > 1)
+    };
+    if !multi {
+        return Ok(segments);
+    }
+    let merge_t0 = Instant::now();
+    let mut per_partition: Vec<Vec<Segment>> =
+        (0..config.num_reducers).map(|_| Vec::new()).collect();
+    for (p, seg) in segments {
+        per_partition[p].push(seg);
+    }
+    let mut out = Vec::new();
+    let mut codec_nanos = 0u64;
+    for (partition, segs) in per_partition.into_iter().enumerate() {
+        match segs.len() {
+            0 => {}
+            1 => out.push((partition, segs.into_iter().next().expect("one"))),
+            _ => {
+                let mut runs = Vec::with_capacity(segs.len());
+                for seg in &segs {
+                    let r = IFileReader::open(&seg.data, config.codec.as_ref())?;
+                    codec_nanos += r.decompress_nanos;
+                    runs.push(r.into_records());
+                }
+                let merged = merge_sorted_runs(runs, &config.key_semantics);
+                let mut writer = IFileWriter::new(config.framing, config.codec.clone());
+                for pair in &merged {
+                    writer.append_pair(pair);
+                }
+                let seg = writer.close();
+                codec_nanos += seg.compress_nanos;
+                counters.add(Counter::CompressNanos, seg.compress_nanos);
+                out.push((partition, seg));
+            }
+        }
+    }
+    let merge_nanos = (Instant::now() - merge_t0).as_nanos() as u64;
+    counters.add(
+        Counter::SpillNanos,
+        merge_nanos.saturating_sub(codec_nanos),
+    );
+    Ok(out)
+}
+
+/// One reduce task: decompress and merge this reducer's segments, apply
+/// the §IV-B sort-split hook, group, and run the user reduce function.
+fn run_reduce_task(
+    config: &JobConfig,
+    segments: Vec<Vec<u8>>,
+    reducer: &dyn Reducer,
+    counters: &Counters,
+) -> Result<Vec<KvPair>, MrError> {
+    let ks = &config.key_semantics;
+    let mut runs = Vec::with_capacity(segments.len());
+    for seg in &segments {
+        let r = IFileReader::open(seg, config.codec.as_ref())?;
+        counters.add(Counter::DecompressNanos, r.decompress_nanos);
+        runs.push(r.into_records());
+    }
+    let merge_t0 = Instant::now();
+    let merged = merge_sorted_runs(runs, ks);
+    let before = merged.len();
+    let mut records = ks.sort_split(merged);
+    if records.len() > before {
+        counters.add(Counter::SortSplitRecords, (records.len() - before) as u64);
+    }
+    records.sort_by(|a, b| ks.compare(&a.key, &b.key));
+    counters.add(Counter::MergeNanos, merge_t0.elapsed().as_nanos() as u64);
+
+    let mut out = Vec::new();
+    let fn_t0 = Instant::now();
+    for_each_group(&records, ks.as_ref(), |key, values| {
+        counters.add(Counter::ReduceInputGroups, 1);
+        counters.add(Counter::ReduceInputRecords, values.len() as u64);
+        reducer.reduce(key, values, &mut |k: &[u8], v: &[u8]| {
+            counters.add(Counter::ReduceOutputRecords, 1);
+            counters.add(Counter::ReduceOutputBytes, (k.len() + v.len()) as u64);
+            out.push(KvPair::new(k.to_vec(), v.to_vec()));
+        });
+    });
+    counters.add(Counter::ReduceFnNanos, fn_t0.elapsed().as_nanos() as u64);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+    use crate::record::{FnMapper, FnReducer};
+    use scihadoop_compress::DeflateCodec;
+
+    /// Word-count-shaped job: identity map, counting reduce.
+    fn count_job(config: JobConfig, words: &[&str]) -> JobResult {
+        let splits: Vec<InputSplit> = words
+            .chunks(100)
+            .map(|chunk| {
+                InputSplit::new(
+                    chunk
+                        .iter()
+                        .map(|w| KvPair::new(w.as_bytes().to_vec(), vec![1u8]))
+                        .collect(),
+                )
+            })
+            .collect();
+        let mapper = Arc::new(FnMapper(|k: &[u8], v: &[u8], out: &mut dyn crate::record::Emit| {
+            out.emit(k, v);
+        }));
+        let reducer = Arc::new(FnReducer(
+            |k: &[u8], values: &[&[u8]], out: &mut dyn crate::record::Emit| {
+                let total: u64 = values.iter().map(|v| v.len() as u64).sum();
+                out.emit(k, &total.to_be_bytes());
+            },
+        ));
+        Job::new(config).run(splits, mapper, reducer).unwrap()
+    }
+
+    fn collect_counts(result: &JobResult) -> std::collections::HashMap<String, u64> {
+        result
+            .all_outputs()
+            .into_iter()
+            .map(|p| {
+                (
+                    String::from_utf8(p.key).unwrap(),
+                    u64::from_be_bytes(p.value.try_into().unwrap()),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn word_count_end_to_end() {
+        let words = ["a", "b", "a", "c", "b", "a", "d"];
+        let result = count_job(JobConfig::default().with_reducers(3), &words);
+        let counts = collect_counts(&result);
+        assert_eq!(counts["a"], 3);
+        assert_eq!(counts["b"], 2);
+        assert_eq!(counts["c"], 1);
+        assert_eq!(counts["d"], 1);
+        assert_eq!(result.counters.get(Counter::MapInputRecords), 7);
+        assert_eq!(result.counters.get(Counter::MapOutputRecords), 7);
+        assert_eq!(result.counters.get(Counter::ReduceInputGroups), 4);
+    }
+
+    #[test]
+    fn outputs_are_sorted_within_each_reducer() {
+        let words = ["q", "m", "z", "a", "f", "b", "x", "c"];
+        let result = count_job(JobConfig::default().with_reducers(2), &words);
+        for out in &result.outputs {
+            assert!(out.windows(2).all(|w| w[0].key <= w[1].key));
+        }
+    }
+
+    #[test]
+    fn compressing_codec_reduces_materialized_bytes() {
+        let words: Vec<String> = (0..500).map(|i| format!("key{:04}", i % 20)).collect();
+        let refs: Vec<&str> = words.iter().map(|s| s.as_str()).collect();
+        let plain = count_job(JobConfig::default(), &refs);
+        let zipped = count_job(
+            JobConfig::default().with_codec(Arc::new(DeflateCodec::new())),
+            &refs,
+        );
+        assert_eq!(collect_counts(&plain), collect_counts(&zipped));
+        assert!(
+            zipped.counters.get(Counter::MapOutputMaterializedBytes)
+                < plain.counters.get(Counter::MapOutputMaterializedBytes)
+        );
+        assert_eq!(
+            plain.counters.get(Counter::MapOutputBytes),
+            zipped.counters.get(Counter::MapOutputBytes),
+            "raw bytes must not depend on codec"
+        );
+    }
+
+    #[test]
+    fn combiner_shrinks_intermediate_records() {
+        let words: Vec<String> = (0..300).map(|i| format!("w{}", i % 5)).collect();
+        let refs: Vec<&str> = words.iter().map(|s| s.as_str()).collect();
+        let combiner = Arc::new(FnReducer(
+            |k: &[u8], values: &[&[u8]], out: &mut dyn crate::record::Emit| {
+                // Sum the 1-byte tallies into an 8-byte partial count.
+                let total: u64 = values
+                    .iter()
+                    .map(|v| {
+                        if v.len() == 1 {
+                            v[0] as u64
+                        } else {
+                            u64::from_be_bytes((*v).try_into().unwrap())
+                        }
+                    })
+                    .sum();
+                out.emit(k, &total.to_be_bytes());
+            },
+        ));
+        let splits: Vec<InputSplit> = refs
+            .chunks(100)
+            .map(|chunk| {
+                InputSplit::new(
+                    chunk
+                        .iter()
+                        .map(|w| KvPair::new(w.as_bytes().to_vec(), vec![1u8]))
+                        .collect(),
+                )
+            })
+            .collect();
+        let mapper = Arc::new(FnMapper(|k: &[u8], v: &[u8], out: &mut dyn crate::record::Emit| {
+            out.emit(k, v)
+        }));
+        let reducer = Arc::new(FnReducer(
+            |k: &[u8], values: &[&[u8]], out: &mut dyn crate::record::Emit| {
+                let total: u64 = values
+                    .iter()
+                    .map(|v| {
+                        if v.len() == 1 {
+                            v[0] as u64
+                        } else {
+                            u64::from_be_bytes((*v).try_into().unwrap())
+                        }
+                    })
+                    .sum();
+                out.emit(k, &total.to_be_bytes());
+            },
+        ));
+        let result = Job::new(JobConfig::default().with_combiner(combiner))
+            .run(splits, mapper, reducer)
+            .unwrap();
+        let counts = collect_counts(&result);
+        assert_eq!(counts.values().sum::<u64>(), 300);
+        // 3 splits × 5 distinct words = at most 15 records materialized.
+        assert!(result.counters.get(Counter::CombineOutputRecords) <= 15);
+        assert_eq!(result.counters.get(Counter::CombineInputRecords), 300);
+    }
+
+    #[test]
+    fn many_slots_agree_with_one_slot() {
+        let words: Vec<String> = (0..200).map(|i| format!("k{}", i % 17)).collect();
+        let refs: Vec<&str> = words.iter().map(|s| s.as_str()).collect();
+        let serial = count_job(JobConfig::default().with_slots(1, 1), &refs);
+        let parallel = count_job(JobConfig::default().with_slots(8, 4).with_reducers(4), &refs);
+        assert_eq!(collect_counts(&serial), collect_counts(&parallel));
+    }
+
+    #[test]
+    fn small_spill_buffer_forces_multiple_spills() {
+        let words: Vec<String> = (0..100).map(|i| format!("key-{i:03}")).collect();
+        let refs: Vec<&str> = words.iter().map(|s| s.as_str()).collect();
+        let result = count_job(JobConfig::default().with_spill_buffer(64), &refs);
+        assert!(result.counters.get(Counter::Spills) > 1);
+        assert_eq!(collect_counts(&result).len(), 100);
+    }
+
+    #[test]
+    fn empty_input_produces_empty_output() {
+        let result = count_job(JobConfig::default(), &[]);
+        assert!(result.all_outputs().is_empty());
+        assert_eq!(result.counters.get(Counter::MapInputRecords), 0);
+    }
+
+    #[test]
+    fn stats_reflect_counters() {
+        let words = ["x", "y", "x"];
+        let result = count_job(JobConfig::default(), &words);
+        assert_eq!(
+            result.stats.map_output_materialized_bytes,
+            result.counters.get(Counter::MapOutputMaterializedBytes)
+        );
+        assert!(result.stats.map_wall_nanos > 0);
+        assert_eq!(result.stats.num_maps, 1);
+    }
+}

@@ -1,0 +1,241 @@
+//! Map-side sort buffer with spills, and the reducer's k-way merge
+//! (Fig. 1 steps 3 and 5).
+
+use crate::keysem::KeySemantics;
+use crate::record::KvPair;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// Accumulates map output for one partition, sorting and draining in
+/// spill-sized runs (Hadoop's `io.sort.mb` analogue, simplified to byte
+/// accounting).
+pub struct SortBuffer {
+    pairs: Vec<KvPair>,
+    bytes: usize,
+    spill_threshold: usize,
+}
+
+impl SortBuffer {
+    /// A buffer that reports "please spill" past `spill_threshold` bytes.
+    pub fn new(spill_threshold: usize) -> Self {
+        assert!(spill_threshold > 0);
+        SortBuffer {
+            pairs: Vec::new(),
+            bytes: 0,
+            spill_threshold,
+        }
+    }
+
+    /// Add a pair; returns true if the buffer should now be spilled.
+    pub fn push(&mut self, pair: KvPair) -> bool {
+        self.bytes += pair.payload_len();
+        self.pairs.push(pair);
+        self.bytes >= self.spill_threshold
+    }
+
+    /// Buffered payload bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Number of buffered records.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Sort and drain the buffered run.
+    pub fn drain_sorted(&mut self, ks: &dyn KeySemantics) -> Vec<KvPair> {
+        let mut run = std::mem::take(&mut self.pairs);
+        self.bytes = 0;
+        run.sort_by(|a, b| ks.compare(&a.key, &b.key));
+        run
+    }
+}
+
+struct HeapEntry {
+    pair: KvPair,
+    source: usize,
+    ks: Arc<dyn KeySemantics>,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap; tie-break on source for stability.
+        self.ks
+            .compare(&other.pair.key, &self.pair.key)
+            .then(other.source.cmp(&self.source))
+    }
+}
+
+/// Merge already-sorted runs into one sorted stream (the reducer's
+/// "possibly requiring multiple on-disk sort phases", done in one k-way
+/// pass here).
+pub fn merge_sorted_runs(
+    runs: Vec<Vec<KvPair>>,
+    ks: &Arc<dyn KeySemantics>,
+) -> Vec<KvPair> {
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    let mut iters: Vec<std::vec::IntoIter<KvPair>> =
+        runs.into_iter().map(|r| r.into_iter()).collect();
+    let mut heap = BinaryHeap::with_capacity(iters.len());
+    for (source, it) in iters.iter_mut().enumerate() {
+        if let Some(pair) = it.next() {
+            heap.push(HeapEntry {
+                pair,
+                source,
+                ks: ks.clone(),
+            });
+        }
+    }
+    let mut out = Vec::with_capacity(total);
+    while let Some(HeapEntry { pair, source, .. }) = heap.pop() {
+        out.push(pair);
+        if let Some(next) = iters[source].next() {
+            heap.push(HeapEntry {
+                pair: next,
+                source,
+                ks: ks.clone(),
+            });
+        }
+    }
+    out
+}
+
+/// Group a sorted run by the key-semantics grouping predicate; calls `f`
+/// once per group with (key, values).
+pub fn for_each_group(
+    sorted: &[KvPair],
+    ks: &dyn KeySemantics,
+    mut f: impl FnMut(&[u8], &[&[u8]]),
+) {
+    let mut i = 0;
+    while i < sorted.len() {
+        let key = &sorted[i].key;
+        let mut j = i + 1;
+        while j < sorted.len() && ks.group_eq(key, &sorted[j].key) {
+            j += 1;
+        }
+        let values: Vec<&[u8]> = sorted[i..j].iter().map(|p| p.value.as_slice()).collect();
+        f(key, &values);
+        i = j;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keysem::DefaultKeySemantics;
+
+    fn ks() -> Arc<dyn KeySemantics> {
+        Arc::new(DefaultKeySemantics)
+    }
+
+    fn pair(k: &str, v: &str) -> KvPair {
+        KvPair::new(k.as_bytes().to_vec(), v.as_bytes().to_vec())
+    }
+
+    #[test]
+    fn sort_buffer_reports_spill_threshold() {
+        let mut b = SortBuffer::new(10);
+        assert!(!b.push(pair("aaa", "x"))); // 4 bytes
+        assert!(!b.push(pair("bbb", "y"))); // 8 bytes
+        assert!(b.push(pair("c", "z"))); // 10 bytes → spill
+        assert_eq!(b.len(), 3);
+        let run = b.drain_sorted(&DefaultKeySemantics);
+        assert_eq!(run[0].key, b"aaa");
+        assert!(b.is_empty());
+        assert_eq!(b.bytes(), 0);
+    }
+
+    #[test]
+    fn drain_sorts_by_comparator() {
+        let mut b = SortBuffer::new(1 << 20);
+        for k in ["m", "a", "z", "k"] {
+            b.push(pair(k, "v"));
+        }
+        let run = b.drain_sorted(&DefaultKeySemantics);
+        let keys: Vec<&[u8]> = run.iter().map(|p| p.key.as_slice()).collect();
+        assert_eq!(keys, vec![b"a".as_slice(), b"k", b"m", b"z"]);
+    }
+
+    #[test]
+    fn merge_two_runs() {
+        let a = vec![pair("a", "1"), pair("c", "3"), pair("e", "5")];
+        let b = vec![pair("b", "2"), pair("d", "4")];
+        let merged = merge_sorted_runs(vec![a, b], &ks());
+        let keys: Vec<&[u8]> = merged.iter().map(|p| p.key.as_slice()).collect();
+        assert_eq!(keys, vec![b"a".as_slice(), b"b", b"c", b"d", b"e"]);
+    }
+
+    #[test]
+    fn merge_with_duplicates_keeps_all() {
+        let a = vec![pair("x", "1"), pair("x", "2")];
+        let b = vec![pair("x", "3")];
+        let merged = merge_sorted_runs(vec![a, b], &ks());
+        assert_eq!(merged.len(), 3);
+        assert!(merged.iter().all(|p| p.key == b"x"));
+    }
+
+    #[test]
+    fn merge_empty_and_single() {
+        assert!(merge_sorted_runs(vec![], &ks()).is_empty());
+        assert!(merge_sorted_runs(vec![vec![], vec![]], &ks()).is_empty());
+        let only = vec![pair("q", "v")];
+        assert_eq!(merge_sorted_runs(vec![only.clone()], &ks()), only);
+    }
+
+    #[test]
+    fn merge_many_runs_is_globally_sorted() {
+        let mut runs = Vec::new();
+        for r in 0..8 {
+            let run: Vec<KvPair> = (0..50)
+                .map(|i| {
+                    let k = format!("{:04}", (i * 13 + r * 7) % 997);
+                    pair(&k, "v")
+                })
+                .collect();
+            let mut run = run;
+            run.sort();
+            runs.push(run);
+        }
+        let merged = merge_sorted_runs(runs, &ks());
+        assert_eq!(merged.len(), 400);
+        assert!(merged.windows(2).all(|w| w[0].key <= w[1].key));
+    }
+
+    #[test]
+    fn grouping_walks_equal_keys() {
+        let sorted = vec![
+            pair("a", "1"),
+            pair("a", "2"),
+            pair("b", "3"),
+            pair("c", "4"),
+            pair("c", "5"),
+        ];
+        let mut groups = Vec::new();
+        for_each_group(&sorted, &DefaultKeySemantics, |k, vs| {
+            groups.push((k.to_vec(), vs.len()));
+        });
+        assert_eq!(
+            groups,
+            vec![(b"a".to_vec(), 2), (b"b".to_vec(), 1), (b"c".to_vec(), 2)]
+        );
+    }
+}

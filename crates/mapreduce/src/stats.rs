@@ -1,0 +1,128 @@
+//! Per-job statistics the cluster cost model replays (§III-E / §IV-D).
+
+use crate::counters::{Counter, CounterSnapshot};
+
+/// Byte and time accounting for one finished job, independent of how fast
+/// the machine that ran it happened to be.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobStats {
+    /// Number of map tasks that ran.
+    pub num_maps: usize,
+    /// Number of reduce tasks.
+    pub num_reducers: usize,
+    /// Input payload bytes read by mappers.
+    pub input_bytes: u64,
+    /// Raw (uncompressed, framed) map-output bytes.
+    pub map_output_bytes: u64,
+    /// Materialized (post-codec) map-output bytes — written to map-side
+    /// disk, moved over the network, and written+read again reduce-side.
+    pub map_output_materialized_bytes: u64,
+    /// Final output bytes.
+    pub output_bytes: u64,
+    /// Total nanoseconds inside `Codec::compress` across all tasks.
+    pub compress_nanos: u64,
+    /// Total nanoseconds inside `Codec::decompress`.
+    pub decompress_nanos: u64,
+    /// Total nanoseconds inside user map functions.
+    pub map_fn_nanos: u64,
+    /// Total nanoseconds inside user reduce functions.
+    pub reduce_fn_nanos: u64,
+    /// Nanoseconds sorting/combining/serializing spills (map side).
+    pub spill_nanos: u64,
+    /// Nanoseconds merging/splitting/grouping (reduce side).
+    pub merge_nanos: u64,
+    /// Wall-clock nanoseconds of the map phase (this process).
+    pub map_wall_nanos: u64,
+    /// Wall-clock nanoseconds of the reduce phase (this process).
+    pub reduce_wall_nanos: u64,
+}
+
+impl JobStats {
+    /// Assemble stats from counters plus phase wall-clocks.
+    pub fn from_counters(
+        counters: &CounterSnapshot,
+        num_maps: usize,
+        num_reducers: usize,
+        input_bytes: u64,
+        map_wall_nanos: u64,
+        reduce_wall_nanos: u64,
+    ) -> Self {
+        JobStats {
+            num_maps,
+            num_reducers,
+            input_bytes,
+            map_output_bytes: counters.get(Counter::MapOutputBytes),
+            map_output_materialized_bytes: counters
+                .get(Counter::MapOutputMaterializedBytes),
+            output_bytes: counters.get(Counter::ReduceOutputBytes),
+            compress_nanos: counters.get(Counter::CompressNanos),
+            decompress_nanos: counters.get(Counter::DecompressNanos),
+            map_fn_nanos: counters.get(Counter::MapFnNanos),
+            reduce_fn_nanos: counters.get(Counter::ReduceFnNanos),
+            spill_nanos: counters.get(Counter::SpillNanos),
+            merge_nanos: counters.get(Counter::MergeNanos),
+            map_wall_nanos,
+            reduce_wall_nanos,
+        }
+    }
+
+    /// Codec CPU seconds per materialized megabyte — the "runtime cost of
+    /// the transform, roughly 2.9× the cost of gzip alone" comparison of
+    /// §III-E is made on exactly this quantity.
+    pub fn compress_secs_per_raw_mb(&self) -> f64 {
+        if self.map_output_bytes == 0 {
+            return 0.0;
+        }
+        (self.compress_nanos as f64 / 1e9)
+            / (self.map_output_bytes as f64 / 1e6)
+    }
+
+    /// Fractional reduction of intermediate data (the paper's headline
+    /// percentages: 77.8 % for the transform, 60.7 % for aggregation).
+    pub fn intermediate_reduction(&self, baseline: &JobStats) -> f64 {
+        if baseline.map_output_materialized_bytes == 0 {
+            return 0.0;
+        }
+        1.0 - self.map_output_materialized_bytes as f64
+            / baseline.map_output_materialized_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::Counters;
+
+    fn stats(materialized: u64) -> JobStats {
+        let counters = Counters::new();
+        counters.add(Counter::MapOutputBytes, 1000);
+        counters.add(Counter::MapOutputMaterializedBytes, materialized);
+        counters.add(Counter::CompressNanos, 2_000_000_000);
+        JobStats::from_counters(&counters.snapshot(), 4, 2, 5000, 0, 0)
+    }
+
+    #[test]
+    fn reduction_matches_paper_arithmetic() {
+        // 55.5 GB → 12.3 GB is 77.8 %.
+        let baseline = stats(55_500);
+        let transformed = stats(12_300);
+        let r = transformed.intermediate_reduction(&baseline);
+        assert!((r - 0.778).abs() < 0.001, "got {r}");
+    }
+
+    #[test]
+    fn compress_cost_normalization() {
+        let s = stats(100);
+        // 2 s over 1000 B = 2 s / 0.001 MB = 2000 s/MB.
+        assert!((s.compress_secs_per_raw_mb() - 2000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_baselines_do_not_divide_by_zero() {
+        let z = stats(0);
+        assert_eq!(z.intermediate_reduction(&z), 0.0);
+        let mut empty = z;
+        empty.map_output_bytes = 0;
+        assert_eq!(empty.compress_secs_per_raw_mb(), 0.0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Engine integration tests: failure injection, determinism, key
+//! semantics hooks.
+
+use scihadoop_compress::{Codec, CompressError, IdentityCodec};
+use scihadoop_mapreduce::{
+    Counter, Emit, FnMapper, FnReducer, InputSplit, Job, JobConfig, KeySemantics, KvPair,
+    MrError,
+};
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+fn word_splits(n: u32, per_split: usize) -> Vec<InputSplit> {
+    let pairs: Vec<KvPair> = (0..n)
+        .map(|i| KvPair::new((i % 37).to_be_bytes().to_vec(), vec![1u8]))
+        .collect();
+    pairs
+        .chunks(per_split)
+        .map(|c| InputSplit::new(c.to_vec()))
+        .collect()
+}
+
+fn identity_mapper() -> Arc<dyn scihadoop_mapreduce::Mapper> {
+    Arc::new(FnMapper(|k: &[u8], v: &[u8], out: &mut dyn Emit| {
+        out.emit(k, v)
+    }))
+}
+
+fn count_reducer() -> Arc<dyn scihadoop_mapreduce::Reducer> {
+    Arc::new(FnReducer(
+        |k: &[u8], values: &[&[u8]], out: &mut dyn Emit| {
+            out.emit(k, &(values.len() as u64).to_be_bytes());
+        },
+    ))
+}
+
+/// A codec that corrupts its own output, so decompression at the reducer
+/// must fail — the engine has to surface the error, not hang or panic.
+struct SabotagedCodec;
+
+impl Codec for SabotagedCodec {
+    fn name(&self) -> &'static str {
+        "sabotaged"
+    }
+    fn compress(&self, input: &[u8]) -> Vec<u8> {
+        let mut out = input.to_vec();
+        if let Some(b) = out.first_mut() {
+            *b ^= 0xFF;
+        }
+        out
+    }
+    fn decompress(&self, _input: &[u8]) -> Result<Vec<u8>, CompressError> {
+        Err(CompressError::Corrupt("sabotaged".into()))
+    }
+}
+
+#[test]
+fn decompression_failure_fails_the_job() {
+    let result = Job::new(JobConfig::default().with_codec(Arc::new(SabotagedCodec)))
+        .run(word_splits(100, 25), identity_mapper(), count_reducer());
+    assert!(matches!(result, Err(MrError::Codec(_))));
+}
+
+#[test]
+fn byte_counters_are_deterministic_across_runs_and_parallelism() {
+    let run = |map_slots: usize| {
+        Job::new(
+            JobConfig::default()
+                .with_reducers(4)
+                .with_slots(map_slots, 2),
+        )
+        .run(word_splits(500, 50), identity_mapper(), count_reducer())
+        .unwrap()
+    };
+    let a = run(1);
+    let b = run(8);
+    for counter in [
+        Counter::MapOutputBytes,
+        Counter::MapOutputMaterializedBytes,
+        Counter::MapOutputRecords,
+        Counter::MapOutputKeyBytes,
+        Counter::ReduceInputGroups,
+        Counter::ReduceOutputRecords,
+    ] {
+        assert_eq!(
+            a.counters.get(counter),
+            b.counters.get(counter),
+            "{counter:?} differs between 1-slot and 8-slot runs"
+        );
+    }
+}
+
+/// Custom comparator: sort keys in *reverse* order; outputs must follow.
+struct ReverseOrder;
+
+impl KeySemantics for ReverseOrder {
+    fn compare(&self, a: &[u8], b: &[u8]) -> Ordering {
+        b.cmp(a)
+    }
+    fn partition(&self, _key: &[u8], _parts: usize) -> usize {
+        0
+    }
+}
+
+#[test]
+fn custom_comparator_controls_output_order() {
+    let result = Job::new(
+        JobConfig::default()
+            .with_reducers(1)
+            .with_key_semantics(Arc::new(ReverseOrder)),
+    )
+    .run(word_splits(200, 40), identity_mapper(), count_reducer())
+    .unwrap();
+    let keys: Vec<Vec<u8>> = result.outputs[0].iter().map(|p| p.key.clone()).collect();
+    let mut sorted = keys.clone();
+    sorted.sort_by(|a, b| b.cmp(a));
+    assert_eq!(keys, sorted, "outputs must follow the custom comparator");
+}
+
+/// Grouping comparator: group by the first byte only.
+struct PrefixGrouping;
+
+impl KeySemantics for PrefixGrouping {
+    fn partition(&self, _key: &[u8], _parts: usize) -> usize {
+        0
+    }
+    fn group_eq(&self, a: &[u8], b: &[u8]) -> bool {
+        a.first() == b.first()
+    }
+}
+
+#[test]
+fn grouping_comparator_merges_key_families() {
+    let pairs = vec![
+        KvPair::new(b"a1".to_vec(), vec![1]),
+        KvPair::new(b"a2".to_vec(), vec![1]),
+        KvPair::new(b"b1".to_vec(), vec![1]),
+    ];
+    let result = Job::new(
+        JobConfig::default()
+            .with_reducers(1)
+            .with_key_semantics(Arc::new(PrefixGrouping)),
+    )
+    .run(
+        vec![InputSplit::new(pairs)],
+        identity_mapper(),
+        count_reducer(),
+    )
+    .unwrap();
+    assert_eq!(result.counters.get(Counter::ReduceInputGroups), 2);
+    let counts: Vec<u64> = result.outputs[0]
+        .iter()
+        .map(|p| u64::from_be_bytes(p.value.as_slice().try_into().unwrap()))
+        .collect();
+    let mut sorted = counts.clone();
+    sorted.sort();
+    assert_eq!(sorted, vec![1, 2]);
+}
+
+#[test]
+fn mapper_finish_emissions_are_processed() {
+    // A buffering mapper that emits everything at finish (the §IV
+    // aggregation library's pattern).
+    struct BufferingMapper {
+        buffered: parking_lot::Mutex<Vec<KvPair>>,
+    }
+    impl scihadoop_mapreduce::Mapper for BufferingMapper {
+        fn map(&self, key: &[u8], value: &[u8], _out: &mut dyn Emit) {
+            self.buffered
+                .lock()
+                .push(KvPair::new(key.to_vec(), value.to_vec()));
+        }
+        fn finish(&self, out: &mut dyn Emit) {
+            for p in self.buffered.lock().drain(..) {
+                out.emit(&p.key, &p.value);
+            }
+        }
+    }
+    let mapper = Arc::new(BufferingMapper {
+        buffered: parking_lot::Mutex::new(Vec::new()),
+    });
+    let result = Job::new(JobConfig::default().with_slots(1, 1))
+        .run(word_splits(60, 60), mapper, count_reducer())
+        .unwrap();
+    let total: u64 = result.outputs[0]
+        .iter()
+        .map(|p| u64::from_be_bytes(p.value.as_slice().try_into().unwrap()))
+        .sum();
+    assert_eq!(total, 60);
+}
+
+#[test]
+fn zero_record_splits_are_harmless() {
+    let splits = vec![InputSplit::new(vec![]), InputSplit::new(vec![])];
+    let result = Job::new(JobConfig::default().with_codec(Arc::new(IdentityCodec)))
+        .run(splits, identity_mapper(), count_reducer())
+        .unwrap();
+    assert!(result.all_outputs().is_empty());
+}
+
+#[test]
+fn multi_spill_maps_deliver_one_segment_per_reducer() {
+    // A tiny spill buffer forces many spills; the final merge must leave
+    // each reducer with exactly one sorted run per map, identical in
+    // content to a single-spill run.
+    let run = |spill_bytes: usize| {
+        Job::new(
+            JobConfig::default()
+                .with_reducers(3)
+                .with_slots(1, 1)
+                .with_spill_buffer(spill_bytes),
+        )
+        .run(word_splits(300, 300), identity_mapper(), count_reducer())
+        .unwrap()
+    };
+    let many_spills = run(64);
+    let one_spill = run(1 << 20);
+    assert!(many_spills.counters.get(Counter::Spills) > 5);
+    assert_eq!(one_spill.counters.get(Counter::Spills), 1);
+    // Same final answers.
+    let to_map = |r: &scihadoop_mapreduce::JobResult| {
+        r.all_outputs()
+            .into_iter()
+            .map(|p| (p.key, p.value))
+            .collect::<std::collections::BTreeMap<_, _>>()
+    };
+    assert_eq!(to_map(&many_spills), to_map(&one_spill));
+    // After the merge, materialized map output is identical: one segment
+    // per (map, reducer) regardless of spill count.
+    assert_eq!(
+        many_spills.counters.get(Counter::MapOutputBytes),
+        one_spill.counters.get(Counter::MapOutputBytes)
+    );
+    assert_eq!(
+        many_spills.counters.get(Counter::MapOutputMaterializedBytes),
+        one_spill.counters.get(Counter::MapOutputMaterializedBytes)
+    );
+}

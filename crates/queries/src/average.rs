@@ -1,0 +1,219 @@
+//! Sliding window average — the second windowed query.
+//!
+//! Structurally identical to the sliding median but with a *combinable*
+//! partial aggregate (count, sum), which lets it demonstrate the engine's
+//! combiner interacting with key layouts (the paper's step 3 of Fig. 1).
+
+use crate::layout::KeyLayout;
+use scihadoop_grid::{Coord, Variable};
+use scihadoop_mapreduce::{
+    Emit, Job, JobConfig, JobResult, Mapper, MrError, Reducer,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Sliding-mean query with simple keys and an optional combiner.
+#[derive(Debug, Clone)]
+pub struct SlidingAverage {
+    /// Window side length (odd).
+    pub window: u32,
+    /// Key serialization.
+    pub layout: KeyLayout,
+    /// Whether to run the partial-sum combiner map-side.
+    pub use_combiner: bool,
+    /// Number of input splits.
+    pub num_splits: usize,
+    /// Engine configuration.
+    pub base_config: JobConfig,
+}
+
+/// Result of a sliding-average run.
+pub struct AverageRun {
+    /// Truncated mean per window centre.
+    pub means: HashMap<Coord, i32>,
+    /// Engine result.
+    pub result: JobResult,
+}
+
+/// Partial aggregate: `[count: u32][sum: i64]`, both big-endian.
+fn pack_partial(count: u32, sum: i64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12);
+    out.extend_from_slice(&count.to_be_bytes());
+    out.extend_from_slice(&sum.to_be_bytes());
+    out
+}
+
+fn unpack_partial(bytes: &[u8]) -> (u32, i64) {
+    if bytes.len() == 4 {
+        // A raw mapper emission: one i32 sample.
+        let v = i32::from_be_bytes(bytes.try_into().expect("4 bytes"));
+        return (1, v as i64);
+    }
+    let count = u32::from_be_bytes(bytes[0..4].try_into().expect("count"));
+    let sum = i64::from_be_bytes(bytes[4..12].try_into().expect("sum"));
+    (count, sum)
+}
+
+struct AvgMapper {
+    layout: KeyLayout,
+    offsets: Vec<Coord>,
+}
+
+impl Mapper for AvgMapper {
+    fn map(&self, key: &[u8], value: &[u8], out: &mut dyn Emit) {
+        let coord = self.layout.decode(key).expect("input key");
+        for off in &self.offsets {
+            out.emit(&self.layout.encode(&(&coord + off)), value);
+        }
+    }
+}
+
+/// Sums partials; usable both as combiner and (with division) reducer.
+struct AvgCombiner;
+
+impl Reducer for AvgCombiner {
+    fn reduce(&self, key: &[u8], values: &[&[u8]], out: &mut dyn Emit) {
+        let (mut count, mut sum) = (0u32, 0i64);
+        for v in values {
+            let (c, s) = unpack_partial(v);
+            count += c;
+            sum += s;
+        }
+        out.emit(key, &pack_partial(count, sum));
+    }
+}
+
+struct AvgReducer;
+
+impl Reducer for AvgReducer {
+    fn reduce(&self, key: &[u8], values: &[&[u8]], out: &mut dyn Emit) {
+        let (mut count, mut sum) = (0u32, 0i64);
+        for v in values {
+            let (c, s) = unpack_partial(v);
+            count += c;
+            sum += s;
+        }
+        let mean = (sum / count as i64) as i32;
+        out.emit(key, &mean.to_be_bytes());
+    }
+}
+
+impl SlidingAverage {
+    /// A 3×3 sliding mean with defaults.
+    pub fn new(layout: KeyLayout, use_combiner: bool) -> Self {
+        SlidingAverage {
+            window: 3,
+            layout,
+            use_combiner,
+            num_splits: 4,
+            base_config: JobConfig::default().with_reducers(2),
+        }
+    }
+
+    fn offsets(&self) -> Vec<Coord> {
+        let h = (self.window as i32 - 1) / 2;
+        let ndims = self.layout.ndims();
+        let mut out = Vec::new();
+        let mut off = vec![-h; ndims];
+        loop {
+            out.push(Coord::new(off.clone()));
+            let mut d = ndims;
+            loop {
+                if d == 0 {
+                    return out;
+                }
+                d -= 1;
+                if off[d] < h {
+                    off[d] += 1;
+                    for o in off.iter_mut().skip(d + 1) {
+                        *o = -h;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Run the query.
+    pub fn run(&self, var: &Variable) -> Result<AverageRun, MrError> {
+        assert!(self.window % 2 == 1, "window must be odd");
+        let splits = crate::input::dataset_splits(var, &self.layout, self.num_splits)
+            .map_err(|e| MrError::Config(e.to_string()))?;
+        let mut config = self.base_config.clone();
+        if self.use_combiner {
+            config = config.with_combiner(Arc::new(AvgCombiner));
+        }
+        let mapper = AvgMapper {
+            layout: self.layout.clone(),
+            offsets: self.offsets(),
+        };
+        let result = Job::new(config).run(splits, Arc::new(mapper), Arc::new(AvgReducer))?;
+        let mut means = HashMap::new();
+        for pair in result.outputs.iter().flatten() {
+            let coord = self
+                .layout
+                .decode(&pair.key)
+                .map_err(|e| MrError::Intermediate(e.to_string()))?;
+            let v = i32::from_be_bytes(
+                pair.value
+                    .as_slice()
+                    .try_into()
+                    .map_err(|_| MrError::Intermediate("bad mean".into()))?,
+            );
+            means.insert(coord, v);
+        }
+        Ok(AverageRun { means, result })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle;
+    use scihadoop_grid::Shape;
+    use scihadoop_mapreduce::Counter;
+
+    fn variable() -> Variable {
+        Variable::random_i32("t", Shape::new(vec![10, 9]), 500, 11).unwrap()
+    }
+
+    fn layout() -> KeyLayout {
+        KeyLayout::Indexed { index: 0, ndims: 2 }
+    }
+
+    #[test]
+    fn matches_oracle_without_combiner() {
+        let var = variable();
+        let run = SlidingAverage::new(layout(), false).run(&var).unwrap();
+        assert_eq!(run.means, oracle::sliding_mean(&var, 3).unwrap());
+    }
+
+    #[test]
+    fn matches_oracle_with_combiner() {
+        let var = variable();
+        let run = SlidingAverage::new(layout(), true).run(&var).unwrap();
+        assert_eq!(run.means, oracle::sliding_mean(&var, 3).unwrap());
+    }
+
+    #[test]
+    fn combiner_reduces_materialized_records() {
+        let var = variable();
+        let plain = SlidingAverage::new(layout(), false).run(&var).unwrap();
+        let combined = SlidingAverage::new(layout(), true).run(&var).unwrap();
+        let plain_bytes = plain.result.stats.map_output_bytes;
+        let combined_bytes = combined.result.stats.map_output_bytes;
+        assert!(
+            combined_bytes < plain_bytes,
+            "combiner should shrink output: {combined_bytes} vs {plain_bytes}"
+        );
+        assert!(combined.result.counters.get(Counter::CombineInputRecords) > 0);
+    }
+
+    #[test]
+    fn partial_packing_roundtrip() {
+        let (c, s) = unpack_partial(&pack_partial(7, -1234));
+        assert_eq!((c, s), (7, -1234));
+        let (c, s) = unpack_partial(&(-5i32).to_be_bytes());
+        assert_eq!((c, s), (1, -5));
+    }
+}

@@ -1,0 +1,134 @@
+//! Global value histogram — a non-windowed query exercising tiny keys
+//! and heavy combining.
+
+use scihadoop_grid::Variable;
+use scihadoop_mapreduce::{
+    Emit, FnMapper, FnReducer, Job, JobConfig, JobResult, MrError,
+};
+use std::sync::Arc;
+
+/// Histogram query configuration.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Number of equal-width bins.
+    pub bins: usize,
+    /// Inclusive lower bound of the value range.
+    pub min: i32,
+    /// Exclusive upper bound.
+    pub max: i32,
+    /// Number of input splits.
+    pub num_splits: usize,
+    /// Engine configuration.
+    pub base_config: JobConfig,
+}
+
+/// Result of a histogram run.
+pub struct HistogramRun {
+    /// Cell counts per bin.
+    pub counts: Vec<u64>,
+    /// Engine result.
+    pub result: JobResult,
+}
+
+impl Histogram {
+    /// A histogram with `bins` buckets over `[min, max)`.
+    pub fn new(bins: usize, min: i32, max: i32) -> Self {
+        assert!(bins > 0 && max > min);
+        Histogram {
+            bins,
+            min,
+            max,
+            num_splits: 4,
+            base_config: JobConfig::default().with_reducers(2),
+        }
+    }
+
+    /// Run over a variable of i32 cells.
+    pub fn run(&self, var: &Variable) -> Result<HistogramRun, MrError> {
+        let layout = crate::layout::KeyLayout::Indexed {
+            index: 0,
+            ndims: var.shape().ndims(),
+        };
+        let splits = crate::input::dataset_splits(var, &layout, self.num_splits)
+            .map_err(|e| MrError::Config(e.to_string()))?;
+        let (bins, min, max) = (self.bins, self.min, self.max);
+        let width = ((max - min) as f64 / bins as f64).max(f64::MIN_POSITIVE);
+
+        let mapper = FnMapper(move |_k: &[u8], v: &[u8], out: &mut dyn Emit| {
+            let value = i32::from_be_bytes(v.try_into().expect("4-byte value"));
+            let bin = (((value - min) as f64 / width) as usize).min(bins - 1) as u32;
+            out.emit(&bin.to_be_bytes(), &1u64.to_be_bytes());
+        });
+        let sum = |_k: &[u8], values: &[&[u8]], out: &mut dyn Emit, key: &[u8]| {
+            let total: u64 = values
+                .iter()
+                .map(|v| u64::from_be_bytes((*v).try_into().expect("8-byte count")))
+                .sum();
+            out.emit(key, &total.to_be_bytes());
+        };
+        let combiner = FnReducer(move |k: &[u8], values: &[&[u8]], out: &mut dyn Emit| {
+            sum(k, values, out, k)
+        });
+        let reducer = FnReducer(move |k: &[u8], values: &[&[u8]], out: &mut dyn Emit| {
+            sum(k, values, out, k)
+        });
+
+        let config = self.base_config.clone().with_combiner(Arc::new(combiner));
+        let result = Job::new(config).run(splits, Arc::new(mapper), Arc::new(reducer))?;
+
+        let mut counts = vec![0u64; self.bins];
+        for pair in result.outputs.iter().flatten() {
+            let bin = u32::from_be_bytes(
+                pair.key
+                    .as_slice()
+                    .try_into()
+                    .map_err(|_| MrError::Intermediate("bad bin key".into()))?,
+            ) as usize;
+            let c = u64::from_be_bytes(
+                pair.value
+                    .as_slice()
+                    .try_into()
+                    .map_err(|_| MrError::Intermediate("bad count".into()))?,
+            );
+            if bin >= self.bins {
+                return Err(MrError::Intermediate(format!("bin {bin} out of range")));
+            }
+            counts[bin] = c;
+        }
+        Ok(HistogramRun { counts, result })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle;
+    use scihadoop_grid::Shape;
+
+    #[test]
+    fn matches_oracle() {
+        let var = Variable::random_i32("t", Shape::new(vec![20, 20]), 1000, 3).unwrap();
+        let q = Histogram::new(8, 0, 1000);
+        let run = q.run(&var).unwrap();
+        assert_eq!(run.counts, oracle::histogram(&var, 8, 0, 1000).unwrap());
+        assert_eq!(run.counts.iter().sum::<u64>(), 400);
+    }
+
+    #[test]
+    fn single_bin_collects_everything() {
+        let var = Variable::random_i32("t", Shape::new(vec![5, 5]), 10, 9).unwrap();
+        let run = Histogram::new(1, 0, 10).run(&var).unwrap();
+        assert_eq!(run.counts, vec![25]);
+    }
+
+    #[test]
+    fn combiner_collapses_to_bin_count_records() {
+        let var = Variable::random_i32("t", Shape::new(vec![30, 30]), 100, 5).unwrap();
+        let run = Histogram::new(4, 0, 100).run(&var).unwrap();
+        // 4 splits × ≤4 bins each = at most 16 combined records.
+        assert!(
+            run.result.counters.get(scihadoop_mapreduce::Counter::CombineOutputRecords)
+                <= 16
+        );
+    }
+}

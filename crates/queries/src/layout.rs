@@ -1,0 +1,165 @@
+//! Key layouts and curve spaces shared by the queries.
+
+use scihadoop_grid::{Coord, GridError, GridKey, VariableId};
+use scihadoop_sfc::{Curve, CurveIndex};
+use std::sync::Arc;
+
+/// How simple (per-cell) intermediate keys are serialized.
+///
+/// The paper's §I measures both spellings: the integer variable index
+/// (16-byte keys for 3-D) and the `windspeed1` name (23-byte keys).
+#[derive(Debug, Clone)]
+pub enum KeyLayout {
+    /// 4-byte variable index + 4 bytes per dimension.
+    Indexed {
+        /// Variable index stored in every key.
+        index: i32,
+        /// Dimensions per coordinate.
+        ndims: usize,
+    },
+    /// Variable name (Hadoop `Text`) + 4 bytes per dimension.
+    Named {
+        /// Variable name stored in every key.
+        name: String,
+        /// Dimensions per coordinate.
+        ndims: usize,
+    },
+}
+
+impl KeyLayout {
+    /// Number of dimensions.
+    pub fn ndims(&self) -> usize {
+        match self {
+            KeyLayout::Indexed { ndims, .. } | KeyLayout::Named { ndims, .. } => *ndims,
+        }
+    }
+
+    /// Serialize a coordinate under this layout.
+    pub fn encode(&self, coord: &Coord) -> Vec<u8> {
+        let variable = match self {
+            KeyLayout::Indexed { index, .. } => VariableId::Index(*index),
+            KeyLayout::Named { name, .. } => VariableId::Name(name.clone()),
+        };
+        GridKey::new(variable, coord.clone()).to_bytes()
+    }
+
+    /// Parse a coordinate back out of a serialized key.
+    pub fn decode(&self, bytes: &[u8]) -> Result<Coord, GridError> {
+        let (key, _) = match self {
+            KeyLayout::Indexed { ndims, .. } => GridKey::read_indexed(bytes, *ndims)?,
+            KeyLayout::Named { ndims, .. } => GridKey::read_named(bytes, *ndims)?,
+        };
+        Ok(key.coord)
+    }
+
+    /// Serialized key size for this layout.
+    pub fn key_len(&self) -> usize {
+        match self {
+            KeyLayout::Indexed { ndims, .. } => 4 + 4 * ndims,
+            KeyLayout::Named { name, ndims } => {
+                // vint(len) is 1 byte for names up to 127 chars.
+                1 + name.len() + 4 * ndims
+            }
+        }
+    }
+}
+
+/// A space-filling curve over a coordinate space shifted by a bias, so
+/// that window halos with negative coordinates (the paper's `(-1,-1)`)
+/// still map to non-negative curve space.
+#[derive(Clone)]
+pub struct BiasedCurve {
+    curve: Arc<dyn Curve>,
+    bias: i32,
+}
+
+impl BiasedCurve {
+    /// Wrap `curve`, adding `bias` to every coordinate component before
+    /// encoding.
+    pub fn new(curve: Arc<dyn Curve>, bias: i32) -> Self {
+        assert!(bias >= 0, "bias must be non-negative");
+        BiasedCurve { curve, bias }
+    }
+
+    /// The underlying curve.
+    pub fn curve(&self) -> &Arc<dyn Curve> {
+        &self.curve
+    }
+
+    /// The bias.
+    pub fn bias(&self) -> i32 {
+        self.bias
+    }
+
+    /// Curve index of a (possibly negative) coordinate.
+    pub fn index_of(&self, coord: &Coord) -> Result<CurveIndex, GridError> {
+        self.curve.index_of_coord(&coord.offset_all(self.bias))
+    }
+
+    /// Inverse of [`BiasedCurve::index_of`].
+    pub fn coord_of(&self, index: CurveIndex) -> Result<Coord, GridError> {
+        Ok(self.curve.coord_of_index(index)?.offset_all(-self.bias))
+    }
+
+    /// Total number of curve indices (the partitioner's span).
+    pub fn span(&self) -> CurveIndex {
+        let bits = self.curve.bits_per_dim() * self.curve.ndims() as u32;
+        if bits >= 128 {
+            CurveIndex::MAX
+        } else {
+            1u128 << bits
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scihadoop_sfc::ZOrderCurve;
+
+    #[test]
+    fn layouts_roundtrip() {
+        let coord = Coord::new(vec![3, -1, 7]);
+        for layout in [
+            KeyLayout::Indexed { index: 2, ndims: 3 },
+            KeyLayout::Named {
+                name: "windspeed1".into(),
+                ndims: 3,
+            },
+        ] {
+            let bytes = layout.encode(&coord);
+            assert_eq!(bytes.len(), layout.key_len());
+            assert_eq!(layout.decode(&bytes).unwrap(), coord);
+        }
+    }
+
+    #[test]
+    fn layout_sizes_match_paper() {
+        assert_eq!(KeyLayout::Indexed { index: 0, ndims: 3 }.key_len(), 16);
+        assert_eq!(
+            KeyLayout::Named {
+                name: "windspeed1".into(),
+                ndims: 3
+            }
+            .key_len(),
+            23
+        );
+    }
+
+    #[test]
+    fn biased_curve_handles_negative_halo() {
+        let bc = BiasedCurve::new(Arc::new(ZOrderCurve::with_bits(2, 6)), 1);
+        let coord = Coord::new(vec![-1, -1]);
+        let idx = bc.index_of(&coord).unwrap();
+        assert_eq!(bc.coord_of(idx).unwrap(), coord);
+        // Without bias the same coordinate errors.
+        let raw = BiasedCurve::new(Arc::new(ZOrderCurve::with_bits(2, 6)), 0);
+        assert!(raw.index_of(&coord).is_err());
+    }
+
+    #[test]
+    fn span_covers_the_virtual_grid() {
+        let bc = BiasedCurve::new(Arc::new(ZOrderCurve::with_bits(2, 6)), 1);
+        assert_eq!(bc.span(), 1 << 12);
+    }
+}

@@ -1,0 +1,528 @@
+//! The paper's evaluation query: sliding median (§IV-C).
+//!
+//! "Assume mappers take a value with key (x, y) and output the value for
+//! keys (x, y), (x + 1, y), (x + 1, y + 1), etc. Reducers then group the
+//! values by key and take the median for each key." A mapper responsible
+//! for (0,0)-(9,9) therefore produces output in (-1,-1)-(10,10) — the
+//! halo that makes aggregate keys overlap between neighbouring mappers
+//! and forces the §IV-B sort-phase splitting.
+
+use crate::layout::{BiasedCurve, KeyLayout};
+use parking_lot::Mutex;
+use scihadoop_core::aggregate::{AggregateKey, AggregateKeyOps, Aggregator, RangePartitioner};
+use scihadoop_grid::{Coord, Variable};
+use scihadoop_mapreduce::{
+    Emit, InputSplit, Job, JobConfig, JobResult, Mapper, MrError, Reducer,
+};
+use scihadoop_sfc::{Curve, HilbertCurve, RowMajorCurve, ZOrderCurve};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::ThreadId;
+
+/// Which pipeline configuration to run (the three columns of the paper's
+/// evaluation).
+#[derive(Clone)]
+pub enum SlidingMedianVariant {
+    /// Simple per-cell keys, identity codec — the 183-minute baseline.
+    Plain,
+    /// Simple keys with a codec on the intermediate data (§III-E plugs in
+    /// transform+zlib here).
+    PlainWithCodec(Arc<dyn scihadoop_compress::Codec>),
+    /// The §IV aggregation library in the mapper plus aggregate-key
+    /// splitting in the engine.
+    Aggregated {
+        /// Aggregation-buffer flush threshold in bytes (§IV-A).
+        buffer_bytes: usize,
+    },
+}
+
+impl std::fmt::Debug for SlidingMedianVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SlidingMedianVariant::Plain => write!(f, "Plain"),
+            SlidingMedianVariant::PlainWithCodec(c) => {
+                write!(f, "PlainWithCodec({})", c.name())
+            }
+            SlidingMedianVariant::Aggregated { buffer_bytes } => {
+                write!(f, "Aggregated({buffer_bytes})")
+            }
+        }
+    }
+}
+
+/// Which space-filling curve the aggregated variant maps coordinates
+/// onto (§IV-A: Z-order by default; "Other curves, such as the Hilbert
+/// curve or Peano curve could be used").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CurveKind {
+    /// Z-order (the paper's choice, "due to speed and ease of
+    /// implementation").
+    #[default]
+    ZOrder,
+    /// Hilbert — better clustering, more CPU.
+    Hilbert,
+    /// Row-major — the trivial baseline.
+    RowMajor,
+}
+
+impl CurveKind {
+    fn build(self, ndims: usize, bits: u32) -> Arc<dyn Curve> {
+        match self {
+            CurveKind::ZOrder => Arc::new(ZOrderCurve::with_bits(ndims, bits)),
+            CurveKind::Hilbert => Arc::new(HilbertCurve::with_bits(ndims, bits)),
+            CurveKind::RowMajor => Arc::new(RowMajorCurve::with_bits(ndims, bits)),
+        }
+    }
+}
+
+/// A configured sliding-median query.
+#[derive(Debug, Clone)]
+pub struct SlidingMedian {
+    /// Window side length (odd; the paper uses 3).
+    pub window: u32,
+    /// Simple-key serialization.
+    pub layout: KeyLayout,
+    /// Pipeline configuration.
+    pub variant: SlidingMedianVariant,
+    /// Number of input splits (map tasks).
+    pub num_splits: usize,
+    /// Engine configuration (reducers, slots, framing, spill buffer).
+    pub base_config: JobConfig,
+    /// Space-filling curve used by the aggregated variant.
+    pub curve: CurveKind,
+}
+
+/// The finished query: parsed medians plus the raw engine result.
+pub struct MedianRun {
+    /// Median per window centre (centres cover the dilated grid).
+    pub medians: HashMap<Coord, i32>,
+    /// Engine counters/stats.
+    pub result: JobResult,
+}
+
+impl SlidingMedian {
+    /// A 3×3 sliding median with sensible defaults.
+    pub fn new(layout: KeyLayout, variant: SlidingMedianVariant) -> Self {
+        SlidingMedian {
+            window: 3,
+            layout,
+            variant,
+            num_splits: 4,
+            base_config: JobConfig::default().with_reducers(2),
+            curve: CurveKind::default(),
+        }
+    }
+
+    fn half(&self) -> i32 {
+        (self.window as i32 - 1) / 2
+    }
+
+    /// All window offsets (the w^d neighbour shifts).
+    fn offsets(&self) -> Vec<Coord> {
+        let h = self.half();
+        let ndims = self.layout.ndims();
+        let mut out = vec![Coord::new(vec![-h; ndims])];
+        // Odometer enumeration of [-h, h]^ndims.
+        loop {
+            let last = out.last().expect("non-empty").clone();
+            let mut next = last.clone();
+            let mut d = ndims;
+            loop {
+                if d == 0 {
+                    return out;
+                }
+                d -= 1;
+                if next[d] < h {
+                    next[d] += 1;
+                    for dd in d + 1..ndims {
+                        next[dd] = -h;
+                    }
+                    break;
+                }
+            }
+            out.push(next);
+        }
+    }
+
+    /// Maximum number of contributions one window centre receives.
+    fn slots(&self) -> usize {
+        (self.window as usize).pow(self.layout.ndims() as u32)
+    }
+
+    /// Run the query over a variable.
+    pub fn run(&self, var: &Variable) -> Result<MedianRun, MrError> {
+        assert!(self.window % 2 == 1, "window must be odd");
+        let splits = crate::input::dataset_splits(var, &self.layout, self.num_splits)
+            .map_err(|e| MrError::Config(e.to_string()))?;
+        match &self.variant {
+            SlidingMedianVariant::Plain => {
+                self.run_plain(splits, self.base_config.clone())
+            }
+            SlidingMedianVariant::PlainWithCodec(codec) => {
+                self.run_plain(splits, self.base_config.clone().with_codec(codec.clone()))
+            }
+            SlidingMedianVariant::Aggregated { buffer_bytes } => {
+                self.run_aggregated(var, splits, *buffer_bytes)
+            }
+        }
+    }
+
+    fn parse_outputs(&self, result: &JobResult) -> Result<HashMap<Coord, i32>, MrError> {
+        let mut medians = HashMap::new();
+        for pair in result.outputs.iter().flatten() {
+            let coord = self
+                .layout
+                .decode(&pair.key)
+                .map_err(|e| MrError::Intermediate(e.to_string()))?;
+            let v = i32::from_be_bytes(
+                pair.value
+                    .as_slice()
+                    .try_into()
+                    .map_err(|_| MrError::Intermediate("bad median value".into()))?,
+            );
+            medians.insert(coord, v);
+        }
+        Ok(medians)
+    }
+
+    fn run_plain(
+        &self,
+        splits: Vec<InputSplit>,
+        config: JobConfig,
+    ) -> Result<MedianRun, MrError> {
+        let layout = self.layout.clone();
+        let offsets = self.offsets();
+        let mapper = PlainMedianMapper { layout: layout.clone(), offsets };
+        let reducer = PlainMedianReducer { layout };
+        let result = Job::new(config).run(splits, Arc::new(mapper), Arc::new(reducer))?;
+        let medians = self.parse_outputs(&result)?;
+        Ok(MedianRun { medians, result })
+    }
+
+    fn run_aggregated(
+        &self,
+        var: &Variable,
+        splits: Vec<InputSplit>,
+        buffer_bytes: usize,
+    ) -> Result<MedianRun, MrError> {
+        let h = self.half();
+        let ndims = self.layout.ndims();
+        // Curve resolution: cover the dilated grid.
+        let max_extent = var
+            .shape()
+            .extents()
+            .iter()
+            .map(|&e| e as i64 + 2 * h as i64)
+            .max()
+            .unwrap_or(1);
+        let bits = (64 - (max_extent as u64).leading_zeros()).max(1);
+        let curve = BiasedCurve::new(self.curve.build(ndims, bits), h);
+        let width = 1 + 4 * self.slots();
+        let partitioner =
+            RangePartitioner::uniform(self.base_config.num_reducers, curve.span());
+        let keyops = AggregateKeyOps::new(partitioner, width);
+        let config = self
+            .base_config
+            .clone()
+            .with_key_semantics(Arc::new(keyops));
+
+        let mapper = AggMedianMapper {
+            layout: self.layout.clone(),
+            offsets: self.offsets(),
+            curve: curve.clone(),
+            slots: self.slots(),
+            buffer_bytes,
+            state: Mutex::new(HashMap::new()),
+        };
+        let reducer = AggMedianReducer {
+            layout: self.layout.clone(),
+            curve,
+            slots: self.slots(),
+        };
+        let result = Job::new(config).run(splits, Arc::new(mapper), Arc::new(reducer))?;
+        let medians = self.parse_outputs(&result)?;
+        Ok(MedianRun { medians, result })
+    }
+}
+
+/// Lower median of a (small) value list.
+pub fn median_of(values: &mut [i32]) -> i32 {
+    assert!(!values.is_empty(), "median of empty set");
+    values.sort_unstable();
+    values[(values.len() - 1) / 2]
+}
+
+// ---------------------------------------------------------------------------
+// Plain variant
+// ---------------------------------------------------------------------------
+
+struct PlainMedianMapper {
+    layout: KeyLayout,
+    offsets: Vec<Coord>,
+}
+
+impl Mapper for PlainMedianMapper {
+    fn map(&self, key: &[u8], value: &[u8], out: &mut dyn Emit) {
+        let coord = self.layout.decode(key).expect("input key");
+        for off in &self.offsets {
+            let centre = &coord + off;
+            out.emit(&self.layout.encode(&centre), value);
+        }
+    }
+}
+
+struct PlainMedianReducer {
+    layout: KeyLayout,
+}
+
+impl Reducer for PlainMedianReducer {
+    fn reduce(&self, key: &[u8], values: &[&[u8]], out: &mut dyn Emit) {
+        debug_assert!(self.layout.decode(key).is_ok());
+        let mut vals: Vec<i32> = values
+            .iter()
+            .map(|v| i32::from_be_bytes((*v).try_into().expect("4-byte value")))
+            .collect();
+        let m = median_of(&mut vals);
+        out.emit(key, &m.to_be_bytes());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregated variant (§IV)
+// ---------------------------------------------------------------------------
+
+/// Per-cell packed multiset: `[count: u8][values: i32 BE × slots]`,
+/// unused slots zero. Fixed width keeps aggregate records sliceable.
+fn pack_cell(values: &[i32], slots: usize) -> Vec<u8> {
+    debug_assert!(values.len() <= slots && slots <= u8::MAX as usize);
+    let mut out = Vec::with_capacity(1 + 4 * slots);
+    out.push(values.len() as u8);
+    for v in values {
+        out.extend_from_slice(&v.to_be_bytes());
+    }
+    out.resize(1 + 4 * slots, 0);
+    out
+}
+
+fn unpack_cell(bytes: &[u8]) -> Vec<i32> {
+    let count = bytes[0] as usize;
+    (0..count)
+        .map(|i| {
+            let o = 1 + 4 * i;
+            i32::from_be_bytes(bytes[o..o + 4].try_into().expect("slot"))
+        })
+        .collect()
+}
+
+/// Per-map-task state. The engine runs each map task to completion on one
+/// thread, so thread-id keying gives task-local state without engine
+/// changes (Hadoop gets the same effect by constructing one Mapper object
+/// per task).
+struct AggTaskState {
+    windows: HashMap<Coord, Vec<i32>>,
+}
+
+struct AggMedianMapper {
+    layout: KeyLayout,
+    offsets: Vec<Coord>,
+    curve: BiasedCurve,
+    slots: usize,
+    buffer_bytes: usize,
+    state: Mutex<HashMap<ThreadId, AggTaskState>>,
+}
+
+impl AggMedianMapper {
+    fn flush_state(&self, state: AggTaskState, out: &mut dyn Emit) {
+        // Push the accumulated windows through the §IV aggregation
+        // library and emit the aggregate records it produces.
+        let mut agg =
+            Aggregator::with_curve(self.curve.curve().clone(), self.buffer_bytes);
+        let emit_records = |records: Vec<scihadoop_core::aggregate::AggregateRecord>,
+                                out: &mut dyn Emit| {
+            for rec in records {
+                out.emit(&rec.key.to_bytes(), &rec.values);
+            }
+        };
+        for (coord, values) in state.windows {
+            let packed = pack_cell(&values, self.slots);
+            let biased = coord.offset_all(self.curve.bias());
+            if let Some(records) = agg
+                .push(&biased, &packed)
+                .expect("aggregation push")
+            {
+                emit_records(records, out);
+            }
+        }
+        emit_records(agg.flush(), out);
+    }
+}
+
+impl Mapper for AggMedianMapper {
+    fn map(&self, key: &[u8], value: &[u8], _out: &mut dyn Emit) {
+        let coord = self.layout.decode(key).expect("input key");
+        let v = i32::from_be_bytes(value.try_into().expect("4-byte value"));
+        let mut state = self.state.lock();
+        let task = state
+            .entry(std::thread::current().id())
+            .or_insert_with(|| AggTaskState {
+                windows: HashMap::new(),
+            });
+        for off in &self.offsets {
+            let centre = &coord + off;
+            task.windows.entry(centre).or_default().push(v);
+        }
+    }
+
+    fn finish(&self, out: &mut dyn Emit) {
+        let task = self.state.lock().remove(&std::thread::current().id());
+        if let Some(task) = task {
+            self.flush_state(task, out);
+        }
+    }
+}
+
+struct AggMedianReducer {
+    layout: KeyLayout,
+    curve: BiasedCurve,
+    slots: usize,
+}
+
+impl Reducer for AggMedianReducer {
+    fn reduce(&self, key: &[u8], values: &[&[u8]], out: &mut dyn Emit) {
+        let agg_key = AggregateKey::from_bytes(key).expect("aggregate key");
+        let width = 1 + 4 * self.slots;
+        for (cell_no, index) in (agg_key.run.start..=agg_key.run.end).enumerate() {
+            let mut vals = Vec::new();
+            for chunk in values {
+                let off = cell_no * width;
+                vals.extend(unpack_cell(&chunk[off..off + width]));
+            }
+            let m = median_of(&mut vals);
+            let coord = self.curve.coord_of(index).expect("curve index");
+            out.emit(&self.layout.encode(&coord), &m.to_be_bytes());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle;
+    use scihadoop_grid::Shape;
+
+    fn variable() -> Variable {
+        Variable::random_i32("t", Shape::new(vec![12, 10]), 1000, 42).unwrap()
+    }
+
+    fn layout() -> KeyLayout {
+        KeyLayout::Indexed { index: 0, ndims: 2 }
+    }
+
+    #[test]
+    fn offsets_enumerate_the_window() {
+        let q = SlidingMedian::new(layout(), SlidingMedianVariant::Plain);
+        let offs = q.offsets();
+        assert_eq!(offs.len(), 9);
+        assert!(offs.contains(&Coord::new(vec![-1, -1])));
+        assert!(offs.contains(&Coord::new(vec![0, 0])));
+        assert!(offs.contains(&Coord::new(vec![1, 1])));
+    }
+
+    #[test]
+    fn median_of_is_lower_median() {
+        assert_eq!(median_of(&mut [3, 1, 2]), 2);
+        assert_eq!(median_of(&mut [4, 1, 3, 2]), 2);
+        assert_eq!(median_of(&mut [9]), 9);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for vals in [vec![], vec![5], vec![1, -2, 3, 4, 5, 6, 7, 8, 9]] {
+            let packed = pack_cell(&vals, 9);
+            assert_eq!(packed.len(), 37);
+            assert_eq!(unpack_cell(&packed), vals);
+        }
+    }
+
+    #[test]
+    fn plain_matches_oracle() {
+        let var = variable();
+        let q = SlidingMedian::new(layout(), SlidingMedianVariant::Plain);
+        let run = q.run(&var).unwrap();
+        let expected = oracle::sliding_median(&var, 3).unwrap();
+        assert_eq!(run.medians, expected);
+    }
+
+    #[test]
+    fn aggregated_matches_oracle() {
+        let var = variable();
+        let q = SlidingMedian::new(
+            layout(),
+            SlidingMedianVariant::Aggregated { buffer_bytes: 1 << 20 },
+        );
+        let run = q.run(&var).unwrap();
+        let expected = oracle::sliding_median(&var, 3).unwrap();
+        assert_eq!(run.medians.len(), expected.len());
+        assert_eq!(run.medians, expected);
+    }
+
+    #[test]
+    fn aggregated_with_tiny_buffer_still_correct() {
+        // §IV-A: flushing early "slightly reduces the effectiveness of
+        // aggregation" but must not change answers.
+        let var = variable();
+        let q = SlidingMedian::new(
+            layout(),
+            SlidingMedianVariant::Aggregated { buffer_bytes: 256 },
+        );
+        let run = q.run(&var).unwrap();
+        let expected = oracle::sliding_median(&var, 3).unwrap();
+        assert_eq!(run.medians, expected);
+    }
+
+    #[test]
+    fn codec_variant_matches_plain() {
+        let var = variable();
+        let plain = SlidingMedian::new(layout(), SlidingMedianVariant::Plain)
+            .run(&var)
+            .unwrap();
+        let codec = SlidingMedian::new(
+            layout(),
+            SlidingMedianVariant::PlainWithCodec(Arc::new(
+                scihadoop_compress::DeflateCodec::new(),
+            )),
+        )
+        .run(&var)
+        .unwrap();
+        assert_eq!(plain.medians, codec.medians);
+        // Codec must not change raw bytes but must shrink materialized.
+        assert_eq!(
+            plain.result.stats.map_output_bytes,
+            codec.result.stats.map_output_bytes
+        );
+        assert!(
+            codec.result.stats.map_output_materialized_bytes
+                < plain.result.stats.map_output_materialized_bytes
+        );
+    }
+
+    #[test]
+    fn aggregation_shrinks_intermediate_data() {
+        let var = variable();
+        let plain = SlidingMedian::new(layout(), SlidingMedianVariant::Plain)
+            .run(&var)
+            .unwrap();
+        let agg = SlidingMedian::new(
+            layout(),
+            SlidingMedianVariant::Aggregated { buffer_bytes: 1 << 20 },
+        )
+        .run(&var)
+        .unwrap();
+        assert!(
+            agg.result.stats.map_output_bytes < plain.result.stats.map_output_bytes,
+            "aggregated {} vs plain {}",
+            agg.result.stats.map_output_bytes,
+            plain.result.stats.map_output_bytes
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! The curve abstraction shared by all space-filling curves.
+
+use scihadoop_grid::{Coord, GridError};
+
+/// A position on a space-filling curve.
+///
+/// 128 bits accommodate up to 4 dimensions of 32-bit coordinates (the
+/// paper's keys are `n` 32-bit integers mapped to "a single 32n-bit
+/// integer", §IV-A).
+pub type CurveIndex = u128;
+
+/// A bijection between n-dimensional non-negative grid coordinates and a
+/// one-dimensional curve index.
+pub trait Curve: Send + Sync {
+    /// Number of dimensions this curve instance is configured for.
+    fn ndims(&self) -> usize;
+
+    /// Bits of resolution per dimension.
+    fn bits_per_dim(&self) -> u32;
+
+    /// Human-readable curve name (for reports and benches).
+    fn name(&self) -> &'static str;
+
+    /// Map unsigned coordinates to a curve index.
+    ///
+    /// Every coordinate must fit in [`Curve::bits_per_dim`] bits.
+    fn index_of(&self, coords: &[u32]) -> Result<CurveIndex, GridError>;
+
+    /// Inverse of [`Curve::index_of`].
+    fn coords_of(&self, index: CurveIndex) -> Result<Vec<u32>, GridError>;
+
+    /// Map a signed grid coordinate (must be non-negative) to an index.
+    fn index_of_coord(&self, coord: &Coord) -> Result<CurveIndex, GridError> {
+        if coord.ndims() != self.ndims() {
+            return Err(GridError::DimensionMismatch {
+                expected: self.ndims(),
+                actual: coord.ndims(),
+            });
+        }
+        let unsigned = coord.to_unsigned()?;
+        self.index_of(&unsigned)
+    }
+
+    /// Inverse of [`Curve::index_of_coord`].
+    fn coord_of_index(&self, index: CurveIndex) -> Result<Coord, GridError> {
+        let coords = self.coords_of(index)?;
+        Ok(Coord::new(coords.into_iter().map(|c| c as i32).collect()))
+    }
+}
+
+/// Validate that `coords` has the right arity and each component fits in
+/// `bits` bits. Shared by all curve implementations.
+pub(crate) fn check_coords(
+    coords: &[u32],
+    ndims: usize,
+    bits: u32,
+) -> Result<(), GridError> {
+    if coords.len() != ndims {
+        return Err(GridError::DimensionMismatch {
+            expected: ndims,
+            actual: coords.len(),
+        });
+    }
+    let limit = if bits >= 32 { u32::MAX } else { (1u32 << bits) - 1 };
+    for &c in coords {
+        if c > limit {
+            return Err(GridError::OutOfBounds {
+                coord: coords.iter().map(|&x| x as i32).collect(),
+                context: format!("curve with {bits} bits/dim"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Validate that a curve index fits in `ndims * bits` bits.
+pub(crate) fn check_index(
+    index: CurveIndex,
+    ndims: usize,
+    bits: u32,
+) -> Result<(), GridError> {
+    let total_bits = ndims as u32 * bits;
+    if total_bits < 128 && index >> total_bits != 0 {
+        return Err(GridError::Deserialize(format!(
+            "curve index {index} exceeds {total_bits} bits"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_coords_enforces_arity_and_range() {
+        assert!(check_coords(&[1, 2], 2, 8).is_ok());
+        assert!(check_coords(&[1], 2, 8).is_err());
+        assert!(check_coords(&[256, 0], 2, 8).is_err());
+        assert!(check_coords(&[255, 255], 2, 8).is_ok());
+        assert!(check_coords(&[u32::MAX], 1, 32).is_ok());
+    }
+
+    #[test]
+    fn check_index_enforces_total_bits() {
+        assert!(check_index(255, 2, 4).is_ok());
+        assert!(check_index(256, 2, 4).is_err());
+        assert!(check_index(u128::MAX, 4, 32).is_ok());
+    }
+}

@@ -1,0 +1,173 @@
+//! Decomposing a box of cells into contiguous curve-index runs.
+//!
+//! Paper Fig. 6: "Cells are numbered with a space-filling curve, and
+//! contiguous numbers are collapsed into ranges" (the caption's example
+//! collapses a region to `6-7, 9-10, 13`). The number of runs a region
+//! decomposes into is Moon et al.'s *clustering number* — the quality
+//! metric for the curve ablation bench.
+
+use crate::curve::{Curve, CurveIndex};
+use scihadoop_grid::{BoundingBox, GridError};
+
+/// One contiguous run of curve indices, inclusive on both ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CurveRun {
+    /// First index of the run.
+    pub start: CurveIndex,
+    /// Last index of the run (inclusive).
+    pub end: CurveIndex,
+}
+
+impl CurveRun {
+    /// A run covering a single index.
+    pub fn singleton(i: CurveIndex) -> Self {
+        CurveRun { start: i, end: i }
+    }
+
+    /// Number of cells in the run.
+    pub fn len(&self) -> u128 {
+        self.end - self.start + 1
+    }
+
+    /// Runs are never empty; kept for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// True if `i` lies inside the run.
+    pub fn contains(&self, i: CurveIndex) -> bool {
+        self.start <= i && i <= self.end
+    }
+
+    /// True if the runs share at least one index.
+    pub fn overlaps(&self, other: &CurveRun) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+}
+
+/// Collapse a sorted, deduplicated list of curve indices into maximal
+/// runs.
+pub fn collapse_sorted(indices: &[CurveIndex]) -> Vec<CurveRun> {
+    let mut runs: Vec<CurveRun> = Vec::new();
+    for &i in indices {
+        match runs.last_mut() {
+            Some(r) if i == r.end + 1 => r.end = i,
+            Some(r) if i <= r.end => {} // duplicate, ignore
+            _ => runs.push(CurveRun::singleton(i)),
+        }
+    }
+    runs
+}
+
+/// Decompose every cell of `bbox` into maximal contiguous runs on `curve`.
+///
+/// This is the exhaustive (O(cells log cells)) decomposition the
+/// aggregation library performs incrementally; exposed directly for
+/// analysis and the curve ablation bench.
+pub fn box_runs(curve: &dyn Curve, bbox: &BoundingBox) -> Result<Vec<CurveRun>, GridError> {
+    let mut indices = Vec::with_capacity(bbox.num_cells() as usize);
+    for cell in bbox.cells() {
+        indices.push(curve.index_of_coord(&cell)?);
+    }
+    indices.sort_unstable();
+    Ok(collapse_sorted(&indices))
+}
+
+/// Moon et al.'s clustering number: how many maximal runs the region
+/// splits into on this curve. Lower is better for aggregation.
+pub fn clustering_run_count(
+    curve: &dyn Curve,
+    bbox: &BoundingBox,
+) -> Result<usize, GridError> {
+    Ok(box_runs(curve, bbox)?.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hilbert::HilbertCurve;
+    use crate::rowmajor::RowMajorCurve;
+    use crate::zorder::ZOrderCurve;
+    use scihadoop_grid::{Coord, Shape};
+
+    fn bbox(corner: Vec<i32>, shape: Vec<u32>) -> BoundingBox {
+        BoundingBox::new(Coord::new(corner), Shape::new(shape)).unwrap()
+    }
+
+    #[test]
+    fn collapse_merges_adjacent_and_skips_duplicates() {
+        let runs = collapse_sorted(&[1, 2, 3, 3, 5, 7, 8]);
+        assert_eq!(
+            runs,
+            vec![
+                CurveRun { start: 1, end: 3 },
+                CurveRun::singleton(5),
+                CurveRun { start: 7, end: 8 },
+            ]
+        );
+    }
+
+    #[test]
+    fn aligned_quadrant_is_one_zorder_run() {
+        let z = ZOrderCurve::with_bits(2, 4);
+        let b = bbox(vec![4, 4], vec![4, 4]);
+        let runs = box_runs(&z, &b).unwrap();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].len(), 16);
+    }
+
+    #[test]
+    fn unaligned_box_fragments_on_zorder() {
+        let z = ZOrderCurve::with_bits(2, 4);
+        let b = bbox(vec![1, 1], vec![4, 4]);
+        let runs = box_runs(&z, &b).unwrap();
+        assert!(runs.len() > 1);
+        let total: u128 = runs.iter().map(|r| r.len()).sum();
+        assert_eq!(total, 16);
+    }
+
+    #[test]
+    fn hilbert_clusters_no_worse_than_zorder_on_average() {
+        // Moon et al.'s result, spot-checked over a sweep of boxes.
+        let z = ZOrderCurve::with_bits(2, 5);
+        let h = HilbertCurve::with_bits(2, 5);
+        let mut z_total = 0usize;
+        let mut h_total = 0usize;
+        for cx in 0..6 {
+            for cy in 0..6 {
+                let b = bbox(vec![cx, cy], vec![5, 5]);
+                z_total += clustering_run_count(&z, &b).unwrap();
+                h_total += clustering_run_count(&h, &b).unwrap();
+            }
+        }
+        assert!(
+            h_total <= z_total,
+            "hilbert runs {h_total} should be <= z-order runs {z_total}"
+        );
+    }
+
+    #[test]
+    fn row_major_run_count_equals_row_count_for_interior_box() {
+        // A W-wide box not touching the virtual-grid edge splits into one
+        // run per row on row-major order.
+        let r = RowMajorCurve::with_bits(2, 6);
+        let b = bbox(vec![3, 3], vec![7, 5]);
+        assert_eq!(clustering_run_count(&r, &b).unwrap(), 7);
+    }
+
+    #[test]
+    fn full_width_rows_merge_on_row_major() {
+        // A box spanning the full virtual width is fully contiguous.
+        let r = RowMajorCurve::with_bits(2, 3);
+        let b = bbox(vec![2, 0], vec![4, 8]);
+        assert_eq!(clustering_run_count(&r, &b).unwrap(), 1);
+    }
+
+    #[test]
+    fn run_overlap_and_contains() {
+        let a = CurveRun { start: 5, end: 9 };
+        assert!(a.contains(5) && a.contains(9) && !a.contains(10));
+        assert!(a.overlaps(&CurveRun { start: 9, end: 12 }));
+        assert!(!a.overlaps(&CurveRun { start: 10, end: 12 }));
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the space-filling-curve crate.
+
+use proptest::prelude::*;
+use scihadoop_grid::{BoundingBox, Coord, Shape};
+use scihadoop_sfc::{
+    box_runs, collapse_sorted, zorder_box_runs, Curve, CurveRun, HilbertCurve, ZOrderCurve,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The fast quadrant-descent decomposition must agree exactly with
+    /// exhaustive cell enumeration on arbitrary boxes.
+    #[test]
+    fn zorder_fast_ranges_equal_exhaustive(
+        cx in 0i32..24, cy in 0i32..24,
+        w in 1u32..9, h in 1u32..9,
+    ) {
+        let bits = 5;
+        let bbox = BoundingBox::new(Coord::new(vec![cx, cy]), Shape::new(vec![w, h])).unwrap();
+        let curve = ZOrderCurve::with_bits(2, bits);
+        prop_assert_eq!(
+            zorder_box_runs(&bbox, bits).unwrap(),
+            box_runs(&curve, &bbox).unwrap()
+        );
+    }
+
+    /// Same property in three dimensions.
+    #[test]
+    fn zorder_fast_ranges_equal_exhaustive_3d(
+        corner in proptest::collection::vec(0i32..6, 3),
+        shape in proptest::collection::vec(1u32..4, 3),
+    ) {
+        let bits = 3;
+        let bbox = BoundingBox::new(Coord::new(corner), Shape::new(shape)).unwrap();
+        let curve = ZOrderCurve::with_bits(3, bits);
+        prop_assert_eq!(
+            zorder_box_runs(&bbox, bits).unwrap(),
+            box_runs(&curve, &bbox).unwrap()
+        );
+    }
+
+    /// Hilbert adjacency holds along arbitrary index segments, not just
+    /// from zero.
+    #[test]
+    fn hilbert_segments_are_connected(start in 0u128..4000, len in 1u128..64) {
+        let h = HilbertCurve::with_bits(2, 6);
+        let end = (start + len).min((1u128 << 12) - 1);
+        let mut prev = h.coords_of(start).unwrap();
+        for i in start + 1..=end {
+            let cur = h.coords_of(i).unwrap();
+            let dist: u32 = prev.iter().zip(&cur).map(|(a, b)| a.abs_diff(*b)).sum();
+            prop_assert_eq!(dist, 1);
+            prev = cur;
+        }
+    }
+
+    /// collapse_sorted over any sorted index list covers exactly the
+    /// input set with maximal runs.
+    #[test]
+    fn collapse_sorted_is_exact_and_maximal(
+        set in proptest::collection::btree_set(0u128..500, 0..64),
+    ) {
+        let indices: Vec<u128> = set.iter().copied().collect();
+        let runs = collapse_sorted(&indices);
+        // Coverage.
+        let covered: Vec<u128> = runs
+            .iter()
+            .flat_map(|r| r.start..=r.end)
+            .collect();
+        prop_assert_eq!(&covered, &indices);
+        // Maximality: consecutive runs are separated by a gap.
+        for w in runs.windows(2) {
+            prop_assert!(w[0].end + 1 < w[1].start);
+        }
+    }
+
+    /// CurveRun::overlaps is symmetric and consistent with contains.
+    #[test]
+    fn curve_run_overlap_symmetry(
+        a_start in 0u128..100, a_len in 1u128..20,
+        b_start in 0u128..100, b_len in 1u128..20,
+    ) {
+        let a = CurveRun { start: a_start, end: a_start + a_len - 1 };
+        let b = CurveRun { start: b_start, end: b_start + b_len - 1 };
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+        let any_shared = (a.start..=a.end).any(|i| b.contains(i));
+        prop_assert_eq!(a.overlaps(&b), any_shared);
+    }
+}

@@ -1,0 +1,99 @@
+//! Figures 5–7 reproduced: space-filling-curve numbering, range
+//! collapsing, routing splits, and overlap splits, on grids small enough
+//! to print.
+//!
+//! ```sh
+//! cargo run --release --example aggregation_tour
+//! ```
+
+use scihadoop::core::aggregate::{
+    group_equal, overlap_split, route_split, AggregateKey, AggregateRecord, Aggregator,
+    RangePartitioner,
+};
+use scihadoop::grid::Coord;
+use scihadoop::sfc::{Curve, CurveRun, ZOrderCurve};
+
+fn main() {
+    let curve = ZOrderCurve::with_bits(2, 2);
+
+    // --- Fig. 6: cells numbered by the curve, region collapsed to ranges.
+    println!("Z-order numbering of a 4x4 grid (Fig. 6):\n");
+    for x in 0..4 {
+        let row: Vec<String> = (0..4)
+            .map(|y| format!("{:>2}", curve.index_of(&[x, y]).unwrap()))
+            .collect();
+        println!("   {}", row.join(" "));
+    }
+
+    // The shaded region of Fig. 6 — its indices collapse to
+    // "6-7, 9-10, 13" on the curve.
+    let region = [[1u32, 2], [1, 3], [2, 1], [3, 0], [2, 3]];
+    let mut agg = Aggregator::new(curve.clone(), 1 << 20);
+    for c in region {
+        agg.push(&Coord::new(vec![c[0] as i32, c[1] as i32]), &[0u8])
+            .unwrap();
+    }
+    let runs: Vec<String> = agg
+        .flush()
+        .iter()
+        .map(|r| {
+            if r.key.run.start == r.key.run.end {
+                format!("{}", r.key.run.start)
+            } else {
+                format!("{}-{}", r.key.run.start, r.key.run.end)
+            }
+        })
+        .collect();
+    println!("\nregion collapses to curve ranges: {}\n", runs.join(", "));
+
+    // --- §IV-B case 1: routing split at partition boundaries.
+    let rec = AggregateRecord::new(
+        AggregateKey::new(0, CurveRun { start: 3, end: 12 }),
+        (3..=12u8).collect(),
+        1,
+    )
+    .unwrap();
+    let partitioner = RangePartitioner::uniform(4, 16);
+    println!("routing the aggregate key [3,12] to 4 reducers (4 cells each):");
+    for (p, piece) in route_split(&rec, &partitioner, 1) {
+        println!(
+            "   reducer {p} gets [{}, {}] ({} cells)",
+            piece.key.run.start,
+            piece.key.run.end,
+            piece.key.cell_count()
+        );
+    }
+
+    // --- §IV-B case 2 / Fig. 7: overlap splitting at the reducer.
+    let a = AggregateRecord::new(
+        AggregateKey::new(0, CurveRun { start: 0, end: 9 }),
+        vec![b'a'; 10],
+        1,
+    )
+    .unwrap();
+    let b = AggregateRecord::new(
+        AggregateKey::new(0, CurveRun { start: 5, end: 14 }),
+        vec![b'b'; 10],
+        1,
+    )
+    .unwrap();
+    println!("\noverlapping keys [0,9] and [5,14] split on overlap boundaries (Fig. 7):");
+    let pieces = overlap_split(vec![a, b], 1);
+    for piece in &pieces {
+        println!(
+            "   [{}, {}] from mapper '{}'",
+            piece.key.run.start,
+            piece.key.run.end,
+            piece.values[0] as char
+        );
+    }
+    println!("\nafter grouping, equal ranges reduce together:");
+    for (key, values) in group_equal(pieces) {
+        println!(
+            "   [{}, {}]: {} contribution(s)",
+            key.run.start,
+            key.run.end,
+            values.len()
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! # scihadoop — intermediate-key compression for MapReduce, in Rust
+//!
+//! A from-scratch reproduction of *"Compressing Intermediate Keys between
+//! Mappers and Reducers in SciHadoop"* (Crume, Buck, Maltzahn, Brandt —
+//! SC 2012 Companion).
+//!
+//! The facade crate re-exports the whole workspace:
+//!
+//! * [`grid`] — n-dimensional scientific grids and Writable-style keys
+//! * [`sfc`] — space-filling curves (Z-order, Hilbert, row-major)
+//! * [`compress`] — generic codecs built from scratch (Deflate-, Bzip-style)
+//! * [`core`] — the paper's contribution: the stride-predictive byte
+//!   transform (§III) and space-filling-curve key aggregation (§IV)
+//! * [`mapreduce`] — a multi-threaded MapReduce engine with an IFile-style
+//!   intermediate format and pluggable codecs
+//! * [`cluster`] — a cost-model cluster simulator for the end-to-end
+//!   experiments (§III-E, §IV-D)
+//! * [`queries`] — scientific queries (sliding median et al.) used by the
+//!   paper's evaluation
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use scihadoop::core::aggregate::Aggregator;
+//! use scihadoop::grid::{Coord, Shape};
+//! use scihadoop::sfc::ZOrderCurve;
+//!
+//! // Aggregate per-cell keys of a 4x4 tile into Z-order ranges.
+//! let mut agg = Aggregator::new(ZOrderCurve::new(2), 1 << 20);
+//! for x in 0..4 {
+//!     for y in 0..4 {
+//!         agg.push(&Coord::new(vec![x, y]), b"value").unwrap();
+//!     }
+//! }
+//! let runs = agg.flush();
+//! assert_eq!(runs.len(), 1, "a full aligned tile is one curve range");
+//! ```
+
+pub use scihadoop_cluster as cluster;
+pub use scihadoop_compress as compress;
+pub use scihadoop_core as core;
+pub use scihadoop_grid as grid;
+pub use scihadoop_mapreduce as mapreduce;
+pub use scihadoop_queries as queries;
+pub use scihadoop_sfc as sfc;
