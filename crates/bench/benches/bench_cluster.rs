@@ -29,14 +29,16 @@ fn bench_cluster(c: &mut Criterion) {
         (
             "transform_deflate",
             Box::new(|| {
-                SlidingMedianVariant::PlainWithCodec(Arc::new(
-                    TransformCodec::with_defaults(Arc::new(DeflateCodec::new())),
-                ))
+                SlidingMedianVariant::PlainWithCodec(Arc::new(TransformCodec::with_defaults(
+                    Arc::new(DeflateCodec::new()),
+                )))
             }),
         ),
         (
             "aggregated",
-            Box::new(|| SlidingMedianVariant::Aggregated { buffer_bytes: 64 << 20 }),
+            Box::new(|| SlidingMedianVariant::Aggregated {
+                buffer_bytes: 64 << 20,
+            }),
         ),
     ];
     for (name, make) in &variants {

@@ -4,8 +4,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use scihadoop_compress::IdentityCodec;
 use scihadoop_mapreduce::{
-    Counter, Emit, FnMapper, FnReducer, Framing, IFileReader, IFileWriter, InputSplit,
-    Job, JobConfig, KvPair,
+    Counter, Emit, FnMapper, FnReducer, Framing, IFileReader, IFileWriter, InputSplit, Job,
+    JobConfig, KvPair,
 };
 use std::sync::Arc;
 

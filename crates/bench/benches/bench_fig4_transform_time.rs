@@ -27,8 +27,7 @@ fn bench_fig4(c: &mut Criterion) {
 
     // The inverse path must track the forward path (same state machine).
     let stream = workloads::grid_key_stream(24);
-    let transformed =
-        StridePredictor::new(TransformConfig::default()).forward(&stream);
+    let transformed = StridePredictor::new(TransformConfig::default()).forward(&stream);
     let mut group = c.benchmark_group("fig4_inverse_transform");
     group.throughput(Throughput::Bytes(stream.len() as u64));
     group.sample_size(10);

@@ -38,8 +38,7 @@ fn bench_fig8(c: &mut Criterion) {
     let bits = (32 - n.leading_zeros()).max(1);
     group.bench_function("aggregated", |b| {
         b.iter(|| {
-            let mut agg =
-                Aggregator::new(ZOrderCurve::with_bits(3, bits), usize::MAX >> 1);
+            let mut agg = Aggregator::new(ZOrderCurve::with_bits(3, bits), usize::MAX >> 1);
             let mut vbytes = Vec::with_capacity(4);
             for cell in &cells {
                 vbytes.clear();

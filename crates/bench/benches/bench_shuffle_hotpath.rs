@@ -1,0 +1,193 @@
+//! Shuffle hot-path benchmark: the arena-backed spill and streaming
+//! k-way merge against the materializing reference paths they replaced
+//! (`SortBuffer` + owned-pair sorting; eager segment reads +
+//! `merge_sorted_runs` + whole-run re-sort).
+//!
+//! Run with `cargo bench --bench bench_shuffle_hotpath`. Set
+//! `BENCH_SHUFFLE_JSON=<path>` to also write the measurements (and the
+//! classic→arena speedups) as JSON — `BENCH_shuffle.json` at the repo
+//! root is a committed baseline from this machine.
+
+use criterion::{black_box, Criterion, Throughput};
+use scihadoop_compress::IdentityCodec;
+use scihadoop_mapreduce::{
+    for_each_group, merge_sorted_runs, DefaultKeySemantics, Framing, IFileReader, IFileWriter,
+    KeySemantics, KvPair, MergeStream, RawSegment, SortBuffer, SpillArena,
+};
+use std::sync::Arc;
+
+/// Map-output-shaped records: 8-byte grid keys in row-major emission
+/// order (unsorted by the FNV-partitioned byte comparator), 4-byte
+/// values.
+fn grid_pairs(n: u32) -> Vec<KvPair> {
+    (0..n)
+        .flat_map(|x| (0..n).map(move |y| (x, y)))
+        .map(|(x, y)| {
+            let key: Vec<u8> = [x.to_be_bytes(), y.to_be_bytes()].concat();
+            KvPair::new(key, (x ^ y).to_be_bytes().to_vec())
+        })
+        .collect()
+}
+
+/// The map side: stage emitted slices, sort, serialize one spill.
+fn bench_map_sort_spill(c: &mut Criterion) {
+    let pairs = grid_pairs(100); // 10,000 records
+    let ks = DefaultKeySemantics;
+    let codec: Arc<dyn scihadoop_compress::Codec> = Arc::new(IdentityCodec);
+
+    let mut group = c.benchmark_group("map_sort_spill");
+    group.throughput(Throughput::Elements(pairs.len() as u64));
+    group.sample_size(20);
+
+    // Reference: owned pairs into a SortBuffer, sort, write.
+    group.bench_function("classic_sortbuffer", |b| {
+        b.iter(|| {
+            let mut buf = SortBuffer::new(usize::MAX >> 1);
+            for p in &pairs {
+                // The old emit path allocated an owned pair per record.
+                buf.push(KvPair::new(p.key.clone(), p.value.clone()));
+            }
+            let run = buf.drain_sorted(&ks);
+            let mut w = IFileWriter::new(Framing::IFile, codec.clone());
+            for pair in &run {
+                w.append_pair(pair);
+            }
+            black_box(w.close().raw_bytes)
+        })
+    });
+
+    // Arena: bytes into one buffer, sort the index, write borrowed
+    // slices.
+    group.bench_function("arena", |b| {
+        b.iter(|| {
+            let mut arena = SpillArena::new(1);
+            for p in &pairs {
+                arena.append(0, &p.key, &p.value);
+            }
+            arena.sort_partition(0, &ks);
+            let mut w = IFileWriter::new(Framing::IFile, codec.clone());
+            for (k, v) in arena.pairs(0) {
+                w.append(k, v);
+            }
+            black_box(w.close().raw_bytes)
+        })
+    });
+    group.finish();
+}
+
+/// The reduce side: merge sorted segments, group, consume values.
+fn bench_merge_reduce(c: &mut Criterion) {
+    let ks = DefaultKeySemantics;
+    let codec: Arc<dyn scihadoop_compress::Codec> = Arc::new(IdentityCodec);
+
+    // 8 sorted runs of 2,500 records each, sealed as segments.
+    let mut segments = Vec::new();
+    let mut total = 0u64;
+    for r in 0..8u32 {
+        let mut run = grid_pairs(50);
+        for (i, p) in run.iter_mut().enumerate() {
+            p.key[0] = ((i as u32 * 7 + r) % 13) as u8;
+        }
+        run.sort_by(|a, b| ks.compare(&a.key, &b.key));
+        total += run.len() as u64;
+        let mut w = IFileWriter::new(Framing::IFile, codec.clone());
+        for p in &run {
+            w.append_pair(p);
+        }
+        segments.push(w.close().data);
+    }
+
+    let mut group = c.benchmark_group("merge_reduce");
+    group.throughput(Throughput::Elements(total));
+    group.sample_size(20);
+
+    // Reference: materialize every run, k-way merge into one Vec,
+    // whole-run sort_split + re-sort, then group.
+    group.bench_function("classic_materialize", |b| {
+        let ks_arc: Arc<dyn KeySemantics> = Arc::new(DefaultKeySemantics);
+        b.iter(|| {
+            let runs: Vec<Vec<KvPair>> = segments
+                .iter()
+                .map(|s| IFileReader::open(s, &IdentityCodec).unwrap().into_records())
+                .collect();
+            let merged = merge_sorted_runs(runs, &ks_arc);
+            let mut records = ks_arc.sort_split(merged);
+            records.sort_by(|a, b| ks_arc.compare(&a.key, &b.key));
+            let mut acc = 0u64;
+            for_each_group(&records, ks_arc.as_ref(), |_, values| {
+                acc += values.len() as u64;
+            });
+            black_box(acc)
+        })
+    });
+
+    // Streaming: lazy cursors under a merge heap, grouping on borrowed
+    // slices as records surface.
+    group.bench_function("streaming", |b| {
+        b.iter(|| {
+            let raws: Vec<RawSegment> = segments
+                .iter()
+                .map(|s| RawSegment::open(s, &IdentityCodec).unwrap())
+                .collect();
+            let mut stream = MergeStream::new(&raws, &ks).unwrap();
+            let mut acc = 0u64;
+            let mut group_key: Option<&[u8]> = None;
+            let mut group_len = 0u64;
+            while let Some((key, _value)) = stream.next().unwrap() {
+                match group_key {
+                    Some(gk) if ks.group_eq(gk, key) => group_len += 1,
+                    _ => {
+                        acc += group_len;
+                        group_key = Some(key);
+                        group_len = 1;
+                    }
+                }
+            }
+            black_box(acc + group_len)
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_map_sort_spill(&mut criterion);
+    bench_merge_reduce(&mut criterion);
+
+    // Speedups + optional JSON baseline.
+    let rate = |id: &str| {
+        criterion
+            .measurements
+            .iter()
+            .find(|m| m.id.ends_with(id))
+            .and_then(|m| m.per_second())
+            .unwrap_or(0.0)
+    };
+    let spill_speedup = rate("map_sort_spill/arena") / rate("classic_sortbuffer");
+    let merge_speedup = rate("merge_reduce/streaming") / rate("classic_materialize");
+    println!("\nmap-sort-spill speedup (arena vs classic):   {spill_speedup:.2}x");
+    println!("merge-reduce speedup (streaming vs classic): {merge_speedup:.2}x");
+
+    if let Ok(path) = std::env::var("BENCH_SHUFFLE_JSON") {
+        let mut json = String::from("{\n  \"benchmarks\": [\n");
+        for (i, m) in criterion.measurements.iter().enumerate() {
+            let sep = if i + 1 < criterion.measurements.len() {
+                ","
+            } else {
+                ""
+            };
+            json.push_str(&format!(
+                "    {{\"id\": \"{}\", \"median_ns\": {:.0}, \"records_per_s\": {:.0}}}{}\n",
+                m.id,
+                m.median_ns,
+                m.per_second().unwrap_or(0.0),
+                sep
+            ));
+        }
+        json.push_str(&format!(
+            "  ],\n  \"map_sort_spill_speedup\": {spill_speedup:.2},\n  \"merge_reduce_speedup\": {merge_speedup:.2}\n}}\n"
+        ));
+        std::fs::write(&path, json).expect("write bench json");
+        println!("wrote {path}");
+    }
+}

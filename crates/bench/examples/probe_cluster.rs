@@ -1,0 +1,20 @@
+//! Per-phase CPU breakdown of each cluster-experiment variant — the
+//! quick triage tool for phase-accounting regressions (run with
+//! `cargo run --release -p scihadoop-bench --example probe_cluster`).
+
+fn main() {
+    let (_, rows) = scihadoop_bench::experiments::cluster_experiment(48, 8);
+    for r in &rows {
+        let s = &r.stats;
+        println!(
+            "{:40} map_fn {:>8.1}ms spill {:>8.1}ms merge {:>8.1}ms reduce_fn {:>8.1}ms compress {:>8.1}ms decompress {:>8.1}ms",
+            r.label,
+            s.map_fn_nanos as f64 / 1e6,
+            s.spill_nanos as f64 / 1e6,
+            s.merge_nanos as f64 / 1e6,
+            s.reduce_fn_nanos as f64 / 1e6,
+            s.compress_nanos as f64 / 1e6,
+            s.decompress_nanos as f64 / 1e6,
+        );
+    }
+}

@@ -114,7 +114,9 @@ fn main() {
     if run("cluster") {
         println!(
             "{}",
-            bench::cluster_experiment(s.cluster_n, s.cluster_splits).0.render()
+            bench::cluster_experiment(s.cluster_n, s.cluster_splits)
+                .0
+                .render()
         );
         ran = true;
     }
@@ -134,11 +136,17 @@ fn main() {
         ran = true;
     }
     if run("coalesce") {
-        println!("{}", bench::coalesce_recovery(s.splits_n, &[1, 2, 5, 10, 20]).render());
+        println!(
+            "{}",
+            bench::coalesce_recovery(s.splits_n, &[1, 2, 5, 10, 20]).render()
+        );
         ran = true;
     }
     if run("splits") {
-        println!("{}", bench::split_counts(s.splits_n, &[1, 2, 5, 10, 20]).render());
+        println!(
+            "{}",
+            bench::split_counts(s.splits_n, &[1, 2, 5, 10, 20]).render()
+        );
         ran = true;
     }
     if run("tuning") {
@@ -148,7 +156,9 @@ fn main() {
     if run("scaling") {
         println!(
             "{}",
-            bench::scaling_check(&s.scaling).expect("scaling check").render()
+            bench::scaling_check(&s.scaling)
+                .expect("scaling check")
+                .render()
         );
         ran = true;
     }

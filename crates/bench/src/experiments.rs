@@ -4,9 +4,7 @@ use crate::report::{fmt_bytes, fmt_secs, Table};
 use crate::workloads;
 use scihadoop_cluster::{scale_stats, ClusterSpec, CostModel};
 use scihadoop_compress::{BzipCodec, Codec, DeflateCodec, IdentityCodec};
-use scihadoop_core::aggregate::{
-    expand_record, overlapping_pairs, padding_overhead, Aggregator,
-};
+use scihadoop_core::aggregate::{expand_record, overlapping_pairs, padding_overhead, Aggregator};
 use scihadoop_core::transform::{self, TransformCodec, TransformConfig};
 use scihadoop_grid::{BoundingBox, Coord, GridError, Shape};
 use scihadoop_mapreduce::{Counter, Framing, IFileWriter, JobConfig, JobStats};
@@ -54,8 +52,7 @@ pub fn intro_overhead(n: u32) -> Table {
         // field that exists to delimit each independent key (the
         // key/value-length vints are counted as file overhead, as in
         // Fig. 8). For windspeed1: (23 + 4) / 4 = 6.75, the paper's ratio.
-        let ratio =
-            (seg.key_bytes + 4 * seg.records) as f64 / seg.value_bytes as f64;
+        let ratio = (seg.key_bytes + 4 * seg.records) as f64 / seg.value_bytes as f64;
         table.row(&[
             label.into(),
             format!("{file}"),
@@ -92,8 +89,7 @@ pub fn fig3(n: u32, max_stride: usize) -> (Table, Vec<CompressionPoint>) {
         config.clone(),
         Arc::new(DeflateCodec::new()),
     ));
-    let t_bzip: Arc<dyn Codec> =
-        Arc::new(TransformCodec::new(config, Arc::new(BzipCodec::new())));
+    let t_bzip: Arc<dyn Codec> = Arc::new(TransformCodec::new(config, Arc::new(BzipCodec::new())));
 
     let mut points = vec![CompressionPoint {
         method: "original",
@@ -132,8 +128,7 @@ pub fn fig3(n: u32, max_stride: usize) -> (Table, Vec<CompressionPoint>) {
         "paper (100³): original 12,000,000 / gzip 1,630,000 / transform+gzip 33,000 \
          / bzip2 512,000 / transform+bzip2 468",
     );
-    table
-        .note("shape target: transform+bzip ≪ transform+deflate ≪ bzip < deflate ≪ original");
+    table.note("shape target: transform+bzip ≪ transform+deflate ≪ bzip < deflate ≪ original");
     (table, points)
 }
 
@@ -152,7 +147,10 @@ pub fn stride_ablation(n: u32, timing_n: u32) -> Table {
     );
     for (label, config) in [
         ("fixed stride 12", TransformConfig::fixed(vec![12])),
-        ("all strides < 100 (brute)", TransformConfig::brute_force(100)),
+        (
+            "all strides < 100 (brute)",
+            TransformConfig::brute_force(100),
+        ),
         ("adaptive, max 100", TransformConfig::adaptive(100)),
     ] {
         let t0 = Instant::now();
@@ -295,8 +293,7 @@ pub fn fig8(n: u32, mappers: &[usize]) -> (Table, Vec<(String, Fig8Bar)>) {
             }
             let mut w = IFileWriter::new(Framing::IFile, Arc::new(IdentityCodec));
             for slab in split_along(&var.bounds(), dim, m) {
-                let mut agg =
-                    Aggregator::new(ZOrderCurve::with_bits(3, bits), usize::MAX >> 1);
+                let mut agg = Aggregator::new(ZOrderCurve::with_bits(3, bits), usize::MAX >> 1);
                 for cell in slab.cells() {
                     let mut vbytes = Vec::with_capacity(4);
                     var.get(&cell).expect("in range").write_be(&mut vbytes);
@@ -326,7 +323,14 @@ pub fn fig8(n: u32, mappers: &[usize]) -> (Table, Vec<(String, Fig8Bar)>) {
     let baseline = bars[0].1.total();
     let mut table = Table::new(
         &format!("Fig. 8: key aggregation on a {n}³ grid of i32"),
-        &["configuration", "values", "keys", "file overhead", "total", "reduction"],
+        &[
+            "configuration",
+            "values",
+            "keys",
+            "file overhead",
+            "total",
+            "reduction",
+        ],
     );
     for (label, bar) in &bars {
         table.row(&[
@@ -335,7 +339,10 @@ pub fn fig8(n: u32, mappers: &[usize]) -> (Table, Vec<(String, Fig8Bar)>) {
             fmt_bytes(bar.keys),
             fmt_bytes(bar.overhead),
             fmt_bytes(bar.total()),
-            format!("{:.1}%", 100.0 * (1.0 - bar.total() as f64 / baseline as f64)),
+            format!(
+                "{:.1}%",
+                100.0 * (1.0 - bar.total() as f64 / baseline as f64)
+            ),
         ]);
     }
     table.note(
@@ -409,7 +416,10 @@ pub fn cluster_experiment(n: u32, splits: usize) -> (Table, Vec<ClusterRow>) {
 
     let mut rows = Vec::new();
     for (label, variant) in [
-        ("baseline (plain keys)".to_string(), SlidingMedianVariant::Plain),
+        (
+            "baseline (plain keys)".to_string(),
+            SlidingMedianVariant::Plain,
+        ),
         (
             "transform+deflate codec".to_string(),
             SlidingMedianVariant::PlainWithCodec(Arc::new(TransformCodec::with_defaults(
@@ -418,7 +428,9 @@ pub fn cluster_experiment(n: u32, splits: usize) -> (Table, Vec<ClusterRow>) {
         ),
         (
             "key aggregation".to_string(),
-            SlidingMedianVariant::Aggregated { buffer_bytes: 64 << 20 },
+            SlidingMedianVariant::Aggregated {
+                buffer_bytes: 64 << 20,
+            },
         ),
     ] {
         let result = run(variant);
@@ -445,7 +457,10 @@ pub fn cluster_experiment(n: u32, splits: usize) -> (Table, Vec<ClusterRow>) {
         table.row(&[
             r.label.clone(),
             fmt_bytes(r.intermediate),
-            format!("{:+.1}%", 100.0 * (r.intermediate as f64 / base_bytes - 1.0)),
+            format!(
+                "{:+.1}%",
+                100.0 * (r.intermediate as f64 / base_bytes - 1.0)
+            ),
             format!("{:.0} min", r.minutes),
             format!("{:+.1}%", 100.0 * (r.minutes / base_min - 1.0)),
         ]);
@@ -460,7 +475,10 @@ pub fn cluster_experiment(n: u32, splits: usize) -> (Table, Vec<ClusterRow>) {
         let m = |s: f64| format!("{:.1}", s / 60.0);
         table.row(&[
             format!("  {} work-min (pre-sched):", r.label),
-            format!("io {}", m(ph.map_read_s + ph.map_write_s + ph.reduce_disk_s + ph.output_write_s)),
+            format!(
+                "io {}",
+                m(ph.map_read_s + ph.map_write_s + ph.reduce_disk_s + ph.output_write_s)
+            ),
             format!("shuffle {}", m(ph.shuffle_s)),
             format!("codec {}", m(ph.map_codec_s + ph.reduce_codec_s)),
             format!("engine {}", m(ph.map_cpu_s + ph.reduce_cpu_s)),
@@ -579,7 +597,12 @@ pub fn alignment_ablation(alignments: &[u128]) -> Table {
     };
     let mut table = Table::new(
         "§IV-C alignment ablation (64 shifted 41-cell ranges)",
-        &["alignment", "equal pairs", "overlapping-unequal pairs", "padding bytes"],
+        &[
+            "alignment",
+            "equal pairs",
+            "overlapping-unequal pairs",
+            "padding bytes",
+        ],
     );
     table.row(&[
         "none".into(),
@@ -619,7 +642,9 @@ pub fn split_counts(n: u32, reducer_counts: &[usize]) -> Table {
     for &r in reducer_counts {
         let mut q = SlidingMedian::new(
             layout.clone(),
-            SlidingMedianVariant::Aggregated { buffer_bytes: 64 << 20 },
+            SlidingMedianVariant::Aggregated {
+                buffer_bytes: 64 << 20,
+            },
         );
         q.base_config = JobConfig::default().with_reducers(r);
         let run = q.run(&var).expect("query runs");
@@ -681,7 +706,12 @@ pub fn coalesce_recovery(n: u32, reducer_counts: &[usize]) -> Table {
             "§IV-B future work: reducer-side re-aggregation \
              ({n}² grid, {mappers} fast-dimension slab mappers, ideal {ideal} records)"
         ),
-        &["reducers", "mapper records", "after route split", "after coalesce"],
+        &[
+            "reducers",
+            "mapper records",
+            "after route split",
+            "after coalesce",
+        ],
     );
     for &r in reducer_counts {
         let partitioner = RangePartitioner::uniform(r, span);
@@ -841,8 +871,16 @@ mod tests {
         let transform = &rows[1];
         let agg = &rows[2];
         // Both optimizations shrink intermediate data.
-        assert!(transform.intermediate < baseline.intermediate, "{}", table.render());
-        assert!(agg.intermediate < baseline.intermediate, "{}", table.render());
+        assert!(
+            transform.intermediate < baseline.intermediate,
+            "{}",
+            table.render()
+        );
+        assert!(
+            agg.intermediate < baseline.intermediate,
+            "{}",
+            table.render()
+        );
         // The paper's headline contrast: transform costs runtime,
         // aggregation saves it.
         assert!(transform.minutes > baseline.minutes, "{}", table.render());

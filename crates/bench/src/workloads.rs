@@ -17,8 +17,7 @@ pub fn int_cube(n: u32, seed: u64) -> Variable {
 /// uses 8000×8000; experiments run a scaled-down grid and scale the
 /// stats).
 pub fn int_square(n: u32, seed: u64) -> Variable {
-    Variable::random_i32("grid", Shape::new(vec![n, n]), 1_000_000, seed)
-        .expect("valid shape")
+    Variable::random_i32("grid", Shape::new(vec![n, n]), 1_000_000, seed).expect("valid shape")
 }
 
 /// A float field named `windspeed1`, as in the paper's §I example.
@@ -40,10 +39,7 @@ mod tests {
 
     #[test]
     fn datasets_are_deterministic() {
-        assert_eq!(
-            int_cube(8, 1).raw_data(),
-            int_cube(8, 1).raw_data()
-        );
+        assert_eq!(int_cube(8, 1).raw_data(), int_cube(8, 1).raw_data());
         assert_eq!(windspeed_cube(4, 2).name(), "windspeed1");
         assert_eq!(int_square(16, 3).shape().extents(), &[16, 16]);
     }

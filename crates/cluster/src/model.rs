@@ -151,12 +151,9 @@ impl CostModel {
         );
         let map_makespan_s = phases.map_read_s + phases.map_write_s + map_cpu_parallel;
 
-        let reduce_cpu_parallel =
-            (phases.reduce_codec_s + phases.reduce_cpu_s) / reduce_nodes;
-        let reduce_makespan_s = phases.shuffle_s
-            + phases.reduce_disk_s
-            + reduce_cpu_parallel
-            + phases.output_write_s;
+        let reduce_cpu_parallel = (phases.reduce_codec_s + phases.reduce_cpu_s) / reduce_nodes;
+        let reduce_makespan_s =
+            phases.shuffle_s + phases.reduce_disk_s + reduce_cpu_parallel + phases.output_write_s;
 
         SimReport {
             phases,

@@ -68,7 +68,9 @@ pub fn bwt_decode(last: &[u8], primary: u32) -> Result<Vec<u8>, CompressError> {
         return if primary == 0 {
             Ok(Vec::new())
         } else {
-            Err(CompressError::Corrupt("primary index in empty block".into()))
+            Err(CompressError::Corrupt(
+                "primary index in empty block".into(),
+            ))
         };
     }
     if primary as usize >= n {

@@ -214,7 +214,11 @@ mod tests {
         let mut state = 3u64;
         for i in 0..350_000usize {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            data.push(if i % 3 == 0 { (state >> 33) as u8 } else { b'x' });
+            data.push(if i % 3 == 0 {
+                (state >> 33) as u8
+            } else {
+                b'x'
+            });
         }
         roundtrip(&data);
     }

@@ -32,8 +32,10 @@ pub fn build_lengths(freqs: &[u64], max_len: u32) -> Vec<u32> {
 
     // Heap-based Huffman over (freq, node). Internal nodes get indices
     // >= n. parent[] lets us read off depths afterwards.
-    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>> =
-        live.iter().map(|&i| std::cmp::Reverse((freqs[i], i))).collect();
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>> = live
+        .iter()
+        .map(|&i| std::cmp::Reverse((freqs[i], i)))
+        .collect();
     let mut parent = vec![usize::MAX; n + live.len()];
     let mut next = n;
     while heap.len() > 1 {
@@ -306,10 +308,7 @@ mod tests {
                 }
                 if lengths[i] <= lengths[j] {
                     let shift = lengths[j] - lengths[i];
-                    assert!(
-                        codes[i] != codes[j] >> shift,
-                        "code {i} is a prefix of {j}"
-                    );
+                    assert!(codes[i] != codes[j] >> shift, "code {i} is a prefix of {j}");
                 }
             }
         }

@@ -42,9 +42,10 @@ pub fn rle1_decode(data: &[u8]) -> Result<Vec<u8>, CompressError> {
             run += 1;
         }
         if run == 4 {
-            let extra = *data.get(i + 4).ok_or_else(|| {
-                CompressError::Truncated("rle1 count byte".into())
-            })? as usize;
+            let extra = *data
+                .get(i + 4)
+                .ok_or_else(|| CompressError::Truncated("rle1 count byte".into()))?
+                as usize;
             out.resize(out.len() + 4 + extra, b);
             i += 5;
         } else {

@@ -160,8 +160,7 @@ mod tests {
     #[test]
     fn larger_alignment_reduces_overlap_but_costs_more() {
         // A sliding-window-like workload: shifted ranges.
-        let records: Vec<AggregateRecord> =
-            (0..8).map(|i| rec(i * 6, i * 6 + 9)).collect();
+        let records: Vec<AggregateRecord> = (0..8).map(|i| rec(i * 6, i * 6 + 9)).collect();
         let base = overlapping_pairs(&records);
         let mut prev_overlap = base;
         let mut prev_cost = 0u128;

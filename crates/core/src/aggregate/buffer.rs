@@ -101,9 +101,9 @@ impl Aggregator {
         let mut indices: Vec<CurveIndex> = Vec::new();
         let mut values: BTreeMap<CurveIndex, Vec<u8>> = BTreeMap::new();
         let emit = |var: u32,
-                        indices: &mut Vec<CurveIndex>,
-                        values: &mut BTreeMap<CurveIndex, Vec<u8>>,
-                        out: &mut Vec<AggregateRecord>| {
+                    indices: &mut Vec<CurveIndex>,
+                    values: &mut BTreeMap<CurveIndex, Vec<u8>>,
+                    out: &mut Vec<AggregateRecord>| {
             for run in collapse_sorted(indices) {
                 let mut payload = Vec::new();
                 for i in run.start..=run.end {
@@ -207,19 +207,13 @@ mod tests {
     fn threshold_triggers_auto_flush() {
         // 8-byte threshold, 4-byte values: third push flushes.
         let mut agg = Aggregator::new(RowMajorCurve::with_bits(1, 8), 8);
-        assert!(agg
-            .push(&Coord::new(vec![0]), &[0; 4])
-            .unwrap()
-            .is_none());
+        assert!(agg.push(&Coord::new(vec![0]), &[0; 4]).unwrap().is_none());
         let flushed = agg.push(&Coord::new(vec![1]), &[0; 4]).unwrap();
         let recs = flushed.expect("crossing threshold flushes");
         assert_eq!(recs.len(), 1);
         assert_eq!(recs[0].key.run, CurveRun { start: 0, end: 1 });
         // Buffer is empty again.
-        assert!(agg
-            .push(&Coord::new(vec![5]), &[0; 4])
-            .unwrap()
-            .is_none());
+        assert!(agg.push(&Coord::new(vec![5]), &[0; 4]).unwrap().is_none());
     }
 
     #[test]

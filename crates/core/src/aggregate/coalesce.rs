@@ -101,8 +101,7 @@ mod tests {
         assert_eq!(pieces.len(), 4);
         // All pieces land back together (e.g. the same reducer after a
         // rebalance): coalescing restores the original exactly.
-        let merged =
-            coalesce_adjacent(pieces.into_iter().map(|(_, r)| r).collect());
+        let merged = coalesce_adjacent(pieces.into_iter().map(|(_, r)| r).collect());
         assert_eq!(merged.len(), 1);
         assert_eq!(merged[0], original);
     }

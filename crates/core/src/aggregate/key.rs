@@ -89,11 +89,7 @@ pub struct AggregateRecord {
 
 impl AggregateRecord {
     /// Construct a record, checking the value payload length.
-    pub fn new(
-        key: AggregateKey,
-        values: Vec<u8>,
-        value_width: usize,
-    ) -> Result<Self, GridError> {
+    pub fn new(key: AggregateKey, values: Vec<u8>, value_width: usize) -> Result<Self, GridError> {
         let expected = key.cell_count() * value_width as u128;
         if values.len() as u128 != expected {
             return Err(GridError::Deserialize(format!(
@@ -142,7 +138,13 @@ mod tests {
 
     #[test]
     fn key_roundtrips() {
-        let k = AggregateKey::new(3, CurveRun { start: 1000, end: 1009 });
+        let k = AggregateKey::new(
+            3,
+            CurveRun {
+                start: 1000,
+                end: 1009,
+            },
+        );
         let bytes = k.to_bytes();
         assert_eq!(bytes.len(), AGGREGATE_KEY_LEN);
         assert_eq!(AggregateKey::from_bytes(&bytes).unwrap(), k);
@@ -150,8 +152,20 @@ mod tests {
 
     #[test]
     fn key_bytes_sort_by_variable_then_start() {
-        let a = AggregateKey::new(0, CurveRun { start: 500, end: 600 });
-        let b = AggregateKey::new(0, CurveRun { start: 501, end: 501 });
+        let a = AggregateKey::new(
+            0,
+            CurveRun {
+                start: 500,
+                end: 600,
+            },
+        );
+        let b = AggregateKey::new(
+            0,
+            CurveRun {
+                start: 501,
+                end: 501,
+            },
+        );
         let c = AggregateKey::new(1, CurveRun { start: 0, end: 0 });
         let mut v = [c.to_bytes(), b.to_bytes(), a.to_bytes()];
         v.sort();
@@ -192,11 +206,29 @@ mod tests {
 
     #[test]
     fn slice_extracts_subrange() {
-        let k = AggregateKey::new(7, CurveRun { start: 100, end: 104 });
+        let k = AggregateKey::new(
+            7,
+            CurveRun {
+                start: 100,
+                end: 104,
+            },
+        );
         let values: Vec<u8> = (0..5).flat_map(|i| [i as u8; 4]).collect();
         let r = AggregateRecord::new(k, values, 4).unwrap();
-        let s = r.slice(CurveRun { start: 101, end: 102 }, 4);
-        assert_eq!(s.key.run, CurveRun { start: 101, end: 102 });
+        let s = r.slice(
+            CurveRun {
+                start: 101,
+                end: 102,
+            },
+            4,
+        );
+        assert_eq!(
+            s.key.run,
+            CurveRun {
+                start: 101,
+                end: 102
+            }
+        );
         assert_eq!(s.values, vec![1, 1, 1, 1, 2, 2, 2, 2]);
         assert_eq!(s.key.variable, 7);
     }
@@ -214,7 +246,13 @@ mod tests {
         // §I: "keys are represented in aggregate as a (corner, size)
         // pair, the overhead is reduced to a constant."
         let small = AggregateKey::new(0, CurveRun { start: 0, end: 0 });
-        let huge = AggregateKey::new(0, CurveRun { start: 0, end: u64::MAX as u128 });
+        let huge = AggregateKey::new(
+            0,
+            CurveRun {
+                start: 0,
+                end: u64::MAX as u128,
+            },
+        );
         assert_eq!(small.to_bytes().len(), huge.to_bytes().len());
     }
 }

@@ -6,9 +6,9 @@
 //! routing and sorting phases", expressed against the engine's pluggable
 //! hook instead of a Hadoop patch.
 
-use super::key::{AggregateKey, AggregateRecord};
+use super::key::{AggregateKey, AggregateRecord, AGGREGATE_KEY_LEN};
 use super::split::{overlap_split, route_split, RangePartitioner};
-use scihadoop_mapreduce::{KeySemantics, KvPair};
+use scihadoop_mapreduce::{KeySemantics, KvPair, RouteSink};
 use std::cmp::Ordering;
 
 /// Key semantics for serialized [`AggregateKey`]s.
@@ -79,6 +79,62 @@ impl KeySemantics for AggregateKeyOps {
         }
     }
 
+    fn route_slices(&self, key: &[u8], value: &[u8], parts: usize, emit: &mut RouteSink<'_>) {
+        // Same split as `route`, but each piece's key is serialized into a
+        // stack buffer and its values borrowed straight from `value` — no
+        // owned `AggregateRecord` is ever built.
+        let parsed = AggregateKey::from_bytes(key)
+            .ok()
+            .filter(|k| k.cell_count() * self.value_width as u128 == value.len() as u128);
+        let run = match parsed {
+            Some(k) => k.run,
+            // Unparseable keys fall back to partition 0, as in `route`.
+            None => return emit(0, key, value),
+        };
+        let mut key_buf = [0u8; AGGREGATE_KEY_LEN];
+        key_buf[0..4].copy_from_slice(&key[0..4]);
+        let mut start = run.start;
+        while start <= run.end {
+            let p = self.partitioner.partition_of(start);
+            let piece_end = match self.partitioner.lower_bound(p + 1) {
+                Some(next) if next <= run.end => next - 1,
+                _ => run.end,
+            };
+            key_buf[4..20].copy_from_slice(&start.to_be_bytes());
+            key_buf[20..28].copy_from_slice(&((piece_end - start + 1) as u64).to_be_bytes());
+            let from = (start - run.start) as usize * self.value_width;
+            let to = (piece_end - run.start + 1) as usize * self.value_width;
+            emit(p.min(parts - 1), &key_buf, &value[from..to]);
+            if piece_end == run.end {
+                break;
+            }
+            start = piece_end + 1;
+        }
+    }
+
+    fn sort_splits(&self) -> bool {
+        true
+    }
+
+    /// Two records interact iff their curve ranges overlap on the same
+    /// variable — exactly when [`overlap_split`] would cut either. Over a
+    /// bytewise-sorted run (variable, start, length order) this satisfies
+    /// the closure contract: once a later record's start passes an
+    /// earlier record's end, every record after it does too. Unparseable
+    /// keys interact with everything, collapsing the streaming windows
+    /// back into one whole-run batch so the passthrough ordering matches
+    /// the non-streaming path.
+    fn sort_interacts(&self, a: &[u8], b: &[u8]) -> bool {
+        match (AggregateKey::from_bytes(a), AggregateKey::from_bytes(b)) {
+            (Ok(ka), Ok(kb)) => {
+                ka.variable == kb.variable
+                    && ka.run.start <= kb.run.end
+                    && kb.run.start <= ka.run.end
+            }
+            _ => true,
+        }
+    }
+
     fn sort_split(&self, records: Vec<KvPair>) -> Vec<KvPair> {
         let mut parsed = Vec::with_capacity(records.len());
         let mut passthrough = Vec::new();
@@ -106,7 +162,9 @@ mod tests {
         let n = (end - start + 1) as usize;
         let rec = AggregateRecord::new(
             AggregateKey::new(0, CurveRun { start, end }),
-            (0..n).flat_map(|i| vec![(start as usize + i) as u8; width]).collect(),
+            (0..n)
+                .flat_map(|i| vec![(start as usize + i) as u8; width])
+                .collect(),
             width,
         )
         .unwrap();
@@ -167,6 +225,47 @@ mod tests {
         assert_eq!(routed, vec![(0, junk.clone())]);
         let out = ops.sort_split(vec![junk.clone()]);
         assert_eq!(out, vec![junk]);
+    }
+
+    #[test]
+    fn route_slices_emits_the_same_pieces_as_route() {
+        let ops = ops(4, 100, 1);
+        for p in [pair(20, 60, 1), pair(30, 40, 1)] {
+            let mut sliced = Vec::new();
+            ops.route_slices(&p.key, &p.value, 4, &mut |part, k, v| {
+                sliced.push((part, KvPair::new(k.to_vec(), v.to_vec())));
+            });
+            assert_eq!(sliced, ops.route(p, 4));
+        }
+        // Unparseable keys pass through to partition 0 on both paths.
+        let junk = KvPair::new(b"junk".to_vec(), b"v".to_vec());
+        let mut sliced = Vec::new();
+        ops.route_slices(&junk.key, &junk.value, 4, &mut |part, k, v| {
+            sliced.push((part, KvPair::new(k.to_vec(), v.to_vec())));
+        });
+        assert_eq!(sliced, ops.route(junk, 4));
+    }
+
+    #[test]
+    fn sort_interacts_is_range_overlap() {
+        let ops = ops(1, 100, 1);
+        assert!(ops.sort_splits());
+        let a = pair(0, 10, 1);
+        let b = pair(5, 15, 1);
+        let c = pair(11, 20, 1);
+        assert!(ops.sort_interacts(&a.key, &b.key), "overlap");
+        assert!(
+            ops.sort_interacts(&a.key, &a.key),
+            "equal keys must interact"
+        );
+        assert!(!ops.sort_interacts(&a.key, &c.key), "disjoint ranges");
+        // Same ranges on different variables never interact.
+        let mut other_var = a.key.clone();
+        other_var[0..4].copy_from_slice(&7u32.to_be_bytes());
+        assert!(!ops.sort_interacts(&a.key, &other_var));
+        // Unparseable keys conservatively interact with everything.
+        assert!(ops.sort_interacts(b"junk", &a.key));
+        assert!(ops.sort_interacts(&a.key, b"junk"));
     }
 
     #[test]

@@ -16,8 +16,8 @@
 //! §IV-C's alignment/padding mitigation for overlap is in [`align`].
 
 pub mod align;
-pub mod coalesce;
 pub mod buffer;
+pub mod coalesce;
 pub mod key;
 pub mod keyops;
 pub mod split;

@@ -102,10 +102,7 @@ pub fn route_split(
 /// (§IV-B case 2, Fig. 7): afterwards any two records are either equal in
 /// range or disjoint, so grouping by key reunites data for the same
 /// simple keys.
-pub fn overlap_split(
-    records: Vec<AggregateRecord>,
-    value_width: usize,
-) -> Vec<AggregateRecord> {
+pub fn overlap_split(records: Vec<AggregateRecord>, value_width: usize) -> Vec<AggregateRecord> {
     // Collect cut points per variable: every range start and every
     // range end+1 is a potential boundary.
     let mut cuts: BTreeSet<(u32, CurveIndex)> = BTreeSet::new();
@@ -152,9 +149,7 @@ pub fn overlap_split(
 
 /// Group records with identical keys (after [`overlap_split`] keys are
 /// equal or disjoint): each group is one reduce call's input.
-pub fn group_equal(
-    mut records: Vec<AggregateRecord>,
-) -> Vec<(AggregateKey, Vec<Vec<u8>>)> {
+pub fn group_equal(mut records: Vec<AggregateRecord>) -> Vec<(AggregateKey, Vec<Vec<u8>>)> {
     records.sort_by(|a, b| a.key.cmp(&b.key));
     let mut out: Vec<(AggregateKey, Vec<Vec<u8>>)> = Vec::new();
     for r in records {
@@ -175,8 +170,12 @@ mod tests {
         let values: Vec<u8> = (0..n)
             .flat_map(|i| vec![((start as usize + i) % 251) as u8; width])
             .collect();
-        AggregateRecord::new(AggregateKey::new(var, CurveRun { start, end }), values, width)
-            .unwrap()
+        AggregateRecord::new(
+            AggregateKey::new(var, CurveRun { start, end }),
+            values,
+            width,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -231,8 +230,10 @@ mod tests {
         let a = rec(0, 0, 10, 1);
         let b = rec(0, 5, 15, 1);
         let pieces = overlap_split(vec![a, b], 1);
-        let runs: Vec<(CurveIndex, CurveIndex)> =
-            pieces.iter().map(|r| (r.key.run.start, r.key.run.end)).collect();
+        let runs: Vec<(CurveIndex, CurveIndex)> = pieces
+            .iter()
+            .map(|r| (r.key.run.start, r.key.run.end))
+            .collect();
         assert_eq!(runs, vec![(0, 4), (5, 10), (5, 10), (11, 15)]);
     }
 
@@ -240,8 +241,10 @@ mod tests {
     fn overlap_split_nested_ranges() {
         // [0,20] containing [5,10].
         let pieces = overlap_split(vec![rec(0, 0, 20, 1), rec(0, 5, 10, 1)], 1);
-        let runs: Vec<(CurveIndex, CurveIndex)> =
-            pieces.iter().map(|r| (r.key.run.start, r.key.run.end)).collect();
+        let runs: Vec<(CurveIndex, CurveIndex)> = pieces
+            .iter()
+            .map(|r| (r.key.run.start, r.key.run.end))
+            .collect();
         assert_eq!(runs, vec![(0, 4), (5, 10), (5, 10), (11, 20)]);
     }
 

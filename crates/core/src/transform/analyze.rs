@@ -67,7 +67,9 @@ mod tests {
         }
         let reports = detect_sequences(&data, 20, 2000);
         assert!(
-            reports.iter().any(|r| r.stride == 16 && r.phase == 10 && r.delta == 3 && r.support >= 20),
+            reports
+                .iter()
+                .any(|r| r.stride == 16 && r.phase == 10 && r.delta == 3 && r.support >= 20),
             "planted sequence not found"
         );
     }

@@ -145,8 +145,7 @@ mod tests {
     fn transform_improves_bzip_on_key_streams() {
         let data = grid_stream(20);
         let plain = BzipCodec::with_level(1);
-        let wrapped =
-            TransformCodec::with_defaults(Arc::new(BzipCodec::with_level(1)));
+        let wrapped = TransformCodec::with_defaults(Arc::new(BzipCodec::with_level(1)));
         let z_plain = plain.compress(&data).len();
         let z_wrapped = wrapped.compress(&data).len();
         assert!(
@@ -158,14 +157,8 @@ mod tests {
     #[test]
     fn mismatched_config_is_rejected() {
         let data = grid_stream(8);
-        let a = TransformCodec::new(
-            TransformConfig::adaptive(100),
-            Arc::new(IdentityCodec),
-        );
-        let b = TransformCodec::new(
-            TransformConfig::adaptive(50),
-            Arc::new(IdentityCodec),
-        );
+        let a = TransformCodec::new(TransformConfig::adaptive(100), Arc::new(IdentityCodec));
+        let b = TransformCodec::new(TransformConfig::adaptive(50), Arc::new(IdentityCodec));
         let z = a.compress(&data);
         assert!(b.decompress(&z).is_err());
     }

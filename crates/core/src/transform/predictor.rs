@@ -275,7 +275,10 @@ impl StridePredictor {
         // Eviction: active ≥ 2s bytes and hit rate below threshold.
         let cycle = self.cycle;
         let pos = self.pos;
-        let (num, den) = (self.config.hit_rate_num as u64, self.config.hit_rate_den as u64);
+        let (num, den) = (
+            self.config.hit_rate_num as u64,
+            self.config.hit_rate_den as u64,
+        );
         for st in &mut self.strides {
             if st.active
                 && pos - st.activated_at >= 2 * st.stride as u64
@@ -295,9 +298,7 @@ impl StridePredictor {
             if let Some(st) = self
                 .strides
                 .iter_mut()
-                .filter(|st| {
-                    !st.active && cycle - st.last_selected_cycle >= st.stride as u64
-                })
+                .filter(|st| !st.active && cycle - st.last_selected_cycle >= st.stride as u64)
                 .max_by_key(|st| cycle - st.removed_at_cycle)
             {
                 st.active = true;
@@ -609,8 +610,7 @@ mod tests {
         // the second half.
         let fixed = TransformConfig::fixed(vec![12]);
         let tf = roundtrip(&fixed, &data);
-        let fixed_tail_zeros =
-            tf[switch + 8192..].iter().filter(|&&b| b == 0).count();
+        let fixed_tail_zeros = tf[switch + 8192..].iter().filter(|&&b| b == 0).count();
         assert!(
             tail_zeros > fixed_tail_zeros,
             "adaptive tail {tail_zeros} must beat fixed-12 tail {fixed_tail_zeros}"
@@ -626,6 +626,9 @@ mod tests {
         let c = TransformConfig::adaptive(8);
         let t = roundtrip(&c, &data);
         let tail = &t[64..];
-        assert!(tail.iter().all(|&b| b == 0), "constant stream not predicted");
+        assert!(
+            tail.iter().all(|&b| b == 0),
+            "constant stream not predicted"
+        );
     }
 }

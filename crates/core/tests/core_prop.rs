@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 use scihadoop_compress::{Codec, DeflateCodec, IdentityCodec};
 use scihadoop_core::aggregate::{
-    align_run, coalesce_adjacent, expand_record, overlap_split, AggregateKey,
-    AggregateRecord, Aggregator,
+    align_run, coalesce_adjacent, expand_record, overlap_split, AggregateKey, AggregateRecord,
+    Aggregator,
 };
 use scihadoop_core::transform::{forward, inverse, TransformCodec, TransformConfig};
 use scihadoop_grid::Coord;

@@ -261,7 +261,8 @@ mod tests {
 
     #[test]
     fn from_corners_normalizes_order() {
-        let b = BoundingBox::from_corners(&Coord::new(vec![5, 1]), &Coord::new(vec![2, 4])).unwrap();
+        let b =
+            BoundingBox::from_corners(&Coord::new(vec![5, 1]), &Coord::new(vec![2, 4])).unwrap();
         assert_eq!(b.corner().components(), &[2, 1]);
         assert_eq!(b.shape().extents(), &[4, 4]);
     }

@@ -208,10 +208,7 @@ mod tests {
 
     #[test]
     fn offset_all_shifts_every_component() {
-        assert_eq!(
-            Coord::new(vec![0, 9]).offset_all(-1).components(),
-            &[-1, 8]
-        );
+        assert_eq!(Coord::new(vec![0, 9]).offset_all(-1).components(), &[-1, 8]);
     }
 
     #[test]

@@ -53,11 +53,7 @@ impl Variable {
         for i in 0..total {
             let c = v.shape.delinearize(i).expect("in range");
             let val = f(&c);
-            assert_eq!(
-                val.data_type(),
-                dtype,
-                "generator returned wrong data type"
-            );
+            assert_eq!(val.data_type(), dtype, "generator returned wrong data type");
             buf.clear();
             val.write_be(&mut buf);
             let off = i as usize * dtype.size_bytes();

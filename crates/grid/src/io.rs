@@ -129,7 +129,8 @@ pub fn read_dataset(buf: &[u8]) -> Result<Dataset, GridError> {
             .ok_or_else(|| GridError::Deserialize("short or oversized cell data".into()))?
             as usize;
         let mut var = Variable::zeros(&name, dtype, shape)?;
-        var.raw_data_mut().copy_from_slice(&body[pos..pos + data_len]);
+        var.raw_data_mut()
+            .copy_from_slice(&body[pos..pos + data_len]);
         pos += data_len;
         ds.add(var);
     }
@@ -149,8 +150,8 @@ pub fn save_dataset(ds: &Dataset, path: &std::path::Path) -> std::io::Result<()>
 
 /// Load a dataset from a file.
 pub fn load_dataset(path: &std::path::Path) -> Result<Dataset, GridError> {
-    let bytes = std::fs::read(path)
-        .map_err(|e| GridError::Deserialize(format!("read {path:?}: {e}")))?;
+    let bytes =
+        std::fs::read(path).map_err(|e| GridError::Deserialize(format!("read {path:?}: {e}")))?;
     read_dataset(&bytes)
 }
 
@@ -219,8 +220,14 @@ mod tests {
         save_dataset(&ds, &path).unwrap();
         let back = load_dataset(&path).unwrap();
         assert_eq!(
-            back.by_name("temps").unwrap().get(&Coord::new(vec![1, 2])).unwrap(),
-            ds.by_name("temps").unwrap().get(&Coord::new(vec![1, 2])).unwrap()
+            back.by_name("temps")
+                .unwrap()
+                .get(&Coord::new(vec![1, 2]))
+                .unwrap(),
+            ds.by_name("temps")
+                .unwrap()
+                .get(&Coord::new(vec![1, 2]))
+                .unwrap()
         );
         if let Value::F32(v) = back
             .by_name("windspeed1")

@@ -22,8 +22,7 @@ pub trait GridWalker {
     /// stream of the paper's Fig. 3 ("triples of 32-bit integers").
     fn key_stream_be(&self) -> Vec<u8> {
         let ndims = self.bounds().ndims();
-        let mut out =
-            Vec::with_capacity(self.bounds().num_cells() as usize * 4 * ndims);
+        let mut out = Vec::with_capacity(self.bounds().num_cells() as usize * 4 * ndims);
         for c in self.walk() {
             for &x in c.components() {
                 out.extend_from_slice(&x.to_be_bytes());
@@ -36,8 +35,7 @@ pub trait GridWalker {
     /// detector is byte-order agnostic; having both lets tests prove it.
     fn key_stream_le(&self) -> Vec<u8> {
         let ndims = self.bounds().ndims();
-        let mut out =
-            Vec::with_capacity(self.bounds().num_cells() as usize * 4 * ndims);
+        let mut out = Vec::with_capacity(self.bounds().num_cells() as usize * 4 * ndims);
         for c in self.walk() {
             for &x in c.components() {
                 out.extend_from_slice(&x.to_le_bytes());
@@ -127,8 +125,8 @@ impl GridWalker for BlockWalker {
             let shape = Shape::new(
                 (0..ndims)
                     .map(|d| {
-                        let remaining = bounds.shape().extents()[d] as i32
-                            - (corner[d] - bounds.corner()[d]);
+                        let remaining =
+                            bounds.shape().extents()[d] as i32 - (corner[d] - bounds.corner()[d]);
                         (block.extents()[d] as i32).min(remaining) as u32
                     })
                     .collect(),

@@ -102,7 +102,9 @@ impl GridKey {
     /// Deserialize a key with an *indexed* variable and `ndims` coordinates.
     pub fn read_indexed(buf: &[u8], ndims: usize) -> Result<(GridKey, usize), GridError> {
         if buf.len() < 4 {
-            return Err(GridError::Deserialize("short read in variable index".into()));
+            return Err(GridError::Deserialize(
+                "short read in variable index".into(),
+            ));
         }
         let idx = i32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]);
         let (coord, used) = read_coord(&buf[4..], ndims)?;

@@ -1,11 +1,10 @@
 //! Property tests for the grid substrate.
 
 use proptest::prelude::*;
-use scihadoop_grid::{
-    read_dataset, write_dataset, BoundingBox, Coord, Dataset, GridKey, Shape, Variable,
-    VariableId,
-};
 use scihadoop_grid::writable::{read_vint, write_vint};
+use scihadoop_grid::{
+    read_dataset, write_dataset, BoundingBox, Coord, Dataset, GridKey, Shape, Variable, VariableId,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]

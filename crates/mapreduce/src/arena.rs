@@ -1,0 +1,237 @@
+//! Arena-backed spill buffer for the map-side shuffle hot path.
+//!
+//! The engine's original staging path allocated two `Vec<u8>`s per
+//! emitted record (`KvPair`) and sorted those owned pairs. This arena is
+//! the analogue of Hadoop's `MapOutputBuffer` (`io.sort.mb`): every
+//! emitted key/value is appended to one contiguous byte buffer shared by
+//! all partitions, and each partition keeps a compact record index of
+//! `(offset, key_len, val_len)` entries. Sorting a partition permutes
+//! the *index* while comparing key slices in place — record payloads are
+//! written once and never move. Spills drain the arena through borrowed
+//! slices straight into the `IFileWriter`, then `clear()` retains the
+//! allocated capacity for the next spill.
+
+use crate::keysem::KeySemantics;
+use std::cmp::Ordering;
+
+/// One staged record: value bytes immediately follow the key bytes at
+/// `off` inside the shared data buffer.
+#[derive(Debug, Clone, Copy)]
+struct IndexEntry {
+    off: usize,
+    key_len: u32,
+    val_len: u32,
+}
+
+impl IndexEntry {
+    fn key<'a>(&self, data: &'a [u8]) -> &'a [u8] {
+        &data[self.off..self.off + self.key_len as usize]
+    }
+
+    fn value<'a>(&self, data: &'a [u8]) -> &'a [u8] {
+        let start = self.off + self.key_len as usize;
+        &data[start..start + self.val_len as usize]
+    }
+}
+
+/// Contiguous staging buffer for one map task's output, indexed per
+/// partition.
+pub struct SpillArena {
+    data: Vec<u8>,
+    parts: Vec<Vec<IndexEntry>>,
+    payload_bytes: usize,
+}
+
+impl SpillArena {
+    /// An empty arena staging for `partitions` reducers.
+    pub fn new(partitions: usize) -> Self {
+        SpillArena {
+            data: Vec::new(),
+            parts: (0..partitions).map(|_| Vec::new()).collect(),
+            payload_bytes: 0,
+        }
+    }
+
+    /// Number of partitions staged for.
+    pub fn partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Append one record to a partition.
+    pub fn append(&mut self, partition: usize, key: &[u8], value: &[u8]) {
+        let off = self.data.len();
+        self.data.extend_from_slice(key);
+        self.data.extend_from_slice(value);
+        self.parts[partition].push(IndexEntry {
+            off,
+            key_len: u32::try_from(key.len()).expect("key larger than 4 GiB"),
+            val_len: u32::try_from(value.len()).expect("value larger than 4 GiB"),
+        });
+        self.payload_bytes += key.len() + value.len();
+    }
+
+    /// Staged payload bytes (keys + values, no framing) — the spill-
+    /// threshold metric, matching Hadoop's buffer accounting.
+    pub fn payload_bytes(&self) -> usize {
+        self.payload_bytes
+    }
+
+    /// Records staged for one partition.
+    pub fn partition_len(&self, partition: usize) -> usize {
+        self.parts[partition].len()
+    }
+
+    /// True when nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.parts.iter().all(|p| p.is_empty())
+    }
+
+    /// Stable-sort one partition's index by key; record bytes stay put.
+    pub fn sort_partition(&mut self, partition: usize, ks: &dyn KeySemantics) {
+        let mut index = std::mem::take(&mut self.parts[partition]);
+        let data = &self.data;
+        index.sort_by(|a, b| ks.compare(a.key(data), b.key(data)));
+        self.parts[partition] = index;
+    }
+
+    /// Iterate one partition's `(key, value)` slices in index order
+    /// (sorted order after [`SpillArena::sort_partition`]).
+    pub fn pairs(&self, partition: usize) -> impl Iterator<Item = (&[u8], &[u8])> {
+        self.parts[partition]
+            .iter()
+            .map(|e| (e.key(&self.data), e.value(&self.data)))
+    }
+
+    /// Group a sorted partition by the grouping predicate; calls `f` once
+    /// per group with `(key, values)`, all borrowed from the arena.
+    pub fn for_each_group(
+        &self,
+        partition: usize,
+        ks: &dyn KeySemantics,
+        mut f: impl FnMut(&[u8], &[&[u8]]),
+    ) {
+        let entries = &self.parts[partition];
+        let mut i = 0;
+        while i < entries.len() {
+            let key = entries[i].key(&self.data);
+            let mut j = i + 1;
+            while j < entries.len() && ks.group_eq(key, entries[j].key(&self.data)) {
+                j += 1;
+            }
+            let values: Vec<&[u8]> = entries[i..j].iter().map(|e| e.value(&self.data)).collect();
+            f(key, &values);
+            i = j;
+        }
+    }
+
+    /// Forget all staged records but keep the allocations for reuse.
+    pub fn clear(&mut self) {
+        self.data.clear();
+        for p in &mut self.parts {
+            p.clear();
+        }
+        self.payload_bytes = 0;
+    }
+}
+
+/// Assert a partition's index is sorted (debug builds of callers).
+pub fn is_partition_sorted(arena: &SpillArena, partition: usize, ks: &dyn KeySemantics) -> bool {
+    let keys: Vec<&[u8]> = arena.pairs(partition).map(|(k, _)| k).collect();
+    keys.windows(2)
+        .all(|w| ks.compare(w[0], w[1]) != Ordering::Greater)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keysem::DefaultKeySemantics;
+
+    fn collect(arena: &SpillArena, partition: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
+        arena
+            .pairs(partition)
+            .map(|(k, v)| (k.to_vec(), v.to_vec()))
+            .collect()
+    }
+
+    #[test]
+    fn append_tracks_payload_and_partitions() {
+        let mut a = SpillArena::new(3);
+        assert!(a.is_empty());
+        a.append(0, b"key", b"value");
+        a.append(2, b"k2", b"");
+        assert_eq!(a.payload_bytes(), 10);
+        assert_eq!(a.partition_len(0), 1);
+        assert_eq!(a.partition_len(1), 0);
+        assert_eq!(a.partition_len(2), 1);
+        assert!(!a.is_empty());
+        assert_eq!(collect(&a, 0), vec![(b"key".to_vec(), b"value".to_vec())]);
+        assert_eq!(collect(&a, 2), vec![(b"k2".to_vec(), Vec::new())]);
+    }
+
+    #[test]
+    fn sort_partition_orders_by_key_and_is_stable() {
+        let ks = DefaultKeySemantics;
+        let mut a = SpillArena::new(1);
+        a.append(0, b"m", b"1");
+        a.append(0, b"a", b"2");
+        a.append(0, b"m", b"3");
+        a.append(0, b"a", b"4");
+        a.sort_partition(0, &ks);
+        assert!(is_partition_sorted(&a, 0, &ks));
+        assert_eq!(
+            collect(&a, 0),
+            vec![
+                (b"a".to_vec(), b"2".to_vec()),
+                (b"a".to_vec(), b"4".to_vec()),
+                (b"m".to_vec(), b"1".to_vec()),
+                (b"m".to_vec(), b"3".to_vec()),
+            ],
+            "equal keys must keep insertion order"
+        );
+    }
+
+    #[test]
+    fn grouping_walks_equal_keys() {
+        let ks = DefaultKeySemantics;
+        let mut a = SpillArena::new(1);
+        for (k, v) in [("a", "1"), ("b", "2"), ("a", "3"), ("c", "4"), ("a", "5")] {
+            a.append(0, k.as_bytes(), v.as_bytes());
+        }
+        a.sort_partition(0, &ks);
+        let mut groups = Vec::new();
+        a.for_each_group(0, &ks, |key, values| {
+            groups.push((key.to_vec(), values.len()));
+        });
+        assert_eq!(
+            groups,
+            vec![(b"a".to_vec(), 3), (b"b".to_vec(), 1), (b"c".to_vec(), 1)]
+        );
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut a = SpillArena::new(2);
+        for i in 0..100u32 {
+            a.append((i % 2) as usize, &i.to_be_bytes(), &[0u8; 16]);
+        }
+        let data_cap = a.data.capacity();
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.payload_bytes(), 0);
+        assert_eq!(
+            a.data.capacity(),
+            data_cap,
+            "clear must not free the buffer"
+        );
+        a.append(1, b"x", b"y");
+        assert_eq!(collect(&a, 1), vec![(b"x".to_vec(), b"y".to_vec())]);
+    }
+
+    #[test]
+    fn empty_records_are_staged_with_zero_payload() {
+        let mut a = SpillArena::new(1);
+        a.append(0, b"", b"");
+        assert_eq!(a.payload_bytes(), 0);
+        assert_eq!(a.partition_len(0), 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! Per-thread CPU clock for engine phase accounting.
+//!
+//! The phase counters (`MapFnNanos`, `SpillNanos`, `MergeNanos`,
+//! `ReduceFnNanos` and the codec nanos) feed the cluster cost model,
+//! which scales measured per-record cost up to a full-size cluster.
+//! Wall-clock intervals are the wrong measurement for that whenever the
+//! host runs more slot threads than cores: a task's interval then
+//! includes time the OS spent running its neighbours, charging work to
+//! the wrong phase at random and swamping the model with scheduler
+//! noise. The thread CPU clock counts only cycles the calling thread
+//! actually burned, so phase costs stay attributable regardless of how
+//! oversubscribed the local machine is.
+//!
+//! On Linux this reads `CLOCK_THREAD_CPUTIME_ID` through a raw
+//! `clock_gettime` syscall (no libc dependency); elsewhere it falls back
+//! to a process-wide monotonic clock, i.e. the old wall-clock behaviour.
+
+/// Nanoseconds of CPU time consumed by the calling thread so far.
+///
+/// Only differences between readings on the *same thread* are
+/// meaningful.
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+pub fn thread_cpu_nanos() -> u64 {
+    #[repr(C)]
+    struct Timespec {
+        sec: i64,
+        nsec: i64,
+    }
+    const CLOCK_THREAD_CPUTIME_ID: usize = 3;
+    let mut ts = Timespec { sec: 0, nsec: 0 };
+    let ret: isize;
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") 228isize => ret, // __NR_clock_gettime
+            in("rdi") CLOCK_THREAD_CPUTIME_ID,
+            in("rsi") &mut ts as *mut Timespec,
+            out("rcx") _,
+            out("r11") _,
+            options(nostack),
+        );
+    }
+    #[cfg(target_arch = "aarch64")]
+    unsafe {
+        std::arch::asm!(
+            "svc 0",
+            in("x8") 113isize, // __NR_clock_gettime
+            inlateout("x0") CLOCK_THREAD_CPUTIME_ID => ret,
+            in("x1") &mut ts as *mut Timespec,
+            options(nostack),
+        );
+    }
+    if ret == 0 {
+        ts.sec as u64 * 1_000_000_000 + ts.nsec as u64
+    } else {
+        fallback_nanos()
+    }
+}
+
+/// Fallback for platforms without the thread clock.
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+pub fn thread_cpu_nanos() -> u64 {
+    fallback_nanos()
+}
+
+fn fallback_nanos() -> u64 {
+    use std::sync::OnceLock;
+    static EPOCH: OnceLock<std::time::Instant> = OnceLock::new();
+    EPOCH
+        .get_or_init(std::time::Instant::now)
+        .elapsed()
+        .as_nanos() as u64
+}
+
+/// Thread-CPU nanos elapsed since an earlier [`thread_cpu_nanos`]
+/// reading on this thread.
+pub fn since(t0: u64) -> u64 {
+    thread_cpu_nanos().saturating_sub(t0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic_and_advances_under_load() {
+        let t0 = thread_cpu_nanos();
+        // Burn some CPU so the reading must move.
+        let mut acc = 0u64;
+        for i in 0..200_000u64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(acc);
+        let t1 = thread_cpu_nanos();
+        assert!(t1 > t0, "clock did not advance: {t0} -> {t1}");
+    }
+
+    #[test]
+    fn sleeping_burns_no_cpu_time() {
+        // The defining property vs. wall clocks: blocked time is free.
+        let t0 = thread_cpu_nanos();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let spent = since(t0);
+        assert!(spent < 10_000_000, "sleep charged {spent} ns of CPU time");
+    }
+
+    #[test]
+    fn threads_have_independent_clocks() {
+        // A busy sibling thread must not advance this thread's clock.
+        let t0 = thread_cpu_nanos();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut acc = 1u64;
+                for i in 0..2_000_000u64 {
+                    acc = acc.wrapping_mul(0x9E3779B97F4A7C15) ^ i;
+                }
+                std::hint::black_box(acc);
+            });
+        });
+        // Generous bound: joining costs a little CPU here, but far less
+        // than the sibling burned.
+        assert!(since(t0) < 50_000_000);
+    }
+}

@@ -14,6 +14,30 @@ pub enum MrError {
     Config(String),
     /// A task panicked.
     TaskFailed(String),
+    /// Several tasks failed before the job could be aborted; every
+    /// collected error is preserved.
+    Tasks(Vec<MrError>),
+}
+
+impl MrError {
+    /// Collapse the errors of a failed phase: one error returns as
+    /// itself, several as [`MrError::Tasks`].
+    pub fn from_task_errors(mut errors: Vec<MrError>) -> MrError {
+        assert!(!errors.is_empty(), "no task errors to report");
+        if errors.len() == 1 {
+            errors.pop().expect("one error")
+        } else {
+            MrError::Tasks(errors)
+        }
+    }
+
+    /// All task errors, whether one or many.
+    pub fn task_errors(&self) -> &[MrError] {
+        match self {
+            MrError::Tasks(errs) => errs,
+            other => std::slice::from_ref(other),
+        }
+    }
 }
 
 impl fmt::Display for MrError {
@@ -23,6 +47,16 @@ impl fmt::Display for MrError {
             MrError::Codec(e) => write!(f, "codec error: {e}"),
             MrError::Config(msg) => write!(f, "bad job config: {msg}"),
             MrError::TaskFailed(msg) => write!(f, "task failed: {msg}"),
+            MrError::Tasks(errs) => {
+                write!(f, "{} tasks failed: ", errs.len())?;
+                for (i, e) in errs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -46,5 +80,22 @@ mod tests {
         assert!(MrError::Config("zero reducers".into())
             .to_string()
             .contains("zero reducers"));
+    }
+
+    #[test]
+    fn task_errors_collapse_and_expand() {
+        let one = MrError::from_task_errors(vec![MrError::Config("a".into())]);
+        assert_eq!(one, MrError::Config("a".into()));
+        assert_eq!(one.task_errors().len(), 1);
+
+        let many = MrError::from_task_errors(vec![
+            MrError::Config("a".into()),
+            MrError::TaskFailed("b".into()),
+        ]);
+        assert!(matches!(&many, MrError::Tasks(errs) if errs.len() == 2));
+        assert_eq!(many.task_errors().len(), 2);
+        let msg = many.to_string();
+        assert!(msg.contains("2 tasks failed"), "{msg}");
+        assert!(msg.contains('a') && msg.contains('b'), "{msg}");
     }
 }

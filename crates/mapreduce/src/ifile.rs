@@ -211,9 +211,9 @@ impl IFileWriter {
     /// Compress and seal the segment.
     pub fn close(self) -> Segment {
         let raw_bytes = self.buf.len() as u64;
-        let t0 = std::time::Instant::now();
+        let t0 = crate::clock::thread_cpu_nanos();
         let data = self.codec.compress(&self.buf);
-        let compress_nanos = t0.elapsed().as_nanos() as u64;
+        let compress_nanos = crate::clock::since(t0);
         Segment {
             data,
             raw_bytes,
@@ -225,7 +225,93 @@ impl IFileWriter {
     }
 }
 
-/// Reads a segment back into records.
+/// A decompressed segment whose records are parsed lazily through
+/// [`RecordCursor`]s — the reducer's streaming merge reads records
+/// straight out of this buffer without materializing owned pairs.
+pub struct RawSegment {
+    raw: Vec<u8>,
+    framing: Framing,
+    /// Nanoseconds spent decompressing.
+    pub decompress_nanos: u64,
+}
+
+impl RawSegment {
+    /// Decompress a segment and validate its header.
+    pub fn open(segment: &[u8], codec: &dyn Codec) -> Result<Self, MrError> {
+        let t0 = crate::clock::thread_cpu_nanos();
+        let raw = codec.decompress(segment)?;
+        let decompress_nanos = crate::clock::since(t0);
+        if raw.len() < HEADER_LEN || &raw[..4] != MAGIC {
+            return Err(MrError::Intermediate("bad segment header".into()));
+        }
+        if raw[4] != 1 {
+            return Err(MrError::Intermediate(format!("bad version {}", raw[4])));
+        }
+        let framing = Framing::from_tag(raw[5])?;
+        Ok(RawSegment {
+            raw,
+            framing,
+            decompress_nanos,
+        })
+    }
+
+    /// A cursor over the records, borrowing this segment's buffer.
+    pub fn cursor(&self) -> RecordCursor<'_> {
+        RecordCursor {
+            raw: &self.raw,
+            framing: self.framing,
+            pos: HEADER_LEN,
+        }
+    }
+}
+
+/// A `(key, value)` record borrowed from a decompressed segment buffer.
+pub type RecordSlices<'a> = (&'a [u8], &'a [u8]);
+
+/// Lazy record parser over a [`RawSegment`]'s buffer; yields borrowed
+/// `(key, value)` slices in file order.
+pub struct RecordCursor<'a> {
+    raw: &'a [u8],
+    framing: Framing,
+    pos: usize,
+}
+
+impl<'a> RecordCursor<'a> {
+    /// The next record, or `None` at end of segment.
+    #[allow(clippy::should_implement_trait)] // fallible, unlike Iterator
+    pub fn next(&mut self) -> Result<Option<RecordSlices<'a>>, MrError> {
+        if self.pos >= self.raw.len() {
+            return Ok(None);
+        }
+        if self.framing == Framing::SequenceFile {
+            if self.raw.len() < self.pos + 4 {
+                return Err(MrError::Intermediate("short record length".into()));
+            }
+            self.pos += 4; // record length is redundant for in-memory reads
+        }
+        let (klen, used) = read_vint(&self.raw[self.pos..])?;
+        self.pos += used;
+        let (vlen, used) = read_vint(&self.raw[self.pos..])?;
+        self.pos += used;
+        let (klen, vlen) = (
+            usize::try_from(klen)
+                .map_err(|_| MrError::Intermediate("negative key length".into()))?,
+            usize::try_from(vlen)
+                .map_err(|_| MrError::Intermediate("negative value length".into()))?,
+        );
+        if self.raw.len() < self.pos + klen + vlen {
+            return Err(MrError::Intermediate("short record body".into()));
+        }
+        let key = &self.raw[self.pos..self.pos + klen];
+        self.pos += klen;
+        let value = &self.raw[self.pos..self.pos + vlen];
+        self.pos += vlen;
+        Ok(Some((key, value)))
+    }
+}
+
+/// Reads a segment back into owned records (reference path; the engine
+/// itself streams through [`RawSegment`]).
 pub struct IFileReader {
     records: Vec<KvPair>,
     /// Nanoseconds spent decompressing.
@@ -235,47 +321,15 @@ pub struct IFileReader {
 impl IFileReader {
     /// Decompress and parse a segment.
     pub fn open(segment: &[u8], codec: &dyn Codec) -> Result<Self, MrError> {
-        let t0 = std::time::Instant::now();
-        let raw = codec.decompress(segment)?;
-        let decompress_nanos = t0.elapsed().as_nanos() as u64;
-        if raw.len() < HEADER_LEN || &raw[..4] != MAGIC {
-            return Err(MrError::Intermediate("bad segment header".into()));
-        }
-        if raw[4] != 1 {
-            return Err(MrError::Intermediate(format!("bad version {}", raw[4])));
-        }
-        let framing = Framing::from_tag(raw[5])?;
+        let seg = RawSegment::open(segment, codec)?;
         let mut records = Vec::new();
-        let mut pos = HEADER_LEN;
-        while pos < raw.len() {
-            if framing == Framing::SequenceFile {
-                if raw.len() < pos + 4 {
-                    return Err(MrError::Intermediate("short record length".into()));
-                }
-                pos += 4; // record length is redundant for in-memory reads
-            }
-            let (klen, used) = read_vint(&raw[pos..])?;
-            pos += used;
-            let (vlen, used) = read_vint(&raw[pos..])?;
-            pos += used;
-            let (klen, vlen) = (
-                usize::try_from(klen)
-                    .map_err(|_| MrError::Intermediate("negative key length".into()))?,
-                usize::try_from(vlen)
-                    .map_err(|_| MrError::Intermediate("negative value length".into()))?,
-            );
-            if raw.len() < pos + klen + vlen {
-                return Err(MrError::Intermediate("short record body".into()));
-            }
-            let key = raw[pos..pos + klen].to_vec();
-            pos += klen;
-            let value = raw[pos..pos + vlen].to_vec();
-            pos += vlen;
-            records.push(KvPair { key, value });
+        let mut cursor = seg.cursor();
+        while let Some((key, value)) = cursor.next()? {
+            records.push(KvPair::new(key.to_vec(), value.to_vec()));
         }
         Ok(IFileReader {
             records,
-            decompress_nanos,
+            decompress_nanos: seg.decompress_nanos,
         })
     }
 
@@ -344,7 +398,11 @@ mod tests {
                 let before = w.raw_len();
                 w.append_pair(&pair);
                 let actual = w.raw_len() - before - k - v;
-                assert_eq!(actual, framing.overhead(k, v), "framing {framing:?} k={k} v={v}");
+                assert_eq!(
+                    actual,
+                    framing.overhead(k, v),
+                    "framing {framing:?} k={k} v={v}"
+                );
             }
         }
     }
@@ -391,6 +449,40 @@ mod tests {
         let mut bad = seg.data.clone();
         bad[5] = 9;
         assert!(IFileReader::open(&bad, &codec).is_err());
+    }
+
+    #[test]
+    fn cursor_streams_the_same_records_as_the_eager_reader() {
+        for framing in [Framing::SequenceFile, Framing::IFile] {
+            let codec: Arc<dyn Codec> = Arc::new(DeflateCodec::new());
+            let mut w = IFileWriter::new(framing, codec.clone());
+            for i in 0..500u32 {
+                w.append(&i.to_be_bytes(), format!("value-{i}").as_bytes());
+            }
+            let seg = w.close();
+            let raw = RawSegment::open(&seg.data, codec.as_ref()).unwrap();
+            let mut cursor = raw.cursor();
+            let mut streamed = Vec::new();
+            while let Some((k, v)) = cursor.next().unwrap() {
+                streamed.push(KvPair::new(k.to_vec(), v.to_vec()));
+            }
+            let eager = IFileReader::open(&seg.data, codec.as_ref())
+                .unwrap()
+                .into_records();
+            assert_eq!(streamed, eager);
+            assert_eq!(streamed.len(), 500);
+        }
+    }
+
+    #[test]
+    fn cursor_rejects_truncated_segments() {
+        let codec = IdentityCodec;
+        let mut w = IFileWriter::new(Framing::IFile, Arc::new(IdentityCodec));
+        w.append(b"key", b"value");
+        let seg = w.close();
+        let raw = RawSegment::open(&seg.data[..seg.data.len() - 2], &codec).unwrap();
+        let mut cursor = raw.cursor();
+        assert!(cursor.next().is_err());
     }
 
     #[test]

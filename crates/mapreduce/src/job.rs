@@ -178,7 +178,10 @@ mod tests {
         assert!(JobConfig::default().with_reducers(0).validate().is_err());
         assert!(JobConfig::default().with_slots(0, 1).validate().is_err());
         assert!(JobConfig::default().with_slots(1, 0).validate().is_err());
-        assert!(JobConfig::default().with_spill_buffer(0).validate().is_err());
+        assert!(JobConfig::default()
+            .with_spill_buffer(0)
+            .validate()
+            .is_err());
     }
 
     #[test]

@@ -12,6 +12,10 @@
 use crate::record::KvPair;
 use std::cmp::Ordering;
 
+/// Sink receiving routed `(partition, key, value)` pieces from
+/// [`KeySemantics::route_slices`].
+pub type RouteSink<'a> = dyn FnMut(usize, &[u8], &[u8]) + 'a;
+
 /// Pluggable key behaviour for routing, sorting, splitting and grouping.
 pub trait KeySemantics: Send + Sync {
     /// Sort order of serialized keys (Hadoop: bytewise).
@@ -29,12 +33,46 @@ pub trait KeySemantics: Send + Sync {
         vec![(p, pair)]
     }
 
+    /// Slice-based routing for the arena spill path: emit each routed
+    /// `(partition, key, value)` piece without materializing owned pairs.
+    /// The default delegates to [`KeySemantics::route`], so existing
+    /// implementations that only override `route` stay correct;
+    /// implementations on the hot path should override this to avoid the
+    /// per-record allocations.
+    fn route_slices(&self, key: &[u8], value: &[u8], parts: usize, emit: &mut RouteSink<'_>) {
+        for (p, piece) in self.route(KvPair::new(key.to_vec(), value.to_vec()), parts) {
+            emit(p, &piece.key, &piece.value);
+        }
+    }
+
     /// Rewrite a reducer's sorted run before grouping, e.g. splitting
     /// overlapping aggregate keys (§IV-B case 2). Must return records
     /// whose keys are equal or never group together; the engine re-sorts
     /// afterwards. The default is the identity (stock Hadoop).
     fn sort_split(&self, records: Vec<KvPair>) -> Vec<KvPair> {
         records
+    }
+
+    /// Whether [`KeySemantics::sort_split`] can ever rewrite records.
+    /// `false` lets the reducer stream records from the merge straight
+    /// into grouping with no buffering at all. The conservative default
+    /// is `true`.
+    fn sort_splits(&self) -> bool {
+        true
+    }
+
+    /// Whether `sort_split` could rewrite either of two records because
+    /// the other is present in the same batch. The reducer uses this to
+    /// window the merged stream: a run of records is handed to
+    /// `sort_split` as soon as the next record interacts with none of
+    /// them. Implementations must satisfy two contracts over a sorted
+    /// run: (closure) if `b` sorts at-or-after `a` and `!sort_interacts(a,
+    /// b)`, then no `c` sorting at-or-after `b` interacts with `a`; and
+    /// (grouping) `group_eq(a, b)` implies `sort_interacts(a, b)`. The
+    /// conservative default — everything interacts — degrades to one
+    /// whole-run batch, the pre-streaming behaviour.
+    fn sort_interacts(&self, _a: &[u8], _b: &[u8]) -> bool {
+        true
     }
 
     /// Whether two keys belong to the same reduce group (Hadoop's
@@ -52,6 +90,18 @@ pub struct DefaultKeySemantics;
 impl KeySemantics for DefaultKeySemantics {
     fn partition(&self, key: &[u8], parts: usize) -> usize {
         (fnv1a(key) % parts as u64) as usize
+    }
+
+    fn route_slices(&self, key: &[u8], value: &[u8], parts: usize, emit: &mut RouteSink<'_>) {
+        emit(self.partition(key, parts), key, value);
+    }
+
+    fn sort_splits(&self) -> bool {
+        false
+    }
+
+    fn sort_interacts(&self, _a: &[u8], _b: &[u8]) -> bool {
+        false
     }
 }
 
@@ -103,6 +153,47 @@ mod tests {
         let ks = DefaultKeySemantics;
         let records = vec![KvPair::new(b"a".to_vec(), b"1".to_vec())];
         assert_eq!(ks.sort_split(records.clone()), records);
+    }
+
+    #[test]
+    fn route_slices_default_delegates_to_route() {
+        /// Splits every pair across two fixed partitions via `route` only.
+        struct Splitter;
+        impl KeySemantics for Splitter {
+            fn partition(&self, _key: &[u8], _parts: usize) -> usize {
+                0
+            }
+            fn route(&self, pair: KvPair, _parts: usize) -> Vec<(usize, KvPair)> {
+                vec![(0, pair.clone()), (1, pair)]
+            }
+        }
+        let mut emitted = Vec::new();
+        Splitter.route_slices(b"k", b"v", 2, &mut |p, k, v| {
+            emitted.push((p, k.to_vec(), v.to_vec()));
+        });
+        assert_eq!(
+            emitted,
+            vec![
+                (0, b"k".to_vec(), b"v".to_vec()),
+                (1, b"k".to_vec(), b"v".to_vec()),
+            ]
+        );
+        // Unknown semantics keep the conservative streaming defaults.
+        assert!(Splitter.sort_splits());
+        assert!(Splitter.sort_interacts(b"a", b"b"));
+    }
+
+    #[test]
+    fn default_route_slices_matches_route() {
+        let ks = DefaultKeySemantics;
+        let mut emitted = Vec::new();
+        ks.route_slices(b"key", b"val", 7, &mut |p, k, v| {
+            emitted.push((p, k.to_vec(), v.to_vec()));
+        });
+        assert_eq!(emitted.len(), 1);
+        assert_eq!(emitted[0].0, ks.partition(b"key", 7));
+        assert!(!ks.sort_splits(), "atomic keys never split at sort time");
+        assert!(!ks.sort_interacts(b"a", b"a"));
     }
 
     #[test]

@@ -20,6 +20,8 @@
 //!
 //! [`Codec`]: scihadoop_compress::Codec
 
+pub mod arena;
+pub mod clock;
 pub mod counters;
 pub mod error;
 pub mod ifile;
@@ -30,10 +32,12 @@ pub mod runner;
 pub mod sort;
 pub mod stats;
 
+pub use arena::SpillArena;
 pub use counters::{Counter, Counters};
 pub use error::MrError;
-pub use ifile::{Framing, IFileReader, IFileWriter};
+pub use ifile::{Framing, IFileReader, IFileWriter, RawSegment, RecordCursor, RecordSlices};
 pub use job::{Job, JobConfig, JobResult};
-pub use keysem::{DefaultKeySemantics, KeySemantics};
+pub use keysem::{DefaultKeySemantics, KeySemantics, RouteSink};
 pub use record::{Emit, FnMapper, FnReducer, InputSplit, KvPair, Mapper, Reducer};
+pub use sort::{for_each_group, merge_sorted_runs, MergeStream, SortBuffer};
 pub use stats::JobStats;

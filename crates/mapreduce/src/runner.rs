@@ -1,16 +1,47 @@
 //! Job execution: map slots, spills, shuffle, and reduce slots.
 
+use crate::arena::SpillArena;
+use crate::clock;
 use crate::counters::{Counter, Counters};
 use crate::error::MrError;
-use crate::ifile::{IFileReader, IFileWriter, Segment};
+use crate::ifile::{IFileWriter, RawSegment, Segment};
 use crate::job::{JobConfig, JobResult};
 use crate::record::{InputSplit, KvPair, Mapper, Reducer};
-use crate::sort::{for_each_group, merge_sorted_runs};
+use crate::sort::{for_each_group, MergeStream};
 use crate::stats::JobStats;
-use crossbeam::channel;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// A drain-once work queue shared by one phase's slots. A failed task
+/// raises the abort flag, so idle slots stop claiming work instead of
+/// running the rest of the job to completion.
+struct WorkQueue<T> {
+    items: Mutex<std::vec::IntoIter<T>>,
+    abort: AtomicBool,
+}
+
+impl<T> WorkQueue<T> {
+    fn new(items: Vec<T>) -> Self {
+        WorkQueue {
+            items: Mutex::new(items.into_iter()),
+            abort: AtomicBool::new(false),
+        }
+    }
+
+    /// Claim the next task, or `None` once drained or aborted.
+    fn claim(&self) -> Option<T> {
+        if self.abort.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.items.lock().next()
+    }
+
+    fn abort(&self) {
+        self.abort.store(true, Ordering::Relaxed);
+    }
+}
 
 /// Execute a job. Called by [`crate::job::Job::run`].
 pub fn run_job(
@@ -26,42 +57,44 @@ pub fn run_job(
     // ---- Map phase -----------------------------------------------------
     let map_t0 = Instant::now();
     // map_outputs[r] = compressed segments destined for reducer r.
-    let map_outputs: Vec<Mutex<Vec<Vec<u8>>>> =
-        (0..config.num_reducers).map(|_| Mutex::new(Vec::new())).collect();
+    let map_outputs: Vec<Mutex<Vec<Vec<u8>>>> = (0..config.num_reducers)
+        .map(|_| Mutex::new(Vec::new()))
+        .collect();
     let errors: Mutex<Vec<MrError>> = Mutex::new(Vec::new());
 
     {
-        let (tx, rx) = channel::unbounded::<InputSplit>();
-        for split in splits {
-            tx.send(split).expect("queue open");
-        }
-        drop(tx);
-
+        let queue = WorkQueue::new(splits);
         std::thread::scope(|scope| {
             for _ in 0..config.map_slots {
-                let rx = rx.clone();
+                let queue = &queue;
                 let mapper = mapper.clone();
                 let counters = counters.clone();
                 let map_outputs = &map_outputs;
                 let errors = &errors;
                 let config = config.clone();
                 scope.spawn(move || {
-                    while let Ok(split) = rx.recv() {
+                    while let Some(split) = queue.claim() {
                         match run_map_task(&config, &split, mapper.as_ref(), &counters) {
                             Ok(segments) => {
                                 for (partition, seg) in segments {
                                     map_outputs[partition].lock().push(seg.data);
                                 }
                             }
-                            Err(e) => errors.lock().push(e),
+                            Err(e) => {
+                                errors.lock().push(e);
+                                queue.abort();
+                            }
                         }
                     }
                 });
             }
         });
     }
-    if let Some(e) = errors.lock().pop() {
-        return Err(e);
+    {
+        let collected = std::mem::take(&mut *errors.lock());
+        if !collected.is_empty() {
+            return Err(MrError::from_task_errors(collected));
+        }
     }
     let map_wall_nanos = map_t0.elapsed().as_nanos() as u64;
 
@@ -73,18 +106,14 @@ pub fn run_job(
 
     // ---- Reduce phase ----------------------------------------------------
     let reduce_t0 = Instant::now();
-    let outputs: Vec<Mutex<Vec<KvPair>>> =
-        (0..config.num_reducers).map(|_| Mutex::new(Vec::new())).collect();
+    let outputs: Vec<Mutex<Vec<KvPair>>> = (0..config.num_reducers)
+        .map(|_| Mutex::new(Vec::new()))
+        .collect();
     {
-        let (tx, rx) = channel::unbounded::<usize>();
-        for r in 0..config.num_reducers {
-            tx.send(r).expect("queue open");
-        }
-        drop(tx);
-
+        let queue = WorkQueue::new((0..config.num_reducers).collect());
         std::thread::scope(|scope| {
             for _ in 0..config.reduce_slots {
-                let rx = rx.clone();
+                let queue = &queue;
                 let reducer = reducer.clone();
                 let counters = counters.clone();
                 let map_outputs = &map_outputs;
@@ -92,20 +121,25 @@ pub fn run_job(
                 let errors = &errors;
                 let config = config.clone();
                 scope.spawn(move || {
-                    while let Ok(r) = rx.recv() {
+                    while let Some(r) = queue.claim() {
                         let segments = std::mem::take(&mut *map_outputs[r].lock());
-                        match run_reduce_task(&config, segments, reducer.as_ref(), &counters)
-                        {
+                        match run_reduce_task(&config, segments, reducer.as_ref(), &counters) {
                             Ok(out) => *outputs[r].lock() = out,
-                            Err(e) => errors.lock().push(e),
+                            Err(e) => {
+                                errors.lock().push(e);
+                                queue.abort();
+                            }
                         }
                     }
                 });
             }
         });
     }
-    if let Some(e) = errors.lock().pop() {
-        return Err(e);
+    {
+        let collected = std::mem::take(&mut *errors.lock());
+        if !collected.is_empty() {
+            return Err(MrError::from_task_errors(collected));
+        }
     }
     let reduce_wall_nanos = reduce_t0.elapsed().as_nanos() as u64;
 
@@ -126,8 +160,10 @@ pub fn run_job(
     })
 }
 
-/// One map task: run the user function over a split, routing, sorting,
-/// combining and materializing spills.
+/// One map task: run the user function over a split, routing into the
+/// spill arena, then sorting, combining and materializing spills through
+/// borrowed slices — no owned pair is allocated between the mapper's
+/// `emit` and the `IFileWriter`.
 fn run_map_task(
     config: &JobConfig,
     split: &InputSplit,
@@ -136,43 +172,46 @@ fn run_map_task(
 ) -> Result<Vec<(usize, Segment)>, MrError> {
     let ks = &config.key_semantics;
     let parts = config.num_reducers;
-    // Per-partition staging; spilled (sorted, combined, compressed) when
-    // the total staged payload crosses the spill threshold.
-    let mut staged: Vec<Vec<KvPair>> = (0..parts).map(|_| Vec::new()).collect();
-    let mut staged_bytes = 0usize;
+    // Contiguous staging; spilled (sorted, combined, compressed) when the
+    // total staged payload crosses the spill threshold.
+    let mut arena = SpillArena::new(parts);
     let mut segments = Vec::new();
 
-    let spill = |staged: &mut Vec<Vec<KvPair>>,
-                     staged_bytes: &mut usize,
-                     segments: &mut Vec<(usize, Segment)>|
+    let spill = |arena: &mut SpillArena,
+                 segments: &mut Vec<(usize, Segment)>|
      -> Result<(), MrError> {
-        if *staged_bytes == 0 {
+        if arena.payload_bytes() == 0 {
             return Ok(());
         }
         counters.add(Counter::Spills, 1);
-        let spill_t0 = Instant::now();
+        let spill_t0 = clock::thread_cpu_nanos();
         let first_new = segments.len();
-        for (partition, pairs) in staged.iter_mut().enumerate() {
-            if pairs.is_empty() {
+        for partition in 0..parts {
+            if arena.partition_len(partition) == 0 {
                 continue;
             }
-            let mut run = std::mem::take(pairs);
-            run.sort_by(|a, b| ks.compare(&a.key, &b.key));
+            arena.sort_partition(partition, ks.as_ref());
+            let mut writer = IFileWriter::new(config.framing, config.codec.clone());
             if let Some(combiner) = &config.combiner {
-                counters.add(Counter::CombineInputRecords, run.len() as u64);
-                let mut combined: Vec<KvPair> = Vec::with_capacity(run.len());
-                for_each_group(&run, ks.as_ref(), |key, values| {
+                counters.add(
+                    Counter::CombineInputRecords,
+                    arena.partition_len(partition) as u64,
+                );
+                let mut combined: Vec<KvPair> = Vec::with_capacity(arena.partition_len(partition));
+                arena.for_each_group(partition, ks.as_ref(), |key, values| {
                     combiner.reduce(key, values, &mut |k: &[u8], v: &[u8]| {
                         combined.push(KvPair::new(k.to_vec(), v.to_vec()));
                     });
                 });
                 combined.sort_by(|a, b| ks.compare(&a.key, &b.key));
                 counters.add(Counter::CombineOutputRecords, combined.len() as u64);
-                run = combined;
-            }
-            let mut writer = IFileWriter::new(config.framing, config.codec.clone());
-            for pair in &run {
-                writer.append_pair(pair);
+                for pair in &combined {
+                    writer.append_pair(pair);
+                }
+            } else {
+                for (key, value) in arena.pairs(partition) {
+                    writer.append(key, value);
+                }
             }
             let seg = writer.close();
             counters.add(Counter::CompressNanos, seg.compress_nanos);
@@ -180,67 +219,35 @@ fn run_map_task(
         }
         // Codec time is counted separately; charge the rest of the spill
         // (sort + combine + serialization) as per-record pipeline cost.
-        let spill_nanos = (Instant::now() - spill_t0).as_nanos() as u64;
+        let spill_nanos = clock::since(spill_t0);
         let codec_nanos: u64 = segments[first_new..]
             .iter()
             .map(|(_, s)| s.compress_nanos)
             .sum();
-        counters.add(
-            Counter::SpillNanos,
-            spill_nanos.saturating_sub(codec_nanos),
-        );
-        *staged_bytes = 0;
+        counters.add(Counter::SpillNanos, spill_nanos.saturating_sub(codec_nanos));
+        arena.clear();
         Ok(())
     };
 
-    // Shared routing logic; a fresh short-lived emit closure per record
-    // lets the spill check run between records without borrow conflicts.
-    fn stage(
-        ks: &Arc<dyn crate::keysem::KeySemantics>,
-        parts: usize,
-        counters: &Counters,
-        staged: &mut [Vec<KvPair>],
-        staged_bytes: &mut usize,
-        key: &[u8],
-        value: &[u8],
-    ) {
-        let pair = KvPair::new(key.to_vec(), value.to_vec());
-        let routed = ks.route(pair, parts);
-        if routed.len() > 1 {
-            counters.add(Counter::RouteSplitRecords, routed.len() as u64 - 1);
-        }
-        for (partition, piece) in routed {
-            debug_assert!(partition < parts, "partition out of range");
-            counters.add(Counter::MapOutputRecords, 1);
-            *staged_bytes += piece.payload_len();
-            staged[partition].push(piece);
-        }
-    }
-
-    let fn_t0 = Instant::now();
+    let fn_t0 = clock::thread_cpu_nanos();
     for record in &split.records {
         counters.add(Counter::MapInputRecords, 1);
         {
-            let staged = &mut staged;
-            let staged_bytes = &mut staged_bytes;
-            let mut emit = |k: &[u8], v: &[u8]| {
-                stage(ks, parts, counters, staged, staged_bytes, k, v)
-            };
+            let arena = &mut arena;
+            let mut emit = |k: &[u8], v: &[u8]| stage(ks.as_ref(), parts, counters, arena, k, v);
             mapper.map(&record.key, &record.value, &mut emit);
         }
-        if staged_bytes >= config.spill_buffer_bytes {
-            spill(&mut staged, &mut staged_bytes, &mut segments)?;
+        if arena.payload_bytes() >= config.spill_buffer_bytes {
+            spill(&mut arena, &mut segments)?;
         }
     }
     {
-        let staged = &mut staged;
-        let staged_bytes = &mut staged_bytes;
-        let mut emit =
-            |k: &[u8], v: &[u8]| stage(ks, parts, counters, staged, staged_bytes, k, v);
+        let arena = &mut arena;
+        let mut emit = |k: &[u8], v: &[u8]| stage(ks.as_ref(), parts, counters, arena, k, v);
         mapper.finish(&mut emit);
     }
-    counters.add(Counter::MapFnNanos, fn_t0.elapsed().as_nanos() as u64);
-    spill(&mut staged, &mut staged_bytes, &mut segments)?;
+    counters.add(Counter::MapFnNanos, clock::since(fn_t0));
+    spill(&mut arena, &mut segments)?;
 
     // Final merge: if a partition spilled several times, merge its runs
     // into one segment (Hadoop's map-output merge, Fig. 1 step 3).
@@ -252,9 +259,34 @@ fn run_map_task(
         counters.add(Counter::MapOutputKeyBytes, seg.key_bytes);
         counters.add(Counter::MapOutputValueBytes, seg.value_bytes);
         counters.add(Counter::MapOutputFramingBytes, seg.framing_bytes());
-        counters.add(Counter::MapOutputMaterializedBytes, seg.materialized_bytes());
+        counters.add(
+            Counter::MapOutputMaterializedBytes,
+            seg.materialized_bytes(),
+        );
     }
     Ok(segments)
+}
+
+/// Route one emitted pair into the arena through the slice-based routing
+/// hook, accounting output records and route splits.
+fn stage(
+    ks: &dyn crate::keysem::KeySemantics,
+    parts: usize,
+    counters: &Counters,
+    arena: &mut SpillArena,
+    key: &[u8],
+    value: &[u8],
+) {
+    let mut pieces = 0u64;
+    ks.route_slices(key, value, parts, &mut |partition, k, v| {
+        debug_assert!(partition < parts, "partition out of range");
+        pieces += 1;
+        counters.add(Counter::MapOutputRecords, 1);
+        arena.append(partition, k, v);
+    });
+    if pieces > 1 {
+        counters.add(Counter::RouteSplitRecords, pieces - 1);
+    }
 }
 
 /// Merge multi-spill partitions into one sorted segment each. Single-spill
@@ -274,7 +306,7 @@ fn merge_spills(
     if !multi {
         return Ok(segments);
     }
-    let merge_t0 = Instant::now();
+    let merge_t0 = clock::thread_cpu_nanos();
     let mut per_partition: Vec<Vec<Segment>> =
         (0..config.num_reducers).map(|_| Vec::new()).collect();
     for (p, seg) in segments {
@@ -287,16 +319,16 @@ fn merge_spills(
             0 => {}
             1 => out.push((partition, segs.into_iter().next().expect("one"))),
             _ => {
-                let mut runs = Vec::with_capacity(segs.len());
+                let mut raws = Vec::with_capacity(segs.len());
                 for seg in &segs {
-                    let r = IFileReader::open(&seg.data, config.codec.as_ref())?;
+                    let r = RawSegment::open(&seg.data, config.codec.as_ref())?;
                     codec_nanos += r.decompress_nanos;
-                    runs.push(r.into_records());
+                    raws.push(r);
                 }
-                let merged = merge_sorted_runs(runs, &config.key_semantics);
+                let mut stream = MergeStream::new(&raws, config.key_semantics.as_ref())?;
                 let mut writer = IFileWriter::new(config.framing, config.codec.clone());
-                for pair in &merged {
-                    writer.append_pair(pair);
+                while let Some((key, value)) = stream.next()? {
+                    writer.append(key, value);
                 }
                 let seg = writer.close();
                 codec_nanos += seg.compress_nanos;
@@ -305,16 +337,16 @@ fn merge_spills(
             }
         }
     }
-    let merge_nanos = (Instant::now() - merge_t0).as_nanos() as u64;
-    counters.add(
-        Counter::SpillNanos,
-        merge_nanos.saturating_sub(codec_nanos),
-    );
+    let merge_nanos = clock::since(merge_t0);
+    counters.add(Counter::SpillNanos, merge_nanos.saturating_sub(codec_nanos));
     Ok(out)
 }
 
-/// One reduce task: decompress and merge this reducer's segments, apply
-/// the §IV-B sort-split hook, group, and run the user reduce function.
+/// One reduce task: stream this reducer's segments through a k-way
+/// merge, apply the §IV-B sort-split hook lazily per overlap window,
+/// group, and run the user reduce function. Grouping and reduce consume
+/// records as the merge heap yields them; nothing is materialized as a
+/// whole run.
 fn run_reduce_task(
     config: &JobConfig,
     segments: Vec<Vec<u8>>,
@@ -322,34 +354,96 @@ fn run_reduce_task(
     counters: &Counters,
 ) -> Result<Vec<KvPair>, MrError> {
     let ks = &config.key_semantics;
-    let mut runs = Vec::with_capacity(segments.len());
+    let mut raws = Vec::with_capacity(segments.len());
     for seg in &segments {
-        let r = IFileReader::open(seg, config.codec.as_ref())?;
+        let r = RawSegment::open(seg, config.codec.as_ref())?;
         counters.add(Counter::DecompressNanos, r.decompress_nanos);
-        runs.push(r.into_records());
+        raws.push(r);
     }
-    let merge_t0 = Instant::now();
-    let merged = merge_sorted_runs(runs, ks);
-    let before = merged.len();
-    let mut records = ks.sort_split(merged);
-    if records.len() > before {
-        counters.add(Counter::SortSplitRecords, (records.len() - before) as u64);
-    }
-    records.sort_by(|a, b| ks.compare(&a.key, &b.key));
-    counters.add(Counter::MergeNanos, merge_t0.elapsed().as_nanos() as u64);
+    let merge_t0 = clock::thread_cpu_nanos();
+    let mut stream = MergeStream::new(&raws, ks.as_ref())?;
 
     let mut out = Vec::new();
-    let fn_t0 = Instant::now();
-    for_each_group(&records, ks.as_ref(), |key, values| {
+    let mut reduce_nanos = 0u64;
+    // Per-group reduce invocation, shared by both consumption paths.
+    let mut run_group = |key: &[u8], values: &[&[u8]]| {
         counters.add(Counter::ReduceInputGroups, 1);
         counters.add(Counter::ReduceInputRecords, values.len() as u64);
+        let fn_t0 = clock::thread_cpu_nanos();
         reducer.reduce(key, values, &mut |k: &[u8], v: &[u8]| {
             counters.add(Counter::ReduceOutputRecords, 1);
             counters.add(Counter::ReduceOutputBytes, (k.len() + v.len()) as u64);
             out.push(KvPair::new(k.to_vec(), v.to_vec()));
         });
-    });
-    counters.add(Counter::ReduceFnNanos, fn_t0.elapsed().as_nanos() as u64);
+        reduce_nanos += clock::since(fn_t0);
+    };
+
+    if !ks.sort_splits() {
+        // Fast path: keys never rewrite, so groups form directly on the
+        // merged stream of borrowed slices.
+        let mut group_key: Option<&[u8]> = None;
+        let mut group_values: Vec<&[u8]> = Vec::new();
+        while let Some((key, value)) = stream.next()? {
+            match group_key {
+                Some(gk) if ks.group_eq(gk, key) => group_values.push(value),
+                _ => {
+                    if let Some(gk) = group_key {
+                        run_group(gk, &group_values);
+                        group_values.clear();
+                    }
+                    group_key = Some(key);
+                    group_values.push(value);
+                }
+            }
+        }
+        if let Some(gk) = group_key {
+            run_group(gk, &group_values);
+        }
+    } else {
+        // Windowed path: records accumulate only while they can still
+        // interact under `sort_split`; each window is split, re-sorted if
+        // the split disturbed the order, and grouped — instead of
+        // materializing and re-sorting the entire run.
+        let mut window: Vec<KvPair> = Vec::new();
+        let mut flush = |window: &mut Vec<KvPair>| {
+            let before = window.len();
+            let mut records = ks.sort_split(std::mem::take(window));
+            if records.len() > before {
+                counters.add(Counter::SortSplitRecords, (records.len() - before) as u64);
+            }
+            // Skip the re-sort when nothing split and the order survived.
+            let sorted = records
+                .windows(2)
+                .all(|w| ks.compare(&w[0].key, &w[1].key) != std::cmp::Ordering::Greater);
+            if records.len() != before || !sorted {
+                records.sort_by(|a, b| ks.compare(&a.key, &b.key));
+            }
+            for_each_group(&records, ks.as_ref(), &mut run_group);
+        };
+        // Window members that can still interact with future records; a
+        // member failing against one record can never interact again (the
+        // closure contract), so it is pruned from all future checks.
+        let mut frontier: Vec<usize> = Vec::new();
+        while let Some((key, value)) = stream.next()? {
+            if !window.is_empty() {
+                frontier.retain(|&i| ks.sort_interacts(&window[i].key, key));
+                if frontier.is_empty() {
+                    flush(&mut window);
+                }
+            }
+            frontier.push(window.len());
+            window.push(KvPair::new(key.to_vec(), value.to_vec()));
+        }
+        if !window.is_empty() {
+            flush(&mut window);
+        }
+    }
+    let total_nanos = clock::since(merge_t0);
+    counters.add(
+        Counter::MergeNanos,
+        total_nanos.saturating_sub(reduce_nanos),
+    );
+    counters.add(Counter::ReduceFnNanos, reduce_nanos);
     Ok(out)
 }
 
@@ -373,9 +467,11 @@ mod tests {
                 )
             })
             .collect();
-        let mapper = Arc::new(FnMapper(|k: &[u8], v: &[u8], out: &mut dyn crate::record::Emit| {
-            out.emit(k, v);
-        }));
+        let mapper = Arc::new(FnMapper(
+            |k: &[u8], v: &[u8], out: &mut dyn crate::record::Emit| {
+                out.emit(k, v);
+            },
+        ));
         let reducer = Arc::new(FnReducer(
             |k: &[u8], values: &[&[u8]], out: &mut dyn crate::record::Emit| {
                 let total: u64 = values.iter().map(|v| v.len() as u64).sum();
@@ -473,9 +569,9 @@ mod tests {
                 )
             })
             .collect();
-        let mapper = Arc::new(FnMapper(|k: &[u8], v: &[u8], out: &mut dyn crate::record::Emit| {
-            out.emit(k, v)
-        }));
+        let mapper = Arc::new(FnMapper(
+            |k: &[u8], v: &[u8], out: &mut dyn crate::record::Emit| out.emit(k, v),
+        ));
         let reducer = Arc::new(FnReducer(
             |k: &[u8], values: &[&[u8]], out: &mut dyn crate::record::Emit| {
                 let total: u64 = values
@@ -506,7 +602,10 @@ mod tests {
         let words: Vec<String> = (0..200).map(|i| format!("k{}", i % 17)).collect();
         let refs: Vec<&str> = words.iter().map(|s| s.as_str()).collect();
         let serial = count_job(JobConfig::default().with_slots(1, 1), &refs);
-        let parallel = count_job(JobConfig::default().with_slots(8, 4).with_reducers(4), &refs);
+        let parallel = count_job(
+            JobConfig::default().with_slots(8, 4).with_reducers(4),
+            &refs,
+        );
         assert_eq!(collect_counts(&serial), collect_counts(&parallel));
     }
 

@@ -1,6 +1,14 @@
 //! Map-side sort buffer with spills, and the reducer's k-way merge
 //! (Fig. 1 steps 3 and 5).
+//!
+//! Two merge implementations live here: [`MergeStream`], the engine's
+//! streaming merge over [`RawSegment`] cursors (records are consumed as
+//! the heap yields them, never materialized as a whole run), and
+//! [`merge_sorted_runs`], the original materializing merge kept as the
+//! reference implementation for equivalence tests and benchmarks.
 
+use crate::error::MrError;
+use crate::ifile::{RawSegment, RecordCursor, RecordSlices};
 use crate::keysem::KeySemantics;
 use crate::record::KvPair;
 use std::cmp::Ordering;
@@ -87,10 +95,7 @@ impl Ord for HeapEntry {
 /// Merge already-sorted runs into one sorted stream (the reducer's
 /// "possibly requiring multiple on-disk sort phases", done in one k-way
 /// pass here).
-pub fn merge_sorted_runs(
-    runs: Vec<Vec<KvPair>>,
-    ks: &Arc<dyn KeySemantics>,
-) -> Vec<KvPair> {
+pub fn merge_sorted_runs(runs: Vec<Vec<KvPair>>, ks: &Arc<dyn KeySemantics>) -> Vec<KvPair> {
     let total: usize = runs.iter().map(|r| r.len()).sum();
     let mut iters: Vec<std::vec::IntoIter<KvPair>> =
         runs.into_iter().map(|r| r.into_iter()).collect();
@@ -116,6 +121,86 @@ pub fn merge_sorted_runs(
         }
     }
     out
+}
+
+/// Streaming k-way merge over segment cursors: a manual min-heap of run
+/// ids yields `(key, value)` slices borrowed from the decompressed
+/// segment buffers, one record at a time. Ties break toward the lower
+/// run id, matching [`merge_sorted_runs`]'s stability, so both merges
+/// produce identical sequences.
+pub struct MergeStream<'a> {
+    cursors: Vec<RecordCursor<'a>>,
+    heads: Vec<Option<RecordSlices<'a>>>,
+    heap: Vec<usize>,
+    ks: &'a dyn KeySemantics,
+}
+
+impl<'a> MergeStream<'a> {
+    /// Open a merge over the given segments' records.
+    pub fn new(segments: &'a [RawSegment], ks: &'a dyn KeySemantics) -> Result<Self, MrError> {
+        let mut cursors: Vec<RecordCursor<'a>> = segments.iter().map(|s| s.cursor()).collect();
+        let mut heads = Vec::with_capacity(cursors.len());
+        for c in &mut cursors {
+            heads.push(c.next()?);
+        }
+        let heap: Vec<usize> = (0..heads.len()).filter(|&r| heads[r].is_some()).collect();
+        let mut stream = MergeStream {
+            cursors,
+            heads,
+            heap,
+            ks,
+        };
+        for i in (0..stream.heap.len() / 2).rev() {
+            stream.sift_down(i);
+        }
+        Ok(stream)
+    }
+
+    fn run_less(&self, a: usize, b: usize) -> bool {
+        let ka = self.heads[a].expect("live run").0;
+        let kb = self.heads[b].expect("live run").0;
+        match self.ks.compare(ka, kb) {
+            Ordering::Less => true,
+            Ordering::Greater => false,
+            Ordering::Equal => a < b,
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut smallest = i;
+            if l < self.heap.len() && self.run_less(self.heap[l], self.heap[smallest]) {
+                smallest = l;
+            }
+            if r < self.heap.len() && self.run_less(self.heap[r], self.heap[smallest]) {
+                smallest = r;
+            }
+            if smallest == i {
+                return;
+            }
+            self.heap.swap(i, smallest);
+            i = smallest;
+        }
+    }
+
+    /// The next record in merged order, or `None` when every run is
+    /// exhausted.
+    #[allow(clippy::should_implement_trait)] // fallible, unlike Iterator
+    pub fn next(&mut self) -> Result<Option<RecordSlices<'a>>, MrError> {
+        let Some(&run) = self.heap.first() else {
+            return Ok(None);
+        };
+        let record = self.heads[run].take().expect("live run");
+        self.heads[run] = self.cursors[run].next()?;
+        if self.heads[run].is_none() {
+            let last = self.heap.len() - 1;
+            self.heap.swap(0, last);
+            self.heap.pop();
+        }
+        self.sift_down(0);
+        Ok(Some(record))
+    }
 }
 
 /// Group a sorted run by the key-semantics grouping predicate; calls `f`
@@ -218,6 +303,82 @@ mod tests {
         let merged = merge_sorted_runs(runs, &ks());
         assert_eq!(merged.len(), 400);
         assert!(merged.windows(2).all(|w| w[0].key <= w[1].key));
+    }
+
+    fn seal_run(pairs: &[KvPair]) -> Vec<u8> {
+        use crate::ifile::{Framing, IFileWriter};
+        let mut w = IFileWriter::new(Framing::IFile, Arc::new(scihadoop_compress::IdentityCodec));
+        for p in pairs {
+            w.append_pair(p);
+        }
+        w.close().data
+    }
+
+    fn stream_merge(runs: &[Vec<KvPair>], ks: &dyn KeySemantics) -> Vec<KvPair> {
+        let sealed: Vec<Vec<u8>> = runs.iter().map(|r| seal_run(r)).collect();
+        let segments: Vec<RawSegment> = sealed
+            .iter()
+            .map(|s| RawSegment::open(s, &scihadoop_compress::IdentityCodec).unwrap())
+            .collect();
+        let mut stream = MergeStream::new(&segments, ks).unwrap();
+        let mut out = Vec::new();
+        while let Some((k, v)) = stream.next().unwrap() {
+            out.push(KvPair::new(k.to_vec(), v.to_vec()));
+        }
+        out
+    }
+
+    #[test]
+    fn merge_stream_agrees_with_materializing_merge() {
+        let runs = vec![
+            vec![pair("a", "1"), pair("c", "3"), pair("e", "5")],
+            vec![pair("b", "2"), pair("d", "4")],
+            vec![],
+            vec![pair("a", "6"), pair("z", "7")],
+        ];
+        let streamed = stream_merge(&runs, &DefaultKeySemantics);
+        let materialized = merge_sorted_runs(runs, &ks());
+        assert_eq!(streamed, materialized);
+    }
+
+    #[test]
+    fn merge_stream_breaks_ties_by_run_order() {
+        // Duplicated keys across runs must pop in run order, exactly as
+        // the BinaryHeap merge's source tie-break does.
+        let runs = vec![
+            vec![pair("x", "run0-a"), pair("x", "run0-b")],
+            vec![pair("x", "run1")],
+            vec![pair("x", "run2")],
+        ];
+        let streamed = stream_merge(&runs, &DefaultKeySemantics);
+        let materialized = merge_sorted_runs(runs, &ks());
+        assert_eq!(streamed, materialized);
+        let values: Vec<&[u8]> = streamed.iter().map(|p| p.value.as_slice()).collect();
+        assert_eq!(
+            values,
+            vec![b"run0-a".as_slice(), b"run0-b", b"run1", b"run2",]
+        );
+    }
+
+    #[test]
+    fn merge_stream_many_random_runs() {
+        let mut runs = Vec::new();
+        for r in 0..9 {
+            let mut run: Vec<KvPair> = (0..60)
+                .map(|i| {
+                    pair(
+                        &format!("{:04}", (i * 17 + r * 5) % 499),
+                        &format!("{r}-{i}"),
+                    )
+                })
+                .collect();
+            run.sort();
+            runs.push(run);
+        }
+        let streamed = stream_merge(&runs, &DefaultKeySemantics);
+        let materialized = merge_sorted_runs(runs, &ks());
+        assert_eq!(streamed.len(), 540);
+        assert_eq!(streamed, materialized);
     }
 
     #[test]

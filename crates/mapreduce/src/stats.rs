@@ -52,8 +52,7 @@ impl JobStats {
             num_reducers,
             input_bytes,
             map_output_bytes: counters.get(Counter::MapOutputBytes),
-            map_output_materialized_bytes: counters
-                .get(Counter::MapOutputMaterializedBytes),
+            map_output_materialized_bytes: counters.get(Counter::MapOutputMaterializedBytes),
             output_bytes: counters.get(Counter::ReduceOutputBytes),
             compress_nanos: counters.get(Counter::CompressNanos),
             decompress_nanos: counters.get(Counter::DecompressNanos),
@@ -73,8 +72,7 @@ impl JobStats {
         if self.map_output_bytes == 0 {
             return 0.0;
         }
-        (self.compress_nanos as f64 / 1e9)
-            / (self.map_output_bytes as f64 / 1e6)
+        (self.compress_nanos as f64 / 1e9) / (self.map_output_bytes as f64 / 1e6)
     }
 
     /// Fractional reduction of intermediate data (the paper's headline

@@ -3,8 +3,7 @@
 
 use scihadoop_compress::{Codec, CompressError, IdentityCodec};
 use scihadoop_mapreduce::{
-    Counter, Emit, FnMapper, FnReducer, InputSplit, Job, JobConfig, KeySemantics, KvPair,
-    MrError,
+    Counter, Emit, FnMapper, FnReducer, InputSplit, Job, JobConfig, KeySemantics, KvPair, MrError,
 };
 use std::cmp::Ordering;
 use std::sync::Arc;
@@ -55,8 +54,11 @@ impl Codec for SabotagedCodec {
 
 #[test]
 fn decompression_failure_fails_the_job() {
-    let result = Job::new(JobConfig::default().with_codec(Arc::new(SabotagedCodec)))
-        .run(word_splits(100, 25), identity_mapper(), count_reducer());
+    let result = Job::new(JobConfig::default().with_codec(Arc::new(SabotagedCodec))).run(
+        word_splits(100, 25),
+        identity_mapper(),
+        count_reducer(),
+    );
     assert!(matches!(result, Err(MrError::Codec(_))));
 }
 
@@ -197,6 +199,112 @@ fn zero_record_splits_are_harmless() {
     assert!(result.all_outputs().is_empty());
 }
 
+/// Splits marker keys at sort time: `S<n>` becomes `A<n>` + `Z<n>` with
+/// the value halved between them — the reducer's lazy sort-split flush
+/// must count the extra records and re-sort the disturbed window.
+struct MarkerSplit;
+
+impl KeySemantics for MarkerSplit {
+    fn partition(&self, _key: &[u8], _parts: usize) -> usize {
+        0
+    }
+    fn sort_split(&self, records: Vec<KvPair>) -> Vec<KvPair> {
+        let mut out = Vec::new();
+        for r in records {
+            if r.key.first() == Some(&b'S') {
+                let mid = r.value.len() / 2;
+                let mut a_key = r.key.clone();
+                a_key[0] = b'A';
+                let mut z_key = r.key;
+                z_key[0] = b'Z';
+                out.push(KvPair::new(a_key, r.value[..mid].to_vec()));
+                out.push(KvPair::new(z_key, r.value[mid..].to_vec()));
+            } else {
+                out.push(r);
+            }
+        }
+        out
+    }
+}
+
+#[test]
+fn sort_split_counter_tracks_split_and_clean_paths() {
+    let run = |pairs: Vec<KvPair>| {
+        Job::new(
+            JobConfig::default()
+                .with_reducers(1)
+                .with_key_semantics(Arc::new(MarkerSplit)),
+        )
+        .run(
+            vec![InputSplit::new(pairs)],
+            identity_mapper(),
+            count_reducer(),
+        )
+        .unwrap()
+    };
+
+    // No marker keys: sort_split is the identity, the flush skips its
+    // re-sort, and the counter stays zero.
+    let clean = run(vec![
+        KvPair::new(b"B1".to_vec(), vec![1, 2]),
+        KvPair::new(b"C2".to_vec(), vec![3, 4]),
+    ]);
+    assert_eq!(clean.counters.get(Counter::SortSplitRecords), 0);
+    assert_eq!(clean.counters.get(Counter::ReduceInputGroups), 2);
+
+    // Two marker records each split in two: two extra records counted,
+    // and the pieces regroup under their new keys in sorted positions.
+    let split = run(vec![
+        KvPair::new(b"S1".to_vec(), vec![1, 2]),
+        KvPair::new(b"B1".to_vec(), vec![5]),
+        KvPair::new(b"S2".to_vec(), vec![3, 4]),
+    ]);
+    assert_eq!(split.counters.get(Counter::SortSplitRecords), 2);
+    assert_eq!(split.counters.get(Counter::ReduceInputGroups), 5);
+    let keys: Vec<&[u8]> = split.outputs[0].iter().map(|p| p.key.as_slice()).collect();
+    assert_eq!(
+        keys,
+        vec![b"A1".as_slice(), b"A2", b"B1", b"Z1", b"Z2"],
+        "split pieces must land in sorted order"
+    );
+}
+
+/// Counts decompression attempts before failing them all.
+struct CountingSabotage(Arc<std::sync::atomic::AtomicUsize>);
+
+impl Codec for CountingSabotage {
+    fn name(&self) -> &'static str {
+        "counting-sabotage"
+    }
+    fn compress(&self, input: &[u8]) -> Vec<u8> {
+        input.to_vec()
+    }
+    fn decompress(&self, _input: &[u8]) -> Result<Vec<u8>, CompressError> {
+        self.0.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        Err(CompressError::Corrupt("sabotaged".into()))
+    }
+}
+
+#[test]
+fn map_failure_aborts_remaining_tasks_and_keeps_all_errors() {
+    // Tiny spill buffer → every map task multi-spills → its final merge
+    // must decompress, which fails. With one slot, the abort flag raised
+    // by the first failure must drain the queue before the other five
+    // splits run: the codec is touched exactly once.
+    let calls = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let result = Job::new(
+        JobConfig::default()
+            .with_slots(1, 1)
+            .with_spill_buffer(64)
+            .with_codec(Arc::new(CountingSabotage(calls.clone()))),
+    )
+    .run(word_splits(300, 50), identity_mapper(), count_reducer());
+    let err = result.err().expect("job must fail");
+    assert_eq!(err.task_errors().len(), 1);
+    assert!(matches!(err.task_errors()[0], MrError::Codec(_)));
+    assert_eq!(calls.load(std::sync::atomic::Ordering::SeqCst), 1);
+}
+
 #[test]
 fn multi_spill_maps_deliver_one_segment_per_reducer() {
     // A tiny spill buffer forces many spills; the final merge must leave
@@ -231,7 +339,9 @@ fn multi_spill_maps_deliver_one_segment_per_reducer() {
         one_spill.counters.get(Counter::MapOutputBytes)
     );
     assert_eq!(
-        many_spills.counters.get(Counter::MapOutputMaterializedBytes),
+        many_spills
+            .counters
+            .get(Counter::MapOutputMaterializedBytes),
         one_spill.counters.get(Counter::MapOutputMaterializedBytes)
     );
 }

@@ -6,9 +6,7 @@
 
 use crate::layout::KeyLayout;
 use scihadoop_grid::{Coord, Variable};
-use scihadoop_mapreduce::{
-    Emit, Job, JobConfig, JobResult, Mapper, MrError, Reducer,
-};
+use scihadoop_mapreduce::{Emit, Job, JobConfig, JobResult, Mapper, MrError, Reducer};
 use std::collections::HashMap;
 use std::sync::Arc;
 

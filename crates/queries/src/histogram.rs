@@ -2,9 +2,7 @@
 //! and heavy combining.
 
 use scihadoop_grid::Variable;
-use scihadoop_mapreduce::{
-    Emit, FnMapper, FnReducer, Job, JobConfig, JobResult, MrError,
-};
+use scihadoop_mapreduce::{Emit, FnMapper, FnReducer, Job, JobConfig, JobResult, MrError};
 use std::sync::Arc;
 
 /// Histogram query configuration.
@@ -66,12 +64,10 @@ impl Histogram {
                 .sum();
             out.emit(key, &total.to_be_bytes());
         };
-        let combiner = FnReducer(move |k: &[u8], values: &[&[u8]], out: &mut dyn Emit| {
-            sum(k, values, out, k)
-        });
-        let reducer = FnReducer(move |k: &[u8], values: &[&[u8]], out: &mut dyn Emit| {
-            sum(k, values, out, k)
-        });
+        let combiner =
+            FnReducer(move |k: &[u8], values: &[&[u8]], out: &mut dyn Emit| sum(k, values, out, k));
+        let reducer =
+            FnReducer(move |k: &[u8], values: &[&[u8]], out: &mut dyn Emit| sum(k, values, out, k));
 
         let config = self.base_config.clone().with_combiner(Arc::new(combiner));
         let result = Job::new(config).run(splits, Arc::new(mapper), Arc::new(reducer))?;
@@ -127,7 +123,9 @@ mod tests {
         let run = Histogram::new(4, 0, 100).run(&var).unwrap();
         // 4 splits × ≤4 bins each = at most 16 combined records.
         assert!(
-            run.result.counters.get(scihadoop_mapreduce::Counter::CombineOutputRecords)
+            run.result
+                .counters
+                .get(scihadoop_mapreduce::Counter::CombineOutputRecords)
                 <= 16
         );
     }

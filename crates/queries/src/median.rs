@@ -11,9 +11,7 @@ use crate::layout::{BiasedCurve, KeyLayout};
 use parking_lot::Mutex;
 use scihadoop_core::aggregate::{AggregateKey, AggregateKeyOps, Aggregator, RangePartitioner};
 use scihadoop_grid::{Coord, Variable};
-use scihadoop_mapreduce::{
-    Emit, InputSplit, Job, JobConfig, JobResult, Mapper, MrError, Reducer,
-};
+use scihadoop_mapreduce::{Emit, InputSplit, Job, JobConfig, JobResult, Mapper, MrError, Reducer};
 use scihadoop_sfc::{Curve, HilbertCurve, RowMajorCurve, ZOrderCurve};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -155,9 +153,7 @@ impl SlidingMedian {
         let splits = crate::input::dataset_splits(var, &self.layout, self.num_splits)
             .map_err(|e| MrError::Config(e.to_string()))?;
         match &self.variant {
-            SlidingMedianVariant::Plain => {
-                self.run_plain(splits, self.base_config.clone())
-            }
+            SlidingMedianVariant::Plain => self.run_plain(splits, self.base_config.clone()),
             SlidingMedianVariant::PlainWithCodec(codec) => {
                 self.run_plain(splits, self.base_config.clone().with_codec(codec.clone()))
             }
@@ -185,14 +181,13 @@ impl SlidingMedian {
         Ok(medians)
     }
 
-    fn run_plain(
-        &self,
-        splits: Vec<InputSplit>,
-        config: JobConfig,
-    ) -> Result<MedianRun, MrError> {
+    fn run_plain(&self, splits: Vec<InputSplit>, config: JobConfig) -> Result<MedianRun, MrError> {
         let layout = self.layout.clone();
         let offsets = self.offsets();
-        let mapper = PlainMedianMapper { layout: layout.clone(), offsets };
+        let mapper = PlainMedianMapper {
+            layout: layout.clone(),
+            offsets,
+        };
         let reducer = PlainMedianReducer { layout };
         let result = Job::new(config).run(splits, Arc::new(mapper), Arc::new(reducer))?;
         let medians = self.parse_outputs(&result)?;
@@ -218,8 +213,7 @@ impl SlidingMedian {
         let bits = (64 - (max_extent as u64).leading_zeros()).max(1);
         let curve = BiasedCurve::new(self.curve.build(ndims, bits), h);
         let width = 1 + 4 * self.slots();
-        let partitioner =
-            RangePartitioner::uniform(self.base_config.num_reducers, curve.span());
+        let partitioner = RangePartitioner::uniform(self.base_config.num_reducers, curve.span());
         let keyops = AggregateKeyOps::new(partitioner, width);
         let config = self
             .base_config
@@ -314,12 +308,38 @@ fn unpack_cell(bytes: &[u8]) -> Vec<i32> {
         .collect()
 }
 
+/// FNV-1a hasher for the per-task window map. The map-side hot path
+/// hashes a small `Coord` once per (record × window offset); SipHash's
+/// per-hash setup cost dominates at that grain.
+struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+}
+
+type FnvBuildHasher = std::hash::BuildHasherDefault<FnvHasher>;
+
 /// Per-map-task state. The engine runs each map task to completion on one
 /// thread, so thread-id keying gives task-local state without engine
 /// changes (Hadoop gets the same effect by constructing one Mapper object
 /// per task).
 struct AggTaskState {
-    windows: HashMap<Coord, Vec<i32>>,
+    windows: HashMap<Coord, Vec<i32>, FnvBuildHasher>,
 }
 
 struct AggMedianMapper {
@@ -335,21 +355,19 @@ impl AggMedianMapper {
     fn flush_state(&self, state: AggTaskState, out: &mut dyn Emit) {
         // Push the accumulated windows through the §IV aggregation
         // library and emit the aggregate records it produces.
-        let mut agg =
-            Aggregator::with_curve(self.curve.curve().clone(), self.buffer_bytes);
+        let mut agg = Aggregator::with_curve(self.curve.curve().clone(), self.buffer_bytes);
         let emit_records = |records: Vec<scihadoop_core::aggregate::AggregateRecord>,
-                                out: &mut dyn Emit| {
+                            out: &mut dyn Emit| {
             for rec in records {
                 out.emit(&rec.key.to_bytes(), &rec.values);
             }
         };
-        for (coord, values) in state.windows {
+        for (mut coord, values) in state.windows {
             let packed = pack_cell(&values, self.slots);
-            let biased = coord.offset_all(self.curve.bias());
-            if let Some(records) = agg
-                .push(&biased, &packed)
-                .expect("aggregation push")
-            {
+            for c in &mut coord.0 {
+                *c = c.wrapping_add(self.curve.bias());
+            }
+            if let Some(records) = agg.push(&coord, &packed).expect("aggregation push") {
                 emit_records(records, out);
             }
         }
@@ -365,11 +383,24 @@ impl Mapper for AggMedianMapper {
         let task = state
             .entry(std::thread::current().id())
             .or_insert_with(|| AggTaskState {
-                windows: HashMap::new(),
+                windows: HashMap::default(),
             });
+        // One scratch centre reused across offsets: a window centre is hit
+        // by up to `slots` records, so the occupied-entry path (no key
+        // allocation) is the common one.
+        let mut centre = coord.clone();
         for off in &self.offsets {
-            let centre = &coord + off;
-            task.windows.entry(centre).or_default().push(v);
+            for ((c, &base), &d) in centre.0.iter_mut().zip(&coord.0).zip(&off.0) {
+                *c = base + d;
+            }
+            match task.windows.get_mut(&centre) {
+                Some(vals) => vals.push(v),
+                None => {
+                    let mut vals = Vec::with_capacity(self.slots);
+                    vals.push(v);
+                    task.windows.insert(centre.clone(), vals);
+                }
+            }
         }
     }
 
@@ -458,7 +489,9 @@ mod tests {
         let var = variable();
         let q = SlidingMedian::new(
             layout(),
-            SlidingMedianVariant::Aggregated { buffer_bytes: 1 << 20 },
+            SlidingMedianVariant::Aggregated {
+                buffer_bytes: 1 << 20,
+            },
         );
         let run = q.run(&var).unwrap();
         let expected = oracle::sliding_median(&var, 3).unwrap();
@@ -488,9 +521,7 @@ mod tests {
             .unwrap();
         let codec = SlidingMedian::new(
             layout(),
-            SlidingMedianVariant::PlainWithCodec(Arc::new(
-                scihadoop_compress::DeflateCodec::new(),
-            )),
+            SlidingMedianVariant::PlainWithCodec(Arc::new(scihadoop_compress::DeflateCodec::new())),
         )
         .run(&var)
         .unwrap();
@@ -514,7 +545,9 @@ mod tests {
             .unwrap();
         let agg = SlidingMedian::new(
             layout(),
-            SlidingMedianVariant::Aggregated { buffer_bytes: 1 << 20 },
+            SlidingMedianVariant::Aggregated {
+                buffer_bytes: 1 << 20,
+            },
         )
         .run(&var)
         .unwrap();

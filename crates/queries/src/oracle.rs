@@ -76,12 +76,7 @@ fn windowed(
 }
 
 /// Value histogram with `bins` equal-width buckets over `[min, max)`.
-pub fn histogram(
-    var: &Variable,
-    bins: usize,
-    min: i32,
-    max: i32,
-) -> Result<Vec<u64>, GridError> {
+pub fn histogram(var: &Variable, bins: usize, min: i32, max: i32) -> Result<Vec<u64>, GridError> {
     assert!(bins > 0 && max > min);
     let width = ((max - min) as f64 / bins as f64).max(f64::MIN_POSITIVE);
     let mut out = vec![0u64; bins];

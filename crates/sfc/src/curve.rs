@@ -50,18 +50,18 @@ pub trait Curve: Send + Sync {
 
 /// Validate that `coords` has the right arity and each component fits in
 /// `bits` bits. Shared by all curve implementations.
-pub(crate) fn check_coords(
-    coords: &[u32],
-    ndims: usize,
-    bits: u32,
-) -> Result<(), GridError> {
+pub(crate) fn check_coords(coords: &[u32], ndims: usize, bits: u32) -> Result<(), GridError> {
     if coords.len() != ndims {
         return Err(GridError::DimensionMismatch {
             expected: ndims,
             actual: coords.len(),
         });
     }
-    let limit = if bits >= 32 { u32::MAX } else { (1u32 << bits) - 1 };
+    let limit = if bits >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << bits) - 1
+    };
     for &c in coords {
         if c > limit {
             return Err(GridError::OutOfBounds {
@@ -74,11 +74,7 @@ pub(crate) fn check_coords(
 }
 
 /// Validate that a curve index fits in `ndims * bits` bits.
-pub(crate) fn check_index(
-    index: CurveIndex,
-    ndims: usize,
-    bits: u32,
-) -> Result<(), GridError> {
+pub(crate) fn check_index(index: CurveIndex, ndims: usize, bits: u32) -> Result<(), GridError> {
     let total_bits = ndims as u32 * bits;
     if total_bits < 128 && index >> total_bits != 0 {
         return Err(GridError::Deserialize(format!(

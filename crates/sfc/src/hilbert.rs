@@ -181,11 +181,7 @@ mod tests {
             let mut prev = h.coords_of(0).unwrap();
             for i in 1..total {
                 let cur = h.coords_of(i).unwrap();
-                let dist: u32 = prev
-                    .iter()
-                    .zip(&cur)
-                    .map(|(a, b)| a.abs_diff(*b))
-                    .sum();
+                let dist: u32 = prev.iter().zip(&cur).map(|(a, b)| a.abs_diff(*b)).sum();
                 assert_eq!(dist, 1, "index {i}: {prev:?} -> {cur:?}");
                 prev = cur;
             }

@@ -75,10 +75,7 @@ pub fn box_runs(curve: &dyn Curve, bbox: &BoundingBox) -> Result<Vec<CurveRun>, 
 
 /// Moon et al.'s clustering number: how many maximal runs the region
 /// splits into on this curve. Lower is better for aggregation.
-pub fn clustering_run_count(
-    curve: &dyn Curve,
-    bbox: &BoundingBox,
-) -> Result<usize, GridError> {
+pub fn clustering_run_count(curve: &dyn Curve, bbox: &BoundingBox) -> Result<usize, GridError> {
     Ok(box_runs(curve, bbox)?.len())
 }
 

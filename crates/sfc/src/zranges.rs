@@ -16,10 +16,7 @@ use scihadoop_grid::{BoundingBox, GridError};
 /// Z-order runs for an `ndims`-dimensional curve with `bits` per
 /// dimension. Equivalent to `box_runs(&ZOrderCurve::with_bits(..), bbox)`
 /// but O(runs · bits) instead of O(cells · log cells).
-pub fn zorder_box_runs(
-    bbox: &BoundingBox,
-    bits: u32,
-) -> Result<Vec<CurveRun>, GridError> {
+pub fn zorder_box_runs(bbox: &BoundingBox, bits: u32) -> Result<Vec<CurveRun>, GridError> {
     let ndims = bbox.ndims();
     assert!((1..=32).contains(&bits));
     assert!(ndims as u32 * bits <= 128);
@@ -28,7 +25,11 @@ pub fn zorder_box_runs(
     }
     let lo = bbox.corner().to_unsigned()?;
     let hi = bbox.upper_corner().to_unsigned()?;
-    let limit = if bits >= 32 { u32::MAX } else { (1u32 << bits) - 1 };
+    let limit = if bits >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << bits) - 1
+    };
     for (&l, &h) in lo.iter().zip(&hi) {
         if l > limit || h > limit {
             return Err(GridError::OutOfBounds {
@@ -65,7 +66,11 @@ fn descend(
 ) {
     let ndims = prefix.len();
     // Cell range covered by this quadrant in each dimension.
-    let span: u32 = if level >= 32 { u32::MAX } else { (1u32 << level) - 1 };
+    let span: u32 = if level >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << level) - 1
+    };
     let q_lo: Vec<u32> = prefix.to_vec();
     let q_hi: Vec<u32> = prefix.iter().map(|&p| p | span).collect();
 
@@ -88,7 +93,10 @@ fn descend(
         });
         return;
     }
-    debug_assert!(level > 0, "level-0 quadrant is a single cell, always contained or disjoint");
+    debug_assert!(
+        level > 0,
+        "level-0 quadrant is a single cell, always contained or disjoint"
+    );
     // Recurse into the 2^ndims children in Z order (child index bits are
     // dimension 0 most significant, matching ZOrderCurve::interleave).
     let child_bit = level - 1;

@@ -82,9 +82,7 @@ fn main() {
     for piece in &pieces {
         println!(
             "   [{}, {}] from mapper '{}'",
-            piece.key.run.start,
-            piece.key.run.end,
-            piece.values[0] as char
+            piece.key.run.start, piece.key.run.end, piece.values[0] as char
         );
     }
     println!("\nafter grouping, equal ranges reduce together:");

@@ -51,7 +51,10 @@ fn main() {
         }
     }
 
-    println!("serialized key stream ({} bytes, 23 bytes/key):\n", stream.len());
+    println!(
+        "serialized key stream ({} bytes, 23 bytes/key):\n",
+        stream.len()
+    );
 
     // Detect the strongest linear sequences (the Fig. 2 caption's
     // δ=0x0a, s=47, φ=34 was for their 47-byte records; ours are 23).

@@ -44,7 +44,11 @@ fn main() {
     let simple_key_bytes = 64 * 64 * 8; // two 4-byte ints per key
     let aggregate_key_bytes: usize = records.iter().map(|r| r.key.to_bytes().len()).sum();
     println!();
-    println!("simple keys:        {:>9} bytes ({} keys)", simple_key_bytes, 64 * 64);
+    println!(
+        "simple keys:        {:>9} bytes ({} keys)",
+        simple_key_bytes,
+        64 * 64
+    );
     println!(
         "aggregate keys:     {:>9} bytes ({} range{})",
         aggregate_key_bytes,

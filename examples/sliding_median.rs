@@ -19,8 +19,8 @@ fn main() {
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(96);
-    let var = Variable::random_i32("grid", Shape::new(vec![n, n]), 1_000_000, 42)
-        .expect("valid grid");
+    let var =
+        Variable::random_i32("grid", Shape::new(vec![n, n]), 1_000_000, 42).expect("valid grid");
     let layout = KeyLayout::Indexed { index: 0, ndims: 2 };
     let base = JobConfig::default()
         .with_reducers(5)
@@ -44,7 +44,9 @@ fn main() {
         ),
         (
             "key aggregation",
-            SlidingMedianVariant::Aggregated { buffer_bytes: 64 << 20 },
+            SlidingMedianVariant::Aggregated {
+                buffer_bytes: 64 << 20,
+            },
         ),
     ] {
         let mut q = SlidingMedian::new(layout.clone(), variant);

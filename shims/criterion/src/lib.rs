@@ -1,0 +1,275 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Vendored because the build environment has no access to crates.io.
+//! Implements the workspace's benchmark surface — groups, throughput,
+//! `bench_function` / `bench_with_input`, `b.iter` — with a simple
+//! adaptive timing loop (median of samples) and plain-text reporting.
+//! No statistical regression analysis, plots, or HTML output.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value wrapper.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Work-per-iteration unit, used for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark's display identity: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Per-iteration timing harness handed to bench closures.
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f`, collecting `sample_size` samples of an adaptively chosen
+    /// batch size. The routine's result is black-boxed so the work is not
+    /// optimized away.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm up and estimate a batch size targeting ~5 ms per sample.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let batch =
+            (Duration::from_millis(5).as_nanos() / once.as_nanos()).clamp(1, 100_000) as usize;
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let per_iter = t0.elapsed().as_nanos() as f64 / batch as f64;
+            self.samples.push(per_iter);
+        }
+    }
+
+    fn median_ns(&mut self) -> f64 {
+        assert!(!self.samples.is_empty(), "bench closure never called iter");
+        self.samples
+            .sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `group/bench` path.
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Throughput declared for the group, if any.
+    pub throughput: Option<Throughput>,
+}
+
+impl Measurement {
+    /// Work units per second implied by the median time, if a throughput
+    /// was declared.
+    pub fn per_second(&self) -> Option<f64> {
+        self.throughput.map(|t| {
+            let units = match t {
+                Throughput::Bytes(n) | Throughput::Elements(n) => n as f64,
+            };
+            units * 1e9 / self.median_ns
+        })
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the work performed by one iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark a routine.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into().id);
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        self.record(id, b);
+        self
+    }
+
+    /// Benchmark a routine parameterized by an input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.into().id);
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b, input);
+        self.record(id, b);
+        self
+    }
+
+    fn record(&mut self, id: String, mut b: Bencher) {
+        let m = Measurement {
+            id,
+            median_ns: b.median_ns(),
+            throughput: self.throughput,
+        };
+        match m.per_second() {
+            Some(rate) if matches!(m.throughput, Some(Throughput::Elements(_))) => {
+                println!(
+                    "{:<60} {:>14.0} ns/iter {:>16.0} elem/s",
+                    m.id, m.median_ns, rate
+                )
+            }
+            Some(rate) => println!(
+                "{:<60} {:>14.0} ns/iter {:>16.0} B/s",
+                m.id, m.median_ns, rate
+            ),
+            None => println!("{:<60} {:>14.0} ns/iter", m.id, m.median_ns),
+        }
+        self.criterion.measurements.push(m);
+    }
+
+    /// End the group (report already emitted incrementally).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    /// Everything measured so far, in execution order.
+    pub measurements: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmark a routine outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.benchmark_group(id.id.clone())
+            .bench_function("base", f);
+        self
+    }
+}
+
+/// Group several bench functions under one runner entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports_throughput() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Elements(1000)).sample_size(3);
+            g.bench_function("noop", |b| b.iter(|| black_box(2 + 2)));
+            g.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+            g.finish();
+        }
+        assert_eq!(c.measurements.len(), 2);
+        assert!(c.measurements[0].median_ns > 0.0);
+        assert!(c.measurements[0].per_second().unwrap() > 0.0);
+        assert_eq!(c.measurements[1].id, "g/sum/8");
+    }
+}

@@ -1,0 +1,179 @@
+//! Collection strategies: `vec`, `btree_set`, `btree_map`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+
+/// Size specification for collection strategies: an exact length or a
+/// half-open range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound.
+    max: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        if self.max <= self.min + 1 {
+            self.min
+        } else {
+            self.min + rng.below((self.max - self.min) as u64) as usize
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end,
+        }
+    }
+}
+
+/// Strategy for `Vec<T>` with sizes drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// `Vec` of values from `element`, length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet<T>`.
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// `BTreeSet` of values from `element`; if the element domain is too
+/// small to reach the drawn size, a smaller set is produced (matching
+/// upstream's best-effort behaviour without its rejection machinery).
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.pick(rng);
+        let mut out = BTreeSet::new();
+        let mut tries = 0usize;
+        while out.len() < n && tries < n * 10 + 16 {
+            out.insert(self.element.generate(rng));
+            tries += 1;
+        }
+        out
+    }
+}
+
+/// Strategy for `BTreeMap<K, V>`.
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: SizeRange,
+}
+
+/// `BTreeMap` with keys from `key` and values from `value`.
+pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    BTreeMapStrategy {
+        key,
+        value,
+        size: size.into(),
+    }
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.pick(rng);
+        let mut out = BTreeMap::new();
+        let mut tries = 0usize;
+        while out.len() < n && tries < n * 10 + 16 {
+            out.insert(self.key.generate(rng), self.value.generate(rng));
+            tries += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(5)
+    }
+
+    #[test]
+    fn vec_respects_exact_and_ranged_sizes() {
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(vec(0u8..10, 3).generate(&mut r).len(), 3);
+            let n = vec(any::<u8>(), 2..5).generate(&mut r).len();
+            assert!((2..5).contains(&n));
+        }
+    }
+
+    #[test]
+    fn set_and_map_sizes_within_bounds() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = btree_set(0u32..1000, 1..8).generate(&mut r);
+            assert!((1..8).contains(&s.len()));
+            let m = btree_map(0u32..1000, any::<u8>(), 1..8).generate(&mut r);
+            assert!((1..8).contains(&m.len()));
+        }
+    }
+
+    #[test]
+    fn small_domains_saturate_gracefully() {
+        let mut r = rng();
+        let s = btree_set(0u32..2, 1..64).generate(&mut r);
+        assert!(!s.is_empty() && s.len() <= 2);
+    }
+}

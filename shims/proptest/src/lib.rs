@@ -1,0 +1,206 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Vendored because the build environment has no access to crates.io.
+//! Implements the subset this workspace uses: the `proptest!` macro,
+//! numeric-range / tuple / `any` / `Just` / `prop_map` / `prop_oneof!`
+//! strategies, `collection::{vec, btree_set, btree_map}`, and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from upstream: no shrinking (a failing case panics with
+//! the case number; generation is deterministic per test name, so
+//! failures reproduce exactly), and value streams differ from upstream
+//! proptest. Every in-repo property is distribution-agnostic, so only
+//! determinism and domain coverage matter.
+
+#![allow(clippy::type_complexity)] // vendored stand-in, keeps upstream-ish signatures
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// What `use proptest::prelude::*` is expected to provide.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Top-level entry point: a block of property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop(x in 0u32..10, data in vec(any::<u8>(), 0..100)) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+/// Internal muncher: one test function per step.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); $(#[$attr:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),+ $(,)?
+    ) $body:block $($rest:tt)*) => {
+        $(#[$attr])*
+        fn $name() {
+            #[allow(unused_imports)]
+            use $crate::strategy::Strategy as _;
+            let config = $cfg;
+            let strats = ($($strat,)+);
+            let mut rng = $crate::test_runner::TestRng::from_name(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let mut ran: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = config.cases.saturating_mul(10).max(config.cases);
+            while ran < config.cases && attempts < max_attempts {
+                attempts += 1;
+                let ($($arg,)+) =
+                    $crate::strategy::Strategy::generate(&strats, &mut rng);
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => ran += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed on case {} (attempt {}): {}",
+                            stringify!($name),
+                            ran + 1,
+                            attempts,
+                            msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    (($cfg:expr);) => {};
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(format!(
+                            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+                            l, r
+                        )),
+                    );
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(format!(
+                            "assertion failed: `left == right`: {}\n  left: {:?}\n right: {:?}",
+                            format!($($fmt)+),
+                            l,
+                            r
+                        )),
+                    );
+                }
+            }
+        }
+    };
+}
+
+/// Fail the current case if `left == right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(format!(
+                            "assertion failed: `left != right`\n  both: {:?}",
+                            l
+                        )),
+                    );
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(format!(
+                            "assertion failed: `left != right`: {}\n  both: {:?}",
+                            format!($($fmt)+),
+                            l
+                        )),
+                    );
+                }
+            }
+        }
+    };
+}
+
+/// Discard the current case (it does not count toward the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Choose uniformly between several strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::OneOf::arm($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,367 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always-yields-a-clone-of-one-value strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed strategies of one value type (built by
+/// the `prop_oneof!` macro).
+pub struct OneOf<T> {
+    arms: Vec<Box<dyn Fn(&mut TestRng) -> T>>,
+}
+
+impl<T> OneOf<T> {
+    /// Build from pre-boxed arms.
+    pub fn new(arms: Vec<Box<dyn Fn(&mut TestRng) -> T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+
+    /// Box one strategy as an arm.
+    pub fn arm<S>(strat: S) -> Box<dyn Fn(&mut TestRng) -> T>
+    where
+        S: Strategy<Value = T> + 'static,
+    {
+        Box::new(move |rng| strat.generate(rng))
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        (self.arms[i])(rng)
+    }
+}
+
+// ---- numeric ranges -----------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                let r = (((rng.next_u64() as u128) * span) >> 64) as i128;
+                (self.start as i128 + r) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<u128> {
+    type Value = u128;
+    fn generate(&self, rng: &mut TestRng) -> u128 {
+        assert!(self.start < self.end, "empty strategy range");
+        let span = self.end - self.start;
+        self.start + rng.next_u128() % span
+    }
+}
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                self.start + (self.end - self.start) * unit
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+// ---- regex-literal string strategies ------------------------------------
+
+/// String literals are strategies generating matching strings, like
+/// upstream proptest. Supported subset: literal chars, `[...]` classes
+/// with ranges, and `{m}` / `{m,n}` / `?` / `*` / `+` quantifiers.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let chars: Vec<char> = self.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let class: Vec<char> = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .expect("unterminated [class] in pattern")
+                        + i;
+                    let mut set = Vec::new();
+                    let mut j = i + 1;
+                    while j < close {
+                        if j + 2 < close && chars[j + 1] == '-' {
+                            for c in chars[j]..=chars[j + 2] {
+                                set.push(c);
+                            }
+                            j += 3;
+                        } else {
+                            set.push(chars[j]);
+                            j += 1;
+                        }
+                    }
+                    i = close + 1;
+                    set
+                }
+                '\\' => {
+                    i += 2;
+                    vec![chars[i - 1]]
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            assert!(!class.is_empty(), "empty char class in pattern");
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unterminated {quantifier} in pattern")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse().expect("bad {m,n}"),
+                        hi.parse().expect("bad {m,n}"),
+                    ),
+                    None => {
+                        let n = body.parse().expect("bad {m}");
+                        (n, n)
+                    }
+                }
+            } else if i < chars.len() && matches!(chars[i], '?' | '*' | '+') {
+                i += 1;
+                match chars[i - 1] {
+                    '?' => (0usize, 1usize),
+                    '*' => (0, 8),
+                    _ => (1, 8),
+                }
+            } else {
+                (1, 1)
+            };
+            let count = min + rng.below((max - min + 1) as u64) as usize;
+            for _ in 0..count {
+                out.push(class[rng.below(class.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+// ---- any::<T>() ---------------------------------------------------------
+
+/// Types with a full-domain strategy.
+pub trait ArbitraryValue: Sized {
+    /// Generate anywhere in the domain, biased toward edge values the
+    /// way upstream proptest is.
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> $t {
+                // 1-in-8 cases pick an edge value; otherwise uniform.
+                if rng.below(8) == 0 {
+                    const EDGES: [$t; 5] =
+                        [<$t>::MIN, <$t>::MIN.wrapping_add(1), 0, 1, <$t>::MAX];
+                    EDGES[rng.below(EDGES.len() as u64) as usize]
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryValue for u128 {
+    fn arbitrary_value(rng: &mut TestRng) -> u128 {
+        if rng.below(8) == 0 {
+            [0u128, 1, u128::MAX][rng.below(3) as usize]
+        } else {
+            rng.next_u128()
+        }
+    }
+}
+
+impl ArbitraryValue for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl ArbitraryValue for f32 {
+    fn arbitrary_value(rng: &mut TestRng) -> f32 {
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+impl ArbitraryValue for f64 {
+    fn arbitrary_value(rng: &mut TestRng) -> f64 {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl<T: ArbitraryValue, const N: usize> ArbitraryValue for [T; N] {
+    fn arbitrary_value(rng: &mut TestRng) -> [T; N] {
+        std::array::from_fn(|_| T::arbitrary_value(rng))
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+/// Full-domain strategy for `T`.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(PhantomData)
+}
+
+// ---- tuples -------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(11)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let v = (-5i32..7).generate(&mut r);
+            assert!((-5..7).contains(&v));
+            let u = (0u128..500).generate(&mut r);
+            assert!(u < 500);
+        }
+    }
+
+    #[test]
+    fn ranges_cover_their_domain() {
+        let mut r = rng();
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..1000 {
+            seen.insert((0u8..4).generate(&mut r));
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn map_and_just_and_oneof() {
+        let mut r = rng();
+        let doubled = (1u32..10).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            let v = doubled.generate(&mut r);
+            assert!(v % 2 == 0 && (2..20).contains(&v));
+        }
+        assert_eq!(Just(41).generate(&mut r), 41);
+        let one = crate::prop_oneof![Just(1usize), Just(2), Just(3)];
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            seen.insert(one.generate(&mut r));
+        }
+        assert_eq!(seen.into_iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut r = rng();
+        let (a, b, c) = (0u32..4, 10i64..12, any::<bool>()).generate(&mut r);
+        assert!(a < 4);
+        assert!((10..12).contains(&b));
+        let _: bool = c;
+    }
+
+    #[test]
+    fn any_hits_edges_eventually() {
+        let mut r = rng();
+        let mut saw_max = false;
+        for _ in 0..2000 {
+            if u8::arbitrary_value(&mut r) == u8::MAX {
+                saw_max = true;
+            }
+        }
+        assert!(saw_max);
+    }
+}

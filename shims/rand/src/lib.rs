@@ -1,0 +1,172 @@
+//! Offline stand-in for the `rand` crate (0.9-style API surface).
+//!
+//! Vendored because the build environment has no access to crates.io.
+//! Implements exactly what this workspace uses: `StdRng` seeded from a
+//! `u64`, and `Rng::random_range` over integer and float ranges. The
+//! generator is xoshiro256++, seeded via SplitMix64 — deterministic and
+//! high quality, though the streams differ from upstream `rand` (all
+//! in-repo consumers only require determinism, not specific values).
+
+use std::ops::Range;
+
+/// Seedable generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Derive a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform sampling from a range (subset of `rand::distr` machinery).
+pub trait SampleRange<T> {
+    /// Sample uniformly from `self`.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// Raw 64-bit generator core.
+pub trait RngCore {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing convenience methods (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Sample uniformly from `range` (half-open, as in `rand 0.9`).
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// A uniformly random bool.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Multiply-shift rejection-free mapping is fine for the
+                // deterministic synthetic workloads this shim feeds.
+                let r = ((rng.next_u64() as u128) * span) >> 64;
+                (self.start as i128 + r as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample(self, rng: &mut dyn RngCore) -> f32 {
+        let unit = ((rng.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut dyn RngCore) -> f64 {
+        let unit = ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0i32..1000), b.random_range(0i32..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.random_range(10i32..20);
+            assert!((10..20).contains(&v));
+            let f = rng.random_range(-0.05f32..0.05);
+            assert!((-0.05..0.05).contains(&f));
+            let u = rng.random_range(0usize..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<i32> = (0..32).map(|_| a.random_range(0..1_000_000)).collect();
+        let vb: Vec<i32> = (0..32).map(|_| b.random_range(0..1_000_000)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn buckets_are_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut buckets = [0usize; 10];
+        for _ in 0..10_000 {
+            buckets[rng.random_range(0usize..10)] += 1;
+        }
+        assert!(buckets.iter().all(|&b| b > 700), "skewed: {buckets:?}");
+    }
+}

@@ -1,9 +1,7 @@
 //! Every codec × every framing through the full engine, plus corruption
 //! behaviour at the engine boundary.
 
-use scihadoop::compress::{
-    BzipCodec, Codec, CompressError, DeflateCodec, IdentityCodec, RleCodec,
-};
+use scihadoop::compress::{BzipCodec, Codec, CompressError, DeflateCodec, IdentityCodec, RleCodec};
 use scihadoop::core::transform::{TransformCodec, TransformConfig};
 use scihadoop::mapreduce::{
     Counter, Emit, FnMapper, FnReducer, Framing, InputSplit, Job, JobConfig, KvPair,
@@ -18,7 +16,9 @@ fn codecs() -> Vec<Arc<dyn Codec>> {
         Arc::new(DeflateCodec::new()),
         Arc::new(BzipCodec::with_level(1)),
         Arc::new(TransformCodec::with_defaults(Arc::new(DeflateCodec::new()))),
-        Arc::new(TransformCodec::with_defaults(Arc::new(BzipCodec::with_level(1)))),
+        Arc::new(TransformCodec::with_defaults(Arc::new(
+            BzipCodec::with_level(1),
+        ))),
         Arc::new(TransformCodec::new(
             TransformConfig::fixed(vec![12]),
             Arc::new(IdentityCodec),
@@ -30,8 +30,12 @@ fn run_count_job(codec: Arc<dyn Codec>, framing: Framing) -> HashMap<Vec<u8>, u6
     // Grid-walk shaped keys so compressing codecs have structure to find.
     let pairs: Vec<KvPair> = (0..600u32)
         .map(|i| {
-            let key: Vec<u8> = [(i / 100).to_be_bytes(), ((i / 10) % 10).to_be_bytes(), (i % 10).to_be_bytes()]
-                .concat();
+            let key: Vec<u8> = [
+                (i / 100).to_be_bytes(),
+                ((i / 10) % 10).to_be_bytes(),
+                (i % 10).to_be_bytes(),
+            ]
+            .concat();
             KvPair::new(key, vec![1u8])
         })
         .collect();
@@ -84,10 +88,7 @@ fn transform_codecs_decompress_each_others_rejections() {
     let b = TransformCodec::new(TransformConfig::adaptive(64), Arc::new(IdentityCodec));
     let data: Vec<u8> = (0..1000u32).flat_map(|i| i.to_be_bytes()).collect();
     let z = a.compress(&data);
-    assert!(matches!(
-        b.decompress(&z),
-        Err(CompressError::Corrupt(_))
-    ));
+    assert!(matches!(b.decompress(&z), Err(CompressError::Corrupt(_))));
     assert_eq!(a.decompress(&z).unwrap(), data);
 }
 
@@ -103,11 +104,9 @@ fn codec_throughput_counters_are_populated() {
     let reducer = Arc::new(FnReducer(
         |k: &[u8], _values: &[&[u8]], out: &mut dyn Emit| out.emit(k, b"done"),
     ));
-    let result = Job::new(
-        JobConfig::default().with_codec(Arc::new(DeflateCodec::new())),
-    )
-    .run(splits, mapper, reducer)
-    .unwrap();
+    let result = Job::new(JobConfig::default().with_codec(Arc::new(DeflateCodec::new())))
+        .run(splits, mapper, reducer)
+        .unwrap();
     assert!(result.stats.compress_nanos > 0);
     assert!(result.stats.decompress_nanos > 0);
     assert!(result.stats.spill_nanos > 0);

@@ -41,7 +41,9 @@ fn median_all_variants_agree_with_oracle() {
         ),
         (
             "aggregated",
-            SlidingMedianVariant::Aggregated { buffer_bytes: 1 << 20 },
+            SlidingMedianVariant::Aggregated {
+                buffer_bytes: 1 << 20,
+            },
         ),
     ];
     for (name, variant) in variants {
@@ -60,7 +62,9 @@ fn median_5x5_window_matches_oracle() {
     // Aggregated too (25 slots per cell).
     let mut q = SlidingMedian::new(
         layout(),
-        SlidingMedianVariant::Aggregated { buffer_bytes: 1 << 20 },
+        SlidingMedianVariant::Aggregated {
+            buffer_bytes: 1 << 20,
+        },
     );
     q.window = 5;
     let run = q.run(&var).unwrap();
@@ -73,9 +77,13 @@ fn median_3d_grid_matches_oracle() {
     let layout = KeyLayout::Indexed { index: 0, ndims: 3 };
     for variant in [
         SlidingMedianVariant::Plain,
-        SlidingMedianVariant::Aggregated { buffer_bytes: 1 << 20 },
+        SlidingMedianVariant::Aggregated {
+            buffer_bytes: 1 << 20,
+        },
     ] {
-        let run = SlidingMedian::new(layout.clone(), variant).run(&var).unwrap();
+        let run = SlidingMedian::new(layout.clone(), variant)
+            .run(&var)
+            .unwrap();
         assert_eq!(run.medians, oracle::sliding_median(&var, 3).unwrap());
     }
 }
@@ -111,7 +119,10 @@ fn named_keys_cost_more_than_indexed_keys() {
     .run(&var)
     .unwrap();
     let records = indexed.result.counters.get(Counter::MapOutputRecords);
-    assert_eq!(records, named.result.counters.get(Counter::MapOutputRecords));
+    assert_eq!(
+        records,
+        named.result.counters.get(Counter::MapOutputRecords)
+    );
     let delta = named.result.counters.get(Counter::MapOutputKeyBytes)
         - indexed.result.counters.get(Counter::MapOutputKeyBytes);
     // Indexed 2-D key: 4+8=12 B; named: 1+10+8=19 B; delta 7 B/record.
@@ -134,7 +145,9 @@ fn reducer_and_slot_counts_do_not_change_answers() {
     for (reducers, map_slots, splits) in [(1, 1, 1), (3, 2, 5), (7, 8, 13)] {
         for variant in [
             SlidingMedianVariant::Plain,
-            SlidingMedianVariant::Aggregated { buffer_bytes: 1 << 18 },
+            SlidingMedianVariant::Aggregated {
+                buffer_bytes: 1 << 18,
+            },
         ] {
             let mut q = SlidingMedian::new(layout(), variant);
             q.num_splits = splits;
@@ -187,7 +200,9 @@ fn aggregation_reduces_record_count_by_orders_of_magnitude() {
         .unwrap();
     let agg = SlidingMedian::new(
         layout(),
-        SlidingMedianVariant::Aggregated { buffer_bytes: 64 << 20 },
+        SlidingMedianVariant::Aggregated {
+            buffer_bytes: 64 << 20,
+        },
     )
     .run(&var)
     .unwrap();
@@ -208,21 +223,18 @@ fn aggregated_median_works_on_every_curve() {
     for curve in [CurveKind::ZOrder, CurveKind::Hilbert, CurveKind::RowMajor] {
         let mut q = SlidingMedian::new(
             layout(),
-            SlidingMedianVariant::Aggregated { buffer_bytes: 1 << 20 },
+            SlidingMedianVariant::Aggregated {
+                buffer_bytes: 1 << 20,
+            },
         );
         q.curve = curve;
         let run = q.run(&var).unwrap();
         assert_eq!(run.medians, expected, "curve {curve:?}");
-        key_bytes.push((
-            curve,
-            run.result.counters.get(Counter::MapOutputKeyBytes),
-        ));
+        key_bytes.push((curve, run.result.counters.get(Counter::MapOutputKeyBytes)));
     }
     // Hilbert must aggregate at least as well as Z-order on this workload
     // (Moon et al.; fewer runs → fewer aggregate keys → fewer key bytes).
-    let get = |k: scihadoop::queries::CurveKind| {
-        key_bytes.iter().find(|(c, _)| *c == k).unwrap().1
-    };
+    let get = |k: scihadoop::queries::CurveKind| key_bytes.iter().find(|(c, _)| *c == k).unwrap().1;
     assert!(
         get(CurveKind::Hilbert) <= get(CurveKind::ZOrder),
         "hilbert {} vs z-order {}",

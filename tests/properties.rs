@@ -9,9 +9,7 @@ use scihadoop::core::aggregate::{
 };
 use scihadoop::core::transform::{StridePredictor, TransformConfig};
 use scihadoop::grid::Coord;
-use scihadoop::mapreduce::{
-    Emit, FnMapper, FnReducer, InputSplit, Job, JobConfig, KvPair,
-};
+use scihadoop::mapreduce::{Emit, FnMapper, FnReducer, InputSplit, Job, JobConfig, KvPair};
 use scihadoop::sfc::{Curve, CurveRun, HilbertCurve, RowMajorCurve, ZOrderCurve};
 use std::collections::HashMap;
 use std::sync::Arc;
