@@ -1,0 +1,257 @@
+//! Tracing-overhead benchmark: the shuffle hot paths (arena spill,
+//! streaming merge) with and without an attached [`Recorder`].
+//!
+//! The untraced runs hit the compiled-in hooks with no thread
+//! attachment, so each hook is a thread-local read that misses; the
+//! traced runs attach a recorder and additionally wrap every iteration
+//! in a span. The observability budget is ≤3 % overhead traced and
+//! ~0 untraced.
+//!
+//! Run with `cargo bench --bench bench_obs_overhead`. Set
+//! `BENCH_OBS_JSON=<path>` to also write the measurements and overhead
+//! percentages as JSON — `BENCH_obs.json` at the repo root is a
+//! committed baseline from this machine.
+
+use criterion::{black_box, Criterion, Throughput};
+use scihadoop_compress::IdentityCodec;
+use scihadoop_mapreduce::obs::Recorder;
+use scihadoop_mapreduce::{
+    span, DefaultKeySemantics, Framing, IFileWriter, KeySemantics, KvPair, MergeStream, Phase,
+    RawSegment, SpillArena,
+};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Map-output-shaped records, as in bench_shuffle_hotpath.
+fn grid_pairs(n: u32) -> Vec<KvPair> {
+    (0..n)
+        .flat_map(|x| (0..n).map(move |y| (x, y)))
+        .map(|(x, y)| {
+            let key: Vec<u8> = [x.to_be_bytes(), y.to_be_bytes()].concat();
+            KvPair::new(key, (x ^ y).to_be_bytes().to_vec())
+        })
+        .collect()
+}
+
+/// One arena sort-and-spill pass over `pairs`.
+fn spill_once(pairs: &[KvPair], codec: &Arc<dyn scihadoop_compress::Codec>) -> u64 {
+    let ks = DefaultKeySemantics;
+    let mut arena = SpillArena::new(1);
+    for p in pairs {
+        arena.append(0, &p.key, &p.value);
+    }
+    arena.sort_partition(0, &ks);
+    let mut w = IFileWriter::new(Framing::IFile, codec.clone());
+    for (k, v) in arena.pairs(0) {
+        w.append(k, v);
+    }
+    w.close().raw_bytes
+}
+
+/// One streaming k-way merge + grouping pass over sealed segments.
+fn merge_once(segments: &[Vec<u8>]) -> u64 {
+    let ks = DefaultKeySemantics;
+    let raws: Vec<RawSegment> = segments
+        .iter()
+        .map(|s| RawSegment::open(s, &IdentityCodec).unwrap())
+        .collect();
+    let mut stream = MergeStream::new(&raws, &ks).unwrap();
+    let mut acc = 0u64;
+    let mut group_key: Option<&[u8]> = None;
+    let mut group_len = 0u64;
+    while let Some((key, _value)) = stream.next().unwrap() {
+        match group_key {
+            Some(gk) if ks.group_eq(gk, key) => group_len += 1,
+            _ => {
+                acc += group_len;
+                group_key = Some(key);
+                group_len = 1;
+            }
+        }
+    }
+    acc + group_len
+}
+
+fn bench_spill(c: &mut Criterion) {
+    let pairs = grid_pairs(100); // 10,000 records
+    let codec: Arc<dyn scihadoop_compress::Codec> = Arc::new(IdentityCodec);
+
+    let mut group = c.benchmark_group("obs_map_sort_spill");
+    group.throughput(Throughput::Elements(pairs.len() as u64));
+    group.sample_size(20);
+
+    group.bench_function("untraced", |b| {
+        b.iter(|| black_box(spill_once(&pairs, &codec)))
+    });
+    group.bench_function("traced", |b| {
+        let recorder = Recorder::new();
+        let _att = recorder.attach("bench-spill");
+        b.iter(|| {
+            let _span = span!(Phase::SortSpill, 0);
+            black_box(spill_once(&pairs, &codec))
+        })
+    });
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let ks = DefaultKeySemantics;
+    let codec: Arc<dyn scihadoop_compress::Codec> = Arc::new(IdentityCodec);
+
+    // 8 sorted runs of 2,500 records each, sealed as segments.
+    let mut segments = Vec::new();
+    let mut total = 0u64;
+    for r in 0..8u32 {
+        let mut run = grid_pairs(50);
+        for (i, p) in run.iter_mut().enumerate() {
+            p.key[0] = ((i as u32 * 7 + r) % 13) as u8;
+        }
+        run.sort_by(|a, b| ks.compare(&a.key, &b.key));
+        total += run.len() as u64;
+        let mut w = IFileWriter::new(Framing::IFile, codec.clone());
+        for p in &run {
+            w.append_pair(p);
+        }
+        segments.push(w.close().data);
+    }
+
+    let mut group = c.benchmark_group("obs_merge_reduce");
+    group.throughput(Throughput::Elements(total));
+    group.sample_size(20);
+
+    group.bench_function("untraced", |b| b.iter(|| black_box(merge_once(&segments))));
+    group.bench_function("traced", |b| {
+        let recorder = Recorder::new();
+        let _att = recorder.attach("bench-merge");
+        b.iter(|| {
+            let _span = span!(Phase::Merge, 0);
+            black_box(merge_once(&segments))
+        })
+    });
+    group.finish();
+}
+
+/// Tracing overhead in percent, measured by *interleaving* untraced and
+/// traced batches and taking the median of per-round time ratios — slow
+/// machine-load drift hits both sides of each round equally, so it
+/// cancels, unlike comparing two sequential criterion runs. Both
+/// closures receive the batch size and run the whole batch (the traced
+/// one attaches its recorder once per batch, matching the engine, where
+/// a worker attaches once per slot and then runs many tasks).
+fn paired_overhead_percent(
+    mut untraced_once: impl FnMut(),
+    mut traced_batch: impl FnMut(usize),
+    rounds: usize,
+) -> f64 {
+    // Warm up and size batches for ~10 ms per side per round.
+    untraced_once();
+    let t0 = Instant::now();
+    untraced_once();
+    let once = t0.elapsed().max(std::time::Duration::from_nanos(20));
+    let batch = (10_000_000 / once.as_nanos().max(1)).clamp(1, 10_000) as usize;
+
+    let mut time_untraced = || {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            untraced_once();
+        }
+        t0.elapsed().as_nanos().max(1)
+    };
+    let mut ratios = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        // Alternate the order within each round so first-runner effects
+        // (allocator warmth, cache state) cancel across rounds too.
+        let (u, t) = if round % 2 == 0 {
+            let u = time_untraced();
+            let t0 = Instant::now();
+            traced_batch(batch);
+            (u, t0.elapsed().as_nanos().max(1))
+        } else {
+            let t0 = Instant::now();
+            traced_batch(batch);
+            let t = t0.elapsed().as_nanos().max(1);
+            (time_untraced(), t)
+        };
+        ratios.push(t as f64 / u as f64);
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    (ratios[ratios.len() / 2] - 1.0) * 100.0
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_spill(&mut criterion);
+    bench_merge(&mut criterion);
+
+    // Paired, interleaved overhead measurement (the headline numbers;
+    // the criterion medians above are sequential and drift-prone).
+    let codec: Arc<dyn scihadoop_compress::Codec> = Arc::new(IdentityCodec);
+    let pairs = grid_pairs(100);
+    let ks = DefaultKeySemantics;
+    let mut segments = Vec::new();
+    for r in 0..8u32 {
+        let mut run = grid_pairs(50);
+        for (i, p) in run.iter_mut().enumerate() {
+            p.key[0] = ((i as u32 * 7 + r) % 13) as u8;
+        }
+        run.sort_by(|a, b| ks.compare(&a.key, &b.key));
+        let mut w = IFileWriter::new(Framing::IFile, codec.clone());
+        for p in &run {
+            w.append_pair(p);
+        }
+        segments.push(w.close().data);
+    }
+
+    let recorder = Recorder::new();
+    let spill_overhead = paired_overhead_percent(
+        || {
+            black_box(spill_once(&pairs, &codec));
+        },
+        |batch| {
+            let _att = recorder.attach("paired-spill");
+            for task in 0..batch {
+                let _span = span!(Phase::SortSpill, task);
+                black_box(spill_once(&pairs, &codec));
+            }
+        },
+        15,
+    );
+    let merge_overhead = paired_overhead_percent(
+        || {
+            black_box(merge_once(&segments));
+        },
+        |batch| {
+            let _att = recorder.attach("paired-merge");
+            for task in 0..batch {
+                let _span = span!(Phase::Merge, task);
+                black_box(merge_once(&segments));
+            }
+        },
+        15,
+    );
+    println!("\nmap-sort-spill tracing overhead: {spill_overhead:+.2}%");
+    println!("merge-reduce tracing overhead:   {merge_overhead:+.2}%");
+
+    if let Ok(path) = std::env::var("BENCH_OBS_JSON") {
+        let mut json = String::from("{\n  \"benchmarks\": [\n");
+        for (i, m) in criterion.measurements.iter().enumerate() {
+            let sep = if i + 1 < criterion.measurements.len() {
+                ","
+            } else {
+                ""
+            };
+            json.push_str(&format!(
+                "    {{\"id\": \"{}\", \"median_ns\": {:.0}, \"records_per_s\": {:.0}}}{}\n",
+                m.id,
+                m.median_ns,
+                m.per_second().unwrap_or(0.0),
+                sep
+            ));
+        }
+        json.push_str(&format!(
+            "  ],\n  \"map_sort_spill_overhead_percent\": {spill_overhead:.2},\n  \"merge_reduce_overhead_percent\": {merge_overhead:.2}\n}}\n"
+        ));
+        std::fs::write(&path, json).expect("write bench json");
+        println!("wrote {path}");
+    }
+}

@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [EXPERIMENT] [--small]
+//! repro [EXPERIMENT] [--small] [--trace <path>] [--metrics <path>]
 //!
 //! EXPERIMENT:
 //!   intro      §I intermediate-file overhead numbers
@@ -10,6 +10,7 @@
 //!   fig4       transform time vs file size
 //!   fig8       key aggregation data-size breakdown
 //!   cluster    §III-E / §IV-D simulated cluster runs
+//!   trace      traced pipeline: per-stage spans + histogram breakdowns
 //!   curves     §IV-A curve ablation
 //!   flush      §IV-A flush-threshold ablation
 //!   align      §IV-C alignment ablation
@@ -20,6 +21,11 @@
 //!   all        everything above (default)
 //!
 //! --small runs reduced problem sizes (CI-friendly).
+//! --trace <path> writes the traced pipeline's span timeline as Chrome
+//!   trace_event JSON (open in about:tracing / Perfetto); --metrics
+//!   <path> writes the self-describing JSON metrics report (counters,
+//!   histograms, derived byte breakdowns). Either flag implies the
+//!   `trace` experiment.
 //! ```
 
 use scihadoop_bench as bench;
@@ -33,6 +39,8 @@ struct Sizes {
     fig8_n: u32,
     cluster_n: u32,
     cluster_splits: usize,
+    trace_n: u32,
+    trace_records: usize,
     flush_n: u32,
     splits_n: u32,
     tuning_n: u32,
@@ -50,6 +58,8 @@ impl Sizes {
             fig8_n: 100,
             cluster_n: 192,
             cluster_splits: 20,
+            trace_n: 64,
+            trace_records: 5_000,
             flush_n: 64,
             splits_n: 64,
             tuning_n: 50,
@@ -67,6 +77,8 @@ impl Sizes {
             fig8_n: 24,
             cluster_n: 48,
             cluster_splits: 8,
+            trace_n: 24,
+            trace_records: 600,
             flush_n: 24,
             splits_n: 24,
             tuning_n: 16,
@@ -78,11 +90,40 @@ impl Sizes {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let small = args.iter().any(|a| a == "--small");
-    let which = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "all".to_string());
+    let flag_value = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .map(|i| {
+                args.get(i + 1).unwrap_or_else(|| {
+                    eprintln!("{name} requires a path argument");
+                    std::process::exit(2);
+                })
+            })
+            .cloned()
+    };
+    let trace_path = flag_value("--trace");
+    let metrics_path = flag_value("--metrics");
+    // Positional experiment name: skip flags and their path values. With
+    // only --trace/--metrics given, default to the trace experiment
+    // rather than the full suite.
+    let mut which = if trace_path.is_some() || metrics_path.is_some() {
+        "trace".to_string()
+    } else {
+        "all".to_string()
+    };
+    let mut skip_next = false;
+    for a in &args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--trace" || a == "--metrics" {
+            skip_next = true;
+        } else if !a.starts_with("--") {
+            which = a.clone();
+            break;
+        }
+    }
     let s = if small { Sizes::small() } else { Sizes::full() };
 
     let run = |name: &str| which == "all" || which == name;
@@ -118,6 +159,21 @@ fn main() {
                 .0
                 .render()
         );
+        ran = true;
+    }
+    if run("trace") || trace_path.is_some() || metrics_path.is_some() {
+        let (table, trace, counters) = bench::traced_pipeline(s.trace_n, s.trace_records);
+        println!("{}", table.render());
+        if let Some(path) = &trace_path {
+            let json = scihadoop_mapreduce::obs::chrome_trace_json(&trace);
+            std::fs::write(path, json).expect("write chrome trace");
+            println!("wrote chrome trace to {path}");
+        }
+        if let Some(path) = &metrics_path {
+            let json = scihadoop_mapreduce::obs::metrics_json(&trace, &counters);
+            std::fs::write(path, json).expect("write metrics report");
+            println!("wrote metrics report to {path}");
+        }
         ran = true;
     }
     if run("curves") {

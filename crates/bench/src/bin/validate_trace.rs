@@ -1,0 +1,154 @@
+//! `validate_trace` — sanity-check the files written by
+//! `repro --trace <path> --metrics <path>`.
+//!
+//! ```text
+//! validate_trace <trace.json> <metrics.json>
+//! ```
+//!
+//! Verifies, with the in-tree JSON parser (no external deps):
+//!
+//! * both files are well-formed JSON;
+//! * the Chrome trace contains complete ("X") span events for **all
+//!   eight** pipeline stages, with non-negative timestamps/durations,
+//!   plus thread-name metadata;
+//! * the metrics report carries the expected schema tag, a clock
+//!   designator, per-phase span rollups, and counters;
+//! * the derived intermediate breakdown in the metrics report equals
+//!   the exported counters **exactly** (the reconciliation the obs
+//!   layer promises).
+//!
+//! Exits 0 when every check passes, 1 otherwise (printing each failure).
+
+use scihadoop_bench::json::{self, Json};
+use scihadoop_mapreduce::obs::{ALL_PHASES, METRICS_SCHEMA};
+
+fn check_trace(doc: &Json, errs: &mut Vec<String>) {
+    let events = match doc.get("traceEvents").and_then(|e| e.as_arr()) {
+        Some(events) => events,
+        None => {
+            errs.push("trace: missing traceEvents array".into());
+            return;
+        }
+    };
+    let mut span_names: Vec<&str> = Vec::new();
+    let mut thread_names = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev.get("ph").and_then(|p| p.as_str()).unwrap_or("");
+        match ph {
+            "X" => {
+                match ev.get("name").and_then(|n| n.as_str()) {
+                    Some(name) => span_names.push(name),
+                    None => errs.push(format!("trace: event {i} has no name")),
+                }
+                for field in ["ts", "dur"] {
+                    match ev.get(field).and_then(|v| v.as_f64()) {
+                        Some(v) if v >= 0.0 => {}
+                        _ => errs.push(format!("trace: event {i} has bad {field}")),
+                    }
+                }
+            }
+            "M" => {
+                if ev.get("name").and_then(|n| n.as_str()) == Some("thread_name") {
+                    thread_names += 1;
+                }
+            }
+            "i" | "" => {}
+            other => errs.push(format!("trace: event {i} has unknown ph {other:?}")),
+        }
+    }
+    for phase in ALL_PHASES {
+        if !span_names.contains(&phase.name()) {
+            errs.push(format!("trace: no span events for stage {}", phase.name()));
+        }
+    }
+    if thread_names == 0 {
+        errs.push("trace: no thread_name metadata events".into());
+    }
+}
+
+fn check_metrics(doc: &Json, errs: &mut Vec<String>) {
+    if doc.get("schema").and_then(|s| s.as_str()) != Some(METRICS_SCHEMA) {
+        errs.push(format!("metrics: schema tag is not {METRICS_SCHEMA:?}"));
+    }
+    match doc.get("clock").and_then(|c| c.as_str()) {
+        Some("thread_cpu" | "wall") => {}
+        other => errs.push(format!("metrics: bad clock designator {other:?}")),
+    }
+    for phase in ALL_PHASES {
+        let count = doc
+            .get_path(&["spans", phase.name(), "count"])
+            .and_then(|c| c.as_u64());
+        match count {
+            Some(n) if n > 0 => {}
+            _ => errs.push(format!(
+                "metrics: no span rollup for stage {}",
+                phase.name()
+            )),
+        }
+    }
+    let counter = |name: &str| doc.get_path(&["counters", name]).and_then(|v| v.as_u64());
+    let derived = |name: &str| {
+        doc.get_path(&["derived", "intermediate_breakdown", name])
+            .and_then(|v| v.as_u64())
+    };
+    // The reconciliation promise: histogram-derived bytes == counters.
+    for (derived_field, counter_name) in [
+        ("segments", "map_output_segments"),
+        ("key_bytes", "map_output_key_bytes"),
+        ("value_bytes", "map_output_value_bytes"),
+        ("framing_bytes", "map_output_framing_bytes"),
+        ("raw_bytes", "map_output_bytes"),
+        ("materialized_bytes", "map_output_materialized_bytes"),
+    ] {
+        match (derived(derived_field), counter(counter_name)) {
+            (Some(d), Some(c)) if d == c => {}
+            (d, c) => errs.push(format!(
+                "metrics: derived {derived_field} ({d:?}) != counter {counter_name} ({c:?})"
+            )),
+        }
+    }
+    if counter("map_output_bytes") == Some(0) {
+        errs.push("metrics: counters recorded no map output".into());
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (trace_path, metrics_path) = match args.as_slice() {
+        [t, m] => (t, m),
+        _ => {
+            eprintln!("usage: validate_trace <trace.json> <metrics.json>");
+            std::process::exit(2);
+        }
+    };
+
+    let mut errs: Vec<String> = Vec::new();
+    for (label, path, check) in [
+        (
+            "trace",
+            trace_path,
+            check_trace as fn(&Json, &mut Vec<String>),
+        ),
+        ("metrics", metrics_path, check_metrics),
+    ] {
+        match std::fs::read_to_string(path) {
+            Ok(text) => match json::parse(&text) {
+                Ok(doc) => check(&doc, &mut errs),
+                Err(e) => errs.push(format!("{label}: {e}")),
+            },
+            Err(e) => errs.push(format!("{label}: cannot read {path}: {e}")),
+        }
+    }
+
+    if errs.is_empty() {
+        println!(
+            "ok: trace covers all {} stages and metrics reconcile",
+            ALL_PHASES.len()
+        );
+    } else {
+        for e in &errs {
+            eprintln!("FAIL {e}");
+        }
+        std::process::exit(1);
+    }
+}

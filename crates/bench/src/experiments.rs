@@ -7,7 +7,11 @@ use scihadoop_compress::{BzipCodec, Codec, DeflateCodec, IdentityCodec};
 use scihadoop_core::aggregate::{expand_record, overlapping_pairs, padding_overhead, Aggregator};
 use scihadoop_core::transform::{self, TransformCodec, TransformConfig};
 use scihadoop_grid::{BoundingBox, Coord, GridError, Shape};
-use scihadoop_mapreduce::{Counter, Framing, IFileWriter, JobConfig, JobStats};
+use scihadoop_mapreduce::obs::{self, IntermediateBreakdown, Recorder, ALL_PHASES};
+use scihadoop_mapreduce::record::{Emit, FnMapper, FnReducer, InputSplit};
+use scihadoop_mapreduce::{
+    Counter, CounterSnapshot, Framing, IFileWriter, Job, JobConfig, JobStats, KvPair, Trace,
+};
 use scihadoop_queries::{
     median::{MedianRun, SlidingMedian, SlidingMedianVariant},
     KeyLayout,
@@ -240,6 +244,37 @@ impl Fig8Bar {
     pub fn total(&self) -> u64 {
         self.values + self.keys + self.overhead
     }
+
+    /// Build a bar from a histogram-derived breakdown. "File overhead"
+    /// is everything that is neither key nor value payload: per-record
+    /// framing plus the per-segment header.
+    fn from_breakdown(b: &IntermediateBreakdown) -> Fig8Bar {
+        Fig8Bar {
+            values: b.value_bytes,
+            keys: b.key_bytes,
+            overhead: b.framing_bytes + b.header_bytes,
+        }
+    }
+}
+
+/// Derive one standalone segment's byte breakdown through the
+/// observability layer's reporting pass — the same
+/// [`obs::observe_segment`] → histogram → [`IntermediateBreakdown`]
+/// path the engine uses per final map-output segment — instead of
+/// ad-hoc field arithmetic.
+fn segment_breakdown(seg: &scihadoop_mapreduce::ifile::Segment) -> IntermediateBreakdown {
+    let rec = Recorder::new();
+    {
+        let _att = rec.attach("experiment");
+        obs::observe_segment(
+            seg.key_bytes,
+            seg.value_bytes,
+            seg.framing_bytes(),
+            seg.raw_bytes,
+            seg.materialized_bytes(),
+        );
+    }
+    IntermediateBreakdown::from_trace(&rec.finish())
 }
 
 /// Fig. 8: effect of key aggregation on total data size for an n³ grid of
@@ -270,11 +305,7 @@ pub fn fig8(n: u32, mappers: &[usize]) -> (Table, Vec<(String, Fig8Bar)>) {
         let seg = w.close();
         bars.push((
             "original".into(),
-            Fig8Bar {
-                values: seg.value_bytes,
-                keys: seg.key_bytes,
-                overhead: seg.framing_bytes(),
-            },
+            Fig8Bar::from_breakdown(&segment_breakdown(&seg)),
         ));
     }
 
@@ -309,14 +340,7 @@ pub fn fig8(n: u32, mappers: &[usize]) -> (Table, Vec<(String, Fig8Bar)>) {
             } else {
                 format!("aggregated ({m} mappers, {orient})")
             };
-            bars.push((
-                label,
-                Fig8Bar {
-                    values: seg.value_bytes,
-                    keys: seg.key_bytes,
-                    overhead: seg.framing_bytes(),
-                },
-            ));
+            bars.push((label, Fig8Bar::from_breakdown(&segment_breakdown(&seg))));
         }
     }
 
@@ -488,6 +512,126 @@ pub fn cluster_experiment(n: u32, splits: usize) -> (Table, Vec<ClusterRow>) {
     table.note("paper: → aggregation 21.8 GB (−60.7%)/131 min (−28.5%)");
     table.note("shape target: transform shrinks data but slows runtime; aggregation shrinks both");
     (table, rows)
+}
+
+/// Sum reducer/combiner shared by the traced-pipeline wordcount: values
+/// are either raw 1-byte counts or 8-byte big-endian partial sums from a
+/// previous combine pass.
+fn sum_values(k: &[u8], values: &[&[u8]], out: &mut dyn Emit) {
+    let total: u64 = values
+        .iter()
+        .map(|v| {
+            if v.len() == 1 {
+                v[0] as u64
+            } else {
+                u64::from_be_bytes((*v).try_into().expect("8-byte partial sum"))
+            }
+        })
+        .sum();
+    out.emit(k, &total.to_be_bytes());
+}
+
+/// Observability tentpole: run two traced jobs against one shared
+/// [`Recorder`] and re-derive the paper's Table I (key vs value bytes)
+/// and Table II (materialized bytes) views from the recorded histograms,
+/// reconciling them *exactly* against the merged job counters.
+///
+/// Job 1 is a combiner-equipped, multi-spill wordcount — it exercises
+/// map emit, sort/spill, combine, IFile write, map-side merge, shuffle
+/// fetch, reduce merge and grouping. Job 2 is the aggregated
+/// sliding-median query, whose aggregate key semantics keep sort-splits
+/// enabled — it exercises the windowed sort-split stage. Between them
+/// every pipeline phase records spans.
+pub fn traced_pipeline(n: u32, records: usize) -> (Table, Trace, CounterSnapshot) {
+    let recorder = Recorder::new();
+
+    // Job 1: wordcount with a combiner and a tiny spill buffer (forces
+    // several spills per map task, hence a map-side merge).
+    let counters_a = {
+        let words: Vec<String> = (0..records)
+            .map(|i| format!("word-{:04}", i % 60))
+            .collect();
+        let splits: Vec<InputSplit> = words
+            .chunks(128)
+            .map(|chunk| {
+                InputSplit::new(
+                    chunk
+                        .iter()
+                        .map(|w| KvPair::new(w.as_bytes().to_vec(), vec![1u8]))
+                        .collect(),
+                )
+            })
+            .collect();
+        let config = JobConfig::default()
+            .with_reducers(3)
+            .with_slots(2, 2)
+            .with_combiner(Arc::new(FnReducer(sum_values)))
+            .with_spill_buffer(1 << 10)
+            .with_framing(Framing::IFile)
+            .with_recorder(recorder.clone());
+        let mapper = Arc::new(FnMapper(|k: &[u8], v: &[u8], out: &mut dyn Emit| {
+            out.emit(k, v)
+        }));
+        Job::new(config)
+            .run(splits, mapper, Arc::new(FnReducer(sum_values)))
+            .expect("wordcount runs")
+            .counters
+    };
+
+    // Job 2: aggregated sliding median; its key semantics keep the
+    // engine's conservative sort-split window engaged.
+    let counters_b = {
+        let var = workloads::int_square(n, 11);
+        let mut q = SlidingMedian::new(
+            KeyLayout::Indexed { index: 0, ndims: 2 },
+            SlidingMedianVariant::Aggregated {
+                buffer_bytes: 64 << 20,
+            },
+        );
+        q.base_config = JobConfig::default()
+            .with_reducers(3)
+            .with_recorder(recorder.clone());
+        q.run(&var).expect("query runs").result.counters
+    };
+
+    let counters = counters_a.merge(&counters_b);
+    let trace = recorder.finish();
+    let breakdown = IntermediateBreakdown::from_trace(&trace);
+    breakdown
+        .reconcile(&counters)
+        .expect("histogram-derived breakdown must equal the job counters");
+
+    let mut table = Table::new(
+        &format!("observability: traced wordcount + aggregated median ({records} records, {n}²)"),
+        &["stage", "spans", "wall", "cpu"],
+    );
+    for phase in ALL_PHASES {
+        table.row(&[
+            phase.name().into(),
+            format!("{}", trace.span_count(phase)),
+            fmt_secs(trace.phase_wall_nanos(phase) as f64 / 1e9),
+            fmt_secs(trace.phase_cpu_nanos(phase) as f64 / 1e9),
+        ]);
+    }
+    table.note(&format!(
+        "Table I view: keys {} / values {} / framing+header {} (key fraction {:.1}%)",
+        fmt_bytes(breakdown.key_bytes),
+        fmt_bytes(breakdown.value_bytes),
+        fmt_bytes(breakdown.framing_bytes + breakdown.header_bytes),
+        100.0 * breakdown.key_fraction(),
+    ));
+    table.note(&format!(
+        "Table II view: materialized {} of {} raw across {} segments ({:.1}%)",
+        fmt_bytes(breakdown.materialized_bytes),
+        fmt_bytes(breakdown.raw_bytes),
+        breakdown.segments,
+        100.0 * breakdown.materialized_ratio(),
+    ));
+    table.note("all byte rows re-derived from histograms and reconciled exactly against counters");
+    if !trace.warnings.is_empty() {
+        table.note(&format!("trace warnings: {:?}", trace.warnings));
+    }
+    (table, trace, counters)
 }
 
 /// §IV-A curve ablation: clustering quality (runs per query box) and
@@ -922,6 +1066,22 @@ mod tests {
                 "coalescing should merge cross-mapper fragments: {coalesced} vs {before}"
             );
         }
+    }
+
+    #[test]
+    fn traced_pipeline_covers_all_phases_and_reconciles() {
+        // reconcile() already asserts histogram/counter agreement inside.
+        let (table, trace, counters) = traced_pipeline(24, 400);
+        for phase in ALL_PHASES {
+            assert!(
+                trace.span_count(phase) > 0,
+                "no spans for {:?}\n{}",
+                phase,
+                table.render()
+            );
+        }
+        assert!(counters.get(Counter::MapOutputBytes) > 0);
+        assert_eq!(trace.dropped_events, 0);
     }
 
     #[test]

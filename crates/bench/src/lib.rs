@@ -5,6 +5,7 @@
 //! benches time. All workloads are deterministic (seeded).
 
 pub mod experiments;
+pub mod json;
 pub mod report;
 pub mod workloads;
 

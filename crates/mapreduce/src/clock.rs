@@ -14,6 +14,21 @@
 //! On Linux this reads `CLOCK_THREAD_CPUTIME_ID` through a raw
 //! `clock_gettime` syscall (no libc dependency); elsewhere it falls back
 //! to a process-wide monotonic clock, i.e. the old wall-clock behaviour.
+//!
+//! # Fallback semantics
+//!
+//! The fallback fires in two cases: (a) the build targets something
+//! other than Linux x86_64/aarch64, so the syscall path is compiled out
+//! entirely; (b) the syscall path is compiled in but `clock_gettime`
+//! returns nonzero at runtime (e.g. an emulator or seccomp filter that
+//! rejects it). In either case every "CPU nanos" figure silently
+//! becomes *wall* nanos from a process-wide monotonic epoch: readings
+//! still only make sense as same-thread differences, sleeping is no
+//! longer free, and a busy sibling thread inflates measurements.
+//! Downstream consumers can detect this via [`clock_kind`] — the
+//! tracing recorder emits a one-time warning into the trace when it
+//! sees [`ClockKind::Wall`] so exported profiles are not mistaken for
+//! CPU-attributed ones.
 
 /// Nanoseconds of CPU time consumed by the calling thread so far.
 ///
@@ -85,6 +100,55 @@ pub fn since(t0: u64) -> u64 {
     thread_cpu_nanos().saturating_sub(t0)
 }
 
+/// What [`thread_cpu_nanos`] actually measures on this host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockKind {
+    /// Real per-thread CPU time (`CLOCK_THREAD_CPUTIME_ID`).
+    ThreadCpu,
+    /// Wall-clock fallback: blocked time is charged, sibling threads
+    /// interfere. Phase CPU figures are upper bounds only.
+    Wall,
+}
+
+/// Probe (once) which clock [`thread_cpu_nanos`] is backed by at
+/// runtime. On fallback builds this is statically [`ClockKind::Wall`];
+/// on Linux it verifies the syscall actually succeeds, since a rejected
+/// syscall degrades to the wall clock silently.
+pub fn clock_kind() -> ClockKind {
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    {
+        use std::sync::OnceLock;
+        static KIND: OnceLock<ClockKind> = OnceLock::new();
+        *KIND.get_or_init(|| {
+            // The syscall path falls back on error, so distinguish the
+            // two by behaviour: a successful thread-CPU reading while
+            // this thread has burned almost no CPU sits far below the
+            // process-wide fallback epoch after any real work has run.
+            // Cheaper and more direct: re-issue the probe the same way
+            // thread_cpu_nanos does and trust its error handling by
+            // checking that sleeping does not advance the reading.
+            let t0 = thread_cpu_nanos();
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            let advanced = thread_cpu_nanos().saturating_sub(t0);
+            if advanced < 1_000_000 {
+                ClockKind::ThreadCpu
+            } else {
+                ClockKind::Wall
+            }
+        })
+    }
+    #[cfg(not(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    )))]
+    {
+        ClockKind::Wall
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,6 +173,18 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(30));
         let spent = since(t0);
         assert!(spent < 10_000_000, "sleep charged {spent} ns of CPU time");
+    }
+
+    #[test]
+    fn clock_kind_is_stable_and_truthful() {
+        let kind = clock_kind();
+        assert_eq!(kind, clock_kind(), "probe result must be cached");
+        if kind == ClockKind::ThreadCpu {
+            // If we claim a CPU clock, sleeping must be (nearly) free.
+            let t0 = thread_cpu_nanos();
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert!(since(t0) < 10_000_000);
+        }
     }
 
     #[test]

@@ -62,10 +62,75 @@ pub enum Counter {
     /// Nanoseconds spent merging, splitting and grouping at reducers
     /// (reduce-side per-record pipeline cost).
     MergeNanos,
+    /// Final map-output segments produced (one per reducer partition per
+    /// map task, after spill merging). Each carries a fixed file header,
+    /// which is why `MapOutputBytes` exceeds keys + values + framing by
+    /// exactly `header * MapOutputSegments`.
+    MapOutputSegments,
 }
 
 /// Number of counter slots.
-pub const NUM_COUNTERS: usize = Counter::MergeNanos as usize + 1;
+pub const NUM_COUNTERS: usize = Counter::MapOutputSegments as usize + 1;
+
+/// Every counter, in declaration order — for reports and exporters.
+pub const ALL_COUNTERS: [Counter; NUM_COUNTERS] = [
+    Counter::MapInputRecords,
+    Counter::MapOutputRecords,
+    Counter::MapOutputBytes,
+    Counter::MapOutputMaterializedBytes,
+    Counter::MapOutputKeyBytes,
+    Counter::MapOutputValueBytes,
+    Counter::MapOutputFramingBytes,
+    Counter::CombineInputRecords,
+    Counter::CombineOutputRecords,
+    Counter::Spills,
+    Counter::ShuffleBytes,
+    Counter::ReduceInputRecords,
+    Counter::ReduceInputGroups,
+    Counter::ReduceOutputRecords,
+    Counter::ReduceOutputBytes,
+    Counter::RouteSplitRecords,
+    Counter::SortSplitRecords,
+    Counter::CompressNanos,
+    Counter::DecompressNanos,
+    Counter::MapFnNanos,
+    Counter::ReduceFnNanos,
+    Counter::SpillNanos,
+    Counter::MergeNanos,
+    Counter::MapOutputSegments,
+];
+
+impl Counter {
+    /// Stable snake-case name, used as the JSON key in metrics reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::MapInputRecords => "map_input_records",
+            Counter::MapOutputRecords => "map_output_records",
+            Counter::MapOutputBytes => "map_output_bytes",
+            Counter::MapOutputMaterializedBytes => "map_output_materialized_bytes",
+            Counter::MapOutputKeyBytes => "map_output_key_bytes",
+            Counter::MapOutputValueBytes => "map_output_value_bytes",
+            Counter::MapOutputFramingBytes => "map_output_framing_bytes",
+            Counter::CombineInputRecords => "combine_input_records",
+            Counter::CombineOutputRecords => "combine_output_records",
+            Counter::Spills => "spills",
+            Counter::ShuffleBytes => "shuffle_bytes",
+            Counter::ReduceInputRecords => "reduce_input_records",
+            Counter::ReduceInputGroups => "reduce_input_groups",
+            Counter::ReduceOutputRecords => "reduce_output_records",
+            Counter::ReduceOutputBytes => "reduce_output_bytes",
+            Counter::RouteSplitRecords => "route_split_records",
+            Counter::SortSplitRecords => "sort_split_records",
+            Counter::CompressNanos => "compress_nanos",
+            Counter::DecompressNanos => "decompress_nanos",
+            Counter::MapFnNanos => "map_fn_nanos",
+            Counter::ReduceFnNanos => "reduce_fn_nanos",
+            Counter::SpillNanos => "spill_nanos",
+            Counter::MergeNanos => "merge_nanos",
+            Counter::MapOutputSegments => "map_output_segments",
+        }
+    }
+}
 
 /// Lock-free counter bank, shared across tasks.
 #[derive(Debug, Default)]
@@ -119,6 +184,73 @@ impl CounterSnapshot {
         }
         self.get(Counter::MapOutputMaterializedBytes) as f64 / raw as f64
     }
+
+    /// Per-counter difference `self - earlier` (saturating), e.g. to
+    /// isolate one job's contribution to a shared bank.
+    pub fn diff(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        let mut values = [0u64; NUM_COUNTERS];
+        for (i, v) in values.iter_mut().enumerate() {
+            *v = self.values[i].saturating_sub(earlier.values[i]);
+        }
+        CounterSnapshot { values }
+    }
+
+    /// Per-counter sum of two snapshots, e.g. to aggregate a multi-job
+    /// run into one report.
+    pub fn merge(&self, other: &CounterSnapshot) -> CounterSnapshot {
+        let mut values = [0u64; NUM_COUNTERS];
+        for (i, v) in values.iter_mut().enumerate() {
+            *v = self.values[i].saturating_add(other.values[i]);
+        }
+        CounterSnapshot { values }
+    }
+
+    /// Check the cross-counter accounting invariants that every
+    /// completed job must satisfy. Returns every violated invariant.
+    ///
+    /// `segment_header_bytes` is the fixed per-segment file header size
+    /// (`Framing::file_overhead()`), which `MapOutputBytes` includes
+    /// but the key/value/framing split does not.
+    pub fn check_invariants(&self, segment_header_bytes: u64) -> Result<(), Vec<String>> {
+        let mut violations = Vec::new();
+        let key = self.get(Counter::MapOutputKeyBytes);
+        let value = self.get(Counter::MapOutputValueBytes);
+        let framing = self.get(Counter::MapOutputFramingBytes);
+        let headers = segment_header_bytes * self.get(Counter::MapOutputSegments);
+        let total = self.get(Counter::MapOutputBytes);
+        if key + value + framing + headers != total {
+            violations.push(format!(
+                "map output split does not add up: key {key} + value {value} + \
+                 framing {framing} + headers {headers} != map_output_bytes {total}"
+            ));
+        }
+        if self.get(Counter::CombineOutputRecords) > self.get(Counter::CombineInputRecords) {
+            violations.push(format!(
+                "combiner created records: out {} > in {}",
+                self.get(Counter::CombineOutputRecords),
+                self.get(Counter::CombineInputRecords)
+            ));
+        }
+        if self.get(Counter::ReduceInputGroups) > self.get(Counter::ReduceInputRecords) {
+            violations.push(format!(
+                "more reduce groups than records: {} > {}",
+                self.get(Counter::ReduceInputGroups),
+                self.get(Counter::ReduceInputRecords)
+            ));
+        }
+        if self.get(Counter::ShuffleBytes) != self.get(Counter::MapOutputMaterializedBytes) {
+            violations.push(format!(
+                "shuffle moved {} bytes but {} were materialized",
+                self.get(Counter::ShuffleBytes),
+                self.get(Counter::MapOutputMaterializedBytes)
+            ));
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -151,6 +283,63 @@ mod tests {
         c.add(Counter::MapOutputMaterializedBytes, 250);
         assert_eq!(c.snapshot().materialized_ratio(), 0.25);
         assert_eq!(Counters::new().snapshot().materialized_ratio(), 1.0);
+    }
+
+    #[test]
+    fn all_counters_covers_every_slot_with_unique_names() {
+        assert_eq!(ALL_COUNTERS.len(), NUM_COUNTERS);
+        for (i, c) in ALL_COUNTERS.iter().enumerate() {
+            assert_eq!(*c as usize, i, "ALL_COUNTERS must be in declaration order");
+        }
+        let mut names: Vec<&str> = ALL_COUNTERS.iter().map(|c| c.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), NUM_COUNTERS);
+    }
+
+    #[test]
+    fn diff_and_merge() {
+        let c = Counters::new();
+        c.add(Counter::Spills, 3);
+        let before = c.snapshot();
+        c.add(Counter::Spills, 4);
+        c.add(Counter::MapInputRecords, 10);
+        let after = c.snapshot();
+        let delta = after.diff(&before);
+        assert_eq!(delta.get(Counter::Spills), 4);
+        assert_eq!(delta.get(Counter::MapInputRecords), 10);
+        // diff saturates instead of wrapping
+        assert_eq!(before.diff(&after).get(Counter::Spills), 0);
+        let merged = before.merge(&delta);
+        assert_eq!(merged, after);
+    }
+
+    #[test]
+    fn invariants_hold_on_consistent_snapshot() {
+        let c = Counters::new();
+        c.add(Counter::MapOutputKeyBytes, 40);
+        c.add(Counter::MapOutputValueBytes, 50);
+        c.add(Counter::MapOutputFramingBytes, 10);
+        c.add(Counter::MapOutputSegments, 2);
+        c.add(Counter::MapOutputBytes, 40 + 50 + 10 + 2 * 6);
+        c.add(Counter::MapOutputMaterializedBytes, 30);
+        c.add(Counter::ShuffleBytes, 30);
+        c.add(Counter::CombineInputRecords, 9);
+        c.add(Counter::CombineOutputRecords, 4);
+        c.add(Counter::ReduceInputRecords, 4);
+        c.add(Counter::ReduceInputGroups, 3);
+        assert!(c.snapshot().check_invariants(6).is_ok());
+    }
+
+    #[test]
+    fn invariants_catch_violations() {
+        let c = Counters::new();
+        c.add(Counter::MapOutputBytes, 100); // split counters left at zero
+        c.add(Counter::CombineOutputRecords, 5); // combiner out > in (0)
+        c.add(Counter::ReduceInputGroups, 2); // groups > records (0)
+        c.add(Counter::ShuffleBytes, 7); // != materialized (0)
+        let errs = c.snapshot().check_invariants(6).unwrap_err();
+        assert_eq!(errs.len(), 4, "all four invariants flagged: {errs:?}");
     }
 
     #[test]

@@ -29,6 +29,9 @@ pub struct JobConfig {
     pub spill_buffer_bytes: usize,
     /// Intermediate record framing.
     pub framing: Framing,
+    /// Optional tracing/metrics recorder; worker threads attach to it
+    /// and record spans + histograms (see [`crate::obs`]).
+    pub recorder: Option<crate::obs::Recorder>,
 }
 
 impl std::fmt::Debug for JobConfig {
@@ -41,6 +44,7 @@ impl std::fmt::Debug for JobConfig {
             .field("combiner", &self.combiner.is_some())
             .field("spill_buffer_bytes", &self.spill_buffer_bytes)
             .field("framing", &self.framing)
+            .field("recorder", &self.recorder.is_some())
             .finish()
     }
 }
@@ -56,6 +60,7 @@ impl Default for JobConfig {
             combiner: None,
             spill_buffer_bytes: 16 << 20,
             framing: Framing::SequenceFile,
+            recorder: None,
         }
     }
 }
@@ -115,6 +120,12 @@ impl JobConfig {
     /// Builder-style setter for the spill threshold.
     pub fn with_spill_buffer(mut self, bytes: usize) -> Self {
         self.spill_buffer_bytes = bytes;
+        self
+    }
+
+    /// Builder-style setter for the tracing/metrics recorder.
+    pub fn with_recorder(mut self, recorder: crate::obs::Recorder) -> Self {
+        self.recorder = Some(recorder);
         self
     }
 }

@@ -27,17 +27,19 @@ pub mod error;
 pub mod ifile;
 pub mod job;
 pub mod keysem;
+pub mod obs;
 pub mod record;
 pub mod runner;
 pub mod sort;
 pub mod stats;
 
 pub use arena::SpillArena;
-pub use counters::{Counter, Counters};
+pub use counters::{Counter, CounterSnapshot, Counters, ALL_COUNTERS, NUM_COUNTERS};
 pub use error::MrError;
 pub use ifile::{Framing, IFileReader, IFileWriter, RawSegment, RecordCursor, RecordSlices};
 pub use job::{Job, JobConfig, JobResult};
 pub use keysem::{DefaultKeySemantics, KeySemantics, RouteSink};
+pub use obs::{Phase, Recorder, Trace};
 pub use record::{Emit, FnMapper, FnReducer, InputSplit, KvPair, Mapper, Reducer};
 pub use sort::{for_each_group, merge_sorted_runs, MergeStream, SortBuffer};
 pub use stats::JobStats;

@@ -1,0 +1,39 @@
+//! Observability: job-wide tracing, histogram metrics, and exporters.
+//!
+//! The layer has three pieces, designed so the shuffle hot path pays
+//! (nearly) nothing for them:
+//!
+//! * **Spans** ([`span!`](crate::span), [`SpanGuard`], [`Phase`]) —
+//!   RAII guards metering the eight pipeline stages with wall time plus
+//!   [thread-CPU time](crate::clock). Recording goes through a
+//!   thread-local attachment into a per-thread sink; the sink's mutex
+//!   is only ever contended during the final drain.
+//! * **Histograms** ([`Histogram`], [`Metric`], [`hist`]) — fixed-size
+//!   log2-bucketed distributions of record sizes, segment byte splits,
+//!   codec throughput, merge fan-in and friends. No allocation on
+//!   record.
+//! * **Export** ([`chrome_trace_json`], [`metrics_json`],
+//!   [`IntermediateBreakdown`]) — a Chrome `trace_event` file for
+//!   timeline viewers and a self-describing JSON metrics report whose
+//!   derived byte breakdown reconciles *exactly* against the job
+//!   counters.
+//!
+//! Everything is scoped to a per-job [`Recorder`]; there is no global
+//! collector, so parallel jobs (and parallel tests) cannot contaminate
+//! each other. Building the crate with `--no-default-features` (i.e.
+//! without the `obs` feature) compiles every recording hook down to a
+//! no-op while keeping the API present.
+
+mod export;
+mod hist;
+mod report;
+mod span;
+mod trace;
+
+pub use export::{chrome_trace_json, metrics_json, METRICS_SCHEMA};
+pub use hist::{
+    bucket_index, Histogram, Metric, MetricsBank, ALL_METRICS, NUM_BUCKETS, NUM_METRICS,
+};
+pub use report::{observe_segment, IntermediateBreakdown};
+pub use span::{Phase, SpanGuard, TraceEvent, ALL_PHASES, NUM_PHASES};
+pub use trace::{hist, hist_many, recording, Attachment, Recorder, Trace, EVENT_CAPACITY};

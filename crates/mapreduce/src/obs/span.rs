@@ -1,0 +1,182 @@
+//! Span recording: RAII guards that meter one pipeline stage.
+//!
+//! A [`SpanGuard`] samples wall time (against the recorder's epoch) and
+//! the thread CPU clock at construction, and writes one [`TraceEvent`]
+//! into the calling thread's sink when dropped. When no recorder is
+//! attached to the thread — or when the crate is built without the
+//! `obs` feature — `begin` is a no-op that returns an empty guard.
+
+use crate::obs::trace;
+
+/// The eight instrumented stages of the shuffle pipeline (Fig. 1), in
+/// pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Phase {
+    /// The user map function emitting records (map task record loop).
+    MapEmit,
+    /// Arena index sort + spill of one buffer-full of map output.
+    SortSpill,
+    /// Combiner running over one sorted spill partition.
+    Combine,
+    /// Serializing records through an `IFileWriter` and sealing the
+    /// segment (includes codec time; see the codec histograms for the
+    /// split).
+    IFileWrite,
+    /// A reducer fetching and decompressing its segments.
+    ShuffleFetch,
+    /// The streaming k-way merge driving a reduce task (map-side spill
+    /// merges record under the same phase).
+    Merge,
+    /// One sort-split window being split, re-sorted and grouped.
+    SortSplit,
+    /// Grouping merged records and running the user reduce function.
+    ReduceGroup,
+}
+
+/// Number of phases.
+pub const NUM_PHASES: usize = 8;
+
+/// All phases, in pipeline order.
+pub const ALL_PHASES: [Phase; NUM_PHASES] = [
+    Phase::MapEmit,
+    Phase::SortSpill,
+    Phase::Combine,
+    Phase::IFileWrite,
+    Phase::ShuffleFetch,
+    Phase::Merge,
+    Phase::SortSplit,
+    Phase::ReduceGroup,
+];
+
+impl Phase {
+    /// Snake-case stage name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::MapEmit => "map_emit",
+            Phase::SortSpill => "sort_spill",
+            Phase::Combine => "combine",
+            Phase::IFileWrite => "ifile_write",
+            Phase::ShuffleFetch => "shuffle_fetch",
+            Phase::Merge => "merge",
+            Phase::SortSplit => "sort_split",
+            Phase::ReduceGroup => "reduce_group",
+        }
+    }
+
+    /// Chrome-trace category for the stage.
+    pub fn category(self) -> &'static str {
+        match self {
+            Phase::MapEmit | Phase::SortSpill | Phase::Combine | Phase::IFileWrite => "map",
+            _ => "reduce",
+        }
+    }
+}
+
+/// One finished span: a stage execution on one thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Which stage ran.
+    pub phase: Phase,
+    /// Task id (map task index or reducer partition).
+    pub task: u32,
+    /// Wall-clock start, nanoseconds since the recorder's epoch.
+    pub wall_start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub wall_dur_ns: u64,
+    /// Thread-CPU nanoseconds consumed inside the span.
+    pub cpu_ns: u64,
+}
+
+/// RAII span: records a [`TraceEvent`] on drop. Obtain one through
+/// [`SpanGuard::begin`] or the [`span!`](crate::span) macro.
+#[must_use = "a span guard meters the scope it lives in"]
+pub struct SpanGuard {
+    inner: Option<Open>,
+}
+
+struct Open {
+    phase: Phase,
+    task: u32,
+    wall_start_ns: u64,
+    cpu_start: u64,
+}
+
+impl SpanGuard {
+    /// Start a span for `phase` if a recorder is attached to this
+    /// thread; otherwise return an inert guard.
+    #[inline]
+    pub fn begin(phase: Phase, task: u32) -> SpanGuard {
+        #[cfg(feature = "obs")]
+        {
+            let Some(wall_start_ns) = trace::current_epoch_nanos() else {
+                return SpanGuard { inner: None };
+            };
+            SpanGuard {
+                inner: Some(Open {
+                    phase,
+                    task,
+                    wall_start_ns,
+                    cpu_start: crate::clock::thread_cpu_nanos(),
+                }),
+            }
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = (phase, task);
+            SpanGuard { inner: None }
+        }
+    }
+
+    /// True when this guard is actually recording.
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(open) = self.inner.take() {
+            let cpu_ns = crate::clock::since(open.cpu_start);
+            let wall_end = trace::current_epoch_nanos().unwrap_or(open.wall_start_ns);
+            trace::push_event(TraceEvent {
+                phase: open.phase,
+                task: open.task,
+                wall_start_ns: open.wall_start_ns,
+                wall_dur_ns: wall_end.saturating_sub(open.wall_start_ns),
+                cpu_ns,
+            });
+        }
+    }
+}
+
+/// Open a [`SpanGuard`] for a pipeline stage: `span!(Phase::SortSpill,
+/// task_id)`. Bind the result (`let _span = span!(...)`) so the guard
+/// covers the intended scope.
+#[macro_export]
+macro_rules! span {
+    ($phase:expr, $task:expr) => {
+        $crate::obs::SpanGuard::begin($phase, $task as u32)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_names_are_unique() {
+        let mut names: Vec<&str> = ALL_PHASES.iter().map(|p| p.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), NUM_PHASES);
+    }
+
+    #[test]
+    fn unattached_span_is_inert() {
+        let g = SpanGuard::begin(Phase::MapEmit, 3);
+        assert!(!g.is_recording(), "no recorder attached on this thread");
+        drop(g);
+    }
+}

@@ -6,6 +6,7 @@ use crate::counters::{Counter, Counters};
 use crate::error::MrError;
 use crate::ifile::{IFileWriter, RawSegment, Segment};
 use crate::job::{JobConfig, JobResult};
+use crate::obs::{self, Metric, Phase};
 use crate::record::{InputSplit, KvPair, Mapper, Reducer};
 use crate::sort::{for_each_group, MergeStream};
 use crate::stats::JobStats;
@@ -63,9 +64,9 @@ pub fn run_job(
     let errors: Mutex<Vec<MrError>> = Mutex::new(Vec::new());
 
     {
-        let queue = WorkQueue::new(splits);
+        let queue = WorkQueue::new(splits.into_iter().enumerate().collect());
         std::thread::scope(|scope| {
-            for _ in 0..config.map_slots {
+            for slot in 0..config.map_slots {
                 let queue = &queue;
                 let mapper = mapper.clone();
                 let counters = counters.clone();
@@ -73,8 +74,12 @@ pub fn run_job(
                 let errors = &errors;
                 let config = config.clone();
                 scope.spawn(move || {
-                    while let Some(split) = queue.claim() {
-                        match run_map_task(&config, &split, mapper.as_ref(), &counters) {
+                    let _att = config
+                        .recorder
+                        .as_ref()
+                        .map(|r| r.attach(&format!("map-slot-{slot}")));
+                    while let Some((task, split)) = queue.claim() {
+                        match run_map_task(&config, task, &split, mapper.as_ref(), &counters) {
                             Ok(segments) => {
                                 for (partition, seg) in segments {
                                     map_outputs[partition].lock().push(seg.data);
@@ -112,7 +117,7 @@ pub fn run_job(
     {
         let queue = WorkQueue::new((0..config.num_reducers).collect());
         std::thread::scope(|scope| {
-            for _ in 0..config.reduce_slots {
+            for slot in 0..config.reduce_slots {
                 let queue = &queue;
                 let reducer = reducer.clone();
                 let counters = counters.clone();
@@ -121,9 +126,13 @@ pub fn run_job(
                 let errors = &errors;
                 let config = config.clone();
                 scope.spawn(move || {
+                    let _att = config
+                        .recorder
+                        .as_ref()
+                        .map(|r| r.attach(&format!("reduce-slot-{slot}")));
                     while let Some(r) = queue.claim() {
                         let segments = std::mem::take(&mut *map_outputs[r].lock());
-                        match run_reduce_task(&config, segments, reducer.as_ref(), &counters) {
+                        match run_reduce_task(&config, r, segments, reducer.as_ref(), &counters) {
                             Ok(out) => *outputs[r].lock() = out,
                             Err(e) => {
                                 errors.lock().push(e);
@@ -145,6 +154,13 @@ pub fn run_job(
 
     let outputs: Vec<Vec<KvPair>> = outputs.into_iter().map(|m| m.into_inner()).collect();
     let snapshot = counters.snapshot();
+    // Cross-counter accounting must balance on every completed job; a
+    // violation means an instrumentation site drifted (satellite check,
+    // debug builds only — see CounterSnapshot::check_invariants).
+    #[cfg(debug_assertions)]
+    if let Err(violations) = snapshot.check_invariants(config.framing.file_overhead() as u64) {
+        panic!("counter invariants violated on job completion: {violations:#?}");
+    }
     let stats = JobStats::from_counters(
         &snapshot,
         num_maps,
@@ -166,6 +182,7 @@ pub fn run_job(
 /// `emit` and the `IFileWriter`.
 fn run_map_task(
     config: &JobConfig,
+    task: usize,
     split: &InputSplit,
     mapper: &dyn Mapper,
     counters: &Counters,
@@ -184,6 +201,8 @@ fn run_map_task(
             return Ok(());
         }
         counters.add(Counter::Spills, 1);
+        let _spill_span = crate::span!(Phase::SortSpill, task);
+        obs::hist(Metric::SpillPayloadBytes, arena.payload_bytes() as u64);
         let spill_t0 = clock::thread_cpu_nanos();
         let first_new = segments.len();
         for partition in 0..parts {
@@ -192,11 +211,10 @@ fn run_map_task(
             }
             arena.sort_partition(partition, ks.as_ref());
             let mut writer = IFileWriter::new(config.framing, config.codec.clone());
-            if let Some(combiner) = &config.combiner {
-                counters.add(
-                    Counter::CombineInputRecords,
-                    arena.partition_len(partition) as u64,
-                );
+            let combined: Option<Vec<KvPair>> = if let Some(combiner) = &config.combiner {
+                let _combine_span = crate::span!(Phase::Combine, task);
+                let input = arena.partition_len(partition) as u64;
+                counters.add(Counter::CombineInputRecords, input);
                 let mut combined: Vec<KvPair> = Vec::with_capacity(arena.partition_len(partition));
                 arena.for_each_group(partition, ks.as_ref(), |key, values| {
                     combiner.reduce(key, values, &mut |k: &[u8], v: &[u8]| {
@@ -205,15 +223,34 @@ fn run_map_task(
                 });
                 combined.sort_by(|a, b| ks.compare(&a.key, &b.key));
                 counters.add(Counter::CombineOutputRecords, combined.len() as u64);
-                for pair in &combined {
-                    writer.append_pair(pair);
-                }
+                obs::hist_many(&[
+                    (Metric::CombineInput, input),
+                    (Metric::CombineOutput, combined.len() as u64),
+                    (
+                        Metric::CombineReductionPermille,
+                        (combined.len() as u64).saturating_mul(1000) / input.max(1),
+                    ),
+                ]);
+                Some(combined)
             } else {
-                for (key, value) in arena.pairs(partition) {
-                    writer.append(key, value);
+                None
+            };
+            let seg = {
+                let _write_span = crate::span!(Phase::IFileWrite, task);
+                match &combined {
+                    Some(pairs) => {
+                        for pair in pairs {
+                            writer.append_pair(pair);
+                        }
+                    }
+                    None => {
+                        for (key, value) in arena.pairs(partition) {
+                            writer.append(key, value);
+                        }
+                    }
                 }
-            }
-            let seg = writer.close();
+                writer.close()
+            };
             counters.add(Counter::CompressNanos, seg.compress_nanos);
             segments.push((partition, seg));
         }
@@ -230,30 +267,36 @@ fn run_map_task(
     };
 
     let fn_t0 = clock::thread_cpu_nanos();
-    for record in &split.records {
-        counters.add(Counter::MapInputRecords, 1);
+    {
+        let _emit_span = crate::span!(Phase::MapEmit, task);
+        for record in &split.records {
+            counters.add(Counter::MapInputRecords, 1);
+            {
+                let arena = &mut arena;
+                let mut emit =
+                    |k: &[u8], v: &[u8]| stage(ks.as_ref(), parts, counters, arena, k, v);
+                mapper.map(&record.key, &record.value, &mut emit);
+            }
+            if arena.payload_bytes() >= config.spill_buffer_bytes {
+                spill(&mut arena, &mut segments)?;
+            }
+        }
         {
             let arena = &mut arena;
             let mut emit = |k: &[u8], v: &[u8]| stage(ks.as_ref(), parts, counters, arena, k, v);
-            mapper.map(&record.key, &record.value, &mut emit);
+            mapper.finish(&mut emit);
         }
-        if arena.payload_bytes() >= config.spill_buffer_bytes {
-            spill(&mut arena, &mut segments)?;
-        }
-    }
-    {
-        let arena = &mut arena;
-        let mut emit = |k: &[u8], v: &[u8]| stage(ks.as_ref(), parts, counters, arena, k, v);
-        mapper.finish(&mut emit);
     }
     counters.add(Counter::MapFnNanos, clock::since(fn_t0));
     spill(&mut arena, &mut segments)?;
 
     // Final merge: if a partition spilled several times, merge its runs
     // into one segment (Hadoop's map-output merge, Fig. 1 step 3).
-    let segments = merge_spills(config, segments, counters)?;
+    let segments = merge_spills(config, task, segments, counters)?;
 
     // Byte accounting happens on the *final* materialized output only.
+    // The segment histograms sample at this exact site so their sums
+    // reconcile with the counters (see obs::IntermediateBreakdown).
     for (_, seg) in &segments {
         counters.add(Counter::MapOutputBytes, seg.raw_bytes);
         counters.add(Counter::MapOutputKeyBytes, seg.key_bytes);
@@ -261,6 +304,14 @@ fn run_map_task(
         counters.add(Counter::MapOutputFramingBytes, seg.framing_bytes());
         counters.add(
             Counter::MapOutputMaterializedBytes,
+            seg.materialized_bytes(),
+        );
+        counters.add(Counter::MapOutputSegments, 1);
+        obs::observe_segment(
+            seg.key_bytes,
+            seg.value_bytes,
+            seg.framing_bytes(),
+            seg.raw_bytes,
             seg.materialized_bytes(),
         );
     }
@@ -277,6 +328,11 @@ fn stage(
     key: &[u8],
     value: &[u8],
 ) {
+    obs::hist_many(&[
+        (Metric::MapEmitRecordBytes, (key.len() + value.len()) as u64),
+        (Metric::MapEmitKeyBytes, key.len() as u64),
+        (Metric::MapEmitValueBytes, value.len() as u64),
+    ]);
     let mut pieces = 0u64;
     ks.route_slices(key, value, parts, &mut |partition, k, v| {
         debug_assert!(partition < parts, "partition out of range");
@@ -293,6 +349,7 @@ fn stage(
 /// partitions pass through untouched (no decompress/recompress cost).
 fn merge_spills(
     config: &JobConfig,
+    task: usize,
     segments: Vec<(usize, Segment)>,
     counters: &Counters,
 ) -> Result<Vec<(usize, Segment)>, MrError> {
@@ -319,6 +376,7 @@ fn merge_spills(
             0 => {}
             1 => out.push((partition, segs.into_iter().next().expect("one"))),
             _ => {
+                let _merge_span = crate::span!(Phase::Merge, task);
                 let mut raws = Vec::with_capacity(segs.len());
                 for seg in &segs {
                     let r = RawSegment::open(&seg.data, config.codec.as_ref())?;
@@ -349,24 +407,32 @@ fn merge_spills(
 /// whole run.
 fn run_reduce_task(
     config: &JobConfig,
+    task: usize,
     segments: Vec<Vec<u8>>,
     reducer: &dyn Reducer,
     counters: &Counters,
 ) -> Result<Vec<KvPair>, MrError> {
     let ks = &config.key_semantics;
     let mut raws = Vec::with_capacity(segments.len());
-    for seg in &segments {
-        let r = RawSegment::open(seg, config.codec.as_ref())?;
-        counters.add(Counter::DecompressNanos, r.decompress_nanos);
-        raws.push(r);
+    {
+        let _fetch_span = crate::span!(Phase::ShuffleFetch, task);
+        for seg in &segments {
+            obs::hist(Metric::ShuffleSegmentBytes, seg.len() as u64);
+            let r = RawSegment::open(seg, config.codec.as_ref())?;
+            counters.add(Counter::DecompressNanos, r.decompress_nanos);
+            raws.push(r);
+        }
     }
     let merge_t0 = clock::thread_cpu_nanos();
+    let merge_span = crate::span!(Phase::Merge, task);
     let mut stream = MergeStream::new(&raws, ks.as_ref())?;
 
     let mut out = Vec::new();
     let mut reduce_nanos = 0u64;
     // Per-group reduce invocation, shared by both consumption paths.
     let mut run_group = |key: &[u8], values: &[&[u8]]| {
+        let _group_span = crate::span!(Phase::ReduceGroup, task);
+        obs::hist(Metric::ReduceGroupValues, values.len() as u64);
         counters.add(Counter::ReduceInputGroups, 1);
         counters.add(Counter::ReduceInputRecords, values.len() as u64);
         let fn_t0 = clock::thread_cpu_nanos();
@@ -406,7 +472,9 @@ fn run_reduce_task(
         // materializing and re-sorting the entire run.
         let mut window: Vec<KvPair> = Vec::new();
         let mut flush = |window: &mut Vec<KvPair>| {
+            let _split_span = crate::span!(Phase::SortSplit, task);
             let before = window.len();
+            obs::hist(Metric::SortSplitWindowRecords, before as u64);
             let mut records = ks.sort_split(std::mem::take(window));
             if records.len() > before {
                 counters.add(Counter::SortSplitRecords, (records.len() - before) as u64);
@@ -438,6 +506,7 @@ fn run_reduce_task(
             flush(&mut window);
         }
     }
+    drop(merge_span);
     let total_nanos = clock::since(merge_t0);
     counters.add(
         Counter::MergeNanos,

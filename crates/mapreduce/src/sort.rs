@@ -138,6 +138,7 @@ pub struct MergeStream<'a> {
 impl<'a> MergeStream<'a> {
     /// Open a merge over the given segments' records.
     pub fn new(segments: &'a [RawSegment], ks: &'a dyn KeySemantics) -> Result<Self, MrError> {
+        crate::obs::hist(crate::obs::Metric::MergeFanIn, segments.len() as u64);
         let mut cursors: Vec<RecordCursor<'a>> = segments.iter().map(|s| s.cursor()).collect();
         let mut heads = Vec::with_capacity(cursors.len());
         for c in &mut cursors {

@@ -1,0 +1,251 @@
+//! End-to-end observability tests: a traced job must produce spans for
+//! every pipeline stage, histograms that reconcile exactly with the job
+//! counters, and counter snapshots that satisfy the accounting
+//! invariants across codecs and key semantics.
+#![cfg(feature = "obs")]
+
+use scihadoop_compress::{Codec, DeflateCodec, IdentityCodec};
+use scihadoop_mapreduce::obs::{
+    chrome_trace_json, metrics_json, IntermediateBreakdown, Recorder, ALL_PHASES,
+};
+use scihadoop_mapreduce::record::{Emit, FnMapper, FnReducer, InputSplit, KvPair};
+use scihadoop_mapreduce::{
+    Counter, DefaultKeySemantics, Job, JobConfig, JobResult, KeySemantics, Phase,
+};
+use std::sync::Arc;
+
+/// Key semantics that keep the engine's conservative sort-split
+/// machinery engaged (sort_splits = true, everything interacts) while
+/// behaving like atomic keys — exercises the windowed reduce path and
+/// its SortSplit spans without needing the aggregate layer.
+#[derive(Debug, Default)]
+struct ConservativeKeys;
+
+impl KeySemantics for ConservativeKeys {
+    fn partition(&self, key: &[u8], parts: usize) -> usize {
+        (scihadoop_mapreduce::keysem::fnv1a(key) % parts as u64) as usize
+    }
+}
+
+fn wordcount_splits(n: usize, distinct: usize) -> Vec<InputSplit> {
+    let words: Vec<String> = (0..n)
+        .map(|i| format!("word-{:04}", i % distinct))
+        .collect();
+    words
+        .chunks(100)
+        .map(|chunk| {
+            InputSplit::new(
+                chunk
+                    .iter()
+                    .map(|w| KvPair::new(w.as_bytes().to_vec(), vec![1u8]))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+fn sum_job(config: JobConfig, splits: Vec<InputSplit>) -> JobResult {
+    let mapper = Arc::new(FnMapper(|k: &[u8], v: &[u8], out: &mut dyn Emit| {
+        out.emit(k, v)
+    }));
+    let reduce_fn = |k: &[u8], values: &[&[u8]], out: &mut dyn Emit| {
+        let total: u64 = values
+            .iter()
+            .map(|v| {
+                if v.len() == 1 {
+                    v[0] as u64
+                } else {
+                    u64::from_be_bytes((*v).try_into().unwrap())
+                }
+            })
+            .sum();
+        out.emit(k, &total.to_be_bytes());
+    };
+    let reducer = Arc::new(FnReducer(reduce_fn));
+    Job::new(config).run(splits, mapper, reducer).unwrap()
+}
+
+/// The combiner-equipped, multi-spill wordcount config: exercises every
+/// map-side stage (emit, sort/spill, combine, ifile write, spill merge).
+fn traced_wordcount_config(recorder: &Recorder) -> JobConfig {
+    let combiner = Arc::new(FnReducer(
+        |k: &[u8], values: &[&[u8]], out: &mut dyn Emit| {
+            let total: u64 = values
+                .iter()
+                .map(|v| {
+                    if v.len() == 1 {
+                        v[0] as u64
+                    } else {
+                        u64::from_be_bytes((*v).try_into().unwrap())
+                    }
+                })
+                .sum();
+            out.emit(k, &total.to_be_bytes());
+        },
+    ));
+    JobConfig::default()
+        .with_reducers(3)
+        .with_slots(2, 2)
+        .with_combiner(combiner)
+        .with_spill_buffer(512) // forces several spills → map-side merge
+        .with_recorder(recorder.clone())
+}
+
+#[test]
+fn traced_job_covers_all_eight_phases() {
+    let recorder = Recorder::new();
+    // Job 1: combiner + multi-spill wordcount (map-side stages + merge).
+    sum_job(
+        traced_wordcount_config(&recorder),
+        wordcount_splits(600, 40),
+    );
+    // Job 2: conservative key semantics engage the sort-split window.
+    sum_job(
+        JobConfig::default()
+            .with_key_semantics(Arc::new(ConservativeKeys))
+            .with_recorder(recorder.clone()),
+        wordcount_splits(120, 10),
+    );
+    let trace = recorder.finish();
+    for phase in ALL_PHASES {
+        assert!(
+            trace.span_count(phase) > 0,
+            "no spans recorded for phase {:?}",
+            phase
+        );
+    }
+    // Worker threads from both jobs registered under their slot names.
+    assert!(trace.threads.iter().any(|t| t.starts_with("map-slot-")));
+    assert!(trace.threads.iter().any(|t| t.starts_with("reduce-slot-")));
+    // Spans measured real work.
+    assert!(trace.phase_wall_nanos(Phase::MapEmit) > 0);
+    assert_eq!(trace.dropped_events, 0);
+}
+
+#[test]
+fn histogram_breakdown_reconciles_with_counters_exactly() {
+    let recorder = Recorder::new();
+    let result = sum_job(
+        traced_wordcount_config(&recorder),
+        wordcount_splits(500, 30),
+    );
+    let trace = recorder.finish();
+    let breakdown = IntermediateBreakdown::from_trace(&trace);
+    breakdown
+        .reconcile(&result.counters)
+        .expect("histogram sums must equal counter values");
+    assert!(breakdown.segments > 0);
+    assert!(breakdown.key_fraction() > 0.5, "wordcount keys dominate");
+}
+
+#[test]
+fn untraced_job_records_nothing_but_counters_still_balance() {
+    let result = sum_job(JobConfig::default(), wordcount_splits(200, 20));
+    assert!(result
+        .counters
+        .check_invariants(scihadoop_mapreduce::Framing::SequenceFile.file_overhead() as u64)
+        .is_ok());
+}
+
+#[test]
+fn invariants_hold_across_codecs_and_key_semantics() {
+    let codecs: Vec<Arc<dyn Codec>> = vec![Arc::new(IdentityCodec), Arc::new(DeflateCodec::new())];
+    let semantics: Vec<Arc<dyn KeySemantics>> =
+        vec![Arc::new(DefaultKeySemantics), Arc::new(ConservativeKeys)];
+    for codec in &codecs {
+        for ks in &semantics {
+            for combine in [false, true] {
+                let mut config = JobConfig::default()
+                    .with_reducers(2)
+                    .with_codec(codec.clone())
+                    .with_key_semantics(ks.clone())
+                    .with_spill_buffer(256);
+                if combine {
+                    config = config.with_combiner(Arc::new(FnReducer(
+                        |k: &[u8], values: &[&[u8]], out: &mut dyn Emit| {
+                            let total: u64 = values
+                                .iter()
+                                .map(|v| {
+                                    if v.len() == 1 {
+                                        v[0] as u64
+                                    } else {
+                                        u64::from_be_bytes((*v).try_into().unwrap())
+                                    }
+                                })
+                                .sum();
+                            out.emit(k, &total.to_be_bytes());
+                        },
+                    )));
+                }
+                let header = config.framing.file_overhead() as u64;
+                let result = sum_job(config, wordcount_splits(300, 25));
+                result
+                    .counters
+                    .check_invariants(header)
+                    .unwrap_or_else(|e| panic!("codec={} combine={combine}: {e:?}", codec.name()));
+            }
+        }
+    }
+}
+
+#[test]
+fn exports_are_valid_and_cover_the_pipeline() {
+    let recorder = Recorder::new();
+    let result = sum_job(
+        traced_wordcount_config(&recorder),
+        wordcount_splits(400, 30),
+    );
+    let trace = recorder.finish();
+
+    let chrome = chrome_trace_json(&trace);
+    for phase in [Phase::MapEmit, Phase::SortSpill, Phase::Combine] {
+        assert!(
+            chrome.contains(&format!("\"name\": \"{}\"", phase.name())),
+            "chrome trace missing {:?}",
+            phase
+        );
+    }
+    assert!(chrome.contains("map-slot-0"));
+
+    let metrics = metrics_json(&trace, &result.counters);
+    assert!(metrics.contains("\"schema\": \"scihadoop.metrics.v1\""));
+    assert!(metrics.contains(&format!(
+        "\"map_output_bytes\": {}",
+        result.counters.get(Counter::MapOutputBytes)
+    )));
+    assert!(metrics.contains("\"segment_key_bytes\""));
+    assert!(metrics.contains("\"intermediate_breakdown\""));
+}
+
+#[test]
+fn wall_clock_fallback_warning_matches_clock_kind() {
+    let recorder = Recorder::new();
+    let trace = recorder.finish();
+    let has_warning = trace.warnings.iter().any(|w| w.contains("thread-CPU"));
+    match scihadoop_mapreduce::clock::clock_kind() {
+        scihadoop_mapreduce::clock::ClockKind::ThreadCpu => {
+            assert!(
+                !has_warning,
+                "spurious fallback warning: {:?}",
+                trace.warnings
+            )
+        }
+        scihadoop_mapreduce::clock::ClockKind::Wall => {
+            assert!(has_warning, "fallback must be announced in the trace")
+        }
+    }
+}
+
+#[test]
+fn two_traced_jobs_merge_counters_and_traces() {
+    let rec_a = Recorder::new();
+    let rec_b = Recorder::new();
+    let a = sum_job(traced_wordcount_config(&rec_a), wordcount_splits(300, 20));
+    let b = sum_job(traced_wordcount_config(&rec_b), wordcount_splits(200, 15));
+    let mut trace = rec_a.finish();
+    trace.merge(&rec_b.finish());
+    let merged = a.counters.merge(&b.counters);
+    IntermediateBreakdown::from_trace(&trace)
+        .reconcile(&merged)
+        .expect("merged histograms must reconcile with merged counters");
+}
