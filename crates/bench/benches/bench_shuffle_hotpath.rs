@@ -15,6 +15,7 @@ use scihadoop_mapreduce::{
     KeySemantics, KvPair, MergeStream, RawSegment, SortBuffer, SpillArena,
 };
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Map-output-shaped records: 8-byte grid keys in row-major emission
 /// order (unsorted by the FNV-partitioned byte comparator), 4-byte
@@ -76,12 +77,16 @@ fn bench_map_sort_spill(c: &mut Criterion) {
 }
 
 /// The reduce side: merge sorted segments, group, consume values.
-fn bench_merge_reduce(c: &mut Criterion) {
+fn bench_merge_reduce(c: &mut Criterion) -> f64 {
     let ks = DefaultKeySemantics;
     let codec: Arc<dyn scihadoop_compress::Codec> = Arc::new(IdentityCodec);
 
-    // 8 sorted runs of 2,500 records each, sealed as segments.
+    // 8 sorted runs of 2,500 records each, sealed as segments — once
+    // with the CRC-32C trailer (the engine's default) and once plain,
+    // so the trailer-verification overhead on the merge path is its own
+    // measurement (budget: <= 3%).
     let mut segments = Vec::new();
+    let mut segments_plain = Vec::new();
     let mut total = 0u64;
     for r in 0..8u32 {
         let mut run = grid_pairs(50);
@@ -91,10 +96,13 @@ fn bench_merge_reduce(c: &mut Criterion) {
         run.sort_by(|a, b| ks.compare(&a.key, &b.key));
         total += run.len() as u64;
         let mut w = IFileWriter::new(Framing::IFile, codec.clone());
+        let mut wp = IFileWriter::without_trailer(Framing::IFile, codec.clone());
         for p in &run {
             w.append_pair(p);
+            wp.append_pair(p);
         }
         segments.push(w.close().data);
+        segments_plain.push(wp.close().data);
     }
 
     let mut group = c.benchmark_group("merge_reduce");
@@ -122,37 +130,64 @@ fn bench_merge_reduce(c: &mut Criterion) {
     });
 
     // Streaming: lazy cursors under a merge heap, grouping on borrowed
-    // slices as records surface.
+    // slices as records surface. Segments carry the CRC-32C trailer the
+    // engine writes by default; `open` verifies it per segment.
     group.bench_function("streaming", |b| {
-        b.iter(|| {
-            let raws: Vec<RawSegment> = segments
-                .iter()
-                .map(|s| RawSegment::open(s, &IdentityCodec).unwrap())
-                .collect();
-            let mut stream = MergeStream::new(&raws, &ks).unwrap();
-            let mut acc = 0u64;
-            let mut group_key: Option<&[u8]> = None;
-            let mut group_len = 0u64;
-            while let Some((key, _value)) = stream.next().unwrap() {
-                match group_key {
-                    Some(gk) if ks.group_eq(gk, key) => group_len += 1,
-                    _ => {
-                        acc += group_len;
-                        group_key = Some(key);
-                        group_len = 1;
-                    }
-                }
-            }
-            black_box(acc + group_len)
-        })
+        b.iter(|| black_box(streaming_merge_iter(&segments, &ks)))
     });
     group.finish();
+
+    // Trailer-verification overhead (budget <= 3%): interleave trailed
+    // and plain merges and take the median per-round ratio — machine
+    // drift hits both sides of a round equally, unlike two sequential
+    // criterion entries.
+    let mut ratios = Vec::new();
+    for round in 0..40 {
+        let (first, second) = if round % 2 == 0 {
+            (&segments, &segments_plain)
+        } else {
+            (&segments_plain, &segments)
+        };
+        let t0 = Instant::now();
+        black_box(streaming_merge_iter(first, &ks));
+        let a = t0.elapsed().as_nanos().max(1);
+        let t0 = Instant::now();
+        black_box(streaming_merge_iter(second, &ks));
+        let b = t0.elapsed().as_nanos().max(1);
+        let (trailed, plain) = if round % 2 == 0 { (a, b) } else { (b, a) };
+        ratios.push(trailed as f64 / plain as f64);
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    (ratios[ratios.len() / 2] - 1.0) * 100.0
+}
+
+/// One streaming merge+group pass over sealed segments.
+fn streaming_merge_iter(segments: &[Vec<u8>], ks: &DefaultKeySemantics) -> u64 {
+    let raws: Vec<RawSegment> = segments
+        .iter()
+        .map(|s| RawSegment::open(s, &IdentityCodec).unwrap())
+        .collect();
+    let mut stream = MergeStream::new(&raws, ks).unwrap();
+    let mut acc = 0u64;
+    let mut group_key: Option<&[u8]> = None;
+    let mut group_len = 0u64;
+    while let Some((key, _value)) = stream.next().unwrap() {
+        match group_key {
+            Some(gk) if ks.group_eq(gk, key) => group_len += 1,
+            _ => {
+                acc += group_len;
+                group_key = Some(key);
+                group_len = 1;
+            }
+        }
+    }
+    acc + group_len
 }
 
 fn main() {
     let mut criterion = Criterion::default();
     bench_map_sort_spill(&mut criterion);
-    bench_merge_reduce(&mut criterion);
+    let crc_overhead = bench_merge_reduce(&mut criterion);
 
     // Speedups + optional JSON baseline.
     let rate = |id: &str| {
@@ -167,6 +202,7 @@ fn main() {
     let merge_speedup = rate("merge_reduce/streaming") / rate("classic_materialize");
     println!("\nmap-sort-spill speedup (arena vs classic):   {spill_speedup:.2}x");
     println!("merge-reduce speedup (streaming vs classic): {merge_speedup:.2}x");
+    println!("CRC-32C trailer overhead on streaming merge: {crc_overhead:+.2}% (budget <= 3%)");
 
     if let Ok(path) = std::env::var("BENCH_SHUFFLE_JSON") {
         let mut json = String::from("{\n  \"benchmarks\": [\n");
@@ -185,7 +221,7 @@ fn main() {
             ));
         }
         json.push_str(&format!(
-            "  ],\n  \"map_sort_spill_speedup\": {spill_speedup:.2},\n  \"merge_reduce_speedup\": {merge_speedup:.2}\n}}\n"
+            "  ],\n  \"map_sort_spill_speedup\": {spill_speedup:.2},\n  \"merge_reduce_speedup\": {merge_speedup:.2},\n  \"crc_trailer_overhead_pct\": {crc_overhead:.2}\n}}\n"
         ));
         std::fs::write(&path, json).expect("write bench json");
         println!("wrote {path}");

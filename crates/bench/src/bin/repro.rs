@@ -18,9 +18,14 @@
 //!   coalesce   §IV-B future work: reducer-side re-aggregation
 //!   tuning     §III-A detector tuning
 //!   scaling    per-cell byte-scaling sanity check
+//!   fault_storm  fault-injected run vs clean run (byte-identical recovery)
 //!   all        everything above (default)
 //!
 //! --small runs reduced problem sizes (CI-friendly).
+//! --faults <spec> configures the fault_storm plan, e.g.
+//!   "seed=42,map=0.4,reduce=0.3,corrupt=0.3,slow=0.1,slow_ms=1,cap=2"
+//!   (keys are optional; rates in [0,1]). --retries <n> sets the
+//!   per-task retry budget (default 3; must be >= the plan's cap).
 //! --trace <path> writes the traced pipeline's span timeline as Chrome
 //!   trace_event JSON (open in about:tracing / Perfetto); --metrics
 //!   <path> writes the self-describing JSON metrics report (counters,
@@ -45,6 +50,7 @@ struct Sizes {
     splits_n: u32,
     tuning_n: u32,
     scaling: Vec<u32>,
+    storm_records: usize,
 }
 
 impl Sizes {
@@ -64,6 +70,7 @@ impl Sizes {
             splits_n: 64,
             tuning_n: 50,
             scaling: vec![32, 64, 128],
+            storm_records: 20_000,
         }
     }
 
@@ -83,6 +90,7 @@ impl Sizes {
             splits_n: 24,
             tuning_n: 16,
             scaling: vec![16, 32],
+            storm_records: 2_000,
         }
     }
 }
@@ -103,6 +111,21 @@ fn main() {
     };
     let trace_path = flag_value("--trace");
     let metrics_path = flag_value("--metrics");
+    let fault_spec = flag_value("--faults").unwrap_or_else(|| {
+        "seed=42,map=0.4,reduce=0.3,corrupt=0.3,slow=0.1,slow_ms=1,cap=2".into()
+    });
+    let fault_config = scihadoop_mapreduce::FaultConfig::parse(&fault_spec).unwrap_or_else(|e| {
+        eprintln!("bad --faults spec: {e}");
+        std::process::exit(2);
+    });
+    let retries: u32 = flag_value("--retries")
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--retries requires an unsigned integer, got {v:?}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(3);
     // Positional experiment name: skip flags and their path values. With
     // only --trace/--metrics given, default to the trace experiment
     // rather than the full suite.
@@ -117,7 +140,7 @@ fn main() {
             skip_next = false;
             continue;
         }
-        if a == "--trace" || a == "--metrics" {
+        if a == "--trace" || a == "--metrics" || a == "--faults" || a == "--retries" {
             skip_next = true;
         } else if !a.starts_with("--") {
             which = a.clone();
@@ -215,6 +238,13 @@ fn main() {
             bench::scaling_check(&s.scaling)
                 .expect("scaling check")
                 .render()
+        );
+        ran = true;
+    }
+    if run("fault_storm") {
+        println!(
+            "{}",
+            bench::fault_storm(s.storm_records, fault_config.clone(), retries).render()
         );
         ran = true;
     }

@@ -9,7 +9,7 @@
 //!
 //! * both files are well-formed JSON;
 //! * the Chrome trace contains complete ("X") span events for **all
-//!   eight** pipeline stages, with non-negative timestamps/durations,
+//!   nine** pipeline stages, with non-negative timestamps/durations,
 //!   plus thread-name metadata;
 //! * the metrics report carries the expected schema tag, a clock
 //!   designator, per-phase span rollups, and counters;

@@ -31,6 +31,7 @@ pub mod mtf;
 pub mod rle;
 
 pub use bzip::BzipCodec;
+pub use checksum::{crc32, crc32c, Crc32, Crc32c};
 pub use codec::{Codec, IdentityCodec, RleCodec};
 pub use deflate::DeflateCodec;
 pub use error::CompressError;

@@ -174,10 +174,19 @@ pub fn read_vint(buf: &[u8]) -> Result<(i64, usize), GridError> {
     if buf.len() < 1 + data_bytes {
         return Err(GridError::Deserialize("short vint".into()));
     }
-    let mut mag = 0i64;
+    // Accumulate in u64 — 8 data bytes fill exactly 64 bits, so the shift
+    // cannot overflow — and reject magnitudes with no i64 representation
+    // (the encoder writes at most `!i64::MIN == i64::MAX`).
+    let mut mag = 0u64;
     for &b in &buf[1..1 + data_bytes] {
-        mag = (mag << 8) | b as i64;
+        mag = (mag << 8) | b as u64;
     }
+    if mag > i64::MAX as u64 {
+        return Err(GridError::Deserialize(format!(
+            "vint magnitude {mag:#x} out of i64 range"
+        )));
+    }
+    let mag = mag as i64;
     let v = if negative { !mag } else { mag };
     Ok((v, 1 + data_bytes))
 }
@@ -235,6 +244,18 @@ mod tests {
         write_vint(&mut buf, 100_000);
         assert!(read_vint(&buf[..buf.len() - 1]).is_err());
         assert!(read_vint(&[]).is_err());
+    }
+
+    #[test]
+    fn vint_rejects_out_of_range_magnitude() {
+        // 8 data bytes with the top bit set: magnitude > i64::MAX. Both
+        // sign tags must error instead of overflowing (debug) or wrapping
+        // (release).
+        for tag in [0x88u8, 0x80u8] {
+            let mut buf = vec![tag];
+            buf.extend_from_slice(&[0xFF; 8]);
+            assert!(read_vint(&buf).is_err(), "tag {tag:#x}");
+        }
     }
 
     #[test]

@@ -67,10 +67,20 @@ pub enum Counter {
     /// which is why `MapOutputBytes` exceeds keys + values + framing by
     /// exactly `header * MapOutputSegments`.
     MapOutputSegments,
+    /// Task attempts that failed and were re-queued for another attempt
+    /// (fault-tolerance path; a clean run has zero).
+    TaskRetries,
+    /// Segment CRC-32 trailer mismatches detected at open time. Every
+    /// detected failure triggers a retry, so on a completed job
+    /// `ChecksumFailures <= TaskRetries`.
+    ChecksumFailures,
+    /// Faults injected by a configured [`crate::fault::FaultPlan`]
+    /// (task errors, corruptions, slow-downs).
+    FaultsInjected,
 }
 
 /// Number of counter slots.
-pub const NUM_COUNTERS: usize = Counter::MapOutputSegments as usize + 1;
+pub const NUM_COUNTERS: usize = Counter::FaultsInjected as usize + 1;
 
 /// Every counter, in declaration order — for reports and exporters.
 pub const ALL_COUNTERS: [Counter; NUM_COUNTERS] = [
@@ -98,6 +108,9 @@ pub const ALL_COUNTERS: [Counter; NUM_COUNTERS] = [
     Counter::SpillNanos,
     Counter::MergeNanos,
     Counter::MapOutputSegments,
+    Counter::TaskRetries,
+    Counter::ChecksumFailures,
+    Counter::FaultsInjected,
 ];
 
 impl Counter {
@@ -128,6 +141,9 @@ impl Counter {
             Counter::SpillNanos => "spill_nanos",
             Counter::MergeNanos => "merge_nanos",
             Counter::MapOutputSegments => "map_output_segments",
+            Counter::TaskRetries => "task_retries",
+            Counter::ChecksumFailures => "checksum_failures",
+            Counter::FaultsInjected => "faults_injected",
         }
     }
 }
@@ -161,6 +177,20 @@ impl Counters {
             values[i] = slot.load(Ordering::Relaxed);
         }
         CounterSnapshot { values }
+    }
+
+    /// Add every value of a snapshot into this bank. The retry path runs
+    /// each task attempt against an attempt-local bank and absorbs it
+    /// only on success, so failed attempts never skew the semantic
+    /// counters — a faulted-but-retried job reports the same numbers as
+    /// a clean one.
+    pub fn absorb(&self, snapshot: &CounterSnapshot) {
+        for (i, c) in ALL_COUNTERS.iter().enumerate() {
+            let v = snapshot.values[i];
+            if v > 0 {
+                self.add(*c, v);
+            }
+        }
     }
 }
 
@@ -243,6 +273,14 @@ impl CounterSnapshot {
                 "shuffle moved {} bytes but {} were materialized",
                 self.get(Counter::ShuffleBytes),
                 self.get(Counter::MapOutputMaterializedBytes)
+            ));
+        }
+        if self.get(Counter::ChecksumFailures) > self.get(Counter::TaskRetries) {
+            violations.push(format!(
+                "checksum failures without matching retries: {} > {} — a detected \
+                 corruption must always re-queue its task",
+                self.get(Counter::ChecksumFailures),
+                self.get(Counter::TaskRetries)
             ));
         }
         if violations.is_empty() {
@@ -340,6 +378,33 @@ mod tests {
         c.add(Counter::ShuffleBytes, 7); // != materialized (0)
         let errs = c.snapshot().check_invariants(6).unwrap_err();
         assert_eq!(errs.len(), 4, "all four invariants flagged: {errs:?}");
+    }
+
+    #[test]
+    fn absorb_adds_a_snapshot_into_the_bank() {
+        let local = Counters::new();
+        local.add(Counter::MapOutputBytes, 120);
+        local.add(Counter::Spills, 2);
+        let shared = Counters::new();
+        shared.add(Counter::MapOutputBytes, 30);
+        shared.absorb(&local.snapshot());
+        assert_eq!(shared.get(Counter::MapOutputBytes), 150);
+        assert_eq!(shared.get(Counter::Spills), 2);
+        assert_eq!(shared.get(Counter::MapInputRecords), 0);
+    }
+
+    #[test]
+    fn checksum_failures_require_matching_retries() {
+        let c = Counters::new();
+        c.add(Counter::ChecksumFailures, 3);
+        c.add(Counter::TaskRetries, 2);
+        let errs = c.snapshot().check_invariants(6).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("checksum failures")),
+            "{errs:?}"
+        );
+        c.add(Counter::TaskRetries, 1);
+        assert!(c.snapshot().check_invariants(6).is_ok());
     }
 
     #[test]

@@ -8,6 +8,8 @@ use std::fmt;
 pub enum MrError {
     /// Intermediate data failed to decompress or parse.
     Intermediate(String),
+    /// A segment's CRC-32 trailer did not match its contents.
+    Checksum(String),
     /// A codec reported corruption.
     Codec(CompressError),
     /// Invalid job configuration.
@@ -38,12 +40,22 @@ impl MrError {
             other => std::slice::from_ref(other),
         }
     }
+
+    /// Whether this error (or any task error inside it) is a segment
+    /// checksum failure — the signal the runner counts as detected
+    /// corruption rather than a logic bug.
+    pub fn is_checksum(&self) -> bool {
+        self.task_errors()
+            .iter()
+            .any(|e| matches!(e, MrError::Checksum(_)))
+    }
 }
 
 impl fmt::Display for MrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MrError::Intermediate(msg) => write!(f, "intermediate data error: {msg}"),
+            MrError::Checksum(msg) => write!(f, "segment checksum failure: {msg}"),
             MrError::Codec(e) => write!(f, "codec error: {e}"),
             MrError::Config(msg) => write!(f, "bad job config: {msg}"),
             MrError::TaskFailed(msg) => write!(f, "task failed: {msg}"),
@@ -97,5 +109,18 @@ mod tests {
         let msg = many.to_string();
         assert!(msg.contains("2 tasks failed"), "{msg}");
         assert!(msg.contains('a') && msg.contains('b'), "{msg}");
+    }
+
+    #[test]
+    fn checksum_errors_are_detected_even_inside_task_lists() {
+        let direct = MrError::Checksum("crc mismatch".into());
+        assert!(direct.is_checksum());
+        assert!(direct.to_string().contains("checksum"));
+        let nested = MrError::Tasks(vec![
+            MrError::TaskFailed("x".into()),
+            MrError::Checksum("crc".into()),
+        ]);
+        assert!(nested.is_checksum());
+        assert!(!MrError::Config("nope".into()).is_checksum());
     }
 }

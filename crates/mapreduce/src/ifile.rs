@@ -19,13 +19,19 @@
 
 use crate::error::MrError;
 use crate::record::KvPair;
-use scihadoop_compress::Codec;
+use scihadoop_compress::{crc32c, Codec};
 use std::sync::Arc;
 
 /// File magic ("SciHadoop InterFile") + version + framing byte = 6-byte
 /// header.
 const HEADER_LEN: usize = 6;
 const MAGIC: &[u8; 4] = b"SHIF";
+/// Format version without an integrity trailer (the original layout).
+const VERSION_PLAIN: u8 = 1;
+/// Format version whose raw stream ends in a CRC-32 trailer.
+const VERSION_CRC: u8 = 2;
+/// Big-endian CRC-32 of everything before it (header + records).
+const TRAILER_LEN: usize = 4;
 
 /// Record framing variant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,10 +113,19 @@ fn read_vint(buf: &[u8]) -> Result<(i64, usize), MrError> {
     if buf.len() < 1 + data_bytes {
         return Err(MrError::Intermediate("short vint".into()));
     }
-    let mut mag = 0i64;
+    // Accumulate in u64: 8 data bytes fill exactly 64 bits, so the shift
+    // can never overflow. A magnitude above i64::MAX has no i64
+    // representation — a malformed encoding, not a panic.
+    let mut mag = 0u64;
     for &b in &buf[1..1 + data_bytes] {
-        mag = (mag << 8) | b as i64;
+        mag = (mag << 8) | b as u64;
     }
+    if mag > i64::MAX as u64 {
+        return Err(MrError::Intermediate(format!(
+            "vint magnitude {mag:#x} out of i64 range"
+        )));
+    }
+    let mag = mag as i64;
     Ok((if negative { !mag } else { mag }, 1 + data_bytes))
 }
 
@@ -122,6 +137,7 @@ pub struct IFileWriter {
     records: u64,
     key_bytes: u64,
     value_bytes: u64,
+    trailer: bool,
 }
 
 /// A closed intermediate segment plus its size accounting.
@@ -150,16 +166,38 @@ impl Segment {
     /// Per-record framing overhead bytes (raw minus keys, values, and the
     /// constant file header).
     pub fn framing_bytes(&self) -> u64 {
-        self.raw_bytes - self.key_bytes - self.value_bytes - HEADER_LEN as u64
+        let payload = self.key_bytes + self.value_bytes + HEADER_LEN as u64;
+        debug_assert!(
+            self.raw_bytes >= payload,
+            "segment accounting invariant violated: raw {} < keys {} + values {} + header {}",
+            self.raw_bytes,
+            self.key_bytes,
+            self.value_bytes,
+            HEADER_LEN
+        );
+        self.raw_bytes.saturating_sub(payload)
     }
 }
 
 impl IFileWriter {
-    /// Open a writer with the given framing and codec.
+    /// Open a writer with the given framing and codec. Segments carry a
+    /// CRC-32 trailer (format version 2) so shuffle-side corruption is
+    /// detected at open time instead of surfacing as garbage records.
     pub fn new(framing: Framing, codec: Arc<dyn Codec>) -> Self {
+        Self::with_trailer(framing, codec, true)
+    }
+
+    /// Open a writer that emits the original version-1 layout with no
+    /// integrity trailer (legacy format; corruption tests exercise the
+    /// parser's behavior without CRC protection through this).
+    pub fn without_trailer(framing: Framing, codec: Arc<dyn Codec>) -> Self {
+        Self::with_trailer(framing, codec, false)
+    }
+
+    fn with_trailer(framing: Framing, codec: Arc<dyn Codec>, trailer: bool) -> Self {
         let mut buf = Vec::with_capacity(4096);
         buf.extend_from_slice(MAGIC);
-        buf.push(1); // version
+        buf.push(if trailer { VERSION_CRC } else { VERSION_PLAIN });
         buf.push(framing.tag());
         debug_assert_eq!(buf.len(), HEADER_LEN);
         IFileWriter {
@@ -169,6 +207,7 @@ impl IFileWriter {
             records: 0,
             key_bytes: 0,
             value_bytes: 0,
+            trailer,
         }
     }
 
@@ -209,8 +248,16 @@ impl IFileWriter {
     }
 
     /// Compress and seal the segment.
-    pub fn close(self) -> Segment {
+    pub fn close(mut self) -> Segment {
+        // Size accounting excludes the trailer: `raw_bytes` keeps meaning
+        // "header + framed records", so the paper's byte arithmetic (and
+        // every counter invariant built on it) is identical with and
+        // without integrity checking.
         let raw_bytes = self.buf.len() as u64;
+        if self.trailer {
+            let crc = crc32c(&self.buf);
+            self.buf.extend_from_slice(&crc.to_be_bytes());
+        }
         let t0 = crate::clock::thread_cpu_nanos();
         let data = self.codec.compress(&self.buf);
         let compress_nanos = crate::clock::since(t0);
@@ -239,12 +286,17 @@ impl IFileWriter {
 pub struct RawSegment {
     raw: Vec<u8>,
     framing: Framing,
+    /// End of the record region (excludes a version-2 CRC trailer).
+    body_end: usize,
     /// Nanoseconds spent decompressing.
     pub decompress_nanos: u64,
 }
 
 impl RawSegment {
-    /// Decompress a segment and validate its header.
+    /// Decompress a segment, validate its header, and — for version-2
+    /// segments — verify the CRC-32 trailer over everything before it.
+    /// A trailer mismatch is a [`MrError::Checksum`], distinguishable
+    /// from structural parse errors so the runner can count it.
     pub fn open(segment: &[u8], codec: &dyn Codec) -> Result<Self, MrError> {
         let t0 = crate::clock::thread_cpu_nanos();
         let raw = codec.decompress(segment)?;
@@ -256,13 +308,30 @@ impl RawSegment {
         if raw.len() < HEADER_LEN || &raw[..4] != MAGIC {
             return Err(MrError::Intermediate("bad segment header".into()));
         }
-        if raw[4] != 1 {
-            return Err(MrError::Intermediate(format!("bad version {}", raw[4])));
-        }
+        let body_end = match raw[4] {
+            VERSION_PLAIN => raw.len(),
+            VERSION_CRC => {
+                let body_end = raw
+                    .len()
+                    .checked_sub(TRAILER_LEN)
+                    .filter(|&e| e >= HEADER_LEN)
+                    .ok_or_else(|| MrError::Checksum("segment too short for CRC trailer".into()))?;
+                let stored = u32::from_be_bytes(raw[body_end..].try_into().unwrap());
+                let actual = crc32c(&raw[..body_end]);
+                if stored != actual {
+                    return Err(MrError::Checksum(format!(
+                        "segment CRC mismatch: stored {stored:#010x}, computed {actual:#010x}"
+                    )));
+                }
+                body_end
+            }
+            v => return Err(MrError::Intermediate(format!("bad version {v}"))),
+        };
         let framing = Framing::from_tag(raw[5])?;
         Ok(RawSegment {
             raw,
             framing,
+            body_end,
             decompress_nanos,
         })
     }
@@ -270,7 +339,7 @@ impl RawSegment {
     /// A cursor over the records, borrowing this segment's buffer.
     pub fn cursor(&self) -> RecordCursor<'_> {
         RecordCursor {
-            raw: &self.raw,
+            raw: &self.raw[..self.body_end],
             framing: self.framing,
             pos: HEADER_LEN,
         }
@@ -295,23 +364,41 @@ impl<'a> RecordCursor<'a> {
         if self.pos >= self.raw.len() {
             return Ok(None);
         }
+        let mut rec_len = None;
         if self.framing == Framing::SequenceFile {
-            if self.raw.len() < self.pos + 4 {
+            if self.raw.len() - self.pos < 4 {
                 return Err(MrError::Intermediate("short record length".into()));
             }
-            self.pos += 4; // record length is redundant for in-memory reads
+            rec_len = Some(u32::from_be_bytes(
+                self.raw[self.pos..self.pos + 4].try_into().unwrap(),
+            ));
+            self.pos += 4;
         }
-        let (klen, used) = read_vint(&self.raw[self.pos..])?;
-        self.pos += used;
-        let (vlen, used) = read_vint(&self.raw[self.pos..])?;
-        self.pos += used;
+        let (klen, kused) = read_vint(&self.raw[self.pos..])?;
+        self.pos += kused;
+        let (vlen, vused) = read_vint(&self.raw[self.pos..])?;
+        self.pos += vused;
         let (klen, vlen) = (
             usize::try_from(klen)
                 .map_err(|_| MrError::Intermediate("negative key length".into()))?,
             usize::try_from(vlen)
                 .map_err(|_| MrError::Intermediate("negative value length".into()))?,
         );
-        if self.raw.len() < self.pos + klen + vlen {
+        if let Some(rec_len) = rec_len {
+            // The 4-byte record length must agree with the parsed sizes —
+            // u64 arithmetic so adversarial lengths cannot overflow here.
+            let expected = kused as u64 + vused as u64 + klen as u64 + vlen as u64;
+            if rec_len as u64 != expected {
+                return Err(MrError::Intermediate(format!(
+                    "record length {rec_len} disagrees with key/value sizes ({expected})"
+                )));
+            }
+        }
+        let body = klen
+            .checked_add(vlen)
+            .and_then(|b| b.checked_add(self.pos))
+            .ok_or_else(|| MrError::Intermediate("record body length overflows".into()))?;
+        if body > self.raw.len() {
             return Err(MrError::Intermediate("short record body".into()));
         }
         let key = &self.raw[self.pos..self.pos + klen];
@@ -489,11 +576,99 @@ mod tests {
     #[test]
     fn cursor_rejects_truncated_segments() {
         let codec = IdentityCodec;
+        // With the CRC trailer (default), truncation is caught at open.
         let mut w = IFileWriter::new(Framing::IFile, Arc::new(IdentityCodec));
+        w.append(b"key", b"value");
+        let seg = w.close();
+        assert!(matches!(
+            RawSegment::open(&seg.data[..seg.data.len() - 2], &codec),
+            Err(MrError::Checksum(_))
+        ));
+        // Without a trailer, the cursor itself must reject the short body.
+        let mut w = IFileWriter::without_trailer(Framing::IFile, Arc::new(IdentityCodec));
         w.append(b"key", b"value");
         let seg = w.close();
         let raw = RawSegment::open(&seg.data[..seg.data.len() - 2], &codec).unwrap();
         let mut cursor = raw.cursor();
+        assert!(cursor.next().is_err());
+    }
+
+    #[test]
+    fn trailer_roundtrips_and_excludes_itself_from_accounting() {
+        let codec: Arc<dyn Codec> = Arc::new(IdentityCodec);
+        let mut w = IFileWriter::new(Framing::IFile, codec.clone());
+        w.append(b"key", b"value");
+        let seg = w.close();
+        // Materialized bytes include the 4-byte trailer; raw accounting
+        // does not, so framing arithmetic is unchanged.
+        assert_eq!(seg.data.len() as u64, seg.raw_bytes + TRAILER_LEN as u64);
+        assert_eq!(seg.data[4], VERSION_CRC);
+        let r = IFileReader::open(&seg.data, codec.as_ref()).unwrap();
+        assert_eq!(
+            r.into_records(),
+            vec![KvPair::new(b"key".to_vec(), b"value".to_vec())]
+        );
+    }
+
+    #[test]
+    fn trailer_detects_single_bit_flips_anywhere_in_the_body() {
+        let codec = IdentityCodec;
+        let mut w = IFileWriter::new(Framing::SequenceFile, Arc::new(IdentityCodec));
+        for i in 0..20u32 {
+            w.append(&i.to_be_bytes(), b"payload");
+        }
+        let seg = w.close();
+        for byte in HEADER_LEN..seg.data.len() {
+            let mut corrupt = seg.data.clone();
+            corrupt[byte] ^= 0x40;
+            assert!(
+                RawSegment::open(&corrupt, &codec).is_err(),
+                "bit flip at byte {byte} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn plain_segments_still_open_without_a_trailer() {
+        let codec: Arc<dyn Codec> = Arc::new(IdentityCodec);
+        let mut w = IFileWriter::without_trailer(Framing::IFile, codec.clone());
+        w.append(b"key", b"value");
+        let seg = w.close();
+        assert_eq!(seg.data[4], VERSION_PLAIN);
+        assert_eq!(seg.data.len() as u64, seg.raw_bytes);
+        let r = IFileReader::open(&seg.data, codec.as_ref()).unwrap();
+        assert_eq!(r.into_records().len(), 1);
+    }
+
+    #[test]
+    fn sequencefile_record_length_is_validated() {
+        let codec = IdentityCodec;
+        let mut w = IFileWriter::without_trailer(Framing::SequenceFile, Arc::new(IdentityCodec));
+        w.append(b"key", b"value");
+        let seg = w.close();
+        // Inflate the 4-byte record length; the parsed vints disagree.
+        let mut bad = seg.data.clone();
+        bad[HEADER_LEN + 3] ^= 0x01;
+        assert!(IFileReader::open(&bad, &codec).is_err());
+    }
+
+    #[test]
+    fn malformed_vint_magnitude_errors_instead_of_panicking() {
+        // Tag -128 → negative, 8 data bytes, all 0xFF: magnitude overflows
+        // i64 and must surface as an error.
+        let mut buf = vec![0x80u8]; // -128 as u8
+        buf.extend_from_slice(&[0xFF; 8]);
+        assert!(read_vint(&buf).is_err());
+        // Same via the cursor: a hand-built v1 segment with that vint as
+        // the key length.
+        let mut raw = Vec::new();
+        raw.extend_from_slice(MAGIC);
+        raw.push(VERSION_PLAIN);
+        raw.push(Framing::IFile.tag());
+        raw.extend_from_slice(&buf);
+        raw.push(0); // value length
+        let seg = RawSegment::open(&raw, &IdentityCodec).unwrap();
+        let mut cursor = seg.cursor();
         assert!(cursor.next().is_err());
     }
 

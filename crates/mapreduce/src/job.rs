@@ -32,6 +32,16 @@ pub struct JobConfig {
     /// Optional tracing/metrics recorder; worker threads attach to it
     /// and record spans + histograms (see [`crate::obs`]).
     pub recorder: Option<crate::obs::Recorder>,
+    /// Retry budget per task: a failed attempt is re-queued until it has
+    /// failed `task_retries + 1` times. Zero (default) preserves the old
+    /// fail-fast behavior.
+    pub task_retries: u32,
+    /// Base backoff between a task failure and its re-queue; attempt `n`
+    /// waits `retry_backoff * 2^(n-1)`, deterministic in the attempt
+    /// number.
+    pub retry_backoff: std::time::Duration,
+    /// Optional fault-injection plan (testing/experiments only).
+    pub faults: Option<Arc<crate::fault::FaultPlan>>,
 }
 
 impl std::fmt::Debug for JobConfig {
@@ -45,6 +55,9 @@ impl std::fmt::Debug for JobConfig {
             .field("spill_buffer_bytes", &self.spill_buffer_bytes)
             .field("framing", &self.framing)
             .field("recorder", &self.recorder.is_some())
+            .field("task_retries", &self.task_retries)
+            .field("retry_backoff", &self.retry_backoff)
+            .field("faults", &self.faults.as_ref().map(|p| p.config()))
             .finish()
     }
 }
@@ -61,6 +74,9 @@ impl Default for JobConfig {
             spill_buffer_bytes: 16 << 20,
             framing: Framing::SequenceFile,
             recorder: None,
+            task_retries: 0,
+            retry_backoff: std::time::Duration::from_micros(100),
+            faults: None,
         }
     }
 }
@@ -126,6 +142,24 @@ impl JobConfig {
     /// Builder-style setter for the tracing/metrics recorder.
     pub fn with_recorder(mut self, recorder: crate::obs::Recorder) -> Self {
         self.recorder = Some(recorder);
+        self
+    }
+
+    /// Builder-style setter for the per-task retry budget.
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.task_retries = retries;
+        self
+    }
+
+    /// Builder-style setter for the retry backoff base.
+    pub fn with_retry_backoff(mut self, backoff: std::time::Duration) -> Self {
+        self.retry_backoff = backoff;
+        self
+    }
+
+    /// Builder-style setter for the fault-injection plan.
+    pub fn with_faults(mut self, plan: crate::fault::FaultPlan) -> Self {
+        self.faults = Some(Arc::new(plan));
         self
     }
 }

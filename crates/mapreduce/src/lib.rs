@@ -24,6 +24,7 @@ pub mod arena;
 pub mod clock;
 pub mod counters;
 pub mod error;
+pub mod fault;
 pub mod ifile;
 pub mod job;
 pub mod keysem;
@@ -36,6 +37,7 @@ pub mod stats;
 pub use arena::SpillArena;
 pub use counters::{Counter, CounterSnapshot, Counters, ALL_COUNTERS, NUM_COUNTERS};
 pub use error::MrError;
+pub use fault::{Corruption, FaultConfig, FaultPlan};
 pub use ifile::{Framing, IFileReader, IFileWriter, RawSegment, RecordCursor, RecordSlices};
 pub use job::{Job, JobConfig, JobResult};
 pub use keysem::{DefaultKeySemantics, KeySemantics, RouteSink};

@@ -197,10 +197,12 @@ pub enum Metric {
     ReduceGroupValues,
     /// Records per sort-split window handed to `sort_split`.
     SortSplitWindowRecords,
+    /// Backoff wait per task retry, in nanoseconds.
+    RetryBackoffNanos,
 }
 
 /// Number of metric slots.
-pub const NUM_METRICS: usize = Metric::SortSplitWindowRecords as usize + 1;
+pub const NUM_METRICS: usize = Metric::RetryBackoffNanos as usize + 1;
 
 /// All metrics, in slot order.
 pub const ALL_METRICS: [Metric; NUM_METRICS] = [
@@ -224,6 +226,7 @@ pub const ALL_METRICS: [Metric; NUM_METRICS] = [
     Metric::ShuffleSegmentBytes,
     Metric::ReduceGroupValues,
     Metric::SortSplitWindowRecords,
+    Metric::RetryBackoffNanos,
 ];
 
 impl Metric {
@@ -250,6 +253,7 @@ impl Metric {
             Metric::ShuffleSegmentBytes => "shuffle_segment_bytes",
             Metric::ReduceGroupValues => "reduce_group_values",
             Metric::SortSplitWindowRecords => "sort_split_window_records",
+            Metric::RetryBackoffNanos => "retry_backoff_nanos",
         }
     }
 }

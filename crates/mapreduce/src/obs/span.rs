@@ -32,10 +32,13 @@ pub enum Phase {
     SortSplit,
     /// Grouping merged records and running the user reduce function.
     ReduceGroup,
+    /// A failed task attempt being backed off and re-queued (the span
+    /// covers the backoff wait; one span per retry).
+    Retry,
 }
 
 /// Number of phases.
-pub const NUM_PHASES: usize = 8;
+pub const NUM_PHASES: usize = 9;
 
 /// All phases, in pipeline order.
 pub const ALL_PHASES: [Phase; NUM_PHASES] = [
@@ -47,6 +50,7 @@ pub const ALL_PHASES: [Phase; NUM_PHASES] = [
     Phase::Merge,
     Phase::SortSplit,
     Phase::ReduceGroup,
+    Phase::Retry,
 ];
 
 impl Phase {
@@ -61,6 +65,7 @@ impl Phase {
             Phase::Merge => "merge",
             Phase::SortSplit => "sort_split",
             Phase::ReduceGroup => "reduce_group",
+            Phase::Retry => "retry",
         }
     }
 
@@ -68,6 +73,7 @@ impl Phase {
     pub fn category(self) -> &'static str {
         match self {
             Phase::MapEmit | Phase::SortSpill | Phase::Combine | Phase::IFileWrite => "map",
+            Phase::Retry => "retry",
             _ => "reduce",
         }
     }

@@ -11,37 +11,230 @@ use crate::record::{InputSplit, KvPair, Mapper, Reducer};
 use crate::sort::{for_each_group, MergeStream};
 use crate::stats::JobStats;
 use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// A drain-once work queue shared by one phase's slots. A failed task
-/// raises the abort flag, so idle slots stop claiming work instead of
-/// running the rest of the job to completion.
+/// A retry-capable work queue shared by one phase's slots.
+///
+/// Tasks carry an attempt number; a failed attempt can be re-queued
+/// (bounded by the job's retry budget) instead of aborting the job.
+/// `in_flight` tracks claimed-but-unfinished tasks so idle slots block
+/// on the condvar — a task they are waiting on may yet fail and come
+/// back. The abort flag uses `Release`/`Acquire` so a raised abort (and
+/// the error write that preceded it) is visible to every slot before it
+/// claims another task.
+///
+/// Built on `std::sync` (not the project's `parking_lot` shim) because
+/// the retry path needs a condvar.
 struct WorkQueue<T> {
-    items: Mutex<std::vec::IntoIter<T>>,
+    state: std::sync::Mutex<QueueState<T>>,
+    ready: std::sync::Condvar,
     abort: AtomicBool,
+}
+
+struct QueueState<T> {
+    /// `(task, attempt)` pairs awaiting a slot, FIFO.
+    pending: VecDeque<(T, u32)>,
+    /// Tasks claimed but neither finished nor re-queued.
+    in_flight: usize,
 }
 
 impl<T> WorkQueue<T> {
     fn new(items: Vec<T>) -> Self {
         WorkQueue {
-            items: Mutex::new(items.into_iter()),
+            state: std::sync::Mutex::new(QueueState {
+                pending: items.into_iter().map(|t| (t, 0)).collect(),
+                in_flight: 0,
+            }),
+            ready: std::sync::Condvar::new(),
             abort: AtomicBool::new(false),
         }
     }
 
-    /// Claim the next task, or `None` once drained or aborted.
-    fn claim(&self) -> Option<T> {
-        if self.abort.load(Ordering::Relaxed) {
-            return None;
+    /// Claim the next `(task, attempt)`, blocking while other slots hold
+    /// tasks that might still be re-queued. `None` once the queue is
+    /// drained (empty with nothing in flight) or aborted.
+    fn claim(&self) -> Option<(T, u32)> {
+        let mut state = self.state.lock().expect("queue mutex");
+        loop {
+            if self.abort.load(Ordering::Acquire) {
+                return None;
+            }
+            if let Some(claimed) = state.pending.pop_front() {
+                state.in_flight += 1;
+                return Some(claimed);
+            }
+            if state.in_flight == 0 {
+                return None;
+            }
+            state = self.ready.wait(state).expect("queue mutex");
         }
-        self.items.lock().next()
     }
 
-    fn abort(&self) {
-        self.abort.store(true, Ordering::Relaxed);
+    /// Retire a claimed task (success, or failure that will not retry).
+    fn finish(&self) {
+        let mut state = self.state.lock().expect("queue mutex");
+        state.in_flight -= 1;
+        if state.in_flight == 0 {
+            drop(state);
+            self.ready.notify_all();
+        }
     }
+
+    /// Put a failed task back with its next attempt number.
+    fn requeue(&self, task: T, attempt: u32) {
+        let mut state = self.state.lock().expect("queue mutex");
+        state.in_flight -= 1;
+        state.pending.push_back((task, attempt));
+        drop(state);
+        self.ready.notify_all();
+    }
+
+    /// Raise the abort flag and wake every waiting slot. The lock is
+    /// taken before notifying so a slot between its abort check and its
+    /// condvar wait cannot miss the wakeup.
+    fn abort(&self) {
+        self.abort.store(true, Ordering::Release);
+        let _state = self.state.lock().expect("queue mutex");
+        self.ready.notify_all();
+    }
+}
+
+/// Keeps the queue's `in_flight` count correct even when a task body
+/// panics: an armed guard dropped during unwind aborts the queue and
+/// retires the claim, so sibling slots blocked on the condvar wake up
+/// and exit instead of deadlocking the scope join.
+struct InFlightGuard<'a, T> {
+    queue: &'a WorkQueue<T>,
+    armed: bool,
+}
+
+impl<'a, T> InFlightGuard<'a, T> {
+    fn new(queue: &'a WorkQueue<T>) -> Self {
+        InFlightGuard { queue, armed: true }
+    }
+
+    fn complete(mut self) {
+        self.armed = false;
+        self.queue.finish();
+    }
+
+    fn requeue(mut self, task: T, attempt: u32) {
+        self.armed = false;
+        self.queue.requeue(task, attempt);
+    }
+
+    fn fail(mut self) {
+        self.armed = false;
+        self.queue.abort();
+        self.queue.finish();
+    }
+}
+
+impl<T> Drop for InFlightGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.queue.abort();
+            self.queue.finish();
+        }
+    }
+}
+
+/// Drive one phase's tasks through `slots` worker threads with per-task
+/// retry. `run` executes one attempt of task `id` and must leave shared
+/// state untouched on `Err` (the map path commits only on success; the
+/// reduce path restores its segments before returning an error). Failed
+/// attempts back off deterministically (`retry_backoff * 2^attempt`,
+/// metered as a [`Phase::Retry`] span) and re-queue until the budget is
+/// exhausted, at which point the error is collected and the queue
+/// aborted.
+fn drive_slots<I, F>(
+    config: &JobConfig,
+    label: &str,
+    items: Vec<(usize, I)>,
+    slots: usize,
+    counters: &Counters,
+    errors: &Mutex<Vec<MrError>>,
+    run: F,
+) where
+    I: Send,
+    F: Fn(usize, &I, u32) -> Result<(), MrError> + Sync,
+{
+    let queue = WorkQueue::new(items);
+    std::thread::scope(|scope| {
+        for slot in 0..slots {
+            let queue = &queue;
+            let run = &run;
+            scope.spawn(move || {
+                let _att = config
+                    .recorder
+                    .as_ref()
+                    .map(|r| r.attach(&format!("{label}-slot-{slot}")));
+                while let Some(((id, item), attempt)) = queue.claim() {
+                    let guard = InFlightGuard::new(queue);
+                    match run(id, &item, attempt) {
+                        Ok(()) => guard.complete(),
+                        Err(e) => {
+                            if e.is_checksum() {
+                                counters.add(Counter::ChecksumFailures, 1);
+                            }
+                            if attempt < config.task_retries {
+                                counters.add(Counter::TaskRetries, 1);
+                                let backoff =
+                                    config.retry_backoff.saturating_mul(1u32 << attempt.min(20));
+                                {
+                                    let _retry_span = crate::span!(Phase::Retry, id);
+                                    obs::hist(Metric::RetryBackoffNanos, backoff.as_nanos() as u64);
+                                    if !backoff.is_zero() {
+                                        std::thread::sleep(backoff);
+                                    }
+                                }
+                                guard.requeue((id, item), attempt + 1);
+                            } else {
+                                errors.lock().push(e);
+                                guard.fail();
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Consult the job's fault plan (if any) at the start of a task attempt:
+/// apply an artificial slow-down, then possibly fail the attempt with an
+/// injected error. Injection counters are charged to the job-wide bank —
+/// they describe the harness, not the (discarded) attempt.
+fn fault_gate(
+    config: &JobConfig,
+    counters: &Counters,
+    task: u64,
+    attempt: u32,
+    reduce: bool,
+) -> Result<(), MrError> {
+    let Some(plan) = &config.faults else {
+        return Ok(());
+    };
+    if let Some(delay) = plan.slow(task, attempt) {
+        counters.add(Counter::FaultsInjected, 1);
+        std::thread::sleep(delay);
+    }
+    let hit = if reduce {
+        plan.reduce_error(task, attempt)
+    } else {
+        plan.map_error(task, attempt)
+    };
+    if hit {
+        counters.add(Counter::FaultsInjected, 1);
+        return Err(MrError::TaskFailed(format!(
+            "injected {} fault: task {task} attempt {attempt}",
+            if reduce { "reduce" } else { "map" }
+        )));
+    }
+    Ok(())
 }
 
 /// Execute a job. Called by [`crate::job::Job::run`].
@@ -63,38 +256,27 @@ pub fn run_job(
         .collect();
     let errors: Mutex<Vec<MrError>> = Mutex::new(Vec::new());
 
-    {
-        let queue = WorkQueue::new(splits.into_iter().enumerate().collect());
-        std::thread::scope(|scope| {
-            for slot in 0..config.map_slots {
-                let queue = &queue;
-                let mapper = mapper.clone();
-                let counters = counters.clone();
-                let map_outputs = &map_outputs;
-                let errors = &errors;
-                let config = config.clone();
-                scope.spawn(move || {
-                    let _att = config
-                        .recorder
-                        .as_ref()
-                        .map(|r| r.attach(&format!("map-slot-{slot}")));
-                    while let Some((task, split)) = queue.claim() {
-                        match run_map_task(&config, task, &split, mapper.as_ref(), &counters) {
-                            Ok(segments) => {
-                                for (partition, seg) in segments {
-                                    map_outputs[partition].lock().push(seg.data);
-                                }
-                            }
-                            Err(e) => {
-                                errors.lock().push(e);
-                                queue.abort();
-                            }
-                        }
-                    }
-                });
+    drive_slots(
+        config,
+        "map",
+        splits.into_iter().enumerate().collect(),
+        config.map_slots,
+        &counters,
+        &errors,
+        |task, split, attempt| {
+            fault_gate(config, &counters, task as u64, attempt, false)?;
+            // Attempt-local counters, absorbed only on success: a failed
+            // attempt charges nothing, so a retried job reports the same
+            // semantic counters as a clean one.
+            let local = Counters::new();
+            let segments = run_map_task(config, task, split, mapper.as_ref(), &local)?;
+            counters.absorb(&local.snapshot());
+            for (partition, seg) in segments {
+                map_outputs[partition].lock().push(seg.data);
             }
-        });
-    }
+            Ok(())
+        },
+    );
     {
         let collected = std::mem::take(&mut *errors.lock());
         if !collected.is_empty() {
@@ -114,36 +296,40 @@ pub fn run_job(
     let outputs: Vec<Mutex<Vec<KvPair>>> = (0..config.num_reducers)
         .map(|_| Mutex::new(Vec::new()))
         .collect();
-    {
-        let queue = WorkQueue::new((0..config.num_reducers).collect());
-        std::thread::scope(|scope| {
-            for slot in 0..config.reduce_slots {
-                let queue = &queue;
-                let reducer = reducer.clone();
-                let counters = counters.clone();
-                let map_outputs = &map_outputs;
-                let outputs = &outputs;
-                let errors = &errors;
-                let config = config.clone();
-                scope.spawn(move || {
-                    let _att = config
-                        .recorder
-                        .as_ref()
-                        .map(|r| r.attach(&format!("reduce-slot-{slot}")));
-                    while let Some(r) = queue.claim() {
-                        let segments = std::mem::take(&mut *map_outputs[r].lock());
-                        match run_reduce_task(&config, r, segments, reducer.as_ref(), &counters) {
-                            Ok(out) => *outputs[r].lock() = out,
-                            Err(e) => {
-                                errors.lock().push(e);
-                                queue.abort();
-                            }
-                        }
-                    }
-                });
+    drive_slots(
+        config,
+        "reduce",
+        (0..config.num_reducers).map(|r| (r, ())).collect(),
+        config.reduce_slots,
+        &counters,
+        &errors,
+        |task, _item, attempt| {
+            fault_gate(config, &counters, task as u64, attempt, true)?;
+            let segments = std::mem::take(&mut *map_outputs[task].lock());
+            // Injected corruption counts against the job-wide bank here
+            // (the attempt-local bank below is discarded on failure, and
+            // a corrupted segment is designed to fail the attempt).
+            if let Some(plan) = &config.faults {
+                let injected = (0..segments.len())
+                    .filter(|&i| plan.corruption(task as u64, attempt, i as u64).is_some())
+                    .count() as u64;
+                counters.add(Counter::FaultsInjected, injected);
             }
-        });
-    }
+            let local = Counters::new();
+            match run_reduce_task(config, task, &segments, reducer.as_ref(), &local, attempt) {
+                Ok(out) => {
+                    counters.absorb(&local.snapshot());
+                    *outputs[task].lock() = out;
+                    Ok(())
+                }
+                Err(e) => {
+                    // Restore the segments so the retry can re-fetch them.
+                    *map_outputs[task].lock() = segments;
+                    Err(e)
+                }
+            }
+        },
+    );
     {
         let collected = std::mem::take(&mut *errors.lock());
         if !collected.is_empty() {
@@ -408,17 +594,32 @@ fn merge_spills(
 fn run_reduce_task(
     config: &JobConfig,
     task: usize,
-    segments: Vec<Vec<u8>>,
+    segments: &[Vec<u8>],
     reducer: &dyn Reducer,
     counters: &Counters,
+    attempt: u32,
 ) -> Result<Vec<KvPair>, MrError> {
     let ks = &config.key_semantics;
     let mut raws = Vec::with_capacity(segments.len());
     {
         let _fetch_span = crate::span!(Phase::ShuffleFetch, task);
-        for seg in &segments {
+        for (index, seg) in segments.iter().enumerate() {
             obs::hist(Metric::ShuffleSegmentBytes, seg.len() as u64);
-            let r = RawSegment::open(seg, config.codec.as_ref())?;
+            // A configured fault plan may corrupt the fetched copy of a
+            // segment (the canonical map output stays intact, as it
+            // would on the mapper's disk); the hot path borrows.
+            let corruption = config
+                .faults
+                .as_ref()
+                .and_then(|p| p.corruption(task as u64, attempt, index as u64));
+            let r = match corruption {
+                Some(c) => {
+                    let mut fetched = seg.clone();
+                    c.apply(&mut fetched);
+                    RawSegment::open(&fetched, config.codec.as_ref())?
+                }
+                None => RawSegment::open(seg, config.codec.as_ref())?,
+            };
             counters.add(Counter::DecompressNanos, r.decompress_nanos);
             raws.push(r);
         }

@@ -92,7 +92,7 @@ fn traced_wordcount_config(recorder: &Recorder) -> JobConfig {
 }
 
 #[test]
-fn traced_job_covers_all_eight_phases() {
+fn traced_job_covers_all_phases() {
     let recorder = Recorder::new();
     // Job 1: combiner + multi-spill wordcount (map-side stages + merge).
     sum_job(
@@ -104,6 +104,23 @@ fn traced_job_covers_all_eight_phases() {
         JobConfig::default()
             .with_key_semantics(Arc::new(ConservativeKeys))
             .with_recorder(recorder.clone()),
+        wordcount_splits(120, 10),
+    );
+    // Job 3: every map task fails its first attempt (cap 1) and retries
+    // succeed — exercises the Retry phase deterministically.
+    sum_job(
+        JobConfig::default()
+            .with_recorder(recorder.clone())
+            .with_retries(1)
+            .with_retry_backoff(std::time::Duration::from_micros(1))
+            .with_faults(scihadoop_mapreduce::FaultPlan::new(
+                scihadoop_mapreduce::FaultConfig {
+                    seed: 1,
+                    map_error_rate: 1.0,
+                    attempt_cap: 1,
+                    ..scihadoop_mapreduce::FaultConfig::default()
+                },
+            )),
         wordcount_splits(120, 10),
     );
     let trace = recorder.finish();
