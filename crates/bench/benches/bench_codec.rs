@@ -1,0 +1,240 @@
+//! Codec-kernel benchmark: the PR-4 performance claims, measured.
+//!
+//! Three questions, one committed baseline (`BENCH_codec.json`):
+//!
+//! 1. **Parallel block pipeline** — `block-transform+deflate` with a
+//!    4-worker [`CodecPool`] vs the whole-buffer `transform+deflate`
+//!    compress path on the Fig. 3 grid-key stream. On a k-core host the
+//!    target is ≥3× with 4 workers; on a single-core host (CI
+//!    containers) the pool degenerates to the calling thread and the
+//!    measured ratio reports the frame's bookkeeping overhead instead,
+//!    so the JSON records `host_cpus` next to the ratio.
+//! 2. **Single-threaded kernels** — the batch-loop [`StridePredictor`]
+//!    vs the original per-byte rescanning [`ReferencePredictor`]
+//!    (forward and inverse), plus deflate over raw and transformed
+//!    streams. Target: ≥1.5× end-to-end single-threaded compress.
+//! 3. **Ratio cost** — compressed size of the block frame vs the
+//!    whole-buffer stream (must stay within 5%), plus a 64 KiB–1 MiB
+//!    block-size sweep backing the 256 KiB default.
+//!
+//! Run with `cargo bench --bench bench_codec`. Set
+//! `BENCH_CODEC_JSON=<path>` to write the JSON report;
+//! `BENCH_CODEC_FAST=1` shrinks the stream and sample counts (CI smoke).
+
+use criterion::{black_box, Criterion, Throughput};
+use scihadoop_bench::workloads;
+use scihadoop_compress::{BlockCodec, Codec, CodecPool, DeflateCodec};
+use scihadoop_core::transform::{
+    ReferencePredictor, StridePredictor, TransformCodec, TransformConfig,
+};
+use std::sync::Arc;
+
+fn fast_mode() -> bool {
+    std::env::var("BENCH_CODEC_FAST").is_ok_and(|v| v != "0")
+}
+
+fn median_of(c: &Criterion, id: &str) -> f64 {
+    c.measurements
+        .iter()
+        .find(|m| m.id == id)
+        .unwrap_or_else(|| panic!("measurement {id} missing"))
+        .median_ns
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    let samples = if fast_mode() { 1 } else { 5 };
+    let n = if fast_mode() { 32 } else { 100 };
+    // The Fig. 3 workload: serialized keys of an n³ grid walk.
+    let stream = workloads::grid_key_stream(n);
+    let config = TransformConfig::default();
+
+    // 1. Predictor kernels: batch loop vs per-byte rescan reference.
+    {
+        let mut g = criterion.benchmark_group("codec_predictor");
+        g.throughput(Throughput::Bytes(stream.len() as u64))
+            .sample_size(samples);
+        g.bench_function("reference/forward", |b| {
+            b.iter(|| black_box(ReferencePredictor::new(config.clone()).forward(&stream)))
+        });
+        g.bench_function("fast/forward", |b| {
+            b.iter(|| black_box(StridePredictor::new(config.clone()).forward(&stream)))
+        });
+        let transformed = StridePredictor::new(config.clone()).forward(&stream);
+        g.bench_function("reference/inverse", |b| {
+            b.iter(|| black_box(ReferencePredictor::new(config.clone()).inverse(&transformed)))
+        });
+        g.bench_function("fast/inverse", |b| {
+            b.iter(|| black_box(StridePredictor::new(config.clone()).inverse(&transformed)))
+        });
+        g.finish();
+    }
+
+    // 2. Deflate over the raw and the transformed stream (the two
+    //    shapes the match finder sees in the shuffle).
+    {
+        let transformed = StridePredictor::new(config.clone()).forward(&stream);
+        let deflate = DeflateCodec::new();
+        let mut g = criterion.benchmark_group("codec_deflate");
+        g.throughput(Throughput::Bytes(stream.len() as u64))
+            .sample_size(samples);
+        g.bench_function("compress/raw", |b| {
+            b.iter(|| black_box(deflate.compress(&stream)))
+        });
+        g.bench_function("compress/transformed", |b| {
+            b.iter(|| black_box(deflate.compress(&transformed)))
+        });
+        g.finish();
+    }
+
+    // 3. Whole-buffer vs parallel block pipeline, compress + decompress.
+    let whole: Arc<dyn Codec> = Arc::new(TransformCodec::new(
+        config.clone(),
+        Arc::new(DeflateCodec::new()),
+    ));
+    let block_of = |pool_workers: usize| -> Arc<dyn Codec> {
+        Arc::new(BlockCodec::with_pool(
+            Arc::new(TransformCodec::new(
+                config.clone(),
+                Arc::new(DeflateCodec::new()),
+            )),
+            scihadoop_compress::DEFAULT_BLOCK_SIZE,
+            CodecPool::new(pool_workers),
+        ))
+    };
+    let block_serial = block_of(0);
+    let block_pool4 = block_of(4);
+    {
+        let mut g = criterion.benchmark_group("codec_block_pipeline");
+        g.throughput(Throughput::Bytes(stream.len() as u64))
+            .sample_size(samples);
+        g.bench_function("whole/compress", |b| {
+            b.iter(|| black_box(whole.compress(&stream)))
+        });
+        g.bench_function("block-serial/compress", |b| {
+            b.iter(|| black_box(block_serial.compress(&stream)))
+        });
+        g.bench_function("block-pool4/compress", |b| {
+            b.iter(|| black_box(block_pool4.compress(&stream)))
+        });
+        let z_whole = whole.compress(&stream);
+        let z_block = block_pool4.compress(&stream);
+        g.bench_function("whole/decompress", |b| {
+            b.iter(|| black_box(whole.decompress(&z_whole).unwrap()))
+        });
+        g.bench_function("block-pool4/decompress", |b| {
+            b.iter(|| black_box(block_pool4.decompress(&z_block).unwrap()))
+        });
+        g.finish();
+    }
+    let whole_size = whole.compress(&stream).len();
+    let block_default_size = block_serial.compress(&stream).len();
+
+    // Size cost of the frame alone (no transform): blocked deflate
+    // restarts its window + Huffman tables per block, nothing else.
+    let deflate_whole = DeflateCodec::new();
+    let deflate_block = BlockCodec::with_pool(
+        Arc::new(DeflateCodec::new()),
+        scihadoop_compress::DEFAULT_BLOCK_SIZE,
+        CodecPool::new(0),
+    );
+    let deflate_whole_size = deflate_whole.compress(&stream).len();
+    let deflate_block_size = deflate_block.compress(&stream).len();
+
+    // 4. Block-size sweep (serial pool so only the framing varies).
+    let sweep_kib: &[usize] = if fast_mode() {
+        &[64, 256]
+    } else {
+        &[64, 128, 256, 512, 1024]
+    };
+    let mut sweep = Vec::new();
+    {
+        let mut g = criterion.benchmark_group("codec_block_sweep");
+        g.throughput(Throughput::Bytes(stream.len() as u64))
+            .sample_size(samples);
+        for &kib in sweep_kib {
+            let codec = BlockCodec::with_pool(
+                Arc::new(TransformCodec::new(
+                    config.clone(),
+                    Arc::new(DeflateCodec::new()),
+                )),
+                kib * 1024,
+                CodecPool::new(0),
+            );
+            let size = codec.compress(&stream).len();
+            g.bench_function(format!("{kib}KiB/compress"), |b| {
+                b.iter(|| black_box(codec.compress(&stream)))
+            });
+            sweep.push((kib, size));
+        }
+        g.finish();
+    }
+
+    let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let predictor_forward_speedup = median_of(&criterion, "codec_predictor/reference/forward")
+        / median_of(&criterion, "codec_predictor/fast/forward");
+    let predictor_inverse_speedup = median_of(&criterion, "codec_predictor/reference/inverse")
+        / median_of(&criterion, "codec_predictor/fast/inverse");
+    let parallel_speedup = median_of(&criterion, "codec_block_pipeline/whole/compress")
+        / median_of(&criterion, "codec_block_pipeline/block-pool4/compress");
+    let size_regression_percent =
+        (deflate_block_size as f64 - deflate_whole_size as f64) * 100.0 / deflate_whole_size as f64;
+    let transform_restart_cost_percent =
+        (block_default_size as f64 - whole_size as f64) * 100.0 / whole_size as f64;
+
+    println!("\nhost cpus:                      {host_cpus}");
+    println!("predictor forward speedup:      {predictor_forward_speedup:.2}x");
+    println!("predictor inverse speedup:      {predictor_inverse_speedup:.2}x");
+    println!("block(pool4) compress speedup:  {parallel_speedup:.2}x vs whole-buffer");
+    println!(
+        "block frame size cost (deflate): {deflate_whole_size} -> {deflate_block_size} B ({size_regression_percent:+.2}%)"
+    );
+    println!(
+        "predictor-restart cost (t+d):    {whole_size} -> {block_default_size} B ({transform_restart_cost_percent:+.2}%)"
+    );
+    for (kib, size) in &sweep {
+        println!("  sweep {kib:>5} KiB blocks -> {size} B");
+    }
+
+    if let Ok(path) = std::env::var("BENCH_CODEC_JSON") {
+        let mut json = String::from("{\n  \"benchmarks\": [\n");
+        for (i, m) in criterion.measurements.iter().enumerate() {
+            let sep = if i + 1 < criterion.measurements.len() {
+                ","
+            } else {
+                ""
+            };
+            json.push_str(&format!(
+                "    {{\"id\": \"{}\", \"median_ns\": {:.0}, \"bytes_per_s\": {:.0}}}{}\n",
+                m.id,
+                m.median_ns,
+                m.per_second().unwrap_or(0.0),
+                sep
+            ));
+        }
+        json.push_str("  ],\n  \"block_size_sweep\": [\n");
+        for (i, (kib, size)) in sweep.iter().enumerate() {
+            let sep = if i + 1 < sweep.len() { "," } else { "" };
+            let ns = median_of(&criterion, &format!("codec_block_sweep/{kib}KiB/compress"));
+            json.push_str(&format!(
+                "    {{\"block_kib\": {kib}, \"compressed_bytes\": {size}, \"median_ns\": {ns:.0}}}{sep}\n"
+            ));
+        }
+        json.push_str(&format!(
+            "  ],\n  \"host_cpus\": {host_cpus},\n  \
+             \"stream_bytes\": {},\n  \
+             \"deflate_whole_bytes\": {deflate_whole_size},\n  \
+             \"deflate_block_bytes\": {deflate_block_size},\n  \
+             \"size_regression_percent\": {size_regression_percent:.2},\n  \
+             \"transform_deflate_whole_bytes\": {whole_size},\n  \
+             \"transform_deflate_block_bytes\": {block_default_size},\n  \
+             \"transform_restart_cost_percent\": {transform_restart_cost_percent:.2},\n  \
+             \"predictor_forward_speedup\": {predictor_forward_speedup:.2},\n  \
+             \"predictor_inverse_speedup\": {predictor_inverse_speedup:.2},\n  \
+             \"parallel_compress_speedup_pool4\": {parallel_speedup:.2}\n}}\n",
+            stream.len()
+        ));
+        std::fs::write(&path, json).expect("write bench json");
+        println!("wrote {path}");
+    }
+}

@@ -22,6 +22,11 @@
 //!   all        everything above (default)
 //!
 //! --small runs reduced problem sizes (CI-friendly).
+//! --codec <name> sets the intermediate-data codec for fault_storm,
+//!   composed from: [block-][transform+](identity|rle|deflate|bzip),
+//!   e.g. "block-transform+deflate" (the parallel block pipeline over
+//!   the stride transform over deflate). --block-kib <n> sets the block
+//!   size in KiB for every block- layer (default 256).
 //! --faults <spec> configures the fault_storm plan, e.g.
 //!   "seed=42,map=0.4,reduce=0.3,corrupt=0.3,slow=0.1,slow_ms=1,cap=2"
 //!   (keys are optional; rates in [0,1]). --retries <n> sets the
@@ -126,6 +131,25 @@ fn main() {
             })
         })
         .unwrap_or(3);
+    let block_kib: usize = flag_value("--block-kib")
+        .map(|v| {
+            let kib: usize = v.parse().unwrap_or_else(|_| {
+                eprintln!("--block-kib requires an unsigned integer, got {v:?}");
+                std::process::exit(2);
+            });
+            if kib == 0 {
+                eprintln!("--block-kib must be non-zero");
+                std::process::exit(2);
+            }
+            kib
+        })
+        .unwrap_or(scihadoop_compress::DEFAULT_BLOCK_SIZE / 1024);
+    let codec = flag_value("--codec").map(|name| {
+        bench::codec_by_name_with_block_size(&name, block_kib * 1024).unwrap_or_else(|e| {
+            eprintln!("bad --codec: {e}");
+            std::process::exit(2);
+        })
+    });
     // Positional experiment name: skip flags and their path values. With
     // only --trace/--metrics given, default to the trace experiment
     // rather than the full suite.
@@ -140,7 +164,13 @@ fn main() {
             skip_next = false;
             continue;
         }
-        if a == "--trace" || a == "--metrics" || a == "--faults" || a == "--retries" {
+        if a == "--trace"
+            || a == "--metrics"
+            || a == "--faults"
+            || a == "--retries"
+            || a == "--codec"
+            || a == "--block-kib"
+        {
             skip_next = true;
         } else if !a.starts_with("--") {
             which = a.clone();
@@ -244,7 +274,13 @@ fn main() {
     if run("fault_storm") {
         println!(
             "{}",
-            bench::fault_storm(s.storm_records, fault_config.clone(), retries).render()
+            bench::fault_storm_with_codec(
+                s.storm_records,
+                fault_config.clone(),
+                retries,
+                codec.clone()
+            )
+            .render()
         );
         ran = true;
     }

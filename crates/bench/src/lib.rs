@@ -4,10 +4,12 @@
 //! prints next to the paper's reference numbers and the Criterion
 //! benches time. All workloads are deterministic (seeded).
 
+pub mod codecs;
 pub mod experiments;
 pub mod json;
 pub mod report;
 pub mod workloads;
 
+pub use codecs::{codec_by_name, codec_by_name_with_block_size};
 pub use experiments::*;
 pub use report::Table;

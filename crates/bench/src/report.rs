@@ -31,6 +31,11 @@ impl Table {
         self.notes.push(note.to_string());
     }
 
+    /// Table title (for tests and EXPERIMENTS.md generation).
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
     /// Table rows (for tests and EXPERIMENTS.md generation).
     pub fn rows(&self) -> &[Vec<String>] {
         &self.rows

@@ -46,7 +46,7 @@ impl Default for BzipCodec {
 }
 
 impl Codec for BzipCodec {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "bzip"
     }
 

@@ -13,8 +13,10 @@ use std::sync::Arc;
 /// compression module").
 pub trait Codec: Send + Sync {
     /// Short name used in reports ("gzip-equivalent" codecs report
-    /// "deflate", etc.).
-    fn name(&self) -> &'static str;
+    /// "deflate", etc.). Wrapper codecs compose names dynamically
+    /// ("transform+deflate", "block-transform+deflate"), so the name
+    /// borrows from the codec rather than from static storage.
+    fn name(&self) -> &str;
 
     /// Compress `input` into a fresh buffer. Compression is total: any
     /// input has a valid compressed form.
@@ -33,7 +35,7 @@ pub type CodecHandle = Arc<dyn Codec>;
 pub struct IdentityCodec;
 
 impl Codec for IdentityCodec {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "identity"
     }
 
@@ -52,7 +54,7 @@ impl Codec for IdentityCodec {
 pub struct RleCodec;
 
 impl Codec for RleCodec {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "rle"
     }
 
@@ -78,11 +80,24 @@ impl Codec for RleCodec {
             return Err(CompressError::Truncated("rle header".into()));
         }
         let orig_len = u64::from_le_bytes(input[..8].try_into().unwrap()) as usize;
-        let mut out = Vec::with_capacity(orig_len);
         let body = &input[8..];
         if !body.len().is_multiple_of(2) {
             return Err(CompressError::Corrupt("odd rle body".into()));
         }
+        // The declared length is attacker-controlled; validate it against
+        // what the body can actually produce (each pair emits 1..=255
+        // bytes) before trusting it, and cap the pre-allocation so a
+        // corrupt header can never reserve more than a bounded multiple
+        // of the input actually presented.
+        let max_possible = (body.len() / 2) * 255;
+        if orig_len > max_possible {
+            return Err(CompressError::Corrupt(format!(
+                "rle declared {orig_len} bytes but {} pairs can produce at most {max_possible}",
+                body.len() / 2
+            )));
+        }
+        const PREALLOC_CAP: usize = 1 << 20;
+        let mut out = Vec::with_capacity(orig_len.min(PREALLOC_CAP));
         for pair in body.chunks_exact(2) {
             let (run, b) = (pair[0] as usize, pair[1]);
             if run == 0 {
@@ -151,6 +166,20 @@ mod tests {
         let last = z4.len() - 2;
         z4[last] = 0; // zero-length run
         assert!(c.decompress(&z4).is_err());
+    }
+
+    #[test]
+    fn rle_rejects_adversarial_declared_length() {
+        let c = RleCodec;
+        // Header claims u64::MAX bytes but the body holds a single pair:
+        // decompress must reject before allocating anything like that.
+        let mut z = u64::MAX.to_le_bytes().to_vec();
+        z.extend_from_slice(&[255u8, 0xAB]);
+        assert!(c.decompress(&z).is_err());
+        // Declared length just above what the body can produce.
+        let mut z2 = (256u64).to_le_bytes().to_vec();
+        z2.extend_from_slice(&[255u8, 1]);
+        assert!(c.decompress(&z2).is_err());
     }
 
     #[test]

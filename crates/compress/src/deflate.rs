@@ -92,40 +92,81 @@ const DIST_TABLE: [(u16, u8); 30] = [
     (24577, 13),
 ];
 
-fn length_code(len: usize) -> (usize, u16, u8) {
-    debug_assert!((MIN_MATCH..=MAX_MATCH).contains(&len));
-    // Last code (285) is exact 258; otherwise binary search the table.
+/// `len - MIN_MATCH` → length-code index, replacing the per-token linear
+/// scan of `LENGTH_TABLE`. Built at compile time from the table so the
+/// two can never drift.
+const LENGTH_CODE_LUT: [u8; MAX_MATCH - MIN_MATCH + 1] = {
+    let mut lut = [0u8; MAX_MATCH - MIN_MATCH + 1];
     let mut code = 0;
-    for (i, &(base, extra)) in LENGTH_TABLE.iter().enumerate() {
-        let top = if i + 1 < LENGTH_TABLE.len() {
-            LENGTH_TABLE[i + 1].0 as usize
+    while code < LENGTH_TABLE.len() {
+        let base = LENGTH_TABLE[code].0 as usize;
+        let top = if code + 1 < LENGTH_TABLE.len() {
+            LENGTH_TABLE[code + 1].0 as usize
         } else {
             MAX_MATCH + 1
         };
-        if len >= base as usize && len < top {
-            code = i;
-            let _ = extra;
-            break;
+        let mut len = base;
+        while len < top {
+            lut[len - MIN_MATCH] = code as u8;
+            len += 1;
         }
+        code += 1;
     }
-    // Special-case: 258 must map to code 285 (base 258), not 284+extra.
-    if len == MAX_MATCH {
-        code = 28;
+    lut
+};
+
+const fn dist_code_index(dist: usize) -> u8 {
+    let mut code = 0;
+    let mut i = 0;
+    while i < DIST_TABLE.len() {
+        if dist >= DIST_TABLE[i].0 as usize {
+            code = i;
+        }
+        i += 1;
     }
+    code as u8
+}
+
+/// `dist - 1` → distance-code index for distances 1..=256.
+const DIST_LUT_SMALL: [u8; 256] = {
+    let mut lut = [0u8; 256];
+    let mut d = 1;
+    while d <= 256 {
+        lut[d - 1] = dist_code_index(d);
+        d += 1;
+    }
+    lut
+};
+
+/// `(dist - 1) >> 7` → distance-code index for distances 257..=32768.
+/// Valid because every distance code ≥ 16 spans whole 128-byte-aligned
+/// ranges (zlib's classic two-level trick).
+const DIST_LUT_LARGE: [u8; 256] = {
+    let mut lut = [0u8; 256];
+    let mut idx = 2;
+    while idx < 256 {
+        lut[idx] = dist_code_index((idx << 7) + 1);
+        idx += 1;
+    }
+    lut
+};
+
+#[inline]
+fn length_code(len: usize) -> (usize, u16, u8) {
+    debug_assert!((MIN_MATCH..=MAX_MATCH).contains(&len));
+    let code = LENGTH_CODE_LUT[len - MIN_MATCH] as usize;
     let (base, extra) = LENGTH_TABLE[code];
     (257 + code, len as u16 - base, extra)
 }
 
+#[inline]
 fn dist_code(dist: usize) -> (usize, u16, u8) {
     debug_assert!((1..=WINDOW_SIZE).contains(&dist));
-    let mut code = 0;
-    for (i, &(base, _)) in DIST_TABLE.iter().enumerate() {
-        if dist >= base as usize {
-            code = i;
-        } else {
-            break;
-        }
-    }
+    let code = if dist <= 256 {
+        DIST_LUT_SMALL[dist - 1]
+    } else {
+        DIST_LUT_LARGE[(dist - 1) >> 7]
+    } as usize;
     let (base, extra) = DIST_TABLE[code];
     (code, (dist - base as usize) as u16, extra)
 }
@@ -157,7 +198,7 @@ impl Default for DeflateCodec {
 }
 
 impl Codec for DeflateCodec {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "deflate"
     }
 

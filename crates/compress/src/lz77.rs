@@ -30,6 +30,32 @@ fn hash3(data: &[u8], i: usize) -> usize {
     ((v.wrapping_mul(0x9E37_79B1)) >> (32 - HASH_BITS)) as usize
 }
 
+/// Length of the common prefix of `data[cand..]` and `data[i..]`, capped
+/// at `max_len`. Compares eight bytes per step (the first differing byte
+/// falls out of the XOR's trailing zeros), then finishes byte-wise — the
+/// result is exactly what the scalar loop would produce, so the token
+/// stream (and therefore compressed size) is unchanged.
+#[inline]
+fn match_len(data: &[u8], cand: usize, i: usize, max_len: usize) -> usize {
+    debug_assert!(cand < i);
+    let mut l = 0usize;
+    // `cand + l + 8 <= cand + max_len <= cand + (data.len() - i) <=
+    // data.len()` because `cand < i`, so both slices stay in bounds.
+    while l + 8 <= max_len {
+        let a = u64::from_le_bytes(data[cand + l..cand + l + 8].try_into().unwrap());
+        let b = u64::from_le_bytes(data[i + l..i + l + 8].try_into().unwrap());
+        let x = a ^ b;
+        if x != 0 {
+            return l + (x.trailing_zeros() / 8) as usize;
+        }
+        l += 8;
+    }
+    while l < max_len && data[cand + l] == data[i + l] {
+        l += 1;
+    }
+    l
+}
+
 /// Tokenize `data` greedily with lazy matching (one-step lookahead, like
 /// zlib's default strategy).
 pub fn tokenize(data: &[u8], max_chain: usize) -> Vec<Token> {
@@ -71,10 +97,7 @@ pub fn tokenize(data: &[u8], max_chain: usize) -> Vec<Token> {
                 && i + best_len < data.len()
                 && data[cand + best_len] == data[i + best_len]
             {
-                let mut l = 0usize;
-                while l < max_len && data[cand + l] == data[i + l] {
-                    l += 1;
-                }
+                let l = match_len(data, cand, i, max_len);
                 if l > best_len {
                     best_len = l;
                     best_dist = dist;
@@ -244,6 +267,35 @@ mod tests {
             tokens.len(),
             data.len()
         );
+    }
+
+    #[test]
+    fn wide_match_len_agrees_with_scalar() {
+        let mut state = 0xDEADBEEFu64;
+        let mut data = vec![0u8; 4096];
+        for b in data.iter_mut() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            *b = if (state >> 60) < 12 {
+                7
+            } else {
+                (state >> 33) as u8
+            };
+        }
+        // Plant shared prefixes at assorted alignments and mismatch
+        // offsets (including overlapping candidates, dist < 8).
+        for (cand, i, planted) in [(0, 100, 293), (3, 1000, 40), (17, 2048, 258), (5, 13, 9)] {
+            for k in 0..planted {
+                data[i + k] = data[cand + k];
+            }
+            data[i + planted] = data[cand + planted].wrapping_add(1);
+            let max_len = MAX_MATCH.min(data.len() - i);
+            let mut scalar = 0;
+            while scalar < max_len && data[cand + scalar] == data[i + scalar] {
+                scalar += 1;
+            }
+            assert_eq!(match_len(&data, cand, i, max_len), scalar);
+            assert_eq!(scalar, planted.min(max_len));
+        }
     }
 
     #[test]

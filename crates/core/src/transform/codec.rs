@@ -19,18 +19,19 @@ const MAGIC: &[u8; 4] = b"SXF1";
 pub struct TransformCodec {
     config: TransformConfig,
     inner: Arc<dyn Codec>,
-    name: &'static str,
+    name: String,
 }
 
 impl TransformCodec {
     /// Wrap `inner` with the transform using `config`.
     pub fn new(config: TransformConfig, inner: Arc<dyn Codec>) -> Self {
-        // A static name keeps the Codec trait simple; derive from inner.
+        // Compose the name from the actual inner codec so wrapped
+        // block/pooled codecs stay distinguishable in counters and
+        // reports (the old static-name fallback collapsed them all to
+        // "transform+inner").
         let name = match inner.name() {
-            "deflate" => "transform+deflate",
-            "bzip" => "transform+bzip",
-            "identity" => "transform",
-            _ => "transform+inner",
+            "identity" => "transform".to_string(),
+            other => format!("transform+{other}"),
         };
         TransformCodec {
             config,
@@ -60,8 +61,8 @@ impl std::fmt::Debug for TransformCodec {
 }
 
 impl Codec for TransformCodec {
-    fn name(&self) -> &'static str {
-        self.name
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn compress(&self, input: &[u8]) -> Vec<u8> {
@@ -181,6 +182,23 @@ mod tests {
         assert_eq!(
             TransformCodec::with_defaults(Arc::new(BzipCodec::new())).name(),
             "transform+bzip"
+        );
+        assert_eq!(
+            TransformCodec::with_defaults(Arc::new(IdentityCodec)).name(),
+            "transform"
+        );
+        // Non-builtin inner codecs keep their identity instead of
+        // collapsing to a "transform+inner" fallback.
+        assert_eq!(
+            TransformCodec::with_defaults(Arc::new(scihadoop_compress::RleCodec)).name(),
+            "transform+rle"
+        );
+        assert_eq!(
+            TransformCodec::with_defaults(Arc::new(scihadoop_compress::BlockCodec::new(Arc::new(
+                DeflateCodec::new()
+            ))))
+            .name(),
+            "transform+block-deflate"
         );
     }
 }

@@ -1,5 +1,21 @@
 //! The stride-predictor state machine shared by the forward and inverse
 //! transforms (§III-A, §III-B, §III-C).
+//!
+//! # Hot-path layout
+//!
+//! The original implementation scanned the *full* stride set at every
+//! byte — once to predict, once to update, once to check eviction — so
+//! a default config (strides 1..=100) paid ~300 stride visits per input
+//! byte even after adaptation had narrowed the useful set to one or two
+//! strides. The current code keeps a compact `active_list` of stride
+//! indices and walks only that, fusing the update and eviction checks
+//! into one pass; per-stride phase counters replace the per-byte `%`,
+//! and the history ring is power-of-two sized so lookups are a mask.
+//! The evolution of predictor state is byte-identical to the original
+//! (kept as [`ReferencePredictor`](super::reference::ReferencePredictor)
+//! and cross-checked by property tests): active strides are visited in
+//! stride-list order, so the "first strictly-better run wins" tie-break
+//! and the `max_by_key` selection tie-break are preserved exactly.
 
 /// Tuning knobs of the detector. Defaults are the paper's values.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,7 +88,7 @@ impl TransformConfig {
         }
     }
 
-    fn strides(&self) -> Vec<usize> {
+    pub(crate) fn stride_list(&self) -> Vec<usize> {
         let strides = match &self.explicit_strides {
             Some(v) => v.clone(),
             None => (1..=self.max_stride).collect(),
@@ -130,6 +146,10 @@ struct StrideState {
     /// phases begin.
     table_offset: usize,
     active: bool,
+    /// Current phase (`pos % stride`), maintained incrementally while
+    /// the stride is active and recomputed on re-activation, so the hot
+    /// loop never divides.
+    phase: u32,
     /// Correct predictions since (re)activation.
     hits: u64,
     /// Total predictions since (re)activation.
@@ -154,12 +174,18 @@ struct StrideState {
 pub struct StridePredictor {
     config: TransformConfig,
     strides: Vec<StrideState>,
+    /// Indices of active strides, in stride-list order (the order the
+    /// original implementation visited them, which the prediction and
+    /// selection tie-breaks depend on).
+    active_list: Vec<u32>,
     /// Flat sequence table; stride `s` with phase `φ` lives at
     /// `table_offset(s) + φ`.
     table: Vec<Sequence>,
     /// Ring buffer of the last `max_stride` original (reconstructed)
-    /// bytes.
+    /// bytes, power-of-two sized.
     history: Vec<u8>,
+    /// `history.len() - 1`.
+    hist_mask: usize,
     /// Total bytes processed.
     pos: u64,
     /// Current selection cycle number.
@@ -169,15 +195,16 @@ pub struct StridePredictor {
 impl StridePredictor {
     /// Fresh predictor state.
     pub fn new(config: TransformConfig) -> Self {
-        let stride_list = config.strides();
+        let stride_list = config.stride_list();
         let mut table_len = 0usize;
-        let strides = stride_list
+        let strides: Vec<StrideState> = stride_list
             .iter()
             .map(|&s| {
                 let st = StrideState {
                     stride: s,
                     table_offset: table_len,
                     active: true,
+                    phase: 0,
                     hits: 0,
                     total: 0,
                     activated_at: 0,
@@ -189,8 +216,11 @@ impl StridePredictor {
                 st
             })
             .collect();
+        let hist_len = config.max_stride.max(1).next_power_of_two();
         StridePredictor {
-            history: vec![0u8; config.max_stride.max(1)],
+            active_list: (0..strides.len() as u32).collect(),
+            history: vec![0u8; hist_len],
+            hist_mask: hist_len - 1,
             config,
             strides,
             table: vec![Sequence::default(); table_len],
@@ -204,29 +234,36 @@ impl StridePredictor {
         &self.config
     }
 
-    #[inline]
-    fn hist(&self, back: usize) -> u8 {
-        debug_assert!(back >= 1 && back as u64 <= self.pos);
-        debug_assert!(back <= self.history.len());
-        let idx = (self.pos as usize - back) % self.history.len();
-        self.history[idx]
+    fn rebuild_active_list(&mut self) {
+        self.active_list.clear();
+        let strides = &self.strides;
+        self.active_list.extend(
+            strides
+                .iter()
+                .enumerate()
+                .filter(|(_, st)| st.active)
+                .map(|(i, _)| i as u32),
+        );
     }
 
     /// §III-B: the prediction for the next byte, if any sequence's run
-    /// length exceeds the threshold.
+    /// length exceeds the threshold. Walks only the active list; the
+    /// first strictly-better run wins, as in the full-set scan.
     #[inline]
     fn predict(&self) -> Option<u8> {
+        let pos = self.pos;
         let mut best_run = self.config.run_threshold;
         let mut best: Option<u8> = None;
-        for st in &self.strides {
-            if !st.active || (st.stride as u64) > self.pos {
+        for &ai in &self.active_list {
+            let st = &self.strides[ai as usize];
+            if (st.stride as u64) > pos {
                 continue;
             }
-            let phase = (self.pos % st.stride as u64) as usize;
-            let seq = &self.table[st.table_offset + phase];
+            let seq = &self.table[st.table_offset + st.phase as usize];
             if seq.run > best_run {
                 best_run = seq.run;
-                best = Some(self.hist(st.stride).wrapping_add(seq.delta));
+                let prev = self.history[(pos as usize - st.stride) & self.hist_mask];
+                best = Some(prev.wrapping_add(seq.delta));
             }
         }
         best
@@ -234,65 +271,76 @@ impl StridePredictor {
 
     /// Feed the actual byte `x` (original on the forward path,
     /// reconstructed on the inverse path) and evolve all state.
+    ///
+    /// One pass over the active list updates each stride's sequence cell
+    /// *and* applies the eviction rule: an active stride's counters only
+    /// change here and they change on every byte, so checking right
+    /// after the update is the original per-byte check.
     fn advance(&mut self, x: u8) {
-        // Update every active sequence against the observation.
-        for st in &mut self.strides {
-            let s = st.stride;
-            if !st.active || (s as u64) > self.pos {
-                continue;
-            }
-            let idx = (self.pos as usize - s) % self.history.len();
-            let prev = self.history[idx];
-            let phase = (self.pos % s as u64) as usize;
-            let seq = &mut self.table[st.table_offset + phase];
-            let counted = if st.warmup > 0 {
-                st.warmup -= 1;
-                false
-            } else {
-                st.total += 1;
-                true
-            };
-            if prev.wrapping_add(seq.delta) == x {
-                seq.run += 1;
-                if counted {
-                    st.hits += 1;
-                }
-            } else {
-                seq.delta = x.wrapping_sub(prev);
-                seq.run = 0;
-            }
-        }
-
-        // Record the byte.
-        let idx = (self.pos as usize) % self.history.len();
-        self.history[idx] = x;
-        self.pos += 1;
-
-        if !self.config.adaptive {
-            return;
-        }
-
-        // Eviction: active ≥ 2s bytes and hit rate below threshold.
-        let cycle = self.cycle;
         let pos = self.pos;
+        let new_pos = pos + 1;
+        let adaptive = self.config.adaptive;
         let (num, den) = (
             self.config.hit_rate_num as u64,
             self.config.hit_rate_den as u64,
         );
-        for st in &mut self.strides {
-            if st.active
-                && pos - st.activated_at >= 2 * st.stride as u64
-                && st.total > 0
-                && st.hits * den < st.total * num
-            {
-                st.active = false;
-                st.removed_at_cycle = cycle;
+        let mut evicted = false;
+        for &ai in &self.active_list {
+            let st = &mut self.strides[ai as usize];
+            let s = st.stride;
+            if (s as u64) <= pos {
+                let prev = self.history[(pos as usize - s) & self.hist_mask];
+                let seq = &mut self.table[st.table_offset + st.phase as usize];
+                let counted = if st.warmup > 0 {
+                    st.warmup -= 1;
+                    false
+                } else {
+                    st.total += 1;
+                    true
+                };
+                if prev.wrapping_add(seq.delta) == x {
+                    seq.run += 1;
+                    if counted {
+                        st.hits += 1;
+                    }
+                } else {
+                    seq.delta = x.wrapping_sub(prev);
+                    seq.run = 0;
+                }
+                // Eviction: active ≥ 2s bytes and hit rate below
+                // threshold.
+                if adaptive
+                    && new_pos - st.activated_at >= 2 * s as u64
+                    && st.total > 0
+                    && st.hits * den < st.total * num
+                {
+                    st.active = false;
+                    st.removed_at_cycle = self.cycle;
+                    evicted = true;
+                }
+            }
+            st.phase += 1;
+            if st.phase as usize >= s {
+                st.phase = 0;
             }
         }
 
+        // Record the byte.
+        self.history[pos as usize & self.hist_mask] = x;
+        self.pos = new_pos;
+
+        if !adaptive {
+            return;
+        }
+        if evicted {
+            self.rebuild_active_list();
+        }
+
         // Selection: once per cycle, re-admit the eligible stride that has
-        // been out of the active set the longest.
-        if self.pos.is_multiple_of(self.config.selection_cycle as u64) {
+        // been out of the active set the longest. This still scans the
+        // full stride list, but only once per `selection_cycle` bytes,
+        // and the `max_by_key` (last-max-wins) tie-break is untouched.
+        if new_pos.is_multiple_of(self.config.selection_cycle as u64) {
             self.cycle += 1;
             let cycle = self.cycle;
             if let Some(st) = self
@@ -302,47 +350,54 @@ impl StridePredictor {
                 .max_by_key(|st| cycle - st.removed_at_cycle)
             {
                 st.active = true;
+                st.phase = (new_pos % st.stride as u64) as u32;
                 st.hits = 0;
                 st.total = 0;
-                st.activated_at = pos;
+                st.activated_at = new_pos;
                 st.warmup = st.stride as u64;
                 st.last_selected_cycle = cycle;
+                self.rebuild_active_list();
             }
         }
     }
 
-    /// Forward transform (§III-B): returns the delta stream `y`.
-    pub fn forward(&mut self, input: &[u8]) -> Vec<u8> {
+    fn transform<const FORWARD: bool>(&mut self, input: &[u8]) -> Vec<u8> {
         let mut out = Vec::with_capacity(input.len());
-        for &x in input {
-            let y = match self.predict() {
-                Some(p) => x.wrapping_sub(p),
-                None => x,
+        for &b in input {
+            let pred = self.predict();
+            let x = if FORWARD {
+                out.push(match pred {
+                    Some(p) => b.wrapping_sub(p),
+                    None => b,
+                });
+                b
+            } else {
+                let x = match pred {
+                    Some(p) => b.wrapping_add(p),
+                    None => b,
+                };
+                out.push(x);
+                x
             };
-            out.push(y);
             self.advance(x);
         }
         out
     }
 
+    /// Forward transform (§III-B): returns the delta stream `y`.
+    pub fn forward(&mut self, input: &[u8]) -> Vec<u8> {
+        self.transform::<true>(input)
+    }
+
     /// Inverse transform (§III-C): reconstructs `x` from the delta stream.
     pub fn inverse(&mut self, input: &[u8]) -> Vec<u8> {
-        let mut out = Vec::with_capacity(input.len());
-        for &y in input {
-            let x = match self.predict() {
-                Some(p) => y.wrapping_add(p),
-                None => y,
-            };
-            out.push(x);
-            self.advance(x);
-        }
-        out
+        self.transform::<false>(input)
     }
 
     /// Number of currently active strides (observability for tests and
     /// the tuning bench).
     pub fn active_strides(&self) -> usize {
-        self.strides.iter().filter(|s| s.active).count()
+        self.active_list.len()
     }
 
     /// Per-stride diagnostics, most-effective strides first (by hit rate
@@ -393,6 +448,7 @@ impl StridePredictor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transform::reference::ReferencePredictor;
 
     fn grid_stream(n: i32) -> Vec<u8> {
         let mut data = Vec::new();
@@ -630,5 +686,55 @@ mod tests {
             tail.iter().all(|&b| b == 0),
             "constant stream not predicted"
         );
+    }
+
+    #[test]
+    fn fast_path_matches_reference_byte_for_byte() {
+        // The optimized batch loop must evolve exactly the same state as
+        // the original full-set scan — same output bytes, same surviving
+        // active set — across configs that exercise eviction, selection,
+        // warm-up, and the fixed/brute-force modes.
+        let mut mixed = grid_stream(14);
+        let mut state = 99u64;
+        for _ in 0..10_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            mixed.push((state >> 33) as u8);
+        }
+        mixed.extend((0..3000u32).flat_map(|i| i.to_be_bytes()));
+        for config in [
+            TransformConfig::default(),
+            TransformConfig::adaptive(17),
+            TransformConfig::adaptive(1),
+            TransformConfig::brute_force(33),
+            TransformConfig::fixed(vec![12]),
+            TransformConfig::fixed(vec![3, 7, 12, 100]),
+            TransformConfig {
+                selection_cycle: 64,
+                hit_rate_num: 1,
+                hit_rate_den: 2,
+                run_threshold: 0,
+                ..TransformConfig::adaptive(25)
+            },
+        ] {
+            let fast = StridePredictor::new(config.clone());
+            let slow = ReferencePredictor::new(config.clone());
+            let mut fast_f = fast.clone();
+            let mut slow_f = slow.clone();
+            let f1 = fast_f.forward(&mixed);
+            let f2 = slow_f.forward(&mixed);
+            assert_eq!(f1, f2, "forward diverged for {config:?}");
+            assert_eq!(
+                fast_f.active_strides(),
+                slow_f.active_strides(),
+                "active set diverged for {config:?}"
+            );
+            let mut fast_i = fast.clone();
+            let mut slow_i = slow.clone();
+            assert_eq!(
+                fast_i.inverse(&f1),
+                slow_i.inverse(&f2),
+                "inverse diverged for {config:?}"
+            );
+        }
     }
 }

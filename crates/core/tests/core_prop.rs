@@ -6,7 +6,9 @@ use scihadoop_core::aggregate::{
     align_run, coalesce_adjacent, expand_record, overlap_split, AggregateKey, AggregateRecord,
     Aggregator,
 };
-use scihadoop_core::transform::{forward, inverse, TransformCodec, TransformConfig};
+use scihadoop_core::transform::{
+    forward, inverse, ReferencePredictor, StridePredictor, TransformCodec, TransformConfig,
+};
 use scihadoop_grid::Coord;
 use scihadoop_sfc::{CurveRun, HilbertCurve, ZOrderCurve};
 use std::sync::Arc;
@@ -149,5 +151,39 @@ proptest! {
                 rec.value_at(i, 1).unwrap()
             );
         }
+    }
+
+    /// The optimized predictor hot path is byte-identical to the
+    /// original full-set scan ([`ReferencePredictor`]) on arbitrary data
+    /// and detector configurations, including the surviving active set.
+    #[test]
+    fn fast_predictor_equals_reference(
+        data in proptest::collection::vec(any::<u8>(), 0..3000),
+        max_stride in 1usize..40,
+        cycle in prop_oneof![Just(32usize), Just(64), Just(256)],
+        run_threshold in 0u32..4,
+        adaptive in any::<bool>(),
+    ) {
+        let config = TransformConfig {
+            max_stride,
+            adaptive,
+            selection_cycle: cycle,
+            run_threshold,
+            ..TransformConfig::default()
+        };
+        let mut fast = StridePredictor::new(config.clone());
+        let mut slow = ReferencePredictor::new(config.clone());
+        // Feed in uneven chunks so mid-stream state is also compared.
+        let mut fast_out = Vec::new();
+        let mut slow_out = Vec::new();
+        for chunk in data.chunks(277) {
+            fast_out.extend_from_slice(&fast.forward(chunk));
+            slow_out.extend_from_slice(&slow.forward(chunk));
+            prop_assert_eq!(fast.active_strides(), slow.active_strides());
+        }
+        prop_assert_eq!(&fast_out, &slow_out);
+        let mut fast_inv = StridePredictor::new(config.clone());
+        let mut slow_inv = ReferencePredictor::new(config);
+        prop_assert_eq!(fast_inv.inverse(&fast_out), slow_inv.inverse(&slow_out));
     }
 }

@@ -41,13 +41,19 @@ impl MrError {
         }
     }
 
-    /// Whether this error (or any task error inside it) is a segment
-    /// checksum failure — the signal the runner counts as detected
-    /// corruption rather than a logic bug.
+    /// Whether this error (or any task error inside it) is a detected
+    /// data-integrity failure — the signal the runner counts as caught
+    /// corruption rather than a logic bug. Both the segment's own
+    /// CRC-32C trailer ([`MrError::Checksum`]) and a CRC mismatch
+    /// reported from inside a codec frame (the block codec checks each
+    /// block before handing it to the inner codec) qualify.
     pub fn is_checksum(&self) -> bool {
-        self.task_errors()
-            .iter()
-            .any(|e| matches!(e, MrError::Checksum(_)))
+        self.task_errors().iter().any(|e| {
+            matches!(
+                e,
+                MrError::Checksum(_) | MrError::Codec(CompressError::ChecksumMismatch { .. })
+            )
+        })
     }
 }
 
@@ -122,5 +128,15 @@ mod tests {
         ]);
         assert!(nested.is_checksum());
         assert!(!MrError::Config("nope".into()).is_checksum());
+        // A CRC mismatch caught inside a codec frame (block codec) is
+        // detected corruption too; other codec errors are not.
+        let block_crc: MrError = CompressError::ChecksumMismatch {
+            stored: 1,
+            computed: 2,
+        }
+        .into();
+        assert!(block_crc.is_checksum());
+        let structural: MrError = CompressError::Corrupt("table".into()).into();
+        assert!(!structural.is_checksum());
     }
 }

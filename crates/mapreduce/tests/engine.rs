@@ -37,7 +37,7 @@ fn count_reducer() -> Arc<dyn scihadoop_mapreduce::Reducer> {
 struct SabotagedCodec;
 
 impl Codec for SabotagedCodec {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "sabotaged"
     }
     fn compress(&self, input: &[u8]) -> Vec<u8> {
@@ -273,7 +273,7 @@ fn sort_split_counter_tracks_split_and_clean_paths() {
 struct CountingSabotage(Arc<std::sync::atomic::AtomicUsize>);
 
 impl Codec for CountingSabotage {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "counting-sabotage"
     }
     fn compress(&self, input: &[u8]) -> Vec<u8> {
