@@ -55,6 +55,30 @@ impl KeySemantics for AggregateKeyOps {
         a.cmp(b)
     }
 
+    /// Sort prefix packing the 16 low variable bits over the 48 high
+    /// curve-index bits: `variable:16 | index_prefix48(start):48`.
+    ///
+    /// The packing is purely positional — bytes 0..4 (variable) and
+    /// 4..20 (start), zero-padded — so it is monotone over *arbitrary*
+    /// byte strings under the bytewise `compare`, junk keys included:
+    /// zero-padding only coarsens bytewise order into ties, and the
+    /// clamp (variable ≥ 2¹⁶ − 1 saturates to `u64::MAX`, start
+    /// saturates at 2⁴⁸ − 1) is monotone in the padded value. Ties fall
+    /// back to the comparator, which resolves length and the clamped
+    /// tails.
+    fn sort_prefix(&self, key: &[u8]) -> u64 {
+        let mut buf = [0u8; 20];
+        let n = key.len().min(20);
+        buf[..n].copy_from_slice(&key[..n]);
+        let variable = u32::from_be_bytes(buf[0..4].try_into().expect("4 bytes")) as u64;
+        let start = u128::from_be_bytes(buf[4..20].try_into().expect("16 bytes"));
+        if variable >= 0xFFFF {
+            u64::MAX
+        } else {
+            (variable << 48) | scihadoop_sfc::index_prefix48(start)
+        }
+    }
+
     fn partition(&self, key: &[u8], parts: usize) -> usize {
         match AggregateKey::from_bytes(key) {
             Ok(k) => self.partitioner.partition_of(k.run.start).min(parts - 1),
@@ -266,6 +290,47 @@ mod tests {
         // Unparseable keys conservatively interact with everything.
         assert!(ops.sort_interacts(b"junk", &a.key));
         assert!(ops.sort_interacts(&a.key, b"junk"));
+    }
+
+    #[test]
+    fn sort_prefix_is_order_preserving_over_valid_and_junk_keys() {
+        let ops = ops(1, 100, 1);
+        const MAX48: u128 = (1 << 48) - 1;
+        // Valid keys (several variables, boundary starts straddling the
+        // 48-bit clamp), junk byte strings, prefixes-of-keys — the
+        // contract must hold across the whole mixed set.
+        let mut keys: Vec<Vec<u8>> = Vec::new();
+        for variable in [0u32, 1, 7, 0xFFFE, 0xFFFF, u32::MAX] {
+            for start in [0u128, 1, 99, MAX48 - 1, MAX48, MAX48 + 1, u128::MAX - 9] {
+                for len in [1u64, 10] {
+                    let end = start.saturating_add(len as u128 - 1);
+                    keys.push(AggregateKey::new(variable, CurveRun { start, end }).to_bytes());
+                }
+            }
+        }
+        keys.push(Vec::new());
+        keys.push(b"junk".to_vec());
+        keys.push(vec![0u8; 3]);
+        keys.push(vec![0xFF; 28]);
+        keys.push(keys[0][..10].to_vec());
+        for a in &keys {
+            for b in &keys {
+                if ops.sort_prefix(a) < ops.sort_prefix(b) {
+                    assert_eq!(
+                        ops.compare(a, b),
+                        Ordering::Less,
+                        "prefix contract violated for {a:?} vs {b:?}"
+                    );
+                }
+            }
+        }
+        // Below both clamps the prefix is exact, so distinct
+        // (variable, start) pairs must not tie.
+        let k1 = AggregateKey::new(3, CurveRun { start: 5, end: 9 }).to_bytes();
+        let k2 = AggregateKey::new(3, CurveRun { start: 6, end: 9 }).to_bytes();
+        let k3 = AggregateKey::new(4, CurveRun { start: 0, end: 9 }).to_bytes();
+        assert!(ops.sort_prefix(&k1) < ops.sort_prefix(&k2));
+        assert!(ops.sort_prefix(&k2) < ops.sort_prefix(&k3));
     }
 
     #[test]

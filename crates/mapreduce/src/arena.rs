@@ -87,7 +87,61 @@ impl SpillArena {
     }
 
     /// Stable-sort one partition's index by key; record bytes stay put.
+    ///
+    /// This is the spill sort's comparison-free fast path: each entry is
+    /// tagged with its key's [`KeySemantics::sort_prefix`] and the
+    /// `(prefix, entry)` pairs go through an LSD radix sort; only prefix
+    /// tie runs ever call the virtual comparator. Byte-identical to the
+    /// retained [`SpillArena::sort_partition_by_compare`] reference
+    /// (radix + tie-run stable sort ⇔ whole stable comparator sort).
+    /// Records `sort_prefix_ties` / `sort_compare_calls` histograms per
+    /// sorted partition.
     pub fn sort_partition(&mut self, partition: usize, ks: &dyn KeySemantics) {
+        let mut index = std::mem::take(&mut self.parts[partition]);
+        if index.len() > 1 {
+            let data = &self.data;
+            // Allocation-free presorted probe first: strictly ascending
+            // prefixes prove the partition is already sorted (prefix <
+            // implies compare Less), so emission-ordered spills skip the
+            // sort — and the keyed-vec build and index rebuild —
+            // entirely, comparison-free. Disordered input bails at the
+            // first inversion, so the wasted rescan is bounded by where
+            // order first breaks.
+            let mut prev = 0u64;
+            let mut presorted = true;
+            for (i, &e) in index.iter().enumerate() {
+                let prefix = ks.sort_prefix(e.key(data));
+                if i > 0 && prev >= prefix {
+                    presorted = false;
+                    break;
+                }
+                prev = prefix;
+            }
+            let stats = if presorted {
+                crate::sort::PrefixSortStats::default()
+            } else {
+                let mut keyed: Vec<(u64, IndexEntry)> = index
+                    .iter()
+                    .map(|&e| (ks.sort_prefix(e.key(data)), e))
+                    .collect();
+                let stats = crate::sort::prefix_sort_with(&mut keyed, ks, |e| e.key(data));
+                index.clear();
+                index.extend(keyed.iter().map(|&(_, e)| e));
+                stats
+            };
+            crate::obs::hist_many(&[
+                (crate::obs::Metric::SortPrefixTies, stats.tie_records),
+                (crate::obs::Metric::SortCompareCalls, stats.compare_calls),
+            ]);
+        }
+        self.parts[partition] = index;
+        debug_assert!(is_partition_sorted(self, partition, ks));
+    }
+
+    /// Reference spill sort: stable comparator sort of the index, the
+    /// pre-radix implementation. Kept for the equivalence suite and
+    /// `bench_shuffle_hotpath`'s before/after rows.
+    pub fn sort_partition_by_compare(&mut self, partition: usize, ks: &dyn KeySemantics) {
         let mut index = std::mem::take(&mut self.parts[partition]);
         let data = &self.data;
         index.sort_by(|a, b| ks.compare(a.key(data), b.key(data)));
@@ -187,6 +241,35 @@ mod tests {
                 (b"m".to_vec(), b"3".to_vec()),
             ],
             "equal keys must keep insertion order"
+        );
+    }
+
+    #[test]
+    fn radix_sort_matches_comparator_reference() {
+        let ks = DefaultKeySemantics;
+        // Mixed lengths, shared 8-byte prefixes, duplicates, empty keys —
+        // everything that stresses the tie-run fallback and stability.
+        let keys: Vec<Vec<u8>> = (0..200u32)
+            .map(|i| match i % 5 {
+                0 => format!("{:03}", (i * 37) % 100).into_bytes(),
+                1 => format!("sharedprefix-{:03}", (i * 13) % 50).into_bytes(),
+                2 => Vec::new(),
+                3 => vec![0u8; (i % 7) as usize],
+                _ => i.wrapping_mul(2654435761).to_be_bytes().to_vec(),
+            })
+            .collect();
+        let mut fast = SpillArena::new(1);
+        let mut reference = SpillArena::new(1);
+        for (i, k) in keys.iter().enumerate() {
+            fast.append(0, k, &(i as u32).to_be_bytes());
+            reference.append(0, k, &(i as u32).to_be_bytes());
+        }
+        fast.sort_partition(0, &ks);
+        reference.sort_partition_by_compare(0, &ks);
+        assert_eq!(
+            collect(&fast, 0),
+            collect(&reference, 0),
+            "radix path must be byte-identical to the comparator sort"
         );
     }
 

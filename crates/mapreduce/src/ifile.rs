@@ -18,6 +18,7 @@
 //! and reports both raw and materialized sizes.
 
 use crate::error::MrError;
+use crate::keysem::KeySemantics;
 use crate::record::KvPair;
 use scihadoop_compress::{crc32c, Codec};
 use std::sync::Arc;
@@ -344,6 +345,16 @@ impl RawSegment {
             pos: HEADER_LEN,
         }
     }
+
+    /// A cursor that derives each record's sort prefix as it parses (see
+    /// [`PrefixedCursor`]). Merge consumers cache the `u64` and compare
+    /// prefixes instead of keys at every tree/heap operation.
+    pub fn prefixed_cursor<'a>(&'a self, ks: &'a dyn KeySemantics) -> PrefixedCursor<'a> {
+        PrefixedCursor {
+            cursor: self.cursor(),
+            ks,
+        }
+    }
 }
 
 /// A `(key, value)` record borrowed from a decompressed segment buffer.
@@ -406,6 +417,27 @@ impl<'a> RecordCursor<'a> {
         let value = &self.raw[self.pos..self.pos + vlen];
         self.pos += vlen;
         Ok(Some((key, value)))
+    }
+}
+
+/// A [`RecordCursor`] that pairs each record with its
+/// [`KeySemantics::sort_prefix`], computed exactly once per record at
+/// parse time. This keeps the prefix adjacent to the record slices for
+/// the merge's loser tree, whose matches then touch only cached `u64`s
+/// on the non-tie fast path.
+pub struct PrefixedCursor<'a> {
+    cursor: RecordCursor<'a>,
+    ks: &'a dyn KeySemantics,
+}
+
+impl<'a> PrefixedCursor<'a> {
+    /// The next `(sort_prefix, record)`, or `None` at end of segment.
+    #[allow(clippy::should_implement_trait)] // fallible, unlike Iterator
+    pub fn next(&mut self) -> Result<Option<(u64, RecordSlices<'a>)>, MrError> {
+        Ok(self
+            .cursor
+            .next()?
+            .map(|rec| (self.ks.sort_prefix(rec.0), rec)))
     }
 }
 

@@ -23,6 +23,25 @@ pub trait KeySemantics: Send + Sync {
         a.cmp(b)
     }
 
+    /// Order-preserving fixed-width *sort prefix* of a key — the engine's
+    /// normalized-key fast path (database sort kernels' "normalized keys",
+    /// Hadoop's `RawComparator` taken one step further). Contract:
+    ///
+    /// > `sort_prefix(a) < sort_prefix(b)` implies
+    /// > `compare(a, b) == Ordering::Less`.
+    ///
+    /// Equal prefixes promise nothing; both sort stages fall back to
+    /// [`KeySemantics::compare`] on prefix ties, so a low-entropy prefix
+    /// costs speed, never correctness. Returning a constant (e.g. `0`)
+    /// is always valid. The default takes the first 8 key bytes,
+    /// big-endian, zero-extended — order-preserving for the default
+    /// bytewise `compare` (zero-extension only ever coarsens bytewise
+    /// order into ties). Implementations that override `compare` with a
+    /// non-bytewise order MUST also override this method.
+    fn sort_prefix(&self, key: &[u8]) -> u64 {
+        bytewise_sort_prefix(key)
+    }
+
     /// Which reducer a key routes to (Hadoop's `Partitioner`).
     fn partition(&self, key: &[u8], parts: usize) -> usize;
 
@@ -103,6 +122,19 @@ impl KeySemantics for DefaultKeySemantics {
     fn sort_interacts(&self, _a: &[u8], _b: &[u8]) -> bool {
         false
     }
+}
+
+/// The default [`KeySemantics::sort_prefix`]: first 8 key bytes,
+/// big-endian, zero-extended. For any bytewise comparator this is
+/// order-preserving — where the zero padding collides with real `0x00`
+/// key bytes the prefixes tie, and ties always fall back to the full
+/// comparator.
+#[inline]
+pub fn bytewise_sort_prefix(key: &[u8]) -> u64 {
+    let mut buf = [0u8; 8];
+    let n = key.len().min(8);
+    buf[..n].copy_from_slice(&key[..n]);
+    u64::from_be_bytes(buf)
 }
 
 /// FNV-1a, the engine's stand-in for `key.hashCode() % numReducers`.
@@ -194,6 +226,42 @@ mod tests {
         assert_eq!(emitted[0].0, ks.partition(b"key", 7));
         assert!(!ks.sort_splits(), "atomic keys never split at sort time");
         assert!(!ks.sort_interacts(b"a", b"a"));
+    }
+
+    #[test]
+    fn default_sort_prefix_is_order_preserving_for_bytewise_keys() {
+        let ks = DefaultKeySemantics;
+        let keys: &[&[u8]] = &[
+            b"",
+            b"\x00",
+            b"\x00\x00",
+            b"a",
+            b"a\x00",
+            b"a\x00\x01",
+            b"a\x01",
+            b"ab",
+            b"abcdefgh",
+            b"abcdefghi",
+            b"abcdefgi",
+            b"b",
+            &[0xFF; 12],
+        ];
+        for a in keys {
+            for b in keys {
+                if ks.sort_prefix(a) < ks.sort_prefix(b) {
+                    assert_eq!(
+                        ks.compare(a, b),
+                        Ordering::Less,
+                        "prefix contract violated for {a:?} vs {b:?}"
+                    );
+                }
+            }
+        }
+        // Beyond-8-byte differences tie (and must, per the contract).
+        assert_eq!(ks.sort_prefix(b"abcdefghX"), ks.sort_prefix(b"abcdefghY"));
+        assert_eq!(bytewise_sort_prefix(b"abcdefgh"), 0x6162636465666768);
+        assert_eq!(bytewise_sort_prefix(b"a"), 0x61 << 56);
+        assert_eq!(bytewise_sort_prefix(b""), 0);
     }
 
     #[test]

@@ -38,10 +38,14 @@ pub use arena::SpillArena;
 pub use counters::{Counter, CounterSnapshot, Counters, ALL_COUNTERS, NUM_COUNTERS};
 pub use error::MrError;
 pub use fault::{Corruption, FaultConfig, FaultPlan};
-pub use ifile::{Framing, IFileReader, IFileWriter, RawSegment, RecordCursor, RecordSlices};
+pub use ifile::{
+    Framing, IFileReader, IFileWriter, PrefixedCursor, RawSegment, RecordCursor, RecordSlices,
+};
 pub use job::{Job, JobConfig, JobResult};
-pub use keysem::{DefaultKeySemantics, KeySemantics, RouteSink};
+pub use keysem::{bytewise_sort_prefix, DefaultKeySemantics, KeySemantics, RouteSink};
 pub use obs::{Phase, Recorder, Trace};
 pub use record::{Emit, FnMapper, FnReducer, InputSplit, KvPair, Mapper, Reducer};
-pub use sort::{for_each_group, merge_sorted_runs, MergeStream, SortBuffer};
+pub use sort::{
+    for_each_group, merge_sorted_runs, sort_pairs, HeapMergeStream, MergeStream, SortBuffer,
+};
 pub use stats::JobStats;

@@ -199,10 +199,19 @@ pub enum Metric {
     SortSplitWindowRecords,
     /// Backoff wait per task retry, in nanoseconds.
     RetryBackoffNanos,
+    /// Records landing in sort-prefix tie runs (comparator fallback
+    /// volume) per radix-sorted spill partition.
+    SortPrefixTies,
+    /// Full-comparator invocations per radix-sorted spill partition
+    /// (zero when every record is decided by its prefix alone).
+    SortCompareCalls,
+    /// Full-comparator invocations per streaming k-way merge (prefix
+    /// ties at the loser tree).
+    MergeCompareCalls,
 }
 
 /// Number of metric slots.
-pub const NUM_METRICS: usize = Metric::RetryBackoffNanos as usize + 1;
+pub const NUM_METRICS: usize = Metric::MergeCompareCalls as usize + 1;
 
 /// All metrics, in slot order.
 pub const ALL_METRICS: [Metric; NUM_METRICS] = [
@@ -227,6 +236,9 @@ pub const ALL_METRICS: [Metric; NUM_METRICS] = [
     Metric::ReduceGroupValues,
     Metric::SortSplitWindowRecords,
     Metric::RetryBackoffNanos,
+    Metric::SortPrefixTies,
+    Metric::SortCompareCalls,
+    Metric::MergeCompareCalls,
 ];
 
 impl Metric {
@@ -254,6 +266,9 @@ impl Metric {
             Metric::ReduceGroupValues => "reduce_group_values",
             Metric::SortSplitWindowRecords => "sort_split_window_records",
             Metric::RetryBackoffNanos => "retry_backoff_nanos",
+            Metric::SortPrefixTies => "sort_prefix_ties",
+            Metric::SortCompareCalls => "sort_compare_calls",
+            Metric::MergeCompareCalls => "merge_compare_calls",
         }
     }
 }

@@ -8,7 +8,7 @@ use crate::ifile::{IFileWriter, RawSegment, Segment};
 use crate::job::{JobConfig, JobResult};
 use crate::obs::{self, Metric, Phase};
 use crate::record::{InputSplit, KvPair, Mapper, Reducer};
-use crate::sort::{for_each_group, MergeStream};
+use crate::sort::{for_each_group, sort_pairs, MergeStream};
 use crate::stats::JobStats;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -407,7 +407,7 @@ fn run_map_task(
                         combined.push(KvPair::new(k.to_vec(), v.to_vec()));
                     });
                 });
-                combined.sort_by(|a, b| ks.compare(&a.key, &b.key));
+                sort_pairs(&mut combined, ks.as_ref());
                 counters.add(Counter::CombineOutputRecords, combined.len() as u64);
                 obs::hist_many(&[
                     (Metric::CombineInput, input),
@@ -685,7 +685,7 @@ fn run_reduce_task(
                 .windows(2)
                 .all(|w| ks.compare(&w[0].key, &w[1].key) != std::cmp::Ordering::Greater);
             if records.len() != before || !sorted {
-                records.sort_by(|a, b| ks.compare(&a.key, &b.key));
+                sort_pairs(&mut records, ks.as_ref());
             }
             for_each_group(&records, ks.as_ref(), &mut run_group);
         };

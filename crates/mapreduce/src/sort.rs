@@ -1,48 +1,67 @@
 //! Map-side sort buffer with spills, and the reducer's k-way merge
 //! (Fig. 1 steps 3 and 5).
 //!
-//! Two merge implementations live here: [`MergeStream`], the engine's
-//! streaming merge over [`RawSegment`] cursors (records are consumed as
-//! the heap yields them, never materialized as a whole run), and
-//! [`merge_sorted_runs`], the original materializing merge kept as the
-//! reference implementation for equivalence tests and benchmarks.
+//! Both sort stages run *comparison-free* on their fast path: keys are
+//! reduced to order-preserving fixed-width prefixes
+//! ([`KeySemantics::sort_prefix`]), the map-side spill sort is an LSD
+//! radix sort over `(prefix, index)` pairs ([`prefix_sort_with`],
+//! [`sort_pairs`]), and the reducer's streaming merge is a
+//! cache-resident loser tree over segment cursors keyed by cached
+//! prefixes ([`MergeStream`]). The full virtual comparator runs only
+//! inside prefix tie runs, so both stages stay byte-identical to the
+//! comparator paths they replaced.
+//!
+//! The pre-prefix implementations are retained as reference paths for
+//! equivalence tests and benchmarks: [`SortBuffer`] +
+//! [`merge_sorted_runs`] (the original materializing pipeline) and
+//! [`HeapMergeStream`] (the streaming merge's former sift-down heap).
 
 use crate::error::MrError;
-use crate::ifile::{RawSegment, RecordCursor, RecordSlices};
+use crate::ifile::{Framing, PrefixedCursor, RawSegment, RecordCursor, RecordSlices};
 use crate::keysem::KeySemantics;
 use crate::record::KvPair;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::sync::Arc;
 
 /// Accumulates map output for one partition, sorting and draining in
-/// spill-sized runs (Hadoop's `io.sort.mb` analogue, simplified to byte
-/// accounting).
+/// spill-sized runs (Hadoop's `io.sort.mb` analogue). Byte accounting
+/// includes the per-record framing overhead the configured
+/// [`Framing`] will add, so the spill threshold tracks what
+/// [`IFileWriter`](crate::ifile::IFileWriter) actually writes rather
+/// than the bare payload.
 pub struct SortBuffer {
     pairs: Vec<KvPair>,
     bytes: usize,
     spill_threshold: usize,
+    framing: Framing,
 }
 
 impl SortBuffer {
-    /// A buffer that reports "please spill" past `spill_threshold` bytes.
+    /// A buffer that reports "please spill" past `spill_threshold`
+    /// bytes, sized for [`Framing::IFile`] records.
     pub fn new(spill_threshold: usize) -> Self {
+        Self::with_framing(spill_threshold, Framing::IFile)
+    }
+
+    /// A buffer whose byte accounting matches the given record framing.
+    pub fn with_framing(spill_threshold: usize, framing: Framing) -> Self {
         assert!(spill_threshold > 0);
         SortBuffer {
             pairs: Vec::new(),
             bytes: 0,
             spill_threshold,
+            framing,
         }
     }
 
     /// Add a pair; returns true if the buffer should now be spilled.
     pub fn push(&mut self, pair: KvPair) -> bool {
-        self.bytes += pair.payload_len();
+        self.bytes += pair.payload_len() + self.framing.overhead(pair.key.len(), pair.value.len());
         self.pairs.push(pair);
         self.bytes >= self.spill_threshold
     }
 
-    /// Buffered payload bytes.
+    /// Buffered bytes (payload plus per-record framing overhead).
     pub fn bytes(&self) -> usize {
         self.bytes
     }
@@ -66,24 +85,165 @@ impl SortBuffer {
     }
 }
 
-struct HeapEntry {
-    pair: KvPair,
-    source: usize,
-    ks: Arc<dyn KeySemantics>,
+// ---------------------------------------------------------------------------
+// Prefix radix sort
+// ---------------------------------------------------------------------------
+
+/// Outcome of one prefix-radix sort: how many records landed in prefix
+/// tie runs, and how many full-comparator calls resolving them cost.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PrefixSortStats {
+    /// Records inside tie runs (prefix shared with a neighbour).
+    pub tie_records: u64,
+    /// `KeySemantics::compare` invocations spent on tie runs.
+    pub compare_calls: u64,
 }
 
-impl PartialEq for HeapEntry {
+/// Below this many items the per-pass setup of a radix scatter costs
+/// more than a stable binary-insertion/merge sort of the `u64` prefixes,
+/// so small inputs (and small prefix tie runs recursing through
+/// combiner re-sorts) take `sort_by_key` instead. Both paths are stable,
+/// so the choice never changes the output.
+const RADIX_MIN: usize = 64;
+
+/// Stable LSD radix sort of `(prefix, payload)` pairs by prefix,
+/// least-significant byte first. A cheap OR/AND scan finds the byte
+/// lanes that actually differ across the input; only those lanes get a
+/// histogram + scatter pass — for short keys the high bytes of the
+/// big-endian prefix carry all the entropy, so most inputs take one or
+/// two passes instead of eight.
+fn radix_sort_by_prefix<T: Copy>(items: &mut Vec<(u64, T)>) {
+    if items.len() < RADIX_MIN {
+        items.sort_by_key(|&(p, _)| p);
+        return;
+    }
+    let (mut all_or, mut all_and) = (0u64, u64::MAX);
+    for &(p, _) in items.iter() {
+        all_or |= p;
+        all_and &= p;
+    }
+    // A bit is set in `diff` iff some pair of items disagrees on it; a
+    // byte lane with no such bit is uniform and its pass is a no-op.
+    let diff = all_or ^ all_and;
+    if diff == 0 {
+        return; // all prefixes equal — stability says leave them be
+    }
+    let mut src = std::mem::take(items);
+    let mut dst = src.clone();
+    for d in 0..8 {
+        let shift = 8 * d;
+        if (diff >> shift) & 0xFF == 0 {
+            continue;
+        }
+        let mut counts = [0usize; 256];
+        for &(p, _) in &src {
+            counts[((p >> shift) & 0xFF) as usize] += 1;
+        }
+        let mut offsets = [0usize; 256];
+        let mut acc = 0usize;
+        for (off, &c) in offsets.iter_mut().zip(counts.iter()) {
+            *off = acc;
+            acc += c;
+        }
+        for &item in &src {
+            let digit = ((item.0 >> shift) & 0xFF) as usize;
+            dst[offsets[digit]] = item;
+            offsets[digit] += 1;
+        }
+        std::mem::swap(&mut src, &mut dst);
+    }
+    *items = src;
+}
+
+/// Sort `(prefix, payload)` pairs into full key order: radix-sort by
+/// prefix, then stable-sort each prefix tie run with the real
+/// comparator (`key_of` maps a payload back to its key bytes). LSD
+/// radix is stable and [`KeySemantics::sort_prefix`] is order-
+/// preserving, so the result is byte-identical to a stable
+/// whole-comparator sort; the comparator simply never runs outside tie
+/// runs.
+pub(crate) fn prefix_sort_with<'k, T: Copy>(
+    items: &mut Vec<(u64, T)>,
+    ks: &dyn KeySemantics,
+    key_of: impl Fn(T) -> &'k [u8],
+) -> PrefixSortStats {
+    // Comparison-free presorted detection: strictly increasing prefixes
+    // prove the keys are already in strictly ascending order (prefix <
+    // implies compare Less), so there is nothing to do. Map output is
+    // often emitted in near-key order (e.g. grid walks), making this the
+    // common case; ties disqualify the shortcut since their relative
+    // order is unproven.
+    if items.windows(2).all(|w| w[0].0 < w[1].0) {
+        return PrefixSortStats::default();
+    }
+    radix_sort_by_prefix(items);
+    let mut stats = PrefixSortStats::default();
+    let mut i = 0;
+    while i < items.len() {
+        let prefix = items[i].0;
+        let mut j = i + 1;
+        while j < items.len() && items[j].0 == prefix {
+            j += 1;
+        }
+        if j - i > 1 {
+            stats.tie_records += (j - i) as u64;
+            items[i..j].sort_by(|a, b| {
+                stats.compare_calls += 1;
+                ks.compare(key_of(a.1), key_of(b.1))
+            });
+        }
+        i = j;
+    }
+    stats
+}
+
+/// Stable sort of owned pairs by key through the prefix radix path —
+/// byte-identical to `pairs.sort_by(|a, b| ks.compare(&a.key, &b.key))`
+/// but comparison-free outside prefix tie runs. Used for the combiner
+/// output re-sort and the reducer's windowed sort-split re-sort.
+pub fn sort_pairs(pairs: &mut Vec<KvPair>, ks: &dyn KeySemantics) {
+    if pairs.len() < 2 {
+        return;
+    }
+    let mut keyed: Vec<(u64, usize)> = pairs
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (ks.sort_prefix(&p.key), i))
+        .collect();
+    prefix_sort_with(&mut keyed, ks, |i| pairs[i].key.as_slice());
+    let mut slots: Vec<Option<KvPair>> = pairs.drain(..).map(Some).collect();
+    pairs.extend(
+        keyed
+            .iter()
+            .map(|&(_, i)| slots[i].take().expect("permutation visits each slot once")),
+    );
+    debug_assert!(pairs
+        .windows(2)
+        .all(|w| ks.compare(&w[0].key, &w[1].key) != Ordering::Greater));
+}
+
+// ---------------------------------------------------------------------------
+// Materializing reference merge
+// ---------------------------------------------------------------------------
+
+struct HeapEntry<'a> {
+    pair: KvPair,
+    source: usize,
+    ks: &'a dyn KeySemantics,
+}
+
+impl PartialEq for HeapEntry<'_> {
     fn eq(&self, other: &Self) -> bool {
         self.cmp(other) == Ordering::Equal
     }
 }
-impl Eq for HeapEntry {}
-impl PartialOrd for HeapEntry {
+impl Eq for HeapEntry<'_> {}
+impl PartialOrd for HeapEntry<'_> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for HeapEntry {
+impl Ord for HeapEntry<'_> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse for a min-heap; tie-break on source for stability.
         self.ks
@@ -94,19 +254,16 @@ impl Ord for HeapEntry {
 
 /// Merge already-sorted runs into one sorted stream (the reducer's
 /// "possibly requiring multiple on-disk sort phases", done in one k-way
-/// pass here).
-pub fn merge_sorted_runs(runs: Vec<Vec<KvPair>>, ks: &Arc<dyn KeySemantics>) -> Vec<KvPair> {
+/// pass here). Reference implementation; the engine streams through
+/// [`MergeStream`].
+pub fn merge_sorted_runs(runs: Vec<Vec<KvPair>>, ks: &dyn KeySemantics) -> Vec<KvPair> {
     let total: usize = runs.iter().map(|r| r.len()).sum();
     let mut iters: Vec<std::vec::IntoIter<KvPair>> =
         runs.into_iter().map(|r| r.into_iter()).collect();
     let mut heap = BinaryHeap::with_capacity(iters.len());
     for (source, it) in iters.iter_mut().enumerate() {
         if let Some(pair) = it.next() {
-            heap.push(HeapEntry {
-                pair,
-                source,
-                ks: ks.clone(),
-            });
+            heap.push(HeapEntry { pair, source, ks });
         }
     }
     let mut out = Vec::with_capacity(total);
@@ -116,36 +273,39 @@ pub fn merge_sorted_runs(runs: Vec<Vec<KvPair>>, ks: &Arc<dyn KeySemantics>) -> 
             heap.push(HeapEntry {
                 pair: next,
                 source,
-                ks: ks.clone(),
+                ks,
             });
         }
     }
     out
 }
 
-/// Streaming k-way merge over segment cursors: a manual min-heap of run
-/// ids yields `(key, value)` slices borrowed from the decompressed
-/// segment buffers, one record at a time. Ties break toward the lower
-/// run id, matching [`merge_sorted_runs`]'s stability, so both merges
-/// produce identical sequences.
-pub struct MergeStream<'a> {
+// ---------------------------------------------------------------------------
+// Streaming merges
+// ---------------------------------------------------------------------------
+
+/// The streaming merge's former implementation: a manual sift-down
+/// min-heap of run ids calling the virtual comparator at every heap
+/// operation. Retained as the reference the loser-tree [`MergeStream`]
+/// is pinned byte-identical against (equivalence tests,
+/// `bench_shuffle_hotpath`).
+pub struct HeapMergeStream<'a> {
     cursors: Vec<RecordCursor<'a>>,
     heads: Vec<Option<RecordSlices<'a>>>,
     heap: Vec<usize>,
     ks: &'a dyn KeySemantics,
 }
 
-impl<'a> MergeStream<'a> {
+impl<'a> HeapMergeStream<'a> {
     /// Open a merge over the given segments' records.
     pub fn new(segments: &'a [RawSegment], ks: &'a dyn KeySemantics) -> Result<Self, MrError> {
-        crate::obs::hist(crate::obs::Metric::MergeFanIn, segments.len() as u64);
         let mut cursors: Vec<RecordCursor<'a>> = segments.iter().map(|s| s.cursor()).collect();
         let mut heads = Vec::with_capacity(cursors.len());
         for c in &mut cursors {
             heads.push(c.next()?);
         }
         let heap: Vec<usize> = (0..heads.len()).filter(|&r| heads[r].is_some()).collect();
-        let mut stream = MergeStream {
+        let mut stream = HeapMergeStream {
             cursors,
             heads,
             heap,
@@ -204,6 +364,175 @@ impl<'a> MergeStream<'a> {
     }
 }
 
+/// Streaming k-way merge over segment cursors: a cache-resident *loser
+/// tree* of run ids yields `(key, value)` slices borrowed from the
+/// decompressed segment buffers, one record at a time.
+///
+/// Every run caches its head record's [`KeySemantics::sort_prefix`]
+/// (computed once per record by a [`PrefixedCursor`]); tree matches
+/// compare two cached `u64`s and fall back to the virtual comparator
+/// only on prefix ties. Advancing the winner replays exactly one
+/// leaf-to-root path (⌈log₂ k⌉ matches) against the stored losers —
+/// unlike a sift-down heap there is no second comparison per level.
+/// Ties break toward the lower run id, matching [`merge_sorted_runs`]
+/// and [`HeapMergeStream`] exactly, so all three merges produce
+/// identical sequences.
+pub struct MergeStream<'a> {
+    cursors: Vec<PrefixedCursor<'a>>,
+    heads: Vec<Option<RecordSlices<'a>>>,
+    /// Cached sort prefix of each live head (stale once a run exhausts;
+    /// exhausted runs are recognized by `heads[run].is_none()`).
+    prefixes: Vec<u64>,
+    /// Loser tree over `k` runs: `tree[0]` is the overall winner,
+    /// `tree[1..k]` hold the losers of internal matches, and run `i`'s
+    /// leaf sits implicitly at index `k + i`.
+    tree: Vec<usize>,
+    ks: &'a dyn KeySemantics,
+    /// Comparator fallbacks on prefix ties, exported as
+    /// `merge_compare_calls` when the stream drops.
+    compare_calls: u64,
+    #[cfg(debug_assertions)]
+    last_key: Option<Vec<u8>>,
+}
+
+impl<'a> MergeStream<'a> {
+    /// Open a merge over the given segments' records.
+    pub fn new(segments: &'a [RawSegment], ks: &'a dyn KeySemantics) -> Result<Self, MrError> {
+        crate::obs::hist(crate::obs::Metric::MergeFanIn, segments.len() as u64);
+        let mut cursors: Vec<PrefixedCursor<'a>> =
+            segments.iter().map(|s| s.prefixed_cursor(ks)).collect();
+        let mut heads = Vec::with_capacity(cursors.len());
+        let mut prefixes = Vec::with_capacity(cursors.len());
+        for c in &mut cursors {
+            match c.next()? {
+                Some((prefix, record)) => {
+                    heads.push(Some(record));
+                    prefixes.push(prefix);
+                }
+                None => {
+                    heads.push(None);
+                    prefixes.push(0);
+                }
+            }
+        }
+        let k = cursors.len();
+        let mut stream = MergeStream {
+            cursors,
+            heads,
+            prefixes,
+            tree: vec![0; k],
+            ks,
+            compare_calls: 0,
+            #[cfg(debug_assertions)]
+            last_key: None,
+        };
+        stream.build();
+        Ok(stream)
+    }
+
+    /// Whether run `a`'s head sorts strictly before run `b`'s. Exhausted
+    /// runs lose every match; among themselves they order by id, which
+    /// keeps the relation total.
+    fn run_less(&mut self, a: usize, b: usize) -> bool {
+        match (self.heads[a], self.heads[b]) {
+            (Some(ha), Some(hb)) => match self.prefixes[a].cmp(&self.prefixes[b]) {
+                Ordering::Less => true,
+                Ordering::Greater => false,
+                Ordering::Equal => {
+                    self.compare_calls += 1;
+                    match self.ks.compare(ha.0, hb.0) {
+                        Ordering::Less => true,
+                        Ordering::Greater => false,
+                        Ordering::Equal => a < b,
+                    }
+                }
+            },
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => a < b,
+        }
+    }
+
+    /// Build the tree bottom-up: compute each internal match's winner,
+    /// store its loser, crown `tree[0]`.
+    fn build(&mut self) {
+        let k = self.cursors.len();
+        if k == 0 {
+            return;
+        }
+        let mut winner = vec![0usize; 2 * k];
+        for (i, w) in winner[k..].iter_mut().enumerate() {
+            *w = i;
+        }
+        for node in (1..k).rev() {
+            let (a, b) = (winner[2 * node], winner[2 * node + 1]);
+            let (win, lose) = if self.run_less(b, a) { (b, a) } else { (a, b) };
+            winner[node] = win;
+            self.tree[node] = lose;
+        }
+        self.tree[0] = winner[1];
+    }
+
+    /// Replay the matches on `run`'s leaf-to-root path after its head
+    /// changed: the contender plays each stored loser, the winner climbs.
+    fn replay(&mut self, mut contender: usize) {
+        let k = self.cursors.len();
+        let mut node = (contender + k) / 2;
+        while node > 0 {
+            let resident = self.tree[node];
+            if self.run_less(resident, contender) {
+                self.tree[node] = contender;
+                contender = resident;
+            }
+            node /= 2;
+        }
+        self.tree[0] = contender;
+    }
+
+    /// The next record in merged order, or `None` when every run is
+    /// exhausted.
+    #[allow(clippy::should_implement_trait)] // fallible, unlike Iterator
+    pub fn next(&mut self) -> Result<Option<RecordSlices<'a>>, MrError> {
+        let Some(&winner) = self.tree.first() else {
+            return Ok(None);
+        };
+        let Some(record) = self.heads[winner].take() else {
+            return Ok(None);
+        };
+        if let Some((prefix, next)) = self.cursors[winner].next()? {
+            self.prefixes[winner] = prefix;
+            self.heads[winner] = Some(next);
+        }
+        self.replay(winner);
+        // Debug builds cross-check the merged order with the full
+        // comparator per record — which means only release builds
+        // exercise the comparison-free path alone (see the CI
+        // sort-smoke job, which runs the equivalence suite --release).
+        #[cfg(debug_assertions)]
+        {
+            if let Some(prev) = &self.last_key {
+                debug_assert!(
+                    self.ks.compare(prev, record.0) != Ordering::Greater,
+                    "loser-tree merge yielded out-of-order records"
+                );
+            }
+            self.last_key = Some(record.0.to_vec());
+        }
+        Ok(Some(record))
+    }
+
+    /// Comparator fallbacks taken on prefix ties so far.
+    pub fn compare_calls(&self) -> u64 {
+        self.compare_calls
+    }
+}
+
+impl Drop for MergeStream<'_> {
+    fn drop(&mut self) {
+        crate::obs::hist(crate::obs::Metric::MergeCompareCalls, self.compare_calls);
+    }
+}
+
 /// Group a sorted run by the key-semantics grouping predicate; calls `f`
 /// once per group with (key, values).
 pub fn for_each_group(
@@ -228,10 +557,7 @@ pub fn for_each_group(
 mod tests {
     use super::*;
     use crate::keysem::DefaultKeySemantics;
-
-    fn ks() -> Arc<dyn KeySemantics> {
-        Arc::new(DefaultKeySemantics)
-    }
+    use std::sync::Arc;
 
     fn pair(k: &str, v: &str) -> KvPair {
         KvPair::new(k.as_bytes().to_vec(), v.as_bytes().to_vec())
@@ -239,15 +565,36 @@ mod tests {
 
     #[test]
     fn sort_buffer_reports_spill_threshold() {
-        let mut b = SortBuffer::new(10);
-        assert!(!b.push(pair("aaa", "x"))); // 4 bytes
-        assert!(!b.push(pair("bbb", "y"))); // 8 bytes
-        assert!(b.push(pair("c", "z"))); // 10 bytes → spill
+        let mut b = SortBuffer::new(16);
+        assert!(!b.push(pair("aaa", "x"))); // 4 payload + 2 framing = 6
+        assert!(!b.push(pair("bbb", "y"))); // 12
+        assert!(b.push(pair("c", "z"))); // 16 → spill
         assert_eq!(b.len(), 3);
         let run = b.drain_sorted(&DefaultKeySemantics);
         assert_eq!(run[0].key, b"aaa");
         assert!(b.is_empty());
         assert_eq!(b.bytes(), 0);
+    }
+
+    #[test]
+    fn sort_buffer_accounting_matches_ifile_writer() {
+        use crate::ifile::IFileWriter;
+        // Byte accounting must equal what the writer will materialize
+        // (minus the constant file header), for both framings and for
+        // records whose lengths need multi-byte vints.
+        for framing in [Framing::SequenceFile, Framing::IFile] {
+            let mut b = SortBuffer::with_framing(usize::MAX >> 1, framing);
+            let mut w = IFileWriter::new(framing, Arc::new(scihadoop_compress::IdentityCodec));
+            for (klen, vlen) in [(0usize, 0usize), (3, 5), (16, 4), (200, 1), (1000, 4)] {
+                b.push(KvPair::new(vec![7u8; klen], vec![9u8; vlen]));
+                w.append(&vec![7u8; klen], &vec![9u8; vlen]);
+            }
+            assert_eq!(
+                b.bytes(),
+                w.raw_len() - framing.file_overhead(),
+                "framing {framing:?}: spill sizing must match the writer"
+            );
+        }
     }
 
     #[test]
@@ -265,7 +612,7 @@ mod tests {
     fn merge_two_runs() {
         let a = vec![pair("a", "1"), pair("c", "3"), pair("e", "5")];
         let b = vec![pair("b", "2"), pair("d", "4")];
-        let merged = merge_sorted_runs(vec![a, b], &ks());
+        let merged = merge_sorted_runs(vec![a, b], &DefaultKeySemantics);
         let keys: Vec<&[u8]> = merged.iter().map(|p| p.key.as_slice()).collect();
         assert_eq!(keys, vec![b"a".as_slice(), b"b", b"c", b"d", b"e"]);
     }
@@ -274,17 +621,20 @@ mod tests {
     fn merge_with_duplicates_keeps_all() {
         let a = vec![pair("x", "1"), pair("x", "2")];
         let b = vec![pair("x", "3")];
-        let merged = merge_sorted_runs(vec![a, b], &ks());
+        let merged = merge_sorted_runs(vec![a, b], &DefaultKeySemantics);
         assert_eq!(merged.len(), 3);
         assert!(merged.iter().all(|p| p.key == b"x"));
     }
 
     #[test]
     fn merge_empty_and_single() {
-        assert!(merge_sorted_runs(vec![], &ks()).is_empty());
-        assert!(merge_sorted_runs(vec![vec![], vec![]], &ks()).is_empty());
+        assert!(merge_sorted_runs(vec![], &DefaultKeySemantics).is_empty());
+        assert!(merge_sorted_runs(vec![vec![], vec![]], &DefaultKeySemantics).is_empty());
         let only = vec![pair("q", "v")];
-        assert_eq!(merge_sorted_runs(vec![only.clone()], &ks()), only);
+        assert_eq!(
+            merge_sorted_runs(vec![only.clone()], &DefaultKeySemantics),
+            only
+        );
     }
 
     #[test]
@@ -301,13 +651,129 @@ mod tests {
             run.sort();
             runs.push(run);
         }
-        let merged = merge_sorted_runs(runs, &ks());
+        let merged = merge_sorted_runs(runs, &DefaultKeySemantics);
         assert_eq!(merged.len(), 400);
         assert!(merged.windows(2).all(|w| w[0].key <= w[1].key));
     }
 
+    #[test]
+    fn sort_pairs_matches_stable_comparator_sort() {
+        let ks = DefaultKeySemantics;
+        // Duplicate keys with distinct values pin stability; keys longer
+        // than 8 bytes force prefix tie runs.
+        let mut pairs = vec![
+            pair("abcdefgh-late", "1"),
+            pair("zz", "2"),
+            pair("abcdefgh-early", "3"),
+            pair("zz", "4"),
+            pair("", "5"),
+            pair("abcdefgh-late", "6"),
+            pair("\u{0}", "7"),
+        ];
+        let mut expected = pairs.clone();
+        expected.sort_by(|a, b| ks.compare(&a.key, &b.key));
+        sort_pairs(&mut pairs, &ks);
+        assert_eq!(pairs, expected);
+    }
+
+    #[test]
+    fn prefix_sort_stats_count_ties_and_calls() {
+        let ks = DefaultKeySemantics;
+        // Three keys share the 8-byte prefix "aaaaaaaa"; two are unique.
+        let keys: Vec<&[u8]> = vec![b"aaaaaaaa-z", b"b", b"aaaaaaaa-a", b"c", b"aaaaaaaa-m"];
+        let mut keyed: Vec<(u64, usize)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (ks.sort_prefix(k), i))
+            .collect();
+        let stats = prefix_sort_with(&mut keyed, &ks, |i| keys[i]);
+        assert_eq!(stats.tie_records, 3);
+        assert!(stats.compare_calls >= 2, "tie run of 3 needs >= 2 compares");
+        let order: Vec<usize> = keyed.iter().map(|&(_, i)| i).collect();
+        assert_eq!(order, vec![2, 4, 0, 1, 3]);
+    }
+
+    #[test]
+    fn radix_sort_is_stable_across_equal_prefixes() {
+        // Small input: the sort_by_key fallback, itself stable.
+        let mut items: Vec<(u64, usize)> = vec![(5, 0), (1, 1), (5, 2), (0, 3), (5, 4), (1, 5)];
+        radix_sort_by_prefix(&mut items);
+        assert_eq!(
+            items,
+            vec![(0, 3), (1, 1), (1, 5), (5, 0), (5, 2), (5, 4)],
+            "equal prefixes must keep insertion order"
+        );
+        // Large input: the real scatter passes, pinned against std's
+        // stable sort. Heavy duplication means stability is load-bearing.
+        let mut items: Vec<(u64, usize)> = (0..300)
+            .map(|i| ((i as u64).wrapping_mul(2654435761) % 5, i))
+            .collect();
+        let mut expected = items.clone();
+        expected.sort_by_key(|&(p, _)| p);
+        radix_sort_by_prefix(&mut items);
+        assert_eq!(items, expected, "scatter passes must keep insertion order");
+    }
+
+    #[test]
+    fn radix_sort_covers_all_digit_positions() {
+        // Prefixes differing only in high bytes, only in low bytes, and
+        // across the full range — exercises lane skipping and the
+        // scatter on every byte lane. Repeated past RADIX_MIN so the
+        // radix path (not the small-input fallback) runs.
+        let patterns = [
+            u64::MAX,
+            0,
+            1,
+            0xFF00_0000_0000_0000,
+            0x0000_0000_0000_FF00,
+            0x8000_0000_0000_0001,
+            42,
+            0x0123_4567_89AB_CDEF,
+        ];
+        let mut items: Vec<(u64, usize)> = (0..16)
+            .flat_map(|r| patterns.iter().map(move |&p| p.rotate_left(r)))
+            .enumerate()
+            .map(|(i, p)| (p, i))
+            .collect();
+        assert!(items.len() >= RADIX_MIN);
+        let mut expected = items.clone();
+        expected.sort_by_key(|&(p, _)| p);
+        radix_sort_by_prefix(&mut items);
+        assert_eq!(items, expected);
+    }
+
+    #[test]
+    fn prefix_sort_skips_presorted_input_without_comparisons() {
+        let ks = DefaultKeySemantics;
+        // Strictly increasing prefixes: the presorted fast path must
+        // detect it and spend zero comparator calls.
+        let keys: Vec<Vec<u8>> = (0u32..200).map(|i| i.to_be_bytes().to_vec()).collect();
+        let mut keyed: Vec<(u64, usize)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (ks.sort_prefix(k), i))
+            .collect();
+        let stats = prefix_sort_with(&mut keyed, &ks, |i| keys[i].as_slice());
+        assert_eq!(stats.compare_calls, 0);
+        assert_eq!(stats.tie_records, 0);
+        let order: Vec<usize> = keyed.iter().map(|&(_, i)| i).collect();
+        assert_eq!(order, (0..200).collect::<Vec<_>>());
+        // Non-decreasing with a tie must NOT take the shortcut: the tie
+        // run still needs its comparator fallback to prove order.
+        let tied: Vec<&[u8]> = vec![b"aaaaaaaa-b", b"aaaaaaaa-a"];
+        let mut keyed: Vec<(u64, usize)> = tied
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (ks.sort_prefix(k), i))
+            .collect();
+        let stats = prefix_sort_with(&mut keyed, &ks, |i| tied[i]);
+        assert!(stats.compare_calls > 0, "ties disqualify the shortcut");
+        let order: Vec<usize> = keyed.iter().map(|&(_, i)| i).collect();
+        assert_eq!(order, vec![1, 0]);
+    }
+
     fn seal_run(pairs: &[KvPair]) -> Vec<u8> {
-        use crate::ifile::{Framing, IFileWriter};
+        use crate::ifile::IFileWriter;
         let mut w = IFileWriter::new(Framing::IFile, Arc::new(scihadoop_compress::IdentityCodec));
         for p in pairs {
             w.append_pair(p);
@@ -329,6 +795,20 @@ mod tests {
         out
     }
 
+    fn heap_stream_merge(runs: &[Vec<KvPair>], ks: &dyn KeySemantics) -> Vec<KvPair> {
+        let sealed: Vec<Vec<u8>> = runs.iter().map(|r| seal_run(r)).collect();
+        let segments: Vec<RawSegment> = sealed
+            .iter()
+            .map(|s| RawSegment::open(s, &scihadoop_compress::IdentityCodec).unwrap())
+            .collect();
+        let mut stream = HeapMergeStream::new(&segments, ks).unwrap();
+        let mut out = Vec::new();
+        while let Some((k, v)) = stream.next().unwrap() {
+            out.push(KvPair::new(k.to_vec(), v.to_vec()));
+        }
+        out
+    }
+
     #[test]
     fn merge_stream_agrees_with_materializing_merge() {
         let runs = vec![
@@ -338,8 +818,10 @@ mod tests {
             vec![pair("a", "6"), pair("z", "7")],
         ];
         let streamed = stream_merge(&runs, &DefaultKeySemantics);
-        let materialized = merge_sorted_runs(runs, &ks());
+        let heap_streamed = heap_stream_merge(&runs, &DefaultKeySemantics);
+        let materialized = merge_sorted_runs(runs, &DefaultKeySemantics);
         assert_eq!(streamed, materialized);
+        assert_eq!(heap_streamed, materialized);
     }
 
     #[test]
@@ -352,7 +834,7 @@ mod tests {
             vec![pair("x", "run2")],
         ];
         let streamed = stream_merge(&runs, &DefaultKeySemantics);
-        let materialized = merge_sorted_runs(runs, &ks());
+        let materialized = merge_sorted_runs(runs, &DefaultKeySemantics);
         assert_eq!(streamed, materialized);
         let values: Vec<&[u8]> = streamed.iter().map(|p| p.value.as_slice()).collect();
         assert_eq!(
@@ -377,9 +859,59 @@ mod tests {
             runs.push(run);
         }
         let streamed = stream_merge(&runs, &DefaultKeySemantics);
-        let materialized = merge_sorted_runs(runs, &ks());
+        let heap_streamed = heap_stream_merge(&runs, &DefaultKeySemantics);
+        let materialized = merge_sorted_runs(runs, &DefaultKeySemantics);
         assert_eq!(streamed.len(), 540);
         assert_eq!(streamed, materialized);
+        assert_eq!(heap_streamed, materialized);
+    }
+
+    #[test]
+    fn merge_stream_uneven_fan_in_and_exhaustion_order() {
+        // Non-power-of-two fan-in with runs exhausting at different
+        // times exercises the loser tree's replay on dead runs.
+        let runs = vec![
+            vec![pair("a", "0")],
+            (0..40).map(|i| pair(&format!("k{i:02}"), "1")).collect(),
+            vec![pair("z", "2")],
+            (0..7).map(|i| pair(&format!("k{i:02}x"), "3")).collect(),
+            vec![],
+        ];
+        let streamed = stream_merge(&runs, &DefaultKeySemantics);
+        let materialized = merge_sorted_runs(runs, &DefaultKeySemantics);
+        assert_eq!(streamed, materialized);
+    }
+
+    #[test]
+    fn merge_stream_falls_back_to_comparator_only_on_prefix_ties() {
+        // Short distinct keys: prefixes decide everything, so the
+        // comparator must never run. Long shared-prefix keys: it must.
+        let ks = DefaultKeySemantics;
+        let distinct = [
+            vec![pair("a", "1"), pair("c", "2")],
+            vec![pair("b", "3"), pair("d", "4")],
+        ];
+        let sealed: Vec<Vec<u8>> = distinct.iter().map(|r| seal_run(r)).collect();
+        let segments: Vec<RawSegment> = sealed
+            .iter()
+            .map(|s| RawSegment::open(s, &scihadoop_compress::IdentityCodec).unwrap())
+            .collect();
+        let mut stream = MergeStream::new(&segments, &ks).unwrap();
+        while stream.next().unwrap().is_some() {}
+        assert_eq!(stream.compare_calls(), 0, "distinct prefixes: no fallback");
+
+        let tied = [vec![pair("aaaaaaaa-x", "1")], vec![pair("aaaaaaaa-y", "2")]];
+        let sealed: Vec<Vec<u8>> = tied.iter().map(|r| seal_run(r)).collect();
+        let segments: Vec<RawSegment> = sealed
+            .iter()
+            .map(|s| RawSegment::open(s, &scihadoop_compress::IdentityCodec).unwrap())
+            .collect();
+        let mut stream = MergeStream::new(&segments, &ks).unwrap();
+        while stream.next().unwrap().is_some() {}
+        assert!(
+            stream.compare_calls() > 0,
+            "prefix tie needs the comparator"
+        );
     }
 
     #[test]

@@ -98,6 +98,12 @@ impl KeySemantics for ReverseOrder {
     fn compare(&self, a: &[u8], b: &[u8]) -> Ordering {
         b.cmp(a)
     }
+    // A non-bytewise comparator must ship a matching sort prefix: the
+    // bitwise complement of the bytewise prefix is order-preserving for
+    // reverse bytewise order.
+    fn sort_prefix(&self, key: &[u8]) -> u64 {
+        !scihadoop_mapreduce::bytewise_sort_prefix(key)
+    }
     fn partition(&self, _key: &[u8], _parts: usize) -> usize {
         0
     }

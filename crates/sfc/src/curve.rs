@@ -48,6 +48,18 @@ pub trait Curve: Send + Sync {
     }
 }
 
+/// Order-preserving 48-bit compression of a curve index: indices below
+/// 2⁴⁸ map to themselves, larger ones clamp to 2⁴⁸ − 1. Monotone
+/// non-decreasing over the whole `u128` range, so it can seed a sort
+/// prefix (`KeySemantics::sort_prefix` in the engine) whose low 48 bits
+/// order aggregate keys by curve position — 48 bits cover a full 2-D
+/// 32-bit-per-dim curve plus 16 spare, and clamped indices simply fall
+/// back to the full comparator on ties.
+pub fn index_prefix48(index: CurveIndex) -> u64 {
+    const MAX48: u128 = (1 << 48) - 1;
+    index.min(MAX48) as u64
+}
+
 /// Validate that `coords` has the right arity and each component fits in
 /// `bits` bits. Shared by all curve implementations.
 pub(crate) fn check_coords(coords: &[u32], ndims: usize, bits: u32) -> Result<(), GridError> {
@@ -95,6 +107,30 @@ mod tests {
         assert!(check_coords(&[256, 0], 2, 8).is_err());
         assert!(check_coords(&[255, 255], 2, 8).is_ok());
         assert!(check_coords(&[u32::MAX], 1, 32).is_ok());
+    }
+
+    #[test]
+    fn index_prefix48_is_monotone_and_identity_below_clamp() {
+        const MAX48: u128 = (1 << 48) - 1;
+        assert_eq!(index_prefix48(0), 0);
+        assert_eq!(index_prefix48(12345), 12345);
+        assert_eq!(index_prefix48(MAX48), MAX48 as u64);
+        assert_eq!(index_prefix48(MAX48 + 1), MAX48 as u64);
+        assert_eq!(index_prefix48(u128::MAX), MAX48 as u64);
+        let probes = [
+            0u128,
+            1,
+            255,
+            MAX48 - 1,
+            MAX48,
+            MAX48 + 1,
+            1 << 64,
+            u128::MAX - 1,
+            u128::MAX,
+        ];
+        for w in probes.windows(2) {
+            assert!(index_prefix48(w[0]) <= index_prefix48(w[1]));
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@ pub mod rowmajor;
 pub mod zorder;
 pub mod zranges;
 
-pub use curve::{Curve, CurveIndex};
+pub use curve::{index_prefix48, Curve, CurveIndex};
 pub use hilbert::HilbertCurve;
 pub use ranges::{box_runs, clustering_run_count, collapse_sorted, CurveRun};
 pub use rowmajor::RowMajorCurve;

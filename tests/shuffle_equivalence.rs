@@ -6,15 +6,19 @@
 //! refactor to the reference semantics: byte-identical spill segments,
 //! identical job outputs, and identical record/byte/split counters across
 //! random workloads, spill thresholds, and key semantics (stock keys and
-//! Z-order aggregate keys).
+//! Z-order aggregate keys). The comparison-free sort paths (prefix radix
+//! spill sort, loser-tree merge) are additionally pinned byte-identical
+//! to their retained comparator references (`sort_partition_by_compare`,
+//! `HeapMergeStream`, `merge_sorted_runs`).
 
 use proptest::collection::vec;
 use proptest::prelude::*;
 use scihadoop::compress::{Codec, DeflateCodec, IdentityCodec};
 use scihadoop::core::aggregate::{AggregateKey, AggregateKeyOps, RangePartitioner};
 use scihadoop::mapreduce::{
-    for_each_group, merge_sorted_runs, Counter, Emit, FnMapper, FnReducer, Framing, IFileReader,
-    IFileWriter, InputSplit, Job, JobConfig, KeySemantics, KvPair, SpillArena,
+    for_each_group, merge_sorted_runs, Counter, Emit, FnMapper, FnReducer, Framing,
+    HeapMergeStream, IFileReader, IFileWriter, InputSplit, Job, JobConfig, KeySemantics, KvPair,
+    MergeStream, RawSegment, SpillArena,
 };
 use scihadoop::sfc::CurveRun;
 use std::sync::Arc;
@@ -125,7 +129,7 @@ fn ref_map_task(cfg: &RefConfig, split: &[KvPair], c: &mut RefCounters) -> Vec<(
                                 .into_records()
                         })
                         .collect();
-                    let run = merge_sorted_runs(runs, &cfg.ks);
+                    let run = merge_sorted_runs(runs, cfg.ks.as_ref());
                     let mut w = IFileWriter::new(cfg.framing, cfg.codec.clone());
                     for pair in &run {
                         w.append_pair(pair);
@@ -174,7 +178,7 @@ fn ref_reduce_task(
                 .into_records()
         })
         .collect();
-    let merged = merge_sorted_runs(runs, &cfg.ks);
+    let merged = merge_sorted_runs(runs, cfg.ks.as_ref());
     let before = merged.len();
     let mut records = cfg.ks.sort_split(merged);
     if records.len() > before {
@@ -383,6 +387,104 @@ proptest! {
         };
         let splits = plain_splits(&keys, &values, num_splits);
         assert_engine_matches_reference(&cfg, &splits);
+    }
+
+    /// Map-side radix spill sort vs the retained comparator sort: the
+    /// `(prefix, index)` LSD radix path with tie-run fallback must be
+    /// byte-identical (order *and* stability) to the stable comparator
+    /// sort, for stock and aggregate key semantics alike.
+    #[test]
+    fn radix_spill_sort_is_byte_identical_to_comparator_sort(
+        keys in vec((any::<u8>(), any::<u8>()), 1..200),
+        runs in vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..60),
+        aggregate in any::<bool>(),
+    ) {
+        let ks: Arc<dyn KeySemantics> = if aggregate {
+            Arc::new(AggregateKeyOps::new(RangePartitioner::uniform(2, 256), 1))
+        } else {
+            Arc::new(scihadoop::mapreduce::DefaultKeySemantics)
+        };
+        let records: Vec<KvPair> = if aggregate {
+            aggregate_splits(&runs, 1, 1).remove(0)
+        } else {
+            plain_splits(&keys, &[vec![9u8]], 1).remove(0)
+        };
+        let mut fast = SpillArena::new(1);
+        let mut reference = SpillArena::new(1);
+        for (i, r) in records.iter().enumerate() {
+            // Distinct values expose any stability difference.
+            let tag = (i as u32).to_be_bytes();
+            fast.append(0, &r.key, &tag);
+            reference.append(0, &r.key, &tag);
+        }
+        fast.sort_partition(0, ks.as_ref());
+        reference.sort_partition_by_compare(0, ks.as_ref());
+        let fast_pairs: Vec<(Vec<u8>, Vec<u8>)> =
+            fast.pairs(0).map(|(k, v)| (k.to_vec(), v.to_vec())).collect();
+        let ref_pairs: Vec<(Vec<u8>, Vec<u8>)> =
+            reference.pairs(0).map(|(k, v)| (k.to_vec(), v.to_vec())).collect();
+        prop_assert_eq!(fast_pairs, ref_pairs);
+    }
+
+    /// Reduce-side loser-tree merge vs both references: the prefix-keyed
+    /// loser tree must yield exactly the sequence of the retained heap
+    /// stream and of the materializing merge, including tie-break order
+    /// across runs with duplicated keys.
+    #[test]
+    fn loser_tree_merge_is_identical_to_heap_and_materializing_merges(
+        keys in vec((any::<u8>(), any::<u8>()), 1..200),
+        runs in vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..60),
+        num_runs in 1usize..7,
+        aggregate in any::<bool>(),
+    ) {
+        let ks: Arc<dyn KeySemantics> = if aggregate {
+            Arc::new(AggregateKeyOps::new(RangePartitioner::uniform(2, 256), 1))
+        } else {
+            Arc::new(scihadoop::mapreduce::DefaultKeySemantics)
+        };
+        let records: Vec<KvPair> = if aggregate {
+            aggregate_splits(&runs, 1, 1).remove(0)
+        } else {
+            plain_splits(&keys, &[vec![9u8]], 1).remove(0)
+        };
+        // Deal records round-robin into sorted runs, tagging values so
+        // any cross-run tie-break difference shows up.
+        let codec: Arc<dyn Codec> = Arc::new(IdentityCodec);
+        let mut sorted_runs: Vec<Vec<KvPair>> = (0..num_runs).map(|_| Vec::new()).collect();
+        for (i, r) in records.iter().enumerate() {
+            sorted_runs[i % num_runs]
+                .push(KvPair::new(r.key.clone(), (i as u32).to_be_bytes().to_vec()));
+        }
+        for run in &mut sorted_runs {
+            run.sort_by(|a, b| ks.compare(&a.key, &b.key));
+        }
+        let sealed: Vec<Vec<u8>> = sorted_runs
+            .iter()
+            .map(|run| {
+                let mut w = IFileWriter::new(Framing::IFile, codec.clone());
+                for p in run {
+                    w.append_pair(p);
+                }
+                w.close().data
+            })
+            .collect();
+        let segments: Vec<RawSegment> = sealed
+            .iter()
+            .map(|s| RawSegment::open(s, codec.as_ref()).expect("segment reads back"))
+            .collect();
+        let mut tree = MergeStream::new(&segments, ks.as_ref()).expect("merge opens");
+        let mut tree_out = Vec::new();
+        while let Some((k, v)) = tree.next().expect("merge streams") {
+            tree_out.push(KvPair::new(k.to_vec(), v.to_vec()));
+        }
+        let mut heap = HeapMergeStream::new(&segments, ks.as_ref()).expect("merge opens");
+        let mut heap_out = Vec::new();
+        while let Some((k, v)) = heap.next().expect("merge streams") {
+            heap_out.push(KvPair::new(k.to_vec(), v.to_vec()));
+        }
+        let materialized = merge_sorted_runs(sorted_runs, ks.as_ref());
+        prop_assert_eq!(&tree_out, &materialized, "loser tree vs materializing merge");
+        prop_assert_eq!(&heap_out, &materialized, "heap stream vs materializing merge");
     }
 
     /// Whole pipeline, Z-order aggregate keys: route splits, overlap

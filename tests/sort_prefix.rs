@@ -1,0 +1,176 @@
+//! Property suite for the `KeySemantics::sort_prefix` contract:
+//!
+//! > `sort_prefix(a) < sort_prefix(b)` ⇒ `compare(a, b) == Less`
+//!
+//! checked for every shipped implementation — the default bytewise
+//! semantics over arbitrary byte strings, and the aggregate-key
+//! semantics over valid keys (with curve indices from real Z-order
+//! mappings, including boundary coordinates), junk byte strings, and
+//! starts straddling the 48-bit prefix clamp. The engine's radix spill
+//! sort and loser-tree merge are only correct because of this
+//! implication, so a violation here is a corruption bug, not a perf
+//! regression.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use scihadoop::core::aggregate::{AggregateKey, AggregateKeyOps, RangePartitioner};
+use scihadoop::mapreduce::{bytewise_sort_prefix, DefaultKeySemantics, KeySemantics};
+use scihadoop::sfc::{index_prefix48, Curve, CurveRun, ZOrderCurve};
+use std::cmp::Ordering;
+
+/// Assert the contract over every ordered pair of `keys`, plus the
+/// monotonicity restatement (`compare Less` ⇒ `prefix <=`).
+fn check_contract(ks: &dyn KeySemantics, keys: &[Vec<u8>]) -> Result<(), TestCaseError> {
+    for a in keys {
+        for b in keys {
+            let (pa, pb) = (ks.sort_prefix(a), ks.sort_prefix(b));
+            if pa < pb {
+                prop_assert_eq!(
+                    ks.compare(a, b),
+                    Ordering::Less,
+                    "prefix order must imply key order: {:?} vs {:?}",
+                    a,
+                    b
+                );
+            }
+            if ks.compare(a, b) == Ordering::Less {
+                prop_assert!(
+                    pa <= pb,
+                    "prefix must be monotone over key order: {:?} vs {:?}",
+                    a,
+                    b
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn aggregate_ops() -> AggregateKeyOps {
+    AggregateKeyOps::new(RangePartitioner::uniform(4, 1 << 20), 1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Default semantics: arbitrary byte strings of any length, with a
+    /// bias toward shared prefixes and embedded zero bytes (the cases
+    /// where zero-extension could go wrong).
+    #[test]
+    fn default_prefix_contract_over_arbitrary_bytes(
+        random in vec(vec(any::<u8>(), 0..14), 2..24),
+        stems in vec(vec(0u8..3, 0..10), 0..12),
+    ) {
+        // Low-entropy stems manufacture prefix collisions and \x00 runs.
+        let mut keys = random;
+        keys.extend(stems);
+        check_contract(&DefaultKeySemantics, &keys)?;
+    }
+
+    /// Aggregate semantics over valid keys whose starts are genuine
+    /// Z-order curve indices — coordinates span the full u32 range, so
+    /// curve indices cross the 48-bit clamp boundary.
+    #[test]
+    fn aggregate_prefix_contract_over_zorder_keys(
+        coords in vec((any::<u32>(), any::<u32>()), 1..16),
+        small in vec((0u32..300, 0u32..300), 1..16),
+        variables in vec(0u32..4, 1..6),
+        lens in vec(1u64..200, 1..8),
+    ) {
+        let curve = ZOrderCurve::new(2);
+        let ops = aggregate_ops();
+        let mut keys = Vec::new();
+        for (i, &(x, y)) in coords.iter().chain(small.iter()).enumerate() {
+            let start = curve.index_of(&[x, y]).expect("2x32-bit coords fit");
+            let len = lens[i % lens.len()] as u128;
+            let variable = variables[i % variables.len()];
+            let end = start.saturating_add(len - 1);
+            keys.push(AggregateKey::new(variable, CurveRun { start, end }).to_bytes());
+        }
+        check_contract(&ops, &keys)?;
+    }
+
+    /// Aggregate semantics must also survive junk: random byte strings
+    /// (any length, including truncated keys) mixed with valid keys.
+    /// The positional packing makes the prefix order-preserving for the
+    /// bytewise comparator over *all* inputs, parseable or not.
+    #[test]
+    fn aggregate_prefix_contract_over_junk_and_valid_keys(
+        junk in vec(vec(any::<u8>(), 0..40), 0..12),
+        starts in vec(any::<u64>(), 1..8),
+        variables in vec(any::<u32>(), 1..4),
+    ) {
+        let ops = aggregate_ops();
+        let mut keys = junk;
+        for (i, &s) in starts.iter().enumerate() {
+            // Shift some starts past the 48-bit clamp.
+            let start = (s as u128) << (8 * (i % 4));
+            let variable = variables[i % variables.len()];
+            keys.push(
+                AggregateKey::new(variable, CurveRun { start, end: start }).to_bytes(),
+            );
+            // Truncations of valid keys are adversarial junk too.
+            let full = keys.last().expect("just pushed").clone();
+            keys.push(full[..full.len().min(3 + i % 20)].to_vec());
+        }
+        check_contract(&ops, &keys)?;
+    }
+
+    /// The default prefix ties exactly when the first 8 bytes tie, and
+    /// `index_prefix48` is monotone — spot restatements of the pieces
+    /// the two implementations are built from.
+    #[test]
+    fn prefix_building_blocks_are_monotone(
+        a in any::<u128>(),
+        b in any::<u128>(),
+        key in vec(any::<u8>(), 0..20),
+    ) {
+        if a <= b {
+            prop_assert!(index_prefix48(a) <= index_prefix48(b));
+        } else {
+            prop_assert!(index_prefix48(a) >= index_prefix48(b));
+        }
+        let mut first8 = [0u8; 8];
+        let n = key.len().min(8);
+        first8[..n].copy_from_slice(&key[..n]);
+        prop_assert_eq!(bytewise_sort_prefix(&key), u64::from_be_bytes(first8));
+    }
+}
+
+/// Boundary coordinates deserve a deterministic pass: curve corners,
+/// the 48-bit clamp, and negative grid coordinates rejected upstream
+/// (signed coordinates must be offset non-negative before indexing, so
+/// the key layer only ever sees unsigned indices — asserted here).
+#[test]
+fn aggregate_prefix_boundary_coordinates() {
+    let curve = ZOrderCurve::new(2);
+    let ops = aggregate_ops();
+    let corners = [
+        [0u32, 0],
+        [0, u32::MAX],
+        [u32::MAX, 0],
+        [u32::MAX, u32::MAX],
+        [1 << 23, 1 << 24],
+        [(1 << 24) - 1, (1 << 24) - 1],
+    ];
+    let mut keys = Vec::new();
+    for c in &corners {
+        let start = curve.index_of(c).expect("corners fit");
+        for len in [1u128, 1 << 30] {
+            let end = start.saturating_add(len - 1);
+            keys.push(AggregateKey::new(1, CurveRun { start, end }).to_bytes());
+        }
+    }
+    for a in &keys {
+        for b in &keys {
+            if ops.sort_prefix(a) < ops.sort_prefix(b) {
+                assert_eq!(ops.compare(a, b), Ordering::Less, "{a:?} vs {b:?}");
+            }
+        }
+    }
+    // Negative coordinates never reach the curve: the grid layer rejects
+    // them, so aggregate keys cannot embed a "negative" index.
+    use scihadoop::grid::Coord;
+    assert!(curve.index_of_coord(&Coord::new(vec![-1, 5])).is_err());
+    assert!(curve.index_of_coord(&Coord::new(vec![0, 5])).is_ok());
+}
