@@ -27,6 +27,9 @@
 //!   e.g. "block-transform+deflate" (the parallel block pipeline over
 //!   the stride transform over deflate). --block-kib <n> sets the block
 //!   size in KiB for every block- layer (default 256).
+//! --ifile-version <1|2|3> sets the intermediate segment format for the
+//!   trace and fault_storm experiments: 1 = plain, 2 = CRC-trailed flat
+//!   (default), 3 = front-coded sorted blocks with fence-key indexes.
 //! --faults <spec> configures the fault_storm plan, e.g.
 //!   "seed=42,map=0.4,reduce=0.3,corrupt=0.3,slow=0.1,slow_ms=1,cap=2"
 //!   (keys are optional; rates in [0,1]). --retries <n> sets the
@@ -144,6 +147,14 @@ fn main() {
             kib
         })
         .unwrap_or(scihadoop_compress::DEFAULT_BLOCK_SIZE / 1024);
+    let ifile_version = flag_value("--ifile-version")
+        .map(|v| {
+            scihadoop_mapreduce::IFileVersion::parse(&v).unwrap_or_else(|e| {
+                eprintln!("bad --ifile-version: {e}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or_default();
     let codec = flag_value("--codec").map(|name| {
         bench::codec_by_name_with_block_size(&name, block_kib * 1024).unwrap_or_else(|e| {
             eprintln!("bad --codec: {e}");
@@ -170,6 +181,7 @@ fn main() {
             || a == "--retries"
             || a == "--codec"
             || a == "--block-kib"
+            || a == "--ifile-version"
         {
             skip_next = true;
         } else if !a.starts_with("--") {
@@ -215,7 +227,8 @@ fn main() {
         ran = true;
     }
     if run("trace") || trace_path.is_some() || metrics_path.is_some() {
-        let (table, trace, counters) = bench::traced_pipeline(s.trace_n, s.trace_records);
+        let (table, trace, counters) =
+            bench::traced_pipeline(s.trace_n, s.trace_records, ifile_version);
         println!("{}", table.render());
         if let Some(path) = &trace_path {
             let json = scihadoop_mapreduce::obs::chrome_trace_json(&trace);
@@ -278,7 +291,8 @@ fn main() {
                 s.storm_records,
                 fault_config.clone(),
                 retries,
-                codec.clone()
+                codec.clone(),
+                ifile_version
             )
             .render()
         );

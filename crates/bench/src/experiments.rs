@@ -10,8 +10,8 @@ use scihadoop_grid::{BoundingBox, Coord, GridError, Shape};
 use scihadoop_mapreduce::obs::{self, IntermediateBreakdown, Recorder, ALL_PHASES};
 use scihadoop_mapreduce::record::{Emit, FnMapper, FnReducer, InputSplit};
 use scihadoop_mapreduce::{
-    Counter, CounterSnapshot, FaultConfig, FaultPlan, Framing, IFileWriter, Job, JobConfig,
-    JobStats, KvPair, Trace,
+    Counter, CounterSnapshot, FaultConfig, FaultPlan, Framing, IFileVersion, IFileWriter, Job,
+    JobConfig, JobStats, KvPair, Trace,
 };
 use scihadoop_queries::{
     median::{MedianRun, SlidingMedian, SlidingMedianVariant},
@@ -137,6 +137,40 @@ pub fn fig3(n: u32, max_stride: usize) -> (Table, Vec<CompressionPoint>) {
         });
     }
 
+    // IFile rows (PR 6): the same walk cut into 12-byte grid keys and
+    // materialized as intermediate segments, so the v2→v3 delta is the
+    // front-coding win on exactly the stream the paper compresses.
+    // Appended after the codec rows to keep prefix lookups stable.
+    for (method, version, codec) in [
+        ("ifile-v2", 2u8, None),
+        ("ifile-v3", 3, None),
+        (
+            "ifile-v3+deflate",
+            3,
+            Some(Arc::new(DeflateCodec::new()) as Arc<dyn Codec>),
+        ),
+    ] {
+        let codec = codec.unwrap_or_else(|| Arc::new(IdentityCodec) as Arc<dyn Codec>);
+        let t0 = Instant::now();
+        let mut w = match version {
+            2 => IFileWriter::new(Framing::IFile, codec),
+            _ => IFileWriter::v3(
+                Framing::IFile,
+                codec,
+                Arc::new(scihadoop_mapreduce::DefaultKeySemantics),
+            ),
+        };
+        for key in stream.chunks_exact(12) {
+            w.append(key, &[]);
+        }
+        let seg = w.close();
+        points.push(CompressionPoint {
+            method,
+            size: seg.materialized_bytes(),
+            secs: t0.elapsed().as_secs_f64(),
+        });
+    }
+
     let mut table = Table::new(
         &format!("Fig. 3: byte-level compression of a {n}³ grid-walk key stream"),
         &["method", "size (bytes)", "time"],
@@ -152,6 +186,10 @@ pub fn fig3(n: u32, max_stride: usize) -> (Table, Vec<CompressionPoint>) {
     table.note(
         "block-* rows: parallel 256 KiB block frame; the size gap vs the whole-buffer \
          row is the frame + per-block-restart overhead",
+    );
+    table.note(
+        "ifile-* rows: the stream cut into 12-byte keys and written as an intermediate \
+         segment; v3 front-codes shared key prefixes inside sorted blocks",
     );
     (table, points)
 }
@@ -290,6 +328,7 @@ fn segment_breakdown(seg: &scihadoop_mapreduce::ifile::Segment) -> IntermediateB
             seg.key_bytes,
             seg.value_bytes,
             seg.framing_bytes(),
+            seg.key_saved_bytes(),
             seg.raw_bytes,
             seg.materialized_bytes(),
         );
@@ -562,7 +601,11 @@ fn sum_values(k: &[u8], values: &[&[u8]], out: &mut dyn Emit) {
 /// sliding-median query, whose aggregate key semantics keep sort-splits
 /// enabled — it exercises the windowed sort-split stage. Between them
 /// every pipeline phase records spans.
-pub fn traced_pipeline(n: u32, records: usize) -> (Table, Trace, CounterSnapshot) {
+pub fn traced_pipeline(
+    n: u32,
+    records: usize,
+    ifile_version: IFileVersion,
+) -> (Table, Trace, CounterSnapshot) {
     let recorder = Recorder::new();
 
     // Job 1: wordcount with a combiner and a tiny spill buffer (forces
@@ -588,6 +631,7 @@ pub fn traced_pipeline(n: u32, records: usize) -> (Table, Trace, CounterSnapshot
             .with_combiner(Arc::new(FnReducer(sum_values)))
             .with_spill_buffer(1 << 10)
             .with_framing(Framing::IFile)
+            .with_ifile_version(ifile_version)
             .with_recorder(recorder.clone());
         let mapper = Arc::new(FnMapper(|k: &[u8], v: &[u8], out: &mut dyn Emit| {
             out.emit(k, v)
@@ -610,6 +654,7 @@ pub fn traced_pipeline(n: u32, records: usize) -> (Table, Trace, CounterSnapshot
         );
         q.base_config = JobConfig::default()
             .with_reducers(3)
+            .with_ifile_version(ifile_version)
             .with_recorder(recorder.clone());
         q.run(&var).expect("query runs").result.counters
     };
@@ -636,6 +681,7 @@ pub fn traced_pipeline(n: u32, records: usize) -> (Table, Trace, CounterSnapshot
         let config = JobConfig::default()
             .with_reducers(2)
             .with_retries(1)
+            .with_ifile_version(ifile_version)
             .with_retry_backoff(std::time::Duration::from_micros(1))
             .with_faults(FaultPlan::new(FaultConfig {
                 seed: 1,
@@ -706,7 +752,13 @@ pub fn traced_pipeline(n: u32, records: usize) -> (Table, Trace, CounterSnapshot
 /// assertion, in the spirit of the paper's "results are identical"
 /// claims for its lossless key transforms.
 pub fn fault_storm(records: usize, fault_config: FaultConfig, retries: u32) -> Table {
-    fault_storm_with_codec(records, fault_config, retries, None)
+    fault_storm_with_codec(
+        records,
+        fault_config,
+        retries,
+        None,
+        IFileVersion::default(),
+    )
 }
 
 /// [`fault_storm`] with an explicit intermediate-data codec (e.g. the
@@ -720,6 +772,7 @@ pub fn fault_storm_with_codec(
     fault_config: FaultConfig,
     retries: u32,
     codec: Option<Arc<dyn Codec>>,
+    ifile_version: IFileVersion,
 ) -> Table {
     assert!(
         fault_config.attempt_cap <= retries,
@@ -756,7 +809,8 @@ pub fn fault_storm_with_codec(
     let mut base = JobConfig::default()
         .with_reducers(3)
         .with_slots(2, 2)
-        .with_framing(Framing::IFile);
+        .with_framing(Framing::IFile)
+        .with_ifile_version(ifile_version);
     if let Some(c) = codec {
         base = base.with_codec(c);
     }
@@ -1293,7 +1347,7 @@ mod tests {
     #[test]
     fn traced_pipeline_covers_all_phases_and_reconciles() {
         // reconcile() already asserts histogram/counter agreement inside.
-        let (table, trace, counters) = traced_pipeline(24, 400);
+        let (table, trace, counters) = traced_pipeline(24, 400, IFileVersion::default());
         for phase in ALL_PHASES {
             assert!(
                 trace.span_count(phase) > 0,
@@ -1303,6 +1357,21 @@ mod tests {
             );
         }
         assert!(counters.get(Counter::MapOutputBytes) > 0);
+        assert_eq!(trace.dropped_events, 0);
+    }
+
+    #[test]
+    fn traced_pipeline_v3_reconciles_with_key_savings() {
+        // Same pipeline over v3 block segments: reconcile() inside
+        // demands exact histogram/counter agreement with the new
+        // key-saved dimension nonzero.
+        let (_, trace, counters) = traced_pipeline(24, 400, IFileVersion::V3);
+        let b = IntermediateBreakdown::from_trace(&trace);
+        assert!(
+            b.key_saved_bytes > 0,
+            "wordcount keys share prefixes; v3 must save key bytes"
+        );
+        assert!(counters.get(Counter::BlocksWritten) > 0);
         assert_eq!(trace.dropped_events, 0);
     }
 
@@ -1355,6 +1424,7 @@ mod tests {
             },
             3,
             Some(codec),
+            IFileVersion::V3,
         );
         assert!(t.title().contains("block-transform+deflate"));
         let row = |name: &str| -> u64 {

@@ -77,10 +77,22 @@ pub enum Counter {
     /// Faults injected by a configured [`crate::fault::FaultPlan`]
     /// (task errors, corruptions, slow-downs).
     FaultsInjected,
+    /// Key bytes removed from final map-output segments by v3 front
+    /// coding. The byte-split identity becomes
+    /// `key + value + framing + headers ==
+    /// MapOutputBytes + MapOutputKeySavedBytes` (key bytes stay
+    /// logical; the saving shows up as raw bytes never written).
+    MapOutputKeySavedBytes,
+    /// Front-coded blocks in final map-output segments (0 for v1/v2).
+    BlocksWritten,
+    /// Blocks the spill merge spliced through still-encoded via the
+    /// fence-prefix skip rule. Skips only happen while producing final
+    /// segments, so `BlocksSkipped <= BlocksWritten`.
+    BlocksSkipped,
 }
 
 /// Number of counter slots.
-pub const NUM_COUNTERS: usize = Counter::FaultsInjected as usize + 1;
+pub const NUM_COUNTERS: usize = Counter::BlocksSkipped as usize + 1;
 
 /// Every counter, in declaration order — for reports and exporters.
 pub const ALL_COUNTERS: [Counter; NUM_COUNTERS] = [
@@ -111,6 +123,9 @@ pub const ALL_COUNTERS: [Counter; NUM_COUNTERS] = [
     Counter::TaskRetries,
     Counter::ChecksumFailures,
     Counter::FaultsInjected,
+    Counter::MapOutputKeySavedBytes,
+    Counter::BlocksWritten,
+    Counter::BlocksSkipped,
 ];
 
 impl Counter {
@@ -144,6 +159,9 @@ impl Counter {
             Counter::TaskRetries => "task_retries",
             Counter::ChecksumFailures => "checksum_failures",
             Counter::FaultsInjected => "faults_injected",
+            Counter::MapOutputKeySavedBytes => "map_output_key_saved_bytes",
+            Counter::BlocksWritten => "blocks_written",
+            Counter::BlocksSkipped => "blocks_skipped",
         }
     }
 }
@@ -248,10 +266,15 @@ impl CounterSnapshot {
         let framing = self.get(Counter::MapOutputFramingBytes);
         let headers = segment_header_bytes * self.get(Counter::MapOutputSegments);
         let total = self.get(Counter::MapOutputBytes);
-        if key + value + framing + headers != total {
+        // Key bytes are logical; front coding makes raw bytes smaller by
+        // exactly the saved key bytes, so the split balances against
+        // `total + saved` (saved is 0 for v1/v2 segments).
+        let saved = self.get(Counter::MapOutputKeySavedBytes);
+        if key + value + framing + headers != total + saved {
             violations.push(format!(
                 "map output split does not add up: key {key} + value {value} + \
-                 framing {framing} + headers {headers} != map_output_bytes {total}"
+                 framing {framing} + headers {headers} != map_output_bytes {total} \
+                 + key_saved {saved}"
             ));
         }
         if self.get(Counter::CombineOutputRecords) > self.get(Counter::CombineInputRecords) {
@@ -281,6 +304,21 @@ impl CounterSnapshot {
                  corruption must always re-queue its task",
                 self.get(Counter::ChecksumFailures),
                 self.get(Counter::TaskRetries)
+            ));
+        }
+        if self.get(Counter::BlocksSkipped) > self.get(Counter::BlocksWritten) {
+            violations.push(format!(
+                "more blocks skipped than written: {} > {} — every spliced block \
+                 must land in a final segment",
+                self.get(Counter::BlocksSkipped),
+                self.get(Counter::BlocksWritten)
+            ));
+        }
+        if self.get(Counter::MapOutputKeySavedBytes) > self.get(Counter::MapOutputKeyBytes) {
+            violations.push(format!(
+                "front coding saved more key bytes than exist: {} > {}",
+                self.get(Counter::MapOutputKeySavedBytes),
+                self.get(Counter::MapOutputKeyBytes)
             ));
         }
         if violations.is_empty() {
@@ -404,6 +442,35 @@ mod tests {
             "{errs:?}"
         );
         c.add(Counter::TaskRetries, 1);
+        assert!(c.snapshot().check_invariants(6).is_ok());
+    }
+
+    #[test]
+    fn block_and_key_saved_invariants() {
+        let c = Counters::new();
+        c.add(Counter::BlocksSkipped, 5);
+        c.add(Counter::BlocksWritten, 3);
+        c.add(Counter::MapOutputKeySavedBytes, 10); // > key bytes (0)
+        let errs = c.snapshot().check_invariants(6).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("blocks skipped")),
+            "{errs:?}"
+        );
+        assert!(
+            errs.iter().any(|e| e.contains("saved more key bytes")),
+            "{errs:?}"
+        );
+        // A consistent v3 snapshot passes: 40 logical key bytes of which
+        // 15 were saved by front coding.
+        let c = Counters::new();
+        c.add(Counter::MapOutputKeyBytes, 40);
+        c.add(Counter::MapOutputKeySavedBytes, 15);
+        c.add(Counter::MapOutputValueBytes, 50);
+        c.add(Counter::MapOutputFramingBytes, 10);
+        c.add(Counter::MapOutputSegments, 1);
+        c.add(Counter::MapOutputBytes, 40 + 50 + 10 + 6 - 15);
+        c.add(Counter::BlocksWritten, 4);
+        c.add(Counter::BlocksSkipped, 4);
         assert!(c.snapshot().check_invariants(6).is_ok());
     }
 

@@ -31,8 +31,58 @@ const MAGIC: &[u8; 4] = b"SHIF";
 const VERSION_PLAIN: u8 = 1;
 /// Format version whose raw stream ends in a CRC-32 trailer.
 const VERSION_CRC: u8 = 2;
+/// Format version 3: records grouped into front-coded sorted blocks,
+/// each with its own CRC-32C, followed by a fence-key index and the v2
+/// segment trailer. See [`IFileWriter::v3`].
+const VERSION_BLOCK: u8 = 3;
 /// Big-endian CRC-32 of everything before it (header + records).
 const TRAILER_LEN: usize = 4;
+/// Per-block CRC-32C field size in a v3 block header.
+const BLOCK_CRC_LEN: usize = 4;
+/// Fixed-width big-endian fence-index offset at the end of a v3 body.
+const INDEX_OFFSET_LEN: usize = 8;
+
+/// Default raw-body byte budget per v3 block. Small enough that a
+/// contended merge decodes little past what it needs and a corrupt
+/// block invalidates only a few KiB; large enough that the per-block
+/// header + fence-index entry stay well under 1% of the block (see the
+/// block-budget sweep in EXPERIMENTS.md).
+pub const DEFAULT_BLOCK_BUDGET: usize = 4096;
+
+/// Which on-disk segment layout an [`IFileWriter`] produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IFileVersion {
+    /// Version 1: framed records, no integrity trailer (legacy).
+    V1,
+    /// Version 2: framed records + CRC-32C segment trailer (default).
+    #[default]
+    V2,
+    /// Version 3: front-coded sorted blocks + fence-key index + trailer.
+    V3,
+}
+
+impl IFileVersion {
+    /// The header version byte this layout writes.
+    pub fn number(self) -> u8 {
+        match self {
+            IFileVersion::V1 => VERSION_PLAIN,
+            IFileVersion::V2 => VERSION_CRC,
+            IFileVersion::V3 => VERSION_BLOCK,
+        }
+    }
+
+    /// Parse a `1`/`2`/`3` command-line argument.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "1" => Ok(IFileVersion::V1),
+            "2" => Ok(IFileVersion::V2),
+            "3" => Ok(IFileVersion::V3),
+            other => Err(format!(
+                "unknown IFile version {other:?} (expected 1, 2 or 3)"
+            )),
+        }
+    }
+}
 
 /// Record framing variant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,7 +188,65 @@ pub struct IFileWriter {
     records: u64,
     key_bytes: u64,
     value_bytes: u64,
+    stored_key_bytes: u64,
     trailer: bool,
+    /// `Some` iff this writer emits the version-3 block layout.
+    block: Option<BlockState>,
+}
+
+/// In-flight v3 block-building state. One block's records are staged in
+/// `body` (front-coded against `last_key`) and flushed to the segment
+/// buffer with a block header once `body` reaches the byte budget.
+struct BlockState {
+    ks: Arc<dyn KeySemantics>,
+    budget: usize,
+    body: Vec<u8>,
+    records: u64,
+    key_bytes: u64,
+    stored_key_bytes: u64,
+    value_bytes: u64,
+    /// First key of the open block (the block's fence key).
+    fence: Vec<u8>,
+    /// Previous appended key, reconstructed incrementally.
+    last_key: Vec<u8>,
+    /// `(segment offset, fence sort_prefix, fence key)` per sealed block.
+    fences: Vec<(usize, u64, Vec<u8>)>,
+}
+
+impl BlockState {
+    /// Flush the open block (if any) to `buf` as
+    /// `vints(records, key_bytes, stored_key_bytes, value_bytes),
+    /// vint(fence_len), fence, vint(body_len), crc32c(body), body`
+    /// and record its fence-index entry.
+    fn seal(&mut self, buf: &mut Vec<u8>) {
+        if self.records == 0 {
+            return;
+        }
+        let offset = buf.len();
+        let prefix = self.ks.sort_prefix(&self.fence);
+        write_vint(buf, self.records as i64);
+        write_vint(buf, self.key_bytes as i64);
+        write_vint(buf, self.stored_key_bytes as i64);
+        write_vint(buf, self.value_bytes as i64);
+        write_vint(buf, self.fence.len() as i64);
+        buf.extend_from_slice(&self.fence);
+        write_vint(buf, self.body.len() as i64);
+        buf.extend_from_slice(&crc32c(&self.body).to_be_bytes());
+        buf.extend_from_slice(&self.body);
+        self.fences
+            .push((offset, prefix, std::mem::take(&mut self.fence)));
+        self.body.clear();
+        self.last_key.clear();
+        self.records = 0;
+        self.key_bytes = 0;
+        self.stored_key_bytes = 0;
+        self.value_bytes = 0;
+    }
+}
+
+/// Length of the longest common prefix of two byte strings.
+fn common_prefix_len(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count()
 }
 
 /// A closed intermediate segment plus its size accounting.
@@ -150,10 +258,16 @@ pub struct Segment {
     pub raw_bytes: u64,
     /// Records contained.
     pub records: u64,
-    /// Raw key bytes (excluding framing).
+    /// Logical key bytes (excluding framing; pre-front-coding for v3).
     pub key_bytes: u64,
     /// Raw value bytes.
     pub value_bytes: u64,
+    /// Key bytes actually stored. Equals `key_bytes` for v1/v2; for v3
+    /// only the non-shared key suffixes are stored, so
+    /// `key_bytes - stored_key_bytes` is the front-coding saving.
+    pub stored_key_bytes: u64,
+    /// Blocks written (0 for v1/v2 segments).
+    pub blocks: u64,
     /// Nanoseconds spent compressing.
     pub compress_nanos: u64,
 }
@@ -164,19 +278,29 @@ impl Segment {
         self.data.len() as u64
     }
 
-    /// Per-record framing overhead bytes (raw minus keys, values, and the
-    /// constant file header).
+    /// Framing overhead bytes: raw size minus stored key/value payload
+    /// and the constant file header. For v3 this covers the per-record
+    /// prefix/suffix vints, block headers (fence keys, per-block CRCs),
+    /// and the fence-key index.
     pub fn framing_bytes(&self) -> u64 {
-        let payload = self.key_bytes + self.value_bytes + HEADER_LEN as u64;
+        let payload = self.stored_key_bytes + self.value_bytes + HEADER_LEN as u64;
         debug_assert!(
             self.raw_bytes >= payload,
-            "segment accounting invariant violated: raw {} < keys {} + values {} + header {}",
+            "segment accounting invariant violated: raw {} < stored keys {} + values {} + header {}",
             self.raw_bytes,
-            self.key_bytes,
+            self.stored_key_bytes,
             self.value_bytes,
             HEADER_LEN
         );
         self.raw_bytes.saturating_sub(payload)
+    }
+
+    /// Key bytes removed by front coding (0 for v1/v2 segments). The
+    /// byte-split identity every report builds on is
+    /// `key_bytes + value_bytes + framing_bytes() + header ==
+    /// raw_bytes + key_saved_bytes()`.
+    pub fn key_saved_bytes(&self) -> u64 {
+        self.key_bytes - self.stored_key_bytes
     }
 }
 
@@ -208,12 +332,69 @@ impl IFileWriter {
             records: 0,
             key_bytes: 0,
             value_bytes: 0,
+            stored_key_bytes: 0,
             trailer,
+            block: None,
+        }
+    }
+
+    /// Open a version-3 writer: records are grouped into fixed-budget
+    /// blocks whose keys are front-coded against their predecessor, each
+    /// block carries its own CRC-32C, and the segment ends with a
+    /// fence-key index (first key + cached [`KeySemantics::sort_prefix`]
+    /// + offset per block) followed by the v2 CRC trailer.
+    ///
+    /// Front coding itself is order-agnostic, but the fence index only
+    /// supports binary search and merge block skipping when keys are
+    /// appended in `ks` sort order — which the spill sort guarantees.
+    pub fn v3(framing: Framing, codec: Arc<dyn Codec>, ks: Arc<dyn KeySemantics>) -> Self {
+        Self::v3_with_budget(framing, codec, ks, DEFAULT_BLOCK_BUDGET)
+    }
+
+    /// [`IFileWriter::v3`] with an explicit per-block raw-body byte
+    /// budget (the block-budget sweep and tests pin small budgets to
+    /// force many blocks).
+    pub fn v3_with_budget(
+        framing: Framing,
+        codec: Arc<dyn Codec>,
+        ks: Arc<dyn KeySemantics>,
+        budget: usize,
+    ) -> Self {
+        let mut buf = Vec::with_capacity(4096);
+        buf.extend_from_slice(MAGIC);
+        buf.push(VERSION_BLOCK);
+        buf.push(framing.tag());
+        debug_assert_eq!(buf.len(), HEADER_LEN);
+        IFileWriter {
+            framing,
+            codec,
+            buf,
+            records: 0,
+            key_bytes: 0,
+            value_bytes: 0,
+            stored_key_bytes: 0,
+            trailer: true,
+            block: Some(BlockState {
+                ks,
+                budget: budget.max(1),
+                body: Vec::with_capacity(budget.max(1)),
+                records: 0,
+                key_bytes: 0,
+                stored_key_bytes: 0,
+                value_bytes: 0,
+                fence: Vec::new(),
+                last_key: Vec::new(),
+                fences: Vec::new(),
+            }),
         }
     }
 
     /// Append one record.
     pub fn append(&mut self, key: &[u8], value: &[u8]) {
+        if self.block.is_some() {
+            self.append_v3(key, value);
+            return;
+        }
         match self.framing {
             Framing::SequenceFile => {
                 let body = vint_len(key.len() as i64)
@@ -231,6 +412,72 @@ impl IFileWriter {
         self.records += 1;
         self.key_bytes += key.len() as u64;
         self.value_bytes += value.len() as u64;
+        self.stored_key_bytes += key.len() as u64;
+    }
+
+    /// v3 append: stage `(shared_prefix_len, suffix_len, value_len,
+    /// suffix, value)` into the open block's body, sealing the previous
+    /// block first if it has reached its budget. The keys arrive sorted
+    /// from the spill sort, so the shared-prefix computation against the
+    /// incrementally-maintained `last_key` is a single forward scan.
+    fn append_v3(&mut self, key: &[u8], value: &[u8]) {
+        let b = self.block.as_mut().expect("v3 writer has block state");
+        if b.records > 0 && b.body.len() >= b.budget {
+            b.seal(&mut self.buf);
+        }
+        if b.records == 0 {
+            // Block's first record: its key becomes the fence key, and
+            // it front-codes against itself (shared = len, empty suffix)
+            // so the decoder needs no special case.
+            b.fence.clear();
+            b.fence.extend_from_slice(key);
+            b.last_key.clear();
+            b.last_key.extend_from_slice(key);
+        }
+        let shared = common_prefix_len(&b.last_key, key);
+        let suffix = &key[shared..];
+        write_vint(&mut b.body, shared as i64);
+        write_vint(&mut b.body, suffix.len() as i64);
+        write_vint(&mut b.body, value.len() as i64);
+        b.body.extend_from_slice(suffix);
+        b.body.extend_from_slice(value);
+        b.last_key.truncate(shared);
+        b.last_key.extend_from_slice(suffix);
+        b.records += 1;
+        b.key_bytes += key.len() as u64;
+        b.stored_key_bytes += suffix.len() as u64;
+        b.value_bytes += value.len() as u64;
+        self.records += 1;
+        self.key_bytes += key.len() as u64;
+        self.stored_key_bytes += suffix.len() as u64;
+        self.value_bytes += value.len() as u64;
+    }
+
+    /// Splice an already-encoded v3 block (obtained from a
+    /// [`BlockCursor`] during a merge) into this segment verbatim — no
+    /// decode, no re-encode. Any open partial block is sealed first so
+    /// record order is preserved; the copied block is self-contained
+    /// (its first record front-codes against its own fence key). The
+    /// block's CRC is re-verified before adoption so a copy of corrupt
+    /// bytes cannot launder a bad checksum into a fresh trailer.
+    ///
+    /// Panics if this writer is not a v3 writer.
+    pub fn append_encoded_block(&mut self, blk: &EncodedBlock<'_>) -> Result<(), MrError> {
+        let b = self
+            .block
+            .as_mut()
+            .expect("append_encoded_block requires a v3 writer");
+        blk.verify()?;
+        b.seal(&mut self.buf);
+        let offset = self.buf.len();
+        self.buf.extend_from_slice(blk.bytes);
+        b.fences
+            .push((offset, blk.fence_prefix, blk.fence_key.to_vec()));
+        self.records += blk.records;
+        self.key_bytes += blk.key_bytes;
+        self.stored_key_bytes += blk.stored_key_bytes;
+        self.value_bytes += blk.value_bytes;
+        Ok(())
     }
 
     /// Append a pair.
@@ -250,10 +497,27 @@ impl IFileWriter {
 
     /// Compress and seal the segment.
     pub fn close(mut self) -> Segment {
+        let mut blocks = 0u64;
+        if let Some(mut b) = self.block.take() {
+            b.seal(&mut self.buf);
+            blocks = b.fences.len() as u64;
+            // Fence-key index: count, then (offset, sort_prefix, fence)
+            // per block, then the fixed-width index offset so a reader
+            // can find the index without scanning blocks.
+            let index_offset = self.buf.len() as u64;
+            write_vint(&mut self.buf, b.fences.len() as i64);
+            for (offset, prefix, fence) in &b.fences {
+                write_vint(&mut self.buf, *offset as i64);
+                self.buf.extend_from_slice(&prefix.to_be_bytes());
+                write_vint(&mut self.buf, fence.len() as i64);
+                self.buf.extend_from_slice(fence);
+            }
+            self.buf.extend_from_slice(&index_offset.to_be_bytes());
+        }
         // Size accounting excludes the trailer: `raw_bytes` keeps meaning
-        // "header + framed records", so the paper's byte arithmetic (and
-        // every counter invariant built on it) is identical with and
-        // without integrity checking.
+        // "header + framed records" (plus block/index framing for v3), so
+        // the paper's byte arithmetic (and every counter invariant built
+        // on it) is identical with and without integrity checking.
         let raw_bytes = self.buf.len() as u64;
         if self.trailer {
             let crc = crc32c(&self.buf);
@@ -276,9 +540,24 @@ impl IFileWriter {
             records: self.records,
             key_bytes: self.key_bytes,
             value_bytes: self.value_bytes,
+            stored_key_bytes: self.stored_key_bytes,
+            blocks,
             compress_nanos,
         }
     }
+}
+
+/// One fence-index entry of a v3 segment: where a block starts, its
+/// fence key (stored as a range into the segment buffer), and the fence
+/// key's cached sort prefix.
+#[derive(Debug, Clone)]
+pub(crate) struct Fence {
+    /// Absolute offset of the block header in the segment buffer.
+    pub(crate) offset: usize,
+    /// `sort_prefix` of the block's first key, cached at write time.
+    pub(crate) prefix: u64,
+    key_start: usize,
+    key_len: usize,
 }
 
 /// A decompressed segment whose records are parsed lazily through
@@ -287,17 +566,25 @@ impl IFileWriter {
 pub struct RawSegment {
     raw: Vec<u8>,
     framing: Framing,
+    version: u8,
     /// End of the record region (excludes a version-2 CRC trailer).
     body_end: usize,
+    /// v3 only: end of the block region (start of the fence index).
+    blocks_end: usize,
+    /// v3 only: the parsed fence-key index, one entry per block.
+    fences: Vec<Fence>,
     /// Nanoseconds spent decompressing.
     pub decompress_nanos: u64,
 }
 
 impl RawSegment {
     /// Decompress a segment, validate its header, and — for version-2
-    /// segments — verify the CRC-32 trailer over everything before it.
-    /// A trailer mismatch is a [`MrError::Checksum`], distinguishable
-    /// from structural parse errors so the runner can count it.
+    /// and version-3 segments — verify the CRC-32 trailer over
+    /// everything before it. A trailer mismatch is a
+    /// [`MrError::Checksum`], distinguishable from structural parse
+    /// errors so the runner can count it. For version 3 the fence-key
+    /// index is parsed and bounds-checked here, so cursors never touch
+    /// unvalidated offsets.
     pub fn open(segment: &[u8], codec: &dyn Codec) -> Result<Self, MrError> {
         let t0 = crate::clock::thread_cpu_nanos();
         let raw = codec.decompress(segment)?;
@@ -309,9 +596,10 @@ impl RawSegment {
         if raw.len() < HEADER_LEN || &raw[..4] != MAGIC {
             return Err(MrError::Intermediate("bad segment header".into()));
         }
-        let body_end = match raw[4] {
+        let version = raw[4];
+        let body_end = match version {
             VERSION_PLAIN => raw.len(),
-            VERSION_CRC => {
+            VERSION_CRC | VERSION_BLOCK => {
                 let body_end = raw
                     .len()
                     .checked_sub(TRAILER_LEN)
@@ -329,20 +617,51 @@ impl RawSegment {
             v => return Err(MrError::Intermediate(format!("bad version {v}"))),
         };
         let framing = Framing::from_tag(raw[5])?;
+        let (blocks_end, fences) = if version == VERSION_BLOCK {
+            parse_fence_index(&raw, body_end)?
+        } else {
+            (body_end, Vec::new())
+        };
         Ok(RawSegment {
             raw,
             framing,
+            version,
             body_end,
+            blocks_end,
+            fences,
             decompress_nanos,
         })
     }
 
+    /// Whether this segment uses the version-3 block layout (front-coded
+    /// blocks + fence index). Such segments must be read through
+    /// [`RawSegment::block_cursor`]; the flat [`RecordCursor`] cannot
+    /// parse them.
+    pub fn is_block_format(&self) -> bool {
+        self.version == VERSION_BLOCK
+    }
+
+    /// Number of blocks (0 for v1/v2 segments).
+    pub fn blocks(&self) -> usize {
+        self.fences.len()
+    }
+
     /// A cursor over the records, borrowing this segment's buffer.
+    /// Only valid for flat (v1/v2) segments; on a v3 segment it yields
+    /// no records (use [`RawSegment::block_cursor`]).
     pub fn cursor(&self) -> RecordCursor<'_> {
+        debug_assert!(
+            !self.is_block_format(),
+            "flat cursor over a block-format segment (use block_cursor)"
+        );
         RecordCursor {
             raw: &self.raw[..self.body_end],
             framing: self.framing,
-            pos: HEADER_LEN,
+            pos: if self.is_block_format() {
+                self.body_end
+            } else {
+                HEADER_LEN
+            },
         }
     }
 
@@ -355,10 +674,142 @@ impl RawSegment {
             ks,
         }
     }
+
+    /// A block-aware cursor over a v3 segment. Panics (debug) on flat
+    /// segments — callers dispatch on [`RawSegment::is_block_format`].
+    pub fn block_cursor(&self) -> BlockCursor<'_> {
+        debug_assert!(
+            self.is_block_format(),
+            "block cursor over a flat segment (use cursor)"
+        );
+        BlockCursor {
+            raw: &self.raw,
+            fences: &self.fences,
+            blocks_end: self.blocks_end,
+            block: 0,
+            entered: false,
+            live: true,
+            meta: BlockMeta::default(),
+            body: &[],
+            body_pos: 0,
+            decoded: 0,
+            key: Vec::new(),
+            value: &[],
+        }
+    }
+
+    /// Total records in the segment. For v3 this sums block-header
+    /// record counts (no record decoding); for v1/v2 it walks the
+    /// records parse-only. Used to pre-reserve exact capacity.
+    pub fn record_count(&self) -> Result<u64, MrError> {
+        if self.is_block_format() {
+            let mut total = 0u64;
+            let cursor = self.block_cursor();
+            for i in 0..self.fences.len() {
+                total += cursor.parse_meta(i)?.records;
+            }
+            return Ok(total);
+        }
+        let mut cursor = self.cursor();
+        let mut n = 0u64;
+        while cursor.next()?.is_some() {
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Walk every record in file order, dispatching on the segment
+    /// version, invoking `f(key, value)` per record.
+    pub fn for_each_record(&self, mut f: impl FnMut(&[u8], &[u8])) -> Result<(), MrError> {
+        if self.is_block_format() {
+            let mut cursor = self.block_cursor();
+            while let Some((key, value)) = cursor.next()? {
+                f(key, value);
+            }
+        } else {
+            let mut cursor = self.cursor();
+            while let Some((key, value)) = cursor.next()? {
+                f(key, value);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parse and validate a v3 fence-key index. Returns the end of the
+/// block region (= index start) and the per-block entries. Every offset
+/// is checked to be in-bounds and strictly increasing so cursors can
+/// trust them.
+fn parse_fence_index(raw: &[u8], body_end: usize) -> Result<(usize, Vec<Fence>), MrError> {
+    let off_pos = body_end
+        .checked_sub(INDEX_OFFSET_LEN)
+        .filter(|&p| p >= HEADER_LEN)
+        .ok_or_else(|| MrError::Intermediate("segment too short for fence index".into()))?;
+    let index_offset = u64::from_be_bytes(raw[off_pos..body_end].try_into().unwrap());
+    let blocks_end = usize::try_from(index_offset)
+        .ok()
+        .filter(|&o| (HEADER_LEN..=off_pos).contains(&o))
+        .ok_or_else(|| MrError::Intermediate("fence index offset out of bounds".into()))?;
+    let index = &raw[..off_pos];
+    let mut pos = blocks_end;
+    let (count, used) = read_vint(&index[pos..])?;
+    pos += used;
+    let count = usize::try_from(count)
+        .ok()
+        // Each entry needs at least 10 bytes (vint offset + 8-byte
+        // prefix + vint key length), bounding allocations up front.
+        .filter(|&c| c <= (off_pos - pos) / 10)
+        .ok_or_else(|| MrError::Intermediate("implausible fence index count".into()))?;
+    let mut fences = Vec::with_capacity(count);
+    let mut prev_offset = HEADER_LEN;
+    for i in 0..count {
+        let (offset, used) = read_vint(&index[pos..])?;
+        pos += used;
+        let offset = usize::try_from(offset)
+            .ok()
+            .filter(|&o| o < blocks_end && (i == 0 && o == HEADER_LEN || i > 0 && o > prev_offset))
+            .ok_or_else(|| MrError::Intermediate("fence offset out of bounds".into()))?;
+        prev_offset = offset;
+        if index.len() - pos < 8 {
+            return Err(MrError::Intermediate("short fence prefix".into()));
+        }
+        let prefix = u64::from_be_bytes(index[pos..pos + 8].try_into().unwrap());
+        pos += 8;
+        let (key_len, used) = read_vint(&index[pos..])?;
+        pos += used;
+        let key_len = usize::try_from(key_len)
+            .ok()
+            .filter(|&l| l <= index.len() - pos)
+            .ok_or_else(|| MrError::Intermediate("fence key out of bounds".into()))?;
+        fences.push(Fence {
+            offset,
+            prefix,
+            key_start: pos,
+            key_len,
+        });
+        pos += key_len;
+    }
+    if pos != off_pos {
+        return Err(MrError::Intermediate(
+            "trailing bytes after fence index".into(),
+        ));
+    }
+    if fences.is_empty() && blocks_end != HEADER_LEN {
+        return Err(MrError::Intermediate(
+            "blocks present but fence index empty".into(),
+        ));
+    }
+    Ok((blocks_end, fences))
 }
 
 /// A `(key, value)` record borrowed from a decompressed segment buffer.
 pub type RecordSlices<'a> = (&'a [u8], &'a [u8]);
+
+/// A `(key, value)` record whose key borrows a cursor/stream scratch
+/// buffer (`'s`, valid until the next advance) while the value still
+/// borrows the segment (`'a`) — the shape every front-coded reader
+/// yields, since keys are reconstructed incrementally.
+pub type ScratchRecord<'s, 'a> = (&'s [u8], &'a [u8]);
 
 /// Lazy record parser over a [`RawSegment`]'s buffer; yields borrowed
 /// `(key, value)` slices in file order.
@@ -441,6 +892,370 @@ impl<'a> PrefixedCursor<'a> {
     }
 }
 
+/// Parsed v3 block header: sizes from the header vints plus the byte
+/// spans of the block, its fence key, and its body within the segment.
+#[derive(Debug, Clone, Copy, Default)]
+struct BlockMeta {
+    records: u64,
+    key_bytes: u64,
+    stored_key_bytes: u64,
+    value_bytes: u64,
+    /// Block start (the header's first byte) in the segment buffer.
+    start: usize,
+    /// Block end — exclusive; equals the next block's start.
+    end: usize,
+    fence_start: usize,
+    fence_len: usize,
+    body_start: usize,
+    crc: u32,
+}
+
+/// A still-encoded v3 block lifted out of a segment by
+/// [`BlockCursor::take_block`], carrying everything a v3
+/// [`IFileWriter`] needs to splice it into a new segment verbatim:
+/// the raw block bytes, the fence key + cached prefix for the new
+/// fence index, and the header's size accounting.
+#[derive(Debug, Clone, Copy)]
+pub struct EncodedBlock<'a> {
+    /// The full encoded block (header + CRC + front-coded body).
+    pub bytes: &'a [u8],
+    /// The block's first key.
+    pub fence_key: &'a [u8],
+    /// Cached `sort_prefix` of the fence key.
+    pub fence_prefix: u64,
+    /// Records in the block.
+    pub records: u64,
+    /// Logical key bytes in the block.
+    pub key_bytes: u64,
+    /// Stored (post-front-coding) key bytes in the block.
+    pub stored_key_bytes: u64,
+    /// Value bytes in the block.
+    pub value_bytes: u64,
+    body: &'a [u8],
+    crc: u32,
+}
+
+impl<'a> EncodedBlock<'a> {
+    /// Re-verify the block's CRC-32C over its front-coded body.
+    pub fn verify(&self) -> Result<(), MrError> {
+        let actual = crc32c(self.body);
+        if actual != self.crc {
+            return Err(MrError::Checksum(format!(
+                "block CRC mismatch: stored {:#010x}, computed {actual:#010x}",
+                self.crc
+            )));
+        }
+        Ok(())
+    }
+
+    /// Decode the block's records (front-coding against the fence key),
+    /// invoking `f(key, value)` per record. Used by debug-build merge
+    /// cross-checks and tests; the fast path never calls this.
+    pub fn for_each_record(&self, mut f: impl FnMut(&[u8], &[u8])) -> Result<(), MrError> {
+        let mut key = self.fence_key.to_vec();
+        let mut pos = 0usize;
+        for _ in 0..self.records {
+            let (rest, value) = decode_front_coded(self.body, pos, &mut key)?;
+            pos = rest;
+            f(&key, value);
+        }
+        if pos != self.body.len() {
+            return Err(MrError::Intermediate("trailing bytes in block body".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Parse one record's `(shared, suffix, value)` length triple at `pos`,
+/// returning the lengths plus the position of the suffix bytes. Fast
+/// path: all three fit single-byte vints (values 0..=127 encode as
+/// themselves), which covers every record whose lengths are all under
+/// 128 bytes.
+#[inline]
+fn read_record_lens(body: &[u8], pos: usize) -> Result<(usize, usize, usize, usize), MrError> {
+    if let Some(&[b0, b1, b2]) = body.get(pos..pos + 3) {
+        if (b0 | b1 | b2) < 0x80 {
+            return Ok((b0 as usize, b1 as usize, b2 as usize, pos + 3));
+        }
+    }
+    read_record_lens_vint(body, pos)
+}
+
+/// General case: multi-byte vints and the error paths.
+fn read_record_lens_vint(
+    body: &[u8],
+    mut pos: usize,
+) -> Result<(usize, usize, usize, usize), MrError> {
+    let (shared, used) = read_vint(&body[pos..])?;
+    pos += used;
+    let (suffix_len, used) = read_vint(&body[pos..])?;
+    pos += used;
+    let (value_len, used) = read_vint(&body[pos..])?;
+    pos += used;
+    let shared = usize::try_from(shared)
+        .map_err(|_| MrError::Intermediate("negative shared prefix length".into()))?;
+    let suffix_len = usize::try_from(suffix_len)
+        .map_err(|_| MrError::Intermediate("negative suffix length".into()))?;
+    let value_len = usize::try_from(value_len)
+        .map_err(|_| MrError::Intermediate("negative value length".into()))?;
+    Ok((shared, suffix_len, value_len, pos))
+}
+
+/// Decode one front-coded record at `pos` of `body` into `key`
+/// (truncate-to-shared + extend-with-suffix); returns the next record
+/// position and the borrowed value slice.
+#[inline]
+fn decode_front_coded<'a>(
+    body: &'a [u8],
+    pos: usize,
+    key: &mut Vec<u8>,
+) -> Result<(usize, &'a [u8]), MrError> {
+    let (shared, suffix_len, value_len, pos) = read_record_lens(body, pos)?;
+    if shared > key.len() {
+        return Err(MrError::Intermediate(
+            "shared prefix exceeds previous key".into(),
+        ));
+    }
+    let end = suffix_len
+        .checked_add(value_len)
+        .and_then(|b| b.checked_add(pos))
+        .filter(|&e| e <= body.len())
+        .ok_or_else(|| MrError::Intermediate("short block record body".into()))?;
+    key.truncate(shared);
+    key.extend_from_slice(&body[pos..pos + suffix_len]);
+    let value = &body[pos + suffix_len..end];
+    Ok((end, value))
+}
+
+/// Streaming cursor over a v3 segment: walks blocks in file order,
+/// reconstructing each key incrementally in a single reused buffer.
+/// Each block's CRC-32C is verified once on entry; a mismatch surfaces
+/// as [`MrError::Checksum`] exactly like a v2 trailer failure.
+///
+/// Values are borrowed straight from the segment (`'a`); the key is
+/// borrowed from the cursor's scratch buffer, valid until the next
+/// advance.
+pub struct BlockCursor<'a> {
+    raw: &'a [u8],
+    fences: &'a [Fence],
+    blocks_end: usize,
+    /// Index of the current block.
+    block: usize,
+    /// False until the first `advance`.
+    entered: bool,
+    live: bool,
+    meta: BlockMeta,
+    body: &'a [u8],
+    body_pos: usize,
+    /// Records decoded from the current block (the head is number
+    /// `decoded`, 1-based).
+    decoded: u64,
+    key: Vec<u8>,
+    value: &'a [u8],
+}
+
+impl<'a> BlockCursor<'a> {
+    /// Parse and validate block `i`'s header (no body decode).
+    fn parse_meta(&self, i: usize) -> Result<BlockMeta, MrError> {
+        let start = self.fences[i].offset;
+        let end = if i + 1 < self.fences.len() {
+            self.fences[i + 1].offset
+        } else {
+            self.blocks_end
+        };
+        let hdr = &self.raw[..end];
+        let mut pos = start;
+        let mut next_size = |what: &str| -> Result<u64, MrError> {
+            let (v, used) = read_vint(&hdr[pos..])?;
+            pos += used;
+            u64::try_from(v).map_err(|_| MrError::Intermediate(format!("negative block {what}")))
+        };
+        let records = next_size("record count")?;
+        let key_bytes = next_size("key bytes")?;
+        let stored_key_bytes = next_size("stored key bytes")?;
+        let value_bytes = next_size("value bytes")?;
+        let fence_len = next_size("fence length")?;
+        let fence_len = usize::try_from(fence_len)
+            .ok()
+            .filter(|&l| l <= hdr.len() - pos)
+            .ok_or_else(|| MrError::Intermediate("fence key exceeds block".into()))?;
+        let fence_start = pos;
+        pos += fence_len;
+        let (body_len, used) = read_vint(&hdr[pos..])?;
+        pos += used;
+        if hdr.len() - pos < BLOCK_CRC_LEN {
+            return Err(MrError::Intermediate("short block CRC".into()));
+        }
+        let crc = u32::from_be_bytes(hdr[pos..pos + BLOCK_CRC_LEN].try_into().unwrap());
+        pos += BLOCK_CRC_LEN;
+        let body_start = pos;
+        let body_len = usize::try_from(body_len)
+            .ok()
+            .filter(|&l| body_start + l == end)
+            .ok_or_else(|| MrError::Intermediate("block body disagrees with block span".into()))?;
+        // Every record costs at least 3 body bytes (three vints), so an
+        // implausible record count is rejected before any allocation.
+        if records == 0 || records.saturating_mul(3) > body_len as u64 {
+            return Err(MrError::Intermediate(
+                "implausible block record count".into(),
+            ));
+        }
+        Ok(BlockMeta {
+            records,
+            key_bytes,
+            stored_key_bytes,
+            value_bytes,
+            start,
+            end,
+            fence_start,
+            fence_len,
+            body_start,
+            crc,
+        })
+    }
+
+    /// Enter block `self.block`: parse + CRC-check it, seed the key
+    /// buffer with its fence key, and decode its first record. Returns
+    /// `false` when past the last block.
+    fn enter_block(&mut self) -> Result<bool, MrError> {
+        if self.block >= self.fences.len() {
+            self.live = false;
+            return Ok(false);
+        }
+        let meta = self.parse_meta(self.block)?;
+        let body = &self.raw[meta.body_start..meta.end];
+        let actual = crc32c(body);
+        if actual != meta.crc {
+            return Err(MrError::Checksum(format!(
+                "block {} CRC mismatch: stored {:#010x}, computed {actual:#010x}",
+                self.block, meta.crc
+            )));
+        }
+        // The index's fence key must agree with the block header's copy —
+        // ties the (unchecksummed-beyond-the-trailer) index to the block.
+        let f = &self.fences[self.block];
+        if self.raw[meta.fence_start..meta.fence_start + meta.fence_len]
+            != self.raw[f.key_start..f.key_start + f.key_len]
+        {
+            return Err(MrError::Intermediate(format!(
+                "block {} fence key disagrees with index",
+                self.block
+            )));
+        }
+        self.key.clear();
+        self.key
+            .extend_from_slice(&self.raw[meta.fence_start..meta.fence_start + meta.fence_len]);
+        self.meta = meta;
+        self.body = body;
+        self.body_pos = 0;
+        self.decoded = 0;
+        self.decode_next()
+    }
+
+    #[inline]
+    fn decode_next(&mut self) -> Result<bool, MrError> {
+        let (pos, value) = decode_front_coded(self.body, self.body_pos, &mut self.key)?;
+        self.body_pos = pos;
+        self.value = value;
+        self.decoded += 1;
+        Ok(true)
+    }
+
+    /// Advance to the next record (crossing into the next block as
+    /// needed). Returns `false` at end of segment; afterwards
+    /// [`BlockCursor::key`]/[`BlockCursor::value`] hold the new head.
+    #[inline]
+    pub fn advance(&mut self) -> Result<bool, MrError> {
+        if !self.entered {
+            self.entered = true;
+            return self.enter_block();
+        }
+        if !self.live {
+            return Ok(false);
+        }
+        if self.decoded == self.meta.records {
+            if self.body_pos != self.body.len() {
+                return Err(MrError::Intermediate("trailing bytes in block body".into()));
+            }
+            self.block += 1;
+            return self.enter_block();
+        }
+        self.decode_next()
+    }
+
+    /// Whether a current record exists (false once past the last block).
+    pub fn is_live(&self) -> bool {
+        self.live
+    }
+
+    /// The current record's key, borrowed from the cursor's scratch
+    /// buffer — valid until the next advance.
+    #[inline]
+    pub fn key(&self) -> &[u8] {
+        &self.key
+    }
+
+    /// The current record's value, borrowed from the segment.
+    #[inline]
+    pub fn value(&self) -> &'a [u8] {
+        self.value
+    }
+
+    /// True when the current head is the first record of a block whose
+    /// remaining records are all still undecoded — the precondition for
+    /// [`BlockCursor::take_block`].
+    #[inline]
+    pub fn at_block_start(&self) -> bool {
+        self.entered && self.live && self.decoded == 1
+    }
+
+    /// Records remaining in the current block, including the head.
+    pub fn block_remaining(&self) -> u64 {
+        self.meta.records - self.decoded + 1
+    }
+
+    /// Cached fence `sort_prefix` of the *next* block, if any. Every
+    /// key in the current block compares `<=` that fence, so it upper-
+    /// bounds the current block's keys for the merge's skip rule.
+    #[inline]
+    pub fn next_fence_prefix(&self) -> Option<u64> {
+        self.fences.get(self.block + 1).map(|f| f.prefix)
+    }
+
+    /// Lift the current (fully undecoded) block out as an
+    /// [`EncodedBlock`] and advance to the first record of the next
+    /// block. Callers must check [`BlockCursor::at_block_start`].
+    pub fn take_block(&mut self) -> Result<EncodedBlock<'a>, MrError> {
+        debug_assert!(self.at_block_start(), "take_block mid-block");
+        let meta = self.meta;
+        let blk = EncodedBlock {
+            bytes: &self.raw[meta.start..meta.end],
+            fence_key: &self.raw[meta.fence_start..meta.fence_start + meta.fence_len],
+            fence_prefix: self.fences[self.block].prefix,
+            records: meta.records,
+            key_bytes: meta.key_bytes,
+            stored_key_bytes: meta.stored_key_bytes,
+            value_bytes: meta.value_bytes,
+            body: &self.raw[meta.body_start..meta.end],
+            crc: meta.crc,
+        };
+        self.block += 1;
+        self.enter_block()?;
+        Ok(blk)
+    }
+
+    /// The next record, or `None` at end of segment.
+    #[allow(clippy::should_implement_trait)] // fallible, unlike Iterator
+    pub fn next<'s>(&'s mut self) -> Result<Option<ScratchRecord<'s, 'a>>, MrError> {
+        if self.advance()? {
+            let value = self.value();
+            Ok(Some((self.key(), value)))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
 /// Reads a segment back into owned records (reference path; the engine
 /// itself streams through [`RawSegment`]).
 pub struct IFileReader {
@@ -450,14 +1265,17 @@ pub struct IFileReader {
 }
 
 impl IFileReader {
-    /// Decompress and parse a segment.
+    /// Decompress and parse a segment. A first parse-only pass (block
+    /// headers for v3, a record walk for v1/v2) sizes the vector
+    /// exactly, so the fill pass never reallocates and each record is
+    /// copied straight into its final allocation.
     pub fn open(segment: &[u8], codec: &dyn Codec) -> Result<Self, MrError> {
         let seg = RawSegment::open(segment, codec)?;
-        let mut records = Vec::new();
-        let mut cursor = seg.cursor();
-        while let Some((key, value)) = cursor.next()? {
+        let count = seg.record_count()?;
+        let mut records = Vec::with_capacity(usize::try_from(count).unwrap_or(0));
+        seg.for_each_record(|key, value| {
             records.push(KvPair::new(key.to_vec(), value.to_vec()));
-        }
+        })?;
         Ok(IFileReader {
             records,
             decompress_nanos: seg.decompress_nanos,
@@ -710,5 +1528,190 @@ mod tests {
         let seg = roundtrip(Framing::IFile, &[pair]);
         // vint(1000) = 3 bytes, vint(4) = 1 byte.
         assert_eq!(seg.framing_bytes(), 4);
+    }
+
+    // ---- v3 (front-coded block) tests ----
+
+    use crate::keysem::DefaultKeySemantics;
+
+    fn ks() -> Arc<dyn KeySemantics> {
+        Arc::new(DefaultKeySemantics)
+    }
+
+    fn sorted_pairs(n: u32) -> Vec<KvPair> {
+        (0..n)
+            .map(|i| {
+                KvPair::new(
+                    format!("station-{:06}", i).into_bytes(),
+                    i.to_be_bytes().to_vec(),
+                )
+            })
+            .collect()
+    }
+
+    fn v3_segment(pairs: &[KvPair], budget: usize) -> Segment {
+        let mut w =
+            IFileWriter::v3_with_budget(Framing::IFile, Arc::new(IdentityCodec), ks(), budget);
+        for p in pairs {
+            w.append_pair(p);
+        }
+        w.close()
+    }
+
+    #[test]
+    fn v3_roundtrips_through_reader_and_block_cursor() {
+        let pairs = sorted_pairs(500);
+        let seg = v3_segment(&pairs, 256);
+        assert_eq!(seg.data[4], VERSION_BLOCK);
+        assert!(seg.blocks > 1, "tiny budget must produce many blocks");
+        let r = IFileReader::open(&seg.data, &IdentityCodec).unwrap();
+        assert_eq!(r.into_records(), pairs);
+        let raw = RawSegment::open(&seg.data, &IdentityCodec).unwrap();
+        assert!(raw.is_block_format());
+        assert_eq!(raw.blocks() as u64, seg.blocks);
+        assert_eq!(raw.record_count().unwrap(), 500);
+        let mut cursor = raw.block_cursor();
+        let mut streamed = Vec::new();
+        while let Some((k, v)) = cursor.next().unwrap() {
+            streamed.push(KvPair::new(k.to_vec(), v.to_vec()));
+        }
+        assert_eq!(streamed, pairs);
+    }
+
+    #[test]
+    fn v3_decodes_byte_identical_records_to_v2() {
+        let pairs = sorted_pairs(300);
+        let codec: Arc<dyn Codec> = Arc::new(IdentityCodec);
+        let mut v2 = IFileWriter::new(Framing::IFile, codec.clone());
+        for p in &pairs {
+            v2.append_pair(p);
+        }
+        let v2 = IFileReader::open(&v2.close().data, codec.as_ref()).unwrap();
+        let v3 = v3_segment(&pairs, 512);
+        let v3 = IFileReader::open(&v3.data, codec.as_ref()).unwrap();
+        assert_eq!(v2.into_records(), v3.into_records());
+    }
+
+    #[test]
+    fn v3_front_coding_shrinks_shared_prefix_keys() {
+        let pairs = sorted_pairs(1000);
+        let v3 = v3_segment(&pairs, DEFAULT_BLOCK_BUDGET);
+        let codec: Arc<dyn Codec> = Arc::new(IdentityCodec);
+        let mut v2 = IFileWriter::new(Framing::IFile, codec);
+        for p in &pairs {
+            v2.append_pair(p);
+        }
+        let v2 = v2.close();
+        assert_eq!(v2.key_saved_bytes(), 0);
+        assert!(v3.key_saved_bytes() > 0);
+        assert!(
+            v3.raw_bytes < v2.raw_bytes,
+            "front coding must shrink shared-prefix keys: v3 {} vs v2 {}",
+            v3.raw_bytes,
+            v2.raw_bytes
+        );
+        // The byte-split identity the reports build on.
+        assert_eq!(
+            v3.key_bytes + v3.value_bytes + v3.framing_bytes() + HEADER_LEN as u64,
+            v3.raw_bytes + v3.key_saved_bytes()
+        );
+    }
+
+    #[test]
+    fn v3_empty_segment_roundtrips() {
+        let seg = v3_segment(&[], DEFAULT_BLOCK_BUDGET);
+        assert_eq!(seg.records, 0);
+        assert_eq!(seg.blocks, 0);
+        let raw = RawSegment::open(&seg.data, &IdentityCodec).unwrap();
+        assert_eq!(raw.record_count().unwrap(), 0);
+        let mut cursor = raw.block_cursor();
+        assert!(cursor.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn v3_bit_flips_detected_by_segment_trailer() {
+        let seg = v3_segment(&sorted_pairs(50), 128);
+        for byte in HEADER_LEN..seg.data.len() {
+            let mut corrupt = seg.data.clone();
+            corrupt[byte] ^= 0x10;
+            assert!(
+                RawSegment::open(&corrupt, &IdentityCodec).is_err(),
+                "v3 bit flip at byte {byte} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn v3_block_crc_catches_corruption_behind_a_regenerated_trailer() {
+        // An attacker (or a buggy copy path) who fixes up the outer
+        // trailer still cannot sneak a corrupted block past the
+        // per-block CRC.
+        let seg = v3_segment(&sorted_pairs(200), 128);
+        let mut corrupt = seg.data[..seg.data.len() - TRAILER_LEN].to_vec();
+        let n = corrupt.len();
+        corrupt[n / 2] ^= 0x01; // somewhere inside the blocks
+        let crc = crc32c(&corrupt);
+        corrupt.extend_from_slice(&crc.to_be_bytes());
+        let Ok(raw) = RawSegment::open(&corrupt, &IdentityCodec) else {
+            return; // flipped an index byte: caught even earlier
+        };
+        let mut cursor = raw.block_cursor();
+        let mut res = Ok(true);
+        while let Ok(true) = res {
+            res = cursor.advance();
+        }
+        assert!(res.is_err(), "corrupt block body went undetected");
+    }
+
+    #[test]
+    fn v3_take_block_splices_into_a_new_segment() {
+        let pairs = sorted_pairs(400);
+        let seg = v3_segment(&pairs, 256);
+        let raw = RawSegment::open(&seg.data, &IdentityCodec).unwrap();
+        let mut w = IFileWriter::v3_with_budget(Framing::IFile, Arc::new(IdentityCodec), ks(), 256);
+        let mut cursor = raw.block_cursor();
+        assert!(cursor.advance().unwrap());
+        let mut copied_records = 0;
+        while cursor.at_block_start() {
+            let blk = cursor.take_block().unwrap();
+            blk.for_each_record(|_, _| {}).unwrap(); // self-contained
+            copied_records += blk.records;
+            w.append_encoded_block(&blk).unwrap();
+        }
+        assert_eq!(copied_records, 400, "every block is liftable in turn");
+        let out = w.close();
+        assert_eq!(out.records, seg.records);
+        assert_eq!(out.key_bytes, seg.key_bytes);
+        assert_eq!(out.stored_key_bytes, seg.stored_key_bytes);
+        let r = IFileReader::open(&out.data, &IdentityCodec).unwrap();
+        assert_eq!(r.into_records(), pairs);
+    }
+
+    #[test]
+    fn v3_shared_prefixes_longer_than_255_bytes() {
+        let stem = vec![b'p'; 300];
+        let pairs: Vec<KvPair> = (0..50u32)
+            .map(|i| {
+                let mut k = stem.clone();
+                k.extend_from_slice(&i.to_be_bytes());
+                KvPair::new(k, vec![i as u8])
+            })
+            .collect();
+        let seg = v3_segment(&pairs, 64);
+        // 49 non-fence records save ≥ 300 bytes each.
+        assert!(seg.key_saved_bytes() >= 300 * 40);
+        let r = IFileReader::open(&seg.data, &IdentityCodec).unwrap();
+        assert_eq!(r.into_records(), pairs);
+    }
+
+    #[test]
+    fn v3_truncations_always_error() {
+        let seg = v3_segment(&sorted_pairs(40), 128);
+        for keep in 0..seg.data.len() {
+            assert!(
+                IFileReader::open(&seg.data[..keep], &IdentityCodec).is_err(),
+                "truncation to {keep} bytes went undetected"
+            );
+        }
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::counters::CounterSnapshot;
 use crate::error::MrError;
-use crate::ifile::Framing;
+use crate::ifile::{Framing, IFileVersion};
 use crate::keysem::{DefaultKeySemantics, KeySemantics};
 use crate::record::{InputSplit, KvPair, Mapper, Reducer};
 use crate::runner;
@@ -29,6 +29,9 @@ pub struct JobConfig {
     pub spill_buffer_bytes: usize,
     /// Intermediate record framing.
     pub framing: Framing,
+    /// On-disk IFile format for intermediate segments (v1 plain,
+    /// v2 CRC-trailed flat, v3 front-coded sorted blocks).
+    pub ifile_version: IFileVersion,
     /// Optional tracing/metrics recorder; worker threads attach to it
     /// and record spans + histograms (see [`crate::obs`]).
     pub recorder: Option<crate::obs::Recorder>,
@@ -54,6 +57,7 @@ impl std::fmt::Debug for JobConfig {
             .field("combiner", &self.combiner.is_some())
             .field("spill_buffer_bytes", &self.spill_buffer_bytes)
             .field("framing", &self.framing)
+            .field("ifile_version", &self.ifile_version)
             .field("recorder", &self.recorder.is_some())
             .field("task_retries", &self.task_retries)
             .field("retry_backoff", &self.retry_backoff)
@@ -73,6 +77,7 @@ impl Default for JobConfig {
             combiner: None,
             spill_buffer_bytes: 16 << 20,
             framing: Framing::SequenceFile,
+            ifile_version: IFileVersion::default(),
             recorder: None,
             task_retries: 0,
             retry_backoff: std::time::Duration::from_micros(100),
@@ -123,6 +128,12 @@ impl JobConfig {
     /// Builder-style setter for framing.
     pub fn with_framing(mut self, framing: Framing) -> Self {
         self.framing = framing;
+        self
+    }
+
+    /// Builder-style setter for the intermediate segment format version.
+    pub fn with_ifile_version(mut self, version: IFileVersion) -> Self {
+        self.ifile_version = version;
         self
     }
 

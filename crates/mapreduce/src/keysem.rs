@@ -33,7 +33,17 @@ pub trait KeySemantics: Send + Sync {
     /// Equal prefixes promise nothing; both sort stages fall back to
     /// [`KeySemantics::compare`] on prefix ties, so a low-entropy prefix
     /// costs speed, never correctness. Returning a constant (e.g. `0`)
-    /// is always valid. The default takes the first 8 key bytes,
+    /// is always valid.
+    ///
+    /// The v3 block-skipping merge additionally relies on the *other*
+    /// direction of the same contract: along a sorted run the prefixes
+    /// are non-decreasing (a strictly smaller prefix after a larger one
+    /// would contradict the implication above), and a run whose next
+    /// fence prefix is strictly below every rival head's prefix is
+    /// provably uncontended. Only the implication is required — no new
+    /// obligation is placed on implementors.
+    ///
+    /// The default takes the first 8 key bytes,
     /// big-endian, zero-extended — order-preserving for the default
     /// bytewise `compare` (zero-extension only ever coarsens bytewise
     /// order into ties). Implementations that override `compare` with a
@@ -260,6 +270,18 @@ mod tests {
         // Beyond-8-byte differences tie (and must, per the contract).
         assert_eq!(ks.sort_prefix(b"abcdefghX"), ks.sort_prefix(b"abcdefghY"));
         assert_eq!(bytewise_sort_prefix(b"abcdefgh"), 0x6162636465666768);
+        // Prefixes are non-decreasing along any sorted sequence — the
+        // monotonicity the v3 fence-index skip rule leans on.
+        let mut sorted: Vec<&[u8]> = keys.to_vec();
+        sorted.sort_by(|a, b| ks.compare(a, b));
+        for w in sorted.windows(2) {
+            assert!(
+                ks.sort_prefix(w[0]) <= ks.sort_prefix(w[1]),
+                "prefix regressed along a sorted run: {:?} then {:?}",
+                w[0],
+                w[1]
+            );
+        }
         assert_eq!(bytewise_sort_prefix(b"a"), 0x61 << 56);
         assert_eq!(bytewise_sort_prefix(b""), 0);
     }

@@ -39,13 +39,15 @@ pub use counters::{Counter, CounterSnapshot, Counters, ALL_COUNTERS, NUM_COUNTER
 pub use error::MrError;
 pub use fault::{Corruption, FaultConfig, FaultPlan};
 pub use ifile::{
-    Framing, IFileReader, IFileWriter, PrefixedCursor, RawSegment, RecordCursor, RecordSlices,
+    BlockCursor, EncodedBlock, Framing, IFileReader, IFileVersion, IFileWriter, PrefixedCursor,
+    RawSegment, RecordCursor, RecordSlices, DEFAULT_BLOCK_BUDGET,
 };
 pub use job::{Job, JobConfig, JobResult};
 pub use keysem::{bytewise_sort_prefix, DefaultKeySemantics, KeySemantics, RouteSink};
 pub use obs::{Phase, Recorder, Trace};
 pub use record::{Emit, FnMapper, FnReducer, InputSplit, KvPair, Mapper, Reducer};
 pub use sort::{
-    for_each_group, merge_sorted_runs, sort_pairs, HeapMergeStream, MergeStream, SortBuffer,
+    for_each_group, merge_sorted_runs, sort_pairs, BlockMergeStream, HeapMergeStream, MergeItem,
+    MergeStream, SortBuffer,
 };
 pub use stats::JobStats;

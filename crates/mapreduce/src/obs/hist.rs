@@ -208,10 +208,17 @@ pub enum Metric {
     /// Full-comparator invocations per streaming k-way merge (prefix
     /// ties at the loser tree).
     MergeCompareCalls,
+    /// Key bytes removed by v3 front coding per final segment.
+    SegKeySavedBytes,
+    /// Front-coded blocks per final v3 segment.
+    SegBlocks,
+    /// Blocks emitted wholesale (fence-prefix skip hits) per block
+    /// merge — via still-encoded splice or burst emission.
+    MergeBlocksSkipped,
 }
 
 /// Number of metric slots.
-pub const NUM_METRICS: usize = Metric::MergeCompareCalls as usize + 1;
+pub const NUM_METRICS: usize = Metric::MergeBlocksSkipped as usize + 1;
 
 /// All metrics, in slot order.
 pub const ALL_METRICS: [Metric; NUM_METRICS] = [
@@ -239,6 +246,9 @@ pub const ALL_METRICS: [Metric; NUM_METRICS] = [
     Metric::SortPrefixTies,
     Metric::SortCompareCalls,
     Metric::MergeCompareCalls,
+    Metric::SegKeySavedBytes,
+    Metric::SegBlocks,
+    Metric::MergeBlocksSkipped,
 ];
 
 impl Metric {
@@ -269,6 +279,9 @@ impl Metric {
             Metric::SortPrefixTies => "sort_prefix_ties",
             Metric::SortCompareCalls => "sort_compare_calls",
             Metric::MergeCompareCalls => "merge_compare_calls",
+            Metric::SegKeySavedBytes => "segment_key_saved_bytes",
+            Metric::SegBlocks => "segment_blocks",
+            Metric::MergeBlocksSkipped => "merge_blocks_skipped",
         }
     }
 }

@@ -22,6 +22,7 @@ pub fn observe_segment(
     key_bytes: u64,
     value_bytes: u64,
     framing_bytes: u64,
+    key_saved_bytes: u64,
     raw_bytes: u64,
     materialized_bytes: u64,
 ) {
@@ -29,6 +30,7 @@ pub fn observe_segment(
         (Metric::SegKeyBytes, key_bytes),
         (Metric::SegValueBytes, value_bytes),
         (Metric::SegFramingBytes, framing_bytes),
+        (Metric::SegKeySavedBytes, key_saved_bytes),
         (Metric::SegRawBytes, raw_bytes),
         (Metric::SegMaterializedBytes, materialized_bytes),
     ]);
@@ -45,9 +47,14 @@ pub struct IntermediateBreakdown {
     pub value_bytes: u64,
     /// Per-record framing bytes across all segments.
     pub framing_bytes: u64,
+    /// Key bytes removed by v3 front coding (0 when every segment is
+    /// flat). `key_bytes` stays logical, so the raw identity is
+    /// `raw = keys + values + framing + headers - key_saved`.
+    pub key_saved_bytes: u64,
     /// Fixed per-segment header bytes.
     pub header_bytes: u64,
-    /// Uncompressed segment bytes (keys + values + framing + headers).
+    /// Uncompressed segment bytes (keys + values + framing + headers,
+    /// minus front-coding savings).
     pub raw_bytes: u64,
     /// Post-codec segment bytes (Table II "materialized").
     pub materialized_bytes: u64,
@@ -62,6 +69,7 @@ impl IntermediateBreakdown {
             key_bytes: h(Metric::SegKeyBytes),
             value_bytes: h(Metric::SegValueBytes),
             framing_bytes: h(Metric::SegFramingBytes),
+            key_saved_bytes: h(Metric::SegKeySavedBytes),
             header_bytes: crate::ifile::Framing::IFile.file_overhead() as u64
                 * trace.hists.get(Metric::SegRawBytes).count(),
             raw_bytes: h(Metric::SegRawBytes),
@@ -121,6 +129,11 @@ impl IntermediateBreakdown {
             counters.get(Counter::MapOutputFramingBytes),
         );
         check(
+            "key saved bytes",
+            self.key_saved_bytes,
+            counters.get(Counter::MapOutputKeySavedBytes),
+        );
+        check(
             "raw bytes",
             self.raw_bytes,
             counters.get(Counter::MapOutputBytes),
@@ -141,13 +154,14 @@ impl IntermediateBreakdown {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"segments\": {}, \"key_bytes\": {}, \"value_bytes\": {}, \
-             \"framing_bytes\": {}, \"header_bytes\": {}, \"raw_bytes\": {}, \
-             \"materialized_bytes\": {}, \"key_fraction\": {:.6}, \
+             \"framing_bytes\": {}, \"key_saved_bytes\": {}, \"header_bytes\": {}, \
+             \"raw_bytes\": {}, \"materialized_bytes\": {}, \"key_fraction\": {:.6}, \
              \"materialized_ratio\": {:.6}}}",
             self.segments,
             self.key_bytes,
             self.value_bytes,
             self.framing_bytes,
+            self.key_saved_bytes,
             self.header_bytes,
             self.raw_bytes,
             self.materialized_bytes,
@@ -164,13 +178,14 @@ mod tests {
     use crate::obs::Recorder;
 
     #[cfg(feature = "obs")]
-    fn record_segment(key: u64, value: u64, framing: u64, materialized: u64) {
+    fn record_segment(key: u64, value: u64, framing: u64, saved: u64, materialized: u64) {
         let header = crate::ifile::Framing::IFile.file_overhead() as u64;
         crate::obs::hist_many(&[
             (Metric::SegKeyBytes, key),
             (Metric::SegValueBytes, value),
             (Metric::SegFramingBytes, framing),
-            (Metric::SegRawBytes, key + value + framing + header),
+            (Metric::SegKeySavedBytes, saved),
+            (Metric::SegRawBytes, key + value + framing + header - saved),
             (Metric::SegMaterializedBytes, materialized),
         ]);
     }
@@ -182,13 +197,15 @@ mod tests {
         let counters = Counters::new();
         {
             let _a = rec.attach("t");
-            for (k, v, f, m) in [(100, 20, 8, 60), (50, 10, 4, 30)] {
-                record_segment(k, v, f, m);
+            // Second segment is v3-like: 12 of its 50 key bytes saved.
+            for (k, v, f, s, m) in [(100, 20, 8, 0, 60), (50, 10, 4, 12, 30)] {
+                record_segment(k, v, f, s, m);
                 let header = crate::ifile::Framing::IFile.file_overhead() as u64;
                 counters.add(Counter::MapOutputKeyBytes, k);
                 counters.add(Counter::MapOutputValueBytes, v);
                 counters.add(Counter::MapOutputFramingBytes, f);
-                counters.add(Counter::MapOutputBytes, k + v + f + header);
+                counters.add(Counter::MapOutputKeySavedBytes, s);
+                counters.add(Counter::MapOutputBytes, k + v + f + header - s);
                 counters.add(Counter::MapOutputMaterializedBytes, m);
                 counters.add(Counter::MapOutputSegments, 1);
             }
@@ -198,6 +215,7 @@ mod tests {
         assert_eq!(b.segments, 2);
         assert_eq!(b.key_bytes, 150);
         assert_eq!(b.value_bytes, 30);
+        assert_eq!(b.key_saved_bytes, 12);
         assert_eq!(b.key_fraction(), 150.0 / 180.0);
         assert!(b.materialized_ratio() < 1.0);
         b.reconcile(&counters.snapshot()).unwrap();
@@ -209,13 +227,13 @@ mod tests {
         let rec = Recorder::new();
         {
             let _a = rec.attach("t");
-            record_segment(10, 10, 2, 5);
+            record_segment(10, 10, 2, 1, 5);
         }
         let trace = rec.finish();
         let b = IntermediateBreakdown::from_trace(&trace);
         // counters left at zero: every byte check should fire
         let errs = b.reconcile(&Counters::new().snapshot()).unwrap_err();
-        assert!(errs.len() >= 5, "drift detected: {errs:?}");
+        assert!(errs.len() >= 6, "drift detected: {errs:?}");
     }
 
     #[test]

@@ -4,11 +4,11 @@ use crate::arena::SpillArena;
 use crate::clock;
 use crate::counters::{Counter, Counters};
 use crate::error::MrError;
-use crate::ifile::{IFileWriter, RawSegment, Segment};
+use crate::ifile::{IFileVersion, IFileWriter, RawSegment, ScratchRecord, Segment};
 use crate::job::{JobConfig, JobResult};
 use crate::obs::{self, Metric, Phase};
 use crate::record::{InputSplit, KvPair, Mapper, Reducer};
-use crate::sort::{for_each_group, sort_pairs, MergeStream};
+use crate::sort::{for_each_group, sort_pairs, BlockMergeStream, MergeItem, MergeStream};
 use crate::stats::JobStats;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -362,6 +362,21 @@ pub fn run_job(
     })
 }
 
+/// Build an intermediate-segment writer for the job's configured IFile
+/// version. Every map-side writer site goes through this so a version
+/// switch changes spill, merge, and final outputs together.
+fn make_writer(config: &JobConfig) -> IFileWriter {
+    match config.ifile_version {
+        IFileVersion::V1 => IFileWriter::without_trailer(config.framing, config.codec.clone()),
+        IFileVersion::V2 => IFileWriter::new(config.framing, config.codec.clone()),
+        IFileVersion::V3 => IFileWriter::v3(
+            config.framing,
+            config.codec.clone(),
+            config.key_semantics.clone(),
+        ),
+    }
+}
+
 /// One map task: run the user function over a split, routing into the
 /// spill arena, then sorting, combining and materializing spills through
 /// borrowed slices — no owned pair is allocated between the mapper's
@@ -396,7 +411,7 @@ fn run_map_task(
                 continue;
             }
             arena.sort_partition(partition, ks.as_ref());
-            let mut writer = IFileWriter::new(config.framing, config.codec.clone());
+            let mut writer = make_writer(config);
             let combined: Option<Vec<KvPair>> = if let Some(combiner) = &config.combiner {
                 let _combine_span = crate::span!(Phase::Combine, task);
                 let input = arena.partition_len(partition) as u64;
@@ -488,6 +503,8 @@ fn run_map_task(
         counters.add(Counter::MapOutputKeyBytes, seg.key_bytes);
         counters.add(Counter::MapOutputValueBytes, seg.value_bytes);
         counters.add(Counter::MapOutputFramingBytes, seg.framing_bytes());
+        counters.add(Counter::MapOutputKeySavedBytes, seg.key_saved_bytes());
+        counters.add(Counter::BlocksWritten, seg.blocks);
         counters.add(
             Counter::MapOutputMaterializedBytes,
             seg.materialized_bytes(),
@@ -497,9 +514,13 @@ fn run_map_task(
             seg.key_bytes,
             seg.value_bytes,
             seg.framing_bytes(),
+            seg.key_saved_bytes(),
             seg.raw_bytes,
             seg.materialized_bytes(),
         );
+        if seg.blocks > 0 {
+            obs::hist(Metric::SegBlocks, seg.blocks);
+        }
     }
     Ok(segments)
 }
@@ -569,10 +590,26 @@ fn merge_spills(
                     codec_nanos += r.decompress_nanos;
                     raws.push(r);
                 }
-                let mut stream = MergeStream::new(&raws, config.key_semantics.as_ref())?;
-                let mut writer = IFileWriter::new(config.framing, config.codec.clone());
-                while let Some((key, value)) = stream.next()? {
-                    writer.append(key, value);
+                let mut writer = make_writer(config);
+                if raws.iter().any(|r| r.is_block_format()) {
+                    // v3 runs: still-compressed blocks whose key range is
+                    // uncontended splice straight into the output segment.
+                    let mut stream = BlockMergeStream::new(&raws, config.key_semantics.as_ref())?;
+                    loop {
+                        match stream.next_item()? {
+                            None => break,
+                            Some(MergeItem::Record(key, value)) => writer.append(key, value),
+                            Some(MergeItem::Block(blk)) => {
+                                counters.add(Counter::BlocksSkipped, 1);
+                                writer.append_encoded_block(&blk)?;
+                            }
+                        }
+                    }
+                } else {
+                    let mut stream = MergeStream::new(&raws, config.key_semantics.as_ref())?;
+                    while let Some((key, value)) = stream.next()? {
+                        writer.append(key, value);
+                    }
                 }
                 let seg = writer.close();
                 codec_nanos += seg.compress_nanos;
@@ -584,6 +621,37 @@ fn merge_spills(
     let merge_nanos = clock::since(merge_t0);
     counters.add(Counter::SpillNanos, merge_nanos.saturating_sub(codec_nanos));
     Ok(out)
+}
+
+/// Unifies the reduce-side record source across segment formats. Flat
+/// (v1/v2) segments yield keys borrowed from the decompressed buffer;
+/// block (v3) segments yield keys borrowed from the merge's reused
+/// reconstruction scratch, valid only until the next call — so the
+/// common signature ties the key to the `&mut self` borrow and the
+/// consumer copies the key when it must outlive one step.
+enum ReduceStream<'a> {
+    Flat(MergeStream<'a>),
+    Blocks(BlockMergeStream<'a>),
+}
+
+impl<'a> ReduceStream<'a> {
+    fn open(
+        raws: &'a [RawSegment],
+        ks: &'a dyn crate::keysem::KeySemantics,
+    ) -> Result<Self, MrError> {
+        if raws.iter().any(|r| r.is_block_format()) {
+            Ok(ReduceStream::Blocks(BlockMergeStream::new(raws, ks)?))
+        } else {
+            Ok(ReduceStream::Flat(MergeStream::new(raws, ks)?))
+        }
+    }
+
+    fn next(&mut self) -> Result<Option<ScratchRecord<'_, 'a>>, MrError> {
+        match self {
+            ReduceStream::Flat(s) => s.next(),
+            ReduceStream::Blocks(s) => s.next(),
+        }
+    }
 }
 
 /// One reduce task: stream this reducer's segments through a k-way
@@ -626,7 +694,7 @@ fn run_reduce_task(
     }
     let merge_t0 = clock::thread_cpu_nanos();
     let merge_span = crate::span!(Phase::Merge, task);
-    let mut stream = MergeStream::new(&raws, ks.as_ref())?;
+    let mut stream = ReduceStream::open(&raws, ks.as_ref())?;
 
     let mut out = Vec::new();
     let mut reduce_nanos = 0u64;
@@ -647,24 +715,27 @@ fn run_reduce_task(
 
     if !ks.sort_splits() {
         // Fast path: keys never rewrite, so groups form directly on the
-        // merged stream of borrowed slices.
-        let mut group_key: Option<&[u8]> = None;
+        // merged stream. The group key is held in one reused owned
+        // buffer (a v3 key borrow dies at the next `next()` call).
+        let mut group_key: Vec<u8> = Vec::new();
+        let mut in_group = false;
         let mut group_values: Vec<&[u8]> = Vec::new();
         while let Some((key, value)) = stream.next()? {
-            match group_key {
-                Some(gk) if ks.group_eq(gk, key) => group_values.push(value),
-                _ => {
-                    if let Some(gk) = group_key {
-                        run_group(gk, &group_values);
-                        group_values.clear();
-                    }
-                    group_key = Some(key);
-                    group_values.push(value);
+            if in_group && ks.group_eq(&group_key, key) {
+                group_values.push(value);
+            } else {
+                if in_group {
+                    run_group(&group_key, &group_values);
+                    group_values.clear();
                 }
+                group_key.clear();
+                group_key.extend_from_slice(key);
+                in_group = true;
+                group_values.push(value);
             }
         }
-        if let Some(gk) = group_key {
-            run_group(gk, &group_values);
+        if in_group {
+            run_group(&group_key, &group_values);
         }
     } else {
         // Windowed path: records accumulate only while they can still
@@ -893,6 +964,88 @@ mod tests {
         let result = count_job(JobConfig::default(), &[]);
         assert!(result.all_outputs().is_empty());
         assert_eq!(result.counters.get(Counter::MapInputRecords), 0);
+    }
+
+    #[test]
+    fn v3_jobs_agree_with_v2_and_save_key_bytes() {
+        let words: Vec<String> = (0..400).map(|i| format!("station-{:04}", i % 37)).collect();
+        let refs: Vec<&str> = words.iter().map(|s| s.as_str()).collect();
+        let v2 = count_job(JobConfig::default().with_reducers(3), &refs);
+        let v3 = count_job(
+            JobConfig::default()
+                .with_reducers(3)
+                .with_ifile_version(IFileVersion::V3),
+            &refs,
+        );
+        assert_eq!(collect_counts(&v2), collect_counts(&v3));
+        for (a, b) in v2.outputs.iter().zip(&v3.outputs) {
+            assert_eq!(a, b, "per-reducer order must match v2 exactly");
+        }
+        assert!(v3.counters.get(Counter::BlocksWritten) > 0);
+        assert!(
+            v3.counters.get(Counter::MapOutputKeySavedBytes) > 0,
+            "shared key prefixes must front-code away"
+        );
+        assert_eq!(v2.counters.get(Counter::MapOutputKeySavedBytes), 0);
+        // Logical key/value accounting is format-independent.
+        assert_eq!(
+            v2.counters.get(Counter::MapOutputKeyBytes),
+            v3.counters.get(Counter::MapOutputKeyBytes)
+        );
+        assert_eq!(
+            v2.counters.get(Counter::MapOutputValueBytes),
+            v3.counters.get(Counter::MapOutputValueBytes)
+        );
+    }
+
+    #[test]
+    fn v3_multi_spill_merge_splices_blocks() {
+        // A tiny spill buffer forces several spills per partition, so the
+        // map-side merge runs over v3 segments; presorted shards give the
+        // merge disjoint stretches where whole blocks splice through.
+        let words: Vec<String> = (0..600).map(|i| format!("key-{i:05}")).collect();
+        let refs: Vec<&str> = words.iter().map(|s| s.as_str()).collect();
+        let v3 = count_job(
+            JobConfig::default()
+                .with_spill_buffer(2048)
+                .with_ifile_version(IFileVersion::V3),
+            &refs,
+        );
+        assert!(v3.counters.get(Counter::Spills) > 1);
+        let counts = collect_counts(&v3);
+        assert_eq!(counts.len(), 600);
+        assert!(counts.values().all(|&c| c == 1));
+        assert!(v3.counters.get(Counter::BlocksSkipped) <= v3.counters.get(Counter::BlocksWritten));
+    }
+
+    #[test]
+    fn v1_jobs_still_agree() {
+        let words = ["a", "b", "a", "c", "b", "a", "d"];
+        let v1 = count_job(
+            JobConfig::default()
+                .with_reducers(2)
+                .with_ifile_version(IFileVersion::V1),
+            &words,
+        );
+        let counts = collect_counts(&v1);
+        assert_eq!(counts["a"], 3);
+        assert_eq!(counts["d"], 1);
+    }
+
+    #[test]
+    fn v3_with_codec_and_retries_round_trips() {
+        let words: Vec<String> = (0..300).map(|i| format!("sensor-{:03}", i % 29)).collect();
+        let refs: Vec<&str> = words.iter().map(|s| s.as_str()).collect();
+        let result = count_job(
+            JobConfig::default()
+                .with_reducers(2)
+                .with_codec(Arc::new(DeflateCodec::new()))
+                .with_retries(1)
+                .with_ifile_version(IFileVersion::V3),
+            &refs,
+        );
+        let counts = collect_counts(&result);
+        assert_eq!(counts.values().sum::<u64>(), 300);
     }
 
     #[test]

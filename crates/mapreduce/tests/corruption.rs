@@ -6,15 +6,21 @@
 
 use proptest::prelude::*;
 use scihadoop_compress::{Codec, IdentityCodec};
-use scihadoop_mapreduce::{Framing, IFileReader, IFileWriter, MrError, RawSegment};
+use scihadoop_mapreduce::{
+    DefaultKeySemantics, Framing, IFileReader, IFileWriter, MrError, RawSegment,
+};
 use std::sync::Arc;
 
-fn build_segment(pairs: &[(Vec<u8>, Vec<u8>)], framing: Framing, trailer: bool) -> Vec<u8> {
+/// Build a segment in any of the three on-disk formats. v3 uses a tiny
+/// block budget so even small record sets span several blocks (block
+/// headers, per-block CRCs, and the fence index all get corrupted bits).
+fn build_segment(pairs: &[(Vec<u8>, Vec<u8>)], framing: Framing, version: u8) -> Vec<u8> {
     let codec: Arc<dyn Codec> = Arc::new(IdentityCodec);
-    let mut w = if trailer {
-        IFileWriter::new(framing, codec)
-    } else {
-        IFileWriter::without_trailer(framing, codec)
+    let mut w = match version {
+        1 => IFileWriter::without_trailer(framing, codec),
+        2 => IFileWriter::new(framing, codec),
+        3 => IFileWriter::v3_with_budget(framing, codec, Arc::new(DefaultKeySemantics), 64),
+        _ => unreachable!("version selector out of range"),
     };
     for (k, v) in pairs {
         w.append(k, v);
@@ -30,14 +36,12 @@ fn framing_of(selector: bool) -> Framing {
     }
 }
 
-/// Walk every record; returns `Err` on the first parse failure.
+/// Walk every record (format-aware: flat cursor or block decode);
+/// returns `Err` on the first parse failure.
 fn read_all(data: &[u8]) -> Result<usize, MrError> {
     let seg = RawSegment::open(data, &IdentityCodec)?;
-    let mut cursor = seg.cursor();
-    let mut n = 0;
-    while cursor.next()?.is_some() {
-        n += 1;
-    }
+    let mut n = 0usize;
+    seg.for_each_record(|_k, _v| n += 1)?;
     Ok(n)
 }
 
@@ -52,9 +56,10 @@ proptest! {
             0..16,
         ),
         seq in any::<bool>(),
+        version in 2u8..4,
         bit_frac in 0.0f64..1.0,
     ) {
-        let data = build_segment(&pairs, framing_of(seq), true);
+        let data = build_segment(&pairs, framing_of(seq), version);
         let bit = ((data.len() as f64 * 8.0 - 1.0) * bit_frac) as usize;
         let mut corrupt = data.clone();
         corrupt[bit / 8] ^= 1u8 << (bit % 8);
@@ -72,9 +77,10 @@ proptest! {
             0..16,
         ),
         seq in any::<bool>(),
+        version in 2u8..4,
         keep_frac in 0.0f64..1.0,
     ) {
-        let data = build_segment(&pairs, framing_of(seq), true);
+        let data = build_segment(&pairs, framing_of(seq), version);
         let keep = ((data.len() - 1) as f64 * keep_frac) as usize;
         prop_assert!(
             IFileReader::open(&data[..keep], &IdentityCodec).is_err(),
@@ -97,7 +103,7 @@ proptest! {
         // is the point of the trailer); the parser's own guarantee is
         // weaker: structured failure or structurally valid records,
         // never a panic, never an out-of-bounds record.
-        let data = build_segment(&pairs, framing_of(seq), false);
+        let data = build_segment(&pairs, framing_of(seq), 1);
         let corrupt = if truncate {
             let keep = ((data.len() - 1) as f64 * frac) as usize;
             data[..keep].to_vec()
@@ -129,6 +135,11 @@ proptest! {
         let mut framed_seq = vec![b'S', b'H', b'I', b'F', 1, 1];
         framed_seq.extend_from_slice(&data);
         let _ = read_all(&framed_seq);
+        // And behind a v3 header: exercises the trailer check, fence
+        // index parsing, and block decoding on garbage.
+        let mut framed_v3 = vec![b'S', b'H', b'I', b'F', 3, 0];
+        framed_v3.extend_from_slice(&data);
+        let _ = read_all(&framed_v3);
     }
 
     #[test]
@@ -139,6 +150,7 @@ proptest! {
             1..16,
         ),
         seq in any::<bool>(),
+        version in 2u8..4,
         seed in any::<u64>(),
         index in 0u64..64,
     ) {
@@ -151,7 +163,7 @@ proptest! {
             ..scihadoop_mapreduce::FaultConfig::default()
         });
         let corruption = plan.corruption(0, 0, index).expect("rate 1.0 always fires");
-        let mut data = build_segment(&pairs, framing_of(seq), true);
+        let mut data = build_segment(&pairs, framing_of(seq), version);
         corruption.apply(&mut data);
         prop_assert!(
             IFileReader::open(&data, &IdentityCodec).is_err(),

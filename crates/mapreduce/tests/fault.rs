@@ -155,6 +155,44 @@ fn corruption_is_detected_and_retried() {
 }
 
 #[test]
+fn v3_faulted_job_matches_clean_v3_run_exactly() {
+    // The full storm (errors + corruption + slowdowns) over v3 block
+    // segments: corrupted fetches must be caught by the segment trailer
+    // or the per-block CRCs, retried, and converge on the clean output.
+    use scihadoop_mapreduce::IFileVersion;
+    let clean = sum_job(
+        JobConfig::default()
+            .with_reducers(3)
+            .with_slots(2, 2)
+            .with_ifile_version(IFileVersion::V3),
+        200,
+        23,
+    )
+    .expect("clean v3 run");
+    let faulted = sum_job(
+        faulty_config(42).with_ifile_version(IFileVersion::V3),
+        200,
+        23,
+    )
+    .expect("v3 faults below retry budget");
+    assert_eq!(clean.outputs, faulted.outputs);
+    assert_eq!(
+        clean.counters.get(Counter::MapOutputKeySavedBytes),
+        faulted.counters.get(Counter::MapOutputKeySavedBytes),
+        "front-coding savings must not drift under retries"
+    );
+    assert_eq!(
+        clean.counters.get(Counter::BlocksWritten),
+        faulted.counters.get(Counter::BlocksWritten)
+    );
+    assert!(faulted.counters.get(Counter::TaskRetries) > 0);
+    assert!(
+        faulted.counters.get(Counter::ChecksumFailures) > 0,
+        "corruption storm over v3 segments must trip a checksum"
+    );
+}
+
+#[test]
 fn faults_above_the_retry_budget_fail_the_job() {
     // Every attempt of every map task fails (cap exceeds the budget), so
     // the job must surface retry-exhausted task errors.

@@ -1,0 +1,256 @@
+//! IFile v3 property suite: front-coded sorted-block segments must
+//! decode byte-identical record streams to the flat v2 format across
+//! adversarial key distributions, and the block-skipping merge must
+//! agree with the flat merge on every input.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use scihadoop::compress::{Codec, DeflateCodec, IdentityCodec};
+use scihadoop::mapreduce::{
+    merge_sorted_runs, BlockMergeStream, DefaultKeySemantics, Framing, IFileReader, IFileWriter,
+    KvPair, RawSegment,
+};
+use std::sync::Arc;
+
+fn write_segment(pairs: &[(Vec<u8>, Vec<u8>)], version: u8, budget: usize) -> Vec<u8> {
+    let codec: Arc<dyn Codec> = Arc::new(IdentityCodec);
+    let mut w = match version {
+        2 => IFileWriter::new(Framing::IFile, codec),
+        3 => IFileWriter::v3_with_budget(
+            Framing::IFile,
+            codec,
+            Arc::new(DefaultKeySemantics),
+            budget,
+        ),
+        _ => unreachable!(),
+    };
+    for (k, v) in pairs {
+        w.append(k, v);
+    }
+    w.close().data
+}
+
+fn read_pairs(data: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+    IFileReader::open(data, &IdentityCodec)
+        .unwrap()
+        .into_records()
+        .into_iter()
+        .map(|p| (p.key, p.value))
+        .collect()
+}
+
+// ---- key distributions ------------------------------------------------
+
+/// The design target: long shared path prefixes, short varying tails.
+fn prefix_heavy_pairs() -> impl Strategy<Value = Vec<(Vec<u8>, Vec<u8>)>> {
+    vec(
+        (
+            (0u32..500, vec(any::<u8>(), 0..6)).prop_map(|(n, tail)| {
+                let mut k = format!("sensor/site-{:05}/", n).into_bytes();
+                k.extend_from_slice(&tail);
+                k
+            }),
+            vec(any::<u8>(), 0..24),
+        ),
+        0..64,
+    )
+}
+
+/// Uniformly random keys: little to share, front coding must not lose.
+fn random_pairs() -> impl Strategy<Value = Vec<(Vec<u8>, Vec<u8>)>> {
+    vec((vec(any::<u8>(), 0..40), vec(any::<u8>(), 0..24)), 0..64)
+}
+
+/// Shared prefixes past the 255-byte mark, exercising multi-byte vints
+/// in the shared-length field.
+fn long_shared_pairs() -> impl Strategy<Value = Vec<(Vec<u8>, Vec<u8>)>> {
+    vec(
+        (
+            (0u32..50, vec(any::<u8>(), 0..4)).prop_map(|(n, tail)| {
+                let mut k = vec![b'p'; 300];
+                k.extend_from_slice(format!("{:04}", n).as_bytes());
+                k.extend_from_slice(&tail);
+                k
+            }),
+            vec(any::<u8>(), 0..24),
+        ),
+        0..48,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn v3_roundtrips_prefix_heavy(
+        pairs in prefix_heavy_pairs(),
+        budget in prop_oneof![Just(1usize), Just(64), Just(512), Just(1 << 16)],
+    ) {
+        let data = write_segment(&pairs, 3, budget);
+        prop_assert_eq!(read_pairs(&data), pairs);
+    }
+
+    #[test]
+    fn v3_roundtrips_random_keys(
+        pairs in random_pairs(),
+        budget in prop_oneof![Just(1usize), Just(64), Just(512)],
+    ) {
+        let data = write_segment(&pairs, 3, budget);
+        prop_assert_eq!(read_pairs(&data), pairs);
+    }
+
+    #[test]
+    fn v3_roundtrips_long_shared_prefixes(
+        pairs in long_shared_pairs(),
+        budget in prop_oneof![Just(64usize), Just(512), Just(1 << 16)],
+    ) {
+        let data = write_segment(&pairs, 3, budget);
+        prop_assert_eq!(read_pairs(&data), pairs);
+    }
+
+    #[test]
+    fn v3_decodes_byte_identical_to_v2_prefix_heavy(pairs in prefix_heavy_pairs()) {
+        let v2 = write_segment(&pairs, 2, 0);
+        let v3 = write_segment(&pairs, 3, 64);
+        prop_assert_eq!(read_pairs(&v2), read_pairs(&v3));
+    }
+
+    #[test]
+    fn v3_decodes_byte_identical_to_v2_random(pairs in random_pairs()) {
+        let v2 = write_segment(&pairs, 2, 0);
+        let v3 = write_segment(&pairs, 3, 64);
+        prop_assert_eq!(read_pairs(&v2), read_pairs(&v3));
+    }
+
+    #[test]
+    fn v3_decodes_byte_identical_to_v2_long_shared(pairs in long_shared_pairs()) {
+        let v2 = write_segment(&pairs, 2, 0);
+        let v3 = write_segment(&pairs, 3, 512);
+        prop_assert_eq!(read_pairs(&v2), read_pairs(&v3));
+    }
+
+    #[test]
+    fn v3_roundtrips_under_a_real_codec(pairs in prefix_heavy_pairs()) {
+        let codec = DeflateCodec::new();
+        let mut w = IFileWriter::v3_with_budget(
+            Framing::IFile,
+            Arc::new(DeflateCodec::new()),
+            Arc::new(DefaultKeySemantics),
+            128,
+        );
+        for (k, v) in &pairs {
+            w.append(k, v);
+        }
+        let seg = w.close();
+        let got: Vec<(Vec<u8>, Vec<u8>)> = IFileReader::open(&seg.data, &codec)
+            .unwrap()
+            .into_records()
+            .into_iter()
+            .map(|p| (p.key, p.value))
+            .collect();
+        prop_assert_eq!(got, pairs);
+    }
+
+    #[test]
+    fn block_merge_agrees_with_materializing_merge(
+        runs in vec(prefix_heavy_pairs(), 1..6),
+        budget in prop_oneof![Just(1usize), Just(64), Just(512)],
+    ) {
+        let ks = DefaultKeySemantics;
+        let sorted_runs: Vec<Vec<KvPair>> = runs
+            .iter()
+            .map(|r| {
+                let mut run: Vec<KvPair> = r
+                    .iter()
+                    .map(|(k, v)| KvPair::new(k.clone(), v.clone()))
+                    .collect();
+                run.sort();
+                run
+            })
+            .collect();
+        let sealed: Vec<Vec<u8>> = sorted_runs
+            .iter()
+            .map(|r| {
+                let pairs: Vec<(Vec<u8>, Vec<u8>)> = r
+                    .iter()
+                    .map(|p| (p.key.clone(), p.value.clone()))
+                    .collect();
+                write_segment(&pairs, 3, budget)
+            })
+            .collect();
+        let segments: Vec<RawSegment> = sealed
+            .iter()
+            .map(|s| RawSegment::open(s, &IdentityCodec).unwrap())
+            .collect();
+        let mut stream = BlockMergeStream::new(&segments, &ks).unwrap();
+        let mut streamed = Vec::new();
+        while let Some((k, v)) = stream.next().unwrap() {
+            streamed.push(KvPair::new(k.to_vec(), v.to_vec()));
+        }
+        prop_assert_eq!(streamed, merge_sorted_runs(sorted_runs, &ks));
+    }
+
+    #[test]
+    fn v3_bit_flips_always_detected(
+        pairs in prefix_heavy_pairs(),
+        bit_frac in 0.0f64..1.0,
+    ) {
+        let data = write_segment(&pairs, 3, 64);
+        let bit = ((data.len() as f64 * 8.0 - 1.0) * bit_frac) as usize;
+        let mut corrupt = data.clone();
+        corrupt[bit / 8] ^= 1u8 << (bit % 8);
+        prop_assert!(
+            IFileReader::open(&corrupt, &IdentityCodec).is_err(),
+            "bit flip at {} undetected in {}-byte v3 segment", bit, data.len()
+        );
+    }
+}
+
+// ---- degenerate distributions (deterministic) --------------------------
+
+#[test]
+fn v3_roundtrips_single_repeated_key() {
+    let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..500u16)
+        .map(|i| (b"the-one-key".to_vec(), i.to_be_bytes().to_vec()))
+        .collect();
+    for budget in [1usize, 64, 1 << 16] {
+        let data = write_segment(&pairs, 3, budget);
+        assert_eq!(read_pairs(&data), pairs, "budget {budget}");
+    }
+    // Every key after the first shares everything with its predecessor.
+    let v2 = write_segment(&pairs, 2, 0);
+    let v3 = write_segment(&pairs, 3, 1 << 16);
+    assert!(v3.len() < v2.len());
+}
+
+#[test]
+fn v3_roundtrips_empty_keys() {
+    let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..100u16)
+        .map(|i| (Vec::new(), i.to_be_bytes().to_vec()))
+        .collect();
+    for budget in [1usize, 64] {
+        let data = write_segment(&pairs, 3, budget);
+        assert_eq!(read_pairs(&data), pairs, "budget {budget}");
+    }
+}
+
+#[test]
+fn front_coding_shrinks_prefix_heavy_segments() {
+    let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..2000)
+        .map(|i| {
+            (
+                format!("climate/temperature/cell-{:08}", i).into_bytes(),
+                (i as u64).to_be_bytes().to_vec(),
+            )
+        })
+        .collect();
+    let v2 = write_segment(&pairs, 2, 0);
+    let v3 = write_segment(&pairs, 3, 4096);
+    assert!(
+        v3.len() < v2.len(),
+        "prefix-heavy keys must shrink: v2 {} bytes, v3 {} bytes",
+        v2.len(),
+        v3.len()
+    );
+    assert_eq!(read_pairs(&v2), read_pairs(&v3));
+}
