@@ -14,10 +14,10 @@
 
 use criterion::{black_box, Criterion, Throughput};
 use scihadoop_compress::IdentityCodec;
-use scihadoop_mapreduce::obs::Recorder;
+use scihadoop_mapreduce::obs::{clock_name, host_cpus, LedgerRecord, Recorder};
 use scihadoop_mapreduce::{
-    span, DefaultKeySemantics, Framing, IFileWriter, KeySemantics, KvPair, MergeStream, Phase,
-    RawSegment, SpillArena,
+    span, Counter, Counters, DefaultKeySemantics, Framing, IFileWriter, JobConfig, JobResult,
+    JobStats, KeySemantics, KvPair, MergeStream, Phase, RawSegment, SpillArena,
 };
 use std::sync::Arc;
 use std::time::Instant;
@@ -229,8 +229,54 @@ fn main() {
         },
         15,
     );
+    // Ledger overhead: the same traced spill batch, but each batch also
+    // builds and serializes one run-ledger record (the engine appends
+    // one record per *job*, so per-batch is the realistic amortization).
+    // Measured against the plain untraced task like the tracing numbers,
+    // so the figure is "tracing + ledger" and gates against the same
+    // ≤3 % observability budget.
+    let trace = recorder.finish();
+    let ledger_cfg = JobConfig::default();
+    let ledger_result = JobResult {
+        outputs: Vec::new(),
+        counters: {
+            let c = Counters::new();
+            c.add(Counter::MapInputRecords, pairs.len() as u64);
+            c.add(Counter::MapOutputBytes, 16 * pairs.len() as u64);
+            c.snapshot()
+        },
+        stats: JobStats::from_counters(
+            &{
+                let c = Counters::new();
+                c.add(Counter::MapOutputBytes, 16 * pairs.len() as u64);
+                c.snapshot()
+            },
+            8,
+            3,
+            16 * pairs.len() as u64,
+            1,
+            1,
+        ),
+    };
+    let ledger_overhead = paired_overhead_percent(
+        || {
+            black_box(spill_once(&pairs, &codec));
+        },
+        |batch| {
+            let _att = recorder.attach("paired-ledger");
+            for task in 0..batch {
+                let _span = span!(Phase::SortSpill, task);
+                black_box(spill_once(&pairs, &codec));
+            }
+            let record =
+                LedgerRecord::from_run("bench_obs", &ledger_cfg, &ledger_result, Some(&trace));
+            black_box(record.to_json_line().len());
+        },
+        15,
+    );
     println!("\nmap-sort-spill tracing overhead: {spill_overhead:+.2}%");
     println!("merge-reduce tracing overhead:   {merge_overhead:+.2}%");
+    println!("map-sort-spill tracing+ledger:   {ledger_overhead:+.2}%");
 
     if let Ok(path) = std::env::var("BENCH_OBS_JSON") {
         let mut json = String::from("{\n  \"benchmarks\": [\n");
@@ -249,7 +295,9 @@ fn main() {
             ));
         }
         json.push_str(&format!(
-            "  ],\n  \"map_sort_spill_overhead_percent\": {spill_overhead:.2},\n  \"merge_reduce_overhead_percent\": {merge_overhead:.2}\n}}\n"
+            "  ],\n  \"map_sort_spill_overhead_percent\": {spill_overhead:.2},\n  \"merge_reduce_overhead_percent\": {merge_overhead:.2},\n  \"map_sort_spill_ledger_overhead_percent\": {ledger_overhead:.2},\n  \"host_cpus\": {},\n  \"clock_kind\": \"{}\"\n}}\n",
+            host_cpus(),
+            clock_name(),
         ));
         std::fs::write(&path, json).expect("write bench json");
         println!("wrote {path}");

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro [EXPERIMENT] [--small] [--trace <path>] [--metrics <path>]
+//!       [--ledger <path>] [--reconcile <path>]
 //!
 //! EXPERIMENT:
 //!   intro      §I intermediate-file overhead numbers
@@ -11,6 +12,7 @@
 //!   fig8       key aggregation data-size breakdown
 //!   cluster    §III-E / §IV-D simulated cluster runs
 //!   trace      traced pipeline: per-stage spans + histogram breakdowns
+//!   model_drift  cost-model predictions vs measured ledger records
 //!   curves     §IV-A curve ablation
 //!   flush      §IV-A flush-threshold ablation
 //!   align      §IV-C alignment ablation
@@ -38,7 +40,15 @@
 //!   trace_event JSON (open in about:tracing / Perfetto); --metrics
 //!   <path> writes the self-describing JSON metrics report (counters,
 //!   histograms, derived byte breakdowns). Either flag implies the
-//!   `trace` experiment.
+//!   `trace` experiment, as does --ledger.
+//! --ledger <path> appends one self-describing JSON-lines run record per
+//!   job (config, counters, phase rollups, histograms) — rich records
+//!   from the trace/model_drift jobs, engine-hook records from
+//!   fault_storm runs. The file accumulates history for the `regress`
+//!   perf gate.
+//! --reconcile <path> parses an existing ledger file and prints the
+//!   cost-model drift report (predicted vs measured per run); a
+//!   standalone action that runs no experiment unless one is named.
 //! ```
 
 use scihadoop_bench as bench;
@@ -119,6 +129,8 @@ fn main() {
     };
     let trace_path = flag_value("--trace");
     let metrics_path = flag_value("--metrics");
+    let ledger_path = flag_value("--ledger");
+    let reconcile_path = flag_value("--reconcile");
     let fault_spec = flag_value("--faults").unwrap_or_else(|| {
         "seed=42,map=0.4,reduce=0.3,corrupt=0.3,slow=0.1,slow_ms=1,cap=2".into()
     });
@@ -162,10 +174,13 @@ fn main() {
         })
     });
     // Positional experiment name: skip flags and their path values. With
-    // only --trace/--metrics given, default to the trace experiment
-    // rather than the full suite.
-    let mut which = if trace_path.is_some() || metrics_path.is_some() {
+    // only --trace/--metrics/--ledger given, default to the trace
+    // experiment rather than the full suite; with only --reconcile, run
+    // no experiment at all (reconcile is a standalone action).
+    let mut which = if trace_path.is_some() || metrics_path.is_some() || ledger_path.is_some() {
         "trace".to_string()
+    } else if reconcile_path.is_some() {
+        "none".to_string()
     } else {
         "all".to_string()
     };
@@ -177,6 +192,8 @@ fn main() {
         }
         if a == "--trace"
             || a == "--metrics"
+            || a == "--ledger"
+            || a == "--reconcile"
             || a == "--faults"
             || a == "--retries"
             || a == "--codec"
@@ -227,7 +244,7 @@ fn main() {
         ran = true;
     }
     if run("trace") || trace_path.is_some() || metrics_path.is_some() {
-        let (table, trace, counters) =
+        let (table, trace, counters, records) =
             bench::traced_pipeline(s.trace_n, s.trace_records, ifile_version);
         println!("{}", table.render());
         if let Some(path) = &trace_path {
@@ -240,6 +257,19 @@ fn main() {
             std::fs::write(path, json).expect("write metrics report");
             println!("wrote metrics report to {path}");
         }
+        if let Some(path) = &ledger_path {
+            let sink = scihadoop_mapreduce::obs::LedgerSink::with_path(path);
+            let appended = records.len();
+            for record in records {
+                sink.append(record).expect("append ledger record");
+            }
+            println!("appended {appended} run records to {path}");
+        }
+        ran = true;
+    }
+    if run("model_drift") {
+        let (table, _) = bench::model_drift(s.trace_n, s.trace_records, ifile_version);
+        println!("{}", table.render());
         ran = true;
     }
     if run("curves") {
@@ -285,6 +315,9 @@ fn main() {
         ran = true;
     }
     if run("fault_storm") {
+        let storm_sink = ledger_path
+            .as_ref()
+            .map(scihadoop_mapreduce::obs::LedgerSink::with_path);
         println!(
             "{}",
             bench::fault_storm_with_codec(
@@ -292,10 +325,35 @@ fn main() {
                 fault_config.clone(),
                 retries,
                 codec.clone(),
-                ifile_version
+                ifile_version,
+                storm_sink.as_ref(),
             )
             .render()
         );
+        if let Some(sink) = &storm_sink {
+            println!(
+                "appended {} run records to {}",
+                sink.len(),
+                ledger_path.as_deref().unwrap_or_default()
+            );
+        }
+        ran = true;
+    }
+
+    if let Some(path) = &reconcile_path {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read ledger {path}: {e}");
+            std::process::exit(2);
+        });
+        let records = bench::ledger::parse_ledger(&text).unwrap_or_else(|e| {
+            eprintln!("bad ledger {path}: {e}");
+            std::process::exit(2);
+        });
+        let (table, _) = bench::drift_table(
+            &format!("reconcile: {path} ({} runs)", records.len()),
+            &records,
+        );
+        println!("{}", table.render());
         ran = true;
     }
 

@@ -1,8 +1,8 @@
 //! `validate_trace` — sanity-check the files written by
-//! `repro --trace <path> --metrics <path>`.
+//! `repro --trace <path> --metrics <path> [--ledger <path>]`.
 //!
 //! ```text
-//! validate_trace <trace.json> <metrics.json>
+//! validate_trace <trace.json> <metrics.json> [<ledger.jsonl>]
 //! ```
 //!
 //! Verifies, with the in-tree JSON parser (no external deps):
@@ -10,17 +10,22 @@
 //! * both files are well-formed JSON;
 //! * the Chrome trace contains complete ("X") span events for **all
 //!   nine** pipeline stages, with non-negative timestamps/durations,
-//!   plus thread-name metadata;
+//!   thread-name metadata, and the v3 counter ("C") tracks;
 //! * the metrics report carries the expected schema tag, a clock
 //!   designator, per-phase span rollups, and counters;
 //! * the derived intermediate breakdown in the metrics report equals
 //!   the exported counters **exactly** (the reconciliation the obs
-//!   layer promises).
+//!   layer promises);
+//! * when a ledger is given, every line parses strictly, re-encodes to
+//!   the exact input bytes, and the records jointly cover all nine
+//!   phases with live counters.
 //!
 //! Exits 0 when every check passes, 1 otherwise (printing each failure).
 
 use scihadoop_bench::json::{self, Json};
-use scihadoop_mapreduce::obs::{ALL_PHASES, METRICS_SCHEMA};
+use scihadoop_bench::ledger::parse_line;
+use scihadoop_mapreduce::obs::{ALL_PHASES, METRICS_SCHEMA, NUM_PHASES};
+use scihadoop_mapreduce::Counter;
 
 fn check_trace(doc: &Json, errs: &mut Vec<String>) {
     let events = match doc.get("traceEvents").and_then(|e| e.as_arr()) {
@@ -31,6 +36,7 @@ fn check_trace(doc: &Json, errs: &mut Vec<String>) {
         }
     };
     let mut span_names: Vec<&str> = Vec::new();
+    let mut counter_names: Vec<&str> = Vec::new();
     let mut thread_names = 0usize;
     for (i, ev) in events.iter().enumerate() {
         let ph = ev.get("ph").and_then(|p| p.as_str()).unwrap_or("");
@@ -47,6 +53,15 @@ fn check_trace(doc: &Json, errs: &mut Vec<String>) {
                     }
                 }
             }
+            "C" => {
+                match ev.get("name").and_then(|n| n.as_str()) {
+                    Some(name) => counter_names.push(name),
+                    None => errs.push(format!("trace: counter event {i} has no name")),
+                }
+                if !matches!(ev.get("args"), Some(Json::Obj(_))) {
+                    errs.push(format!("trace: counter event {i} has no args object"));
+                }
+            }
             "M" => {
                 if ev.get("name").and_then(|n| n.as_str()) == Some("thread_name") {
                     thread_names += 1;
@@ -59,6 +74,11 @@ fn check_trace(doc: &Json, errs: &mut Vec<String>) {
     for phase in ALL_PHASES {
         if !span_names.contains(&phase.name()) {
             errs.push(format!("trace: no span events for stage {}", phase.name()));
+        }
+    }
+    for track in ["v3_blocks", "v3_key_saved"] {
+        if !counter_names.contains(&track) {
+            errs.push(format!("trace: no counter track {track:?}"));
         }
     }
     if thread_names == 0 {
@@ -112,12 +132,58 @@ fn check_metrics(doc: &Json, errs: &mut Vec<String>) {
     }
 }
 
+/// Every ledger line must parse strictly and re-encode to the exact
+/// input bytes; jointly the records must cover all nine phases and
+/// carry live counters.
+fn check_ledger(text: &str, errs: &mut Vec<String>) {
+    let mut phase_counts = [0u64; NUM_PHASES];
+    let mut records = 0usize;
+    let mut map_output = 0u64;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_line(line) {
+            Err(e) => errs.push(format!("ledger: line {}: {e}", i + 1)),
+            Ok(record) => {
+                records += 1;
+                if record.to_json_line() != line {
+                    errs.push(format!(
+                        "ledger: line {} does not re-encode byte-identically",
+                        i + 1
+                    ));
+                }
+                for (slot, p) in phase_counts.iter_mut().zip(record.phases.iter()) {
+                    *slot += p.count;
+                }
+                map_output += record.counters.get(Counter::MapOutputBytes);
+            }
+        }
+    }
+    if records == 0 {
+        errs.push("ledger: no records".into());
+        return;
+    }
+    for (phase, &count) in ALL_PHASES.iter().zip(phase_counts.iter()) {
+        if count == 0 {
+            errs.push(format!(
+                "ledger: no {} spans across any record",
+                phase.name()
+            ));
+        }
+    }
+    if map_output == 0 {
+        errs.push("ledger: records carry no map output bytes".into());
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (trace_path, metrics_path) = match args.as_slice() {
-        [t, m] => (t, m),
+    let (trace_path, metrics_path, ledger_path) = match args.as_slice() {
+        [t, m] => (t, m, None),
+        [t, m, l] => (t, m, Some(l)),
         _ => {
-            eprintln!("usage: validate_trace <trace.json> <metrics.json>");
+            eprintln!("usage: validate_trace <trace.json> <metrics.json> [<ledger.jsonl>]");
             std::process::exit(2);
         }
     };
@@ -139,11 +205,22 @@ fn main() {
             Err(e) => errs.push(format!("{label}: cannot read {path}: {e}")),
         }
     }
+    if let Some(path) = ledger_path {
+        match std::fs::read_to_string(path) {
+            Ok(text) => check_ledger(&text, &mut errs),
+            Err(e) => errs.push(format!("ledger: cannot read {path}: {e}")),
+        }
+    }
 
     if errs.is_empty() {
         println!(
-            "ok: trace covers all {} stages and metrics reconcile",
-            ALL_PHASES.len()
+            "ok: trace covers all {} stages and metrics reconcile{}",
+            ALL_PHASES.len(),
+            if ledger_path.is_some() {
+                "; ledger roundtrips byte-identically"
+            } else {
+                ""
+            }
         );
     } else {
         for e in &errs {

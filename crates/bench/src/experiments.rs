@@ -590,27 +590,32 @@ fn sum_values(k: &[u8], values: &[&[u8]], out: &mut dyn Emit) {
     out.emit(k, &total.to_be_bytes());
 }
 
-/// Observability tentpole: run two traced jobs against one shared
-/// [`Recorder`] and re-derive the paper's Table I (key vs value bytes)
-/// and Table II (materialized bytes) views from the recorded histograms,
-/// reconciling them *exactly* against the merged job counters.
+/// Observability tentpole: run three traced jobs — each against its own
+/// [`Recorder`] — and re-derive the paper's Table I (key vs value bytes)
+/// and Table II (materialized bytes) views from the merged histograms,
+/// reconciling them *exactly* against the merged job counters. Each job
+/// also yields a rich [`obs::LedgerRecord`] (config + counters + phase
+/// rollups + histograms) for the run ledger.
 ///
 /// Job 1 is a combiner-equipped, multi-spill wordcount — it exercises
 /// map emit, sort/spill, combine, IFile write, map-side merge, shuffle
 /// fetch, reduce merge and grouping. Job 2 is the aggregated
 /// sliding-median query, whose aggregate key semantics keep sort-splits
-/// enabled — it exercises the windowed sort-split stage. Between them
-/// every pipeline phase records spans.
+/// enabled — it exercises the windowed sort-split stage. Job 3 replays a
+/// small wordcount under guaranteed first-attempt map faults so the
+/// trace carries Retry spans. Between them every pipeline phase records
+/// spans.
 pub fn traced_pipeline(
     n: u32,
     records: usize,
     ifile_version: IFileVersion,
-) -> (Table, Trace, CounterSnapshot) {
-    let recorder = Recorder::new();
+) -> (Table, Trace, CounterSnapshot, Vec<obs::LedgerRecord>) {
+    let mut ledger = Vec::new();
 
     // Job 1: wordcount with a combiner and a tiny spill buffer (forces
     // several spills per map task, hence a map-side merge).
-    let counters_a = {
+    let (counters_a, trace_a) = {
+        let recorder = Recorder::new();
         let words: Vec<String> = (0..records)
             .map(|i| format!("word-{:04}", i % 60))
             .collect();
@@ -636,15 +641,23 @@ pub fn traced_pipeline(
         let mapper = Arc::new(FnMapper(|k: &[u8], v: &[u8], out: &mut dyn Emit| {
             out.emit(k, v)
         }));
-        Job::new(config)
+        let result = Job::new(config.clone())
             .run(splits, mapper, Arc::new(FnReducer(sum_values)))
-            .expect("wordcount runs")
-            .counters
+            .expect("wordcount runs");
+        let trace = recorder.finish();
+        ledger.push(obs::LedgerRecord::from_run(
+            "traced_wordcount",
+            &config,
+            &result,
+            Some(&trace),
+        ));
+        (result.counters, trace)
     };
 
     // Job 2: aggregated sliding median; its key semantics keep the
     // engine's conservative sort-split window engaged.
-    let counters_b = {
+    let (counters_b, trace_b) = {
+        let recorder = Recorder::new();
         let var = workloads::int_square(n, 11);
         let mut q = SlidingMedian::new(
             KeyLayout::Indexed { index: 0, ndims: 2 },
@@ -656,14 +669,23 @@ pub fn traced_pipeline(
             .with_reducers(3)
             .with_ifile_version(ifile_version)
             .with_recorder(recorder.clone());
-        q.run(&var).expect("query runs").result.counters
+        let result = q.run(&var).expect("query runs").result;
+        let trace = recorder.finish();
+        ledger.push(obs::LedgerRecord::from_run(
+            "traced_median",
+            &q.base_config,
+            &result,
+            Some(&trace),
+        ));
+        (result.counters, trace)
     };
 
     // Job 3: a deliberately faulty re-run of a small wordcount — every
     // map task fails its first attempt and succeeds on retry, so the
     // trace carries Retry spans (validate_trace demands rollups for
     // every phase, retries included).
-    let counters_c = {
+    let (counters_c, trace_c) = {
+        let recorder = Recorder::new();
         let words: Vec<String> = (0..records.min(200))
             .map(|i| format!("word-{:04}", i % 20))
             .collect();
@@ -693,14 +715,23 @@ pub fn traced_pipeline(
         let mapper = Arc::new(FnMapper(|k: &[u8], v: &[u8], out: &mut dyn Emit| {
             out.emit(k, v)
         }));
-        Job::new(config)
+        let result = Job::new(config.clone())
             .run(splits, mapper, Arc::new(FnReducer(sum_values)))
-            .expect("first-attempt faults are below the retry budget")
-            .counters
+            .expect("first-attempt faults are below the retry budget");
+        let trace = recorder.finish();
+        ledger.push(obs::LedgerRecord::from_run(
+            "traced_faulty_wordcount",
+            &config,
+            &result,
+            Some(&trace),
+        ));
+        (result.counters, trace)
     };
 
     let counters = counters_a.merge(&counters_b).merge(&counters_c);
-    let trace = recorder.finish();
+    let mut trace = trace_a;
+    trace.merge(&trace_b);
+    trace.merge(&trace_c);
     let breakdown = IntermediateBreakdown::from_trace(&trace);
     breakdown
         .reconcile(&counters)
@@ -736,7 +767,78 @@ pub fn traced_pipeline(
     if !trace.warnings.is_empty() {
         table.note(&format!("trace warnings: {:?}", trace.warnings));
     }
-    (table, trace, counters)
+    (table, trace, counters, ledger)
+}
+
+/// Render model-vs-measured drift for a set of ledger records: each
+/// record is replayed through [`CostModel::simulate`] against a
+/// [`ClusterSpec::local_host`] spec and reported as per-row predicted vs
+/// measured values with signed error. Shared by the `model_drift`
+/// experiment and `repro --reconcile <ledger>`.
+pub fn drift_table(title: &str, records: &[obs::LedgerRecord]) -> (Table, Vec<obs::DriftReport>) {
+    let mut table = Table::new(title, &["run / row", "predicted", "measured", "error"]);
+    let mut reports = Vec::new();
+    for record in records {
+        let model = CostModel::new(ClusterSpec::local_host(record));
+        let report = model.reconcile(record);
+        table.row(&[
+            format!("[{}]", report.label),
+            "".into(),
+            "".into(),
+            "".into(),
+        ]);
+        for row in &report.rows {
+            let fmt = |v: f64| match row.unit {
+                "B" => fmt_bytes(v as u64),
+                _ => fmt_secs(v),
+            };
+            table.row(&[
+                format!("  {}", row.name),
+                fmt(row.predicted),
+                fmt(row.measured),
+                format!("{:+.1}%", row.error_pct()),
+            ]);
+        }
+        reports.push(report);
+    }
+    table.note("byte rows are exact identities (error +0.0%); time rows show model drift");
+    table.note("spec: local_host — measured slots, effectively unbounded disk/net bandwidth");
+    (table, reports)
+}
+
+/// Model-vs-measured drift: run the traced pipeline, roundtrip each job's
+/// [`obs::LedgerRecord`] through its JSON-line encoding and the strict
+/// [`crate::ledger`] parser (asserting the re-encode is byte-identical),
+/// rebuild [`JobStats`] from the parsed record, replay
+/// [`CostModel::simulate`] and report per-phase predicted vs measured
+/// values with signed error — the paper's Table I/II style breakdown, but
+/// predicted-vs-actual instead of before-vs-after.
+pub fn model_drift(
+    n: u32,
+    records: usize,
+    ifile_version: IFileVersion,
+) -> (Table, Vec<(obs::LedgerRecord, obs::DriftReport)>) {
+    let (_, _, _, ledger) = traced_pipeline(n, records, ifile_version);
+
+    let parsed: Vec<obs::LedgerRecord> = ledger
+        .iter()
+        .map(|record| {
+            let line = record.to_json_line();
+            let back = crate::ledger::parse_line(&line)
+                .expect("ledger record must parse back through the bench JSON parser");
+            assert_eq!(
+                back.to_json_line(),
+                line,
+                "ledger roundtrip must be byte-identical"
+            );
+            back
+        })
+        .collect();
+    let (table, reports) = drift_table(
+        &format!("model drift: cost model vs measured runs ({records} records, {n}²)"),
+        &parsed,
+    );
+    (table, parsed.into_iter().zip(reports).collect())
 }
 
 /// Fault-tolerance tentpole: run the same combiner wordcount twice —
@@ -758,6 +860,7 @@ pub fn fault_storm(records: usize, fault_config: FaultConfig, retries: u32) -> T
         retries,
         None,
         IFileVersion::default(),
+        None,
     )
 }
 
@@ -767,12 +870,17 @@ pub fn fault_storm(records: usize, fault_config: FaultConfig, retries: u32) -> T
 /// use the codec, so byte-identical recovery also proves block-framed
 /// segments shuffle losslessly while per-block corruption is detected
 /// (CRC-32C trailers + block CRCs) and retried.
+///
+/// When `ledger` is given, both runs append a record through the engine's
+/// own runner hook (`JobConfig::with_ledger`) — the clean run as
+/// `fault_storm_clean`, the faulted one as `fault_storm_faulted`.
 pub fn fault_storm_with_codec(
     records: usize,
     fault_config: FaultConfig,
     retries: u32,
     codec: Option<Arc<dyn Codec>>,
     ifile_version: IFileVersion,
+    ledger: Option<&obs::LedgerSink>,
 ) -> Table {
     assert!(
         fault_config.attempt_cap <= retries,
@@ -815,13 +923,19 @@ pub fn fault_storm_with_codec(
         base = base.with_codec(c);
     }
     let header = Framing::IFile.file_overhead() as u64;
+    let with_sink = |config: JobConfig, label: &str| match ledger {
+        Some(sink) => config.with_ledger(sink.clone(), label),
+        None => config,
+    };
 
-    let clean = run(base.clone());
+    let clean = run(with_sink(base.clone(), "fault_storm_clean"));
     let t0 = Instant::now();
-    let faulted = run(base
-        .with_retries(retries)
-        .with_retry_backoff(std::time::Duration::from_micros(50))
-        .with_faults(FaultPlan::new(fault_config.clone())));
+    let faulted = run(with_sink(
+        base.with_retries(retries)
+            .with_retry_backoff(std::time::Duration::from_micros(50))
+            .with_faults(FaultPlan::new(fault_config.clone())),
+        "fault_storm_faulted",
+    ));
     let faulted_secs = t0.elapsed().as_secs_f64();
 
     assert_eq!(
@@ -1347,7 +1461,7 @@ mod tests {
     #[test]
     fn traced_pipeline_covers_all_phases_and_reconciles() {
         // reconcile() already asserts histogram/counter agreement inside.
-        let (table, trace, counters) = traced_pipeline(24, 400, IFileVersion::default());
+        let (table, trace, counters, ledger) = traced_pipeline(24, 400, IFileVersion::default());
         for phase in ALL_PHASES {
             assert!(
                 trace.span_count(phase) > 0,
@@ -1358,6 +1472,21 @@ mod tests {
         }
         assert!(counters.get(Counter::MapOutputBytes) > 0);
         assert_eq!(trace.dropped_events, 0);
+        // One rich ledger record per job, with phase rollups and
+        // histograms filled from that job's own trace.
+        assert_eq!(ledger.len(), 3);
+        let labels: Vec<&str> = ledger.iter().map(|r| r.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            [
+                "traced_wordcount",
+                "traced_median",
+                "traced_faulty_wordcount"
+            ]
+        );
+        assert!(ledger.iter().all(|r| r.phases.iter().any(|p| p.count > 0)));
+        assert!(ledger.iter().all(|r| !r.hists.is_empty()));
+        assert_eq!(ledger[2].config.fault_seed, Some(1));
     }
 
     #[test]
@@ -1365,7 +1494,7 @@ mod tests {
         // Same pipeline over v3 block segments: reconcile() inside
         // demands exact histogram/counter agreement with the new
         // key-saved dimension nonzero.
-        let (_, trace, counters) = traced_pipeline(24, 400, IFileVersion::V3);
+        let (_, trace, counters, _) = traced_pipeline(24, 400, IFileVersion::V3);
         let b = IntermediateBreakdown::from_trace(&trace);
         assert!(
             b.key_saved_bytes > 0,
@@ -1411,6 +1540,7 @@ mod tests {
         // A small block size forces multi-block segments at this scale.
         let codec = crate::codecs::codec_by_name_with_block_size("block-transform+deflate", 1024)
             .expect("factory name");
+        let sink = obs::LedgerSink::new();
         let t = fault_storm_with_codec(
             1200,
             FaultConfig {
@@ -1425,8 +1555,18 @@ mod tests {
             3,
             Some(codec),
             IFileVersion::V3,
+            Some(&sink),
         );
         assert!(t.title().contains("block-transform+deflate"));
+        // The engine's runner hook appended one record per run; the clean
+        // run has no fault seed, the faulted one carries it.
+        let records = sink.records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].label, "fault_storm_clean");
+        assert_eq!(records[0].config.fault_seed, None);
+        assert_eq!(records[1].label, "fault_storm_faulted");
+        assert_eq!(records[1].config.fault_seed, Some(42));
+        assert_eq!(records[1].config.codec, "block-transform+deflate");
         let row = |name: &str| -> u64 {
             t.rows().iter().find(|r| r[0] == name).expect("row present")[2]
                 .parse()

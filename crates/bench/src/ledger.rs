@@ -1,0 +1,314 @@
+//! Parsing run-ledger JSON lines back into
+//! [`LedgerRecord`]s via the hand-rolled [`json`](crate::json) parser.
+//!
+//! The parser is strict: every known field must be present and an
+//! exact non-negative integer where the schema says so, and unknown
+//! keys are rejected — a record that parses is guaranteed to re-encode
+//! (via [`LedgerRecord::to_json_line`]) to the exact input bytes, which
+//! is what the ledger validation in CI and the roundtrip proptest rely
+//! on.
+
+use crate::json::{parse, Json};
+use scihadoop_mapreduce::obs::{
+    LedgerConfig, LedgerHist, LedgerJob, LedgerRecord, PhaseRollup, ALL_METRICS, ALL_PHASES,
+    LEDGER_SCHEMA, NUM_BUCKETS, NUM_PHASES,
+};
+use scihadoop_mapreduce::{Counters, ALL_COUNTERS};
+
+fn req<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, String> {
+    obj.get(key).ok_or_else(|| format!("missing key {key:?}"))
+}
+
+fn req_u64(obj: &Json, key: &str) -> Result<u64, String> {
+    req(obj, key)?
+        .as_u64()
+        .ok_or_else(|| format!("{key:?} is not an exact non-negative integer"))
+}
+
+fn req_str(obj: &Json, key: &str) -> Result<String, String> {
+    Ok(req(obj, key)?
+        .as_str()
+        .ok_or_else(|| format!("{key:?} is not a string"))?
+        .to_string())
+}
+
+fn req_bool(obj: &Json, key: &str) -> Result<bool, String> {
+    match req(obj, key)? {
+        Json::Bool(b) => Ok(*b),
+        _ => Err(format!("{key:?} is not a boolean")),
+    }
+}
+
+/// Reject keys outside `allowed` — an unknown key would silently vanish
+/// on re-encode, breaking the byte-identical roundtrip guarantee.
+fn check_keys(obj: &Json, what: &str, allowed: &[&str]) -> Result<(), String> {
+    match obj {
+        Json::Obj(members) => {
+            for (k, _) in members {
+                if !allowed.contains(&k.as_str()) {
+                    return Err(format!("unknown {what} key {k:?}"));
+                }
+            }
+            Ok(())
+        }
+        _ => Err(format!("{what} is not an object")),
+    }
+}
+
+/// Parse one ledger record from an already-parsed JSON document.
+pub fn parse_record(doc: &Json) -> Result<LedgerRecord, String> {
+    check_keys(
+        doc,
+        "record",
+        &[
+            "schema",
+            "label",
+            "clock",
+            "host_cpus",
+            "config",
+            "job",
+            "counters",
+            "phases",
+            "histograms",
+        ],
+    )?;
+    let schema = req_str(doc, "schema")?;
+    if schema != LEDGER_SCHEMA {
+        return Err(format!(
+            "unsupported ledger schema {schema:?} (expected {LEDGER_SCHEMA:?})"
+        ));
+    }
+
+    let cfg = req(doc, "config")?;
+    check_keys(
+        cfg,
+        "config",
+        &[
+            "codec",
+            "block_kib",
+            "num_reducers",
+            "map_slots",
+            "reduce_slots",
+            "spill_buffer_bytes",
+            "framing",
+            "ifile_version",
+            "combiner",
+            "task_retries",
+            "fault_seed",
+        ],
+    )?;
+    let fault_seed = match req(cfg, "fault_seed")? {
+        Json::Null => None,
+        v => Some(
+            v.as_u64()
+                .ok_or_else(|| "\"fault_seed\" is not an integer or null".to_string())?,
+        ),
+    };
+    let config = LedgerConfig {
+        codec: req_str(cfg, "codec")?,
+        block_kib: req_u64(cfg, "block_kib")?,
+        num_reducers: req_u64(cfg, "num_reducers")?,
+        map_slots: req_u64(cfg, "map_slots")?,
+        reduce_slots: req_u64(cfg, "reduce_slots")?,
+        spill_buffer_bytes: req_u64(cfg, "spill_buffer_bytes")?,
+        framing: req_str(cfg, "framing")?,
+        ifile_version: req_u64(cfg, "ifile_version")?,
+        combiner: req_bool(cfg, "combiner")?,
+        task_retries: req_u64(cfg, "task_retries")?,
+        fault_seed,
+    };
+
+    let job_obj = req(doc, "job")?;
+    check_keys(
+        job_obj,
+        "job",
+        &[
+            "num_maps",
+            "num_reducers",
+            "input_bytes",
+            "map_wall_nanos",
+            "reduce_wall_nanos",
+        ],
+    )?;
+    let job = LedgerJob {
+        num_maps: req_u64(job_obj, "num_maps")?,
+        num_reducers: req_u64(job_obj, "num_reducers")?,
+        input_bytes: req_u64(job_obj, "input_bytes")?,
+        map_wall_nanos: req_u64(job_obj, "map_wall_nanos")?,
+        reduce_wall_nanos: req_u64(job_obj, "reduce_wall_nanos")?,
+    };
+
+    let counters_obj = req(doc, "counters")?;
+    let counter_names: Vec<&str> = ALL_COUNTERS.iter().map(|c| c.name()).collect();
+    check_keys(counters_obj, "counter", &counter_names)?;
+    let counters = Counters::new();
+    for c in ALL_COUNTERS {
+        counters.add(c, req_u64(counters_obj, c.name())?);
+    }
+
+    let phases_obj = req(doc, "phases")?;
+    let phase_names: Vec<&str> = ALL_PHASES.iter().map(|p| p.name()).collect();
+    check_keys(phases_obj, "phase", &phase_names)?;
+    let mut phases = [PhaseRollup::default(); NUM_PHASES];
+    for (slot, phase) in phases.iter_mut().zip(ALL_PHASES) {
+        let p = req(phases_obj, phase.name())?;
+        check_keys(p, "phase rollup", &["count", "wall_ns", "cpu_ns"])?;
+        *slot = PhaseRollup {
+            count: req_u64(p, "count")?,
+            wall_ns: req_u64(p, "wall_ns")?,
+            cpu_ns: req_u64(p, "cpu_ns")?,
+        };
+    }
+
+    let hists_obj = req(doc, "histograms")?;
+    let mut hists = Vec::new();
+    match hists_obj {
+        Json::Obj(members) => {
+            for (name, h) in members {
+                let metric = ALL_METRICS
+                    .iter()
+                    .copied()
+                    .find(|m| m.name() == *name)
+                    .ok_or_else(|| format!("unknown metric {name:?}"))?;
+                check_keys(h, "histogram", &["count", "sum", "min", "max", "buckets"])?;
+                let mut buckets = Vec::new();
+                for pair in req(h, "buckets")?
+                    .as_arr()
+                    .ok_or_else(|| format!("{name:?} buckets is not an array"))?
+                {
+                    let pair = pair
+                        .as_arr()
+                        .filter(|p| p.len() == 2)
+                        .ok_or_else(|| format!("{name:?} bucket is not a [index, count] pair"))?;
+                    let idx = pair[0]
+                        .as_u64()
+                        .filter(|&i| i < NUM_BUCKETS as u64)
+                        .ok_or_else(|| format!("{name:?} bucket index out of range"))?;
+                    let n = pair[1]
+                        .as_u64()
+                        .ok_or_else(|| format!("{name:?} bucket count is not an integer"))?;
+                    buckets.push((idx as u8, n));
+                }
+                hists.push(LedgerHist {
+                    metric,
+                    count: req_u64(h, "count")?,
+                    sum: req_u64(h, "sum")?,
+                    min: req_u64(h, "min")?,
+                    max: req_u64(h, "max")?,
+                    buckets,
+                });
+            }
+        }
+        _ => return Err("\"histograms\" is not an object".to_string()),
+    }
+
+    Ok(LedgerRecord {
+        label: req_str(doc, "label")?,
+        clock: req_str(doc, "clock")?,
+        host_cpus: req_u64(doc, "host_cpus")?,
+        config,
+        job,
+        counters: counters.snapshot(),
+        phases,
+        hists,
+    })
+}
+
+/// Parse one ledger line (a complete JSON document).
+pub fn parse_line(line: &str) -> Result<LedgerRecord, String> {
+    parse_record(&parse(line)?)
+}
+
+/// Parse a whole ledger file: one record per non-empty line.
+pub fn parse_ledger(text: &str) -> Result<Vec<LedgerRecord>, String> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(i, line)| parse_line(line).map_err(|e| format!("ledger line {}: {e}", i + 1)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scihadoop_mapreduce::obs::{Histogram, Metric};
+    use scihadoop_mapreduce::Counter;
+
+    fn sample() -> LedgerRecord {
+        let counters = Counters::new();
+        counters.add(Counter::MapOutputBytes, 4096);
+        counters.add(Counter::ShuffleBytes, 2048);
+        let mut h = Histogram::new();
+        h.record(1);
+        h.record(300);
+        let mut phases = [PhaseRollup::default(); NUM_PHASES];
+        phases[0] = PhaseRollup {
+            count: 2,
+            wall_ns: 10,
+            cpu_ns: 9,
+        };
+        LedgerRecord {
+            label: "parser \"unit\"\ntest".into(),
+            clock: "thread_cpu".into(),
+            host_cpus: 2,
+            config: LedgerConfig {
+                codec: "deflate".into(),
+                block_kib: 64,
+                num_reducers: 2,
+                map_slots: 2,
+                reduce_slots: 1,
+                spill_buffer_bytes: 4096,
+                framing: "ifile".into(),
+                ifile_version: 3,
+                combiner: false,
+                task_retries: 2,
+                fault_seed: None,
+            },
+            job: LedgerJob {
+                num_maps: 3,
+                num_reducers: 2,
+                input_bytes: 9999,
+                map_wall_nanos: 1111,
+                reduce_wall_nanos: 2222,
+            },
+            counters: counters.snapshot(),
+            phases,
+            hists: vec![LedgerHist::from_histogram(Metric::SegRawBytes, &h).unwrap()],
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_byte_identical() {
+        let line = sample().to_json_line();
+        let parsed = parse_line(&line).expect("parse");
+        assert_eq!(parsed, sample());
+        assert_eq!(parsed.to_json_line(), line);
+    }
+
+    #[test]
+    fn whole_ledger_files_parse_line_by_line() {
+        let line = sample().to_json_line();
+        let text = format!("{line}\n\n{line}\n");
+        let records = parse_ledger(&text).expect("parse ledger");
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0], records[1]);
+    }
+
+    #[test]
+    fn wrong_schema_and_unknown_keys_are_rejected() {
+        let line = sample().to_json_line();
+        let wrong_schema = line.replace("scihadoop.ledger.v1", "scihadoop.ledger.v9");
+        assert!(parse_line(&wrong_schema).is_err());
+        let unknown_counter = line.replace("\"spills\":", "\"spoils\":");
+        assert!(parse_line(&unknown_counter).is_err());
+        let extra_key = line.replacen('{', "{\"extra\":1,", 1);
+        assert!(parse_line(&extra_key).is_err());
+    }
+
+    #[test]
+    fn non_exact_integers_are_rejected() {
+        let line = sample().to_json_line();
+        let fractional = line.replace("\"host_cpus\":2", "\"host_cpus\":2.5");
+        assert!(parse_line(&fractional).is_err());
+    }
+}

@@ -7,6 +7,8 @@
 pub mod codecs;
 pub mod experiments;
 pub mod json;
+pub mod ledger;
+pub mod regress;
 pub mod report;
 pub mod workloads;
 

@@ -1,0 +1,564 @@
+//! The perf-regression gate: compare a fresh bench run against the
+//! committed `BENCH_*.json` baselines and the run-ledger history.
+//!
+//! Thresholds are noise-aware by construction rather than by fudging:
+//!
+//! * **Budget fields** are *paired* measurements the benches already
+//!   compute from interleaved median batches (e.g. the traced-vs-
+//!   untraced overhead percentages, the CRC trailer overhead). Pairing
+//!   cancels machine speed, so a fixed ceiling is meaningful on any
+//!   host.
+//! * **Ratio fields** are deterministic byte counts (segment sizes from
+//!   seeded workloads), identical across machines — those get tight
+//!   tolerances against the committed baseline.
+//! * **Ledger history** groups records by full config fingerprint.
+//!   Deterministic byte counters must be *identical* across a group;
+//!   wall-clock only gates when a group has enough history for a median
+//!   and only flags slowdowns.
+//!
+//! Raw `median_ns` numbers are deliberately never compared across
+//! files: they are machine-dependent and a fresh-vs-committed
+//! comparison would gate on hardware, not code.
+
+use crate::json::Json;
+use crate::ledger::parse_ledger;
+use scihadoop_mapreduce::obs::LedgerRecord;
+use scihadoop_mapreduce::Counter;
+use std::path::Path;
+
+/// An absolute ceiling/floor on a paired benchmark field.
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    /// Which committed BENCH file carries the field.
+    pub file: &'static str,
+    /// The field name.
+    pub field: &'static str,
+    /// Upper bound, if any.
+    pub max: Option<f64>,
+    /// Lower bound, if any.
+    pub min: Option<f64>,
+}
+
+/// Every budget the gate enforces. The obs overheads and the CRC
+/// trailer budget restate the limits DESIGN.md pins (≤3% tracing, ≤6%
+/// CRC); the ifile bounds protect the paper-facing v3 compression
+/// result (0.288× committed, gated at ≤0.35×) and its skip rate.
+pub const BUDGETS: &[Budget] = &[
+    Budget {
+        file: "BENCH_obs.json",
+        field: "map_sort_spill_overhead_percent",
+        max: Some(3.0),
+        min: None,
+    },
+    Budget {
+        file: "BENCH_obs.json",
+        field: "merge_reduce_overhead_percent",
+        max: Some(3.0),
+        min: None,
+    },
+    Budget {
+        file: "BENCH_obs.json",
+        field: "map_sort_spill_ledger_overhead_percent",
+        max: Some(3.0),
+        min: None,
+    },
+    Budget {
+        file: "BENCH_shuffle.json",
+        field: "crc_trailer_overhead_pct",
+        max: Some(6.0),
+        min: None,
+    },
+    Budget {
+        file: "BENCH_codec.json",
+        field: "size_regression_percent",
+        max: Some(1.0),
+        min: None,
+    },
+    Budget {
+        file: "BENCH_ifile.json",
+        field: "v3_over_v2_bytes",
+        max: Some(0.35),
+        min: None,
+    },
+    Budget {
+        file: "BENCH_ifile.json",
+        field: "block_skip_rate_disjoint",
+        max: None,
+        min: Some(0.8),
+    },
+];
+
+/// A deterministic field compared fresh-vs-baseline with a relative
+/// tolerance. Only byte-derived fields belong here.
+#[derive(Debug, Clone, Copy)]
+pub struct RatioCheck {
+    /// Which BENCH file carries the field.
+    pub file: &'static str,
+    /// The field name.
+    pub field: &'static str,
+    /// Allowed relative deviation from the committed baseline.
+    pub rel_tol: f64,
+}
+
+/// Deterministic fresh-vs-baseline checks. The ifile segment byte
+/// counts come from a seeded workload, so any deviation means the
+/// writer or the workload changed — either way the baseline is stale.
+pub const RATIO_CHECKS: &[RatioCheck] = &[
+    RatioCheck {
+        file: "BENCH_ifile.json",
+        field: "v2_segment_bytes",
+        rel_tol: 0.001,
+    },
+    RatioCheck {
+        file: "BENCH_ifile.json",
+        field: "v3_segment_bytes",
+        rel_tol: 0.001,
+    },
+    RatioCheck {
+        file: "BENCH_ifile.json",
+        field: "v3_over_v2_bytes",
+        rel_tol: 0.01,
+    },
+];
+
+/// Counters that must be byte-identical across runs of the same config
+/// on the same workload. Merge-order-sensitive (`blocks_skipped`) and
+/// fault-path counters are deliberately absent.
+const DETERMINISTIC_COUNTERS: &[Counter] = &[
+    Counter::MapInputRecords,
+    Counter::MapOutputRecords,
+    Counter::MapOutputBytes,
+    Counter::MapOutputKeyBytes,
+    Counter::MapOutputValueBytes,
+    Counter::MapOutputFramingBytes,
+    Counter::MapOutputMaterializedBytes,
+    Counter::MapOutputSegments,
+    Counter::MapOutputKeySavedBytes,
+    Counter::BlocksWritten,
+    Counter::CombineInputRecords,
+    Counter::CombineOutputRecords,
+    Counter::Spills,
+    Counter::ShuffleBytes,
+    Counter::ReduceInputRecords,
+    Counter::ReduceInputGroups,
+    Counter::ReduceOutputRecords,
+    Counter::ReduceOutputBytes,
+];
+
+/// Latest-vs-median wall-clock slowdown tolerance for ledger groups.
+/// Wall clocks are the one genuinely noisy signal the ledger gates on,
+/// so the bar is high and only slowdowns count.
+pub const LEDGER_WALL_SLOWDOWN_TOLERANCE: f64 = 0.75;
+
+/// One evaluated check.
+#[derive(Debug, Clone)]
+pub struct GateCheck {
+    /// Human-readable check identity (`file · field` or ledger group).
+    pub name: String,
+    /// The observed value.
+    pub value: String,
+    /// The limit it was held against.
+    pub limit: String,
+    /// Whether the check passed.
+    pub ok: bool,
+}
+
+impl GateCheck {
+    fn pass(name: String, value: String, limit: String) -> GateCheck {
+        GateCheck {
+            name,
+            value,
+            limit,
+            ok: true,
+        }
+    }
+
+    fn fail(name: String, value: String, limit: String) -> GateCheck {
+        GateCheck {
+            name,
+            value,
+            limit,
+            ok: false,
+        }
+    }
+}
+
+/// Evaluate every budget that applies to `file` against `doc`. A
+/// missing field fails: a silently dropped budget field would otherwise
+/// disable its gate forever.
+pub fn check_budgets(doc: &Json, file: &str) -> Vec<GateCheck> {
+    let mut out = Vec::new();
+    for b in BUDGETS.iter().filter(|b| b.file == file) {
+        let name = format!("{file} · {}", b.field);
+        let limit = match (b.max, b.min) {
+            (Some(max), None) => format!("<= {max}"),
+            (None, Some(min)) => format!(">= {min}"),
+            (Some(max), Some(min)) => format!("{min} ..= {max}"),
+            (None, None) => "(unbounded)".to_string(),
+        };
+        match doc.get(b.field).and_then(Json::as_f64) {
+            None => out.push(GateCheck::fail(name, "missing".into(), limit)),
+            Some(v) => {
+                let ok = b.max.is_none_or(|max| v <= max) && b.min.is_none_or(|min| v >= min);
+                let check = if ok {
+                    GateCheck::pass(name, format!("{v}"), limit)
+                } else {
+                    GateCheck::fail(name, format!("{v}"), limit)
+                };
+                out.push(check);
+            }
+        }
+    }
+    out
+}
+
+/// Evaluate the deterministic fresh-vs-baseline ratio checks for `file`.
+pub fn check_ratios(fresh: &Json, baseline: &Json, file: &str) -> Vec<GateCheck> {
+    let mut out = Vec::new();
+    for r in RATIO_CHECKS.iter().filter(|r| r.file == file) {
+        let name = format!("{file} · {} vs baseline", r.field);
+        let limit = format!("rel dev <= {}", r.rel_tol);
+        match (
+            fresh.get(r.field).and_then(Json::as_f64),
+            baseline.get(r.field).and_then(Json::as_f64),
+        ) {
+            (Some(f), Some(b)) => {
+                let dev = if b == 0.0 {
+                    if f == 0.0 {
+                        0.0
+                    } else {
+                        f64::INFINITY
+                    }
+                } else {
+                    ((f - b) / b).abs()
+                };
+                let value = format!("{f} vs {b} (dev {dev:.4})");
+                if dev <= r.rel_tol {
+                    out.push(GateCheck::pass(name, value, limit));
+                } else {
+                    out.push(GateCheck::fail(name, value, limit));
+                }
+            }
+            (f, b) => out.push(GateCheck::fail(
+                name,
+                format!(
+                    "fresh {}, baseline {}",
+                    if f.is_some() { "present" } else { "missing" },
+                    if b.is_some() { "present" } else { "missing" }
+                ),
+                limit,
+            )),
+        }
+    }
+    out
+}
+
+/// Full-config fingerprint: records only compare within identical
+/// (label, config, workload-shape) groups.
+fn fingerprint(r: &LedgerRecord) -> String {
+    format!(
+        "{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{:?}|{}|{}",
+        r.label,
+        r.config.codec,
+        r.config.block_kib,
+        r.config.num_reducers,
+        r.config.map_slots,
+        r.config.reduce_slots,
+        r.config.spill_buffer_bytes,
+        r.config.framing,
+        r.config.ifile_version,
+        r.config.combiner,
+        r.config.fault_seed,
+        r.config.task_retries,
+        r.job.num_maps,
+    )
+}
+
+/// Gate the ledger history: within each config group, deterministic
+/// byte counters must be identical (clean runs only — fault schedules
+/// interleave with thread timing), and with three or more runs of
+/// history the latest wall clock must not exceed the group median by
+/// more than [`LEDGER_WALL_SLOWDOWN_TOLERANCE`].
+pub fn check_ledger_history(records: &[LedgerRecord]) -> Vec<GateCheck> {
+    let mut out = Vec::new();
+    let mut groups: Vec<(String, Vec<&LedgerRecord>)> = Vec::new();
+    for r in records {
+        let fp = fingerprint(r);
+        match groups.iter_mut().find(|(g, _)| *g == fp) {
+            Some((_, members)) => members.push(r),
+            None => groups.push((fp, vec![r])),
+        }
+    }
+
+    for (_, members) in &groups {
+        let first = members[0];
+        let group = format!("ledger · {} ({} runs)", first.label, members.len());
+        if members.len() < 2 {
+            continue;
+        }
+
+        if first.config.fault_seed.is_none() {
+            let mut mismatches = Vec::new();
+            for &c in DETERMINISTIC_COUNTERS {
+                let v0 = first.counters.get(c);
+                if members.iter().any(|m| m.counters.get(c) != v0) {
+                    mismatches.push(c.name());
+                }
+            }
+            if mismatches.is_empty() {
+                out.push(GateCheck::pass(
+                    format!("{group} · byte determinism"),
+                    format!("{} counters identical", DETERMINISTIC_COUNTERS.len()),
+                    "exact".into(),
+                ));
+            } else {
+                out.push(GateCheck::fail(
+                    format!("{group} · byte determinism"),
+                    format!("drifted: {}", mismatches.join(", ")),
+                    "exact".into(),
+                ));
+            }
+        }
+
+        if members.len() >= 3 {
+            let mut walls: Vec<u64> = members
+                .iter()
+                .map(|m| m.job.map_wall_nanos + m.job.reduce_wall_nanos)
+                .collect();
+            let latest = *walls.last().expect("non-empty group");
+            walls.sort_unstable();
+            let median = walls[walls.len() / 2];
+            let limit = median as f64 * (1.0 + LEDGER_WALL_SLOWDOWN_TOLERANCE);
+            let name = format!("{group} · wall vs median");
+            let value = format!("{latest} ns vs median {median} ns");
+            if median == 0 || (latest as f64) <= limit {
+                out.push(GateCheck::pass(
+                    name,
+                    value,
+                    format!("<= median × {}", 1.0 + LEDGER_WALL_SLOWDOWN_TOLERANCE),
+                ));
+            } else {
+                out.push(GateCheck::fail(
+                    name,
+                    value,
+                    format!("<= median × {}", 1.0 + LEDGER_WALL_SLOWDOWN_TOLERANCE),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// The four committed BENCH baselines.
+pub const BENCH_FILES: &[&str] = &[
+    "BENCH_obs.json",
+    "BENCH_shuffle.json",
+    "BENCH_codec.json",
+    "BENCH_ifile.json",
+];
+
+/// Run the whole gate. For each BENCH file, budgets run against the
+/// fresh copy when one exists in `fresh_dir` (that is the regression
+/// check) and otherwise against the committed baseline (that still
+/// catches a bad baseline being committed); ratio checks need both
+/// copies. `ledger`, when given, adds the history checks.
+pub fn run_gate(fresh_dir: &Path, baseline_dir: &Path, ledger: Option<&Path>) -> Vec<GateCheck> {
+    let mut out = Vec::new();
+    // A missing file is an expected state (not every CI job regenerates
+    // every bench); an unreadable one is a violation.
+    let read = |file: &str, dir: &Path| -> Result<Option<Json>, String> {
+        match std::fs::read_to_string(dir.join(file)) {
+            Err(_) => Ok(None),
+            Ok(text) => crate::json::parse(&text).map(Some),
+        }
+    };
+
+    for file in BENCH_FILES {
+        let fresh = match read(file, fresh_dir) {
+            Ok(v) => v,
+            Err(e) => {
+                out.push(GateCheck::fail(
+                    format!("{file} (fresh)"),
+                    format!("unparseable: {e}"),
+                    "valid JSON".into(),
+                ));
+                None
+            }
+        };
+        let baseline = match read(file, baseline_dir) {
+            Ok(v) => v,
+            Err(e) => {
+                out.push(GateCheck::fail(
+                    format!("{file} (baseline)"),
+                    format!("unparseable: {e}"),
+                    "valid JSON".into(),
+                ));
+                None
+            }
+        };
+        match (&fresh, &baseline) {
+            (Some(f), Some(b)) => {
+                out.extend(check_budgets(f, file));
+                out.extend(check_ratios(f, b, file));
+            }
+            (Some(f), None) => out.extend(check_budgets(f, file)),
+            (None, Some(b)) => out.extend(check_budgets(b, file)),
+            (None, None) => out.push(GateCheck::fail(
+                (*file).to_string(),
+                "missing in both fresh and baseline dirs".into(),
+                "present".into(),
+            )),
+        }
+    }
+
+    if let Some(path) = ledger {
+        match std::fs::read_to_string(path) {
+            Err(e) => out.push(GateCheck::fail(
+                format!("ledger {}", path.display()),
+                format!("unreadable: {e}"),
+                "readable".into(),
+            )),
+            Ok(text) => match parse_ledger(&text) {
+                Err(e) => out.push(GateCheck::fail(
+                    format!("ledger {}", path.display()),
+                    e,
+                    "parseable records".into(),
+                )),
+                Ok(records) => out.extend(check_ledger_history(&records)),
+            },
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn budgets_pass_on_the_committed_numbers() {
+        let obs = parse(
+            r#"{"map_sort_spill_overhead_percent": 1.88,
+                "merge_reduce_overhead_percent": -0.35,
+                "map_sort_spill_ledger_overhead_percent": 2.1}"#,
+        )
+        .unwrap();
+        let checks = check_budgets(&obs, "BENCH_obs.json");
+        assert_eq!(checks.len(), 3);
+        assert!(checks.iter().all(|c| c.ok), "{checks:?}");
+    }
+
+    #[test]
+    fn gate_fails_on_a_degraded_overhead() {
+        let degraded = parse(
+            r#"{"map_sort_spill_overhead_percent": 9.9,
+                "merge_reduce_overhead_percent": -0.35,
+                "map_sort_spill_ledger_overhead_percent": 2.1}"#,
+        )
+        .unwrap();
+        let checks = check_budgets(&degraded, "BENCH_obs.json");
+        let bad: Vec<_> = checks.iter().filter(|c| !c.ok).collect();
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].name.contains("map_sort_spill_overhead_percent"));
+    }
+
+    #[test]
+    fn missing_budget_fields_fail_closed() {
+        let empty = parse("{}").unwrap();
+        let checks = check_budgets(&empty, "BENCH_shuffle.json");
+        assert_eq!(checks.len(), 1);
+        assert!(!checks[0].ok);
+        assert_eq!(checks[0].value, "missing");
+    }
+
+    #[test]
+    fn ratio_checks_flag_byte_drift() {
+        let baseline = parse(
+            r#"{"v2_segment_bytes": 860010, "v3_segment_bytes": 247996,
+                "v3_over_v2_bytes": 0.288}"#,
+        )
+        .unwrap();
+        let same = check_ratios(&baseline, &baseline, "BENCH_ifile.json");
+        assert!(same.iter().all(|c| c.ok));
+        let drifted = parse(
+            r#"{"v2_segment_bytes": 860010, "v3_segment_bytes": 300000,
+                "v3_over_v2_bytes": 0.349}"#,
+        )
+        .unwrap();
+        let checks = check_ratios(&drifted, &baseline, "BENCH_ifile.json");
+        assert!(checks.iter().any(|c| !c.ok));
+    }
+
+    fn record(label: &str, shuffle_bytes: u64, wall: u64) -> LedgerRecord {
+        use scihadoop_mapreduce::obs::{LedgerConfig, LedgerJob, PhaseRollup, NUM_PHASES};
+        use scihadoop_mapreduce::Counters;
+        let counters = Counters::new();
+        counters.add(Counter::ShuffleBytes, shuffle_bytes);
+        LedgerRecord {
+            label: label.into(),
+            clock: "thread_cpu".into(),
+            host_cpus: 1,
+            config: LedgerConfig {
+                codec: "identity".into(),
+                block_kib: 0,
+                num_reducers: 1,
+                map_slots: 2,
+                reduce_slots: 2,
+                spill_buffer_bytes: 1024,
+                framing: "sequence_file".into(),
+                ifile_version: 2,
+                combiner: false,
+                task_retries: 0,
+                fault_seed: None,
+            },
+            job: LedgerJob {
+                num_maps: 1,
+                num_reducers: 1,
+                input_bytes: 100,
+                map_wall_nanos: wall,
+                reduce_wall_nanos: 0,
+            },
+            counters: counters.snapshot(),
+            phases: [PhaseRollup::default(); NUM_PHASES],
+            hists: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ledger_history_demands_byte_determinism() {
+        let ok = check_ledger_history(&[record("a", 100, 10), record("a", 100, 12)]);
+        assert!(ok.iter().all(|c| c.ok), "{ok:?}");
+        let bad = check_ledger_history(&[record("a", 100, 10), record("a", 101, 12)]);
+        assert!(bad.iter().any(|c| !c.ok && c.name.contains("determinism")));
+    }
+
+    #[test]
+    fn ledger_history_flags_wall_slowdowns_only_with_enough_history() {
+        // Two runs: no wall check at all.
+        let two = check_ledger_history(&[record("a", 1, 100), record("a", 1, 1000)]);
+        assert!(two.iter().all(|c| !c.name.contains("wall")));
+        // Three runs, latest 10x the median: flagged.
+        let slow = check_ledger_history(&[
+            record("a", 1, 100),
+            record("a", 1, 110),
+            record("a", 1, 1100),
+        ]);
+        assert!(slow.iter().any(|c| !c.ok && c.name.contains("wall")));
+        // Latest faster than median: fine.
+        let fast =
+            check_ledger_history(&[record("a", 1, 100), record("a", 1, 110), record("a", 1, 50)]);
+        assert!(fast
+            .iter()
+            .filter(|c| c.name.contains("wall"))
+            .all(|c| c.ok));
+    }
+
+    #[test]
+    fn different_configs_never_compare() {
+        let mut other = record("a", 999, 10);
+        other.config.ifile_version = 3;
+        let checks = check_ledger_history(&[record("a", 100, 10), other]);
+        assert!(checks.is_empty(), "singleton groups produce no checks");
+    }
+}

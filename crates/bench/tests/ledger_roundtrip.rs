@@ -1,0 +1,113 @@
+//! Roundtrip property for the run ledger: any record the obs layer can
+//! emit must survive `to_json_line` → the hand-rolled `json.rs` parser →
+//! `to_json_line` **byte-identically**. Labels and codec/framing names
+//! run through the string escaper (quotes, backslashes, control chars,
+//! multibyte); numeric fields cover the full `u64` range (values above
+//! 2^53 clamp once at first encode and then stay fixed).
+
+use proptest::prelude::*;
+use scihadoop_bench::ledger::parse_line;
+use scihadoop_mapreduce::obs::{
+    Histogram, LedgerConfig, LedgerHist, LedgerJob, LedgerRecord, PhaseRollup, ALL_METRICS,
+    NUM_PHASES,
+};
+use scihadoop_mapreduce::{Counters, ALL_COUNTERS};
+
+/// Characters that stress the JSON escaper: quoting, escaping, control
+/// characters, and multibyte UTF-8.
+const PALETTE: &[char] = &[
+    'a', 'Z', '0', ' ', '"', '\\', '\n', '\r', '\t', '\u{1}', '\u{1f}', 'é', '→', '/',
+];
+
+fn palette_string(indexes: &[usize]) -> String {
+    indexes
+        .iter()
+        .map(|&i| PALETTE[i % PALETTE.len()])
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn any_record_roundtrips_byte_identically(
+        // label, codec, framing, clock as palette indexes.
+        strings in proptest::collection::vec(
+            proptest::collection::vec(0usize..14, 0..24),
+            4..5,
+        ),
+        // host_cpus, block_kib, num_reducers, map_slots, reduce_slots,
+        // spill_buffer_bytes, ifile_version, fault-seed value.
+        config_nums in any::<[u64; 8]>(),
+        // (combiner, fault_seed present)
+        flags in (any::<bool>(), any::<bool>()),
+        job_nums in any::<[u64; 5]>(),
+        // 30 counter values followed by 9 × (count, wall, cpu) rollups.
+        counter_and_phase in any::<[u64; 57]>(),
+        hist_picks in proptest::collection::vec(
+            (any::<u16>(), proptest::collection::vec(any::<u64>(), 1..16)),
+            0..4,
+        ),
+    ) {
+        prop_assert_eq!(ALL_COUNTERS.len(), 30);
+        let counters = Counters::new();
+        for (c, v) in ALL_COUNTERS.iter().zip(counter_and_phase.iter()) {
+            counters.add(*c, *v);
+        }
+        let mut phases = [PhaseRollup::default(); NUM_PHASES];
+        for (i, slot) in phases.iter_mut().enumerate() {
+            *slot = PhaseRollup {
+                count: counter_and_phase[30 + 3 * i],
+                wall_ns: counter_and_phase[30 + 3 * i + 1],
+                cpu_ns: counter_and_phase[30 + 3 * i + 2],
+            };
+        }
+        // Histograms are built by actually recording samples, so bucket
+        // encodings are exactly what the obs layer produces; dedupe by
+        // metric (the JSON object keys on metric name).
+        let mut hists: Vec<LedgerHist> = Vec::new();
+        for (pick, samples) in &hist_picks {
+            let metric = ALL_METRICS[*pick as usize % ALL_METRICS.len()];
+            if hists.iter().any(|h| h.metric == metric) {
+                continue;
+            }
+            let mut h = Histogram::new();
+            for &s in samples {
+                h.record(s);
+            }
+            hists.push(LedgerHist::from_histogram(metric, &h).expect("non-empty"));
+        }
+        let record = LedgerRecord {
+            label: palette_string(&strings[0]),
+            clock: palette_string(&strings[3]),
+            host_cpus: config_nums[0],
+            config: LedgerConfig {
+                codec: palette_string(&strings[1]),
+                block_kib: config_nums[1],
+                num_reducers: config_nums[2],
+                map_slots: config_nums[3],
+                reduce_slots: config_nums[4],
+                spill_buffer_bytes: config_nums[5],
+                framing: palette_string(&strings[2]),
+                ifile_version: config_nums[6],
+                combiner: flags.0,
+                task_retries: config_nums[0].rotate_left(7),
+                fault_seed: flags.1.then_some(config_nums[7]),
+            },
+            job: LedgerJob {
+                num_maps: job_nums[0],
+                num_reducers: job_nums[1],
+                input_bytes: job_nums[2],
+                map_wall_nanos: job_nums[3],
+                reduce_wall_nanos: job_nums[4],
+            },
+            counters: counters.snapshot(),
+            phases,
+            hists,
+        };
+
+        let line = record.to_json_line();
+        let parsed = parse_line(&line).expect("every emitted record must parse");
+        prop_assert_eq!(parsed.to_json_line(), line);
+    }
+}

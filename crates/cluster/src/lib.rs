@@ -24,5 +24,5 @@
 pub mod model;
 pub mod scale;
 
-pub use model::{ClusterSpec, CostModel, PhaseTimes, SimReport};
+pub use model::{stats_from_ledger, ClusterSpec, CostModel, PhaseTimes, SimReport};
 pub use scale::scale_stats;

@@ -1,6 +1,7 @@
 //! The analytic cost model of the Fig. 1 pipeline.
 
-use scihadoop_mapreduce::JobStats;
+use scihadoop_mapreduce::obs::{DriftReport, DriftRow, LedgerRecord, Metric};
+use scihadoop_mapreduce::{Counter, JobStats};
 
 /// Hardware description of the simulated cluster.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,6 +53,38 @@ impl ClusterSpec {
         self.codec_cpu_scale = s;
         self
     }
+
+    /// A spec describing the machine a ledger record was measured on,
+    /// for model-vs-measured reconciliation: the run's own slot counts,
+    /// unit CPU scales (the record's nanos *are* this machine's CPU),
+    /// and effectively infinite disk/net bandwidth, because an
+    /// in-process run moves intermediate bytes through memory. `nodes`
+    /// doubles as the reduce-side parallelism in [`CostModel`], so it
+    /// carries the record's reduce slots.
+    pub fn local_host(record: &LedgerRecord) -> Self {
+        ClusterSpec {
+            nodes: (record.config.reduce_slots as usize).max(1),
+            map_slots: (record.config.map_slots as usize).max(1),
+            reducers: (record.job.num_reducers as usize).max(1),
+            disk_mbps: 1e9,
+            net_mbps: 1e9,
+            engine_cpu_scale: 1.0,
+            codec_cpu_scale: 1.0,
+        }
+    }
+}
+
+/// Rebuild the [`JobStats`] a run's ledger record captured: counters
+/// plus the job-shape extras, exactly as the runner assembled them.
+pub fn stats_from_ledger(record: &LedgerRecord) -> JobStats {
+    JobStats::from_counters(
+        &record.counters,
+        record.job.num_maps as usize,
+        record.job.num_reducers as usize,
+        record.job.input_bytes,
+        record.job.map_wall_nanos,
+        record.job.reduce_wall_nanos,
+    )
 }
 
 /// Seconds attributed to each pipeline stage.
@@ -164,6 +197,80 @@ impl CostModel {
     }
 }
 
+impl CostModel {
+    /// Replay a ledger record through the model and compare it, row by
+    /// row, against what the run measured. Byte rows are identities —
+    /// the model's notion of moved bytes against *independently
+    /// counted* measurements (the runner's shuffle accounting, the
+    /// per-segment histograms) — and must agree exactly. Time rows
+    /// compare the simulated makespans against the run's wall clocks
+    /// and the simulated CPU terms against the drained span CPU; those
+    /// are calibration envelopes, not identities (spans nest, so their
+    /// CPU sum over-counts, and wall clocks include scheduling the
+    /// model does not see).
+    pub fn reconcile(&self, record: &LedgerRecord) -> DriftReport {
+        let stats = stats_from_ledger(record);
+        let sim = self.simulate(&stats);
+        let mut rows = Vec::new();
+
+        rows.push(DriftRow {
+            name: "shuffle_bytes",
+            unit: "B",
+            predicted: stats.map_output_materialized_bytes as f64,
+            measured: record.counters.get(Counter::ShuffleBytes) as f64,
+        });
+        if let Some(h) = record.hist(Metric::SegRawBytes) {
+            rows.push(DriftRow {
+                name: "raw_bytes",
+                unit: "B",
+                predicted: stats.map_output_bytes as f64,
+                measured: h.sum as f64,
+            });
+        }
+        if let Some(h) = record.hist(Metric::SegMaterializedBytes) {
+            rows.push(DriftRow {
+                name: "materialized_bytes",
+                unit: "B",
+                predicted: stats.map_output_materialized_bytes as f64,
+                measured: h.sum as f64,
+            });
+        }
+
+        rows.push(DriftRow {
+            name: "map_makespan",
+            unit: "s",
+            predicted: sim.map_makespan_s,
+            measured: record.job.map_wall_nanos as f64 / 1e9,
+        });
+        rows.push(DriftRow {
+            name: "reduce_makespan",
+            unit: "s",
+            predicted: sim.reduce_makespan_s,
+            measured: record.job.reduce_wall_nanos as f64 / 1e9,
+        });
+        rows.push(DriftRow {
+            name: "total",
+            unit: "s",
+            predicted: sim.total_s,
+            measured: (record.job.map_wall_nanos + record.job.reduce_wall_nanos) as f64 / 1e9,
+        });
+        let p = &sim.phases;
+        let measured_cpu = record.phase_cpu_total_nanos() as f64 / 1e9;
+        if measured_cpu > 0.0 {
+            rows.push(DriftRow {
+                name: "pipeline_cpu",
+                unit: "s",
+                predicted: p.map_cpu_s + p.map_codec_s + p.reduce_codec_s + p.reduce_cpu_s,
+                measured: measured_cpu,
+            });
+        }
+        DriftReport {
+            label: record.label.clone(),
+            rows,
+        }
+    }
+}
+
 /// Makespan of `total_s` seconds of CPU split into `tasks` uniform tasks
 /// scheduled in waves over `slots` executors.
 fn cpu_makespan(total_s: f64, tasks: usize, slots: usize) -> f64 {
@@ -256,6 +363,107 @@ mod tests {
         let r = m.simulate(&stats(5_000_000_000, 1_000_000_000));
         assert!((r.map_makespan_s + r.reduce_makespan_s - r.total_s).abs() < 1e-9);
         assert!(r.total_minutes() > 0.0);
+    }
+
+    fn synthetic_record() -> LedgerRecord {
+        use scihadoop_mapreduce::obs::{LedgerConfig, LedgerJob, PhaseRollup, NUM_PHASES};
+        use scihadoop_mapreduce::Counters;
+        let counters = Counters::new();
+        counters.add(Counter::MapOutputBytes, 2_000_000);
+        counters.add(Counter::MapOutputMaterializedBytes, 1_000_000);
+        counters.add(Counter::ShuffleBytes, 1_000_000);
+        counters.add(Counter::MapFnNanos, 50_000_000);
+        counters.add(Counter::SpillNanos, 10_000_000);
+        counters.add(Counter::ReduceFnNanos, 20_000_000);
+        counters.add(Counter::MergeNanos, 5_000_000);
+        let mut phases = [PhaseRollup::default(); NUM_PHASES];
+        phases[0] = PhaseRollup {
+            count: 4,
+            wall_ns: 120_000_000,
+            cpu_ns: 100_000_000,
+        };
+        LedgerRecord {
+            label: "synthetic".into(),
+            clock: "thread_cpu".into(),
+            host_cpus: 4,
+            config: LedgerConfig {
+                codec: "identity".into(),
+                block_kib: 0,
+                num_reducers: 3,
+                map_slots: 2,
+                reduce_slots: 2,
+                spill_buffer_bytes: 1 << 20,
+                framing: "sequence_file".into(),
+                ifile_version: 2,
+                combiner: false,
+                task_retries: 0,
+                fault_seed: None,
+            },
+            job: LedgerJob {
+                num_maps: 4,
+                num_reducers: 3,
+                input_bytes: 4_000_000,
+                map_wall_nanos: 80_000_000,
+                reduce_wall_nanos: 40_000_000,
+            },
+            counters: counters.snapshot(),
+            phases,
+            hists: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ledger_record_rebuilds_job_stats() {
+        let record = synthetic_record();
+        let stats = stats_from_ledger(&record);
+        assert_eq!(stats.num_maps, 4);
+        assert_eq!(stats.num_reducers, 3);
+        assert_eq!(stats.input_bytes, 4_000_000);
+        assert_eq!(stats.map_output_bytes, 2_000_000);
+        assert_eq!(stats.map_output_materialized_bytes, 1_000_000);
+        assert_eq!(stats.map_wall_nanos, 80_000_000);
+    }
+
+    #[test]
+    fn reconcile_byte_identities_are_exact() {
+        let record = synthetic_record();
+        let model = CostModel::new(ClusterSpec::local_host(&record));
+        let report = model.reconcile(&record);
+        assert_eq!(report.label, "synthetic");
+        let shuffle = report.row("shuffle_bytes").expect("shuffle row");
+        assert_eq!(shuffle.predicted, shuffle.measured);
+        assert_eq!(shuffle.error_pct(), 0.0);
+        // No histograms in the synthetic record → no hist-derived rows.
+        assert!(report.row("raw_bytes").is_none());
+        assert!(report.row("materialized_bytes").is_none());
+    }
+
+    #[test]
+    fn reconcile_reports_time_rows_with_signed_error() {
+        let record = synthetic_record();
+        let model = CostModel::new(ClusterSpec::local_host(&record));
+        let report = model.reconcile(&record);
+        for name in ["map_makespan", "reduce_makespan", "total", "pipeline_cpu"] {
+            let row = report.row(name).unwrap_or_else(|| panic!("{name} row"));
+            assert_eq!(row.unit, "s");
+            assert!(row.predicted > 0.0, "{name} predicted");
+            assert!(row.measured > 0.0, "{name} measured");
+        }
+        // Unit CPU scales and infinite bandwidth: the model can only
+        // charge the recorded CPU, so predictions stay below the walls.
+        let total = report.row("total").expect("total");
+        assert!(total.predicted <= total.measured * 1.001);
+    }
+
+    #[test]
+    fn local_host_spec_mirrors_the_record() {
+        let record = synthetic_record();
+        let spec = ClusterSpec::local_host(&record);
+        assert_eq!(spec.map_slots, 2);
+        assert_eq!(spec.nodes, 2);
+        assert_eq!(spec.reducers, 3);
+        assert_eq!(spec.engine_cpu_scale, 1.0);
+        assert_eq!(spec.codec_cpu_scale, 1.0);
     }
 
     #[test]

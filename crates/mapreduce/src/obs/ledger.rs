@@ -1,0 +1,525 @@
+//! Persistent per-run ledger: one self-describing JSON line per job.
+//!
+//! A [`LedgerRecord`] captures everything the cross-run tooling needs
+//! to replay a finished job without the process that ran it: the full
+//! job configuration, the final counters, every non-empty histogram,
+//! per-phase wall/CPU rollups, the [clock kind](crate::clock) the
+//! profile was taken with and the host's CPU count. Records append to a
+//! JSON-lines file through a [`LedgerSink`] (see
+//! [`JobConfig::with_ledger`](crate::JobConfig::with_ledger)); the
+//! drift reporter and the perf-regression gate consume them.
+//!
+//! The encoding is deliberately conservative so that records roundtrip
+//! through float-based JSON parsers (including `bench/src/json.rs`)
+//! **byte-identically**:
+//!
+//! * every integer is clamped to [`LEDGER_MAX_EXACT`] (2^53), the
+//!   largest magnitude where `f64` is still exact on every integer;
+//! * histogram buckets are encoded as `[bucket_index, count]` pairs —
+//!   the index (0..=64), never the bucket bounds, because the top
+//!   bucket's bound is `u64::MAX`;
+//! * key order is fixed and there is no insignificant whitespace, so
+//!   re-encoding a parsed record reproduces the input bytes.
+
+use crate::clock::{clock_kind, ClockKind};
+use crate::counters::{CounterSnapshot, ALL_COUNTERS};
+use crate::ifile::{Framing, IFileVersion};
+use crate::job::{JobConfig, JobResult};
+use crate::obs::export::esc;
+use crate::obs::{Histogram, Metric, Trace, ALL_METRICS, ALL_PHASES, NUM_PHASES};
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+/// Schema tag written into every ledger record.
+pub const LEDGER_SCHEMA: &str = "scihadoop.ledger.v1";
+
+/// Largest integer the ledger writes: 2^53, the bound below which every
+/// integer survives an `f64` roundtrip exactly. Counters past this are
+/// clamped (a job that moved 8 PiB has other problems).
+pub const LEDGER_MAX_EXACT: u64 = 1 << 53;
+
+fn clamp(n: u64) -> u64 {
+    n.min(LEDGER_MAX_EXACT)
+}
+
+/// This host's CPU count, as recorded in ledger records and BENCH files.
+pub fn host_cpus() -> u64 {
+    std::thread::available_parallelism().map_or(1, |p| p.get()) as u64
+}
+
+/// The stable name of the active [clock](crate::clock::clock_kind).
+pub fn clock_name() -> &'static str {
+    match clock_kind() {
+        ClockKind::ThreadCpu => "thread_cpu",
+        ClockKind::Wall => "wall",
+    }
+}
+
+/// The job-configuration half of a ledger record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LedgerConfig {
+    /// Codec name (`Codec::name()`).
+    pub codec: String,
+    /// Block size in KiB for block-framed codecs; 0 when not applicable
+    /// (the `Codec` trait does not expose it, so callers that framed the
+    /// codec set it via [`JobConfig::with_ledger_block_kib`](crate::JobConfig::with_ledger_block_kib)).
+    pub block_kib: u64,
+    /// Reduce task count.
+    pub num_reducers: u64,
+    /// Concurrent map tasks.
+    pub map_slots: u64,
+    /// Concurrent reduce tasks.
+    pub reduce_slots: u64,
+    /// Map-side spill threshold in bytes.
+    pub spill_buffer_bytes: u64,
+    /// Record framing: `"ifile"` or `"sequence_file"`.
+    pub framing: String,
+    /// IFile layout version (1, 2 or 3).
+    pub ifile_version: u64,
+    /// Whether a combiner was configured.
+    pub combiner: bool,
+    /// Per-task retry budget.
+    pub task_retries: u64,
+    /// Fault-injection seed, when a fault plan was configured.
+    pub fault_seed: Option<u64>,
+}
+
+/// Job-shape extras needed to rebuild a
+/// [`JobStats`](crate::JobStats) from the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LedgerJob {
+    /// Map tasks that ran (input splits).
+    pub num_maps: u64,
+    /// Reduce tasks that ran.
+    pub num_reducers: u64,
+    /// Input payload bytes.
+    pub input_bytes: u64,
+    /// Wall-clock nanoseconds of the map phase.
+    pub map_wall_nanos: u64,
+    /// Wall-clock nanoseconds of the reduce phase.
+    pub reduce_wall_nanos: u64,
+}
+
+/// Span rollup for one pipeline phase: how many spans ran and their
+/// total wall/CPU time. All zero when the job ran without a recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseRollup {
+    /// Spans recorded for the phase.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across those spans.
+    pub wall_ns: u64,
+    /// Total thread-CPU nanoseconds across those spans.
+    pub cpu_ns: u64,
+}
+
+/// Compact encoding of one non-empty histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LedgerHist {
+    /// Which metric this distribution belongs to.
+    pub metric: Metric,
+    /// Sample count.
+    pub count: u64,
+    /// Saturating sum of samples.
+    pub sum: u64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Non-empty log2 buckets as `(bucket_index, count)`, ascending.
+    pub buckets: Vec<(u8, u64)>,
+}
+
+impl LedgerHist {
+    /// Encode a histogram; `None` when it recorded nothing.
+    pub fn from_histogram(metric: Metric, h: &Histogram) -> Option<LedgerHist> {
+        if h.is_empty() {
+            return None;
+        }
+        let buckets = h
+            .buckets()
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (i as u8, n))
+            .collect();
+        Some(LedgerHist {
+            metric,
+            count: h.count(),
+            sum: h.sum(),
+            min: h.min(),
+            max: h.max(),
+            buckets,
+        })
+    }
+}
+
+/// One finished run, ready to append to a ledger file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerRecord {
+    /// Caller-chosen run label (experiment or job name).
+    pub label: String,
+    /// `"thread_cpu"` or `"wall"` — which clock the CPU numbers used.
+    pub clock: String,
+    /// CPU count of the host that produced the record.
+    pub host_cpus: u64,
+    /// Full job configuration.
+    pub config: LedgerConfig,
+    /// Job-shape extras for `JobStats` reconstruction.
+    pub job: LedgerJob,
+    /// Final counter values.
+    pub counters: CounterSnapshot,
+    /// Per-phase span rollups, in [`ALL_PHASES`] order.
+    pub phases: [PhaseRollup; NUM_PHASES],
+    /// Every non-empty histogram, in [`ALL_METRICS`] order.
+    pub hists: Vec<LedgerHist>,
+}
+
+impl LedgerRecord {
+    /// Build a record from a finished job. `trace` (a drained
+    /// [`Recorder`](crate::Recorder)) contributes the phase rollups and
+    /// histograms; without one those sections are empty but the record
+    /// is still complete enough to replay through the cost model.
+    pub fn from_run(
+        label: &str,
+        config: &JobConfig,
+        result: &JobResult,
+        trace: Option<&Trace>,
+    ) -> LedgerRecord {
+        let stats = &result.stats;
+        let mut phases = [PhaseRollup::default(); NUM_PHASES];
+        let mut hists = Vec::new();
+        if let Some(trace) = trace {
+            for (slot, phase) in phases.iter_mut().zip(ALL_PHASES) {
+                *slot = PhaseRollup {
+                    count: trace.span_count(phase) as u64,
+                    wall_ns: trace.phase_wall_nanos(phase),
+                    cpu_ns: trace.phase_cpu_nanos(phase),
+                };
+            }
+            for metric in ALL_METRICS {
+                if let Some(h) = LedgerHist::from_histogram(metric, trace.hists.get(metric)) {
+                    hists.push(h);
+                }
+            }
+        }
+        LedgerRecord {
+            label: label.to_string(),
+            clock: clock_name().to_string(),
+            host_cpus: host_cpus(),
+            config: LedgerConfig {
+                codec: config.codec.name().to_string(),
+                block_kib: config.ledger_block_kib,
+                num_reducers: config.num_reducers as u64,
+                map_slots: config.map_slots as u64,
+                reduce_slots: config.reduce_slots as u64,
+                spill_buffer_bytes: config.spill_buffer_bytes as u64,
+                framing: match config.framing {
+                    Framing::SequenceFile => "sequence_file",
+                    Framing::IFile => "ifile",
+                }
+                .to_string(),
+                ifile_version: match config.ifile_version {
+                    IFileVersion::V1 => 1,
+                    IFileVersion::V2 => 2,
+                    IFileVersion::V3 => 3,
+                },
+                combiner: config.combiner.is_some(),
+                task_retries: config.task_retries as u64,
+                fault_seed: config.faults.as_ref().map(|p| p.config().seed),
+            },
+            job: LedgerJob {
+                num_maps: stats.num_maps as u64,
+                num_reducers: stats.num_reducers as u64,
+                input_bytes: stats.input_bytes,
+                map_wall_nanos: stats.map_wall_nanos,
+                reduce_wall_nanos: stats.reduce_wall_nanos,
+            },
+            counters: result.counters,
+            phases,
+            hists,
+        }
+    }
+
+    /// Total thread-CPU nanoseconds across all phase spans.
+    pub fn phase_cpu_total_nanos(&self) -> u64 {
+        self.phases.iter().map(|p| p.cpu_ns).sum()
+    }
+
+    /// The encoded histogram for a metric, if the run recorded one.
+    pub fn hist(&self, metric: Metric) -> Option<&LedgerHist> {
+        self.hists.iter().find(|h| h.metric == metric)
+    }
+
+    /// Canonical single-line JSON encoding (no trailing newline). Fixed
+    /// key order, no whitespace, every integer clamped to
+    /// [`LEDGER_MAX_EXACT`] — parse + re-encode is byte-identical.
+    pub fn to_json_line(&self) -> String {
+        let mut o = String::with_capacity(4096);
+        let _ = write!(
+            o,
+            "{{\"schema\":\"{LEDGER_SCHEMA}\",\"label\":\"{}\",\"clock\":\"{}\",\"host_cpus\":{}",
+            esc(&self.label),
+            esc(&self.clock),
+            clamp(self.host_cpus)
+        );
+
+        let c = &self.config;
+        let _ = write!(
+            o,
+            ",\"config\":{{\"codec\":\"{}\",\"block_kib\":{},\"num_reducers\":{},\
+             \"map_slots\":{},\"reduce_slots\":{},\"spill_buffer_bytes\":{},\
+             \"framing\":\"{}\",\"ifile_version\":{},\"combiner\":{},\"task_retries\":{}",
+            esc(&c.codec),
+            clamp(c.block_kib),
+            clamp(c.num_reducers),
+            clamp(c.map_slots),
+            clamp(c.reduce_slots),
+            clamp(c.spill_buffer_bytes),
+            esc(&c.framing),
+            clamp(c.ifile_version),
+            c.combiner,
+            clamp(c.task_retries)
+        );
+        match c.fault_seed {
+            Some(seed) => {
+                let _ = write!(o, ",\"fault_seed\":{}}}", clamp(seed));
+            }
+            None => o.push_str(",\"fault_seed\":null}"),
+        }
+
+        let j = &self.job;
+        let _ = write!(
+            o,
+            ",\"job\":{{\"num_maps\":{},\"num_reducers\":{},\"input_bytes\":{},\
+             \"map_wall_nanos\":{},\"reduce_wall_nanos\":{}}}",
+            clamp(j.num_maps),
+            clamp(j.num_reducers),
+            clamp(j.input_bytes),
+            clamp(j.map_wall_nanos),
+            clamp(j.reduce_wall_nanos)
+        );
+
+        o.push_str(",\"counters\":{");
+        for (i, counter) in ALL_COUNTERS.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            let _ = write!(
+                o,
+                "\"{}\":{}",
+                counter.name(),
+                clamp(self.counters.get(*counter))
+            );
+        }
+        o.push('}');
+
+        o.push_str(",\"phases\":{");
+        for (i, (phase, roll)) in ALL_PHASES.iter().zip(&self.phases).enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            let _ = write!(
+                o,
+                "\"{}\":{{\"count\":{},\"wall_ns\":{},\"cpu_ns\":{}}}",
+                phase.name(),
+                clamp(roll.count),
+                clamp(roll.wall_ns),
+                clamp(roll.cpu_ns)
+            );
+        }
+        o.push('}');
+
+        o.push_str(",\"histograms\":{");
+        for (i, h) in self.hists.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            let _ = write!(
+                o,
+                "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+                h.metric.name(),
+                clamp(h.count),
+                clamp(h.sum),
+                clamp(h.min),
+                clamp(h.max)
+            );
+            for (k, (idx, n)) in h.buckets.iter().enumerate() {
+                if k > 0 {
+                    o.push(',');
+                }
+                let _ = write!(o, "[{},{}]", idx, clamp(*n));
+            }
+            o.push_str("]}");
+        }
+        o.push_str("}}");
+        o
+    }
+}
+
+#[derive(Debug, Default)]
+struct SinkInner {
+    path: Option<PathBuf>,
+    records: Vec<LedgerRecord>,
+}
+
+/// Shared append-only destination for ledger records. Cloning shares
+/// the sink; with a path configured every append also writes one JSON
+/// line to the file (created on first append).
+#[derive(Clone, Default)]
+pub struct LedgerSink {
+    inner: Arc<Mutex<SinkInner>>,
+}
+
+impl LedgerSink {
+    /// An in-memory sink (records are only kept in the process).
+    pub fn new() -> LedgerSink {
+        LedgerSink::default()
+    }
+
+    /// A sink that appends each record as a JSON line to `path`.
+    pub fn with_path(path: impl Into<PathBuf>) -> LedgerSink {
+        LedgerSink {
+            inner: Arc::new(Mutex::new(SinkInner {
+                path: Some(path.into()),
+                records: Vec::new(),
+            })),
+        }
+    }
+
+    /// Append a record, writing it through to the file if one is set.
+    pub fn append(&self, record: LedgerRecord) -> std::io::Result<()> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(path) = &inner.path {
+            let mut file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)?;
+            file.write_all(record.to_json_line().as_bytes())?;
+            file.write_all(b"\n")?;
+        }
+        inner.records.push(record);
+        Ok(())
+    }
+
+    /// All records appended so far (copies).
+    pub fn records(&self) -> Vec<LedgerRecord> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .records
+            .clone()
+    }
+
+    /// Number of records appended so far.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .records
+            .len()
+    }
+
+    /// Whether no record has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for LedgerSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        f.debug_struct("LedgerSink")
+            .field("path", &inner.path)
+            .field("records", &inner.records.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::{Counter, Counters};
+
+    fn sample_record() -> LedgerRecord {
+        let counters = Counters::new();
+        counters.add(Counter::MapOutputBytes, 1234);
+        counters.add(Counter::ShuffleBytes, u64::MAX);
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(7);
+        h.record(1 << 40);
+        LedgerRecord {
+            label: "unit \"test\"".into(),
+            clock: clock_name().into(),
+            host_cpus: host_cpus(),
+            config: LedgerConfig {
+                codec: "identity".into(),
+                block_kib: 0,
+                num_reducers: 3,
+                map_slots: 2,
+                reduce_slots: 2,
+                spill_buffer_bytes: 1024,
+                framing: "sequence_file".into(),
+                ifile_version: 2,
+                combiner: true,
+                task_retries: 1,
+                fault_seed: Some(42),
+            },
+            job: LedgerJob {
+                num_maps: 4,
+                num_reducers: 3,
+                input_bytes: 1 << 20,
+                map_wall_nanos: 5_000,
+                reduce_wall_nanos: 6_000,
+            },
+            counters: counters.snapshot(),
+            phases: [PhaseRollup::default(); NUM_PHASES],
+            hists: vec![LedgerHist::from_histogram(Metric::SegRawBytes, &h).expect("non-empty")],
+        }
+    }
+
+    #[test]
+    fn encoding_is_single_line_with_schema() {
+        let line = sample_record().to_json_line();
+        assert!(!line.contains('\n'), "ledger records are JSON lines");
+        assert!(line.starts_with(&format!("{{\"schema\":\"{LEDGER_SCHEMA}\"")));
+        assert!(line.contains("\"label\":\"unit \\\"test\\\"\""));
+        assert!(line.contains("\"fault_seed\":42"));
+        assert!(line.contains("\"segment_raw_bytes\""));
+    }
+
+    #[test]
+    fn oversized_integers_clamp_to_exact_f64_range() {
+        let line = sample_record().to_json_line();
+        assert!(
+            line.contains(&format!("\"shuffle_bytes\":{LEDGER_MAX_EXACT}")),
+            "u64::MAX must clamp to 2^53: {line}"
+        );
+        assert!((LEDGER_MAX_EXACT as f64) as u64 == LEDGER_MAX_EXACT);
+    }
+
+    #[test]
+    fn empty_histograms_are_omitted() {
+        let h = Histogram::new();
+        assert!(LedgerHist::from_histogram(Metric::SegRawBytes, &h).is_none());
+    }
+
+    #[test]
+    fn sink_collects_and_writes_lines() {
+        let dir = std::env::temp_dir().join(format!("scihadoop-ledger-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("ledger.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let sink = LedgerSink::with_path(&path);
+        assert!(sink.is_empty());
+        sink.append(sample_record()).expect("append");
+        sink.append(sample_record()).expect("append");
+        assert_eq!(sink.len(), 2);
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(text.lines().count(), 2);
+        assert_eq!(text.lines().next().unwrap(), sample_record().to_json_line());
+        let _ = std::fs::remove_file(&path);
+    }
+}

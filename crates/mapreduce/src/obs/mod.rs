@@ -24,15 +24,22 @@
 //! without the `obs` feature) compiles every recording hook down to a
 //! no-op while keeping the API present.
 
+mod drift;
 mod export;
 mod hist;
+mod ledger;
 mod report;
 mod span;
 mod trace;
 
+pub use drift::{DriftReport, DriftRow};
 pub use export::{chrome_trace_json, metrics_json, METRICS_SCHEMA};
 pub use hist::{
     bucket_index, Histogram, Metric, MetricsBank, ALL_METRICS, NUM_BUCKETS, NUM_METRICS,
+};
+pub use ledger::{
+    clock_name, host_cpus, LedgerConfig, LedgerHist, LedgerJob, LedgerRecord, LedgerSink,
+    PhaseRollup, LEDGER_MAX_EXACT, LEDGER_SCHEMA,
 };
 pub use report::{observe_segment, IntermediateBreakdown};
 pub use span::{Phase, SpanGuard, TraceEvent, ALL_PHASES, NUM_PHASES};

@@ -355,11 +355,22 @@ pub fn run_job(
         map_wall_nanos,
         reduce_wall_nanos,
     );
-    Ok(JobResult {
+    let result = JobResult {
         outputs,
         counters: snapshot,
         stats,
-    })
+    };
+    // Run-ledger hook: one record per completed job. The runner has no
+    // drained trace (the recorder, if any, is still live and owned by
+    // the caller), so phase rollups and histograms stay empty here;
+    // callers that own the recorder build richer records themselves via
+    // `LedgerRecord::from_run(.., Some(&trace))`.
+    if let Some(sink) = &config.ledger {
+        let record = obs::LedgerRecord::from_run(&config.ledger_label, config, &result, None);
+        sink.append(record)
+            .map_err(|e| MrError::Config(format!("ledger append failed: {e}")))?;
+    }
+    Ok(result)
 }
 
 /// Build an intermediate-segment writer for the job's configured IFile
@@ -847,6 +858,29 @@ mod tests {
         assert_eq!(result.counters.get(Counter::MapInputRecords), 7);
         assert_eq!(result.counters.get(Counter::MapOutputRecords), 7);
         assert_eq!(result.counters.get(Counter::ReduceInputGroups), 4);
+    }
+
+    #[test]
+    fn completed_jobs_append_ledger_records() {
+        let sink = crate::obs::LedgerSink::new();
+        let words = ["a", "b", "a", "c"];
+        let result = count_job(
+            JobConfig::default().with_ledger(sink.clone(), "unit-run"),
+            &words,
+        );
+        let records = sink.records();
+        assert_eq!(records.len(), 1, "one record per completed job");
+        let rec = &records[0];
+        assert_eq!(rec.label, "unit-run");
+        assert_eq!(rec.config.codec, "identity");
+        assert_eq!(rec.job.num_maps as usize, result.stats.num_maps);
+        assert_eq!(
+            rec.counters.get(Counter::MapInputRecords),
+            result.counters.get(Counter::MapInputRecords)
+        );
+        // The runner owns no drained trace, so rollups stay empty.
+        assert!(rec.phases.iter().all(|p| p.count == 0));
+        assert!(rec.hists.is_empty());
     }
 
     #[test]

@@ -1,0 +1,66 @@
+//! Property tests for the obs histogram algebra.
+//!
+//! Per-thread sinks are merged in whatever order threads finish and
+//! traces are merged in whatever order jobs ran, so `Histogram::merge`
+//! must be commutative and associative with the empty histogram as
+//! identity — and merging two histograms must equal recording the
+//! concatenated sample streams. All four hold even under saturation:
+//! the saturating sum is `min(true sum, u64::MAX)`, which is itself
+//! order-independent for non-negative samples.
+
+use proptest::prelude::*;
+use scihadoop_mapreduce::obs::Histogram;
+
+fn from_samples(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+/// Full observable state of a histogram.
+fn key(h: &Histogram) -> ([u64; 65], u64, u64, u64, u64) {
+    (*h.buckets(), h.count(), h.sum(), h.min(), h.max())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn merge_is_commutative_associative_with_identity(
+        a in proptest::collection::vec(any::<u64>(), 0..48),
+        b in proptest::collection::vec(any::<u64>(), 0..48),
+        c in proptest::collection::vec(any::<u64>(), 0..48),
+    ) {
+        let ha = from_samples(&a);
+        let hb = from_samples(&b);
+        let hc = from_samples(&c);
+
+        // Commutative: a ∪ b == b ∪ a.
+        let mut ab = from_samples(&a);
+        ab.merge(&hb);
+        let mut ba = from_samples(&b);
+        ba.merge(&ha);
+        prop_assert_eq!(key(&ab), key(&ba));
+
+        // Associative: (a ∪ b) ∪ c == a ∪ (b ∪ c).
+        let mut left = from_samples(&a);
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = from_samples(&b);
+        bc.merge(&hc);
+        let mut right = from_samples(&a);
+        right.merge(&bc);
+        prop_assert_eq!(key(&left), key(&right));
+
+        // The empty histogram is the identity.
+        let mut with_id = from_samples(&a);
+        with_id.merge(&Histogram::new());
+        prop_assert_eq!(key(&with_id), key(&ha));
+
+        // Merging equals recording the concatenated streams.
+        let concat: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(key(&ab), key(&from_samples(&concat)));
+    }
+}
