@@ -21,9 +21,14 @@
 //!   tuning     §III-A detector tuning
 //!   scaling    per-cell byte-scaling sanity check
 //!   fault_storm  fault-injected run vs clean run (byte-identical recovery)
-//!   all        everything above (default)
+//!   dist       multi-process shuffle service vs local engine (clean and
+//!              fault-seeded runs, byte-identical outputs asserted)
+//!   all        everything above except dist (default)
 //!
 //! --small runs reduced problem sizes (CI-friendly).
+//! --workers <n> sets the worker-process count for dist (default 3);
+//!   --transport <tcp|uds> picks the socket family (default uds).
+//!   Either flag implies the dist experiment when none is named.
 //! --codec <name> sets the intermediate-data codec for fault_storm,
 //!   composed from: [block-][transform+](identity|rle|deflate|bzip),
 //!   e.g. "block-transform+deflate" (the parallel block pipeline over
@@ -114,6 +119,17 @@ impl Sizes {
 }
 
 fn main() {
+    // Spawned worker processes re-execute this binary with the
+    // SCIHADOOP_DIST_* environment set; divert before any argument
+    // parsing (workers are spawned with no arguments).
+    match scihadoop_mapreduce::dist::worker_env() {
+        Ok(Some(env)) => std::process::exit(bench::dist_worker(&env)),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("bad worker environment: {e}");
+            std::process::exit(2);
+        }
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let small = args.iter().any(|a| a == "--small");
     let flag_value = |name: &str| -> Option<String> {
@@ -167,9 +183,27 @@ fn main() {
             })
         })
         .unwrap_or_default();
-    let codec = flag_value("--codec").map(|name| {
-        bench::codec_by_name_with_block_size(&name, block_kib * 1024).unwrap_or_else(|e| {
+    let codec_name = flag_value("--codec");
+    let codec = codec_name.as_ref().map(|name| {
+        bench::codec_by_name_with_block_size(name, block_kib * 1024).unwrap_or_else(|e| {
             eprintln!("bad --codec: {e}");
+            std::process::exit(2);
+        })
+    });
+    let workers: Option<usize> = flag_value("--workers").map(|v| {
+        let n: usize = v.parse().unwrap_or_else(|_| {
+            eprintln!("--workers requires an unsigned integer, got {v:?}");
+            std::process::exit(2);
+        });
+        if n == 0 {
+            eprintln!("--workers must be non-zero");
+            std::process::exit(2);
+        }
+        n
+    });
+    let transport = flag_value("--transport").map(|v| {
+        scihadoop_mapreduce::Transport::parse(&v).unwrap_or_else(|e| {
+            eprintln!("bad --transport: {e}");
             std::process::exit(2);
         })
     });
@@ -177,7 +211,9 @@ fn main() {
     // only --trace/--metrics/--ledger given, default to the trace
     // experiment rather than the full suite; with only --reconcile, run
     // no experiment at all (reconcile is a standalone action).
-    let mut which = if trace_path.is_some() || metrics_path.is_some() || ledger_path.is_some() {
+    let mut which = if workers.is_some() || transport.is_some() {
+        "dist".to_string()
+    } else if trace_path.is_some() || metrics_path.is_some() || ledger_path.is_some() {
         "trace".to_string()
     } else if reconcile_path.is_some() {
         "none".to_string()
@@ -199,6 +235,8 @@ fn main() {
             || a == "--codec"
             || a == "--block-kib"
             || a == "--ifile-version"
+            || a == "--workers"
+            || a == "--transport"
         {
             skip_next = true;
         } else if !a.starts_with("--") {
@@ -331,6 +369,53 @@ fn main() {
             .render()
         );
         if let Some(sink) = &storm_sink {
+            println!(
+                "appended {} run records to {}",
+                sink.len(),
+                ledger_path.as_deref().unwrap_or_default()
+            );
+        }
+        ran = true;
+    }
+
+    // dist spawns worker processes, so it only runs when asked for
+    // explicitly (by name or via --workers/--transport), never as part
+    // of `all`.
+    if which == "dist" {
+        if fault_config.attempt_cap > retries {
+            eprintln!(
+                "fault plan cap {} exceeds --retries {}; completion is not guaranteed",
+                fault_config.attempt_cap, retries
+            );
+            std::process::exit(2);
+        }
+        let sink = ledger_path
+            .as_ref()
+            .map(scihadoop_mapreduce::obs::LedgerSink::with_path);
+        let workers = workers.unwrap_or(3);
+        let transport = transport.unwrap_or_default();
+        let clean = bench::DistJobSpec {
+            records: s.storm_records,
+            ifile: ifile_version,
+            codec: codec_name.clone().unwrap_or_else(|| "identity".into()),
+            block_kib,
+            ..bench::DistJobSpec::default()
+        };
+        let faulted = bench::DistJobSpec {
+            retries,
+            backoff_us: 50,
+            faults: Some(fault_spec.clone()),
+            ..clean.clone()
+        };
+        println!(
+            "{}",
+            bench::dist_equivalence(&clean, workers, transport, &[], sink.as_ref()).render()
+        );
+        println!(
+            "{}",
+            bench::dist_equivalence(&faulted, workers, transport, &[], sink.as_ref()).render()
+        );
+        if let Some(sink) = &sink {
             println!(
                 "appended {} run records to {}",
                 sink.len(),

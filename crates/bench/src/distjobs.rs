@@ -1,0 +1,264 @@
+//! Self-describing job specs for multi-process runs.
+//!
+//! The distributed runtime re-executes the current binary to get worker
+//! processes, so the coordinator and every worker must reconstruct the
+//! *same* `(JobConfig, Mapper, Reducer)` triple from nothing but the
+//! opaque payload carried in `SCIHADOOP_DIST_JOB`. [`DistJobSpec`] is
+//! that payload: a `key=value;…` string naming the workload size and
+//! every config knob that affects bytes on the wire (codec, IFile
+//! version, fault plan, retry budget). The workload itself is fixed —
+//! the same wordcount the fault-storm experiment runs — because the
+//! point of the spec is equivalence testing, not generality.
+//!
+//! [`dist_worker`] is the bootstrap a binary hands control to when
+//! [`scihadoop_mapreduce::dist::worker_env`] detects the worker
+//! environment.
+
+use crate::codecs::codec_by_name_with_block_size;
+use scihadoop_compress::DEFAULT_BLOCK_SIZE;
+use scihadoop_mapreduce::{
+    Emit, FaultConfig, FaultPlan, FnMapper, FnReducer, Framing, IFileVersion, InputSplit,
+    JobConfig, KvPair, Mapper, MrError, Reducer, WorkerEnv,
+};
+
+/// Everything a worker process needs to rebuild the benchmark job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistJobSpec {
+    /// Number of input records (`word-{i % 97}` wordcount keys).
+    pub records: usize,
+    /// Reducer (partition) count.
+    pub reducers: usize,
+    /// Map slots per worker process.
+    pub map_slots: usize,
+    /// Reduce slots per worker process.
+    pub reduce_slots: usize,
+    /// Intermediate-file format version.
+    pub ifile: IFileVersion,
+    /// Composed codec name for `codec_by_name_with_block_size`.
+    pub codec: String,
+    /// Block size for block-framed codecs, in KiB.
+    pub block_kib: usize,
+    /// Per-task retry budget.
+    pub retries: u32,
+    /// Retry backoff base, in microseconds.
+    pub backoff_us: u64,
+    /// Optional fault-plan spec (`FaultConfig::parse` grammar). The
+    /// value may itself contain commas, which is why the spec string is
+    /// `;`-separated.
+    pub faults: Option<String>,
+}
+
+impl Default for DistJobSpec {
+    fn default() -> Self {
+        DistJobSpec {
+            records: 4096,
+            reducers: 3,
+            map_slots: 2,
+            reduce_slots: 2,
+            ifile: IFileVersion::default(),
+            codec: "identity".to_string(),
+            block_kib: DEFAULT_BLOCK_SIZE / 1024,
+            retries: 0,
+            backoff_us: 50,
+            faults: None,
+        }
+    }
+}
+
+impl DistJobSpec {
+    /// Serialize to the `key=value;…` payload form. Round-trips through
+    /// [`DistJobSpec::parse`].
+    pub fn to_spec_string(&self) -> String {
+        let mut s = format!(
+            "records={};reducers={};map_slots={};reduce_slots={};ifile={};codec={};block_kib={};retries={};backoff_us={}",
+            self.records,
+            self.reducers,
+            self.map_slots,
+            self.reduce_slots,
+            self.ifile.number(),
+            self.codec,
+            self.block_kib,
+            self.retries,
+            self.backoff_us,
+        );
+        if let Some(faults) = &self.faults {
+            s.push_str(";faults=");
+            s.push_str(faults);
+        }
+        s
+    }
+
+    /// Parse the payload form. Unknown keys are errors: a worker running
+    /// a spec it only half-understands would silently diverge from the
+    /// coordinator.
+    pub fn parse(spec: &str) -> Result<DistJobSpec, MrError> {
+        let mut out = DistJobSpec::default();
+        for part in spec.split(';').filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| MrError::Config(format!("bad dist job spec field {part:?}")))?;
+            let int = |what: &str| {
+                value
+                    .parse::<u64>()
+                    .map_err(|e| MrError::Config(format!("bad {what} {value:?}: {e}")))
+            };
+            match key {
+                "records" => out.records = int("records")? as usize,
+                "reducers" => out.reducers = int("reducers")? as usize,
+                "map_slots" => out.map_slots = int("map_slots")? as usize,
+                "reduce_slots" => out.reduce_slots = int("reduce_slots")? as usize,
+                "ifile" => out.ifile = IFileVersion::parse(value).map_err(MrError::Config)?,
+                "codec" => out.codec = value.to_string(),
+                "block_kib" => out.block_kib = int("block_kib")? as usize,
+                "retries" => out.retries = int("retries")? as u32,
+                "backoff_us" => out.backoff_us = int("backoff_us")?,
+                "faults" => out.faults = Some(value.to_string()),
+                other => {
+                    return Err(MrError::Config(format!(
+                        "unknown dist job spec key {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Build the `JobConfig` both sides run under. Deterministic in the
+    /// spec: the coordinator's config and every worker's config are
+    /// interchangeable.
+    pub fn build_config(&self) -> Result<JobConfig, MrError> {
+        let codec = codec_by_name_with_block_size(&self.codec, self.block_kib * 1024)
+            .map_err(MrError::Config)?;
+        let mut config = JobConfig::default()
+            .with_reducers(self.reducers)
+            .with_slots(self.map_slots, self.reduce_slots)
+            .with_framing(Framing::IFile)
+            .with_ifile_version(self.ifile)
+            .with_codec(codec)
+            .with_retries(self.retries)
+            .with_retry_backoff(std::time::Duration::from_micros(self.backoff_us));
+        if let Some(faults) = &self.faults {
+            config = config.with_faults(FaultPlan::new(FaultConfig::parse(faults)?));
+        }
+        Ok(config)
+    }
+
+    /// The fixed wordcount input: `records` keys cycling through 97
+    /// distinct words, split into 128-record input splits — the same
+    /// shape the fault-storm experiment shuffles.
+    pub fn make_splits(&self) -> Vec<InputSplit> {
+        (0..self.records)
+            .map(|i| format!("word-{:05}", i % 97))
+            .collect::<Vec<_>>()
+            .chunks(128)
+            .map(|chunk| {
+                InputSplit::new(
+                    chunk
+                        .iter()
+                        .map(|w| KvPair::new(w.as_bytes().to_vec(), vec![1u8]))
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    /// The identity-emit mapper every spec runs.
+    pub fn mapper() -> impl Mapper {
+        FnMapper(|k: &[u8], v: &[u8], out: &mut dyn Emit| out.emit(k, v))
+    }
+
+    /// The summing reducer every spec runs (1-byte raw counts or 8-byte
+    /// big-endian partial sums in, 8-byte big-endian totals out).
+    pub fn reducer() -> impl Reducer {
+        FnReducer(crate::experiments::sum_values)
+    }
+}
+
+/// Worker-process bootstrap: rebuild the job from the environment's
+/// payload and serve tasks until the coordinator says `Shutdown`.
+/// Returns a process exit code; callers (`repro` main, test harness
+/// entry points) should `std::process::exit` with it.
+pub fn dist_worker(env: &WorkerEnv) -> i32 {
+    let run = || -> Result<(), MrError> {
+        let spec = DistJobSpec::parse(&env.job_payload)?;
+        let config = spec.build_config()?;
+        scihadoop_mapreduce::run_worker(
+            env.transport,
+            &env.addr,
+            env.worker,
+            &config,
+            &DistJobSpec::mapper(),
+            &DistJobSpec::reducer(),
+        )
+    };
+    match run() {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("dist worker {}: {e}", env.worker);
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_string_roundtrips_including_faults() {
+        let spec = DistJobSpec {
+            records: 2048,
+            reducers: 4,
+            codec: "block-transform+deflate".to_string(),
+            block_kib: 16,
+            retries: 4,
+            faults: Some("seed=42,map=0.4,corrupt=0.3,cap=2".to_string()),
+            ..DistJobSpec::default()
+        };
+        let s = spec.to_spec_string();
+        assert_eq!(DistJobSpec::parse(&s).unwrap(), spec);
+        // The fault value's commas survive the `;` field separator.
+        assert!(s.contains("faults=seed=42,map=0.4,corrupt=0.3,cap=2"));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_keys_and_bad_fields() {
+        assert!(DistJobSpec::parse("frobnicate=1").is_err());
+        assert!(DistJobSpec::parse("records").is_err());
+        assert!(DistJobSpec::parse("records=many").is_err());
+    }
+
+    #[test]
+    fn build_config_honors_the_spec() {
+        let spec = DistJobSpec {
+            reducers: 5,
+            ifile: IFileVersion::V3,
+            codec: "rle".to_string(),
+            faults: Some("seed=7,map=0.5".to_string()),
+            retries: 2,
+            ..DistJobSpec::default()
+        };
+        let config = spec.build_config().unwrap();
+        assert_eq!(config.num_reducers, 5);
+        assert_eq!(config.task_retries, 2);
+        assert!(config.faults.is_some());
+        assert!(DistJobSpec {
+            codec: "no-such-codec".to_string(),
+            ..DistJobSpec::default()
+        }
+        .build_config()
+        .is_err());
+    }
+
+    #[test]
+    fn splits_cover_all_records() {
+        let spec = DistJobSpec {
+            records: 300,
+            ..DistJobSpec::default()
+        };
+        let splits = spec.make_splits();
+        assert_eq!(splits.len(), 3);
+        let total: usize = splits.iter().map(|s| s.records.len()).sum();
+        assert_eq!(total, 300);
+    }
+}

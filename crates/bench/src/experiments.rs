@@ -10,8 +10,8 @@ use scihadoop_grid::{BoundingBox, Coord, GridError, Shape};
 use scihadoop_mapreduce::obs::{self, IntermediateBreakdown, Recorder, ALL_PHASES};
 use scihadoop_mapreduce::record::{Emit, FnMapper, FnReducer, InputSplit};
 use scihadoop_mapreduce::{
-    Counter, CounterSnapshot, FaultConfig, FaultPlan, Framing, IFileVersion, IFileWriter, Job,
-    JobConfig, JobStats, KvPair, Trace,
+    run_distributed, Counter, CounterSnapshot, DistConfig, FaultConfig, FaultPlan, Framing,
+    IFileVersion, IFileWriter, Job, JobConfig, JobStats, KvPair, Trace, Transport,
 };
 use scihadoop_queries::{
     median::{MedianRun, SlidingMedian, SlidingMedianVariant},
@@ -573,10 +573,11 @@ pub fn cluster_experiment(n: u32, splits: usize) -> (Table, Vec<ClusterRow>) {
     (table, rows)
 }
 
-/// Sum reducer/combiner shared by the traced-pipeline wordcount: values
-/// are either raw 1-byte counts or 8-byte big-endian partial sums from a
-/// previous combine pass.
-fn sum_values(k: &[u8], values: &[&[u8]], out: &mut dyn Emit) {
+/// Sum reducer/combiner shared by the traced-pipeline wordcount and the
+/// distributed job specs (`crate::distjobs`): values are either raw
+/// 1-byte counts or 8-byte big-endian partial sums from a previous
+/// combine pass.
+pub(crate) fn sum_values(k: &[u8], values: &[&[u8]], out: &mut dyn Emit) {
     let total: u64 = values
         .iter()
         .map(|v| {
@@ -802,7 +803,9 @@ pub fn drift_table(title: &str, records: &[obs::LedgerRecord]) -> (Table, Vec<ob
         reports.push(report);
     }
     table.note("byte rows are exact identities (error +0.0%); time rows show model drift");
-    table.note("spec: local_host — measured slots, effectively unbounded disk/net bandwidth");
+    table.note(
+        "spec: local_host — measured slots; net bandwidth measured from socket transfer time when the record is a distributed run, unbounded otherwise",
+    );
     (table, reports)
 }
 
@@ -956,6 +959,8 @@ pub fn fault_storm_with_codec(
         Counter::ReduceFnNanos,
         Counter::SpillNanos,
         Counter::MergeNanos,
+        Counter::ShuffleFetchWaitNanos,
+        Counter::ShuffleTransferNanos,
     ];
     for c in scihadoop_mapreduce::ALL_COUNTERS {
         if !bookkeeping.contains(&c) {
@@ -1336,6 +1341,134 @@ pub fn scaling_check(sides: &[u32]) -> Result<Table, GridError> {
     }
     table.note("shape target: bytes/cell approximately constant (slight edge effects)");
     Ok(table)
+}
+
+/// Distributed-runtime equivalence: run one [`DistJobSpec`] through the
+/// local thread pool and through [`run_distributed`] (real worker
+/// processes over sockets), then assert the two runs are byte-identical
+/// — same outputs, same record counts, same shuffle bytes, same fault
+/// and checksum tallies. Panics on any divergence: this experiment *is*
+/// the acceptance test for the multi-process shuffle service.
+///
+/// The table reports what only the distributed run can measure — real
+/// socket transfer time, coordinator fetch-wait (time reduce serving
+/// blocked on unfinished maps, i.e. the pipelined fetch-while-map
+/// overlap), and the measured shuffle bandwidth the cluster model picks
+/// up via `ClusterSpec::local_host`.
+///
+/// When `ledger` is given, both runs append records (`dist_local` and
+/// `dist_<transport>`), so `repro --reconcile` can compare the cost
+/// model against a real network+disk run.
+pub fn dist_equivalence(
+    spec: &crate::distjobs::DistJobSpec,
+    workers: usize,
+    transport: Transport,
+    worker_args: &[&str],
+    ledger: Option<&obs::LedgerSink>,
+) -> Table {
+    use crate::distjobs::DistJobSpec;
+
+    let with_sink = |config: JobConfig, label: &str| match ledger {
+        Some(sink) => config.with_ledger(sink.clone(), label),
+        None => config,
+    };
+    let base = spec.build_config().expect("spec builds a config");
+
+    let local = Job::new(with_sink(base.clone(), "dist_local"))
+        .run(
+            spec.make_splits(),
+            Arc::new(DistJobSpec::mapper()),
+            Arc::new(DistJobSpec::reducer()),
+        )
+        .expect("local run succeeds");
+
+    let dist = DistConfig::default()
+        .with_workers(workers)
+        .with_transport(transport)
+        .with_worker_args(worker_args)
+        .with_job_payload(&spec.to_spec_string());
+    let t0 = Instant::now();
+    let remote = run_distributed(
+        &with_sink(base, &format!("dist_{}", transport.name())),
+        &dist,
+        spec.make_splits(),
+    )
+    .expect("distributed run succeeds");
+    let dist_secs = t0.elapsed().as_secs_f64();
+
+    assert_eq!(
+        local.outputs, remote.outputs,
+        "distributed outputs must be byte-identical to the local engine"
+    );
+    for c in [
+        Counter::MapInputRecords,
+        Counter::MapOutputRecords,
+        Counter::ReduceInputRecords,
+        Counter::ReduceOutputRecords,
+        Counter::ShuffleBytes,
+        Counter::MapOutputMaterializedBytes,
+        Counter::FaultsInjected,
+        Counter::ChecksumFailures,
+        Counter::TaskRetries,
+    ] {
+        assert_eq!(
+            local.counters.get(c),
+            remote.counters.get(c),
+            "counter {} must match between local and distributed runs",
+            c.name()
+        );
+    }
+
+    let wait = remote.counters.get(Counter::ShuffleFetchWaitNanos);
+    let transfer = remote.counters.get(Counter::ShuffleTransferNanos);
+    let bytes = remote.counters.get(Counter::ShuffleBytes);
+    let mbps = if transfer > 0 {
+        (bytes as f64 * 1000.0) / transfer as f64
+    } else {
+        0.0
+    };
+    let ms = |nanos: u64| format!("{:.2} ms", nanos as f64 / 1e6);
+    let mut table = Table::new(
+        &format!(
+            "distributed equivalence: {} workers over {}",
+            workers,
+            transport.name()
+        ),
+        &[
+            "run",
+            "wall",
+            "shuffle",
+            "fetch wait",
+            "transfer",
+            "net MB/s",
+        ],
+    );
+    table.row(&[
+        "local threads".to_string(),
+        fmt_secs((local.stats.map_wall_nanos + local.stats.reduce_wall_nanos) as f64 / 1e9),
+        fmt_bytes(local.counters.get(Counter::ShuffleBytes)),
+        "—".to_string(),
+        "—".to_string(),
+        "—".to_string(),
+    ]);
+    table.row(&[
+        format!("{} procs / {}", workers, transport.name()),
+        fmt_secs(dist_secs),
+        fmt_bytes(bytes),
+        ms(wait),
+        ms(transfer),
+        format!("{mbps:.0}"),
+    ]);
+    if let Some(faults) = &spec.faults {
+        table.note(&format!(
+            "fault plan {faults:?}: {} injected, {} checksum failures, {} retries — identical tallies both runs",
+            remote.counters.get(Counter::FaultsInjected),
+            remote.counters.get(Counter::ChecksumFailures),
+            remote.counters.get(Counter::TaskRetries),
+        ));
+    }
+    table.note("outputs and semantic counters byte-identical local vs distributed (asserted)");
+    table
 }
 
 #[cfg(test)]

@@ -5,6 +5,7 @@
 //! benches time. All workloads are deterministic (seeded).
 
 pub mod codecs;
+pub mod distjobs;
 pub mod experiments;
 pub mod json;
 pub mod ledger;
@@ -13,5 +14,6 @@ pub mod report;
 pub mod workloads;
 
 pub use codecs::{codec_by_name, codec_by_name_with_block_size};
+pub use distjobs::{dist_worker, DistJobSpec};
 pub use experiments::*;
 pub use report::Table;

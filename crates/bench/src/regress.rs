@@ -150,6 +150,13 @@ const DETERMINISTIC_COUNTERS: &[Counter] = &[
 /// so the bar is high and only slowdowns count.
 pub const LEDGER_WALL_SLOWDOWN_TOLERANCE: f64 = 0.75;
 
+/// Ceiling on the share of distributed reduce-side wall time the
+/// coordinator spent blocked waiting for unfinished map output
+/// (`shuffle_fetch_wait_percent`). Fetch-while-map overlap means *some*
+/// waiting is the design working; waiting for nearly the whole reduce
+/// phase means the pipelining has regressed to a serial barrier.
+pub const SHUFFLE_FETCH_WAIT_MAX_PERCENT: f64 = 90.0;
+
 /// One evaluated check.
 #[derive(Debug, Clone)]
 pub struct GateCheck {
@@ -349,6 +356,33 @@ pub fn check_ledger_history(records: &[LedgerRecord]) -> Vec<GateCheck> {
     out
 }
 
+/// Gate the distributed runs' shuffle pipelining: for every record that
+/// carries fetch-wait time (only distributed coordinators charge
+/// `ShuffleFetchWaitNanos`), the wait as a share of aggregate
+/// reduce-slot wall time must stay under
+/// [`SHUFFLE_FETCH_WAIT_MAX_PERCENT`]. In-process records (wait = 0)
+/// produce no check.
+pub fn check_shuffle_wait(records: &[LedgerRecord]) -> Vec<GateCheck> {
+    let mut out = Vec::new();
+    for r in records {
+        let wait = r.counters.get(Counter::ShuffleFetchWaitNanos);
+        if wait == 0 {
+            continue;
+        }
+        let slot_wall = (r.job.reduce_wall_nanos * r.config.reduce_slots.max(1)).max(1);
+        let percent = 100.0 * wait as f64 / slot_wall as f64;
+        let name = format!("ledger · {} · shuffle_fetch_wait_percent", r.label);
+        let value = format!("{percent:.1}% ({wait} ns of {slot_wall} slot-ns)");
+        let limit = format!("<= {SHUFFLE_FETCH_WAIT_MAX_PERCENT}");
+        if percent <= SHUFFLE_FETCH_WAIT_MAX_PERCENT {
+            out.push(GateCheck::pass(name, value, limit));
+        } else {
+            out.push(GateCheck::fail(name, value, limit));
+        }
+    }
+    out
+}
+
 /// The four committed BENCH baselines.
 pub const BENCH_FILES: &[&str] = &[
     "BENCH_obs.json",
@@ -424,7 +458,10 @@ pub fn run_gate(fresh_dir: &Path, baseline_dir: &Path, ledger: Option<&Path>) ->
                     e,
                     "parseable records".into(),
                 )),
-                Ok(records) => out.extend(check_ledger_history(&records)),
+                Ok(records) => {
+                    out.extend(check_ledger_history(&records));
+                    out.extend(check_shuffle_wait(&records));
+                }
             },
         }
     }
@@ -552,6 +589,30 @@ mod tests {
             .iter()
             .filter(|c| c.name.contains("wall"))
             .all(|c| c.ok));
+    }
+
+    #[test]
+    fn shuffle_wait_budget_gates_only_distributed_records() {
+        // In-process record: no fetch-wait counter, no check.
+        assert!(check_shuffle_wait(&[record("local", 100, 1000)]).is_empty());
+
+        let dist = |wait: u64, reduce_wall: u64| {
+            use scihadoop_mapreduce::Counters;
+            let mut r = record("dist", 100, 10);
+            r.job.reduce_wall_nanos = reduce_wall;
+            let counters = Counters::new();
+            counters.add(Counter::ShuffleFetchWaitNanos, wait);
+            r.counters = counters.snapshot();
+            r
+        };
+        // 500 ns waited of 2 slots × 1000 ns = 25%: fine.
+        let ok = check_shuffle_wait(&[dist(500, 1000)]);
+        assert_eq!(ok.len(), 1);
+        assert!(ok[0].ok, "{ok:?}");
+        // 1950 of 2000 slot-ns = 97.5%: the pipelining regressed.
+        let bad = check_shuffle_wait(&[dist(1950, 1000)]);
+        assert!(!bad[0].ok, "{bad:?}");
+        assert!(bad[0].name.contains("shuffle_fetch_wait_percent"));
     }
 
     #[test]

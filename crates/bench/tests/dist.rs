@@ -1,0 +1,167 @@
+//! Process-mode integration tests for the distributed runtime: real
+//! worker *processes* (spawned by re-executing this test binary with a
+//! libtest filter, rusty-fork style) over real sockets, pinned
+//! byte-identical to the single-process engine — clean and under a
+//! fault storm with wire corruption. Also the two-process
+//! `LedgerSink::append` interleave test: concurrent writers to one
+//! JSON-lines file must never tear a line.
+
+use scihadoop_bench::{dist_equivalence, DistJobSpec};
+use scihadoop_mapreduce::dist::worker_env;
+use scihadoop_mapreduce::obs::{LedgerRecord, LedgerSink};
+use scihadoop_mapreduce::{Job, Transport};
+use std::sync::Arc;
+
+/// Arguments that route a re-execution of this test binary straight
+/// into [`dist_worker_entry`] below.
+const WORKER_ARGS: &[&str] = &["dist_worker_entry", "--exact", "--nocapture"];
+
+/// Not a test of anything by itself: the worker-process entry point.
+/// When the coordinator re-executes this binary with the
+/// `SCIHADOOP_DIST_*` environment set and a libtest filter naming this
+/// function, it becomes the worker's `main`. Without the environment
+/// (i.e. under a normal `cargo test`) it is a no-op pass.
+#[test]
+fn dist_worker_entry() {
+    match worker_env().expect("worker environment parses") {
+        None => {}
+        Some(env) => std::process::exit(scihadoop_bench::dist_worker(&env)),
+    }
+}
+
+fn clean_spec() -> DistJobSpec {
+    DistJobSpec {
+        records: 2_000,
+        ..DistJobSpec::default()
+    }
+}
+
+fn storm_spec() -> DistJobSpec {
+    DistJobSpec {
+        records: 2_000,
+        retries: 4,
+        faults: Some("seed=42,map=0.4,reduce=0.3,corrupt=0.3,slow=0.1,slow_ms=1,cap=2".into()),
+        ..DistJobSpec::default()
+    }
+}
+
+// dist_equivalence asserts outputs and semantic counters are identical
+// between the local engine and the worker processes; these tests only
+// have to drive it under each transport/fault combination.
+
+#[test]
+fn three_tcp_worker_processes_match_the_local_engine() {
+    dist_equivalence(&clean_spec(), 3, Transport::Tcp, WORKER_ARGS, None);
+}
+
+#[cfg(unix)]
+#[test]
+fn three_uds_worker_processes_match_the_local_engine() {
+    dist_equivalence(&clean_spec(), 3, Transport::Uds, WORKER_ARGS, None);
+}
+
+#[test]
+fn fault_storm_with_wire_corruption_is_byte_identical_over_tcp() {
+    dist_equivalence(&storm_spec(), 3, Transport::Tcp, WORKER_ARGS, None);
+}
+
+#[cfg(unix)]
+#[test]
+fn fault_storm_with_wire_corruption_is_byte_identical_over_uds() {
+    let table = dist_equivalence(&storm_spec(), 3, Transport::Uds, WORKER_ARGS, None);
+    // The storm actually stormed: the fault note reports non-zero
+    // injections (tallies themselves are asserted inside).
+    assert!(
+        table.render().contains("injected"),
+        "fault note missing:\n{}",
+        table.render()
+    );
+}
+
+#[test]
+fn a_compressed_codec_survives_the_wire_byte_identically() {
+    let spec = DistJobSpec {
+        codec: "block-transform+deflate".into(),
+        block_kib: 16,
+        ..clean_spec()
+    };
+    dist_equivalence(&spec, 2, Transport::Tcp, WORKER_ARGS, None);
+}
+
+/// Environment variable carrying the interleave test's shared ledger
+/// path into [`ledger_writer_entry`] child processes.
+const ENV_LEDGER_PATH: &str = "SCIHADOOP_TEST_LEDGER_PATH";
+/// Records each writer process appends.
+const LEDGER_RECORDS_PER_WRITER: usize = 40;
+
+/// Second re-exec entry point: append many records to the shared ledger
+/// file as fast as possible, labelled by pid. No-op pass under a normal
+/// `cargo test`.
+#[test]
+fn ledger_writer_entry() {
+    let Ok(path) = std::env::var(ENV_LEDGER_PATH) else {
+        return;
+    };
+    let spec = DistJobSpec {
+        records: 128,
+        ..DistJobSpec::default()
+    };
+    let config = spec.build_config().expect("spec builds");
+    let result = Job::new(config.clone())
+        .run(
+            spec.make_splits(),
+            Arc::new(DistJobSpec::mapper()),
+            Arc::new(DistJobSpec::reducer()),
+        )
+        .expect("job runs");
+    let sink = LedgerSink::with_path(&path);
+    let label = format!("writer-{}", std::process::id());
+    for _ in 0..LEDGER_RECORDS_PER_WRITER {
+        sink.append(LedgerRecord::from_run(&label, &config, &result, None))
+            .expect("append");
+    }
+    std::process::exit(0);
+}
+
+/// Two writer *processes* appending concurrently to one ledger file:
+/// every line must still parse (append is a single `write_all` of a
+/// whole line against an `O_APPEND` handle, so lines interleave but
+/// never tear), and both writers' record counts must survive intact.
+#[test]
+fn two_processes_interleave_ledger_appends_without_tearing() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!(
+        "scihadoop-ledger-interleave-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+
+    let exe = std::env::current_exe().expect("current exe");
+    let spawn = || {
+        std::process::Command::new(&exe)
+            .args(["ledger_writer_entry", "--exact", "--nocapture"])
+            .env(ENV_LEDGER_PATH, &path)
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::inherit())
+            .spawn()
+            .expect("spawn ledger writer")
+    };
+    let mut a = spawn();
+    let mut b = spawn();
+    assert!(a.wait().expect("wait a").success(), "writer a failed");
+    assert!(b.wait().expect("wait b").success(), "writer b failed");
+
+    let text = std::fs::read_to_string(&path).expect("read shared ledger");
+    let records = scihadoop_bench::ledger::parse_ledger(&text)
+        .expect("every interleaved line parses as a full record");
+    assert_eq!(records.len(), 2 * LEDGER_RECORDS_PER_WRITER);
+    let mut labels: Vec<&str> = records.iter().map(|r| r.label.as_str()).collect();
+    labels.sort_unstable();
+    labels.dedup();
+    assert_eq!(labels.len(), 2, "two distinct writer pids: {labels:?}");
+    for label in labels {
+        let n = records.iter().filter(|r| r.label == label).count();
+        assert_eq!(n, LEDGER_RECORDS_PER_WRITER, "no records lost for {label}");
+    }
+    let _ = std::fs::remove_file(&path);
+}

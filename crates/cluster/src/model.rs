@@ -57,17 +57,30 @@ impl ClusterSpec {
     /// A spec describing the machine a ledger record was measured on,
     /// for model-vs-measured reconciliation: the run's own slot counts,
     /// unit CPU scales (the record's nanos *are* this machine's CPU),
-    /// and effectively infinite disk/net bandwidth, because an
-    /// in-process run moves intermediate bytes through memory. `nodes`
-    /// doubles as the reduce-side parallelism in [`CostModel`], so it
-    /// carries the record's reduce slots.
+    /// and effectively infinite disk bandwidth, because an in-process
+    /// run moves intermediate bytes through memory. `nodes` doubles as
+    /// the reduce-side parallelism in [`CostModel`], so it carries the
+    /// record's reduce slots.
+    ///
+    /// Network bandwidth is *measured* when the record came from a
+    /// distributed run: the runtime counts socket-write time
+    /// (`ShuffleTransferNanos`) against shuffled bytes, and one byte
+    /// per nanosecond is 1000 MB/s. Records from in-process runs carry
+    /// no transfer time and keep the effectively-unbounded default.
     pub fn local_host(record: &LedgerRecord) -> Self {
+        let transfer_nanos = record.counters.get(Counter::ShuffleTransferNanos);
+        let net_mbps = if transfer_nanos > 0 {
+            let bytes = record.counters.get(Counter::ShuffleBytes);
+            (bytes as f64 * 1000.0) / transfer_nanos as f64
+        } else {
+            1e9
+        };
         ClusterSpec {
             nodes: (record.config.reduce_slots as usize).max(1),
             map_slots: (record.config.map_slots as usize).max(1),
             reducers: (record.job.num_reducers as usize).max(1),
             disk_mbps: 1e9,
-            net_mbps: 1e9,
+            net_mbps,
             engine_cpu_scale: 1.0,
             codec_cpu_scale: 1.0,
         }
@@ -410,6 +423,24 @@ mod tests {
             phases,
             hists: Vec::new(),
         }
+    }
+
+    #[test]
+    fn local_host_measures_net_bandwidth_from_distributed_records() {
+        let record = synthetic_record();
+        // In-process record: no transfer time → unbounded network.
+        assert_eq!(ClusterSpec::local_host(&record).net_mbps, 1e9);
+        // Distributed record: 1 MB shuffled in 10 ms of socket writes
+        // is 100 MB/s.
+        let mut dist = record;
+        let counters = scihadoop_mapreduce::Counters::new();
+        for c in scihadoop_mapreduce::ALL_COUNTERS {
+            counters.add(c, dist.counters.get(c));
+        }
+        counters.add(Counter::ShuffleTransferNanos, 10_000_000);
+        dist.counters = counters.snapshot();
+        let spec = ClusterSpec::local_host(&dist);
+        assert!((spec.net_mbps - 100.0).abs() < 1e-9, "{}", spec.net_mbps);
     }
 
     #[test]

@@ -89,10 +89,20 @@ pub enum Counter {
     /// fence-prefix skip rule. Skips only happen while producing final
     /// segments, so `BlocksSkipped <= BlocksWritten`.
     BlocksSkipped,
+    /// Nanoseconds reduce-side fetches spent blocked waiting for map
+    /// output that had not been produced yet (distributed runtime only;
+    /// the in-process shuffle hands segments over after a full barrier,
+    /// so local runs report 0).
+    ShuffleFetchWaitNanos,
+    /// Nanoseconds the shuffle service spent writing segment bytes into
+    /// worker sockets (distributed runtime only). Dividing
+    /// `ShuffleBytes` by this yields the run's measured shuffle
+    /// bandwidth, which the cluster model consumes.
+    ShuffleTransferNanos,
 }
 
 /// Number of counter slots.
-pub const NUM_COUNTERS: usize = Counter::BlocksSkipped as usize + 1;
+pub const NUM_COUNTERS: usize = Counter::ShuffleTransferNanos as usize + 1;
 
 /// Every counter, in declaration order — for reports and exporters.
 pub const ALL_COUNTERS: [Counter; NUM_COUNTERS] = [
@@ -126,6 +136,8 @@ pub const ALL_COUNTERS: [Counter; NUM_COUNTERS] = [
     Counter::MapOutputKeySavedBytes,
     Counter::BlocksWritten,
     Counter::BlocksSkipped,
+    Counter::ShuffleFetchWaitNanos,
+    Counter::ShuffleTransferNanos,
 ];
 
 impl Counter {
@@ -162,6 +174,8 @@ impl Counter {
             Counter::MapOutputKeySavedBytes => "map_output_key_saved_bytes",
             Counter::BlocksWritten => "blocks_written",
             Counter::BlocksSkipped => "blocks_skipped",
+            Counter::ShuffleFetchWaitNanos => "shuffle_fetch_wait_nanos",
+            Counter::ShuffleTransferNanos => "shuffle_transfer_nanos",
         }
     }
 }

@@ -1,0 +1,222 @@
+//! Multi-process distributed runtime: a coordinator process runs the
+//! shuffle service and task scheduler; worker processes (or threads,
+//! for hermetic tests) connect over TCP or Unix-domain sockets, pull
+//! map/reduce assignments, and stream IFile segments back and forth.
+//!
+//! # Protocol
+//!
+//! One connection per worker, framed by [`wire`] (u32 length prefix +
+//! tag byte). The worker drives: it sends `Hello` once, then loops
+//! `TaskRequest` → assignment → task conversation:
+//!
+//! - **Map**: coordinator sends `MapTask` (with the split and an
+//!   initial push-credit window); the worker runs the attempt and sends
+//!   one `MapSegment` per non-empty partition, spending a credit each —
+//!   the coordinator returns one `Credit` per segment received. The
+//!   worker drains its window back to full, then commits with `MapDone`
+//!   (or `TaskFailed`).
+//! - **Reduce**: coordinator sends `ReduceTask`; the worker's fault
+//!   gate runs *before* any fetch, then `FetchStart` opens a
+//!   credit-window fetch and the coordinator streams the partition's
+//!   segments as `SegChunk` frames **in canonical map-task order**,
+//!   blocking per-segment until that map task has completed — this is
+//!   the pipelined fetch-while-map overlap, and the ordering is what
+//!   keeps distributed runs byte-identical to the local thread pool
+//!   (per-index fault-plan corruption lands on the same segment).
+//!   `SegmentsDone` closes the stream; the worker replies `ReduceDone`
+//!   with its outputs, or `TaskFailed`.
+//!
+//! Counter semantics mirror the local runner exactly: each attempt
+//! carries an attempt-local bank (absorbed by the coordinator only on
+//! success) and a harness bank for fault-injection charges (absorbed
+//! always). Retries, backoff, and abort run through the same
+//! [`WorkQueue`](crate::runner) machinery — a worker that dies mid-task
+//! surfaces as a retryable network failure, not a hung job.
+//!
+//! # Entry points
+//!
+//! [`run_distributed`] spawns real worker processes by re-executing
+//! `current_exe()` with the `SCIHADOOP_DIST_*` environment set; the
+//! worker `main` must call [`worker_env`] early and hand off to the
+//! job-specific bootstrap. [`run_distributed_with_threads`] runs the
+//! same coordinator against in-process worker threads over real
+//! sockets — the full wire protocol without process spawning.
+
+mod coordinator;
+mod net;
+mod shuffle;
+mod wire;
+mod worker;
+
+pub use coordinator::{run_distributed, run_distributed_with_threads};
+pub use net::Transport;
+pub use worker::run_worker;
+
+use crate::error::MrError;
+use std::time::Duration;
+
+/// Environment variable carrying the coordinator's socket address.
+pub const ENV_ADDR: &str = "SCIHADOOP_DIST_ADDR";
+/// Environment variable carrying the transport name (`tcp` / `uds`).
+pub const ENV_TRANSPORT: &str = "SCIHADOOP_DIST_TRANSPORT";
+/// Environment variable carrying this worker's numeric id.
+pub const ENV_WORKER: &str = "SCIHADOOP_DIST_WORKER";
+/// Environment variable carrying the opaque job payload the worker's
+/// bootstrap turns back into a `(JobConfig, Mapper, Reducer)` triple.
+pub const ENV_JOB: &str = "SCIHADOOP_DIST_JOB";
+
+/// Fetch window a worker grants the coordinator in `FetchStart`.
+pub(crate) const DEFAULT_FETCH_CREDITS: u32 = 8;
+
+/// Settings for the distributed runtime, separate from [`crate::JobConfig`]
+/// because they describe *where* the job runs, not what it computes.
+#[derive(Debug, Clone)]
+pub struct DistConfig {
+    /// Number of worker processes (or threads) to run tasks on.
+    pub workers: usize,
+    /// Socket family between coordinator and workers.
+    pub transport: Transport,
+    /// Arguments passed to re-executions of `current_exe()` when
+    /// spawning worker processes (e.g. the libtest filter that routes a
+    /// test binary into its worker entry point). Unused in thread mode.
+    pub worker_args: Vec<String>,
+    /// Opaque job description exported to worker processes via
+    /// [`ENV_JOB`]; the worker bootstrap parses it back into the same
+    /// config/mapper/reducer the coordinator uses. Unused in thread
+    /// mode. Must be non-empty for [`run_distributed`].
+    pub job_payload: String,
+    /// Initial push-credit window granted to each map attempt.
+    pub push_credits: u32,
+    /// Chunk size for streaming segments to reducers.
+    pub chunk_bytes: usize,
+    /// How long to wait for all workers to connect before giving up.
+    pub spawn_timeout: Duration,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        DistConfig {
+            workers: 3,
+            transport: Transport::default(),
+            worker_args: Vec::new(),
+            job_payload: String::new(),
+            push_credits: 4,
+            chunk_bytes: 64 << 10,
+            spawn_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+impl DistConfig {
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), MrError> {
+        if self.workers == 0 {
+            return Err(MrError::Config("dist workers must be > 0".into()));
+        }
+        if self.push_credits == 0 {
+            return Err(MrError::Config("push_credits must be > 0".into()));
+        }
+        if self.chunk_bytes == 0 {
+            return Err(MrError::Config("chunk_bytes must be > 0".into()));
+        }
+        Ok(())
+    }
+
+    /// Builder-style setter for the worker count.
+    pub fn with_workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Builder-style setter for the transport.
+    pub fn with_transport(mut self, transport: Transport) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Builder-style setter for worker-process arguments.
+    pub fn with_worker_args(mut self, args: &[&str]) -> Self {
+        self.worker_args = args.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Builder-style setter for the job payload.
+    pub fn with_job_payload(mut self, payload: &str) -> Self {
+        self.job_payload = payload.to_string();
+        self
+    }
+
+    /// Builder-style setter for the streaming chunk size.
+    pub fn with_chunk_bytes(mut self, bytes: usize) -> Self {
+        self.chunk_bytes = bytes;
+        self
+    }
+}
+
+/// What a spawned worker process reads from its environment.
+#[derive(Debug, Clone)]
+pub struct WorkerEnv {
+    /// Coordinator address ([`ENV_ADDR`]).
+    pub addr: String,
+    /// Socket family ([`ENV_TRANSPORT`]).
+    pub transport: Transport,
+    /// This worker's id ([`ENV_WORKER`]).
+    pub worker: u32,
+    /// Opaque job description ([`ENV_JOB`]).
+    pub job_payload: String,
+}
+
+/// Detect a worker-process environment. `None` means this process is
+/// not a spawned worker (the common case); binaries that can host
+/// workers call this first thing in `main` and divert into their worker
+/// bootstrap when it returns `Some`. Malformed values in a set
+/// environment error out rather than silently running the normal path.
+pub fn worker_env() -> Result<Option<WorkerEnv>, MrError> {
+    let Ok(addr) = std::env::var(ENV_ADDR) else {
+        return Ok(None);
+    };
+    let get = |key: &str| {
+        std::env::var(key).map_err(|_| {
+            MrError::Config(format!(
+                "{ENV_ADDR} is set but {key} is missing from the environment"
+            ))
+        })
+    };
+    let transport = Transport::parse(&get(ENV_TRANSPORT)?)?;
+    let worker = get(ENV_WORKER)?
+        .parse::<u32>()
+        .map_err(|e| MrError::Config(format!("bad {ENV_WORKER}: {e}")))?;
+    let job_payload = get(ENV_JOB)?;
+    Ok(Some(WorkerEnv {
+        addr,
+        transport,
+        worker,
+        job_payload,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_config_validates() {
+        assert!(DistConfig::default().validate().is_ok());
+        assert!(DistConfig::default().with_workers(0).validate().is_err());
+        assert!(DistConfig::default()
+            .with_chunk_bytes(0)
+            .validate()
+            .is_err());
+        let zero_credits = DistConfig {
+            push_credits: 0,
+            ..DistConfig::default()
+        };
+        assert!(zero_credits.validate().is_err());
+    }
+
+    #[test]
+    fn worker_env_absent_means_not_a_worker() {
+        // The test runner never sets the dist environment for itself.
+        assert!(worker_env().unwrap().is_none());
+    }
+}

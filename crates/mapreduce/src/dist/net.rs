@@ -1,0 +1,324 @@
+//! Socket transports for the distributed runtime: loopback TCP and
+//! Unix-domain sockets behind one listener/stream pair, so the rest of
+//! the module is transport-agnostic.
+
+use crate::error::MrError;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Which socket family the shuffle service speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// Loopback TCP (`127.0.0.1`, ephemeral port).
+    Tcp,
+    /// Unix-domain socket in the system temp directory.
+    #[default]
+    Uds,
+}
+
+impl Transport {
+    /// Parse a CLI-style name (`tcp` / `uds`).
+    pub fn parse(s: &str) -> Result<Transport, MrError> {
+        match s {
+            "tcp" => Ok(Transport::Tcp),
+            "uds" | "unix" => Ok(Transport::Uds),
+            other => Err(MrError::Config(format!(
+                "unknown transport {other:?} (expected tcp or uds)"
+            ))),
+        }
+    }
+
+    /// Stable CLI/env name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Transport::Tcp => "tcp",
+            Transport::Uds => "uds",
+        }
+    }
+}
+
+/// Distinguishes concurrently bound listeners within one process (the
+/// pid alone is not enough: one test binary runs many coordinators).
+static LISTENER_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A bound shuffle-service endpoint. Dropping a UDS listener removes
+/// its socket file.
+pub(crate) enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Uds(UnixListener, PathBuf),
+}
+
+impl Listener {
+    pub(crate) fn bind(transport: Transport) -> Result<Listener, MrError> {
+        match transport {
+            Transport::Tcp => {
+                let l = TcpListener::bind(("127.0.0.1", 0))
+                    .map_err(|e| MrError::Net(format!("bind tcp listener: {e}")))?;
+                Ok(Listener::Tcp(l))
+            }
+            #[cfg(unix)]
+            Transport::Uds => {
+                let path = std::env::temp_dir().join(format!(
+                    "scihadoop-shuffle-{}-{}.sock",
+                    std::process::id(),
+                    LISTENER_SEQ.fetch_add(1, Ordering::Relaxed)
+                ));
+                let _ = std::fs::remove_file(&path);
+                let l = UnixListener::bind(&path)
+                    .map_err(|e| MrError::Net(format!("bind uds listener {path:?}: {e}")))?;
+                Ok(Listener::Uds(l, path))
+            }
+            #[cfg(not(unix))]
+            Transport::Uds => Err(MrError::Config(
+                "unix-domain sockets are not available on this platform".into(),
+            )),
+        }
+    }
+
+    /// The address workers must connect to (host:port, or a socket
+    /// path).
+    pub(crate) fn addr(&self) -> Result<String, MrError> {
+        match self {
+            Listener::Tcp(l) => l
+                .local_addr()
+                .map(|a| a.to_string())
+                .map_err(|e| MrError::Net(format!("listener local_addr: {e}"))),
+            #[cfg(unix)]
+            Listener::Uds(_, path) => Ok(path.to_string_lossy().into_owned()),
+        }
+    }
+
+    /// Accept one worker connection, polling non-blocking so the
+    /// coordinator can notice a worker that died before connecting
+    /// (via `alive`) instead of hanging forever.
+    pub(crate) fn accept_deadline(
+        &self,
+        deadline: Duration,
+        alive: &mut dyn FnMut() -> bool,
+    ) -> Result<Stream, MrError> {
+        self.set_nonblocking(true)?;
+        let t0 = Instant::now();
+        loop {
+            match self.try_accept() {
+                Ok(Some(stream)) => {
+                    self.set_nonblocking(false)?;
+                    return Ok(stream);
+                }
+                Ok(None) => {}
+                Err(e) => return Err(e),
+            }
+            if !alive() {
+                return Err(MrError::Net(
+                    "a worker process exited before connecting to the shuffle service".into(),
+                ));
+            }
+            if t0.elapsed() > deadline {
+                return Err(MrError::Net(format!(
+                    "no worker connected within {deadline:?}"
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    fn try_accept(&self) -> Result<Option<Stream>, MrError> {
+        match self {
+            Listener::Tcp(l) => match l.accept() {
+                Ok((s, _)) => {
+                    let _ = s.set_nodelay(true);
+                    s.set_nonblocking(false)
+                        .map_err(|e| MrError::Net(format!("accepted stream blocking: {e}")))?;
+                    Ok(Some(Stream::Tcp(s)))
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(MrError::Net(format!("accept: {e}"))),
+            },
+            #[cfg(unix)]
+            Listener::Uds(l, _) => match l.accept() {
+                Ok((s, _)) => {
+                    s.set_nonblocking(false)
+                        .map_err(|e| MrError::Net(format!("accepted stream blocking: {e}")))?;
+                    Ok(Some(Stream::Uds(s)))
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(MrError::Net(format!("accept: {e}"))),
+            },
+        }
+    }
+
+    fn set_nonblocking(&self, nb: bool) -> Result<(), MrError> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(nb),
+            #[cfg(unix)]
+            Listener::Uds(l, _) => l.set_nonblocking(nb),
+        }
+        .map_err(|e| MrError::Net(format!("listener nonblocking({nb}): {e}")))
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Listener::Uds(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// One connected socket, either family.
+#[derive(Debug)]
+pub(crate) enum Stream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Uds(UnixStream),
+}
+
+impl Stream {
+    /// Connect to the coordinator, retrying briefly — the worker
+    /// process may win the race against the coordinator's accept loop
+    /// setup, but the listener itself is bound before any worker is
+    /// spawned, so retries only paper over transient `ECONNREFUSED`
+    /// under load.
+    pub(crate) fn connect_retry(
+        transport: Transport,
+        addr: &str,
+        deadline: Duration,
+    ) -> Result<Stream, MrError> {
+        let t0 = Instant::now();
+        loop {
+            let attempt = match transport {
+                Transport::Tcp => TcpStream::connect(addr).map(|s| {
+                    let _ = s.set_nodelay(true);
+                    Stream::Tcp(s)
+                }),
+                #[cfg(unix)]
+                Transport::Uds => UnixStream::connect(addr).map(Stream::Uds),
+                #[cfg(not(unix))]
+                Transport::Uds => {
+                    return Err(MrError::Config(
+                        "unix-domain sockets are not available on this platform".into(),
+                    ))
+                }
+            };
+            match attempt {
+                Ok(stream) => return Ok(stream),
+                Err(e) if t0.elapsed() < deadline => {
+                    let _ = e;
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => {
+                    return Err(MrError::Net(format!(
+                        "connect {} {addr}: {e}",
+                        transport.name()
+                    )))
+                }
+            }
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Uds(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Uds(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Uds(s) => s.flush(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transport_names_roundtrip() {
+        assert_eq!(Transport::parse("tcp").unwrap(), Transport::Tcp);
+        assert_eq!(Transport::parse("uds").unwrap(), Transport::Uds);
+        assert_eq!(Transport::parse("unix").unwrap(), Transport::Uds);
+        assert!(Transport::parse("carrier-pigeon").is_err());
+        assert_eq!(
+            Transport::parse(Transport::Tcp.name()).unwrap(),
+            Transport::Tcp
+        );
+    }
+
+    #[test]
+    fn tcp_listener_accepts_a_connection() {
+        let listener = Listener::bind(Transport::Tcp).unwrap();
+        let addr = listener.addr().unwrap();
+        let join = std::thread::spawn(move || {
+            Stream::connect_retry(Transport::Tcp, &addr, Duration::from_secs(5)).unwrap()
+        });
+        let mut accepted = listener
+            .accept_deadline(Duration::from_secs(5), &mut || true)
+            .unwrap();
+        let mut client = join.join().unwrap();
+        client.write_all(b"ping").unwrap();
+        client.flush().unwrap();
+        let mut buf = [0u8; 4];
+        accepted.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn uds_listener_accepts_and_cleans_up() {
+        let listener = Listener::bind(Transport::Uds).unwrap();
+        let addr = listener.addr().unwrap();
+        assert!(std::path::Path::new(&addr).exists());
+        let addr2 = addr.clone();
+        let join = std::thread::spawn(move || {
+            Stream::connect_retry(Transport::Uds, &addr2, Duration::from_secs(5)).unwrap()
+        });
+        let mut accepted = listener
+            .accept_deadline(Duration::from_secs(5), &mut || true)
+            .unwrap();
+        let mut client = join.join().unwrap();
+        client.write_all(b"pong").unwrap();
+        let mut buf = [0u8; 4];
+        accepted.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"pong");
+        drop(listener);
+        assert!(
+            !std::path::Path::new(&addr).exists(),
+            "socket file removed on drop"
+        );
+    }
+
+    #[test]
+    fn accept_deadline_notices_dead_workers() {
+        let listener = Listener::bind(Transport::Tcp).unwrap();
+        let err = listener
+            .accept_deadline(Duration::from_secs(5), &mut || false)
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("exited before connecting"),
+            "{err}"
+        );
+    }
+}

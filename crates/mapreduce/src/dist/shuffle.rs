@@ -1,0 +1,162 @@
+//! In-coordinator shuffle store: completed map outputs, indexed by
+//! (partition, map task), handed to reduce-serving threads as each map
+//! task lands.
+//!
+//! The store preserves the engine's canonical segment order — for a
+//! partition, segments are always consumed in map-task-id order — so a
+//! reducer fetched over the wire sees byte-for-byte the same segment
+//! sequence as the local thread-pool path builds in memory. That is
+//! what lets per-index wire corruption from a [`crate::fault`] plan hit
+//! the same bytes in both runtimes.
+//!
+//! Segments are retained until the job ends (not freed after a first
+//! fetch) so a retried reduce attempt can re-fetch the same bytes.
+
+use crate::error::MrError;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct StoreState {
+    /// `segs[partition][map_task]` — `None` until published, and still
+    /// `None` at the end for map tasks that produced no data for the
+    /// partition.
+    segs: Vec<Vec<Option<Arc<Vec<u8>>>>>,
+    /// Whether each map task's outputs have been committed.
+    done: Vec<bool>,
+    aborted: bool,
+}
+
+/// Shared shuffle state between the coordinator's connection threads.
+pub(crate) struct ShuffleStore {
+    state: Mutex<StoreState>,
+    ready: Condvar,
+}
+
+impl ShuffleStore {
+    pub(crate) fn new(num_partitions: usize, num_maps: usize) -> ShuffleStore {
+        ShuffleStore {
+            state: Mutex::new(StoreState {
+                segs: vec![vec![None; num_maps]; num_partitions],
+                done: vec![false; num_maps],
+                aborted: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, StoreState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Commit one map task's segments atomically. Outputs arrive as
+    /// `(partition, bytes)` pairs; the task is only marked done once
+    /// all of them are stored, so a fetcher never observes a partial
+    /// set. Republishing (a retried map attempt whose predecessor was
+    /// counted failed) replaces the previous attempt's segments.
+    pub(crate) fn publish(&self, map_task: usize, outputs: Vec<(usize, Vec<u8>)>) {
+        let mut state = self.lock_state();
+        for slot in state.segs.iter_mut() {
+            slot[map_task] = None;
+        }
+        for (partition, data) in outputs {
+            state.segs[partition][map_task] = Some(Arc::new(data));
+        }
+        state.done[map_task] = true;
+        self.ready.notify_all();
+    }
+
+    /// Block until `map_task`'s outputs are committed, then return its
+    /// segment for `partition` (`None` if the task emitted nothing for
+    /// that partition). Errors out if the job aborts while waiting.
+    pub(crate) fn segment_when_ready(
+        &self,
+        partition: usize,
+        map_task: usize,
+    ) -> Result<Option<Arc<Vec<u8>>>, MrError> {
+        let mut state = self.lock_state();
+        loop {
+            if state.aborted {
+                return Err(MrError::Net("job aborted while awaiting map output".into()));
+            }
+            if state.done[map_task] {
+                return Ok(state.segs[partition][map_task].clone());
+            }
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Unblock all waiters with an error; called when the job fails.
+    pub(crate) fn abort(&self) {
+        self.lock_state().aborted = true;
+        self.ready.notify_all();
+    }
+
+    /// Total bytes across all committed segments (the distributed
+    /// run's `ShuffleBytes`).
+    pub(crate) fn total_bytes(&self) -> u64 {
+        let state = self.lock_state();
+        state
+            .segs
+            .iter()
+            .flat_map(|slot| slot.iter())
+            .filter_map(|seg| seg.as_ref())
+            .map(|seg| seg.len() as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_blocks_until_publish_and_preserves_task_order() {
+        let store = Arc::new(ShuffleStore::new(2, 3));
+        let fetcher = {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                for task in 0..3 {
+                    if let Some(seg) = store.segment_when_ready(1, task).unwrap() {
+                        got.push(seg.as_ref().clone());
+                    }
+                }
+                got
+            })
+        };
+        // Publish out of order; the fetcher still consumes in task order.
+        store.publish(1, vec![(1, b"one".to_vec())]);
+        store.publish(2, vec![(0, b"zero-only".to_vec())]);
+        store.publish(0, vec![(0, b"z".to_vec()), (1, b"nought".to_vec())]);
+        let got = fetcher.join().unwrap();
+        assert_eq!(got, vec![b"nought".to_vec(), b"one".to_vec()]);
+        assert_eq!(store.total_bytes(), 3 + 9 + 1 + 6);
+    }
+
+    #[test]
+    fn republish_replaces_a_failed_attempts_segments() {
+        let store = ShuffleStore::new(1, 1);
+        store.publish(0, vec![(0, b"bad".to_vec())]);
+        store.publish(0, vec![(0, b"good".to_vec())]);
+        let seg = store.segment_when_ready(0, 0).unwrap().unwrap();
+        assert_eq!(seg.as_ref(), b"good");
+        assert_eq!(store.total_bytes(), 4);
+    }
+
+    #[test]
+    fn abort_wakes_blocked_fetchers_with_an_error() {
+        let store = Arc::new(ShuffleStore::new(1, 1));
+        let fetcher = {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || store.segment_when_ready(0, 0))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        store.abort();
+        let err = fetcher.join().unwrap().unwrap_err();
+        assert!(err.to_string().contains("aborted"), "{err}");
+    }
+}

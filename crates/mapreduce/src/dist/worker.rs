@@ -1,0 +1,251 @@
+//! Worker-process main loop: connect to the coordinator, pull task
+//! assignments, run map/reduce attempts with the same fault gate and
+//! attempt-local counter discipline as the in-process runner, and
+//! stream results back under credit-based flow control.
+
+use super::net::{Stream, Transport};
+use super::wire::{expect_credit, read_msg, write_msg, Msg};
+use crate::counters::Counters;
+use crate::error::MrError;
+use crate::record::{InputSplit, Mapper, Reducer};
+use crate::runner;
+use crate::JobConfig;
+use std::time::Duration;
+
+/// How long a worker keeps retrying its initial connect. The listener
+/// is bound before any worker is spawned, so this only absorbs
+/// transient refusals under load.
+const CONNECT_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Convert a panicking task body into a retryable error, exactly like
+/// the local runner's `run_attempt`: the worker process must survive a
+/// panicking user function so its other queued tasks (and the socket)
+/// are not lost with it.
+fn catch<T>(
+    task: usize,
+    attempt: u32,
+    f: impl FnOnce() -> Result<T, MrError>,
+) -> Result<T, MrError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(MrError::TaskFailed(format!(
+                "task {task} attempt {attempt} panicked: {msg}"
+            )))
+        }
+    }
+}
+
+fn task_failed_msg(
+    task: usize,
+    attempt: u32,
+    reduce: bool,
+    err: &MrError,
+    harness: &Counters,
+) -> Msg {
+    Msg::TaskFailed {
+        task: task as u32,
+        attempt,
+        reduce,
+        checksum: err.is_checksum(),
+        error: err.to_string(),
+        harness: harness.snapshot(),
+    }
+}
+
+/// Run one worker against the coordinator at `addr` until it sends
+/// `Shutdown` (or the connection fails). Blocks the calling thread for
+/// the whole job; `main` wrappers should turn the result into an exit
+/// code.
+pub fn run_worker(
+    transport: Transport,
+    addr: &str,
+    worker: u32,
+    config: &JobConfig,
+    mapper: &dyn Mapper,
+    reducer: &dyn Reducer,
+) -> Result<(), MrError> {
+    let mut stream = Stream::connect_retry(transport, addr, CONNECT_DEADLINE)?;
+    write_msg(&mut stream, &Msg::Hello { worker })?;
+    loop {
+        write_msg(&mut stream, &Msg::TaskRequest)?;
+        match read_msg(&mut stream)? {
+            Msg::MapTask {
+                task,
+                attempt,
+                credits,
+                split,
+            } => run_map_attempt(
+                &mut stream,
+                config,
+                task as usize,
+                attempt,
+                credits,
+                &split,
+                mapper,
+            )?,
+            Msg::ReduceTask { task, attempt } => {
+                if run_reduce_attempt(&mut stream, config, task as usize, attempt, reducer)? {
+                    return Ok(()); // shutdown arrived mid-fetch (job aborted)
+                }
+            }
+            Msg::Shutdown => return Ok(()),
+            other => {
+                return Err(MrError::Net(format!(
+                    "worker {worker}: unexpected {} while awaiting an assignment",
+                    other.name()
+                )))
+            }
+        }
+    }
+}
+
+/// One map attempt: fault gate, user map function, then push each
+/// partition's segment to the shuffle service. Pushes spend credits
+/// granted in the assignment; the coordinator returns one credit per
+/// received segment, and the worker drains its window back to full
+/// before `MapDone` so no credit frame is left in flight between tasks.
+fn run_map_attempt(
+    stream: &mut Stream,
+    config: &JobConfig,
+    task: usize,
+    attempt: u32,
+    window: u32,
+    split: &InputSplit,
+    mapper: &dyn Mapper,
+) -> Result<(), MrError> {
+    let harness = Counters::new();
+    let local = Counters::new();
+    let outcome =
+        runner::fault_gate(config, &harness, task as u64, attempt, false).and_then(|()| {
+            catch(task, attempt, || {
+                runner::run_map_task(config, task, split, mapper, &local)
+            })
+        });
+    let segments = match outcome {
+        Ok(segments) => segments,
+        Err(e) => {
+            write_msg(stream, &task_failed_msg(task, attempt, false, &e, &harness))?;
+            return Ok(());
+        }
+    };
+    let mut credits = window;
+    for (partition, seg) in segments {
+        if credits == 0 {
+            expect_credit(stream)?;
+            credits += 1;
+        }
+        write_msg(
+            stream,
+            &Msg::MapSegment {
+                partition: partition as u32,
+                data: seg.data,
+            },
+        )?;
+        credits -= 1;
+    }
+    while credits < window {
+        expect_credit(stream)?;
+        credits += 1;
+    }
+    write_msg(
+        stream,
+        &Msg::MapDone {
+            task: task as u32,
+            attempt,
+            local: local.snapshot(),
+            harness: harness.snapshot(),
+        },
+    )?;
+    Ok(())
+}
+
+/// One reduce attempt: fault gate (before any fetch, so an injected
+/// reduce error costs no shuffle traffic — matching the local path,
+/// where `fault_gate` runs before segments are taken), then fetch all
+/// segments for the partition, then merge/group/reduce. Returns `true`
+/// if the coordinator shut the job down mid-fetch.
+///
+/// Wire corruption is the coordinator's job: `run_reduce_task` is
+/// called with `apply_corruption = false` because the bytes in `segs`
+/// were already corrupted in transit at the same (task, attempt, index)
+/// coordinates the local path uses.
+fn run_reduce_attempt(
+    stream: &mut Stream,
+    config: &JobConfig,
+    task: usize,
+    attempt: u32,
+    reducer: &dyn Reducer,
+) -> Result<bool, MrError> {
+    let harness = Counters::new();
+    if let Err(e) = runner::fault_gate(config, &harness, task as u64, attempt, true) {
+        write_msg(stream, &task_failed_msg(task, attempt, true, &e, &harness))?;
+        return Ok(false);
+    }
+    write_msg(
+        stream,
+        &Msg::FetchStart {
+            credits: super::DEFAULT_FETCH_CREDITS,
+        },
+    )?;
+    let mut segs: Vec<Vec<u8>> = Vec::new();
+    let mut current: Vec<u8> = Vec::new();
+    loop {
+        match read_msg(stream)? {
+            Msg::SegChunk { index, last, data } => {
+                if index as usize != segs.len() {
+                    return Err(MrError::Net(format!(
+                        "reduce {task}: segment chunk for index {index} but {} segments assembled",
+                        segs.len()
+                    )));
+                }
+                current.extend_from_slice(&data);
+                if last {
+                    segs.push(std::mem::take(&mut current));
+                }
+                write_msg(stream, &Msg::Credit)?;
+            }
+            Msg::SegmentsDone { count } => {
+                if count as usize != segs.len() || !current.is_empty() {
+                    return Err(MrError::Net(format!(
+                        "reduce {task}: coordinator announced {count} segments, assembled {} \
+                         ({} stray bytes)",
+                        segs.len(),
+                        current.len()
+                    )));
+                }
+                break;
+            }
+            Msg::Shutdown => return Ok(true),
+            other => {
+                return Err(MrError::Net(format!(
+                    "reduce {task}: unexpected {} during segment fetch",
+                    other.name()
+                )))
+            }
+        }
+    }
+    let local = Counters::new();
+    let outcome = catch(task, attempt, || {
+        runner::run_reduce_task(config, task, &segs, reducer, &local, attempt, false)
+    });
+    match outcome {
+        Ok(outputs) => write_msg(
+            stream,
+            &Msg::ReduceDone {
+                task: task as u32,
+                attempt,
+                local: local.snapshot(),
+                harness: harness.snapshot(),
+                outputs,
+            },
+        )?,
+        Err(e) => write_msg(stream, &task_failed_msg(task, attempt, true, &e, &harness))?,
+    }
+    Ok(false)
+}

@@ -16,6 +16,9 @@ pub enum MrError {
     Config(String),
     /// A task panicked.
     TaskFailed(String),
+    /// A distributed-runtime transport failure: a socket died, a frame
+    /// was malformed, or a worker process disappeared mid-task.
+    Net(String),
     /// Several tasks failed before the job could be aborted; every
     /// collected error is preserved.
     Tasks(Vec<MrError>),
@@ -65,6 +68,7 @@ impl fmt::Display for MrError {
             MrError::Codec(e) => write!(f, "codec error: {e}"),
             MrError::Config(msg) => write!(f, "bad job config: {msg}"),
             MrError::TaskFailed(msg) => write!(f, "task failed: {msg}"),
+            MrError::Net(msg) => write!(f, "network error: {msg}"),
             MrError::Tasks(errs) => {
                 write!(f, "{} tasks failed: ", errs.len())?;
                 for (i, e) in errs.iter().enumerate() {

@@ -23,6 +23,7 @@
 pub mod arena;
 pub mod clock;
 pub mod counters;
+pub mod dist;
 pub mod error;
 pub mod fault;
 pub mod ifile;
@@ -36,6 +37,9 @@ pub mod stats;
 
 pub use arena::SpillArena;
 pub use counters::{Counter, CounterSnapshot, Counters, ALL_COUNTERS, NUM_COUNTERS};
+pub use dist::{
+    run_distributed, run_distributed_with_threads, run_worker, DistConfig, Transport, WorkerEnv,
+};
 pub use error::MrError;
 pub use fault::{Corruption, FaultConfig, FaultPlan};
 pub use ifile::{

@@ -361,6 +361,10 @@ impl LedgerRecord {
 #[derive(Debug, Default)]
 struct SinkInner {
     path: Option<PathBuf>,
+    /// Opened lazily on the first append and kept for the sink's
+    /// lifetime: reopening per record costs a syscall and, worse, loses
+    /// the one-`write`-per-line guarantee concurrent appenders rely on.
+    file: Option<std::fs::File>,
     records: Vec<LedgerRecord>,
 }
 
@@ -383,21 +387,36 @@ impl LedgerSink {
         LedgerSink {
             inner: Arc::new(Mutex::new(SinkInner {
                 path: Some(path.into()),
+                file: None,
                 records: Vec::new(),
             })),
         }
     }
 
     /// Append a record, writing it through to the file if one is set.
+    ///
+    /// The file is opened once (`O_APPEND`) and each record — line body
+    /// plus trailing newline — goes down in a single `write_all` of one
+    /// buffer. With `O_APPEND` the kernel makes each `write` atomic with
+    /// respect to the offset, so concurrent appenders (now real: every
+    /// worker process of a distributed run may share the ledger path)
+    /// interleave whole lines, never partial ones.
     pub fn append(&self, record: LedgerRecord) -> std::io::Result<()> {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(path) = &inner.path {
-            let mut file = std::fs::OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(path)?;
-            file.write_all(record.to_json_line().as_bytes())?;
-            file.write_all(b"\n")?;
+        if inner.file.is_none() {
+            if let Some(path) = &inner.path {
+                inner.file = Some(
+                    std::fs::OpenOptions::new()
+                        .create(true)
+                        .append(true)
+                        .open(path)?,
+                );
+            }
+        }
+        if let Some(file) = &mut inner.file {
+            let mut line = record.to_json_line();
+            line.push('\n');
+            file.write_all(line.as_bytes())?;
         }
         inner.records.push(record);
         Ok(())

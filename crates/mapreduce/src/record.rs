@@ -28,7 +28,7 @@ impl KvPair {
 
 /// One mapper's input: a batch of records (the engine's analogue of an
 /// HDFS block + `RecordReader`).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct InputSplit {
     /// The records of this split.
     pub records: Vec<KvPair>,

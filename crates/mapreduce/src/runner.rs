@@ -28,7 +28,7 @@ use std::time::Instant;
 ///
 /// Built on `std::sync` (not the project's `parking_lot` shim) because
 /// the retry path needs a condvar.
-struct WorkQueue<T> {
+pub(crate) struct WorkQueue<T> {
     state: std::sync::Mutex<QueueState<T>>,
     ready: std::sync::Condvar,
     abort: AtomicBool,
@@ -42,7 +42,7 @@ struct QueueState<T> {
 }
 
 impl<T> WorkQueue<T> {
-    fn new(items: Vec<T>) -> Self {
+    pub(crate) fn new(items: Vec<T>) -> Self {
         WorkQueue {
             state: std::sync::Mutex::new(QueueState {
                 pending: items.into_iter().map(|t| (t, 0)).collect(),
@@ -53,11 +53,23 @@ impl<T> WorkQueue<T> {
         }
     }
 
+    /// Lock the queue state, recovering a poisoned guard. The queue's
+    /// invariants hold across every `await`-free critical section (each
+    /// lock holder only pushes/pops/counts), so a panic elsewhere in a
+    /// worker thread never leaves the state half-updated — propagating
+    /// the poison would turn one task's panic into a cascade through
+    /// every sibling slot instead of the retry/abort path.
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, QueueState<T>> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Claim the next `(task, attempt)`, blocking while other slots hold
     /// tasks that might still be re-queued. `None` once the queue is
     /// drained (empty with nothing in flight) or aborted.
-    fn claim(&self) -> Option<(T, u32)> {
-        let mut state = self.state.lock().expect("queue mutex");
+    pub(crate) fn claim(&self) -> Option<(T, u32)> {
+        let mut state = self.lock_state();
         loop {
             if self.abort.load(Ordering::Acquire) {
                 return None;
@@ -69,13 +81,42 @@ impl<T> WorkQueue<T> {
             if state.in_flight == 0 {
                 return None;
             }
-            state = self.ready.wait(state).expect("queue mutex");
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 
+    /// Claim without blocking: `Some` if a task is pending right now.
+    pub(crate) fn try_claim(&self) -> Option<(T, u32)> {
+        if self.abort.load(Ordering::Acquire) {
+            return None;
+        }
+        let mut state = self.lock_state();
+        let claimed = state.pending.pop_front();
+        if claimed.is_some() {
+            state.in_flight += 1;
+        }
+        claimed
+    }
+
+    /// Whether every task has been retired: nothing pending, nothing in
+    /// flight. Distinct from "temporarily empty" — an in-flight task may
+    /// still fail and come back.
+    pub(crate) fn is_drained(&self) -> bool {
+        let state = self.lock_state();
+        state.pending.is_empty() && state.in_flight == 0
+    }
+
+    /// Whether the abort flag has been raised.
+    pub(crate) fn is_aborted(&self) -> bool {
+        self.abort.load(Ordering::Acquire)
+    }
+
     /// Retire a claimed task (success, or failure that will not retry).
-    fn finish(&self) {
-        let mut state = self.state.lock().expect("queue mutex");
+    pub(crate) fn finish(&self) {
+        let mut state = self.lock_state();
         state.in_flight -= 1;
         if state.in_flight == 0 {
             drop(state);
@@ -84,8 +125,8 @@ impl<T> WorkQueue<T> {
     }
 
     /// Put a failed task back with its next attempt number.
-    fn requeue(&self, task: T, attempt: u32) {
-        let mut state = self.state.lock().expect("queue mutex");
+    pub(crate) fn requeue(&self, task: T, attempt: u32) {
+        let mut state = self.lock_state();
         state.in_flight -= 1;
         state.pending.push_back((task, attempt));
         drop(state);
@@ -95,9 +136,9 @@ impl<T> WorkQueue<T> {
     /// Raise the abort flag and wake every waiting slot. The lock is
     /// taken before notifying so a slot between its abort check and its
     /// condvar wait cannot miss the wakeup.
-    fn abort(&self) {
+    pub(crate) fn abort(&self) {
         self.abort.store(true, Ordering::Release);
-        let _state = self.state.lock().expect("queue mutex");
+        let _state = self.lock_state();
         self.ready.notify_all();
     }
 }
@@ -174,7 +215,7 @@ fn drive_slots<I, F>(
                     .map(|r| r.attach(&format!("{label}-slot-{slot}")));
                 while let Some(((id, item), attempt)) = queue.claim() {
                     let guard = InFlightGuard::new(queue);
-                    match run(id, &item, attempt) {
+                    match run_attempt(&run, id, &item, attempt) {
                         Ok(()) => guard.complete(),
                         Err(e) => {
                             if e.is_checksum() {
@@ -204,11 +245,35 @@ fn drive_slots<I, F>(
     });
 }
 
+/// Run one task attempt, converting a panic in the task body into a
+/// retryable [`MrError::TaskFailed`]. A panicking user function (or a
+/// bug in a task path) then flows through the same retry/abort machinery
+/// as a returned error instead of unwinding through `thread::scope` and
+/// cascading into every sibling slot.
+fn run_attempt<I, F>(run: &F, id: usize, item: &I, attempt: u32) -> Result<(), MrError>
+where
+    F: Fn(usize, &I, u32) -> Result<(), MrError> + Sync,
+{
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(id, item, attempt))) {
+        Ok(result) => result,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(MrError::TaskFailed(format!(
+                "task {id} attempt {attempt} panicked: {msg}"
+            )))
+        }
+    }
+}
+
 /// Consult the job's fault plan (if any) at the start of a task attempt:
 /// apply an artificial slow-down, then possibly fail the attempt with an
 /// injected error. Injection counters are charged to the job-wide bank —
 /// they describe the harness, not the (discarded) attempt.
-fn fault_gate(
+pub(crate) fn fault_gate(
     config: &JobConfig,
     counters: &Counters,
     task: u64,
@@ -250,8 +315,10 @@ pub fn run_job(
 
     // ---- Map phase -----------------------------------------------------
     let map_t0 = Instant::now();
-    // map_outputs[r] = compressed segments destined for reducer r.
-    let map_outputs: Vec<Mutex<Vec<Vec<u8>>>> = (0..config.num_reducers)
+    // map_outputs[r] = (map task, compressed segment) destined for
+    // reducer r, pushed in completion order and canonicalized below.
+    type PartitionSegments = Mutex<Vec<(usize, Vec<u8>)>>;
+    let map_outputs: Vec<PartitionSegments> = (0..config.num_reducers)
         .map(|_| Mutex::new(Vec::new()))
         .collect();
     let errors: Mutex<Vec<MrError>> = Mutex::new(Vec::new());
@@ -272,7 +339,7 @@ pub fn run_job(
             let segments = run_map_task(config, task, split, mapper.as_ref(), &local)?;
             counters.absorb(&local.snapshot());
             for (partition, seg) in segments {
-                map_outputs[partition].lock().push(seg.data);
+                map_outputs[partition].lock().push((task, seg.data));
             }
             Ok(())
         },
@@ -286,6 +353,20 @@ pub fn run_job(
     let map_wall_nanos = map_t0.elapsed().as_nanos() as u64;
 
     // ---- Shuffle (in-process: account the transfer) ---------------------
+    // Canonicalize each reducer's segment list to map-task order. Slots
+    // finish maps in a nondeterministic order; the fetch order (and with
+    // it every per-index decision, like injected corruption coordinates)
+    // must not depend on that race — the distributed runtime streams
+    // segments in this same order, which is what makes its runs
+    // byte-identical to local ones.
+    let map_outputs: Vec<Mutex<Vec<Vec<u8>>>> = map_outputs
+        .into_iter()
+        .map(|m| {
+            let mut tagged = m.into_inner();
+            tagged.sort_by_key(|(task, _)| *task);
+            Mutex::new(tagged.into_iter().map(|(_, data)| data).collect())
+        })
+        .collect();
     for per_reducer in &map_outputs {
         let bytes: u64 = per_reducer.lock().iter().map(|s| s.len() as u64).sum();
         counters.add(Counter::ShuffleBytes, bytes);
@@ -305,7 +386,25 @@ pub fn run_job(
         &errors,
         |task, _item, attempt| {
             fault_gate(config, &counters, task as u64, attempt, true)?;
-            let segments = std::mem::take(&mut *map_outputs[task].lock());
+            // Taken segments are restored on every non-success exit —
+            // an `Err`, or a panic unwinding out of the reducer (caught
+            // in `run_attempt`) — so the retry can re-fetch them.
+            struct Restore<'a> {
+                slot: &'a Mutex<Vec<Vec<u8>>>,
+                segments: Option<Vec<Vec<u8>>>,
+            }
+            impl Drop for Restore<'_> {
+                fn drop(&mut self) {
+                    if let Some(segments) = self.segments.take() {
+                        *self.slot.lock() = segments;
+                    }
+                }
+            }
+            let mut fetched = Restore {
+                slot: &map_outputs[task],
+                segments: Some(std::mem::take(&mut *map_outputs[task].lock())),
+            };
+            let segments = fetched.segments.as_deref().expect("segments just taken");
             // Injected corruption counts against the job-wide bank here
             // (the attempt-local bank below is discarded on failure, and
             // a corrupted segment is designed to fail the attempt).
@@ -316,18 +415,19 @@ pub fn run_job(
                 counters.add(Counter::FaultsInjected, injected);
             }
             let local = Counters::new();
-            match run_reduce_task(config, task, &segments, reducer.as_ref(), &local, attempt) {
-                Ok(out) => {
-                    counters.absorb(&local.snapshot());
-                    *outputs[task].lock() = out;
-                    Ok(())
-                }
-                Err(e) => {
-                    // Restore the segments so the retry can re-fetch them.
-                    *map_outputs[task].lock() = segments;
-                    Err(e)
-                }
-            }
+            let out = run_reduce_task(
+                config,
+                task,
+                segments,
+                reducer.as_ref(),
+                &local,
+                attempt,
+                true,
+            )?;
+            fetched.segments = None; // success: the take sticks
+            counters.absorb(&local.snapshot());
+            *outputs[task].lock() = out;
+            Ok(())
         },
     );
     {
@@ -392,7 +492,7 @@ fn make_writer(config: &JobConfig) -> IFileWriter {
 /// spill arena, then sorting, combining and materializing spills through
 /// borrowed slices — no owned pair is allocated between the mapper's
 /// `emit` and the `IFileWriter`.
-fn run_map_task(
+pub(crate) fn run_map_task(
     config: &JobConfig,
     task: usize,
     split: &InputSplit,
@@ -592,7 +692,19 @@ fn merge_spills(
     for (partition, segs) in per_partition.into_iter().enumerate() {
         match segs.len() {
             0 => {}
-            1 => out.push((partition, segs.into_iter().next().expect("one"))),
+            // Structured error instead of a panic: an inconsistent
+            // partition map here (or a gap observed by a distributed
+            // fetch) must fail the task attempt — which is retryable —
+            // not the process.
+            1 => match segs.into_iter().next() {
+                Some(seg) => out.push((partition, seg)),
+                None => {
+                    return Err(MrError::Intermediate(format!(
+                        "partition {partition} of map task {task}: segment list \
+                         empty despite count 1 — partition map inconsistent"
+                    )))
+                }
+            },
             _ => {
                 let _merge_span = crate::span!(Phase::Merge, task);
                 let mut raws = Vec::with_capacity(segs.len());
@@ -670,13 +782,15 @@ impl<'a> ReduceStream<'a> {
 /// group, and run the user reduce function. Grouping and reduce consume
 /// records as the merge heap yields them; nothing is materialized as a
 /// whole run.
-fn run_reduce_task(
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_reduce_task(
     config: &JobConfig,
     task: usize,
     segments: &[Vec<u8>],
     reducer: &dyn Reducer,
     counters: &Counters,
     attempt: u32,
+    apply_corruption: bool,
 ) -> Result<Vec<KvPair>, MrError> {
     let ks = &config.key_semantics;
     let mut raws = Vec::with_capacity(segments.len());
@@ -686,11 +800,18 @@ fn run_reduce_task(
             obs::hist(Metric::ShuffleSegmentBytes, seg.len() as u64);
             // A configured fault plan may corrupt the fetched copy of a
             // segment (the canonical map output stays intact, as it
-            // would on the mapper's disk); the hot path borrows.
-            let corruption = config
-                .faults
-                .as_ref()
-                .and_then(|p| p.corruption(task as u64, attempt, index as u64));
+            // would on the mapper's disk); the hot path borrows. The
+            // distributed worker passes `apply_corruption = false`: its
+            // segments were already corrupted on the wire by the shuffle
+            // service at the same (task, attempt, index) coordinates.
+            let corruption = if apply_corruption {
+                config
+                    .faults
+                    .as_ref()
+                    .and_then(|p| p.corruption(task as u64, attempt, index as u64))
+            } else {
+                None
+            };
             let r = match corruption {
                 Some(c) => {
                     let mut fetched = seg.clone();
@@ -1080,6 +1201,132 @@ mod tests {
         );
         let counts = collect_counts(&result);
         assert_eq!(counts.values().sum::<u64>(), 300);
+    }
+
+    #[test]
+    fn work_queue_survives_poisoned_mutex() {
+        // A thread panicking while holding the state lock poisons the
+        // std mutex; queue operations must recover the guard instead of
+        // cascading the panic into every other slot.
+        let q = WorkQueue::new(vec![1usize]);
+        let qref = &q;
+        std::thread::scope(|s| {
+            let handle = s.spawn(|| {
+                let _guard = qref.state.lock().unwrap();
+                panic!("poison the queue mutex");
+            });
+            assert!(handle.join().is_err(), "the poisoning thread panicked");
+        });
+        assert!(q.state.is_poisoned(), "mutex must actually be poisoned");
+        let claimed = q.claim();
+        assert_eq!(claimed, Some((1usize, 0)));
+        q.finish();
+        assert!(q.is_drained());
+        assert!(q.claim().is_none());
+    }
+
+    #[test]
+    fn panicking_map_task_retries_instead_of_cascading() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let words: Vec<String> = (0..150).map(|i| format!("w{}", i % 11)).collect();
+        let refs: Vec<&str> = words.iter().map(|s| s.as_str()).collect();
+        let splits: Vec<InputSplit> = refs
+            .chunks(50)
+            .map(|chunk| {
+                InputSplit::new(
+                    chunk
+                        .iter()
+                        .map(|w| KvPair::new(w.as_bytes().to_vec(), vec![1u8]))
+                        .collect(),
+                )
+            })
+            .collect();
+        let panics = Arc::new(AtomicU32::new(0));
+        let panics_in_map = panics.clone();
+        let mapper = Arc::new(FnMapper(
+            move |k: &[u8], v: &[u8], out: &mut dyn crate::record::Emit| {
+                if panics_in_map.fetch_add(1, Ordering::Relaxed) == 0 {
+                    panic!("injected mapper panic (first record only)");
+                }
+                out.emit(k, v);
+            },
+        ));
+        let reducer = Arc::new(FnReducer(
+            |k: &[u8], values: &[&[u8]], out: &mut dyn crate::record::Emit| {
+                let total: u64 = values.iter().map(|v| v.len() as u64).sum();
+                out.emit(k, &total.to_be_bytes());
+            },
+        ));
+        let result = Job::new(JobConfig::default().with_reducers(2).with_retries(2))
+            .run(splits, mapper, reducer)
+            .expect("panicking attempt must retry, not cascade");
+        let counts = collect_counts(&result);
+        assert_eq!(counts.values().sum::<u64>(), 150);
+        assert!(result.counters.get(Counter::TaskRetries) >= 1);
+    }
+
+    #[test]
+    fn panicking_reduce_task_restores_segments_for_the_retry() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let words: Vec<String> = (0..120).map(|i| format!("r{}", i % 7)).collect();
+        let refs: Vec<&str> = words.iter().map(|s| s.as_str()).collect();
+        let splits: Vec<InputSplit> = refs
+            .chunks(40)
+            .map(|chunk| {
+                InputSplit::new(
+                    chunk
+                        .iter()
+                        .map(|w| KvPair::new(w.as_bytes().to_vec(), vec![1u8]))
+                        .collect(),
+                )
+            })
+            .collect();
+        let mapper = Arc::new(FnMapper(
+            |k: &[u8], v: &[u8], out: &mut dyn crate::record::Emit| out.emit(k, v),
+        ));
+        let panics = Arc::new(AtomicU32::new(0));
+        let panics_in_reduce = panics.clone();
+        let reducer = Arc::new(FnReducer(
+            move |k: &[u8], values: &[&[u8]], out: &mut dyn crate::record::Emit| {
+                if panics_in_reduce.fetch_add(1, Ordering::Relaxed) == 0 {
+                    panic!("injected reducer panic (first group only)");
+                }
+                let total: u64 = values.iter().map(|v| v.len() as u64).sum();
+                out.emit(k, &total.to_be_bytes());
+            },
+        ));
+        // The retry must see the same segments the panicking attempt
+        // took (the restore guard ran during the unwind), so the job
+        // completes with full counts.
+        let result = Job::new(JobConfig::default().with_reducers(2).with_retries(2))
+            .run(splits, mapper, reducer)
+            .expect("reduce panic must restore segments and retry");
+        let counts = collect_counts(&result);
+        assert_eq!(counts.values().sum::<u64>(), 120);
+        assert_eq!(counts.len(), 7);
+        assert!(result.counters.get(Counter::TaskRetries) >= 1);
+    }
+
+    #[test]
+    fn always_panicking_task_fails_the_job_without_cascading() {
+        let mapper = Arc::new(FnMapper(
+            |_: &[u8], _: &[u8], _: &mut dyn crate::record::Emit| {
+                panic!("unconditional mapper panic");
+            },
+        ));
+        let reducer = Arc::new(FnReducer(
+            |k: &[u8], _: &[&[u8]], out: &mut dyn crate::record::Emit| out.emit(k, b"x"),
+        ));
+        let splits = vec![InputSplit::new(vec![KvPair::new(
+            b"k".to_vec(),
+            b"v".to_vec(),
+        )])];
+        let err = match Job::new(JobConfig::default()).run(splits, mapper, reducer) {
+            Ok(_) => panic!("the job must fail with a structured error"),
+            Err(e) => e,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("panicked"), "{msg}");
     }
 
     #[test]
