@@ -12,10 +12,16 @@
 //! root is a committed baseline from this machine.
 
 use criterion::{black_box, Criterion, Throughput};
+use scihadoop_bench::DistJobSpec;
+use scihadoop_compress::checksum::Crc32c;
 use scihadoop_compress::IdentityCodec;
+use scihadoop_mapreduce::dist::{
+    run_distributed_with_threads, DistConfig, SegmentHandle, ShuffleStore, Transport,
+};
 use scihadoop_mapreduce::{
-    for_each_group, merge_sorted_runs, DefaultKeySemantics, Framing, HeapMergeStream, IFileReader,
-    IFileWriter, KeySemantics, KvPair, MergeStream, RawSegment, SortBuffer, SpillArena,
+    for_each_group, merge_sorted_runs, Counter, DefaultKeySemantics, Framing, HeapMergeStream,
+    IFileReader, IFileWriter, KeySemantics, KvPair, MergeStream, RawSegment, SortBuffer,
+    SpillArena,
 };
 use std::sync::Arc;
 use std::time::Instant;
@@ -245,6 +251,125 @@ fn bench_merge_reduce(c: &mut Criterion) -> f64 {
     (ratios[ratios.len() / 2] - 1.0) * 100.0
 }
 
+/// The coordinator's segment-serving path against the shuffle store:
+/// an all-resident store vs one forced to spill every segment (budget
+/// 0), both drained in canonical order through the same 64 KiB chunk
+/// loop the wire path uses — spilled chunks `pread` into the chunk
+/// buffer and re-verify the spill-time CRC, exactly as `serve_reduce`
+/// does. Those two rows are the raw serving throughputs; the returned
+/// overhead figure (budget <= 10%) is measured *end to end* instead:
+/// full thread-mode distributed jobs over real sockets at budget 0 vs
+/// unbounded, because in a real job the spill read is one slice of
+/// serving (sockets, credits, reduce compute) rather than the whole of
+/// it, and the wall-clock cost of spilling is what a user pays.
+fn bench_shuffle_serve(c: &mut Criterion) -> f64 {
+    const MAPS: usize = 16;
+    const SEG_LEN: usize = 96 << 10;
+    let segments: Vec<Vec<u8>> = (0..MAPS)
+        .map(|m| {
+            (0..SEG_LEN)
+                .map(|i| (i as u64).wrapping_mul(m as u64 + 0x9e37) as u8)
+                .collect()
+        })
+        .collect();
+    let publish = |store: &ShuffleStore| {
+        for (m, seg) in segments.iter().enumerate() {
+            store.publish(m, vec![(0, seg.clone())]).unwrap();
+        }
+    };
+    let mem_store = ShuffleStore::new(1, MAPS, usize::MAX);
+    let spill_store = ShuffleStore::new(1, MAPS, 0);
+    publish(&mem_store);
+    publish(&spill_store);
+    assert_eq!(spill_store.spilled_bytes(), (MAPS * SEG_LEN) as u64);
+
+    let serve = |store: &ShuffleStore| -> u64 {
+        let _fetch = store.fetch_guard(0);
+        let mut chunk = vec![0u8; 64 << 10];
+        let mut acc = 0u64;
+        for m in 0..MAPS {
+            let handle = store.segment_when_ready(0, m).unwrap().unwrap();
+            match &handle {
+                SegmentHandle::Mem(data) => {
+                    for piece in data.chunks(chunk.len()) {
+                        acc = acc.wrapping_add(piece.iter().map(|&b| b as u64).sum::<u64>());
+                    }
+                }
+                SegmentHandle::Spilled(h) => {
+                    let mut crc = Crc32c::new();
+                    let mut off = 0;
+                    while off < h.len() {
+                        let end = (off + chunk.len()).min(h.len());
+                        let buf = &mut chunk[..end - off];
+                        h.read_range(off, buf).unwrap();
+                        crc.update(buf);
+                        acc = acc.wrapping_add(buf.iter().map(|&b| b as u64).sum::<u64>());
+                        off = end;
+                    }
+                    assert_eq!(crc.finish(), h.crc(), "spill CRC must verify");
+                }
+            }
+        }
+        acc
+    };
+
+    let mut group = c.benchmark_group("shuffle_serve");
+    group.throughput(Throughput::Bytes((MAPS * SEG_LEN) as u64));
+    group.sample_size(20);
+    group.bench_function("mem", |b| b.iter(|| black_box(serve(&mem_store))));
+    group.bench_function("spill", |b| b.iter(|| black_box(serve(&spill_store))));
+    group.finish();
+
+    // Paired-median end-to-end overhead: one full thread-mode
+    // distributed run per side per round, interleaved so machine drift
+    // hits both sides of each round equally.
+    let spec = DistJobSpec {
+        records: 6_000,
+        ..DistJobSpec::default()
+    };
+    let config = spec.build_config().expect("spec builds");
+    let splits = spec.make_splits();
+    let run = |budget: usize| {
+        let dist_cfg = DistConfig::default()
+            .with_workers(2)
+            .with_transport(Transport::Tcp)
+            .with_shuffle_mem_bytes(Some(budget));
+        let t0 = Instant::now();
+        let result = run_distributed_with_threads(
+            &config,
+            &dist_cfg,
+            splits.clone(),
+            Arc::new(DistJobSpec::mapper()),
+            Arc::new(DistJobSpec::reducer()),
+        )
+        .expect("thread-mode dist run");
+        (t0.elapsed().as_nanos().max(1), result)
+    };
+    // Warm both paths (page cache, allocator, listener setup) and pin
+    // the invariants the ratio depends on: budget 0 spills every byte,
+    // unbounded spills none, outputs agree.
+    let (_, spilled_run) = run(0);
+    let (_, resident_run) = run(usize::MAX);
+    assert_eq!(spilled_run.outputs, resident_run.outputs);
+    assert!(spilled_run.counters.get(Counter::ShuffleSpilledBytes) > 0);
+    assert_eq!(resident_run.counters.get(Counter::ShuffleSpilledBytes), 0);
+
+    let mut ratios = Vec::new();
+    for round in 0..11 {
+        let (first, second) = if round % 2 == 0 {
+            (0, usize::MAX)
+        } else {
+            (usize::MAX, 0)
+        };
+        let (a, _) = run(first);
+        let (b, _) = run(second);
+        let (spilled, resident) = if round % 2 == 0 { (a, b) } else { (b, a) };
+        ratios.push(spilled as f64 / resident as f64);
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    (ratios[ratios.len() / 2] - 1.0) * 100.0
+}
+
 /// One loser-tree streaming merge+group pass over sealed segments.
 fn streaming_merge_iter(segments: &[Vec<u8>], ks: &DefaultKeySemantics) -> u64 {
     let raws: Vec<RawSegment> = segments
@@ -295,6 +420,7 @@ fn main() {
     let mut criterion = Criterion::default();
     bench_map_sort_spill(&mut criterion);
     let crc_overhead = bench_merge_reduce(&mut criterion);
+    let spill_overhead = bench_shuffle_serve(&mut criterion);
 
     // Speedups + optional JSON baseline.
     let rate = |id: &str| {
@@ -319,6 +445,7 @@ fn main() {
     println!("radix spill sort speedup (shuffled emission):  {radix_speedup_shuffled:.2}x");
     println!("loser-tree merge speedup (vs sift-down heap merge):  {loser_tree_speedup:.2}x");
     println!("CRC-32C trailer overhead on streaming merge: {crc_overhead:+.2}% (budget <= 6%)");
+    println!("shuffle spill serving overhead (vs resident): {spill_overhead:+.2}% (budget <= 10%)");
 
     if let Ok(path) = std::env::var("BENCH_SHUFFLE_JSON") {
         let mut json = String::from("{\n  \"benchmarks\": [\n");
@@ -337,7 +464,7 @@ fn main() {
             ));
         }
         json.push_str(&format!(
-            "  ],\n  \"map_sort_spill_speedup\": {spill_speedup:.2},\n  \"merge_reduce_speedup\": {merge_speedup:.2},\n  \"radix_sort_speedup\": {radix_speedup:.2},\n  \"radix_sort_speedup_shuffled\": {radix_speedup_shuffled:.2},\n  \"loser_tree_speedup\": {loser_tree_speedup:.2},\n  \"crc_trailer_overhead_pct\": {crc_overhead:.2},\n  \"host_cpus\": {host_cpus}\n}}\n"
+            "  ],\n  \"map_sort_spill_speedup\": {spill_speedup:.2},\n  \"merge_reduce_speedup\": {merge_speedup:.2},\n  \"radix_sort_speedup\": {radix_speedup:.2},\n  \"radix_sort_speedup_shuffled\": {radix_speedup_shuffled:.2},\n  \"loser_tree_speedup\": {loser_tree_speedup:.2},\n  \"crc_trailer_overhead_pct\": {crc_overhead:.2},\n  \"shuffle_spill_overhead_pct\": {spill_overhead:.2},\n  \"host_cpus\": {host_cpus}\n}}\n"
         ));
         std::fs::write(&path, json).expect("write bench json");
         println!("wrote {path}");

@@ -27,8 +27,12 @@
 //!
 //! --small runs reduced problem sizes (CI-friendly).
 //! --workers <n> sets the worker-process count for dist (default 3);
-//!   --transport <tcp|uds> picks the socket family (default uds).
-//!   Either flag implies the dist experiment when none is named.
+//!   --transport <tcp|uds> picks the socket family (default uds);
+//!   --shuffle-mem-kib <n> bounds the coordinator's in-memory shuffle
+//!   store (segments past the budget spill to disk and are served back
+//!   by positioned reads; 0 spills everything; default auto-sizes from
+//!   available memory). Any of these flags implies the dist experiment
+//!   when none is named.
 //! --codec <name> sets the intermediate-data codec for fault_storm,
 //!   composed from: [block-][transform+](identity|rle|deflate|bzip),
 //!   e.g. "block-transform+deflate" (the parallel block pipeline over
@@ -207,11 +211,18 @@ fn main() {
             std::process::exit(2);
         })
     });
+    let shuffle_mem: Option<usize> = flag_value("--shuffle-mem-kib").map(|v| {
+        let kib: usize = v.parse().unwrap_or_else(|_| {
+            eprintln!("--shuffle-mem-kib requires an unsigned integer, got {v:?}");
+            std::process::exit(2);
+        });
+        kib << 10
+    });
     // Positional experiment name: skip flags and their path values. With
     // only --trace/--metrics/--ledger given, default to the trace
     // experiment rather than the full suite; with only --reconcile, run
     // no experiment at all (reconcile is a standalone action).
-    let mut which = if workers.is_some() || transport.is_some() {
+    let mut which = if workers.is_some() || transport.is_some() || shuffle_mem.is_some() {
         "dist".to_string()
     } else if trace_path.is_some() || metrics_path.is_some() || ledger_path.is_some() {
         "trace".to_string()
@@ -237,6 +248,7 @@ fn main() {
             || a == "--ifile-version"
             || a == "--workers"
             || a == "--transport"
+            || a == "--shuffle-mem-kib"
         {
             skip_next = true;
         } else if !a.starts_with("--") {
@@ -409,11 +421,20 @@ fn main() {
         };
         println!(
             "{}",
-            bench::dist_equivalence(&clean, workers, transport, &[], sink.as_ref()).render()
+            bench::dist_equivalence(&clean, workers, transport, shuffle_mem, &[], sink.as_ref())
+                .render()
         );
         println!(
             "{}",
-            bench::dist_equivalence(&faulted, workers, transport, &[], sink.as_ref()).render()
+            bench::dist_equivalence(
+                &faulted,
+                workers,
+                transport,
+                shuffle_mem,
+                &[],
+                sink.as_ref()
+            )
+            .render()
         );
         if let Some(sink) = &sink {
             println!(

@@ -1359,10 +1359,17 @@ pub fn scaling_check(sides: &[u32]) -> Result<Table, GridError> {
 /// When `ledger` is given, both runs append records (`dist_local` and
 /// `dist_<transport>`), so `repro --reconcile` can compare the cost
 /// model against a real network+disk run.
+///
+/// `shuffle_mem` bounds the coordinator's in-memory shuffle store
+/// (`None` = auto-size from machine memory, `Some(0)` = spill every
+/// segment). The byte-identity assertions do not weaken under a tiny
+/// budget: spilling changes *where* segments wait, never what is
+/// served.
 pub fn dist_equivalence(
     spec: &crate::distjobs::DistJobSpec,
     workers: usize,
     transport: Transport,
+    shuffle_mem: Option<usize>,
     worker_args: &[&str],
     ledger: Option<&obs::LedgerSink>,
 ) -> Table {
@@ -1385,6 +1392,7 @@ pub fn dist_equivalence(
     let dist = DistConfig::default()
         .with_workers(workers)
         .with_transport(transport)
+        .with_shuffle_mem_bytes(shuffle_mem)
         .with_worker_args(worker_args)
         .with_job_payload(&spec.to_spec_string());
     let t0 = Instant::now();
@@ -1465,6 +1473,15 @@ pub fn dist_equivalence(
             remote.counters.get(Counter::FaultsInjected),
             remote.counters.get(Counter::ChecksumFailures),
             remote.counters.get(Counter::TaskRetries),
+        ));
+    }
+    if let Some(budget) = shuffle_mem {
+        table.note(&format!(
+            "shuffle budget {} KiB: {} spilled ({} spill reads), high water {} — outputs still byte-identical",
+            budget >> 10,
+            fmt_bytes(remote.counters.get(Counter::ShuffleSpilledBytes)),
+            remote.counters.get(Counter::ShuffleSpillReads),
+            fmt_bytes(remote.counters.get(Counter::ShuffleMemHighWater)),
         ));
     }
     table.note("outputs and semantic counters byte-identical local vs distributed (asserted)");

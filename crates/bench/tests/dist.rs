@@ -51,30 +51,65 @@ fn storm_spec() -> DistJobSpec {
 
 #[test]
 fn three_tcp_worker_processes_match_the_local_engine() {
-    dist_equivalence(&clean_spec(), 3, Transport::Tcp, WORKER_ARGS, None);
+    dist_equivalence(&clean_spec(), 3, Transport::Tcp, None, WORKER_ARGS, None);
 }
 
 #[cfg(unix)]
 #[test]
 fn three_uds_worker_processes_match_the_local_engine() {
-    dist_equivalence(&clean_spec(), 3, Transport::Uds, WORKER_ARGS, None);
+    dist_equivalence(&clean_spec(), 3, Transport::Uds, None, WORKER_ARGS, None);
 }
 
 #[test]
 fn fault_storm_with_wire_corruption_is_byte_identical_over_tcp() {
-    dist_equivalence(&storm_spec(), 3, Transport::Tcp, WORKER_ARGS, None);
+    dist_equivalence(&storm_spec(), 3, Transport::Tcp, None, WORKER_ARGS, None);
 }
 
 #[cfg(unix)]
 #[test]
 fn fault_storm_with_wire_corruption_is_byte_identical_over_uds() {
-    let table = dist_equivalence(&storm_spec(), 3, Transport::Uds, WORKER_ARGS, None);
+    let table = dist_equivalence(&storm_spec(), 3, Transport::Uds, None, WORKER_ARGS, None);
     // The storm actually stormed: the fault note reports non-zero
     // injections (tallies themselves are asserted inside).
     assert!(
         table.render().contains("injected"),
         "fault note missing:\n{}",
         table.render()
+    );
+}
+
+// A 64 KiB budget against a multi-megabyte shuffle forces nearly every
+// segment through the spill file; the storm's worker kills then force
+// re-fetches of already-spilled segments. Byte-identity is asserted
+// inside dist_equivalence either way.
+
+#[test]
+fn tiny_shuffle_budget_storm_is_byte_identical_over_tcp() {
+    let table = dist_equivalence(
+        &storm_spec(),
+        3,
+        Transport::Tcp,
+        Some(64 << 10),
+        WORKER_ARGS,
+        None,
+    );
+    assert!(
+        table.render().contains("spilled"),
+        "spill note missing:\n{}",
+        table.render()
+    );
+}
+
+#[cfg(unix)]
+#[test]
+fn tiny_shuffle_budget_storm_is_byte_identical_over_uds() {
+    dist_equivalence(
+        &storm_spec(),
+        3,
+        Transport::Uds,
+        Some(64 << 10),
+        WORKER_ARGS,
+        None,
     );
 }
 
@@ -85,7 +120,7 @@ fn a_compressed_codec_survives_the_wire_byte_identically() {
         block_kib: 16,
         ..clean_spec()
     };
-    dist_equivalence(&spec, 2, Transport::Tcp, WORKER_ARGS, None);
+    dist_equivalence(&spec, 2, Transport::Tcp, None, WORKER_ARGS, None);
 }
 
 /// Environment variable carrying the interleave test's shared ledger

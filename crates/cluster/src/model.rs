@@ -113,6 +113,11 @@ pub struct PhaseTimes {
     pub map_write_s: f64,
     /// Network transfer of materialized bytes to reducers.
     pub shuffle_s: f64,
+    /// Coordinator-side shuffle-store spill: bytes past the in-memory
+    /// budget written to the shuffle host's disk and read back on serve.
+    /// Zero whenever the store never spills, so bounded and unbounded
+    /// runs share every other term.
+    pub shuffle_spill_disk_s: f64,
     /// Reducer-side disk: write fetched data, read it back for the merge
     /// (Fig. 1 steps 4–5).
     pub reduce_disk_s: f64,
@@ -181,6 +186,10 @@ impl CostModel {
             map_codec_s: codec_cpu(stats.compress_nanos),
             map_write_s: mb(stats.map_output_materialized_bytes) / map_disk,
             shuffle_s: mb(stats.map_output_materialized_bytes) / net,
+            // Spilled bytes cross one host's disk twice (append on
+            // publish, pread on serve) — the shuffle service runs on a
+            // single coordinator, so no node aggregation applies.
+            shuffle_spill_disk_s: 2.0 * mb(stats.shuffle_spilled_bytes) / s.disk_mbps,
             // Written once and read back at least once on the reducer.
             reduce_disk_s: 2.0 * mb(stats.map_output_materialized_bytes) / reduce_disk,
             reduce_codec_s: codec_cpu(stats.decompress_nanos),
@@ -198,8 +207,11 @@ impl CostModel {
         let map_makespan_s = phases.map_read_s + phases.map_write_s + map_cpu_parallel;
 
         let reduce_cpu_parallel = (phases.reduce_codec_s + phases.reduce_cpu_s) / reduce_nodes;
-        let reduce_makespan_s =
-            phases.shuffle_s + phases.reduce_disk_s + reduce_cpu_parallel + phases.output_write_s;
+        let reduce_makespan_s = phases.shuffle_s
+            + phases.shuffle_spill_disk_s
+            + phases.reduce_disk_s
+            + reduce_cpu_parallel
+            + phases.output_write_s;
 
         SimReport {
             phases,
@@ -306,6 +318,7 @@ mod tests {
             map_output_bytes: materialized * 2,
             map_output_materialized_bytes: materialized,
             output_bytes: 10_000_000,
+            shuffle_spilled_bytes: 0,
             compress_nanos,
             decompress_nanos: compress_nanos / 3,
             map_fn_nanos: 50_000_000_000,
@@ -315,6 +328,21 @@ mod tests {
             map_wall_nanos: 0,
             reduce_wall_nanos: 0,
         }
+    }
+
+    #[test]
+    fn spilled_bytes_add_a_disk_term_only_when_present() {
+        let m = CostModel::new(ClusterSpec::paper_cluster());
+        let base = m.simulate(&stats(1_000_000_000, 0));
+        assert_eq!(base.phases.shuffle_spill_disk_s, 0.0);
+        let mut with_spill = stats(1_000_000_000, 0);
+        with_spill.shuffle_spilled_bytes = 500_000_000;
+        let spilled = m.simulate(&with_spill);
+        assert!(spilled.phases.shuffle_spill_disk_s > 0.0);
+        assert!(spilled.total_s > base.total_s);
+        // The spill term is additive: no other phase moves.
+        assert_eq!(spilled.phases.shuffle_s, base.phases.shuffle_s);
+        assert_eq!(spilled.phases.reduce_disk_s, base.phases.reduce_disk_s);
     }
 
     #[test]
@@ -507,6 +535,7 @@ mod tests {
             map_output_bytes: 0,
             map_output_materialized_bytes: 0,
             output_bytes: 0,
+            shuffle_spilled_bytes: 0,
             compress_nanos: 0,
             decompress_nanos: 0,
             map_fn_nanos: 0,

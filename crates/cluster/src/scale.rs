@@ -23,6 +23,7 @@ pub fn scale_stats(stats: &JobStats, factor: f64) -> JobStats {
         map_output_bytes: b(stats.map_output_bytes),
         map_output_materialized_bytes: b(stats.map_output_materialized_bytes),
         output_bytes: b(stats.output_bytes),
+        shuffle_spilled_bytes: b(stats.shuffle_spilled_bytes),
         compress_nanos: b(stats.compress_nanos),
         decompress_nanos: b(stats.decompress_nanos),
         map_fn_nanos: b(stats.map_fn_nanos),
@@ -46,6 +47,7 @@ mod tests {
             map_output_bytes: 5000,
             map_output_materialized_bytes: 2000,
             output_bytes: 100,
+            shuffle_spilled_bytes: 600,
             compress_nanos: 1_000_000,
             decompress_nanos: 300_000,
             map_fn_nanos: 2_000_000,

@@ -99,10 +99,26 @@ pub enum Counter {
     /// `ShuffleBytes` by this yields the run's measured shuffle
     /// bandwidth, which the cluster model consumes.
     ShuffleTransferNanos,
+    /// Segment bytes the memory-bounded shuffle store wrote to its
+    /// per-partition spill files because the in-memory budget was
+    /// exhausted (distributed runtime only; 0 for unbounded budgets).
+    /// Feeds the cluster model's disk term.
+    ShuffleSpilledBytes,
+    /// Segment reads served from a spill file instead of memory
+    /// (distributed runtime only). A retried reduce re-fetching a
+    /// spilled segment counts again — this is disk traffic, not
+    /// distinct segments.
+    ShuffleSpillReads,
+    /// High-water mark of shuffle bytes resident in memory at once.
+    /// Max-semantics recorded once at job end, so it stays additive in
+    /// the counter bank. Local runs report their full shuffle volume
+    /// (everything is resident); bounded distributed runs report at
+    /// most the configured budget.
+    ShuffleMemHighWater,
 }
 
 /// Number of counter slots.
-pub const NUM_COUNTERS: usize = Counter::ShuffleTransferNanos as usize + 1;
+pub const NUM_COUNTERS: usize = Counter::ShuffleMemHighWater as usize + 1;
 
 /// Every counter, in declaration order — for reports and exporters.
 pub const ALL_COUNTERS: [Counter; NUM_COUNTERS] = [
@@ -138,6 +154,9 @@ pub const ALL_COUNTERS: [Counter; NUM_COUNTERS] = [
     Counter::BlocksSkipped,
     Counter::ShuffleFetchWaitNanos,
     Counter::ShuffleTransferNanos,
+    Counter::ShuffleSpilledBytes,
+    Counter::ShuffleSpillReads,
+    Counter::ShuffleMemHighWater,
 ];
 
 impl Counter {
@@ -176,14 +195,26 @@ impl Counter {
             Counter::BlocksSkipped => "blocks_skipped",
             Counter::ShuffleFetchWaitNanos => "shuffle_fetch_wait_nanos",
             Counter::ShuffleTransferNanos => "shuffle_transfer_nanos",
+            Counter::ShuffleSpilledBytes => "shuffle_spilled_bytes",
+            Counter::ShuffleSpillReads => "shuffle_spill_reads",
+            Counter::ShuffleMemHighWater => "shuffle_mem_high_water",
         }
     }
 }
 
 /// Lock-free counter bank, shared across tasks.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Counters {
     slots: [AtomicU64; NUM_COUNTERS],
+}
+
+impl Default for Counters {
+    // Derived `Default` stops at 32-element arrays; the bank outgrew it.
+    fn default() -> Self {
+        Counters {
+            slots: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
 }
 
 impl Counters {

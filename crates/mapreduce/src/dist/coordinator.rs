@@ -6,8 +6,8 @@
 //! job's retry budget and deterministic backoff.
 
 use super::net::{Listener, Stream};
-use super::shuffle::ShuffleStore;
-use super::wire::{expect_credit, read_msg, write_msg, Msg};
+use super::shuffle::{SegmentHandle, ShuffleStore, SpilledHandle};
+use super::wire::{encode_seg_chunk, expect_credit, read_msg_capped, write_msg_capped, Msg};
 use super::DistConfig;
 use crate::counters::{Counter, Counters};
 use crate::error::MrError;
@@ -17,6 +17,8 @@ use crate::record::{InputSplit, KvPair, Mapper, Reducer};
 use crate::runner::WorkQueue;
 use crate::stats::JobStats;
 use parking_lot::Mutex;
+use scihadoop_compress::checksum::Crc32c;
+use std::io::Write;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -254,7 +256,7 @@ fn run_coordinator(
         num_maps,
         map_queue: WorkQueue::new((0..num_maps).collect()),
         reduce_queue: WorkQueue::new((0..config.num_reducers).collect()),
-        store: ShuffleStore::new(config.num_reducers, num_maps),
+        store: ShuffleStore::new(config.num_reducers, num_maps, dist.shuffle_mem_budget()),
         counters: Counters::new(),
         errors: Mutex::new(Vec::new()),
         outputs: (0..config.num_reducers)
@@ -325,6 +327,17 @@ fn run_coordinator(
     shared
         .counters
         .add(Counter::ShuffleBytes, shared.store.total_bytes());
+    shared
+        .counters
+        .add(Counter::ShuffleSpilledBytes, shared.store.spilled_bytes());
+    shared
+        .counters
+        .add(Counter::ShuffleSpillReads, shared.store.spill_reads());
+    // Max-semantics charged once at job end, so the additive bank holds
+    // the true high-water mark.
+    shared
+        .counters
+        .add(Counter::ShuffleMemHighWater, shared.store.mem_high_water());
     let outputs: Vec<Vec<KvPair>> = shared.outputs.iter().map(|m| m.lock().clone()).collect();
     let snapshot = shared.counters.snapshot();
     #[cfg(debug_assertions)]
@@ -412,7 +425,8 @@ fn next_assignment(shared: &Shared) -> Assignment {
 /// connection (or the worker behind it) failed; any task it was running
 /// has already been routed through the retry budget.
 fn serve_connection(shared: &Shared, mut stream: Stream) -> Result<(), MrError> {
-    let worker = match read_msg(&mut stream)? {
+    let cap = shared.dist.max_frame_bytes;
+    let worker = match read_msg_capped(&mut stream, cap)? {
         Msg::Hello { worker } => worker,
         other => {
             return Err(MrError::Net(format!(
@@ -427,7 +441,7 @@ fn serve_connection(shared: &Shared, mut stream: Stream) -> Result<(), MrError> 
         .as_ref()
         .map(|r| r.attach(&format!("dist-conn-{worker}")));
     loop {
-        match read_msg(&mut stream)? {
+        match read_msg_capped(&mut stream, cap)? {
             Msg::TaskRequest => {}
             other => {
                 return Err(MrError::Net(format!(
@@ -438,7 +452,7 @@ fn serve_connection(shared: &Shared, mut stream: Stream) -> Result<(), MrError> 
         }
         match next_assignment(shared) {
             Assignment::Shutdown => {
-                write_msg(&mut stream, &Msg::Shutdown)?;
+                write_msg_capped(&mut stream, &Msg::Shutdown, cap)?;
                 return Ok(());
             }
             Assignment::Map(task, attempt) => {
@@ -540,7 +554,8 @@ fn serve_map(
     task: usize,
     attempt: u32,
 ) -> Result<(), MrError> {
-    write_msg(
+    let cap = shared.dist.max_frame_bytes;
+    write_msg_capped(
         stream,
         &Msg::MapTask {
             task: task as u32,
@@ -548,10 +563,11 @@ fn serve_map(
             credits: shared.dist.push_credits,
             split: shared.splits[task].clone(),
         },
+        cap,
     )?;
     let mut staged: Vec<(usize, Vec<u8>)> = Vec::new();
     loop {
-        match read_msg(stream)? {
+        match read_msg_capped(stream, cap)? {
             Msg::MapSegment { partition, data } => {
                 let partition = partition as usize;
                 if partition >= shared.config.num_reducers {
@@ -560,7 +576,7 @@ fn serve_map(
                     )));
                 }
                 staged.push((partition, data));
-                write_msg(stream, &Msg::Credit)?;
+                write_msg_capped(stream, &Msg::Credit, cap)?;
             }
             Msg::MapDone {
                 task: t,
@@ -575,7 +591,7 @@ fn serve_map(
                 }
                 shared.counters.absorb(&harness);
                 shared.counters.absorb(&local);
-                shared.store.publish(task, staged);
+                shared.store.publish(task, staged)?;
                 shared.map_queue.finish();
                 shared.note_maps_drained();
                 return Ok(());
@@ -608,6 +624,23 @@ fn serve_map(
     }
 }
 
+/// Where one segment's chunk payloads come from: a resident byte slice
+/// (in-memory segment, or a corrupted copy) or a spilled segment read
+/// straight from its spill file into the outgoing frame.
+enum ChunkSource<'a> {
+    Slice(&'a [u8]),
+    Spilled(&'a SpilledHandle),
+}
+
+impl ChunkSource<'_> {
+    fn len(&self) -> usize {
+        match self {
+            ChunkSource::Slice(data) => data.len(),
+            ChunkSource::Spilled(h) => h.len(),
+        }
+    }
+}
+
 /// Run one reduce assignment: stream the partition's segments (in
 /// canonical map-task order, blocking per segment until its producer
 /// finishes — the fetch-while-map overlap) under the worker's credit
@@ -629,14 +662,16 @@ fn serve_reduce(
             *t0 = Some(Instant::now());
         }
     }
-    write_msg(
+    let cap = shared.dist.max_frame_bytes;
+    write_msg_capped(
         stream,
         &Msg::ReduceTask {
             task: task as u32,
             attempt,
         },
+        cap,
     )?;
-    let window = match read_msg(stream)? {
+    let window = match read_msg_capped(stream, cap)? {
         Msg::FetchStart { credits } => {
             if credits == 0 {
                 return Err(MrError::Net(format!(
@@ -679,59 +714,103 @@ fn serve_reduce(
     let mut wait_nanos = 0u64;
     let mut transfer_nanos = 0u64;
     let chunk_bytes = shared.dist.chunk_bytes;
-    for map_task in 0..shared.num_maps {
-        let wait_t0 = Instant::now();
-        let seg = match shared.store.segment_when_ready(task, map_task) {
-            Ok(seg) => seg,
-            Err(_) => {
-                // Job aborted while waiting on a map output: release
-                // the worker cleanly; the abort's cause is already
-                // collected elsewhere.
-                write_msg(stream, &Msg::Shutdown)?;
-                shared.reduce_queue.finish();
-                return Ok(true);
+    {
+        // Mark this partition actively fetched for the duration of the
+        // segment stream: the store's eviction policy keeps its
+        // resident segments in memory while we are about to need them.
+        let _fetch = shared.store.fetch_guard(task);
+        // Double-buffered frames: the next chunk is assembled — for
+        // spilled segments, `pread` straight into the frame's payload
+        // region — right after the previous one is written, so the disk
+        // read overlaps the in-flight chunk's socket round trip instead
+        // of serializing behind the credit wait.
+        let mut frames: [Vec<u8>; 2] = [Vec::new(), Vec::new()];
+        let mut cur = 0usize;
+        for map_task in 0..shared.num_maps {
+            let wait_t0 = Instant::now();
+            let handle = match shared.store.segment_when_ready(task, map_task) {
+                Ok(handle) => handle,
+                Err(_) => {
+                    // Job aborted while waiting on a map output: release
+                    // the worker cleanly; the abort's cause is already
+                    // collected elsewhere.
+                    write_msg_capped(stream, &Msg::Shutdown, cap)?;
+                    shared.reduce_queue.finish();
+                    return Ok(true);
+                }
+            };
+            wait_nanos += wait_t0.elapsed().as_nanos() as u64;
+            let Some(handle) = handle else { continue };
+            // Wire corruption needs the whole segment materialized (it
+            // may flip or truncate anywhere); the clean path never
+            // rebuffers.
+            let corrupted: Option<Vec<u8>> = match shared
+                .config
+                .faults
+                .as_ref()
+                .and_then(|p| p.corruption(task as u64, attempt, index))
+            {
+                Some(c) => {
+                    shared.counters.add(Counter::FaultsInjected, 1);
+                    let mut data = handle.to_vec()?;
+                    c.apply(&mut data);
+                    Some(data)
+                }
+                None => None,
+            };
+            let src: ChunkSource = match (&corrupted, &handle) {
+                (Some(data), _) => ChunkSource::Slice(data),
+                (None, SegmentHandle::Mem(data)) => ChunkSource::Slice(data),
+                (None, SegmentHandle::Spilled(h)) => ChunkSource::Spilled(h),
+            };
+            let total = src.len();
+            let mut crc = Crc32c::new();
+            let mut off = 0usize;
+            let mut sent_any = false;
+            while off < total || !sent_any {
+                let end = (off + chunk_bytes).min(total);
+                let last = end == total;
+                let frame = &mut frames[cur];
+                match &src {
+                    ChunkSource::Slice(data) => {
+                        encode_seg_chunk(frame, index as u32, last, end - off, cap, |buf| {
+                            buf.copy_from_slice(&data[off..end]);
+                            Ok(())
+                        })?
+                    }
+                    ChunkSource::Spilled(h) => {
+                        encode_seg_chunk(frame, index as u32, last, end - off, cap, |buf| {
+                            h.read_range(off, buf)
+                        })?;
+                        // Re-verify the spill-time CRC incrementally;
+                        // the final chunk is checked *before* it is
+                        // sent, so disk corruption never reaches a
+                        // worker.
+                        crc.update(&frame[frame.len() - (end - off)..]);
+                        if last {
+                            let got = crc.finish();
+                            if got != h.crc() {
+                                return Err(h.crc_error(got));
+                            }
+                        }
+                    }
+                }
+                if credits == 0 {
+                    expect_credit(stream)?;
+                    credits += 1;
+                }
+                let send_t0 = Instant::now();
+                stream
+                    .write_all(&frames[cur])
+                    .map_err(|e| MrError::Net(format!("write SegChunk: {e}")))?;
+                transfer_nanos += send_t0.elapsed().as_nanos() as u64;
+                credits -= 1;
+                sent_any = true;
+                off = end;
+                cur ^= 1;
             }
-        };
-        wait_nanos += wait_t0.elapsed().as_nanos() as u64;
-        let Some(seg) = seg else { continue };
-        let corrupted: Option<Vec<u8>> = shared
-            .config
-            .faults
-            .as_ref()
-            .and_then(|p| p.corruption(task as u64, attempt, index))
-            .map(|c| {
-                shared.counters.add(Counter::FaultsInjected, 1);
-                let mut data = seg.as_ref().clone();
-                c.apply(&mut data);
-                data
-            });
-        let bytes: &[u8] = match &corrupted {
-            Some(data) => data,
-            None => seg.as_ref(),
-        };
-        let mut off = 0usize;
-        let mut sent_any = false;
-        while off < bytes.len() || !sent_any {
-            let end = (off + chunk_bytes).min(bytes.len());
-            if credits == 0 {
-                expect_credit(stream)?;
-                credits += 1;
-            }
-            let send_t0 = Instant::now();
-            write_msg(
-                stream,
-                &Msg::SegChunk {
-                    index: index as u32,
-                    last: end == bytes.len(),
-                    data: bytes[off..end].to_vec(),
-                },
-            )?;
-            transfer_nanos += send_t0.elapsed().as_nanos() as u64;
-            credits -= 1;
-            sent_any = true;
-            off = end;
+            index += 1;
         }
-        index += 1;
     }
     // Drain the credit window before closing the stream so no Credit
     // frame is left in flight to be misread as the next conversation.
@@ -739,11 +818,12 @@ fn serve_reduce(
         expect_credit(stream)?;
         credits += 1;
     }
-    write_msg(
+    write_msg_capped(
         stream,
         &Msg::SegmentsDone {
             count: index as u32,
         },
+        cap,
     )?;
     shared
         .counters
@@ -752,7 +832,7 @@ fn serve_reduce(
         .counters
         .add(Counter::ShuffleTransferNanos, transfer_nanos);
 
-    match read_msg(stream)? {
+    match read_msg_capped(stream, cap)? {
         Msg::ReduceDone {
             task: t,
             attempt: a,
@@ -906,6 +986,58 @@ mod tests {
             dist.counters.get(Counter::ChecksumFailures)
         );
         assert!(dist.counters.get(Counter::TaskRetries) > 0);
+    }
+
+    #[test]
+    fn zero_budget_fault_storm_spills_everything_and_stays_byte_identical() {
+        // Every segment is forced through the spill file, and the storm
+        // (task faults + wire corruption + retries) exercises re-fetch
+        // of already-spilled segments after mid-job attempt deaths.
+        let faults =
+            FaultConfig::parse("seed=42,map=0.4,reduce=0.3,corrupt=0.3,slow=0.1,slow_ms=1,cap=2")
+                .unwrap();
+        let config = JobConfig::default()
+            .with_reducers(3)
+            .with_slots(4, 2)
+            .with_retries(4)
+            .with_retry_backoff(Duration::from_micros(10))
+            .with_faults(FaultPlan::new(faults));
+        let splits = word_splits(5, 32);
+        let local = Job::new(config.clone())
+            .run(splits.clone(), count_mapper(), sum_reducer())
+            .unwrap();
+        let dist = run_distributed_with_threads(
+            &config,
+            &DistConfig::default()
+                .with_workers(3)
+                .with_transport(Transport::Tcp)
+                .with_shuffle_mem_bytes(Some(0)),
+            splits,
+            count_mapper(),
+            sum_reducer(),
+        )
+        .unwrap();
+        assert_same_outputs(&local, &dist);
+        for c in [
+            Counter::ShuffleBytes,
+            Counter::FaultsInjected,
+            Counter::ChecksumFailures,
+        ] {
+            assert_eq!(
+                local.counters.get(c),
+                dist.counters.get(c),
+                "counter {} must match under full spill",
+                c.name()
+            );
+        }
+        // Placement counters: nothing was ever resident, and retried
+        // attempts republish, so spill volume can exceed shuffle bytes.
+        assert_eq!(dist.counters.get(Counter::ShuffleMemHighWater), 0);
+        assert!(
+            dist.counters.get(Counter::ShuffleSpilledBytes)
+                >= dist.counters.get(Counter::ShuffleBytes)
+        );
+        assert!(dist.counters.get(Counter::ShuffleSpillReads) > 0);
     }
 
     #[test]

@@ -50,6 +50,8 @@ mod worker;
 
 pub use coordinator::{run_distributed, run_distributed_with_threads};
 pub use net::Transport;
+pub use shuffle::{auto_shuffle_mem_bytes, SegmentHandle, ShuffleStore, SpilledHandle};
+pub use wire::DEFAULT_MAX_FRAME_BYTES;
 pub use worker::run_worker;
 
 use crate::error::MrError;
@@ -91,6 +93,19 @@ pub struct DistConfig {
     pub chunk_bytes: usize,
     /// How long to wait for all workers to connect before giving up.
     pub spawn_timeout: Duration,
+    /// In-memory budget for the coordinator's shuffle store, in bytes.
+    /// Segments beyond it spill to per-partition disk files and are
+    /// served back by positioned reads. `None` sizes the budget from
+    /// available machine memory
+    /// ([`auto_shuffle_mem_bytes`](crate::dist::auto_shuffle_mem_bytes));
+    /// `Some(0)` spills everything, `Some(usize::MAX)` never spills.
+    /// Placement only — the served bytes are identical either way.
+    pub shuffle_mem_bytes: Option<usize>,
+    /// Upper bound on one wire frame's payload, a guard against corrupt
+    /// length prefixes causing giant allocations. Defaults to
+    /// [`DEFAULT_MAX_FRAME_BYTES`]; must comfortably exceed
+    /// `chunk_bytes` plus frame overhead.
+    pub max_frame_bytes: usize,
 }
 
 impl Default for DistConfig {
@@ -103,6 +118,8 @@ impl Default for DistConfig {
             push_credits: 4,
             chunk_bytes: 64 << 10,
             spawn_timeout: Duration::from_secs(30),
+            shuffle_mem_bytes: None,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
         }
     }
 }
@@ -118,6 +135,14 @@ impl DistConfig {
         }
         if self.chunk_bytes == 0 {
             return Err(MrError::Config("chunk_bytes must be > 0".into()));
+        }
+        // A SegChunk frame is the chunk payload plus a fixed header;
+        // 64 bytes of slack covers every header in the protocol.
+        if self.max_frame_bytes < self.chunk_bytes + 64 {
+            return Err(MrError::Config(format!(
+                "max_frame_bytes ({}) must exceed chunk_bytes ({}) plus frame overhead",
+                self.max_frame_bytes, self.chunk_bytes
+            )));
         }
         Ok(())
     }
@@ -150,6 +175,25 @@ impl DistConfig {
     pub fn with_chunk_bytes(mut self, bytes: usize) -> Self {
         self.chunk_bytes = bytes;
         self
+    }
+
+    /// Builder-style setter for the shuffle store's in-memory budget.
+    pub fn with_shuffle_mem_bytes(mut self, bytes: Option<usize>) -> Self {
+        self.shuffle_mem_bytes = bytes;
+        self
+    }
+
+    /// Builder-style setter for the wire frame cap.
+    pub fn with_max_frame_bytes(mut self, bytes: usize) -> Self {
+        self.max_frame_bytes = bytes;
+        self
+    }
+
+    /// The effective shuffle memory budget: the configured value, or
+    /// the machine-sized default.
+    pub fn shuffle_mem_budget(&self) -> usize {
+        self.shuffle_mem_bytes
+            .unwrap_or_else(auto_shuffle_mem_bytes)
     }
 }
 
@@ -212,6 +256,18 @@ mod tests {
             ..DistConfig::default()
         };
         assert!(zero_credits.validate().is_err());
+    }
+
+    #[test]
+    fn frame_cap_must_exceed_chunk_size() {
+        // A cap smaller than one chunk's frame could never carry a
+        // SegChunk; validation rejects it.
+        let cfg = DistConfig::default().with_max_frame_bytes(100);
+        assert!(cfg.validate().is_err());
+        let cfg = DistConfig::default()
+            .with_chunk_bytes(1024)
+            .with_max_frame_bytes(1024 + 64);
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

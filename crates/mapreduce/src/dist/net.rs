@@ -8,7 +8,8 @@ use std::net::{TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 /// Which socket family the shuffle service speaks.
@@ -94,36 +95,85 @@ impl Listener {
         }
     }
 
-    /// Accept one worker connection, polling non-blocking so the
-    /// coordinator can notice a worker that died before connecting
-    /// (via `alive`) instead of hanging forever.
+    /// Accept one worker connection without burning CPU on an idle
+    /// listener: a scoped helper thread sits in a *blocking* `accept`
+    /// while this thread parks on a channel, waking every 50 ms to
+    /// check worker liveness (`alive`) and the deadline. On failure the
+    /// helper — possibly still blocked in `accept` — is released by a
+    /// self-connection to the listener's own address, which it discards
+    /// once it sees the stop flag.
     pub(crate) fn accept_deadline(
         &self,
         deadline: Duration,
         alive: &mut dyn FnMut() -> bool,
     ) -> Result<Stream, MrError> {
-        self.set_nonblocking(true)?;
-        let t0 = Instant::now();
+        self.set_nonblocking(false)?;
+        let stop_flag = AtomicBool::new(false);
+        let stop = &stop_flag;
+        let (tx, rx) = mpsc::channel();
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                let result = self.accept_blocking();
+                if !stop.load(Ordering::SeqCst) {
+                    let _ = tx.send(result);
+                }
+            });
+            let t0 = Instant::now();
+            loop {
+                match rx.recv_timeout(Duration::from_millis(50)) {
+                    Ok(result) => return result,
+                    Err(mpsc::RecvTimeoutError::Timeout) => {}
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        return Err(MrError::Net("shuffle accept thread exited".into()))
+                    }
+                }
+                let failure = if !alive() {
+                    Some(MrError::Net(
+                        "a worker process exited before connecting to the shuffle service".into(),
+                    ))
+                } else if t0.elapsed() > deadline {
+                    Some(MrError::Net(format!(
+                        "no worker connected within {deadline:?}"
+                    )))
+                } else {
+                    None
+                };
+                if let Some(err) = failure {
+                    // A worker may have slipped in while we decided.
+                    if let Ok(result) = rx.try_recv() {
+                        return result;
+                    }
+                    stop.store(true, Ordering::SeqCst);
+                    if let Ok(addr) = self.addr() {
+                        let _ = Stream::connect_retry(
+                            self.transport(),
+                            &addr,
+                            Duration::from_millis(200),
+                        );
+                    }
+                    return Err(err);
+                }
+            }
+        })
+    }
+
+    /// Block until one connection arrives. `WouldBlock` from a spurious
+    /// wakeup (possible on Linux even for blocking listeners) retries.
+    fn accept_blocking(&self) -> Result<Stream, MrError> {
         loop {
             match self.try_accept() {
-                Ok(Some(stream)) => {
-                    self.set_nonblocking(false)?;
-                    return Ok(stream);
-                }
-                Ok(None) => {}
+                Ok(Some(stream)) => return Ok(stream),
+                Ok(None) => continue,
                 Err(e) => return Err(e),
             }
-            if !alive() {
-                return Err(MrError::Net(
-                    "a worker process exited before connecting to the shuffle service".into(),
-                ));
-            }
-            if t0.elapsed() > deadline {
-                return Err(MrError::Net(format!(
-                    "no worker connected within {deadline:?}"
-                )));
-            }
-            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    fn transport(&self) -> Transport {
+        match self {
+            Listener::Tcp(_) => Transport::Tcp,
+            #[cfg(unix)]
+            Listener::Uds(..) => Transport::Uds,
         }
     }
 
@@ -308,6 +358,41 @@ mod tests {
             !std::path::Path::new(&addr).exists(),
             "socket file removed on drop"
         );
+    }
+
+    #[test]
+    fn accept_deadline_times_out_idle() {
+        let listener = Listener::bind(Transport::Tcp).unwrap();
+        let t0 = Instant::now();
+        let err = listener
+            .accept_deadline(Duration::from_millis(120), &mut || true)
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("no worker connected within"),
+            "{err}"
+        );
+        assert!(t0.elapsed() < Duration::from_secs(5), "must not hang");
+    }
+
+    #[test]
+    fn accept_deadline_accepts_a_late_connection() {
+        // The connection lands well after the wait starts, so the
+        // helper thread is parked in a blocking accept when it arrives.
+        let listener = Listener::bind(Transport::Tcp).unwrap();
+        let addr = listener.addr().unwrap();
+        let join = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(150));
+            Stream::connect_retry(Transport::Tcp, &addr, Duration::from_secs(5)).unwrap()
+        });
+        let mut accepted = listener
+            .accept_deadline(Duration::from_secs(5), &mut || true)
+            .unwrap();
+        let mut client = join.join().unwrap();
+        client.write_all(b"late").unwrap();
+        client.flush().unwrap();
+        let mut buf = [0u8; 4];
+        accepted.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"late");
     }
 
     #[test]

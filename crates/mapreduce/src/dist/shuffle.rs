@@ -1,45 +1,292 @@
 //! In-coordinator shuffle store: completed map outputs, indexed by
 //! (partition, map task), handed to reduce-serving threads as each map
-//! task lands.
+//! task lands — under a configurable in-memory byte budget, with
+//! overflow spilled to per-partition disk files.
 //!
 //! The store preserves the engine's canonical segment order — for a
 //! partition, segments are always consumed in map-task-id order — so a
 //! reducer fetched over the wire sees byte-for-byte the same segment
 //! sequence as the local thread-pool path builds in memory. That is
 //! what lets per-index wire corruption from a [`crate::fault`] plan hit
-//! the same bytes in both runtimes.
+//! the same bytes in both runtimes. Whether a segment is resident or
+//! spilled is invisible on the wire: placement changes *where* bytes
+//! live, never *which* bytes are served.
+//!
+//! # Memory budget and spill format
+//!
+//! `publish` admits each segment to memory while the resident total
+//! stays within the budget; crossing the watermark evicts resident
+//! segments — least-recently-touched first, preferring partitions **no
+//! reducer is actively fetching** (an active fetcher is about to need
+//! its partition's segments, so they stay hot) — to an append-only
+//! spill file per partition. A segment larger than the whole budget
+//! spills directly. The spill file is raw segment bytes back to back;
+//! the in-memory slot keeps the `(offset, len, crc)` index entry, and
+//! every spill-file read re-verifies the CRC-32C recorded at spill
+//! time, so silent disk corruption fails loudly instead of reducing
+//! over garbage. Replaced slots (a republished map attempt) leave dead
+//! bytes behind in the file — the files are job-scoped temporaries,
+//! removed when the store drops, so reclaiming holes is not worth a
+//! compaction pass.
+//!
+//! Fetch paths never re-buffer a spilled segment through an
+//! intermediate `Vec`: [`SpilledHandle::read_range`] `pread`s straight
+//! into whatever buffer the caller is assembling (the coordinator
+//! points it at the payload region of a wire frame). Spilled segments
+//! are *not* promoted back to memory on read — a fetch is the last
+//! time the coordinator touches those bytes, so promoting them would
+//! evict segments that still have a first fetch ahead of them.
 //!
 //! Segments are retained until the job ends (not freed after a first
-//! fetch) so a retried reduce attempt can re-fetch the same bytes.
+//! fetch) so a retried reduce attempt can re-fetch the same bytes; for
+//! spilled segments the handle stays valid across eviction and
+//! republish because spill files are append-only.
 
 use crate::error::MrError;
+use scihadoop_compress::checksum::crc32c;
+use std::fs::File;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
+/// Distinguishes concurrently live stores within one process (one test
+/// binary runs many coordinators).
+static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Fallback in-memory budget when `/proc/meminfo` is unavailable.
+const FALLBACK_MEM_BUDGET: usize = 256 << 20;
+
+/// Default in-memory budget, sized from the machine: a quarter of
+/// `MemAvailable`, falling back to 256 MiB where that cannot be read.
+/// The budget only decides segment *placement*, never the bytes served,
+/// so an approximate default is safe.
+pub fn auto_shuffle_mem_bytes() -> usize {
+    let Ok(meminfo) = std::fs::read_to_string("/proc/meminfo") else {
+        return FALLBACK_MEM_BUDGET;
+    };
+    for line in meminfo.lines() {
+        if let Some(rest) = line.strip_prefix("MemAvailable:") {
+            let kib: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            if kib > 0 {
+                return usize::try_from((kib << 10) / 4).unwrap_or(FALLBACK_MEM_BUDGET);
+            }
+        }
+    }
+    FALLBACK_MEM_BUDGET
+}
+
+fn pread_exact(file: &File, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+    #[cfg(unix)]
+    {
+        std::os::unix::fs::FileExt::read_exact_at(file, buf, offset)
+    }
+    #[cfg(not(unix))]
+    {
+        // Positioned reads via the shared cursor; the distributed
+        // runtime is unix-first (no UDS elsewhere either) and this path
+        // only keeps the crate compiling.
+        use std::io::{Read, Seek, SeekFrom};
+        let mut f = file;
+        f.seek(SeekFrom::Start(offset))?;
+        f.read_exact(buf)
+    }
+}
+
+/// One partition's append-only spill file. All writes happen under the
+/// store lock, so the tracked length is the authoritative append
+/// offset; reads are positioned (`pread`) and take no lock at all.
+struct SpillFile {
+    file: Arc<File>,
+    path: PathBuf,
+    len: u64,
+}
+
+impl SpillFile {
+    fn create(partition: usize) -> Result<SpillFile, MrError> {
+        let path = std::env::temp_dir().join(format!(
+            "scihadoop-spill-{}-{}-p{partition}.dat",
+            std::process::id(),
+            STORE_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let file = std::fs::OpenOptions::new()
+            .append(true)
+            .read(true)
+            .create_new(true)
+            .open(&path)
+            .map_err(|e| MrError::Net(format!("create shuffle spill file {path:?}: {e}")))?;
+        Ok(SpillFile {
+            file: Arc::new(file),
+            path,
+            len: 0,
+        })
+    }
+
+    fn append(&mut self, data: &[u8]) -> Result<u64, MrError> {
+        let offset = self.len;
+        (&*self.file).write_all(data).map_err(|e| {
+            MrError::Net(format!("shuffle spill write ({} bytes): {e}", data.len()))
+        })?;
+        self.len += data.len() as u64;
+        Ok(offset)
+    }
+}
+
+impl Drop for SpillFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Where one (partition, map task) segment currently lives.
+enum Slot {
+    /// No data: not yet published, or the map task emitted nothing for
+    /// this partition.
+    Empty,
+    /// Resident. `touch` is the LRU clock value of the last access.
+    Mem {
+        data: Arc<Vec<u8>>,
+        crc: u32,
+        touch: u64,
+    },
+    /// Spilled to the partition's file at `offset`.
+    Spilled { offset: u64, len: usize, crc: u32 },
+}
+
+impl Slot {
+    fn len(&self) -> Option<usize> {
+        match self {
+            Slot::Empty => None,
+            Slot::Mem { data, .. } => Some(data.len()),
+            Slot::Spilled { len, .. } => Some(*len),
+        }
+    }
+}
+
 struct StoreState {
-    /// `segs[partition][map_task]` — `None` until published, and still
-    /// `None` at the end for map tasks that produced no data for the
-    /// partition.
-    segs: Vec<Vec<Option<Arc<Vec<u8>>>>>,
+    /// `slots[partition][map_task]`.
+    slots: Vec<Vec<Slot>>,
     /// Whether each map task's outputs have been committed.
     done: Vec<bool>,
     aborted: bool,
+    /// Per-partition spill files, created on first spill.
+    spill: Vec<Option<SpillFile>>,
+    /// Per-partition count of reduce serves currently fetching; their
+    /// segments are evicted last.
+    active_fetchers: Vec<usize>,
+    /// Resident segment bytes right now. Never exceeds `mem_budget`.
+    mem_used: usize,
+    /// LRU clock, bumped on every admit/touch.
+    clock: u64,
+    mem_high_water: u64,
+    spilled_bytes: u64,
+    spill_reads: u64,
+}
+
+impl StoreState {
+    fn touch_next(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Evict resident segments until `extra` more bytes fit in the
+    /// budget. Victims are least-recently-touched first among
+    /// partitions with no active fetcher, then (only if that is not
+    /// enough) among actively fetched partitions too.
+    fn make_room(&mut self, extra: usize, budget: usize) -> Result<(), MrError> {
+        while self.mem_used + extra > budget {
+            let mut victim: Option<(usize, usize, bool, u64)> = None;
+            for (p, row) in self.slots.iter().enumerate() {
+                let active = self.active_fetchers[p] > 0;
+                for (m, slot) in row.iter().enumerate() {
+                    if let Slot::Mem { touch, .. } = slot {
+                        let better = match &victim {
+                            None => true,
+                            Some((_, _, v_active, v_touch)) => {
+                                (active, *touch) < (*v_active, *v_touch)
+                            }
+                        };
+                        if better {
+                            victim = Some((p, m, active, *touch));
+                        }
+                    }
+                }
+            }
+            let Some((p, m, _, _)) = victim else {
+                // Nothing resident left to evict; the caller only asks
+                // for room a full eviction can provide.
+                return Ok(());
+            };
+            self.spill_slot(p, m)?;
+        }
+        Ok(())
+    }
+
+    /// Append `data` to `partition`'s spill file (created on first
+    /// use) and return the index entry for it.
+    fn spill_bytes(&mut self, partition: usize, data: &[u8], crc: u32) -> Result<Slot, MrError> {
+        if self.spill[partition].is_none() {
+            self.spill[partition] = Some(SpillFile::create(partition)?);
+        }
+        let file = self.spill[partition].as_mut().expect("just created");
+        let offset = file.append(data)?;
+        self.spilled_bytes += data.len() as u64;
+        Ok(Slot::Spilled {
+            offset,
+            len: data.len(),
+            crc,
+        })
+    }
+
+    /// Move one resident slot to its partition's spill file.
+    fn spill_slot(&mut self, partition: usize, map_task: usize) -> Result<(), MrError> {
+        let Slot::Mem { data, crc, .. } = &self.slots[partition][map_task] else {
+            return Ok(());
+        };
+        let (data, crc) = (Arc::clone(data), *crc);
+        let slot = self.spill_bytes(partition, &data, crc)?;
+        self.mem_used -= data.len();
+        self.slots[partition][map_task] = slot;
+        Ok(())
+    }
 }
 
 /// Shared shuffle state between the coordinator's connection threads.
-pub(crate) struct ShuffleStore {
+/// Public so the bench harness and spill-equivalence tests can drive
+/// the store directly; the engine constructs it internally.
+pub struct ShuffleStore {
     state: Mutex<StoreState>,
     ready: Condvar,
+    mem_budget: usize,
 }
 
 impl ShuffleStore {
-    pub(crate) fn new(num_partitions: usize, num_maps: usize) -> ShuffleStore {
+    /// A store for `num_partitions × num_maps` segments holding at most
+    /// `mem_budget` resident bytes (0 spills everything, `usize::MAX`
+    /// never spills).
+    pub fn new(num_partitions: usize, num_maps: usize, mem_budget: usize) -> ShuffleStore {
         ShuffleStore {
             state: Mutex::new(StoreState {
-                segs: vec![vec![None; num_maps]; num_partitions],
+                slots: (0..num_partitions)
+                    .map(|_| (0..num_maps).map(|_| Slot::Empty).collect())
+                    .collect(),
                 done: vec![false; num_maps],
                 aborted: false,
+                spill: (0..num_partitions).map(|_| None).collect(),
+                active_fetchers: vec![0; num_partitions],
+                mem_used: 0,
+                clock: 0,
+                mem_high_water: 0,
+                spilled_bytes: 0,
+                spill_reads: 0,
             }),
             ready: Condvar::new(),
+            mem_budget,
         }
     }
 
@@ -54,58 +301,232 @@ impl ShuffleStore {
     /// all of them are stored, so a fetcher never observes a partial
     /// set. Republishing (a retried map attempt whose predecessor was
     /// counted failed) replaces the previous attempt's segments.
-    pub(crate) fn publish(&self, map_task: usize, outputs: Vec<(usize, Vec<u8>)>) {
-        let mut state = self.lock_state();
-        for slot in state.segs.iter_mut() {
-            slot[map_task] = None;
+    /// Segments that do not fit the memory budget go straight to the
+    /// partition's spill file.
+    pub fn publish(&self, map_task: usize, outputs: Vec<(usize, Vec<u8>)>) -> Result<(), MrError> {
+        let mut guard = self.lock_state();
+        let state = &mut *guard;
+        for partition in 0..state.slots.len() {
+            if let Slot::Mem { data, .. } = &state.slots[partition][map_task] {
+                state.mem_used -= data.len();
+            }
+            state.slots[partition][map_task] = Slot::Empty;
         }
         for (partition, data) in outputs {
-            state.segs[partition][map_task] = Some(Arc::new(data));
+            let crc = crc32c(&data);
+            if data.len() <= self.mem_budget {
+                state.make_room(data.len(), self.mem_budget)?;
+                state.mem_used += data.len();
+                state.mem_high_water = state.mem_high_water.max(state.mem_used as u64);
+                let touch = state.touch_next();
+                state.slots[partition][map_task] = Slot::Mem {
+                    data: Arc::new(data),
+                    crc,
+                    touch,
+                };
+            } else {
+                state.slots[partition][map_task] = state.spill_bytes(partition, &data, crc)?;
+            }
         }
         state.done[map_task] = true;
         self.ready.notify_all();
+        Ok(())
     }
 
-    /// Block until `map_task`'s outputs are committed, then return its
-    /// segment for `partition` (`None` if the task emitted nothing for
-    /// that partition). Errors out if the job aborts while waiting.
-    pub(crate) fn segment_when_ready(
+    /// Block until `map_task`'s outputs are committed, then return a
+    /// handle to its segment for `partition` (`None` if the task
+    /// emitted nothing for that partition). Errors out if the job
+    /// aborts while waiting. A returned handle stays valid across
+    /// later evictions and republishes.
+    pub fn segment_when_ready(
         &self,
         partition: usize,
         map_task: usize,
-    ) -> Result<Option<Arc<Vec<u8>>>, MrError> {
-        let mut state = self.lock_state();
+    ) -> Result<Option<SegmentHandle>, MrError> {
+        let mut guard = self.lock_state();
         loop {
+            let state = &mut *guard;
             if state.aborted {
                 return Err(MrError::Net("job aborted while awaiting map output".into()));
             }
             if state.done[map_task] {
-                return Ok(state.segs[partition][map_task].clone());
+                let touch = state.touch_next();
+                return Ok(match &mut state.slots[partition][map_task] {
+                    Slot::Empty => None,
+                    Slot::Mem { data, touch: t, .. } => {
+                        *t = touch;
+                        Some(SegmentHandle::Mem(Arc::clone(data)))
+                    }
+                    &mut Slot::Spilled { offset, len, crc } => {
+                        state.spill_reads += 1;
+                        let file = Arc::clone(
+                            &state.spill[partition]
+                                .as_ref()
+                                .expect("spilled slot has a spill file")
+                                .file,
+                        );
+                        Some(SegmentHandle::Spilled(SpilledHandle {
+                            file,
+                            offset,
+                            len,
+                            crc,
+                            partition,
+                            map_task,
+                        }))
+                    }
+                });
             }
-            state = self
+            guard = self
                 .ready
-                .wait(state)
+                .wait(guard)
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 
+    /// Mark `partition` as actively fetched for the guard's lifetime;
+    /// the eviction policy keeps its resident segments longest.
+    pub fn fetch_guard(&self, partition: usize) -> FetchGuard<'_> {
+        self.lock_state().active_fetchers[partition] += 1;
+        FetchGuard {
+            store: self,
+            partition,
+        }
+    }
+
     /// Unblock all waiters with an error; called when the job fails.
-    pub(crate) fn abort(&self) {
+    pub fn abort(&self) {
         self.lock_state().aborted = true;
         self.ready.notify_all();
     }
 
-    /// Total bytes across all committed segments (the distributed
-    /// run's `ShuffleBytes`).
-    pub(crate) fn total_bytes(&self) -> u64 {
+    /// Total bytes across all committed segments, resident or spilled
+    /// (the distributed run's `ShuffleBytes`).
+    pub fn total_bytes(&self) -> u64 {
         let state = self.lock_state();
         state
-            .segs
+            .slots
             .iter()
-            .flat_map(|slot| slot.iter())
-            .filter_map(|seg| seg.as_ref())
-            .map(|seg| seg.len() as u64)
+            .flat_map(|row| row.iter())
+            .filter_map(|slot| slot.len())
+            .map(|len| len as u64)
             .sum()
+    }
+
+    /// Bytes ever written to spill files (`ShuffleSpilledBytes`).
+    pub fn spilled_bytes(&self) -> u64 {
+        self.lock_state().spilled_bytes
+    }
+
+    /// Segment reads served from a spill file (`ShuffleSpillReads`).
+    pub fn spill_reads(&self) -> u64 {
+        self.lock_state().spill_reads
+    }
+
+    /// High-water mark of resident bytes (`ShuffleMemHighWater`).
+    pub fn mem_high_water(&self) -> u64 {
+        self.lock_state().mem_high_water
+    }
+}
+
+/// RAII marker for an in-progress reduce fetch of one partition.
+pub struct FetchGuard<'a> {
+    store: &'a ShuffleStore,
+    partition: usize,
+}
+
+impl Drop for FetchGuard<'_> {
+    fn drop(&mut self) {
+        self.store.lock_state().active_fetchers[self.partition] -= 1;
+    }
+}
+
+/// Where a fetched segment's bytes live. The handle outlives any store
+/// mutation: `Mem` pins the bytes via `Arc`, `Spilled` reads an
+/// append-only region of a file the handle keeps open.
+pub enum SegmentHandle {
+    Mem(Arc<Vec<u8>>),
+    Spilled(SpilledHandle),
+}
+
+impl SegmentHandle {
+    pub fn len(&self) -> usize {
+        match self {
+            SegmentHandle::Mem(data) => data.len(),
+            SegmentHandle::Spilled(h) => h.len,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materialize the full segment (the corruption-injection path and
+    /// tests need contiguous bytes; the serving hot path streams chunks
+    /// instead). Spilled reads verify the spill-time CRC.
+    pub fn to_vec(&self) -> Result<Vec<u8>, MrError> {
+        match self {
+            SegmentHandle::Mem(data) => Ok(data.as_ref().clone()),
+            SegmentHandle::Spilled(h) => {
+                let mut buf = vec![0u8; h.len];
+                h.read_range(0, &mut buf)?;
+                let got = crc32c(&buf);
+                if got != h.crc {
+                    return Err(h.crc_error(got));
+                }
+                Ok(buf)
+            }
+        }
+    }
+}
+
+/// Index entry plus file handle for one spilled segment.
+pub struct SpilledHandle {
+    file: Arc<File>,
+    offset: u64,
+    len: usize,
+    crc: u32,
+    partition: usize,
+    map_task: usize,
+}
+
+impl SpilledHandle {
+    /// Segment length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// CRC-32C of the whole segment, recorded at spill time. Chunked
+    /// readers accumulate their own CRC across `read_range` calls and
+    /// compare against this before releasing the final chunk.
+    pub fn crc(&self) -> u32 {
+        self.crc
+    }
+
+    /// `pread` `buf.len()` bytes starting `seg_off` bytes into the
+    /// segment, directly into the caller's buffer — the zero-copy hop
+    /// from spill file to wire frame.
+    pub fn read_range(&self, seg_off: usize, buf: &mut [u8]) -> Result<(), MrError> {
+        debug_assert!(seg_off + buf.len() <= self.len);
+        pread_exact(&self.file, buf, self.offset + seg_off as u64).map_err(|e| {
+            MrError::Net(format!(
+                "shuffle spill read (partition {}, map task {}, {} bytes at +{seg_off}): {e}",
+                self.partition,
+                self.map_task,
+                buf.len()
+            ))
+        })
+    }
+
+    /// The error for a spill-file CRC mismatch observed on the way out.
+    pub fn crc_error(&self, got: u32) -> MrError {
+        MrError::Checksum(format!(
+            "shuffle spill file corrupt: partition {} map task {} crc {got:#010x} != {:#010x}",
+            self.partition, self.map_task, self.crc
+        ))
     }
 }
 
@@ -113,50 +534,160 @@ impl ShuffleStore {
 mod tests {
     use super::*;
 
+    fn fetch_all(store: &ShuffleStore, partition: usize, num_maps: usize) -> Vec<Vec<u8>> {
+        let mut got = Vec::new();
+        for task in 0..num_maps {
+            if let Some(seg) = store.segment_when_ready(partition, task).unwrap() {
+                got.push(seg.to_vec().unwrap());
+            }
+        }
+        got
+    }
+
     #[test]
     fn fetch_blocks_until_publish_and_preserves_task_order() {
-        let store = Arc::new(ShuffleStore::new(2, 3));
+        let store = Arc::new(ShuffleStore::new(2, 3, usize::MAX));
         let fetcher = {
             let store = Arc::clone(&store);
-            std::thread::spawn(move || {
-                let mut got = Vec::new();
-                for task in 0..3 {
-                    if let Some(seg) = store.segment_when_ready(1, task).unwrap() {
-                        got.push(seg.as_ref().clone());
-                    }
-                }
-                got
-            })
+            std::thread::spawn(move || fetch_all(&store, 1, 3))
         };
         // Publish out of order; the fetcher still consumes in task order.
-        store.publish(1, vec![(1, b"one".to_vec())]);
-        store.publish(2, vec![(0, b"zero-only".to_vec())]);
-        store.publish(0, vec![(0, b"z".to_vec()), (1, b"nought".to_vec())]);
+        store.publish(1, vec![(1, b"one".to_vec())]).unwrap();
+        store.publish(2, vec![(0, b"zero-only".to_vec())]).unwrap();
+        store
+            .publish(0, vec![(0, b"z".to_vec()), (1, b"nought".to_vec())])
+            .unwrap();
         let got = fetcher.join().unwrap();
         assert_eq!(got, vec![b"nought".to_vec(), b"one".to_vec()]);
         assert_eq!(store.total_bytes(), 3 + 9 + 1 + 6);
+        assert_eq!(store.spilled_bytes(), 0);
+        assert_eq!(store.mem_high_water(), 3 + 9 + 1 + 6);
     }
 
     #[test]
     fn republish_replaces_a_failed_attempts_segments() {
-        let store = ShuffleStore::new(1, 1);
-        store.publish(0, vec![(0, b"bad".to_vec())]);
-        store.publish(0, vec![(0, b"good".to_vec())]);
+        let store = ShuffleStore::new(1, 1, usize::MAX);
+        store.publish(0, vec![(0, b"bad".to_vec())]).unwrap();
+        store.publish(0, vec![(0, b"good".to_vec())]).unwrap();
         let seg = store.segment_when_ready(0, 0).unwrap().unwrap();
-        assert_eq!(seg.as_ref(), b"good");
+        assert_eq!(seg.to_vec().unwrap(), b"good");
         assert_eq!(store.total_bytes(), 4);
     }
 
     #[test]
     fn abort_wakes_blocked_fetchers_with_an_error() {
-        let store = Arc::new(ShuffleStore::new(1, 1));
+        let store = Arc::new(ShuffleStore::new(1, 1, usize::MAX));
         let fetcher = {
             let store = Arc::clone(&store);
-            std::thread::spawn(move || store.segment_when_ready(0, 0))
+            std::thread::spawn(move || store.segment_when_ready(0, 0).map(|s| s.is_some()))
         };
         std::thread::sleep(std::time::Duration::from_millis(20));
         store.abort();
         let err = fetcher.join().unwrap().unwrap_err();
         assert!(err.to_string().contains("aborted"), "{err}");
+    }
+
+    #[test]
+    fn zero_budget_spills_everything_and_serves_identical_bytes() {
+        let bounded = ShuffleStore::new(2, 3, 0);
+        let unbounded = ShuffleStore::new(2, 3, usize::MAX);
+        let outputs = |task: usize| {
+            vec![
+                (0, vec![task as u8; 100]),
+                (1, format!("seg-{task}").into_bytes()),
+            ]
+        };
+        for task in 0..3 {
+            bounded.publish(task, outputs(task)).unwrap();
+            unbounded.publish(task, outputs(task)).unwrap();
+        }
+        for partition in 0..2 {
+            assert_eq!(
+                fetch_all(&bounded, partition, 3),
+                fetch_all(&unbounded, partition, 3)
+            );
+        }
+        assert_eq!(bounded.total_bytes(), unbounded.total_bytes());
+        assert_eq!(bounded.spilled_bytes(), bounded.total_bytes());
+        assert_eq!(bounded.mem_high_water(), 0);
+        assert_eq!(bounded.spill_reads(), 6);
+        assert_eq!(unbounded.spilled_bytes(), 0);
+        assert_eq!(unbounded.spill_reads(), 0);
+    }
+
+    #[test]
+    fn tight_budget_evicts_lru_but_keeps_active_partitions_resident() {
+        // Budget fits two 10-byte segments. Partition 0 is being
+        // actively fetched, so the eviction forced by publishing into
+        // partition 1 must spill partition 1's own older segment, not
+        // partition 0's.
+        let store = ShuffleStore::new(2, 3, 20);
+        let _guard = store.fetch_guard(0);
+        store.publish(0, vec![(0, vec![b'a'; 10])]).unwrap();
+        store.publish(1, vec![(1, vec![b'b'; 10])]).unwrap();
+        store.publish(2, vec![(1, vec![b'c'; 10])]).unwrap();
+        assert_eq!(store.spilled_bytes(), 10);
+        let in_mem = |p: usize, m: usize| {
+            matches!(
+                store.segment_when_ready(p, m).unwrap(),
+                Some(SegmentHandle::Mem(_))
+            )
+        };
+        assert!(in_mem(0, 0), "actively fetched partition stays resident");
+        assert!(!in_mem(1, 1), "idle partition's oldest segment spilled");
+        assert!(in_mem(1, 2));
+        assert_eq!(store.mem_high_water(), 20);
+        // The spilled segment still round-trips bit-exactly.
+        let seg = store.segment_when_ready(1, 1).unwrap().unwrap();
+        assert_eq!(seg.to_vec().unwrap(), vec![b'b'; 10]);
+    }
+
+    #[test]
+    fn oversized_segment_spills_directly_without_evicting() {
+        let store = ShuffleStore::new(1, 2, 16);
+        store.publish(0, vec![(0, vec![1u8; 8])]).unwrap();
+        store.publish(1, vec![(0, vec![2u8; 64])]).unwrap();
+        assert_eq!(store.spilled_bytes(), 64);
+        assert_eq!(store.mem_high_water(), 8);
+        assert!(matches!(
+            store.segment_when_ready(0, 0).unwrap(),
+            Some(SegmentHandle::Mem(_))
+        ));
+        let big = store.segment_when_ready(0, 1).unwrap().unwrap();
+        assert_eq!(big.to_vec().unwrap(), vec![2u8; 64]);
+    }
+
+    #[test]
+    fn spilled_handles_survive_republish() {
+        let store = ShuffleStore::new(1, 1, 0);
+        store.publish(0, vec![(0, b"first".to_vec())]).unwrap();
+        let old = store.segment_when_ready(0, 0).unwrap().unwrap();
+        store.publish(0, vec![(0, b"second".to_vec())]).unwrap();
+        assert_eq!(old.to_vec().unwrap(), b"first");
+        let new = store.segment_when_ready(0, 0).unwrap().unwrap();
+        assert_eq!(new.to_vec().unwrap(), b"second");
+    }
+
+    #[test]
+    fn chunked_spill_reads_match_whole_segment_reads() {
+        let store = ShuffleStore::new(1, 1, 0);
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        store.publish(0, vec![(0, data.clone())]).unwrap();
+        let Some(SegmentHandle::Spilled(h)) = store.segment_when_ready(0, 0).unwrap() else {
+            panic!("budget 0 must spill");
+        };
+        let mut assembled = Vec::new();
+        let mut crc = scihadoop_compress::checksum::Crc32c::new();
+        let mut off = 0;
+        while off < data.len() {
+            let take = 64.min(data.len() - off);
+            let mut buf = vec![0u8; take];
+            h.read_range(off, &mut buf).unwrap();
+            crc.update(&buf);
+            assembled.extend_from_slice(&buf);
+            off += take;
+        }
+        assert_eq!(assembled, data);
+        assert_eq!(crc.finish(), h.crc());
     }
 }

@@ -20,10 +20,12 @@ use crate::error::MrError;
 use crate::record::{InputSplit, KvPair};
 use std::io::{Read, Write};
 
-/// Upper bound on one frame's payload. Frames carry at most one segment
-/// chunk, one input split, or one reducer's output; anything larger is
-/// a corrupt length prefix, and failing fast beats a giant allocation.
-pub(crate) const MAX_FRAME_BYTES: usize = 256 << 20;
+/// Default upper bound on one frame's payload, overridable per
+/// coordinator through [`crate::dist::DistConfig::max_frame_bytes`].
+/// Frames carry at most one segment chunk, one input split, or one
+/// reducer's output; anything larger is a corrupt length prefix, and
+/// failing fast beats a giant allocation.
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 256 << 20;
 
 /// Every message either side can send. See the module docs of
 /// [`crate::dist`] for who sends what when.
@@ -266,18 +268,23 @@ impl Msg {
     }
 }
 
-/// Write one frame. The length prefix and payload go down in a single
-/// `write_all` so a frame is one contiguous write into the socket
-/// buffer.
+/// Write one frame under the default cap. The length prefix and payload
+/// go down in a single `write_all` so a frame is one contiguous write
+/// into the socket buffer.
 pub(crate) fn write_msg(w: &mut impl Write, msg: &Msg) -> Result<(), MrError> {
+    write_msg_capped(w, msg, DEFAULT_MAX_FRAME_BYTES)
+}
+
+/// Write one frame, rejecting payloads over `cap` bytes.
+pub(crate) fn write_msg_capped(w: &mut impl Write, msg: &Msg, cap: usize) -> Result<(), MrError> {
     let mut buf = Vec::with_capacity(64);
     buf.extend_from_slice(&[0u8; 4]);
     buf.push(msg.tag());
     msg.encode_body(&mut buf);
     let len = buf.len() - 4;
-    if len > MAX_FRAME_BYTES {
+    if len > cap {
         return Err(MrError::Net(format!(
-            "outgoing {} frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap",
+            "outgoing {} frame of {len} bytes exceeds the {cap}-byte cap",
             msg.name()
         )));
     }
@@ -286,16 +293,57 @@ pub(crate) fn write_msg(w: &mut impl Write, msg: &Msg) -> Result<(), MrError> {
         .map_err(|e| MrError::Net(format!("write {}: {e}", msg.name())))
 }
 
-/// Read one frame. A clean EOF before the length prefix reads as a
-/// closed connection; anything else short is a protocol error.
+/// Encode a `SegChunk` frame into `buf` (cleared first), letting `fill`
+/// write the payload bytes directly into the frame's data region — the
+/// zero-copy serving path: a spilled segment is `pread` straight into
+/// the wire frame with no intermediate `Vec`. The produced bytes are
+/// identical to `write_msg(&Msg::SegChunk { .. })` for the same data
+/// (pinned by a unit test); the caller owns the `write_all`, so frame
+/// buffers can be reused and double-buffered across chunks.
+pub(crate) fn encode_seg_chunk(
+    buf: &mut Vec<u8>,
+    index: u32,
+    last: bool,
+    payload_len: usize,
+    cap: usize,
+    fill: impl FnOnce(&mut [u8]) -> Result<(), MrError>,
+) -> Result<(), MrError> {
+    // Frame payload: tag + index + last flag + data length + data.
+    let frame_len = 1 + 4 + 1 + 4 + payload_len;
+    if frame_len > cap {
+        return Err(MrError::Net(format!(
+            "outgoing SegChunk frame of {frame_len} bytes exceeds the {cap}-byte cap"
+        )));
+    }
+    buf.clear();
+    buf.extend_from_slice(&[0u8; 4]);
+    buf.push(8); // SegChunk tag
+    put_u32(buf, index);
+    buf.push(u8::from(last));
+    put_u32(buf, payload_len as u32);
+    let data_at = buf.len();
+    buf.resize(data_at + payload_len, 0);
+    fill(&mut buf[data_at..])?;
+    buf[..4].copy_from_slice(&(frame_len as u32).to_le_bytes());
+    Ok(())
+}
+
+/// Read one frame under the default cap. A clean EOF before the length
+/// prefix reads as a closed connection; anything else short is a
+/// protocol error.
 pub(crate) fn read_msg(r: &mut impl Read) -> Result<Msg, MrError> {
+    read_msg_capped(r, DEFAULT_MAX_FRAME_BYTES)
+}
+
+/// Read one frame, rejecting length prefixes over `cap` bytes.
+pub(crate) fn read_msg_capped(r: &mut impl Read, cap: usize) -> Result<Msg, MrError> {
     let mut len_buf = [0u8; 4];
     r.read_exact(&mut len_buf)
         .map_err(|e| MrError::Net(format!("read frame length: {e}")))?;
     let len = u32::from_le_bytes(len_buf) as usize;
-    if len == 0 || len > MAX_FRAME_BYTES {
+    if len == 0 || len > cap {
         return Err(MrError::Net(format!(
-            "frame length {len} outside (0, {MAX_FRAME_BYTES}]"
+            "frame length {len} outside (0, {cap}]"
         )));
     }
     let mut payload = vec![0u8; len];
@@ -549,7 +597,7 @@ mod tests {
         assert!(matches!(read_msg(&mut &bogus[..]), Err(MrError::Net(_))));
 
         // Oversized length prefix.
-        let huge = (MAX_FRAME_BYTES as u32 + 1).to_le_bytes();
+        let huge = (DEFAULT_MAX_FRAME_BYTES as u32 + 1).to_le_bytes();
         assert!(matches!(read_msg(&mut &huge[..]), Err(MrError::Net(_))));
 
         // Trailing garbage after a fixed-size body.
@@ -558,6 +606,65 @@ mod tests {
         framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         framed.extend_from_slice(&payload);
         assert!(matches!(read_msg(&mut &framed[..]), Err(MrError::Net(_))));
+    }
+
+    #[test]
+    fn frame_cap_binds_exactly_on_both_sides() {
+        // A MapSegment's payload is tag + partition + data length + data.
+        let overhead = 1 + 4 + 4;
+        let msg = |n: usize| Msg::MapSegment {
+            partition: 0,
+            data: vec![7u8; n],
+        };
+        let cap = overhead + 100;
+
+        // Write side: a frame exactly at the cap goes out; one byte
+        // more is rejected before anything hits the socket.
+        let mut wire = Vec::new();
+        write_msg_capped(&mut wire, &msg(100), cap).unwrap();
+        let at_cap = wire.clone();
+        let err = write_msg_capped(&mut Vec::new(), &msg(101), cap).unwrap_err();
+        assert!(err.to_string().contains("exceeds the"), "{err}");
+
+        // Read side: the at-cap frame parses under the same cap; under
+        // a cap one byte smaller its length prefix is rejected.
+        assert_eq!(read_msg_capped(&mut &at_cap[..], cap).unwrap(), msg(100));
+        let err = read_msg_capped(&mut &at_cap[..], cap - 1).unwrap_err();
+        assert!(err.to_string().contains("frame length"), "{err}");
+    }
+
+    #[test]
+    fn encode_seg_chunk_matches_write_msg_byte_for_byte() {
+        for (len, last) in [(0usize, true), (100, false), (100, true)] {
+            let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            let mut via_msg = Vec::new();
+            write_msg(
+                &mut via_msg,
+                &Msg::SegChunk {
+                    index: 3,
+                    last,
+                    data: data.clone(),
+                },
+            )
+            .unwrap();
+            let mut via_fill = Vec::new();
+            encode_seg_chunk(
+                &mut via_fill,
+                3,
+                last,
+                len,
+                DEFAULT_MAX_FRAME_BYTES,
+                |buf| {
+                    buf.copy_from_slice(&data);
+                    Ok(())
+                },
+            )
+            .unwrap();
+            assert_eq!(via_msg, via_fill, "len={len} last={last}");
+        }
+        // The cap applies to the whole frame, including headers.
+        let err = encode_seg_chunk(&mut Vec::new(), 0, true, 100, 100, |_| Ok(())).unwrap_err();
+        assert!(err.to_string().contains("exceeds the"), "{err}");
     }
 
     #[test]

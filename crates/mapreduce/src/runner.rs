@@ -371,6 +371,14 @@ pub fn run_job(
         let bytes: u64 = per_reducer.lock().iter().map(|s| s.len() as u64).sum();
         counters.add(Counter::ShuffleBytes, bytes);
     }
+    // The local runner keeps every segment resident, so its shuffle
+    // high-water mark is the full shuffle volume — the same value an
+    // unbounded distributed store reports, which keeps local and
+    // distributed ledgers comparable.
+    counters.add(
+        Counter::ShuffleMemHighWater,
+        counters.get(Counter::ShuffleBytes),
+    );
 
     // ---- Reduce phase ----------------------------------------------------
     let reduce_t0 = Instant::now();

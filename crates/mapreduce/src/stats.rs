@@ -19,6 +19,10 @@ pub struct JobStats {
     pub map_output_materialized_bytes: u64,
     /// Final output bytes.
     pub output_bytes: u64,
+    /// Coordinator shuffle-store bytes spilled to its local disk when
+    /// the in-memory budget overflowed (written once, read back once
+    /// per serve). Zero for local runs and unbounded distributed runs.
+    pub shuffle_spilled_bytes: u64,
     /// Total nanoseconds inside `Codec::compress` across all tasks.
     pub compress_nanos: u64,
     /// Total nanoseconds inside `Codec::decompress`.
@@ -54,6 +58,7 @@ impl JobStats {
             map_output_bytes: counters.get(Counter::MapOutputBytes),
             map_output_materialized_bytes: counters.get(Counter::MapOutputMaterializedBytes),
             output_bytes: counters.get(Counter::ReduceOutputBytes),
+            shuffle_spilled_bytes: counters.get(Counter::ShuffleSpilledBytes),
             compress_nanos: counters.get(Counter::CompressNanos),
             decompress_nanos: counters.get(Counter::DecompressNanos),
             map_fn_nanos: counters.get(Counter::MapFnNanos),
