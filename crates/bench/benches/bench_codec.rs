@@ -23,7 +23,7 @@
 
 use criterion::{black_box, Criterion, Throughput};
 use scihadoop_bench::workloads;
-use scihadoop_compress::{BlockCodec, Codec, CodecPool, DeflateCodec};
+use scihadoop_compress::{BlockCodec, Codec, CodecPool, DeflateCodec, IdentityCodec, LzCodec};
 use scihadoop_core::transform::{
     ReferencePredictor, StridePredictor, TransformCodec, TransformConfig,
 };
@@ -86,6 +86,39 @@ fn main() {
         });
         g.finish();
     }
+
+    // 2b. The LZ-class fast codec against deflate and identity on the
+    //     same stream — the wire-compression trade the shuffle makes.
+    //     The claim gated by BENCH_codec.json: lz compresses the grid
+    //     keys at >= 3x deflate's throughput (it skips the entropy
+    //     stage entirely; matches + literal runs only).
+    let (lz_size, deflate_size) = {
+        let lz = LzCodec;
+        let deflate = DeflateCodec::new();
+        let identity = IdentityCodec;
+        let z_lz = lz.compress(&stream);
+        let z_deflate = deflate.compress(&stream);
+        let mut g = criterion.benchmark_group("codec_lz");
+        g.throughput(Throughput::Bytes(stream.len() as u64))
+            .sample_size(samples);
+        g.bench_function("identity/compress", |b| {
+            b.iter(|| black_box(identity.compress(&stream)))
+        });
+        g.bench_function("lz/compress", |b| {
+            b.iter(|| black_box(lz.compress(&stream)))
+        });
+        g.bench_function("deflate/compress", |b| {
+            b.iter(|| black_box(deflate.compress(&stream)))
+        });
+        g.bench_function("lz/decompress", |b| {
+            b.iter(|| black_box(lz.decompress(&z_lz).unwrap()))
+        });
+        g.bench_function("deflate/decompress", |b| {
+            b.iter(|| black_box(deflate.decompress(&z_deflate).unwrap()))
+        });
+        g.finish();
+        (z_lz.len(), z_deflate.len())
+    };
 
     // 3. Whole-buffer vs parallel block pipeline, compress + decompress.
     let whole: Arc<dyn Codec> = Arc::new(TransformCodec::new(
@@ -177,6 +210,10 @@ fn main() {
         / median_of(&criterion, "codec_predictor/fast/inverse");
     let parallel_speedup = median_of(&criterion, "codec_block_pipeline/whole/compress")
         / median_of(&criterion, "codec_block_pipeline/block-pool4/compress");
+    let lz_vs_deflate_compress_speedup = median_of(&criterion, "codec_lz/deflate/compress")
+        / median_of(&criterion, "codec_lz/lz/compress");
+    let lz_ratio = lz_size as f64 / stream.len() as f64;
+    let deflate_ratio = deflate_size as f64 / stream.len() as f64;
     let size_regression_percent =
         (deflate_block_size as f64 - deflate_whole_size as f64) * 100.0 / deflate_whole_size as f64;
     let transform_restart_cost_percent =
@@ -186,6 +223,10 @@ fn main() {
     println!("predictor forward speedup:      {predictor_forward_speedup:.2}x");
     println!("predictor inverse speedup:      {predictor_inverse_speedup:.2}x");
     println!("block(pool4) compress speedup:  {parallel_speedup:.2}x vs whole-buffer");
+    println!(
+        "lz vs deflate compress speedup: {lz_vs_deflate_compress_speedup:.2}x (budget >= 3x; \
+         ratio {lz_ratio:.3} vs {deflate_ratio:.3})"
+    );
     println!(
         "block frame size cost (deflate): {deflate_whole_size} -> {deflate_block_size} B ({size_regression_percent:+.2}%)"
     );
@@ -231,7 +272,11 @@ fn main() {
              \"transform_restart_cost_percent\": {transform_restart_cost_percent:.2},\n  \
              \"predictor_forward_speedup\": {predictor_forward_speedup:.2},\n  \
              \"predictor_inverse_speedup\": {predictor_inverse_speedup:.2},\n  \
-             \"parallel_compress_speedup_pool4\": {parallel_speedup:.2}\n}}\n",
+             \"parallel_compress_speedup_pool4\": {parallel_speedup:.2},\n  \
+             \"lz_bytes\": {lz_size},\n  \
+             \"lz_ratio\": {lz_ratio:.4},\n  \
+             \"deflate_ratio\": {deflate_ratio:.4},\n  \
+             \"lz_vs_deflate_compress_speedup\": {lz_vs_deflate_compress_speedup:.2}\n}}\n",
             stream.len()
         ));
         std::fs::write(&path, json).expect("write bench json");

@@ -16,7 +16,7 @@ use scihadoop_bench::DistJobSpec;
 use scihadoop_compress::checksum::Crc32c;
 use scihadoop_compress::IdentityCodec;
 use scihadoop_mapreduce::dist::{
-    run_distributed_with_threads, DistConfig, SegmentHandle, ShuffleStore, Transport,
+    run_distributed_with_threads, DistConfig, SegmentRepr, ShuffleStore, Transport, WireCodec,
 };
 use scihadoop_mapreduce::{
     for_each_group, merge_sorted_runs, Counter, DefaultKeySemantics, Framing, HeapMergeStream,
@@ -262,7 +262,13 @@ fn bench_merge_reduce(c: &mut Criterion) -> f64 {
 /// unbounded, because in a real job the spill read is one slice of
 /// serving (sockets, credits, reduce compute) rather than the whole of
 /// it, and the wall-clock cost of spilling is what a user pays.
-fn bench_shuffle_serve(c: &mut Criterion) -> f64 {
+///
+/// The second returned figure is the wire-compression overhead (budget
+/// <= 5%): the same end-to-end paired-median protocol with
+/// `--wire-codec lz` vs `identity` at an unbounded budget, so the
+/// figure isolates the compress-on-publish + decompress-at-fetch cost
+/// against the socket bytes it removes.
+fn bench_shuffle_serve(c: &mut Criterion) -> (f64, f64) {
     const MAPS: usize = 16;
     const SEG_LEN: usize = 96 << 10;
     let segments: Vec<Vec<u8>> = (0..MAPS)
@@ -289,13 +295,13 @@ fn bench_shuffle_serve(c: &mut Criterion) -> f64 {
         let mut acc = 0u64;
         for m in 0..MAPS {
             let handle = store.segment_when_ready(0, m).unwrap().unwrap();
-            match &handle {
-                SegmentHandle::Mem(data) => {
+            match &handle.repr {
+                SegmentRepr::Mem(data) => {
                     for piece in data.chunks(chunk.len()) {
                         acc = acc.wrapping_add(piece.iter().map(|&b| b as u64).sum::<u64>());
                     }
                 }
-                SegmentHandle::Spilled(h) => {
+                SegmentRepr::Spilled(h) => {
                     let mut crc = Crc32c::new();
                     let mut off = 0;
                     while off < h.len() {
@@ -322,18 +328,22 @@ fn bench_shuffle_serve(c: &mut Criterion) -> f64 {
 
     // Paired-median end-to-end overhead: one full thread-mode
     // distributed run per side per round, interleaved so machine drift
-    // hits both sides of each round equally.
+    // hits both sides of each round equally. The job is sized so one
+    // run's wall is large against scheduler jitter — at small record
+    // counts the per-round ratio spread swamps single-digit overhead
+    // budgets and the median itself becomes noisy.
     let spec = DistJobSpec {
-        records: 6_000,
+        records: 20_000,
         ..DistJobSpec::default()
     };
     let config = spec.build_config().expect("spec builds");
     let splits = spec.make_splits();
-    let run = |budget: usize| {
+    let run = |budget: usize, codec: WireCodec| {
         let dist_cfg = DistConfig::default()
             .with_workers(2)
             .with_transport(Transport::Tcp)
-            .with_shuffle_mem_bytes(Some(budget));
+            .with_shuffle_mem_bytes(Some(budget))
+            .with_wire_codec(codec);
         let t0 = Instant::now();
         let result = run_distributed_with_threads(
             &config,
@@ -348,26 +358,49 @@ fn bench_shuffle_serve(c: &mut Criterion) -> f64 {
     // Warm both paths (page cache, allocator, listener setup) and pin
     // the invariants the ratio depends on: budget 0 spills every byte,
     // unbounded spills none, outputs agree.
-    let (_, spilled_run) = run(0);
-    let (_, resident_run) = run(usize::MAX);
+    let (_, spilled_run) = run(0, WireCodec::Identity);
+    let (_, resident_run) = run(usize::MAX, WireCodec::Identity);
     assert_eq!(spilled_run.outputs, resident_run.outputs);
     assert!(spilled_run.counters.get(Counter::ShuffleSpilledBytes) > 0);
     assert_eq!(resident_run.counters.get(Counter::ShuffleSpilledBytes), 0);
 
     let mut ratios = Vec::new();
-    for round in 0..11 {
+    for round in 0..15 {
         let (first, second) = if round % 2 == 0 {
             (0, usize::MAX)
         } else {
             (usize::MAX, 0)
         };
-        let (a, _) = run(first);
-        let (b, _) = run(second);
+        let (a, _) = run(first, WireCodec::Identity);
+        let (b, _) = run(second, WireCodec::Identity);
         let (spilled, resident) = if round % 2 == 0 { (a, b) } else { (b, a) };
         ratios.push(spilled as f64 / resident as f64);
     }
     ratios.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
-    (ratios[ratios.len() / 2] - 1.0) * 100.0
+    let spill_overhead = (ratios[ratios.len() / 2] - 1.0) * 100.0;
+
+    // Wire compression: identical outputs, bytes actually saved on the
+    // socket, and an end-to-end wall cost small enough to always leave
+    // compression on for capable workers.
+    let (_, lz_run) = run(usize::MAX, WireCodec::Lz);
+    assert_eq!(lz_run.outputs, resident_run.outputs);
+    assert!(lz_run.counters.get(Counter::ShuffleWireBytesSaved) > 0);
+
+    let mut wire_ratios = Vec::new();
+    for round in 0..15 {
+        let (first, second) = if round % 2 == 0 {
+            (WireCodec::Lz, WireCodec::Identity)
+        } else {
+            (WireCodec::Identity, WireCodec::Lz)
+        };
+        let (a, _) = run(usize::MAX, first);
+        let (b, _) = run(usize::MAX, second);
+        let (lz, identity) = if round % 2 == 0 { (a, b) } else { (b, a) };
+        wire_ratios.push(lz as f64 / identity as f64);
+    }
+    wire_ratios.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    let wire_overhead = (wire_ratios[wire_ratios.len() / 2] - 1.0) * 100.0;
+    (spill_overhead, wire_overhead)
 }
 
 /// One loser-tree streaming merge+group pass over sealed segments.
@@ -420,7 +453,7 @@ fn main() {
     let mut criterion = Criterion::default();
     bench_map_sort_spill(&mut criterion);
     let crc_overhead = bench_merge_reduce(&mut criterion);
-    let spill_overhead = bench_shuffle_serve(&mut criterion);
+    let (spill_overhead, wire_lz_overhead) = bench_shuffle_serve(&mut criterion);
 
     // Speedups + optional JSON baseline.
     let rate = |id: &str| {
@@ -446,6 +479,9 @@ fn main() {
     println!("loser-tree merge speedup (vs sift-down heap merge):  {loser_tree_speedup:.2}x");
     println!("CRC-32C trailer overhead on streaming merge: {crc_overhead:+.2}% (budget <= 6%)");
     println!("shuffle spill serving overhead (vs resident): {spill_overhead:+.2}% (budget <= 10%)");
+    println!(
+        "wire lz compression overhead (vs identity):   {wire_lz_overhead:+.2}% (budget <= 5%)"
+    );
 
     if let Ok(path) = std::env::var("BENCH_SHUFFLE_JSON") {
         let mut json = String::from("{\n  \"benchmarks\": [\n");
@@ -464,7 +500,7 @@ fn main() {
             ));
         }
         json.push_str(&format!(
-            "  ],\n  \"map_sort_spill_speedup\": {spill_speedup:.2},\n  \"merge_reduce_speedup\": {merge_speedup:.2},\n  \"radix_sort_speedup\": {radix_speedup:.2},\n  \"radix_sort_speedup_shuffled\": {radix_speedup_shuffled:.2},\n  \"loser_tree_speedup\": {loser_tree_speedup:.2},\n  \"crc_trailer_overhead_pct\": {crc_overhead:.2},\n  \"shuffle_spill_overhead_pct\": {spill_overhead:.2},\n  \"host_cpus\": {host_cpus}\n}}\n"
+            "  ],\n  \"map_sort_spill_speedup\": {spill_speedup:.2},\n  \"merge_reduce_speedup\": {merge_speedup:.2},\n  \"radix_sort_speedup\": {radix_speedup:.2},\n  \"radix_sort_speedup_shuffled\": {radix_speedup_shuffled:.2},\n  \"loser_tree_speedup\": {loser_tree_speedup:.2},\n  \"crc_trailer_overhead_pct\": {crc_overhead:.2},\n  \"shuffle_spill_overhead_pct\": {spill_overhead:.2},\n  \"wire_lz_overhead_pct\": {wire_lz_overhead:.2},\n  \"host_cpus\": {host_cpus}\n}}\n"
         ));
         std::fs::write(&path, json).expect("write bench json");
         println!("wrote {path}");

@@ -31,10 +31,14 @@
 //!   --shuffle-mem-kib <n> bounds the coordinator's in-memory shuffle
 //!   store (segments past the budget spill to disk and are served back
 //!   by positioned reads; 0 spills everything; default auto-sizes from
-//!   available memory). Any of these flags implies the dist experiment
-//!   when none is named.
+//!   available memory); --wire-codec <identity|lz> turns on transparent
+//!   shuffle compression (segments are lz-compressed once at publish,
+//!   spill compressed, ship compressed to capable workers, and are
+//!   inflated before the reduce-side CRC check — outputs stay
+//!   byte-identical; default identity). Any of these flags implies the
+//!   dist experiment when none is named.
 //! --codec <name> sets the intermediate-data codec for fault_storm,
-//!   composed from: [block-][transform+](identity|rle|deflate|bzip),
+//!   composed from: [block-][transform+](identity|rle|lz|deflate|bzip),
 //!   e.g. "block-transform+deflate" (the parallel block pipeline over
 //!   the stride transform over deflate). --block-kib <n> sets the block
 //!   size in KiB for every block- layer (default 256).
@@ -218,11 +222,21 @@ fn main() {
         });
         kib << 10
     });
+    let wire_codec = flag_value("--wire-codec").map(|v| {
+        scihadoop_mapreduce::WireCodec::parse(&v).unwrap_or_else(|e| {
+            eprintln!("bad --wire-codec: {e}");
+            std::process::exit(2);
+        })
+    });
     // Positional experiment name: skip flags and their path values. With
     // only --trace/--metrics/--ledger given, default to the trace
     // experiment rather than the full suite; with only --reconcile, run
     // no experiment at all (reconcile is a standalone action).
-    let mut which = if workers.is_some() || transport.is_some() || shuffle_mem.is_some() {
+    let mut which = if workers.is_some()
+        || transport.is_some()
+        || shuffle_mem.is_some()
+        || wire_codec.is_some()
+    {
         "dist".to_string()
     } else if trace_path.is_some() || metrics_path.is_some() || ledger_path.is_some() {
         "trace".to_string()
@@ -249,6 +263,7 @@ fn main() {
             || a == "--workers"
             || a == "--transport"
             || a == "--shuffle-mem-kib"
+            || a == "--wire-codec"
         {
             skip_next = true;
         } else if !a.starts_with("--") {
@@ -406,6 +421,7 @@ fn main() {
             .map(scihadoop_mapreduce::obs::LedgerSink::with_path);
         let workers = workers.unwrap_or(3);
         let transport = transport.unwrap_or_default();
+        let wire_codec = wire_codec.unwrap_or_default();
         let clean = bench::DistJobSpec {
             records: s.storm_records,
             ifile: ifile_version,
@@ -421,8 +437,16 @@ fn main() {
         };
         println!(
             "{}",
-            bench::dist_equivalence(&clean, workers, transport, shuffle_mem, &[], sink.as_ref())
-                .render()
+            bench::dist_equivalence(
+                &clean,
+                workers,
+                transport,
+                shuffle_mem,
+                wire_codec,
+                &[],
+                sink.as_ref()
+            )
+            .render()
         );
         println!(
             "{}",
@@ -431,6 +455,7 @@ fn main() {
                 workers,
                 transport,
                 shuffle_mem,
+                wire_codec,
                 &[],
                 sink.as_ref()
             )

@@ -7,7 +7,7 @@
 //! name      := "block-" name            parallel block frame (SBK1)
 //!            | "transform+" name        stride transform ∘ inner
 //!            | "transform"              stride transform alone
-//!            | "identity" | "rle" | "deflate" | "bzip"
+//!            | "identity" | "rle" | "lz" | "deflate" | "bzip"
 //! ```
 //!
 //! so `--codec block-transform+deflate` builds
@@ -17,7 +17,8 @@
 //! round-trips to the requested string.
 
 use scihadoop_compress::{
-    BlockCodec, BzipCodec, CodecHandle, DeflateCodec, IdentityCodec, RleCodec, DEFAULT_BLOCK_SIZE,
+    BlockCodec, BzipCodec, CodecHandle, DeflateCodec, IdentityCodec, LzCodec, RleCodec,
+    DEFAULT_BLOCK_SIZE,
 };
 use scihadoop_core::transform::TransformCodec;
 use std::sync::Arc;
@@ -47,10 +48,11 @@ pub fn codec_by_name_with_block_size(name: &str, block_size: usize) -> Result<Co
         )))),
         "identity" => Ok(Arc::new(IdentityCodec)),
         "rle" => Ok(Arc::new(RleCodec)),
+        "lz" => Ok(Arc::new(LzCodec)),
         "deflate" => Ok(Arc::new(DeflateCodec::new())),
         "bzip" => Ok(Arc::new(BzipCodec::new())),
         other => Err(format!(
-            "unknown codec {other:?}; grammar: [block-][transform+](identity|rle|deflate|bzip)"
+            "unknown codec {other:?}; grammar: [block-][transform+](identity|rle|lz|deflate|bzip)"
         )),
     }
 }
@@ -66,11 +68,15 @@ mod tests {
             "rle",
             "deflate",
             "bzip",
+            "lz",
             "transform",
             "transform+deflate",
             "transform+bzip",
+            "transform+lz",
             "block-deflate",
+            "block-lz",
             "block-transform+deflate",
+            "block-transform+lz",
             "transform+block-deflate",
             "block-block-deflate",
         ] {
@@ -79,10 +85,44 @@ mod tests {
         }
     }
 
+    /// Every name the grammar generates (both optional prefixes crossed
+    /// with every base codec) must build, round-trip its own name, and
+    /// round-trip data — so a new base codec cannot be half-wired into
+    /// the factory the way a static `name()` once collapsed wrapped
+    /// codecs together.
+    #[test]
+    fn the_full_grammar_round_trips_names_and_data() {
+        let data: Vec<u8> = (0..10_000u32).flat_map(|i| i.to_be_bytes()).collect();
+        for base in ["identity", "rle", "lz", "deflate", "bzip"] {
+            for prefix in ["", "transform+", "block-", "block-transform+"] {
+                let name = format!("{prefix}{base}");
+                let codec = codec_by_name_with_block_size(&name, 4096).expect(&name);
+                // "transform+identity" normalizes to "transform" — the
+                // one composed name the grammar spells differently.
+                let expect = if name == "transform+identity" {
+                    "transform".to_string()
+                } else if name == "block-transform+identity" {
+                    "block-transform".to_string()
+                } else {
+                    name.clone()
+                };
+                assert_eq!(codec.name(), expect, "{name}");
+                let z = codec.compress(&data);
+                assert_eq!(codec.decompress(&z).expect(&name), data, "{name}");
+            }
+        }
+    }
+
     #[test]
     fn factory_codecs_round_trip_data() {
         let data: Vec<u8> = (0..40_000u32).flat_map(|i| i.to_be_bytes()).collect();
-        for name in ["block-deflate", "block-transform+deflate", "transform+rle"] {
+        for name in [
+            "block-deflate",
+            "block-transform+deflate",
+            "transform+rle",
+            "block-lz",
+            "transform+lz",
+        ] {
             let codec = codec_by_name_with_block_size(name, 4096).expect(name);
             let z = codec.compress(&data);
             assert_eq!(codec.decompress(&z).expect(name), data, "{name}");

@@ -11,7 +11,7 @@ use scihadoop_mapreduce::obs::{self, IntermediateBreakdown, Recorder, ALL_PHASES
 use scihadoop_mapreduce::record::{Emit, FnMapper, FnReducer, InputSplit};
 use scihadoop_mapreduce::{
     run_distributed, Counter, CounterSnapshot, DistConfig, FaultConfig, FaultPlan, Framing,
-    IFileVersion, IFileWriter, Job, JobConfig, JobStats, KvPair, Trace, Transport,
+    IFileVersion, IFileWriter, Job, JobConfig, JobStats, KvPair, Trace, Transport, WireCodec,
 };
 use scihadoop_queries::{
     median::{MedianRun, SlidingMedian, SlidingMedianVariant},
@@ -1365,11 +1365,20 @@ pub fn scaling_check(sides: &[u32]) -> Result<Table, GridError> {
 /// segment). The byte-identity assertions do not weaken under a tiny
 /// budget: spilling changes *where* segments wait, never what is
 /// served.
+///
+/// `wire_codec` selects transparent shuffle compression
+/// ([`WireCodec::Lz`] compresses segments once at publish and ships
+/// them compressed to capable workers). The byte-identity assertions do
+/// not weaken under compression either: `ShuffleBytes` counts logical
+/// bytes, and workers inflate before the segment CRC check, so the
+/// reduce inputs — and every semantic counter — match the local engine
+/// exactly.
 pub fn dist_equivalence(
     spec: &crate::distjobs::DistJobSpec,
     workers: usize,
     transport: Transport,
     shuffle_mem: Option<usize>,
+    wire_codec: WireCodec,
     worker_args: &[&str],
     ledger: Option<&obs::LedgerSink>,
 ) -> Table {
@@ -1393,6 +1402,7 @@ pub fn dist_equivalence(
         .with_workers(workers)
         .with_transport(transport)
         .with_shuffle_mem_bytes(shuffle_mem)
+        .with_wire_codec(wire_codec)
         .with_worker_args(worker_args)
         .with_job_payload(&spec.to_spec_string());
     let t0 = Instant::now();
@@ -1477,11 +1487,27 @@ pub fn dist_equivalence(
     }
     if let Some(budget) = shuffle_mem {
         table.note(&format!(
-            "shuffle budget {} KiB: {} spilled ({} spill reads), high water {} — outputs still byte-identical",
+            "shuffle budget {} KiB: {} spilled ({} spill reads, {} dead on republish), high water {} — outputs still byte-identical",
             budget >> 10,
             fmt_bytes(remote.counters.get(Counter::ShuffleSpilledBytes)),
             remote.counters.get(Counter::ShuffleSpillReads),
+            fmt_bytes(remote.counters.get(Counter::ShuffleSpillDeadBytes)),
             fmt_bytes(remote.counters.get(Counter::ShuffleMemHighWater)),
+        ));
+    }
+    if wire_codec == WireCodec::Lz {
+        let saved = remote.counters.get(Counter::ShuffleWireBytesSaved);
+        assert!(
+            saved > 0,
+            "wire-codec lz must save socket bytes on this compressible workload"
+        );
+        table.note(&format!(
+            "wire codec lz: {} saved off {} logical shuffle ({:.1}%), compress {} / decompress {} — outputs still byte-identical",
+            fmt_bytes(saved),
+            fmt_bytes(bytes),
+            100.0 * saved as f64 / bytes.max(1) as f64,
+            ms(remote.counters.get(Counter::LzCompressNanos)),
+            ms(remote.counters.get(Counter::LzDecompressNanos)),
         ));
     }
     table.note("outputs and semantic counters byte-identical local vs distributed (asserted)");

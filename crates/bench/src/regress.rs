@@ -41,9 +41,12 @@ pub struct Budget {
 
 /// Every budget the gate enforces. The obs overheads, the CRC trailer
 /// budget, and the shuffle-spill budget restate the limits DESIGN.md
-/// pins (≤3% tracing, ≤6% CRC, ≤10% end-to-end spill serving); the
-/// ifile bounds protect the paper-facing v3 compression result (0.288×
-/// committed, gated at ≤0.35×) and its skip rate.
+/// pins (≤3% tracing, ≤6% CRC, ≤10% end-to-end spill serving, ≤5%
+/// end-to-end wire-lz compression); the ifile bounds protect the
+/// paper-facing v3 compression result (0.288× committed, gated at
+/// ≤0.35×) and its skip rate; the lz-vs-deflate floor protects the
+/// fast-codec throughput claim (≥3× deflate compress, §"LZ-class
+/// codec" in DESIGN.md).
 pub const BUDGETS: &[Budget] = &[
     Budget {
         file: "BENCH_obs.json",
@@ -76,10 +79,22 @@ pub const BUDGETS: &[Budget] = &[
         min: None,
     },
     Budget {
+        file: "BENCH_shuffle.json",
+        field: "wire_lz_overhead_pct",
+        max: Some(5.0),
+        min: None,
+    },
+    Budget {
         file: "BENCH_codec.json",
         field: "size_regression_percent",
         max: Some(1.0),
         min: None,
+    },
+    Budget {
+        file: "BENCH_codec.json",
+        field: "lz_vs_deflate_compress_speedup",
+        max: None,
+        min: Some(3.0),
     },
     Budget {
         file: "BENCH_ifile.json",
@@ -511,9 +526,27 @@ mod tests {
     fn missing_budget_fields_fail_closed() {
         let empty = parse("{}").unwrap();
         let checks = check_budgets(&empty, "BENCH_shuffle.json");
-        assert_eq!(checks.len(), 2);
+        assert_eq!(checks.len(), 3);
         assert!(checks.iter().all(|c| !c.ok));
         assert!(checks.iter().all(|c| c.value == "missing"));
+    }
+
+    #[test]
+    fn lz_throughput_floor_gates_slow_compressors() {
+        let fast =
+            parse(r#"{"size_regression_percent": 0.5, "lz_vs_deflate_compress_speedup": 12.4}"#)
+                .unwrap();
+        let checks = check_budgets(&fast, "BENCH_codec.json");
+        assert!(checks.iter().all(|c| c.ok), "{checks:?}");
+        // A speedup below the 3x floor fails: the fast codec's whole
+        // reason to exist is being cheap enough to always leave on.
+        let slow =
+            parse(r#"{"size_regression_percent": 0.5, "lz_vs_deflate_compress_speedup": 1.2}"#)
+                .unwrap();
+        let checks = check_budgets(&slow, "BENCH_codec.json");
+        let bad: Vec<_> = checks.iter().filter(|c| !c.ok).collect();
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].name.contains("lz_vs_deflate_compress_speedup"));
     }
 
     #[test]

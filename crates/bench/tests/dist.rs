@@ -9,7 +9,7 @@
 use scihadoop_bench::{dist_equivalence, DistJobSpec};
 use scihadoop_mapreduce::dist::worker_env;
 use scihadoop_mapreduce::obs::{LedgerRecord, LedgerSink};
-use scihadoop_mapreduce::{Job, Transport};
+use scihadoop_mapreduce::{Job, Transport, WireCodec};
 use std::sync::Arc;
 
 /// Arguments that route a re-execution of this test binary straight
@@ -51,24 +51,56 @@ fn storm_spec() -> DistJobSpec {
 
 #[test]
 fn three_tcp_worker_processes_match_the_local_engine() {
-    dist_equivalence(&clean_spec(), 3, Transport::Tcp, None, WORKER_ARGS, None);
+    dist_equivalence(
+        &clean_spec(),
+        3,
+        Transport::Tcp,
+        None,
+        WireCodec::Identity,
+        WORKER_ARGS,
+        None,
+    );
 }
 
 #[cfg(unix)]
 #[test]
 fn three_uds_worker_processes_match_the_local_engine() {
-    dist_equivalence(&clean_spec(), 3, Transport::Uds, None, WORKER_ARGS, None);
+    dist_equivalence(
+        &clean_spec(),
+        3,
+        Transport::Uds,
+        None,
+        WireCodec::Identity,
+        WORKER_ARGS,
+        None,
+    );
 }
 
 #[test]
 fn fault_storm_with_wire_corruption_is_byte_identical_over_tcp() {
-    dist_equivalence(&storm_spec(), 3, Transport::Tcp, None, WORKER_ARGS, None);
+    dist_equivalence(
+        &storm_spec(),
+        3,
+        Transport::Tcp,
+        None,
+        WireCodec::Identity,
+        WORKER_ARGS,
+        None,
+    );
 }
 
 #[cfg(unix)]
 #[test]
 fn fault_storm_with_wire_corruption_is_byte_identical_over_uds() {
-    let table = dist_equivalence(&storm_spec(), 3, Transport::Uds, None, WORKER_ARGS, None);
+    let table = dist_equivalence(
+        &storm_spec(),
+        3,
+        Transport::Uds,
+        None,
+        WireCodec::Identity,
+        WORKER_ARGS,
+        None,
+    );
     // The storm actually stormed: the fault note reports non-zero
     // injections (tallies themselves are asserted inside).
     assert!(
@@ -90,6 +122,7 @@ fn tiny_shuffle_budget_storm_is_byte_identical_over_tcp() {
         3,
         Transport::Tcp,
         Some(64 << 10),
+        WireCodec::Identity,
         WORKER_ARGS,
         None,
     );
@@ -108,6 +141,72 @@ fn tiny_shuffle_budget_storm_is_byte_identical_over_uds() {
         3,
         Transport::Uds,
         Some(64 << 10),
+        WireCodec::Identity,
+        WORKER_ARGS,
+        None,
+    );
+}
+
+// Transparent wire compression: real worker processes advertise CAP_LZ
+// in their Hello, the coordinator ships lz frames, workers inflate
+// before the segment CRC check. dist_equivalence asserts outputs and
+// semantic counters match the local engine and that wire bytes were
+// actually saved.
+
+#[test]
+fn wire_lz_clean_run_is_byte_identical_over_tcp() {
+    let table = dist_equivalence(
+        &clean_spec(),
+        3,
+        Transport::Tcp,
+        None,
+        WireCodec::Lz,
+        WORKER_ARGS,
+        None,
+    );
+    assert!(
+        table.render().contains("wire codec lz"),
+        "wire-codec note missing:\n{}",
+        table.render()
+    );
+}
+
+#[cfg(unix)]
+#[test]
+fn wire_lz_clean_run_is_byte_identical_over_uds() {
+    dist_equivalence(
+        &clean_spec(),
+        3,
+        Transport::Uds,
+        None,
+        WireCodec::Lz,
+        WORKER_ARGS,
+        None,
+    );
+}
+
+#[test]
+fn wire_lz_fault_storm_is_byte_identical_over_tcp() {
+    dist_equivalence(
+        &storm_spec(),
+        3,
+        Transport::Tcp,
+        None,
+        WireCodec::Lz,
+        WORKER_ARGS,
+        None,
+    );
+}
+
+#[cfg(unix)]
+#[test]
+fn wire_lz_tiny_budget_storm_is_byte_identical_over_uds() {
+    dist_equivalence(
+        &storm_spec(),
+        3,
+        Transport::Uds,
+        Some(64 << 10),
+        WireCodec::Lz,
         WORKER_ARGS,
         None,
     );
@@ -120,7 +219,15 @@ fn a_compressed_codec_survives_the_wire_byte_identically() {
         block_kib: 16,
         ..clean_spec()
     };
-    dist_equivalence(&spec, 2, Transport::Tcp, None, WORKER_ARGS, None);
+    dist_equivalence(
+        &spec,
+        2,
+        Transport::Tcp,
+        None,
+        WireCodec::Identity,
+        WORKER_ARGS,
+        None,
+    );
 }
 
 /// Environment variable carrying the interleave test's shared ledger

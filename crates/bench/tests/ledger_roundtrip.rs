@@ -42,14 +42,14 @@ proptest! {
         // (combiner, fault_seed present)
         flags in (any::<bool>(), any::<bool>()),
         job_nums in any::<[u64; 5]>(),
-        // 35 counter values followed by 9 × (count, wall, cpu) rollups.
-        counter_and_phase in any::<[u64; 62]>(),
+        // 39 counter values followed by 9 × (count, wall, cpu) rollups.
+        counter_and_phase in any::<[u64; 66]>(),
         hist_picks in proptest::collection::vec(
             (any::<u16>(), proptest::collection::vec(any::<u64>(), 1..16)),
             0..4,
         ),
     ) {
-        prop_assert_eq!(ALL_COUNTERS.len(), 35);
+        prop_assert_eq!(ALL_COUNTERS.len(), 39);
         let counters = Counters::new();
         for (c, v) in ALL_COUNTERS.iter().zip(counter_and_phase.iter()) {
             counters.add(*c, *v);
@@ -57,9 +57,9 @@ proptest! {
         let mut phases = [PhaseRollup::default(); NUM_PHASES];
         for (i, slot) in phases.iter_mut().enumerate() {
             *slot = PhaseRollup {
-                count: counter_and_phase[35 + 3 * i],
-                wall_ns: counter_and_phase[35 + 3 * i + 1],
-                cpu_ns: counter_and_phase[35 + 3 * i + 2],
+                count: counter_and_phase[39 + 3 * i],
+                wall_ns: counter_and_phase[39 + 3 * i + 1],
+                cpu_ns: counter_and_phase[39 + 3 * i + 2],
             };
         }
         // Histograms are built by actually recording samples, so bucket

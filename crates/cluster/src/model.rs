@@ -111,8 +111,13 @@ pub struct PhaseTimes {
     pub map_codec_s: f64,
     /// Writing materialized map output to local disk.
     pub map_write_s: f64,
-    /// Network transfer of materialized bytes to reducers.
+    /// Network transfer of materialized bytes to reducers, net of the
+    /// bytes the wire codec kept off the socket.
     pub shuffle_s: f64,
+    /// Wire-codec CPU: compressing segments at shuffle publish plus
+    /// inflating them at reduce fetch. Zero under the identity wire
+    /// codec, so compressed and raw runs share every other term.
+    pub wire_codec_s: f64,
     /// Coordinator-side shuffle-store spill: bytes past the in-memory
     /// budget written to the shuffle host's disk and read back on serve.
     /// Zero whenever the store never spills, so bounded and unbounded
@@ -185,7 +190,13 @@ impl CostModel {
             map_cpu_s: engine_cpu(stats.map_fn_nanos + stats.spill_nanos),
             map_codec_s: codec_cpu(stats.compress_nanos),
             map_write_s: mb(stats.map_output_materialized_bytes) / map_disk,
-            shuffle_s: mb(stats.map_output_materialized_bytes) / net,
+            // The wire codec takes its savings off the socket term:
+            // only the compressed frames cross the network.
+            shuffle_s: mb(stats
+                .map_output_materialized_bytes
+                .saturating_sub(stats.shuffle_wire_saved_bytes))
+                / net,
+            wire_codec_s: codec_cpu(stats.wire_compress_nanos + stats.wire_decompress_nanos),
             // Spilled bytes cross one host's disk twice (append on
             // publish, pread on serve) — the shuffle service runs on a
             // single coordinator, so no node aggregation applies.
@@ -207,7 +218,11 @@ impl CostModel {
         let map_makespan_s = phases.map_read_s + phases.map_write_s + map_cpu_parallel;
 
         let reduce_cpu_parallel = (phases.reduce_codec_s + phases.reduce_cpu_s) / reduce_nodes;
+        // Publish-side compression is serialized on the coordinator;
+        // fetch-side inflation spreads across the reduce nodes. Charging
+        // the whole term unparallelized keeps the model conservative.
         let reduce_makespan_s = phases.shuffle_s
+            + phases.wire_codec_s
             + phases.shuffle_spill_disk_s
             + phases.reduce_disk_s
             + reduce_cpu_parallel
@@ -244,6 +259,25 @@ impl CostModel {
             predicted: stats.map_output_materialized_bytes as f64,
             measured: record.counters.get(Counter::ShuffleBytes) as f64,
         });
+        // Wire-compressed runs add a socket-byte identity: the model's
+        // logical-minus-saved bytes against the runtime's independent
+        // shuffle-vs-saved accounting. Identity runs (saved = 0) skip
+        // the row rather than restate shuffle_bytes.
+        let wire_saved = record.counters.get(Counter::ShuffleWireBytesSaved);
+        if wire_saved > 0 {
+            rows.push(DriftRow {
+                name: "wire_bytes",
+                unit: "B",
+                predicted: stats
+                    .map_output_materialized_bytes
+                    .saturating_sub(stats.shuffle_wire_saved_bytes)
+                    as f64,
+                measured: record
+                    .counters
+                    .get(Counter::ShuffleBytes)
+                    .saturating_sub(wire_saved) as f64,
+            });
+        }
         if let Some(h) = record.hist(Metric::SegRawBytes) {
             rows.push(DriftRow {
                 name: "raw_bytes",
@@ -319,6 +353,9 @@ mod tests {
             map_output_materialized_bytes: materialized,
             output_bytes: 10_000_000,
             shuffle_spilled_bytes: 0,
+            shuffle_wire_saved_bytes: 0,
+            wire_compress_nanos: 0,
+            wire_decompress_nanos: 0,
             compress_nanos,
             decompress_nanos: compress_nanos / 3,
             map_fn_nanos: 50_000_000_000,
@@ -343,6 +380,38 @@ mod tests {
         // The spill term is additive: no other phase moves.
         assert_eq!(spilled.phases.shuffle_s, base.phases.shuffle_s);
         assert_eq!(spilled.phases.reduce_disk_s, base.phases.reduce_disk_s);
+    }
+
+    #[test]
+    fn wire_savings_shrink_the_shuffle_term_and_codec_cpu_pushes_back() {
+        let m = CostModel::new(ClusterSpec::paper_cluster());
+        let base = m.simulate(&stats(1_000_000_000, 0));
+        assert_eq!(base.phases.wire_codec_s, 0.0);
+
+        // Free compression (the lz design point): 60% of the shuffle
+        // never hits the socket, every other term unchanged.
+        let mut saved = stats(1_000_000_000, 0);
+        saved.shuffle_wire_saved_bytes = 600_000_000;
+        let compressed = m.simulate(&saved);
+        assert!(compressed.phases.shuffle_s < base.phases.shuffle_s);
+        assert!((compressed.phases.shuffle_s / base.phases.shuffle_s - 0.4).abs() < 1e-9);
+        assert_eq!(compressed.phases.map_write_s, base.phases.map_write_s);
+        assert_eq!(compressed.phases.reduce_disk_s, base.phases.reduce_disk_s);
+        assert!(compressed.total_s < base.total_s);
+
+        // Costed compression: the codec CPU term is additive and can
+        // eat the byte savings — the §III-E trade again, on the wire.
+        saved.wire_compress_nanos = 500_000_000_000;
+        saved.wire_decompress_nanos = 100_000_000_000;
+        let costed = m.simulate(&saved);
+        assert!(costed.phases.wire_codec_s > 0.0);
+        assert!(costed.total_s > compressed.total_s);
+
+        // Saved bytes can never exceed the materialized bytes; a
+        // malformed record saturates instead of wrapping.
+        let mut over = stats(1_000_000_000, 0);
+        over.shuffle_wire_saved_bytes = u64::MAX;
+        assert_eq!(m.simulate(&over).phases.shuffle_s, 0.0);
     }
 
     #[test]
@@ -492,9 +561,30 @@ mod tests {
         let shuffle = report.row("shuffle_bytes").expect("shuffle row");
         assert_eq!(shuffle.predicted, shuffle.measured);
         assert_eq!(shuffle.error_pct(), 0.0);
-        // No histograms in the synthetic record → no hist-derived rows.
+        // No histograms in the synthetic record → no hist-derived rows;
+        // no wire savings → no wire_bytes row.
         assert!(report.row("raw_bytes").is_none());
         assert!(report.row("materialized_bytes").is_none());
+        assert!(report.row("wire_bytes").is_none());
+    }
+
+    #[test]
+    fn reconcile_adds_an_exact_wire_byte_row_for_compressed_runs() {
+        let mut record = synthetic_record();
+        let counters = scihadoop_mapreduce::Counters::new();
+        for c in scihadoop_mapreduce::ALL_COUNTERS {
+            counters.add(c, record.counters.get(c));
+        }
+        counters.add(Counter::ShuffleWireBytesSaved, 400_000);
+        counters.add(Counter::LzCompressNanos, 1_000_000);
+        counters.add(Counter::LzDecompressNanos, 500_000);
+        record.counters = counters.snapshot();
+        let model = CostModel::new(ClusterSpec::local_host(&record));
+        let report = model.reconcile(&record);
+        let wire = report.row("wire_bytes").expect("wire row");
+        assert_eq!(wire.predicted, 600_000.0);
+        assert_eq!(wire.predicted, wire.measured);
+        assert_eq!(wire.error_pct(), 0.0);
     }
 
     #[test]
@@ -536,6 +626,9 @@ mod tests {
             map_output_materialized_bytes: 0,
             output_bytes: 0,
             shuffle_spilled_bytes: 0,
+            shuffle_wire_saved_bytes: 0,
+            wire_compress_nanos: 0,
+            wire_decompress_nanos: 0,
             compress_nanos: 0,
             decompress_nanos: 0,
             map_fn_nanos: 0,

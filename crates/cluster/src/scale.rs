@@ -24,6 +24,9 @@ pub fn scale_stats(stats: &JobStats, factor: f64) -> JobStats {
         map_output_materialized_bytes: b(stats.map_output_materialized_bytes),
         output_bytes: b(stats.output_bytes),
         shuffle_spilled_bytes: b(stats.shuffle_spilled_bytes),
+        shuffle_wire_saved_bytes: b(stats.shuffle_wire_saved_bytes),
+        wire_compress_nanos: b(stats.wire_compress_nanos),
+        wire_decompress_nanos: b(stats.wire_decompress_nanos),
         compress_nanos: b(stats.compress_nanos),
         decompress_nanos: b(stats.decompress_nanos),
         map_fn_nanos: b(stats.map_fn_nanos),
@@ -48,6 +51,9 @@ mod tests {
             map_output_materialized_bytes: 2000,
             output_bytes: 100,
             shuffle_spilled_bytes: 600,
+            shuffle_wire_saved_bytes: 800,
+            wire_compress_nanos: 70_000,
+            wire_decompress_nanos: 30_000,
             compress_nanos: 1_000_000,
             decompress_nanos: 300_000,
             map_fn_nanos: 2_000_000,
@@ -65,6 +71,8 @@ mod tests {
         assert_eq!(s.input_bytes, 10_000);
         assert_eq!(s.map_output_materialized_bytes, 20_000);
         assert_eq!(s.compress_nanos, 10_000_000);
+        assert_eq!(s.shuffle_wire_saved_bytes, 8_000);
+        assert_eq!(s.wire_compress_nanos, 700_000);
         assert_eq!(s.num_maps, 40);
         assert_eq!(s.num_reducers, 5, "reducer count is a config, not load");
     }

@@ -28,6 +28,7 @@ pub mod codec;
 pub mod deflate;
 pub mod error;
 pub mod huffman;
+pub mod lz;
 pub mod lz77;
 pub mod mtf;
 pub mod rle;
@@ -38,3 +39,4 @@ pub use checksum::{crc32, crc32c, Crc32, Crc32c};
 pub use codec::{Codec, CodecHandle, IdentityCodec, RleCodec};
 pub use deflate::DeflateCodec;
 pub use error::CompressError;
+pub use lz::LzCodec;

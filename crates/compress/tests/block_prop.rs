@@ -5,7 +5,8 @@
 
 use proptest::prelude::*;
 use scihadoop_compress::{
-    BlockCodec, BzipCodec, Codec, CodecHandle, CodecPool, DeflateCodec, IdentityCodec, RleCodec,
+    BlockCodec, BzipCodec, Codec, CodecHandle, CodecPool, DeflateCodec, IdentityCodec, LzCodec,
+    RleCodec,
 };
 use std::sync::Arc;
 
@@ -15,6 +16,7 @@ fn inner_codecs() -> Vec<CodecHandle> {
         Arc::new(RleCodec),
         Arc::new(DeflateCodec::new()),
         Arc::new(BzipCodec::with_level(1)),
+        Arc::new(LzCodec),
     ]
 }
 
@@ -90,6 +92,26 @@ proptest! {
         let z = c.compress(&data);
         let cut = ((z.len() as f64) * cut_frac) as usize;
         prop_assert!(c.decompress(&z[..cut]).is_err(), "cut at {cut}/{}", z.len());
+    }
+
+    /// `block-lz` — the composition the shuffle's spill/wire path uses
+    /// through the factory — detects truncation and bit flips through
+    /// the block frame's per-block CRC on top of lz's own payload CRC.
+    #[test]
+    fn block_lz_truncation_and_flips_detected(
+        data in proptest::collection::vec(any::<u8>(), 64..2048),
+        block_size in 16usize..256,
+        frac in 0.0f64..0.999,
+        bit in 0u8..8,
+    ) {
+        let c = BlockCodec::with_block_size(Arc::new(LzCodec), block_size);
+        let z = c.compress(&data);
+        let cut = ((z.len() as f64) * frac) as usize;
+        prop_assert!(c.decompress(&z[..cut]).is_err(), "cut at {}/{}", cut, z.len());
+        let idx = HEADER_LEN + (((z.len() - HEADER_LEN) as f64 - 1.0) * frac) as usize;
+        let mut bad = z.clone();
+        bad[idx] ^= 1 << bit;
+        prop_assert!(c.decompress(&bad).is_err(), "flip at {}/{}", idx, z.len());
     }
 
     /// Flipping any single bit in the table or body is caught by the

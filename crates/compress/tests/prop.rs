@@ -1,7 +1,7 @@
 //! Property tests for the compression substrate.
 
 use proptest::prelude::*;
-use scihadoop_compress::{BzipCodec, Codec, DeflateCodec, IdentityCodec, RleCodec};
+use scihadoop_compress::{lz, BzipCodec, Codec, DeflateCodec, IdentityCodec, LzCodec, RleCodec};
 
 fn all_codecs() -> Vec<Box<dyn Codec>> {
     vec![
@@ -10,6 +10,7 @@ fn all_codecs() -> Vec<Box<dyn Codec>> {
         Box::new(DeflateCodec::new()),
         Box::new(DeflateCodec::with_chain(4)),
         Box::new(BzipCodec::with_level(1)),
+        Box::new(LzCodec),
     ]
 }
 
@@ -39,6 +40,7 @@ proptest! {
         for codec in [
             Box::new(DeflateCodec::new()) as Box<dyn Codec>,
             Box::new(BzipCodec::with_level(1)),
+            Box::new(LzCodec),
         ] {
             let z = codec.compress(&data);
             prop_assert!(
@@ -91,5 +93,55 @@ proptest! {
         for codec in all_codecs() {
             prop_assert_eq!(codec.compress(&data), codec.compress(&data));
         }
+    }
+
+    /// The lz frame's payload CRC catches every single-bit flip in any
+    /// frame (stored or tokenized) before decoding returns bytes — the
+    /// property the shuffle wire and spill path rely on. A flip that
+    /// slips past would have to leave the CRC, the structural checks,
+    /// *and* the decoded output all consistent; none may.
+    #[test]
+    fn lz_bit_flips_never_return_wrong_data(
+        unit in proptest::collection::vec(any::<u8>(), 1..24),
+        reps in 1usize..96,
+        flip_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let data: Vec<u8> = unit.iter().cycle().take(unit.len() * reps).copied().collect();
+        let z = lz::compress(&data);
+        let idx = ((z.len() as f64 - 1.0) * flip_frac) as usize;
+        let mut bad = z.clone();
+        bad[idx] ^= 1 << bit;
+        if let Ok(out) = lz::decompress(&bad) {
+            prop_assert_eq!(out, data, "flip at {}/{} went undetected", idx, z.len());
+        }
+    }
+
+    /// Truncating an lz frame anywhere errors (the CRC or a structural
+    /// check fires); no truncation panics or returns bytes.
+    #[test]
+    fn lz_truncation_always_detected(
+        data in proptest::collection::vec(any::<u8>(), 1..2048),
+        cut_frac in 0.0f64..0.999,
+    ) {
+        let z = lz::compress(&data);
+        let cut = ((z.len() as f64) * cut_frac) as usize;
+        prop_assert!(lz::decompress(&z[..cut]).is_err(), "cut at {}/{}", cut, z.len());
+    }
+
+    /// Feeding arbitrary bytes straight into the lz decoder never
+    /// panics: it either errors or (for the rare accidentally-valid
+    /// frame) returns without over-allocating.
+    #[test]
+    fn lz_decoder_survives_garbage(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = lz::decompress(&data);
+    }
+
+    /// The stored-mode escape bounds every frame: output never exceeds
+    /// input + HEADER_LEN, even on incompressible input.
+    #[test]
+    fn lz_frames_are_size_bounded(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let z = lz::compress(&data);
+        prop_assert!(z.len() <= data.len() + lz::HEADER_LEN);
     }
 }

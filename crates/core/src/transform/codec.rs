@@ -194,6 +194,17 @@ mod tests {
             "transform+rle"
         );
         assert_eq!(
+            TransformCodec::with_defaults(Arc::new(scihadoop_compress::LzCodec)).name(),
+            "transform+lz"
+        );
+        assert_eq!(
+            TransformCodec::with_defaults(Arc::new(scihadoop_compress::BlockCodec::new(Arc::new(
+                scihadoop_compress::LzCodec
+            ))))
+            .name(),
+            "transform+block-lz"
+        );
+        assert_eq!(
             TransformCodec::with_defaults(Arc::new(scihadoop_compress::BlockCodec::new(Arc::new(
                 DeflateCodec::new()
             ))))

@@ -115,10 +115,31 @@ pub enum Counter {
     /// (everything is resident); bounded distributed runs report at
     /// most the configured budget.
     ShuffleMemHighWater,
+    /// Wire bytes the shuffle service did *not* send because segments
+    /// crossed compressed (distributed runtime with `--wire-codec lz`):
+    /// per served segment, logical length minus transmitted length.
+    /// `ShuffleBytes` stays the logical volume — this counter is the
+    /// discount the cost model's network term applies. Re-fetches by
+    /// retried reduces count again, mirroring `ShuffleSpillReads`;
+    /// segments served raw (corrupted copies, incompressible segments)
+    /// contribute zero.
+    ShuffleWireBytesSaved,
+    /// Spill-file bytes orphaned by republish-after-death: a retried
+    /// map attempt repoints its slots, and the predecessor's spilled
+    /// bytes stay dead in the append-only file until the job ends.
+    /// Always `<= ShuffleSpilledBytes`; the gap between them and live
+    /// spill bytes is this counter.
+    ShuffleSpillDeadBytes,
+    /// Nanoseconds the shuffle store spent in wire-codec compression at
+    /// publish time (distributed runtime only; 0 under `identity`).
+    LzCompressNanos,
+    /// Nanoseconds reduce workers spent decompressing wire-compressed
+    /// segments at fetch time (distributed runtime only).
+    LzDecompressNanos,
 }
 
 /// Number of counter slots.
-pub const NUM_COUNTERS: usize = Counter::ShuffleMemHighWater as usize + 1;
+pub const NUM_COUNTERS: usize = Counter::LzDecompressNanos as usize + 1;
 
 /// Every counter, in declaration order — for reports and exporters.
 pub const ALL_COUNTERS: [Counter; NUM_COUNTERS] = [
@@ -157,6 +178,10 @@ pub const ALL_COUNTERS: [Counter; NUM_COUNTERS] = [
     Counter::ShuffleSpilledBytes,
     Counter::ShuffleSpillReads,
     Counter::ShuffleMemHighWater,
+    Counter::ShuffleWireBytesSaved,
+    Counter::ShuffleSpillDeadBytes,
+    Counter::LzCompressNanos,
+    Counter::LzDecompressNanos,
 ];
 
 impl Counter {
@@ -198,6 +223,10 @@ impl Counter {
             Counter::ShuffleSpilledBytes => "shuffle_spilled_bytes",
             Counter::ShuffleSpillReads => "shuffle_spill_reads",
             Counter::ShuffleMemHighWater => "shuffle_mem_high_water",
+            Counter::ShuffleWireBytesSaved => "shuffle_wire_bytes_saved",
+            Counter::ShuffleSpillDeadBytes => "shuffle_spill_dead_bytes",
+            Counter::LzCompressNanos => "lz_compress_nanos",
+            Counter::LzDecompressNanos => "lz_decompress_nanos",
         }
     }
 }
@@ -357,6 +386,14 @@ impl CounterSnapshot {
                  must land in a final segment",
                 self.get(Counter::BlocksSkipped),
                 self.get(Counter::BlocksWritten)
+            ));
+        }
+        if self.get(Counter::ShuffleSpillDeadBytes) > self.get(Counter::ShuffleSpilledBytes) {
+            violations.push(format!(
+                "more dead spill bytes than were ever spilled: {} > {} — dead bytes \
+                 are orphaned regions of the append-only spill files",
+                self.get(Counter::ShuffleSpillDeadBytes),
+                self.get(Counter::ShuffleSpilledBytes)
             ));
         }
         if self.get(Counter::MapOutputKeySavedBytes) > self.get(Counter::MapOutputKeyBytes) {

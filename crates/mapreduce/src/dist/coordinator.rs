@@ -6,8 +6,10 @@
 //! job's retry budget and deterministic backoff.
 
 use super::net::{Listener, Stream};
-use super::shuffle::{SegmentHandle, ShuffleStore, SpilledHandle};
-use super::wire::{encode_seg_chunk, expect_credit, read_msg_capped, write_msg_capped, Msg};
+use super::shuffle::{SegmentRepr, ShuffleStore, SpilledHandle};
+use super::wire::{
+    encode_seg_chunk, expect_credit, read_msg_capped, write_msg_capped, Msg, CAP_LZ,
+};
 use super::DistConfig;
 use crate::counters::{Counter, Counters};
 use crate::error::MrError;
@@ -256,7 +258,12 @@ fn run_coordinator(
         num_maps,
         map_queue: WorkQueue::new((0..num_maps).collect()),
         reduce_queue: WorkQueue::new((0..config.num_reducers).collect()),
-        store: ShuffleStore::new(config.num_reducers, num_maps, dist.shuffle_mem_budget()),
+        store: ShuffleStore::new_with_codec(
+            config.num_reducers,
+            num_maps,
+            dist.shuffle_mem_budget(),
+            dist.wire_codec,
+        ),
         counters: Counters::new(),
         errors: Mutex::new(Vec::new()),
         outputs: (0..config.num_reducers)
@@ -338,6 +345,13 @@ fn run_coordinator(
     shared
         .counters
         .add(Counter::ShuffleMemHighWater, shared.store.mem_high_water());
+    shared.counters.add(
+        Counter::ShuffleSpillDeadBytes,
+        shared.store.spill_dead_bytes(),
+    );
+    shared
+        .counters
+        .add(Counter::LzCompressNanos, shared.store.compress_nanos());
     let outputs: Vec<Vec<KvPair>> = shared.outputs.iter().map(|m| m.lock().clone()).collect();
     let snapshot = shared.counters.snapshot();
     #[cfg(debug_assertions)]
@@ -426,8 +440,8 @@ fn next_assignment(shared: &Shared) -> Assignment {
 /// has already been routed through the retry budget.
 fn serve_connection(shared: &Shared, mut stream: Stream) -> Result<(), MrError> {
     let cap = shared.dist.max_frame_bytes;
-    let worker = match read_msg_capped(&mut stream, cap)? {
-        Msg::Hello { worker } => worker,
+    let (worker, wire_caps) = match read_msg_capped(&mut stream, cap)? {
+        Msg::Hello { worker, wire_caps } => (worker, wire_caps),
         other => {
             return Err(MrError::Net(format!(
                 "expected Hello, got {}",
@@ -435,6 +449,10 @@ fn serve_connection(shared: &Shared, mut stream: Stream) -> Result<(), MrError> 
             )))
         }
     };
+    // A worker that never advertised lz capability is served raw
+    // (logical) bytes even when the store holds compressed frames, so
+    // capability skew degrades throughput, not correctness.
+    let lz_ok = wire_caps & CAP_LZ != 0;
     let _att = shared
         .config
         .recorder
@@ -474,7 +492,7 @@ fn serve_connection(shared: &Shared, mut stream: Stream) -> Result<(), MrError> 
                 attempt,
                 early,
             } => {
-                let served = serve_reduce(shared, &mut stream, task, attempt);
+                let served = serve_reduce(shared, &mut stream, task, attempt, lz_ok);
                 if early {
                     *shared.early_reduces.lock() -= 1;
                 }
@@ -648,6 +666,16 @@ impl ChunkSource<'_> {
 /// is applied here, to the transmitted copy, at the same
 /// `(task, attempt, index)` coordinates the local path uses.
 ///
+/// Compressed segments stream their stored lz frames (`comp` set,
+/// spilled ones still `pread` zero-copy into the wire frame) to workers
+/// that advertised [`CAP_LZ`]; the difference between logical and
+/// transmitted length is charged to `ShuffleWireBytesSaved` at serve
+/// time, so re-fetches by retried attempts count again — true wire
+/// semantics. Corrupted segments are always materialized to *logical*
+/// bytes first and sent raw: the fault plan's coordinates address
+/// logical segment bytes, which is what keeps a compressed run
+/// byte-identical to identity under a fault storm.
+///
 /// Returns `Ok(true)` if the job aborted mid-stream and the worker was
 /// released with `Shutdown`.
 fn serve_reduce(
@@ -655,6 +683,7 @@ fn serve_reduce(
     stream: &mut Stream,
     task: usize,
     attempt: u32,
+    lz_ok: bool,
 ) -> Result<bool, MrError> {
     {
         let mut t0 = shared.reduce_t0.lock();
@@ -713,6 +742,7 @@ fn serve_reduce(
     let mut index: u64 = 0;
     let mut wait_nanos = 0u64;
     let mut transfer_nanos = 0u64;
+    let mut wire_saved = 0u64;
     let chunk_bytes = shared.dist.chunk_bytes;
     {
         // Mark this partition actively fetched for the duration of the
@@ -741,10 +771,17 @@ fn serve_reduce(
             };
             wait_nanos += wait_t0.elapsed().as_nanos() as u64;
             let Some(handle) = handle else { continue };
-            // Wire corruption needs the whole segment materialized (it
-            // may flip or truncate anywhere); the clean path never
-            // rebuffers.
-            let corrupted: Option<Vec<u8>> = match shared
+            // Two cases rebuffer through a materialized Vec; the clean
+            // capable path never does:
+            //  - Wire corruption needs the whole *logical* segment (the
+            //    fault plan's coordinates address uncompressed bytes —
+            //    the same bytes the local engine corrupts — and a flip
+            //    inside an lz frame would desync decompression instead
+            //    of reaching the segment CRC check). Corrupted copies
+            //    ship raw.
+            //  - A worker without lz capability gets logical bytes even
+            //    when the store holds a compressed frame.
+            let materialized: Option<Vec<u8>> = match shared
                 .config
                 .faults
                 .as_ref()
@@ -752,18 +789,24 @@ fn serve_reduce(
             {
                 Some(c) => {
                     shared.counters.add(Counter::FaultsInjected, 1);
-                    let mut data = handle.to_vec()?;
+                    let mut data = handle.logical_vec()?;
                     c.apply(&mut data);
                     Some(data)
                 }
+                None if handle.is_comp() && !lz_ok => Some(handle.logical_vec()?),
                 None => None,
             };
-            let src: ChunkSource = match (&corrupted, &handle) {
+            let comp = materialized.is_none() && handle.is_comp();
+            let orig_len = if comp { handle.logical_len() as u32 } else { 0 };
+            let src: ChunkSource = match (&materialized, &handle.repr) {
                 (Some(data), _) => ChunkSource::Slice(data),
-                (None, SegmentHandle::Mem(data)) => ChunkSource::Slice(data),
-                (None, SegmentHandle::Spilled(h)) => ChunkSource::Spilled(h),
+                (None, SegmentRepr::Mem(data)) => ChunkSource::Slice(data),
+                (None, SegmentRepr::Spilled(h)) => ChunkSource::Spilled(h),
             };
             let total = src.len();
+            if comp {
+                wire_saved += (handle.logical_len() - total) as u64;
+            }
             let mut crc = Crc32c::new();
             let mut off = 0usize;
             let mut sent_any = false;
@@ -772,16 +815,30 @@ fn serve_reduce(
                 let last = end == total;
                 let frame = &mut frames[cur];
                 match &src {
-                    ChunkSource::Slice(data) => {
-                        encode_seg_chunk(frame, index as u32, last, end - off, cap, |buf| {
+                    ChunkSource::Slice(data) => encode_seg_chunk(
+                        frame,
+                        index as u32,
+                        last,
+                        comp,
+                        orig_len,
+                        end - off,
+                        cap,
+                        |buf| {
                             buf.copy_from_slice(&data[off..end]);
                             Ok(())
-                        })?
-                    }
+                        },
+                    )?,
                     ChunkSource::Spilled(h) => {
-                        encode_seg_chunk(frame, index as u32, last, end - off, cap, |buf| {
-                            h.read_range(off, buf)
-                        })?;
+                        encode_seg_chunk(
+                            frame,
+                            index as u32,
+                            last,
+                            comp,
+                            orig_len,
+                            end - off,
+                            cap,
+                            |buf| h.read_range(off, buf),
+                        )?;
                         // Re-verify the spill-time CRC incrementally;
                         // the final chunk is checked *before* it is
                         // sent, so disk corruption never reaches a
@@ -831,6 +888,9 @@ fn serve_reduce(
     shared
         .counters
         .add(Counter::ShuffleTransferNanos, transfer_nanos);
+    shared
+        .counters
+        .add(Counter::ShuffleWireBytesSaved, wire_saved);
 
     match read_msg_capped(stream, cap)? {
         Msg::ReduceDone {
@@ -1038,6 +1098,81 @@ mod tests {
                 >= dist.counters.get(Counter::ShuffleBytes)
         );
         assert!(dist.counters.get(Counter::ShuffleSpillReads) > 0);
+    }
+
+    #[test]
+    fn wire_lz_fault_storm_is_byte_identical_and_saves_wire_bytes() {
+        use crate::dist::WireCodec;
+        // Same storm as the uds test, but with wire compression on and
+        // a tight memory budget so compressed frames also cross the
+        // spill path. Outputs and every job-semantics counter must be
+        // byte-identical to the identity-codec run; only the new
+        // wire/codec telemetry may differ.
+        let faults =
+            FaultConfig::parse("seed=42,map=0.4,reduce=0.3,corrupt=0.3,slow=0.1,slow_ms=1,cap=2")
+                .unwrap();
+        let config = JobConfig::default()
+            .with_reducers(3)
+            .with_slots(4, 2)
+            .with_retries(4)
+            .with_retry_backoff(Duration::from_micros(10))
+            .with_faults(FaultPlan::new(faults));
+        let splits = word_splits(5, 32);
+        let identity = run_distributed_with_threads(
+            &config,
+            &DistConfig::default()
+                .with_workers(3)
+                .with_transport(Transport::Tcp),
+            splits.clone(),
+            count_mapper(),
+            sum_reducer(),
+        )
+        .unwrap();
+        for budget in [None, Some(0), Some(512)] {
+            let lz = run_distributed_with_threads(
+                &config,
+                &DistConfig::default()
+                    .with_workers(3)
+                    .with_transport(Transport::Tcp)
+                    .with_shuffle_mem_bytes(budget)
+                    .with_wire_codec(WireCodec::Lz),
+                splits.clone(),
+                count_mapper(),
+                sum_reducer(),
+            )
+            .unwrap();
+            assert_same_outputs(&identity, &lz);
+            for c in [
+                Counter::MapOutputRecords,
+                Counter::ReduceOutputRecords,
+                Counter::ShuffleBytes,
+                Counter::MapOutputMaterializedBytes,
+                Counter::FaultsInjected,
+                Counter::ChecksumFailures,
+            ] {
+                assert_eq!(
+                    identity.counters.get(c),
+                    lz.counters.get(c),
+                    "counter {} must not depend on the wire codec (budget {budget:?})",
+                    c.name()
+                );
+            }
+            assert!(
+                lz.counters.get(Counter::ShuffleWireBytesSaved) > 0,
+                "word-count segments compress, so the wire must shrink (budget {budget:?})"
+            );
+            assert!(lz.counters.get(Counter::LzCompressNanos) > 0);
+            assert!(lz.counters.get(Counter::LzDecompressNanos) > 0);
+            assert!(
+                lz.counters.get(Counter::ShuffleWireBytesSaved)
+                    < lz.counters.get(Counter::ShuffleBytes)
+                        + lz.counters.get(Counter::TaskRetries)
+                            * lz.counters.get(Counter::ShuffleBytes),
+                "saved bytes are bounded by logical volume times fetch attempts"
+            );
+        }
+        assert_eq!(identity.counters.get(Counter::ShuffleWireBytesSaved), 0);
+        assert_eq!(identity.counters.get(Counter::LzCompressNanos), 0);
     }
 
     #[test]

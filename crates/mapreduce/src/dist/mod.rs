@@ -50,7 +50,9 @@ mod worker;
 
 pub use coordinator::{run_distributed, run_distributed_with_threads};
 pub use net::Transport;
-pub use shuffle::{auto_shuffle_mem_bytes, SegmentHandle, ShuffleStore, SpilledHandle};
+pub use shuffle::{
+    auto_shuffle_mem_bytes, SegmentHandle, SegmentRepr, ShuffleStore, SpilledHandle,
+};
 pub use wire::DEFAULT_MAX_FRAME_BYTES;
 pub use worker::run_worker;
 
@@ -69,6 +71,45 @@ pub const ENV_JOB: &str = "SCIHADOOP_DIST_JOB";
 
 /// Fetch window a worker grants the coordinator in `FetchStart`.
 pub(crate) const DEFAULT_FETCH_CREDITS: u32 = 8;
+
+/// Transparent compression applied to shuffle bytes in flight and at
+/// rest: segments are compressed once at publish (so spills hit disk
+/// small and serving stays zero-copy of the compressed bytes) and
+/// decompressed by the fetching reducer before its CRC check. Placement
+/// and framing only — reduce inputs, outputs, and every job-level
+/// counter except the new wire/codec telemetry are byte-identical to
+/// [`WireCodec::Identity`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireCodec {
+    /// Raw segment bytes on the wire and on spill disk.
+    #[default]
+    Identity,
+    /// [`scihadoop_compress::lz`] frames: LZ4-class speed, no entropy
+    /// stage. Used only for segments it actually shrinks; segments that
+    /// don't compress are stored and served raw.
+    Lz,
+}
+
+impl WireCodec {
+    /// Parse a `--wire-codec` grammar name.
+    pub fn parse(s: &str) -> Result<Self, MrError> {
+        match s {
+            "identity" => Ok(WireCodec::Identity),
+            "lz" => Ok(WireCodec::Lz),
+            other => Err(MrError::Config(format!(
+                "unknown wire codec {other:?}: expected identity|lz"
+            ))),
+        }
+    }
+
+    /// The grammar name, inverse of [`WireCodec::parse`].
+    pub fn name(self) -> &'static str {
+        match self {
+            WireCodec::Identity => "identity",
+            WireCodec::Lz => "lz",
+        }
+    }
+}
 
 /// Settings for the distributed runtime, separate from [`crate::JobConfig`]
 /// because they describe *where* the job runs, not what it computes.
@@ -106,6 +147,11 @@ pub struct DistConfig {
     /// [`DEFAULT_MAX_FRAME_BYTES`]; must comfortably exceed
     /// `chunk_bytes` plus frame overhead.
     pub max_frame_bytes: usize,
+    /// Shuffle wire/spill compression. Workers advertise lz capability
+    /// in `Hello`; the coordinator only streams compressed frames to
+    /// workers that negotiated them, so mixed fleets degrade to raw
+    /// serving instead of failing.
+    pub wire_codec: WireCodec,
 }
 
 impl Default for DistConfig {
@@ -120,6 +166,7 @@ impl Default for DistConfig {
             spawn_timeout: Duration::from_secs(30),
             shuffle_mem_bytes: None,
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            wire_codec: WireCodec::default(),
         }
     }
 }
@@ -186,6 +233,12 @@ impl DistConfig {
     /// Builder-style setter for the wire frame cap.
     pub fn with_max_frame_bytes(mut self, bytes: usize) -> Self {
         self.max_frame_bytes = bytes;
+        self
+    }
+
+    /// Builder-style setter for shuffle wire/spill compression.
+    pub fn with_wire_codec(mut self, codec: WireCodec) -> Self {
+        self.wire_codec = codec;
         self
     }
 
@@ -268,6 +321,15 @@ mod tests {
             .with_chunk_bytes(1024)
             .with_max_frame_bytes(1024 + 64);
         assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn wire_codec_names_round_trip() {
+        for codec in [WireCodec::Identity, WireCodec::Lz] {
+            assert_eq!(WireCodec::parse(codec.name()).unwrap(), codec);
+        }
+        assert!(WireCodec::parse("deflate").is_err());
+        assert!(WireCodec::parse("").is_err());
     }
 
     #[test]

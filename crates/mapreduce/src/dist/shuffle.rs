@@ -41,14 +41,31 @@
 //! fetch) so a retried reduce attempt can re-fetch the same bytes; for
 //! spilled segments the handle stays valid across eviction and
 //! republish because spill files are append-only.
+//!
+//! # Wire/spill compression
+//!
+//! With [`WireCodec::Lz`] each segment is compressed **once, at
+//! publish**, outside the store lock; what the store admits, budgets,
+//! evicts, spills, and serves afterwards is the compressed frame —
+//! spill disk, resident memory, and the wire all see the small bytes,
+//! and the zero-copy `pread`-into-frame serving path is untouched. A
+//! segment the codec cannot shrink is stored raw (`comp == false`), so
+//! compression never inflates a segment. Logical (uncompressed)
+//! lengths are tracked per slot: [`ShuffleStore::total_bytes`] stays
+//! the *logical* shuffle volume, preserving the
+//! `ShuffleBytes == MapOutputMaterializedBytes` ledger invariant
+//! regardless of codec.
 
+use super::WireCodec;
 use crate::error::MrError;
 use scihadoop_compress::checksum::crc32c;
+use scihadoop_compress::lz;
 use std::fs::File;
 use std::io::Write;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// Distinguishes concurrently live stores within one process (one test
 /// binary runs many coordinators).
@@ -143,7 +160,11 @@ impl Drop for SpillFile {
     }
 }
 
-/// Where one (partition, map task) segment currently lives.
+/// Where one (partition, map task) segment currently lives. `comp`
+/// marks stored bytes as an lz frame; `logical_len` is the segment's
+/// uncompressed length (equal to the stored length when raw). Budgets
+/// and spill accounting run on stored bytes, job-level `ShuffleBytes`
+/// on logical bytes.
 enum Slot {
     /// No data: not yet published, or the map task emitted nothing for
     /// this partition.
@@ -153,17 +174,24 @@ enum Slot {
         data: Arc<Vec<u8>>,
         crc: u32,
         touch: u64,
+        comp: bool,
+        logical_len: usize,
     },
     /// Spilled to the partition's file at `offset`.
-    Spilled { offset: u64, len: usize, crc: u32 },
+    Spilled {
+        offset: u64,
+        len: usize,
+        crc: u32,
+        comp: bool,
+        logical_len: usize,
+    },
 }
 
 impl Slot {
-    fn len(&self) -> Option<usize> {
+    fn logical_len(&self) -> Option<usize> {
         match self {
             Slot::Empty => None,
-            Slot::Mem { data, .. } => Some(data.len()),
-            Slot::Spilled { len, .. } => Some(*len),
+            Slot::Mem { logical_len, .. } | Slot::Spilled { logical_len, .. } => Some(*logical_len),
         }
     }
 }
@@ -186,6 +214,13 @@ struct StoreState {
     mem_high_water: u64,
     spilled_bytes: u64,
     spill_reads: u64,
+    /// Spill-file bytes orphaned by republish-after-death: the retried
+    /// attempt repoints the slot, the predecessor's bytes stay in the
+    /// append-only file (`ShuffleSpillDeadBytes`).
+    spill_dead_bytes: u64,
+    /// Time spent in publish-side wire-codec compression
+    /// (`LzCompressNanos`; 0 under identity).
+    compress_nanos: u64,
 }
 
 impl StoreState {
@@ -229,7 +264,14 @@ impl StoreState {
 
     /// Append `data` to `partition`'s spill file (created on first
     /// use) and return the index entry for it.
-    fn spill_bytes(&mut self, partition: usize, data: &[u8], crc: u32) -> Result<Slot, MrError> {
+    fn spill_bytes(
+        &mut self,
+        partition: usize,
+        data: &[u8],
+        crc: u32,
+        comp: bool,
+        logical_len: usize,
+    ) -> Result<Slot, MrError> {
         if self.spill[partition].is_none() {
             self.spill[partition] = Some(SpillFile::create(partition)?);
         }
@@ -240,16 +282,25 @@ impl StoreState {
             offset,
             len: data.len(),
             crc,
+            comp,
+            logical_len,
         })
     }
 
     /// Move one resident slot to its partition's spill file.
     fn spill_slot(&mut self, partition: usize, map_task: usize) -> Result<(), MrError> {
-        let Slot::Mem { data, crc, .. } = &self.slots[partition][map_task] else {
+        let Slot::Mem {
+            data,
+            crc,
+            comp,
+            logical_len,
+            ..
+        } = &self.slots[partition][map_task]
+        else {
             return Ok(());
         };
-        let (data, crc) = (Arc::clone(data), *crc);
-        let slot = self.spill_bytes(partition, &data, crc)?;
+        let (data, crc, comp, logical_len) = (Arc::clone(data), *crc, *comp, *logical_len);
+        let slot = self.spill_bytes(partition, &data, crc, comp, logical_len)?;
         self.mem_used -= data.len();
         self.slots[partition][map_task] = slot;
         Ok(())
@@ -263,13 +314,27 @@ pub struct ShuffleStore {
     state: Mutex<StoreState>,
     ready: Condvar,
     mem_budget: usize,
+    codec: WireCodec,
 }
 
 impl ShuffleStore {
     /// A store for `num_partitions × num_maps` segments holding at most
     /// `mem_budget` resident bytes (0 spills everything, `usize::MAX`
-    /// never spills).
+    /// never spills). Stores raw segment bytes; see
+    /// [`ShuffleStore::new_with_codec`].
     pub fn new(num_partitions: usize, num_maps: usize, mem_budget: usize) -> ShuffleStore {
+        ShuffleStore::new_with_codec(num_partitions, num_maps, mem_budget, WireCodec::Identity)
+    }
+
+    /// A store that compresses segments at publish with `codec` —
+    /// resident memory, spill files, and served bytes all hold the
+    /// compressed frames.
+    pub fn new_with_codec(
+        num_partitions: usize,
+        num_maps: usize,
+        mem_budget: usize,
+        codec: WireCodec,
+    ) -> ShuffleStore {
         ShuffleStore {
             state: Mutex::new(StoreState {
                 slots: (0..num_partitions)
@@ -284,9 +349,12 @@ impl ShuffleStore {
                 mem_high_water: 0,
                 spilled_bytes: 0,
                 spill_reads: 0,
+                spill_dead_bytes: 0,
+                compress_nanos: 0,
             }),
             ready: Condvar::new(),
             mem_budget,
+            codec,
         }
     }
 
@@ -304,15 +372,40 @@ impl ShuffleStore {
     /// Segments that do not fit the memory budget go straight to the
     /// partition's spill file.
     pub fn publish(&self, map_task: usize, outputs: Vec<(usize, Vec<u8>)>) -> Result<(), MrError> {
+        // Compress outside the lock: publishers are concurrent map
+        // connections, and codec CPU time must not serialize them.
+        // A frame that fails to shrink its segment is discarded and the
+        // raw bytes stored, so compression never inflates a segment.
+        let mut compress_nanos = 0u64;
+        let prepared: Vec<(usize, Vec<u8>, bool, usize)> = outputs
+            .into_iter()
+            .map(|(partition, data)| {
+                let logical_len = data.len();
+                if self.codec == WireCodec::Lz && !data.is_empty() {
+                    let t0 = Instant::now();
+                    let frame = lz::compress(&data);
+                    compress_nanos += t0.elapsed().as_nanos() as u64;
+                    if frame.len() < data.len() {
+                        return (partition, frame, true, logical_len);
+                    }
+                }
+                (partition, data, false, logical_len)
+            })
+            .collect();
         let mut guard = self.lock_state();
         let state = &mut *guard;
+        state.compress_nanos += compress_nanos;
         for partition in 0..state.slots.len() {
-            if let Slot::Mem { data, .. } = &state.slots[partition][map_task] {
-                state.mem_used -= data.len();
+            match &state.slots[partition][map_task] {
+                Slot::Mem { data, .. } => state.mem_used -= data.len(),
+                // The predecessor's spilled bytes stay behind in the
+                // append-only file; account them as dead.
+                Slot::Spilled { len, .. } => state.spill_dead_bytes += *len as u64,
+                Slot::Empty => {}
             }
             state.slots[partition][map_task] = Slot::Empty;
         }
-        for (partition, data) in outputs {
+        for (partition, data, comp, logical_len) in prepared {
             let crc = crc32c(&data);
             if data.len() <= self.mem_budget {
                 state.make_room(data.len(), self.mem_budget)?;
@@ -323,9 +416,12 @@ impl ShuffleStore {
                     data: Arc::new(data),
                     crc,
                     touch,
+                    comp,
+                    logical_len,
                 };
             } else {
-                state.slots[partition][map_task] = state.spill_bytes(partition, &data, crc)?;
+                state.slots[partition][map_task] =
+                    state.spill_bytes(partition, &data, crc, comp, logical_len)?;
             }
         }
         state.done[map_task] = true;
@@ -353,11 +449,27 @@ impl ShuffleStore {
                 let touch = state.touch_next();
                 return Ok(match &mut state.slots[partition][map_task] {
                     Slot::Empty => None,
-                    Slot::Mem { data, touch: t, .. } => {
+                    Slot::Mem {
+                        data,
+                        touch: t,
+                        comp,
+                        logical_len,
+                        ..
+                    } => {
                         *t = touch;
-                        Some(SegmentHandle::Mem(Arc::clone(data)))
+                        Some(SegmentHandle {
+                            comp: *comp,
+                            logical_len: *logical_len,
+                            repr: SegmentRepr::Mem(Arc::clone(data)),
+                        })
                     }
-                    &mut Slot::Spilled { offset, len, crc } => {
+                    &mut Slot::Spilled {
+                        offset,
+                        len,
+                        crc,
+                        comp,
+                        logical_len,
+                    } => {
                         state.spill_reads += 1;
                         let file = Arc::clone(
                             &state.spill[partition]
@@ -365,14 +477,18 @@ impl ShuffleStore {
                                 .expect("spilled slot has a spill file")
                                 .file,
                         );
-                        Some(SegmentHandle::Spilled(SpilledHandle {
-                            file,
-                            offset,
-                            len,
-                            crc,
-                            partition,
-                            map_task,
-                        }))
+                        Some(SegmentHandle {
+                            comp,
+                            logical_len,
+                            repr: SegmentRepr::Spilled(SpilledHandle {
+                                file,
+                                offset,
+                                len,
+                                crc,
+                                partition,
+                                map_task,
+                            }),
+                        })
                     }
                 });
             }
@@ -399,15 +515,18 @@ impl ShuffleStore {
         self.ready.notify_all();
     }
 
-    /// Total bytes across all committed segments, resident or spilled
-    /// (the distributed run's `ShuffleBytes`).
+    /// Total *logical* (uncompressed) bytes across all committed
+    /// segments, resident or spilled (the distributed run's
+    /// `ShuffleBytes`). Independent of the wire codec, so the
+    /// `ShuffleBytes == MapOutputMaterializedBytes` invariant holds
+    /// compressed or not.
     pub fn total_bytes(&self) -> u64 {
         let state = self.lock_state();
         state
             .slots
             .iter()
             .flat_map(|row| row.iter())
-            .filter_map(|slot| slot.len())
+            .filter_map(|slot| slot.logical_len())
             .map(|len| len as u64)
             .sum()
     }
@@ -426,6 +545,16 @@ impl ShuffleStore {
     pub fn mem_high_water(&self) -> u64 {
         self.lock_state().mem_high_water
     }
+
+    /// Spill-file bytes orphaned by republish (`ShuffleSpillDeadBytes`).
+    pub fn spill_dead_bytes(&self) -> u64 {
+        self.lock_state().spill_dead_bytes
+    }
+
+    /// Publish-side compression time (`LzCompressNanos`).
+    pub fn compress_nanos(&self) -> u64 {
+        self.lock_state().compress_nanos
+    }
 }
 
 /// RAII marker for an in-progress reduce fetch of one partition.
@@ -440,19 +569,30 @@ impl Drop for FetchGuard<'_> {
     }
 }
 
-/// Where a fetched segment's bytes live. The handle outlives any store
-/// mutation: `Mem` pins the bytes via `Arc`, `Spilled` reads an
-/// append-only region of a file the handle keeps open.
-pub enum SegmentHandle {
+/// One fetched segment: its stored representation plus the codec
+/// metadata a server needs to frame it on the wire. The handle outlives
+/// any store mutation — `Mem` pins the bytes via `Arc`, `Spilled` reads
+/// an append-only region of a file the handle keeps open.
+pub struct SegmentHandle {
+    /// Stored bytes are an lz frame the fetching worker must inflate.
+    comp: bool,
+    /// Uncompressed segment length; equals the stored length when raw.
+    logical_len: usize,
+    pub repr: SegmentRepr,
+}
+
+/// Where a fetched segment's *stored* bytes live.
+pub enum SegmentRepr {
     Mem(Arc<Vec<u8>>),
     Spilled(SpilledHandle),
 }
 
 impl SegmentHandle {
+    /// Stored length in bytes — what crosses the wire.
     pub fn len(&self) -> usize {
-        match self {
-            SegmentHandle::Mem(data) => data.len(),
-            SegmentHandle::Spilled(h) => h.len,
+        match &self.repr {
+            SegmentRepr::Mem(data) => data.len(),
+            SegmentRepr::Spilled(h) => h.len,
         }
     }
 
@@ -460,13 +600,22 @@ impl SegmentHandle {
         self.len() == 0
     }
 
-    /// Materialize the full segment (the corruption-injection path and
-    /// tests need contiguous bytes; the serving hot path streams chunks
-    /// instead). Spilled reads verify the spill-time CRC.
+    /// Whether the stored bytes are an lz frame.
+    pub fn is_comp(&self) -> bool {
+        self.comp
+    }
+
+    /// Uncompressed segment length.
+    pub fn logical_len(&self) -> usize {
+        self.logical_len
+    }
+
+    /// Materialize the stored bytes (compressed, if the store codec
+    /// shrank this segment). Spilled reads verify the spill-time CRC.
     pub fn to_vec(&self) -> Result<Vec<u8>, MrError> {
-        match self {
-            SegmentHandle::Mem(data) => Ok(data.as_ref().clone()),
-            SegmentHandle::Spilled(h) => {
+        match &self.repr {
+            SegmentRepr::Mem(data) => Ok(data.as_ref().clone()),
+            SegmentRepr::Spilled(h) => {
                 let mut buf = vec![0u8; h.len];
                 h.read_range(0, &mut buf)?;
                 let got = crc32c(&buf);
@@ -476,6 +625,27 @@ impl SegmentHandle {
                 Ok(buf)
             }
         }
+    }
+
+    /// Materialize the *logical* segment bytes, inflating a compressed
+    /// store representation — the corruption-injection path needs the
+    /// same bytes the local engine would corrupt, and tests compare
+    /// against published inputs.
+    pub fn logical_vec(&self) -> Result<Vec<u8>, MrError> {
+        let stored = self.to_vec()?;
+        if !self.comp {
+            return Ok(stored);
+        }
+        let data = lz::decompress(&stored)
+            .map_err(|e| MrError::Checksum(format!("shuffle store lz frame corrupt: {e}")))?;
+        if data.len() != self.logical_len {
+            return Err(MrError::Checksum(format!(
+                "shuffle store lz frame inflated to {} bytes, slot says {}",
+                data.len(),
+                self.logical_len
+            )));
+        }
+        Ok(data)
     }
 }
 
@@ -629,8 +799,8 @@ mod tests {
         assert_eq!(store.spilled_bytes(), 10);
         let in_mem = |p: usize, m: usize| {
             matches!(
-                store.segment_when_ready(p, m).unwrap(),
-                Some(SegmentHandle::Mem(_))
+                store.segment_when_ready(p, m).unwrap().map(|h| h.repr),
+                Some(SegmentRepr::Mem(_))
             )
         };
         assert!(in_mem(0, 0), "actively fetched partition stays resident");
@@ -650,8 +820,8 @@ mod tests {
         assert_eq!(store.spilled_bytes(), 64);
         assert_eq!(store.mem_high_water(), 8);
         assert!(matches!(
-            store.segment_when_ready(0, 0).unwrap(),
-            Some(SegmentHandle::Mem(_))
+            store.segment_when_ready(0, 0).unwrap().map(|h| h.repr),
+            Some(SegmentRepr::Mem(_))
         ));
         let big = store.segment_when_ready(0, 1).unwrap().unwrap();
         assert_eq!(big.to_vec().unwrap(), vec![2u8; 64]);
@@ -669,11 +839,88 @@ mod tests {
     }
 
     #[test]
+    fn lz_store_serves_logical_bytes_and_budgets_stored_bytes() {
+        let raw = ShuffleStore::new(1, 2, usize::MAX);
+        let lzs = ShuffleStore::new_with_codec(1, 2, usize::MAX, WireCodec::Lz);
+        // Compressible segment and an incompressible one.
+        let compressible: Vec<u8> = (0..4000u32).flat_map(|i| (i % 13).to_le_bytes()).collect();
+        let mut x = 0x1234_5678_9abc_def0u64;
+        let random: Vec<u8> = (0..2000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect();
+        for store in [&raw, &lzs] {
+            store.publish(0, vec![(0, compressible.clone())]).unwrap();
+            store.publish(1, vec![(0, random.clone())]).unwrap();
+        }
+        // Logical volume is codec-independent.
+        assert_eq!(lzs.total_bytes(), raw.total_bytes());
+        assert!(lzs.compress_nanos() > 0);
+        assert_eq!(raw.compress_nanos(), 0);
+
+        let seg = lzs.segment_when_ready(0, 0).unwrap().unwrap();
+        assert!(seg.is_comp(), "repetitive segment compresses");
+        assert!(seg.len() < compressible.len(), "stored bytes shrank");
+        assert_eq!(seg.logical_len(), compressible.len());
+        assert_eq!(seg.logical_vec().unwrap(), compressible);
+        // The stored bytes really are an lz frame.
+        assert_eq!(
+            lz::decompress(&seg.to_vec().unwrap()).unwrap(),
+            compressible
+        );
+
+        let seg = lzs.segment_when_ready(0, 1).unwrap().unwrap();
+        assert!(!seg.is_comp(), "incompressible segment stays raw");
+        assert_eq!(seg.to_vec().unwrap(), random);
+        assert_eq!(seg.logical_vec().unwrap(), random);
+    }
+
+    #[test]
+    fn lz_store_spills_compressed_bytes_and_roundtrips() {
+        let store = ShuffleStore::new_with_codec(1, 1, 0, WireCodec::Lz);
+        let data: Vec<u8> = (0..5000u32).flat_map(|i| (i % 7).to_le_bytes()).collect();
+        store.publish(0, vec![(0, data.clone())]).unwrap();
+        // The spill file holds the compressed frame, not logical bytes.
+        assert!(store.spilled_bytes() < data.len() as u64);
+        assert_eq!(store.total_bytes(), data.len() as u64);
+        let seg = store.segment_when_ready(0, 0).unwrap().unwrap();
+        assert!(seg.is_comp());
+        assert!(matches!(seg.repr, SegmentRepr::Spilled(_)));
+        assert_eq!(seg.logical_vec().unwrap(), data);
+    }
+
+    #[test]
+    fn republish_of_a_spilled_slot_counts_dead_bytes() {
+        let store = ShuffleStore::new(1, 1, 0);
+        store.publish(0, vec![(0, vec![7u8; 100])]).unwrap();
+        assert_eq!(store.spill_dead_bytes(), 0);
+        store.publish(0, vec![(0, vec![8u8; 60])]).unwrap();
+        // The first attempt's 100 bytes are stranded in the file.
+        assert_eq!(store.spill_dead_bytes(), 100);
+        assert_eq!(store.spilled_bytes(), 160);
+        // Live logical volume reflects only the committed attempt.
+        assert_eq!(store.total_bytes(), 60);
+        // Replacing a *resident* slot strands nothing on disk.
+        let mem = ShuffleStore::new(1, 1, usize::MAX);
+        mem.publish(0, vec![(0, vec![1u8; 50])]).unwrap();
+        mem.publish(0, vec![(0, vec![2u8; 50])]).unwrap();
+        assert_eq!(mem.spill_dead_bytes(), 0);
+    }
+
+    #[test]
     fn chunked_spill_reads_match_whole_segment_reads() {
         let store = ShuffleStore::new(1, 1, 0);
         let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
         store.publish(0, vec![(0, data.clone())]).unwrap();
-        let Some(SegmentHandle::Spilled(h)) = store.segment_when_ready(0, 0).unwrap() else {
+        let Some(SegmentHandle {
+            repr: SegmentRepr::Spilled(h),
+            ..
+        }) = store.segment_when_ready(0, 0).unwrap()
+        else {
             panic!("budget 0 must spill");
         };
         let mut assembled = Vec::new();

@@ -27,12 +27,20 @@ use std::io::{Read, Write};
 /// failing fast beats a giant allocation.
 pub const DEFAULT_MAX_FRAME_BYTES: usize = 256 << 20;
 
+/// `Hello.wire_caps` bit: this worker can decompress
+/// [`scihadoop_compress::lz`] segment streams. Capability negotiation
+/// is one-directional — workers advertise, the coordinator only sends
+/// compressed `SegChunk` frames to workers that set the bit.
+pub(crate) const CAP_LZ: u32 = 1 << 0;
+
 /// Every message either side can send. See the module docs of
 /// [`crate::dist`] for who sends what when.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) enum Msg {
-    /// Worker → coordinator, once per connection.
-    Hello { worker: u32 },
+    /// Worker → coordinator, once per connection. `wire_caps` is the
+    /// worker's capability bitmap ([`CAP_LZ`]); unknown bits are
+    /// ignored, so capability growth stays backward-compatible.
+    Hello { worker: u32, wire_caps: u32 },
     /// Worker → coordinator: ready for the next task.
     TaskRequest,
     /// Coordinator → worker: run one map attempt over the carried split.
@@ -64,10 +72,17 @@ pub(crate) enum Msg {
     FetchStart { credits: u32 },
     /// Coordinator → worker: one chunk of segment `index` (canonical
     /// map-task order). Consumes one fetch credit; `last` closes the
-    /// segment.
+    /// segment. `comp` marks the *segment* (not the chunk) as an lz
+    /// frame the worker must decompress after reassembly; `orig_len` is
+    /// the segment's uncompressed length (0 when `comp` is false), a
+    /// pre-allocation hint and a cross-check against the lz frame's own
+    /// header. The lz frame carries a CRC over the wire bytes, so
+    /// corruption of a compressed stream is caught before inflation.
     SegChunk {
         index: u32,
         last: bool,
+        comp: bool,
+        orig_len: u32,
         data: Vec<u8>,
     },
     /// Coordinator → worker: the fetch stream is complete; `count`
@@ -139,7 +154,10 @@ impl Msg {
 
     fn encode_body(&self, buf: &mut Vec<u8>) {
         match self {
-            Msg::Hello { worker } => put_u32(buf, *worker),
+            Msg::Hello { worker, wire_caps } => {
+                put_u32(buf, *worker);
+                put_u32(buf, *wire_caps);
+            }
             Msg::TaskRequest | Msg::Credit | Msg::Shutdown => {}
             Msg::MapTask {
                 task,
@@ -172,9 +190,17 @@ impl Msg {
                 put_u32(buf, *attempt);
             }
             Msg::FetchStart { credits } => put_u32(buf, *credits),
-            Msg::SegChunk { index, last, data } => {
+            Msg::SegChunk {
+                index,
+                last,
+                comp,
+                orig_len,
+                data,
+            } => {
                 put_u32(buf, *index);
                 buf.push(u8::from(*last));
+                buf.push(u8::from(*comp));
+                put_u32(buf, *orig_len);
                 put_bytes(buf, data);
             }
             Msg::SegmentsDone { count } => put_u32(buf, *count),
@@ -213,7 +239,10 @@ impl Msg {
         let mut r = Reader::new(payload);
         let tag = r.u8()?;
         let msg = match tag {
-            1 => Msg::Hello { worker: r.u32()? },
+            1 => Msg::Hello {
+                worker: r.u32()?,
+                wire_caps: r.u32()?,
+            },
             2 => Msg::TaskRequest,
             3 => Msg::MapTask {
                 task: r.u32()?,
@@ -239,6 +268,8 @@ impl Msg {
             8 => Msg::SegChunk {
                 index: r.u32()?,
                 last: r.u8()? != 0,
+                comp: r.u8()? != 0,
+                orig_len: r.u32()?,
                 data: r.bytes()?,
             },
             9 => Msg::SegmentsDone { count: r.u32()? },
@@ -300,16 +331,20 @@ pub(crate) fn write_msg_capped(w: &mut impl Write, msg: &Msg, cap: usize) -> Res
 /// identical to `write_msg(&Msg::SegChunk { .. })` for the same data
 /// (pinned by a unit test); the caller owns the `write_all`, so frame
 /// buffers can be reused and double-buffered across chunks.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn encode_seg_chunk(
     buf: &mut Vec<u8>,
     index: u32,
     last: bool,
+    comp: bool,
+    orig_len: u32,
     payload_len: usize,
     cap: usize,
     fill: impl FnOnce(&mut [u8]) -> Result<(), MrError>,
 ) -> Result<(), MrError> {
-    // Frame payload: tag + index + last flag + data length + data.
-    let frame_len = 1 + 4 + 1 + 4 + payload_len;
+    // Frame payload: tag + index + last + comp + orig_len + data length
+    // + data.
+    let frame_len = 1 + 4 + 1 + 1 + 4 + 4 + payload_len;
     if frame_len > cap {
         return Err(MrError::Net(format!(
             "outgoing SegChunk frame of {frame_len} bytes exceeds the {cap}-byte cap"
@@ -320,6 +355,8 @@ pub(crate) fn encode_seg_chunk(
     buf.push(8); // SegChunk tag
     put_u32(buf, index);
     buf.push(u8::from(last));
+    buf.push(u8::from(comp));
+    put_u32(buf, orig_len);
     put_u32(buf, payload_len as u32);
     let data_at = buf.len();
     buf.resize(data_at + payload_len, 0);
@@ -513,7 +550,10 @@ mod tests {
 
     #[test]
     fn every_message_roundtrips() {
-        roundtrip(Msg::Hello { worker: 3 });
+        roundtrip(Msg::Hello {
+            worker: 3,
+            wire_caps: CAP_LZ,
+        });
         roundtrip(Msg::TaskRequest);
         roundtrip(Msg::MapTask {
             task: 1,
@@ -542,7 +582,16 @@ mod tests {
         roundtrip(Msg::SegChunk {
             index: 2,
             last: true,
+            comp: false,
+            orig_len: 0,
             data: vec![42; 100],
+        });
+        roundtrip(Msg::SegChunk {
+            index: 0,
+            last: true,
+            comp: true,
+            orig_len: 4096,
+            data: vec![9; 60],
         });
         roundtrip(Msg::SegmentsDone { count: 5 });
         roundtrip(Msg::Credit);
@@ -635,7 +684,12 @@ mod tests {
 
     #[test]
     fn encode_seg_chunk_matches_write_msg_byte_for_byte() {
-        for (len, last) in [(0usize, true), (100, false), (100, true)] {
+        for (len, last, comp, orig_len) in [
+            (0usize, true, false, 0u32),
+            (100, false, false, 0),
+            (100, true, false, 0),
+            (100, true, true, 5000),
+        ] {
             let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
             let mut via_msg = Vec::new();
             write_msg(
@@ -643,6 +697,8 @@ mod tests {
                 &Msg::SegChunk {
                     index: 3,
                     last,
+                    comp,
+                    orig_len,
                     data: data.clone(),
                 },
             )
@@ -652,6 +708,8 @@ mod tests {
                 &mut via_fill,
                 3,
                 last,
+                comp,
+                orig_len,
                 len,
                 DEFAULT_MAX_FRAME_BYTES,
                 |buf| {
@@ -660,10 +718,11 @@ mod tests {
                 },
             )
             .unwrap();
-            assert_eq!(via_msg, via_fill, "len={len} last={last}");
+            assert_eq!(via_msg, via_fill, "len={len} last={last} comp={comp}");
         }
         // The cap applies to the whole frame, including headers.
-        let err = encode_seg_chunk(&mut Vec::new(), 0, true, 100, 100, |_| Ok(())).unwrap_err();
+        let err =
+            encode_seg_chunk(&mut Vec::new(), 0, true, false, 0, 100, 100, |_| Ok(())).unwrap_err();
         assert!(err.to_string().contains("exceeds the"), "{err}");
     }
 

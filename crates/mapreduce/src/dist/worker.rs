@@ -4,13 +4,14 @@
 //! stream results back under credit-based flow control.
 
 use super::net::{Stream, Transport};
-use super::wire::{expect_credit, read_msg, write_msg, Msg};
-use crate::counters::Counters;
+use super::wire::{expect_credit, read_msg, write_msg, Msg, CAP_LZ};
+use crate::counters::{Counter, Counters};
 use crate::error::MrError;
 use crate::record::{InputSplit, Mapper, Reducer};
 use crate::runner;
 use crate::JobConfig;
-use std::time::Duration;
+use scihadoop_compress::lz;
+use std::time::{Duration, Instant};
 
 /// How long a worker keeps retrying its initial connect. The listener
 /// is bound before any worker is spawned, so this only absorbs
@@ -71,7 +72,13 @@ pub fn run_worker(
     reducer: &dyn Reducer,
 ) -> Result<(), MrError> {
     let mut stream = Stream::connect_retry(transport, addr, CONNECT_DEADLINE)?;
-    write_msg(&mut stream, &Msg::Hello { worker })?;
+    write_msg(
+        &mut stream,
+        &Msg::Hello {
+            worker,
+            wire_caps: CAP_LZ,
+        },
+    )?;
     loop {
         write_msg(&mut stream, &Msg::TaskRequest)?;
         match read_msg(&mut stream)? {
@@ -195,9 +202,22 @@ fn run_reduce_attempt(
     )?;
     let mut segs: Vec<Vec<u8>> = Vec::new();
     let mut current: Vec<u8> = Vec::new();
+    let mut decompress_nanos = 0u64;
+    // A wire-compressed segment that fails to inflate is real
+    // corruption (the lz frame's CRC over the wire bytes caught it).
+    // The fetch stream is drained to completion first — bailing
+    // mid-stream would desync the credit protocol — then the attempt
+    // fails as a checksum error, retryable like any detected corruption.
+    let mut fetch_err: Option<MrError> = None;
     loop {
         match read_msg(stream)? {
-            Msg::SegChunk { index, last, data } => {
+            Msg::SegChunk {
+                index,
+                last,
+                comp,
+                orig_len,
+                data,
+            } => {
                 if index as usize != segs.len() {
                     return Err(MrError::Net(format!(
                         "reduce {task}: segment chunk for index {index} but {} segments assembled",
@@ -206,7 +226,32 @@ fn run_reduce_attempt(
                 }
                 current.extend_from_slice(&data);
                 if last {
-                    segs.push(std::mem::take(&mut current));
+                    let assembled = std::mem::take(&mut current);
+                    let seg = if comp {
+                        let t0 = Instant::now();
+                        let inflated = lz::decompress(&assembled);
+                        decompress_nanos += t0.elapsed().as_nanos() as u64;
+                        match inflated {
+                            Ok(logical) if logical.len() == orig_len as usize => logical,
+                            Ok(logical) => {
+                                fetch_err.get_or_insert(MrError::Checksum(format!(
+                                    "reduce {task}: wire segment {index} inflated to {} bytes, \
+                                     header says {orig_len}",
+                                    logical.len()
+                                )));
+                                logical
+                            }
+                            Err(e) => {
+                                fetch_err.get_or_insert(MrError::Checksum(format!(
+                                    "reduce {task}: wire segment {index} corrupt: {e}"
+                                )));
+                                Vec::new()
+                            }
+                        }
+                    } else {
+                        assembled
+                    };
+                    segs.push(seg);
                 }
                 write_msg(stream, &Msg::Credit)?;
             }
@@ -230,7 +275,14 @@ fn run_reduce_attempt(
             }
         }
     }
+    if let Some(e) = fetch_err {
+        write_msg(stream, &task_failed_msg(task, attempt, true, &e, &harness))?;
+        return Ok(false);
+    }
     let local = Counters::new();
+    if decompress_nanos > 0 {
+        local.add(Counter::LzDecompressNanos, decompress_nanos);
+    }
     let outcome = catch(task, attempt, || {
         runner::run_reduce_task(config, task, &segs, reducer, &local, attempt, false)
     });

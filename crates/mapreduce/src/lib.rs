@@ -38,7 +38,8 @@ pub mod stats;
 pub use arena::SpillArena;
 pub use counters::{Counter, CounterSnapshot, Counters, ALL_COUNTERS, NUM_COUNTERS};
 pub use dist::{
-    run_distributed, run_distributed_with_threads, run_worker, DistConfig, Transport, WorkerEnv,
+    run_distributed, run_distributed_with_threads, run_worker, DistConfig, Transport, WireCodec,
+    WorkerEnv,
 };
 pub use error::MrError;
 pub use fault::{Corruption, FaultConfig, FaultPlan};

@@ -22,7 +22,19 @@ pub struct JobStats {
     /// Coordinator shuffle-store bytes spilled to its local disk when
     /// the in-memory budget overflowed (written once, read back once
     /// per serve). Zero for local runs and unbounded distributed runs.
+    /// Under a wire codec these are *stored* (compressed) bytes — the
+    /// spill file holds exactly what the wire ships.
     pub shuffle_spilled_bytes: u64,
+    /// Logical shuffle bytes that never crossed the network because the
+    /// wire codec shrank their segments (`ShuffleWireBytesSaved`). The
+    /// socket moves `map_output_materialized_bytes − this`.
+    pub shuffle_wire_saved_bytes: u64,
+    /// Nanoseconds compressing segments at shuffle publish
+    /// (`LzCompressNanos`; coordinator side, once per segment).
+    pub wire_compress_nanos: u64,
+    /// Nanoseconds inflating wire-compressed segments at reduce fetch
+    /// (`LzDecompressNanos`; worker side, once per fetched copy).
+    pub wire_decompress_nanos: u64,
     /// Total nanoseconds inside `Codec::compress` across all tasks.
     pub compress_nanos: u64,
     /// Total nanoseconds inside `Codec::decompress`.
@@ -59,6 +71,9 @@ impl JobStats {
             map_output_materialized_bytes: counters.get(Counter::MapOutputMaterializedBytes),
             output_bytes: counters.get(Counter::ReduceOutputBytes),
             shuffle_spilled_bytes: counters.get(Counter::ShuffleSpilledBytes),
+            shuffle_wire_saved_bytes: counters.get(Counter::ShuffleWireBytesSaved),
+            wire_compress_nanos: counters.get(Counter::LzCompressNanos),
+            wire_decompress_nanos: counters.get(Counter::LzDecompressNanos),
             compress_nanos: counters.get(Counter::CompressNanos),
             decompress_nanos: counters.get(Counter::DecompressNanos),
             map_fn_nanos: counters.get(Counter::MapFnNanos),
